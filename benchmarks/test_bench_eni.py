@@ -1,0 +1,176 @@
+"""Experiment D5 — the Bortot et al. (ENI) case (Section V-A, [39]).
+
+A lightly-loaded site with noisy plant instrumentation suffers a pump
+degradation.  Two diagnostic regimes:
+
+* **without stress tests** — the fault signature at idle load is below the
+  sensor noise floor;
+* **with periodic stress tests** — the plant is briefly driven to design
+  load, where the cube-law pump signature towers over the noise.
+
+Expected shape: the stress-test regime detects the fault within the fault
+window with no false alarms before onset; the no-stress regime either
+misses it or false-alarms (its signal-to-noise is < 1).  The prescriptive
+half then learns the cooling model and picks a cheaper feasible setpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analytics.predictive import CoolingPerformanceModel
+from repro.analytics.prescriptive import SetpointOptimizer
+from repro.facility import CoolingMode, FaultKind
+from repro.oda import DataCenter
+
+DAY = 86_400.0
+DAYS = 2.5
+NOISE_FLOOR_W = 10.0
+ONSET_H = 30.0
+DURATION_H = 18.0
+
+#: Setpoint excitation schedule: system identification needs the knob to
+#: move, otherwise the learned model cannot attribute power to it.
+SETPOINT_CYCLE_C = (16.0, 22.0, 28.0, 19.0)
+
+
+def simulate(stress_tests: bool, seed: int = 23):
+    dc = DataCenter(
+        seed=seed, racks=2, nodes_per_rack=8, start_time=160 * DAY,
+        sensor_noise_floor_w=NOISE_FLOOR_W,
+    )
+    loop = dc.facility.plant.loops[0]
+    loop.set_mode(CoolingMode.CHILLER)
+    dc.generate_workload(days=DAYS, jobs_per_day=4)  # lightly loaded
+    t0 = dc.sim.now
+    for i, hour in enumerate(range(0, int(DAYS * 24), 5)):
+        setpoint = SETPOINT_CYCLE_C[i % len(SETPOINT_CYCLE_C)]
+        dc.sim.schedule_at(
+            t0 + hour * 3600 + 1.0,
+            lambda sim, sp=setpoint: loop.set_setpoint(sp),
+        )
+    onset = t0 + ONSET_H * 3600
+    dc.facility.fault_injector.inject(
+        loop.pump, FaultKind.DEGRADATION,
+        start=onset, duration=DURATION_H * 3600, severity=0.5,
+    )
+    if stress_tests:
+        for hour in range(6, int(DAYS * 24), 12):
+            dc.sim.schedule_at(
+                t0 + hour * 3600,
+                lambda sim: dc.facility.stress_test(sim, duration=900.0),
+            )
+    dc.run(days=DAYS)
+    return dc, t0, onset
+
+
+def window_median_alarm(
+    windows: List[Tuple[float, np.ndarray]], ratio: float = 1.5
+) -> Optional[float]:
+    """First window whose median exceeds ``ratio`` x the running median of
+    all previous windows; returns its time or None."""
+    history: List[float] = []
+    for time, values in windows:
+        median = float(np.median(values))
+        if history and median > ratio * float(np.median(history)):
+            return time
+        history.append(median)
+    return None
+
+
+def detect(dc, t0: float, stress_tests: bool) -> Optional[float]:
+    metric = "facility.loop0.pump.power"
+    if stress_tests:
+        starts = [r.time for r in dc.trace.select(kind="stress_test_start")]
+        windows = []
+        for start in starts:
+            _, values = dc.store.query(metric, start, start + 900.0)
+            if values.size:
+                windows.append((start, values))
+    else:
+        # Best effort without stress tests: 6-hourly medians of the raw
+        # (noisy, load-confounded) series.
+        windows = []
+        t = t0
+        while t < dc.sim.now:
+            _, values = dc.store.query(metric, t, t + 6 * 3600.0)
+            if values.size:
+                windows.append((t + 6 * 3600.0, values))
+            t += 6 * 3600.0
+    return window_median_alarm(windows)
+
+
+SEEDS = (23, 24, 25, 26, 27)
+
+
+def run_one(stress: bool, seed: int):
+    dc, t0, onset = simulate(stress, seed=seed)
+    alarm = detect(dc, t0, stress)
+    fault_end = onset + DURATION_H * 3600
+    return {
+        "alarm_h": (alarm - t0) / 3600.0 if alarm else None,
+        "true_detection": alarm is not None and onset <= alarm <= fault_end,
+        "false_alarm": alarm is not None and alarm < onset,
+    }
+
+
+def run_experiment():
+    """Detection reliability over several seeds (sensor noise is random)."""
+    results = {"stress": [], "no_stress": []}
+    for seed in SEEDS:
+        results["no_stress"].append(run_one(False, seed))
+        results["stress"].append(run_one(True, seed))
+    return results
+
+
+def _reliability(runs) -> float:
+    good = sum(1 for r in runs if r["true_detection"] and not r["false_alarm"])
+    return good / len(runs)
+
+
+def test_bench_eni_detection(benchmark, write_artifact):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["Experiment D5 — ENI-style infrastructure ODA [39]",
+             f"(fault onset at {ONSET_H:.0f} h; {len(SEEDS)} noise seeds)"]
+    for name, runs in results.items():
+        lines.append(f"{name}: reliability {_reliability(runs):.2f}")
+        for seed, r in zip(SEEDS, runs):
+            lines.append(
+                f"  seed {seed}: alarm {r['alarm_h']}, true {r['true_detection']}, "
+                f"false {r['false_alarm']}"
+            )
+    write_artifact("d5_eni.txt", "\n".join(lines))
+
+    # The published rationale: periodic stress tests make detection
+    # reliable under realistic sensor noise; without them the sub-noise
+    # idle signature makes the detector a coin flip or worse.
+    assert _reliability(results["stress"]) == 1.0
+    assert _reliability(results["no_stress"]) <= 0.6
+
+
+def test_bench_eni_setpoint_optimization(benchmark, write_artifact):
+    dc, t0, _ = simulate(stress_tests=True)
+    loop = dc.facility.plant.loops[0]
+
+    def optimize():
+        model = CoolingPerformanceModel().fit_from_store(dc.store, t0, dc.sim.now)
+        optimizer = SetpointOptimizer(dc.facility, loop, model, max_inlet_c=30.0)
+        return model, optimizer.best_setpoint()
+
+    model, best = benchmark.pedantic(optimize, rounds=1, iterations=1)
+    weather = dc.facility.current_weather
+    sweep_points = np.array([14.0, 20.0, 26.0])
+    sweep = model.setpoint_sensitivity(
+        max(loop.heat_load_w, 1e3), weather.drybulb_c, weather.wetbulb_c, sweep_points
+    )
+    write_artifact(
+        "d5_eni_setpoint.txt",
+        f"best setpoint: {best:.1f} C\n"
+        + "\n".join(f"setpoint {s:.0f} C -> {p/1e3:.3f} kW" for s, p in zip(sweep_points, sweep)),
+    )
+    assert 10.0 <= best <= 40.0
+    # Chiller physics: the learned model must prefer warmer water.
+    assert sweep[-1] < sweep[0]

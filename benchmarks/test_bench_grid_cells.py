@@ -1,0 +1,236 @@
+"""Experiment A2 — every cell of the 4x4 grid is runnable.
+
+One representative analytics task per grid cell, all executed against the
+same 2-day reference simulation.  This is the platform-level counterpart
+of Table I: not just a taxonomy entry per cell, but a working computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.descriptive import (
+    RooflineModel,
+    entropy_series,
+    pue,
+    scheduling_report,
+)
+from repro.analytics.diagnostic import (
+    ApplicationFingerprinter,
+    OsNoiseDetector,
+    PeerDeviationDetector,
+    SubspaceDetector,
+)
+from repro.analytics.predictive import (
+    ARForecaster,
+    FailurePredictor,
+    JobDurationPredictor,
+    KpiForecaster,
+)
+from repro.analytics.prescriptive import (
+    CodeAdvisor,
+    HillClimbTuner,
+    ModeSwitcher,
+    PowerAwarePolicy,
+    ReactiveEnergyGovernor,
+    TuningSpace,
+)
+from repro.apps import default_catalog, profile_regions
+from repro.software import JobState, SchedulingContext
+from repro.software.jobs import Job
+
+
+# ----------------------------------------------------------------------
+# Descriptive row
+# ----------------------------------------------------------------------
+def test_cell_descriptive_infrastructure(benchmark, reference_dc):
+    """PUE calculation [4]."""
+    value = benchmark(pue, reference_dc.store, 0.0, reference_dc.sim.now)
+    assert 1.0 < value < 2.0
+
+
+def test_cell_descriptive_hardware(benchmark, reference_dc):
+    """System Information Entropy over node power [14]."""
+    grid, series = benchmark(
+        entropy_series, reference_dc.store, "cluster.*.*.power",
+        0.0, reference_dc.sim.now, 1800.0,
+    )
+    assert series.size > 0 and np.isfinite(series).all()
+
+
+def test_cell_descriptive_software(benchmark, reference_dc):
+    """Slowdown calculation [60]."""
+    finished = [j for j in reference_dc.scheduler.accounting if j.terminal]
+    report = benchmark(scheduling_report, finished)
+    assert report.mean_slowdown >= 1.0
+
+
+def test_cell_descriptive_applications(benchmark):
+    """Roofline job performance model [63]."""
+    regions = profile_regions(default_catalog().get("climate_model"))
+    points = benchmark(RooflineModel().analyze, regions)
+    assert any(p.memory_bound for p in points)
+
+
+# ----------------------------------------------------------------------
+# Diagnostic row
+# ----------------------------------------------------------------------
+def test_cell_diagnostic_infrastructure(benchmark, reference_dc):
+    """Infrastructure anomaly detection [54] (peer deviation over plant)."""
+    dc = reference_dc
+    metrics = [f"facility.loop0.{c}.power" for c in ("chiller", "tower", "drycooler", "pump")]
+    _, matrix = dc.store.align(metrics, 0.0, dc.sim.now, 600.0)
+    finite = np.isfinite(matrix).all(axis=1)
+    detector = PeerDeviationDetector(threshold=3.0)
+    detections = benchmark(detector.detect, matrix[finite].T, metrics)
+    assert isinstance(detections, list)  # no injected faults -> likely empty
+
+
+def test_cell_diagnostic_hardware(benchmark, reference_dc):
+    """Node-level anomaly detection [17][26] (residual subspace)."""
+    dc = reference_dc
+    node = dc.system.nodes[0].name
+    metrics = [dc.system.node_metric(node, c) for c in ("power", "temp", "cpu_util", "ipc")]
+    _, matrix = dc.store.align(metrics, 0.0, dc.sim.now, 300.0)
+    finite = matrix[np.isfinite(matrix).all(axis=1)]
+    half = finite.shape[0] // 2
+    detector = SubspaceDetector(n_components=2, quantile=0.995)
+    detector.fit(finite[:half])
+    mask = benchmark(detector.detect, finite[half:])
+    assert mask.mean() < 0.2  # a healthy node mostly looks healthy
+
+
+def test_cell_diagnostic_software(benchmark, reference_dc):
+    """OS-noise source identification [57]."""
+    dc = reference_dc
+    paths = {
+        n.name: dc.system.node_metric(n.name, "ctx_switches") for n in dc.system.nodes
+    }
+    detector = OsNoiseDetector(dc.store)
+    noisy = benchmark(detector.noisy_nodes, paths, 0.0, dc.sim.now)
+    truth = dc.noise.ground_truth()
+    expected = {name for name, is_noisy in truth.items() if is_noisy}
+    assert set(noisy) == expected
+
+
+def test_cell_diagnostic_applications(benchmark, reference_dc):
+    """Application fingerprinting [33][36] on synthetic per-class features."""
+    rng = np.random.default_rng(0)
+    profiles = list(default_catalog())
+    X, labels = [], []
+    for i, profile in enumerate(profiles):
+        mean = profile.mean_load()
+        base = np.array([
+            mean.cpu_util, mean.mem_bw_util, mean.io_bw_bytes / 1e9,
+            mean.net_bw_bytes / 1e9, mean.compute_fraction, mean.flops_per_second,
+        ])
+        for _ in range(20):
+            X.append(base * rng.lognormal(0, 0.05, base.size))
+            labels.append(profile.name)
+    X = np.vstack(X)
+    fingerprinter = ApplicationFingerprinter(n_trees=15, seed=0)
+
+    def fit_predict():
+        fingerprinter.fit(X, labels)
+        return fingerprinter.predict(X)
+
+    predictions = benchmark.pedantic(fit_predict, rounds=1, iterations=1)
+    assert np.mean([p == t for p, t in zip(predictions, labels)]) > 0.9
+
+
+# ----------------------------------------------------------------------
+# Predictive row
+# ----------------------------------------------------------------------
+def test_cell_predictive_infrastructure(benchmark, reference_dc):
+    """Data-center KPI forecasting [45]."""
+    dc = reference_dc
+    model = KpiForecaster(lags=12, horizon=3, step=600.0)
+    model.fit(dc.store, "facility.power.site_power", 0.0, dc.sim.now)
+    _, recent = dc.store.query("facility.power.site_power", dc.sim.now - 4 * 3600, dc.sim.now)
+    prediction = benchmark(model.predict_from, recent, dc.sim.now)
+    assert np.isfinite(prediction) and prediction > 0
+
+
+def test_cell_predictive_hardware(benchmark, reference_dc):
+    """Component failure prediction [48]."""
+    dc = reference_dc
+    paths = {n.name: dc.system.node_metric(n.name, "ecc_errors") for n in dc.system.nodes}
+    predictor = FailurePredictor(dc.store)
+    warnings = benchmark(predictor.warn, paths, dc.sim.now)
+    assert isinstance(warnings, list)
+
+
+def test_cell_predictive_software(benchmark, reference_dc):
+    """Workload prediction [23] (AR forecast of utilization)."""
+    dc = reference_dc
+    _, util = dc.store.resample("scheduler.utilization", 0.0, dc.sim.now, 600.0)
+    util = util[np.isfinite(util)]
+    model = ARForecaster(lags=12)
+    model.fit(util)
+    forecast = benchmark(model.forecast, 12)
+    assert np.isfinite(forecast).all()
+
+
+def test_cell_predictive_applications(benchmark, reference_dc):
+    """Job duration prediction [30][34][35]."""
+    dc = reference_dc
+    completed = [j for j in dc.scheduler.accounting if j.state is JobState.COMPLETED]
+    assert len(completed) >= 8, "reference run must complete enough jobs"
+    predictor = JobDurationPredictor().fit(completed[: len(completed) // 2])
+    metrics = benchmark(predictor.evaluate, completed[len(completed) // 2 :])
+    assert metrics["mape"] < 2.0  # far better than walltime (~2.5x over)
+
+
+# ----------------------------------------------------------------------
+# Prescriptive row
+# ----------------------------------------------------------------------
+def test_cell_prescriptive_infrastructure(benchmark, reference_dc):
+    """Cooling technology switching [12]."""
+    dc = reference_dc
+    switcher = ModeSwitcher(dc.facility, dc.facility.plant.loops[0])
+    actions = benchmark(switcher._decide, dc.sim.now, False)
+    assert isinstance(actions, list)
+
+
+def test_cell_prescriptive_hardware(benchmark, reference_dc):
+    """CPU frequency tuning [11][24][40]."""
+    dc = reference_dc
+    governor = ReactiveEnergyGovernor()
+
+    def govern():
+        return [
+            governor.decide(node, node.counters(), dc.sim.now)
+            for node in dc.system.nodes
+        ]
+
+    decisions = benchmark(govern)
+    assert all(d is None or d in dc.system.nodes[0].cpu.freq_levels_ghz for d in decisions)
+
+
+def test_cell_prescriptive_software(benchmark, reference_dc):
+    """Power-aware scheduling [21]-[23]."""
+    dc = reference_dc
+    ctx = SchedulingContext(
+        now=dc.sim.now,
+        system=dc.system,
+        free_nodes=dc.scheduler.free_node_names(),
+        pending=dc.scheduler.queue.snapshot(),
+        running=list(dc.scheduler.running),
+    )
+    policy = PowerAwarePolicy(power_cap_w=dc.peak_it_w * 0.8)
+    allocations = benchmark(policy.select, ctx)
+    assert isinstance(allocations, list)
+
+
+def test_cell_prescriptive_applications(benchmark):
+    """Application auto-tuning [28][29] + code recommendations [44]."""
+    space = TuningSpace({"freq": (1.2, 1.6, 2.0, 2.4), "tile": (16, 32, 64)})
+    tuner = HillClimbTuner(space, budget=20, seed=1)
+    result = benchmark.pedantic(
+        tuner.tune, args=(lambda c: (c["freq"] - 2.0) ** 2 + (c["tile"] - 32) ** 2 / 1e3,),
+        rounds=1, iterations=1,
+    )
+    assert result.best_score < 0.5
+    advice = CodeAdvisor().advise(profile_regions(default_catalog().get("graph_analytics")))
+    assert advice

@@ -1,0 +1,72 @@
+"""Experiment D1 — proactive beats reactive (Section V-A).
+
+Two identical runs on a failure-prone fleet: reactive recovery (crash ->
+restart from scratch) vs proactive maintenance (ECC-based failure
+prediction -> evacuate + drain).  Expected shape: the proactive
+configuration loses (almost) no jobs to crashes and completes more work
+per unit energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.prescriptive import ProactiveMaintenance
+from repro.oda import DataCenter
+from repro.software import JobState
+
+DAYS = 3.0
+
+
+def run(proactive: bool, seed: int = 42):
+    dc = DataCenter(seed=seed, racks=2, nodes_per_rack=8, enable_faults=True)
+    dc.system.fault_model.base_rate = 0.3
+    dc.scheduler.resubmit_failed = True
+    dc.generate_workload(days=DAYS, jobs_per_day=20)
+    maintenance = None
+    if proactive:
+        maintenance = ProactiveMaintenance(dc.scheduler, dc.store, period=600.0)
+        maintenance.attach(dc.sim, dc.trace)
+    dc.run(days=DAYS)
+
+    jobs = list(dc.scheduler.jobs.values())
+    done = [j for j in jobs if j.state is JobState.COMPLETED]
+    losses = len(dc.trace.select(kind="job_restart")) + sum(
+        1 for j in jobs if j.state is JobState.FAILED
+    )
+    # Surviving work across *all* jobs: a reactive restart zeroes the lost
+    # job's progress, a proactive checkpoint-requeue preserves it — this is
+    # exactly the quantity the two regimes differ on.
+    work_h = sum(j.work_done_s * j.nodes for j in jobs) / 3600.0
+    times, it = dc.store.query("cluster.it_power")
+    energy_kwh = float(np.trapezoid(it, times)) / 3.6e6
+    return {
+        "completed": len(done),
+        "crashes": len(dc.trace.select(kind="node_crash")),
+        "job_losses": losses,
+        "work_node_h": work_h,
+        "energy_kwh": energy_kwh,
+        "work_per_kwh": work_h / energy_kwh,
+        "evacuations": maintenance.evacuations if maintenance else 0,
+    }
+
+
+def test_bench_proactive_vs_reactive(benchmark, write_artifact):
+    reactive = run(proactive=False)
+
+    proactive = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+
+    lines = [
+        "Experiment D1 — proactive vs reactive ODA (Section V-A)",
+        f"{'KPI':>18} | {'reactive':>10} | {'proactive':>10}",
+    ]
+    for key in reactive:
+        lines.append(f"{key:>18} | {reactive[key]:>10.3f} | {proactive[key]:>10.3f}")
+    write_artifact("d1_proactive.txt", "\n".join(lines))
+
+    # Shape claims: both fleets crash, but the proactive one loses fewer
+    # jobs and converts energy into surviving work strictly better.
+    assert reactive["crashes"] > 0, "the experiment needs a failure-prone fleet"
+    assert proactive["job_losses"] < reactive["job_losses"]
+    assert proactive["evacuations"] > 0
+    assert proactive["work_per_kwh"] > reactive["work_per_kwh"] * 1.02

@@ -1,0 +1,78 @@
+"""Experiment A3 — scheduling policy comparison (descriptive + prescriptive).
+
+The same 2-day trace under FCFS, EASY backfill, power-aware and
+cooling-aware policies.  Expected shapes: backfilling raises utilization
+and throughput over FCFS; the power cap is honoured at a throughput cost;
+cooling-aware placement lowers the thermal ceiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.descriptive import scheduling_report
+from repro.analytics.prescriptive import CoolingAwarePolicy, PowerAwarePolicy
+from repro.oda import DataCenter, collect_kpis
+from repro.software import EasyBackfillPolicy, FcfsPolicy
+
+DAYS = 2.0
+POWER_CAP_W = 4_800.0
+
+
+def run(policy, seed=33):
+    dc = DataCenter(seed=seed, racks=2, nodes_per_rack=8, policy=policy)
+    dc.generate_workload(days=DAYS, jobs_per_day=26)
+    dc.run(days=DAYS)
+    kpis = collect_kpis(dc)
+    _, it_power = dc.metric("cluster.it_power")
+    hottest = max(
+        float(dc.metric(dc.system.node_metric(n.name, "temp"))[1].max())
+        for n in dc.system.nodes
+    )
+    return {"kpis": kpis, "peak_it_w": float(it_power.max()), "hottest_c": hottest}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "fcfs": run(FcfsPolicy()),
+        "easy": run(EasyBackfillPolicy()),
+        "power": run(PowerAwarePolicy(power_cap_w=POWER_CAP_W)),
+        "cooling": run(CoolingAwarePolicy()),
+    }
+
+
+def test_bench_policy_comparison(benchmark, results, write_artifact):
+    summary = benchmark(
+        lambda: {
+            name: (r["kpis"].completed_jobs, round(r["kpis"].utilization, 3),
+                   round(r["peak_it_w"], 0), round(r["hottest_c"], 1))
+            for name, r in results.items()
+        }
+    )
+    write_artifact(
+        "a3_scheduling.txt",
+        "Experiment A3 — policy comparison (jobs, util, peak W, hottest C)\n"
+        + "\n".join(f"{k}: {v}" for k, v in summary.items()),
+    )
+
+    # Backfilling beats strict FCFS on utilization and throughput.
+    assert results["easy"]["kpis"].utilization > results["fcfs"]["kpis"].utilization
+    assert results["easy"]["kpis"].completed_jobs >= results["fcfs"]["kpis"].completed_jobs
+    # The power cap binds: peak draw clearly below the unconstrained run.
+    assert results["power"]["peak_it_w"] < results["easy"]["peak_it_w"] * 0.95
+    # Cooling-aware placement does not run hotter than naive placement.
+    assert results["cooling"]["hottest_c"] <= results["easy"]["hottest_c"] + 0.1
+
+
+def test_bench_qos_report(benchmark, results, write_artifact):
+    finished_policy = "easy"
+    kpis = results[finished_policy]["kpis"]
+
+    def summarize():
+        return (kpis.completed_jobs, kpis.mean_slowdown)
+
+    jobs, slowdown = benchmark(summarize)
+    assert jobs > 0
+    assert slowdown >= 1.0

@@ -1,0 +1,90 @@
+"""Experiment T1 — regenerate Table I from the survey corpus.
+
+Assertions: the regenerated table contains every published use case in its
+published cell with its published citations; per-row and per-column counts
+match the paper; every entry is backed by a live implementation module.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.core import (
+    PILLAR_ORDER,
+    TYPE_ORDER,
+    AnalyticsType,
+    Pillar,
+    render_occupancy,
+    render_table1,
+    survey_grid,
+    table1_use_cases,
+)
+
+#: Published Table I row/column bullet counts.
+EXPECTED_PER_TYPE = {
+    AnalyticsType.PRESCRIPTIVE: 11,
+    AnalyticsType.PREDICTIVE: 11,
+    AnalyticsType.DIAGNOSTIC: 12,
+    AnalyticsType.DESCRIPTIVE: 11,
+}
+EXPECTED_PER_PILLAR = {
+    Pillar.BUILDING_INFRASTRUCTURE: 12,
+    Pillar.SYSTEM_HARDWARE: 12,
+    Pillar.SYSTEM_SOFTWARE: 10,
+    Pillar.APPLICATIONS: 11,
+}
+
+
+def regenerate():
+    grid = survey_grid()
+    return grid, render_table1(grid)
+
+
+def test_bench_table1(benchmark, write_artifact):
+    grid, table = benchmark(regenerate)
+    write_artifact("table1.md", table + "\n\n" + render_occupancy(grid))
+
+    # Every published bullet present, in its cell, with its citations.
+    assert len(grid) == 45
+    assert grid.empty_cells() == []
+    for uc in table1_use_cases():
+        placed = grid.get(uc.name)
+        assert placed.cell == uc.cell
+        for number in uc.references:
+            assert f"[{number}]" in table
+
+    for analytics_type, expected in EXPECTED_PER_TYPE.items():
+        assert len(grid.by_type(analytics_type)) == expected
+    for pillar, expected in EXPECTED_PER_PILLAR.items():
+        assert len(grid.by_pillar(pillar)) == expected
+
+
+def test_bench_table1_implementations_live(benchmark):
+    """Every Table I entry maps to an importable implementation."""
+
+    def check():
+        missing = []
+        for uc in table1_use_cases():
+            for path in uc.implemented_by:
+                parts = path.split(".")
+                module = None
+                for cut in range(len(parts), 0, -1):
+                    try:
+                        module = importlib.import_module(".".join(parts[:cut]))
+                        remainder = parts[cut:]
+                        break
+                    except ImportError:
+                        continue
+                if module is None:
+                    missing.append(path)
+                    continue
+                obj = module
+                try:
+                    for attr in remainder:
+                        obj = getattr(obj, attr)
+                except AttributeError:
+                    missing.append(path)
+        return missing
+
+    missing = benchmark(check)
+    assert missing == []

@@ -1,0 +1,100 @@
+"""Experiment A1 — telemetry pipeline throughput and store scaling.
+
+Not a paper table, but the substrate performance every ODA deployment
+stands on: samples/second through the scrape -> bus -> store path, bulk
+ingest rate, and range-query latency at archive sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation import Simulator
+from repro.telemetry import (
+    MessageBus,
+    SampleBatch,
+    Sampler,
+    TelemetrySystem,
+    TimeSeriesStore,
+)
+
+N_METRICS = 200
+
+
+def make_batch(time: float) -> SampleBatch:
+    names = tuple(f"cluster.n{i}.power" for i in range(N_METRICS))
+    return SampleBatch(time, names, np.random.default_rng(0).random(N_METRICS))
+
+
+def test_bench_pipeline_scrape_to_store(benchmark):
+    """End-to-end publish of a 200-metric batch into the store."""
+    telemetry = TelemetrySystem()
+    clock = {"t": 0.0}
+
+    def publish_one():
+        clock["t"] += 1.0
+        telemetry.bus.publish("cluster", make_batch(clock["t"]))
+
+    benchmark(publish_one)
+    assert telemetry.store.samples_ingested >= N_METRICS
+
+
+def test_bench_store_bulk_append(benchmark):
+    """Vectorized bulk ingest of one million samples."""
+    times = np.arange(1_000_000, dtype=np.float64)
+    values = np.random.default_rng(0).random(1_000_000)
+
+    def ingest():
+        store = TimeSeriesStore()
+        store.append_many("m", times, values)
+        return store
+
+    store = benchmark(ingest)
+    assert len(store.series("m")) == 1_000_000
+
+
+def test_bench_store_range_query(benchmark):
+    """Range query against a million-sample series returns views."""
+    store = TimeSeriesStore()
+    store.append_many("m", np.arange(1_000_000, dtype=np.float64),
+                      np.zeros(1_000_000))
+
+    def query():
+        return store.query("m", 400_000.0, 600_000.0)
+
+    times, _ = benchmark(query)
+    assert times.size == 200_001
+    assert times.base is not None  # view, not copy
+
+
+def test_bench_store_resample(benchmark):
+    store = TimeSeriesStore()
+    store.append_many("m", np.arange(100_000, dtype=np.float64),
+                      np.random.default_rng(0).random(100_000))
+
+    def resample():
+        return store.resample("m", 0.0, 100_000.0, 100.0)
+
+    _, values = benchmark(resample)
+    assert values.size == 1000
+
+
+def test_bench_simulated_collection_day(benchmark):
+    """One simulated day of periodic collection from 64 samplers."""
+
+    def run_day():
+        sim = Simulator()
+        telemetry = TelemetrySystem()
+        agent = telemetry.new_agent("agent", period=60.0)
+        for i in range(64):
+            agent.add_sampler(Sampler(
+                f"node{i}",
+                lambda now, i=i: {f"cluster.n{i}.power": 100.0 + i,
+                                  f"cluster.n{i}.temp": 40.0},
+            ))
+        agent.start(sim)
+        sim.run(86_400.0)
+        return telemetry
+
+    telemetry = benchmark.pedantic(run_day, rounds=1, iterations=1)
+    assert telemetry.store.samples_ingested == 64 * 2 * 1441

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Application fingerprinting: catch the cryptominer (Table I, [33][36]).
+
+Runs a workload where a few submissions are rogue cryptominer jobs hiding
+among legitimate HPC applications.  Per-job feature vectors are extracted
+from node telemetry over each job's execution window (Taxonomist-style
+statistical summaries), a random forest is trained on labelled history,
+and new jobs are identified — miners flagged for cancellation.
+
+Run:  python examples/app_fingerprinting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.diagnostic import (
+    JOB_COUNTERS,
+    ApplicationFingerprinter,
+    job_feature_vector,
+)
+from repro.oda import DataCenter
+from repro.software import JobState
+
+
+def job_features(dc, job):
+    paths = {
+        counter: dc.system.node_metric(job.assigned_nodes[0], counter)
+        for counter in JOB_COUNTERS
+    }
+    return job_feature_vector(dc.store, paths, job.start_time, job.end_time)
+
+
+def main() -> None:
+    print("simulating 7 days with 20% rogue cryptominer submissions...")
+    dc = DataCenter(seed=77, racks=2, nodes_per_rack=8)
+    # ~16 effective jobs/day keeps the 16-node machine balanced so most
+    # jobs actually complete and leave a full telemetry window behind.
+    dc.generate_workload(days=7.0, jobs_per_day=30, miner_fraction=0.2)
+    dc.run(days=7.0)
+
+    completed = [
+        j for j in dc.scheduler.accounting
+        if j.state is JobState.COMPLETED and j.runtime and j.runtime > 600.0
+    ]
+    print(f"{len(completed)} jobs completed with enough telemetry\n")
+
+    X, labels = [], []
+    for job in completed:
+        try:
+            X.append(job_features(dc, job))
+            labels.append(job.profile_name)
+        except Exception:
+            continue
+    X = np.vstack(X)
+    miners_total = sum(1 for l in labels if l == "cryptominer")
+    print(f"feature matrix: {X.shape}; classes: {sorted(set(labels))}")
+    print(f"ground truth: {miners_total} miner jobs in the log\n")
+
+    split = int(len(labels) * 0.6)
+    fingerprinter = ApplicationFingerprinter(n_trees=30, seed=1)
+    fingerprinter.fit(X[:split], labels[:split])
+
+    predictions = fingerprinter.predict(X[split:])
+    truth = labels[split:]
+    accuracy = np.mean([p == t for p, t in zip(predictions, truth)])
+    print(f"=== identification on held-out jobs ===")
+    print(f"  accuracy: {accuracy:.0%} over {len(truth)} jobs")
+
+    rogue_flags = fingerprinter.flag_rogue(X[split:])
+    tp = sum(1 for f, t in zip(rogue_flags, truth) if f and t == "cryptominer")
+    fp = sum(1 for f, t in zip(rogue_flags, truth) if f and t != "cryptominer")
+    fn = sum(1 for f, t in zip(rogue_flags, truth) if not f and t == "cryptominer")
+    print(f"  miner detection: {tp} caught, {fp} false alarms, {fn} missed")
+
+    print("\n=== why miners stand out (mean feature per class) ===")
+    by_class = {}
+    for row, label in zip(X, labels):
+        by_class.setdefault(label, []).append(row)
+    print(f"  {'class':>18} | {'cpu mean':>8} | {'io mean':>10} | {'net mean':>10}")
+    for label, rows in sorted(by_class.items()):
+        mean = np.vstack(rows).mean(axis=0)
+        # Feature layout: 10 stats per counter in JOB_COUNTERS order.
+        cpu, io, net = mean[0], mean[20], mean[30]
+        print(f"  {label:>18} | {cpu:8.2f} | {io:10.2e} | {net:10.2e}")
+
+    print("\nprescriptive follow-up: cancelling flagged running jobs would be")
+    print("dc.scheduler.cancel(job_id, dc.sim.now) — closing the ODA loop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The LLNL utility-notification use case (Section V-C, [72]).
+
+LLNL must notify its utility whenever site power moves by more than
+750 kW within a 15-minute window.  Using Fourier transforms on historical
+monitoring data, they identified recurring power-spike patterns and used
+them to forecast consumption and meet the contract.
+
+Substitution note (see DESIGN.md): LLNL's historic ~30 MW trace is
+proprietary, and a laptop-scale node-granular simulation cannot produce
+a 30 MW aggregate — so the trace comes from
+:class:`repro.facility.SitePowerTraceGenerator`, which reproduces its
+statistical structure: smooth diurnal/weekly load, OU noise, and
+*recurring* large-job spike patterns (nightly batch window, morning rise).
+The code path exercised — FFT fit, harmonic extrapolation, 750 kW/15 min
+ramp detection — is exactly the published method.
+
+Run:  python examples/llnl_power_forecast.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.predictive import FourierForecaster, detect_ramps, mae
+from repro.facility import SitePowerTraceGenerator
+
+DAY = 86_400.0
+THRESHOLD_W = 750e3   # the contractual limit
+WINDOW_S = 900.0      # ... per 15 minutes
+
+
+def main() -> None:
+    print("generating 28 days of LLNL-scale site power (22-29 MW)...")
+    generator = SitePowerTraceGenerator(np.random.default_rng(5))
+    times, watts, events = generator.generate(days=28.0, step_s=300.0)
+    print(f"trace range: {watts.min()/1e6:.1f}-{watts.max()/1e6:.1f} MW, "
+          f"{len(events)} ground-truth spike events\n")
+
+    train = times < 21 * DAY
+    test = ~train
+    print("fitting Fourier model on weeks 1-3, forecasting week 4...")
+    forecaster = FourierForecaster(n_harmonics=320).fit(times[train], watts[train])
+    predicted = forecaster.predict(times[test])
+    persistence = np.full(int(test.sum()), watts[train][-1])
+
+    print("\n=== forecast quality (week 4) ===")
+    print(f"  Fourier MAE:      {mae(watts[test], predicted)/1e6:6.3f} MW")
+    print(f"  persistence MAE:  {mae(watts[test], persistence)/1e6:6.3f} MW")
+
+    print(f"\n=== {THRESHOLD_W/1e3:.0f} kW / {WINDOW_S/60:.0f} min notifications ===")
+    actual = detect_ramps(times[test], watts[test], THRESHOLD_W, WINDOW_S)
+    forecast = detect_ramps(times[test], predicted, THRESHOLD_W, WINDOW_S)
+    naive = detect_ramps(times[test], persistence, THRESHOLD_W, WINDOW_S)
+    print(f"  actual ramp events:          {len(actual)}")
+    print(f"  FFT forecast notifications:  {len(forecast)}")
+    print(f"  persistence notifications:   {len(naive)} (flat forecasts never ramp)")
+
+    hits = sum(1 for f in forecast if any(abs(f.time - a.time) <= 3600.0 for a in actual))
+    covered = sum(1 for a in actual if any(abs(a.time - f.time) <= 3600.0 for f in forecast))
+    print(f"  notification precision: {hits / max(len(forecast), 1):.0%}")
+    print(f"  notification recall:    {covered / max(len(actual), 1):.0%}")
+
+    print("\n  first forecast notifications (what the operator sends the utility):")
+    for event in forecast[:6]:
+        day, hour = divmod(event.time, DAY)
+        print(f"    day {day:4.0f} {hour/3600:5.2f} h: ramp {event.direction}, "
+              f"|delta| {abs(event.delta_w)/1e3:6.0f} kW / 15 min")
+
+
+if __name__ == "__main__":
+    main()

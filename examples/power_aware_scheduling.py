@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Prescriptive scheduling comparison: baseline vs ODA-informed policies.
+
+Runs the same workload trace under four schedulers — FCFS, EASY backfill,
+power-aware backfill under an IT power cap (Table I: "power and KPI-aware
+scheduling" [21]-[23]) and cooling-aware placement [22] — and compares
+QoS, power and thermal KPIs.
+
+Run:  python examples/power_aware_scheduling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.descriptive import scheduling_report
+from repro.analytics.prescriptive import CoolingAwarePolicy, PowerAwarePolicy
+from repro.oda import DataCenter, collect_kpis
+from repro.software import EasyBackfillPolicy, FcfsPolicy, JobState
+
+POWER_CAP_W = 4_800.0  # binding for a 16-node fleet (idle ~2.1 kW, busy ~6.5 kW)
+
+
+def run_policy(policy, days=2.0, seed=33):
+    dc = DataCenter(seed=seed, racks=2, nodes_per_rack=8, policy=policy)
+    dc.generate_workload(days=days, jobs_per_day=26)
+    dc.run(days=days)
+    kpis = collect_kpis(dc)
+    finished = [j for j in dc.scheduler.accounting if j.terminal]
+    qos = scheduling_report(finished) if finished else None
+    _, it_power = dc.metric("cluster.it_power")
+    max_temps = [
+        dc.metric(dc.system.node_metric(node.name, "temp"))[1].max()
+        for node in dc.system.nodes
+    ]
+    return {
+        "kpis": kpis,
+        "qos": qos,
+        "peak_it_kw": float(it_power.max()) / 1e3,
+        "hottest_node_c": float(max(max_temps)),
+        "total_jobs": len(dc.scheduler.jobs),
+    }
+
+
+def main() -> None:
+    runs = {}
+    for name, policy in [
+        ("FCFS", FcfsPolicy()),
+        ("EASY backfill", EasyBackfillPolicy()),
+        ("power-aware", PowerAwarePolicy(power_cap_w=POWER_CAP_W)),
+        ("cooling-aware", CoolingAwarePolicy()),
+    ]:
+        print(f"running policy: {name} ...")
+        runs[name] = run_policy(policy)
+    print()
+
+    header = (f"{'policy':>14} | {'done':>4} | {'slowdown':>8} | {'util':>5} | "
+              f"{'peak IT kW':>10} | {'hottest C':>9} | {'PUE':>5}")
+    print(header)
+    print("-" * len(header))
+    for name, result in runs.items():
+        qos = result["qos"]
+        slowdown = f"{qos.mean_slowdown:8.2f}" if qos else "     n/a"
+        kpis = result["kpis"]
+        print(f"{name:>14} | {kpis.completed_jobs:4d} | {slowdown} | "
+              f"{kpis.utilization:5.2f} | {result['peak_it_kw']:10.2f} | "
+              f"{result['hottest_node_c']:9.1f} | {kpis.pue:5.3f}")
+
+    print("\nobservations (the paper's qualitative claims):")
+    print(f"  - EASY backfill lifts utilization over FCFS: "
+          f"{runs['FCFS']['kpis'].utilization:.2f} -> "
+          f"{runs['EASY backfill']['kpis'].utilization:.2f}")
+    print(f"  - the power-aware policy respects the {POWER_CAP_W/1e3:.1f} kW cap: "
+          f"peak {runs['power-aware']['peak_it_kw']:.2f} kW vs unconstrained "
+          f"{runs['EASY backfill']['peak_it_kw']:.2f} kW "
+          f"(traded for throughput: {runs['power-aware']['kpis'].completed_jobs} vs "
+          f"{runs['EASY backfill']['kpis'].completed_jobs} jobs)")
+    print(f"  - cooling-aware placement keeps the hottest node at "
+          f"{runs['cooling-aware']['hottest_node_c']:.1f} C vs "
+          f"{runs['EASY backfill']['hottest_node_c']:.1f} C under EASY")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Proactive vs reactive ODA (Section V-A's central claim).
+
+"Enhancing a prescriptive ODA system with predictive capabilities allows
+it to optimize system knobs in a proactive manner, thus anticipating
+state transitions and preventing adverse effects, rather than in a
+reactive way.  In almost all cases, this has a positive effect on the
+KPIs."
+
+Demonstrated on reliability (the proactive-autonomics use case [48]):
+nodes emit a rising ECC-error ramp before crashing.  The *reactive*
+configuration lets crashes kill jobs, which restart from scratch; the
+*proactive* configuration runs a failure predictor on the ECC telemetry
+and evacuates + drains doomed nodes ahead of the crash.
+
+Both runs use identical seeds, workloads and fault processes.
+
+Run:  python examples/proactive_vs_reactive.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.prescriptive import ProactiveMaintenance
+from repro.oda import DataCenter
+from repro.software import JobState
+
+
+def run(proactive: bool, seed: int = 42, days: float = 3.0):
+    dc = DataCenter(seed=seed, racks=2, nodes_per_rack=8, enable_faults=True)
+    dc.system.fault_model.base_rate = 0.3  # stressed fleet: ~5 crashes/day
+    dc.scheduler.resubmit_failed = True    # reactive recovery: restart lost jobs
+    dc.generate_workload(days=days, jobs_per_day=20)
+    maintenance = None
+    if proactive:
+        maintenance = ProactiveMaintenance(dc.scheduler, dc.store, period=600.0)
+        maintenance.attach(dc.sim, dc.trace)
+    dc.run(days=days)
+
+    jobs = list(dc.scheduler.jobs.values())
+    done = [j for j in jobs if j.state is JobState.COMPLETED]
+    restarts = len(dc.trace.select(kind="job_restart"))
+    crashes = len(dc.trace.select(kind="node_crash"))
+    # Surviving work across *all* jobs: a reactive restart zeroes the lost
+    # job's progress, a proactive checkpoint-requeue preserves it.
+    work_h = sum(j.work_done_s * j.nodes for j in jobs) / 3600.0
+    times, it = dc.metric("cluster.it_power")
+    energy_kwh = float(np.trapezoid(it, times)) / 3.6e6
+    return {
+        "completed": len(done),
+        "jobs": len(jobs),
+        "node crashes": crashes,
+        "jobs lost to crashes": restarts + sum(1 for j in jobs if j.state is JobState.FAILED),
+        "surviving work [node-h]": round(work_h, 1),
+        "IT energy [kWh]": round(energy_kwh, 1),
+        "work per energy [node-h/kWh]": round(work_h / energy_kwh, 3),
+        "drains": maintenance.drains if maintenance else 0,
+        "evacuations": maintenance.evacuations if maintenance else 0,
+    }
+
+
+def main() -> None:
+    print("running reactive configuration (crash -> restart from scratch)...")
+    reactive = run(proactive=False)
+    print("running proactive configuration (predict -> evacuate -> drain)...\n")
+    proactive = run(proactive=True)
+
+    width = max(len(k) for k in reactive)
+    print(f"{'KPI':<{width}} | {'reactive':>10} | {'proactive':>10}")
+    print("-" * (width + 27))
+    for key in reactive:
+        print(f"{key:<{width}} | {reactive[key]:>10} | {proactive[key]:>10}")
+
+    gain = (
+        proactive["work per energy [node-h/kWh]"]
+        / reactive["work per energy [node-h/kWh]"]
+        - 1.0
+    )
+    print(f"\nproactive work-per-energy gain: {gain:+.1%}")
+    print("the Section V-A shape: prediction turns the same prescriptive")
+    print("machinery proactive, and the KPI improves.")
+
+
+if __name__ == "__main__":
+    main()

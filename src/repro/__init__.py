@@ -1,0 +1,21 @@
+"""repro — HPC Operational Data Analytics framework and platform.
+
+Reproduction of *"A Conceptual Framework for HPC Operational Data
+Analytics"* (Netti, Shin, Ott, Wilde, Bates — IEEE CLUSTER 2021).
+
+The package has three layers:
+
+* **Substrates** — a synthetic HPC data center: discrete-event engine
+  (:mod:`repro.simulation`), building infrastructure (:mod:`repro.facility`),
+  cluster hardware (:mod:`repro.cluster`), system software
+  (:mod:`repro.software`), applications/workloads (:mod:`repro.apps`) and a
+  telemetry pipeline (:mod:`repro.telemetry`).
+* **Analytics** — implementations for all four analytics types
+  (:mod:`repro.analytics`), covering every cell of the paper's 4x4 grid.
+* **Framework** — the paper's conceptual framework as executable taxonomy
+  (:mod:`repro.core`) plus ODA system composition (:mod:`repro.oda`).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,34 @@
+"""Analytics layer: the four types of data analytics.
+
+One subpackage per type of the paper's staged model:
+
+* :mod:`repro.analytics.descriptive` — "what happened?"
+* :mod:`repro.analytics.diagnostic` — "why did it happen?"
+* :mod:`repro.analytics.predictive` — "what will happen?"
+* :mod:`repro.analytics.prescriptive` — "what should be done?"
+
+plus :mod:`repro.analytics.common` with shared feature/scaling utilities.
+"""
+
+from repro.analytics import descriptive, diagnostic, predictive, prescriptive
+from repro.analytics.common import (
+    FEATURE_NAMES,
+    StandardScaler,
+    lag_matrix,
+    sliding_windows,
+    summary_features,
+    train_test_split_time,
+)
+
+__all__ = [
+    "descriptive",
+    "diagnostic",
+    "predictive",
+    "prescriptive",
+    "FEATURE_NAMES",
+    "StandardScaler",
+    "lag_matrix",
+    "sliding_windows",
+    "summary_features",
+    "train_test_split_time",
+]

@@ -1,0 +1,165 @@
+"""Shared analytics utilities: windows, features, scaling, evaluation splits.
+
+These helpers implement the data-preparation steps the paper lists under
+descriptive analytics ("normalization, aggregation, outlier removal and
+dimensionality reduction") in vectorized NumPy form, shared by every
+analytics type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, NotFittedError
+
+__all__ = [
+    "sliding_windows",
+    "lag_matrix",
+    "train_test_split_time",
+    "StandardScaler",
+    "summary_features",
+    "robust_scale",
+    "FEATURE_NAMES",
+]
+
+
+def robust_scale(values: np.ndarray) -> float:
+    """Robust dispersion estimate with graceful degradation.
+
+    Primary: scaled MAD (1.4826 x median absolute deviation).  On
+    quantized data where most samples are identical the MAD collapses to
+    zero, so fall back to the scaled *mean* absolute deviation, then the
+    standard deviation.  Returns 0.0 only for truly constant data.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    values = values[np.isfinite(values)]
+    if values.size < 2:
+        return 0.0
+    deviations = np.abs(values - np.median(values))
+    mad = 1.4826 * float(np.median(deviations))
+    if mad > 0:
+        return mad
+    mean_ad = 1.4826 * float(deviations.mean())
+    if mean_ad > 0:
+        return mean_ad
+    return float(values.std())
+
+
+def sliding_windows(values: np.ndarray, width: int, step: int = 1) -> np.ndarray:
+    """Overlapping windows as a zero-copy strided view.
+
+    Returns an array of shape ``(n_windows, width)``.  The result is a view;
+    do not mutate it.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    if width < 1 or step < 1:
+        raise ValueError("width and step must be >= 1")
+    if values.size < width:
+        raise InsufficientDataError(
+            f"need at least {width} samples for one window, got {values.size}"
+        )
+    n = (values.size - width) // step + 1
+    stride = values.strides[0]
+    return np.lib.stride_tricks.as_strided(
+        values, shape=(n, width), strides=(stride * step, stride), writeable=False
+    )
+
+
+def lag_matrix(values: np.ndarray, lags: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Design matrix of lagged values for autoregressive models.
+
+    Returns ``(X, y)`` where ``X[i] = values[i : i+lags]`` and
+    ``y[i] = values[i+lags]``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size <= lags:
+        raise InsufficientDataError(
+            f"need more than {lags} samples, got {values.size}"
+        )
+    windows = sliding_windows(values, lags + 1)
+    return windows[:, :-1], windows[:, -1]
+
+
+def train_test_split_time(
+    values: np.ndarray, test_fraction: float = 0.25
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Chronological split: the past trains, the future tests.
+
+    Never shuffles — shuffling leaks the future into the training set for
+    autocorrelated telemetry.
+    """
+    values = np.asarray(values)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    cut = int(round(values.shape[0] * (1.0 - test_fraction)))
+    if cut == 0 or cut == values.shape[0]:
+        raise InsufficientDataError("split leaves an empty partition")
+    return values[:cut], values[cut:]
+
+
+class StandardScaler:
+    """Per-column standardization fitted on training data.
+
+    Columns with zero variance are scaled by 1.0 (left centred only), which
+    keeps constant sensors from exploding into NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.fit was never called")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.fit was never called")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+#: Names of the statistical features produced by :func:`summary_features`.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "mean", "std", "min", "max", "median", "p05", "p25", "p75", "p95", "skew",
+)
+
+
+def summary_features(series: np.ndarray) -> np.ndarray:
+    """Taxonomist-style statistical summary of one telemetry series [33].
+
+    Computes the feature vector (means, spread, percentiles, skew) used to
+    fingerprint applications from their per-node time series.  NaNs are
+    ignored; an all-NaN series yields zeros.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    series = series[np.isfinite(series)]
+    if series.size == 0:
+        return np.zeros(len(FEATURE_NAMES))
+    percentiles = np.percentile(series, [5, 25, 50, 75, 95])
+    std = float(series.std())
+    if std > 0:
+        skew = float(np.mean(((series - series.mean()) / std) ** 3))
+    else:
+        skew = 0.0
+    return np.array(
+        [
+            series.mean(), std, series.min(), series.max(),
+            percentiles[2], percentiles[0], percentiles[1],
+            percentiles[3], percentiles[4], skew,
+        ]
+    )

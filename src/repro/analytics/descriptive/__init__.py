@@ -1,0 +1,77 @@
+"""Descriptive analytics — "what happened?" (Table I, bottom row).
+
+KPI computation (PUE/ITUE/TUE/ERE), scheduling QoS metrics, System
+Information Entropy, aggregation and quantile transport, outlier removal,
+dimensionality reduction (PCA, correlation-wise smoothing), text dashboards
+and the roofline model.
+"""
+
+from repro.analytics.descriptive.aggregate import (
+    QuantileSummary,
+    group_aggregate,
+    normalize,
+    quantile_transport,
+)
+from repro.analytics.descriptive.dashboard import Dashboard, heatmap, sparkline, table
+from repro.analytics.descriptive.entropy import (
+    entropy_series,
+    shannon_entropy,
+    state_entropy,
+)
+from repro.analytics.descriptive.kpis import (
+    KpiReport,
+    compute_kpi_report,
+    ere,
+    itue,
+    pue,
+    tue,
+)
+from repro.analytics.descriptive.outliers import (
+    hampel_filter,
+    mad_clean,
+    outlier_fraction,
+    zscore_clean,
+)
+from repro.analytics.descriptive.reduction import (
+    PCA,
+    correlation_order,
+    correlation_wise_smoothing,
+)
+from repro.analytics.descriptive.roofline import RooflineModel, RooflinePoint
+from repro.analytics.descriptive.scheduling_metrics import (
+    SchedulingReport,
+    per_user_report,
+    scheduling_report,
+)
+
+__all__ = [
+    "QuantileSummary",
+    "group_aggregate",
+    "normalize",
+    "quantile_transport",
+    "Dashboard",
+    "heatmap",
+    "sparkline",
+    "table",
+    "entropy_series",
+    "shannon_entropy",
+    "state_entropy",
+    "KpiReport",
+    "compute_kpi_report",
+    "ere",
+    "itue",
+    "pue",
+    "tue",
+    "hampel_filter",
+    "mad_clean",
+    "outlier_fraction",
+    "zscore_clean",
+    "PCA",
+    "correlation_order",
+    "correlation_wise_smoothing",
+    "RooflineModel",
+    "RooflinePoint",
+    "SchedulingReport",
+    "per_user_report",
+    "scheduling_report",
+]

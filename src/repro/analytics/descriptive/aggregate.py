@@ -1,0 +1,112 @@
+"""Aggregation and quantile transport (PerSyst-style [6]).
+
+Large systems cannot ship every node's every sample to the operator;
+production monitors aggregate per group (rack, job, system) and transport
+quantiles instead of raw streams.  These helpers do the same over the
+store's aligned matrices, all vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["QuantileSummary", "quantile_transport", "group_aggregate", "normalize"]
+
+_DEFAULT_QUANTILES = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class QuantileSummary:
+    """Per-timestep cross-sectional quantiles of a metric over many entities.
+
+    ``matrix[i, q]`` is quantile ``quantiles[q]`` across entities at grid
+    point ``i`` — the compact representation PerSyst ships upstream.
+    """
+
+    grid: np.ndarray
+    quantiles: Tuple[float, ...]
+    matrix: np.ndarray
+
+    def series(self, q: float) -> np.ndarray:
+        """The time series of one quantile level."""
+        try:
+            j = self.quantiles.index(q)
+        except ValueError:
+            raise KeyError(f"quantile {q} not in summary {self.quantiles}") from None
+        return self.matrix[:, j]
+
+    @property
+    def median(self) -> np.ndarray:
+        return self.series(0.5)
+
+    @property
+    def spread(self) -> np.ndarray:
+        """Inter-decile spread (p90 - p10) — a cheap imbalance indicator."""
+        return self.series(0.9) - self.series(0.1)
+
+
+def quantile_transport(
+    store: TimeSeriesStore,
+    metric_pattern: str,
+    since: float,
+    until: float,
+    step: float,
+    quantiles: Sequence[float] = _DEFAULT_QUANTILES,
+) -> QuantileSummary:
+    """Summarise all matching series into cross-sectional quantiles."""
+    names = store.select(metric_pattern)
+    if not names:
+        raise InsufficientDataError(f"no series match {metric_pattern!r}")
+    grid, matrix = store.align(names, since, until, step)
+    quantiles = tuple(quantiles)
+    out = np.full((grid.size, len(quantiles)), np.nan)
+    for i in range(grid.size):
+        row = matrix[i, :]
+        finite = row[np.isfinite(row)]
+        if finite.size:
+            out[i, :] = np.quantile(finite, quantiles)
+    return QuantileSummary(grid=grid, quantiles=quantiles, matrix=out)
+
+
+def group_aggregate(
+    store: TimeSeriesStore,
+    groups: Mapping[str, Sequence[str]],
+    since: float,
+    until: float,
+    step: float,
+    agg: str = "mean",
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Aggregate metric groups (e.g. per-rack power) onto a common grid.
+
+    ``groups`` maps a group label to the member metric names; the result is
+    the grid plus one aggregated series per group.
+    """
+    grid: Optional[np.ndarray] = None
+    out: Dict[str, np.ndarray] = {}
+    for label, names in groups.items():
+        g, matrix = store.align(list(names), since, until, step, agg=agg)
+        if grid is None:
+            grid = g
+        with np.errstate(invalid="ignore"):
+            out[label] = np.nanmean(matrix, axis=1) if matrix.size else np.full(g.size, np.nan)
+    if grid is None:
+        raise InsufficientDataError("no groups given")
+    return grid, out
+
+
+def normalize(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Clamp-and-scale a series into [0, 1] given plausibility bounds.
+
+    The descriptive normalization step the paper mentions; NaNs pass
+    through untouched.
+    """
+    if high <= low:
+        raise ValueError(f"high must exceed low, got [{low}, {high}]")
+    values = np.asarray(values, dtype=np.float64)
+    return np.clip((values - low) / (high - low), 0.0, 1.0)

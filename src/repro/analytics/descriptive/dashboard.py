@@ -1,0 +1,129 @@
+"""Text dashboards: the visualization face of descriptive ODA.
+
+Renders store contents as terminal-friendly panels — sparklines, heatmaps,
+gauge tables — standing in for the Grafana/ClusterCockpit dashboards of
+Table I's descriptive row [1][5][7][61].  Everything returns plain strings
+so examples and tests can assert on content.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["sparkline", "heatmap", "table", "Dashboard"]
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Unicode sparkline of a series, resampled to ``width`` characters."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return " " * width
+    if values.size > width:
+        # Block-mean downsample to the display width.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([values[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = values.min(), values.max()
+    if hi == lo:
+        return _SPARK_CHARS[1] * values.size
+    scaled = ((values - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in scaled)
+
+
+def heatmap(matrix: np.ndarray, row_labels: Sequence[str], title: str = "") -> str:
+    """ASCII heatmap: rows = entities, columns = time, global scale.
+
+    NaNs render as spaces.  Used for the classic node x time power/
+    temperature walls on operator dashboards.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise InsufficientDataError("heatmap needs a 2-D matrix")
+    finite = matrix[np.isfinite(matrix)]
+    lines = [title] if title else []
+    if finite.size == 0:
+        lo, hi = 0.0, 1.0
+    else:
+        lo, hi = float(finite.min()), float(finite.max())
+    span = (hi - lo) or 1.0
+    label_width = max((len(l) for l in row_labels), default=0)
+    for label, row in zip(row_labels, matrix):
+        cells = []
+        for value in row:
+            if not np.isfinite(value):
+                cells.append(" ")
+            else:
+                idx = int((value - lo) / span * (len(_HEAT_CHARS) - 1))
+                cells.append(_HEAT_CHARS[idx])
+        lines.append(f"{label:>{label_width}} |{''.join(cells)}|")
+    lines.append(f"{'':>{label_width}}  scale: {lo:.3g} '{_HEAT_CHARS[0]}' .. {hi:.3g} '{_HEAT_CHARS[-1]}'")
+    return "\n".join(lines)
+
+
+def table(rows: Sequence[Tuple[str, object]], title: str = "") -> str:
+    """Two-column key/value table with aligned separators."""
+    lines = [title, "-" * max(len(title), 1)] if title else []
+    width = max((len(str(k)) for k, _ in rows), default=0)
+    for key, value in rows:
+        lines.append(f"{key:<{width}} : {value}")
+    return "\n".join(lines)
+
+
+class Dashboard:
+    """A composable multi-panel text dashboard over a telemetry store.
+
+    Examples
+    --------
+    >>> dash = Dashboard(store, since=0.0, until=3600.0)
+    >>> dash.add_sparkline("site power", "facility.power.site_power")
+    >>> print(dash.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, store: TimeSeriesStore, since: float, until: float, width: int = 60):
+        self.store = store
+        self.since = since
+        self.until = until
+        self.width = width
+        self._panels: List[str] = []
+
+    def add_sparkline(self, label: str, metric: str, agg: str = "mean") -> None:
+        """One metric as a sparkline with min/mean/max annotations."""
+        step = max((self.until - self.since) / self.width, 1e-9)
+        _, values = self.store.resample(metric, self.since, self.until, step, agg=agg)
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            self._panels.append(f"{label}: (no data)")
+            return
+        spark = sparkline(values, self.width)
+        self._panels.append(
+            f"{label}\n  {spark}\n  min {finite.min():.4g}  mean {finite.mean():.4g}  max {finite.max():.4g}"
+        )
+
+    def add_heatmap(self, title: str, metric_pattern: str, max_rows: int = 16) -> None:
+        """All metrics matching a pattern as a time heatmap."""
+        names = self.store.select(metric_pattern)[:max_rows]
+        if not names:
+            self._panels.append(f"{title}: (no matching series)")
+            return
+        step = max((self.until - self.since) / self.width, 1e-9)
+        grid, matrix = self.store.align(names, self.since, self.until, step)
+        self._panels.append(heatmap(matrix.T, names, title=title))
+
+    def add_table(self, title: str, rows: Sequence[Tuple[str, object]]) -> None:
+        self._panels.append(table(rows, title=title))
+
+    def add_text(self, text: str) -> None:
+        self._panels.append(text)
+
+    def render(self) -> str:
+        """Assemble all panels into one string."""
+        bar = "=" * self.width
+        return ("\n" + bar + "\n").join(self._panels)

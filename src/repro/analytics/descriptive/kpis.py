@@ -1,0 +1,138 @@
+"""Data-center efficiency KPIs: PUE, ITUE, TUE, ERE, CUE.
+
+The descriptive cornerstone of infrastructure and hardware ODA
+(Table I, bottom row): Power Usage Effectiveness [4] at the facility level
+and IT Usage Effectiveness / Total Usage Effectiveness [59] at the system
+level, each computed from energy integrals over a window (the standard
+practice — instantaneous ratios are too noisy for reporting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["pue", "itue", "tue", "ere", "KpiReport", "compute_kpi_report"]
+
+
+def _window_energy(
+    store: TimeSeriesStore, power_metric: str, since: float, until: float
+) -> float:
+    """Trapezoidal energy integral of a power metric over a window."""
+    times, watts = store.query(power_metric, since, until)
+    if times.size < 2:
+        raise InsufficientDataError(
+            f"{power_metric}: need >= 2 samples in window for energy integral"
+        )
+    return float(np.trapezoid(watts, times))
+
+
+def pue(
+    store: TimeSeriesStore,
+    since: float,
+    until: float,
+    site_metric: str = "facility.power.site_power",
+    it_metric: str = "facility.power.it_power",
+) -> float:
+    """Power Usage Effectiveness over a window: site energy / IT energy [4].
+
+    PUE = 1.0 is the theoretical ideal; production facilities report
+    1.02-1.6 depending on cooling technology and climate.
+    """
+    it_energy = _window_energy(store, it_metric, since, until)
+    if it_energy <= 0:
+        raise InsufficientDataError("IT energy is zero; PUE undefined on idle window")
+    return _window_energy(store, site_metric, since, until) / it_energy
+
+
+def itue(
+    store: TimeSeriesStore,
+    since: float,
+    until: float,
+    it_metric: str = "facility.power.it_power",
+    compute_metric: str = "cluster.it_power",
+    support_fraction: float = 0.1,
+) -> float:
+    """IT Usage Effectiveness [59]: total IT energy / compute-only energy.
+
+    Separates "useful" compute power from node-internal support draw (fans,
+    VRs, idle overhead).  ``support_fraction`` approximates the share of a
+    node's power that is support rather than computation when an explicit
+    support metric is unavailable.
+    """
+    it_energy = _window_energy(store, it_metric, since, until)
+    compute_energy = _window_energy(store, compute_metric, since, until)
+    useful = compute_energy * (1.0 - support_fraction)
+    if useful <= 0:
+        raise InsufficientDataError("compute energy is zero; ITUE undefined")
+    return it_energy / useful
+
+
+def tue(pue_value: float, itue_value: float) -> float:
+    """Total Usage Effectiveness: TUE = PUE x ITUE [59]."""
+    return pue_value * itue_value
+
+
+def ere(
+    store: TimeSeriesStore,
+    since: float,
+    until: float,
+    reuse_metric: Optional[str] = None,
+    site_metric: str = "facility.power.site_power",
+    it_metric: str = "facility.power.it_power",
+) -> float:
+    """Energy Reuse Effectiveness: (site - reused) energy / IT energy.
+
+    With no heat-reuse metric the reused term is zero and ERE equals PUE.
+    """
+    site_energy = _window_energy(store, site_metric, since, until)
+    it_energy = _window_energy(store, it_metric, since, until)
+    reused = (
+        _window_energy(store, reuse_metric, since, until) if reuse_metric else 0.0
+    )
+    if it_energy <= 0:
+        raise InsufficientDataError("IT energy is zero; ERE undefined")
+    return (site_energy - reused) / it_energy
+
+
+@dataclass(frozen=True)
+class KpiReport:
+    """A window's worth of headline efficiency KPIs."""
+
+    since: float
+    until: float
+    pue: float
+    itue: float
+    tue: float
+    it_energy_kwh: float
+    site_energy_kwh: float
+
+    def rows(self) -> list:
+        """Dashboard-friendly (name, value) rows."""
+        return [
+            ("PUE", round(self.pue, 3)),
+            ("ITUE", round(self.itue, 3)),
+            ("TUE", round(self.tue, 3)),
+            ("IT energy [kWh]", round(self.it_energy_kwh, 1)),
+            ("Site energy [kWh]", round(self.site_energy_kwh, 1)),
+        ]
+
+
+def compute_kpi_report(store: TimeSeriesStore, since: float, until: float) -> KpiReport:
+    """All efficiency KPIs for a window, from the standard metric paths."""
+    pue_value = pue(store, since, until)
+    itue_value = itue(store, since, until)
+    return KpiReport(
+        since=since,
+        until=until,
+        pue=pue_value,
+        itue=itue_value,
+        tue=tue(pue_value, itue_value),
+        it_energy_kwh=_window_energy(store, "facility.power.it_power", since, until) / 3.6e6,
+        site_energy_kwh=_window_energy(store, "facility.power.site_power", since, until) / 3.6e6,
+    )

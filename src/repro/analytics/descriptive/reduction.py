@@ -1,0 +1,150 @@
+"""Dimensionality reduction: PCA and correlation-wise smoothing.
+
+Two reducers from the paper's descriptive toolbox:
+
+* **PCA** — from scratch on the thin SVD (``full_matrices=False``, per the
+  hpc-parallel optimization guide: never compute the full decomposition when
+  only the leading components are used).  Doubles as the backbone of the
+  reconstruction-error anomaly detector in the diagnostic package.
+* **Correlation-wise smoothing (CS)** — Netti et al. [47]: order metrics by
+  correlation so that correlated sensors sit next to each other, then smooth
+  along the metric axis, producing compact image-like sketches of system
+  state for lightweight knowledge extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, NotFittedError
+
+__all__ = ["PCA", "correlation_order", "correlation_wise_smoothing"]
+
+
+class PCA:
+    """Principal component analysis via the thin SVD.
+
+    Parameters
+    ----------
+    n_components:
+        Number of leading components to retain.
+
+    Attributes
+    ----------
+    components_:
+        ``(n_components, n_features)`` — rows are principal axes.
+    explained_variance_ratio_:
+        Fraction of total variance captured per retained component.
+    """
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] < 2:
+            raise InsufficientDataError("PCA needs a 2-D matrix with >= 2 rows")
+        if self.n_components > min(X.shape):
+            raise InsufficientDataError(
+                f"n_components={self.n_components} exceeds min(shape)={min(X.shape)}"
+            )
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        # Thin SVD: all we need for the leading components.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        variance = singular_values**2
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[: self.n_components] / total if total > 0 else np.zeros(self.n_components)
+        )
+        return self
+
+    def _check(self) -> None:
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.fit was never called")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project rows onto the retained principal axes."""
+        self._check()
+        return (np.asarray(X, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        """Reconstruct from component space back to feature space."""
+        self._check()
+        return np.asarray(Z, dtype=np.float64) @ self.components_ + self.mean_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def reconstruction_error(self, X: np.ndarray) -> np.ndarray:
+        """Per-row L2 reconstruction error — the anomaly score of [17]-style
+        autoencoder detectors, with PCA standing in for the autoencoder."""
+        X = np.asarray(X, dtype=np.float64)
+        reconstructed = self.inverse_transform(self.transform(X))
+        return np.linalg.norm(X - reconstructed, axis=1)
+
+
+def correlation_order(X: np.ndarray) -> np.ndarray:
+    """Greedy ordering of columns by correlation (CS method, step 1) [47].
+
+    Starts from the column with the highest total absolute correlation and
+    repeatedly appends the unplaced column most correlated with the last
+    placed one, so neighbouring columns in the output are highly correlated.
+    Returns the column permutation.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] < 1:
+        raise InsufficientDataError("correlation_order needs a 2-D matrix")
+    n = X.shape[1]
+    if n == 1:
+        return np.array([0])
+    # Columns with zero variance correlate with nothing; park them last.
+    std = X.std(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.corrcoef(X, rowvar=False)
+    corr = np.nan_to_num(np.abs(corr), nan=0.0)
+    np.fill_diagonal(corr, 0.0)
+
+    start = int(corr.sum(axis=0).argmax())
+    order = [start]
+    placed = {start}
+    while len(order) < n:
+        last = order[-1]
+        candidates = corr[last].copy()
+        candidates[list(placed)] = -1.0
+        nxt = int(candidates.argmax())
+        order.append(nxt)
+        placed.add(nxt)
+    return np.array(order)
+
+
+def correlation_wise_smoothing(
+    X: np.ndarray, block: int = 4, order: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CS sketching [47]: reorder columns by correlation, smooth in blocks.
+
+    Returns ``(sketch, order)`` where ``sketch`` has
+    ``ceil(n_features / block)`` columns, each the mean of a block of
+    correlation-adjacent features.  This compresses hundreds of sensors into
+    a handful of stable channels with minimal information loss — the paper's
+    example of "lightweight knowledge extraction" for monitoring data.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    if order is None:
+        order = correlation_order(X)
+    ordered = X[:, order]
+    n = ordered.shape[1]
+    blocks = [
+        ordered[:, i : i + block].mean(axis=1) for i in range(0, n, block)
+    ]
+    return np.column_stack(blocks), order

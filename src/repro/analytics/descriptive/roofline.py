@@ -1,0 +1,77 @@
+"""Roofline performance model (Williams et al. [63]).
+
+The descriptive application-pillar model of Table I: given a machine's
+peak FLOP rate and memory bandwidth, every code region is either
+bandwidth-bound (left of the ridge point) or compute-bound (right of it),
+and its attainable performance is ``min(peak, intensity * bandwidth)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.apps.instrumentation import RegionProfile
+
+__all__ = ["RooflineModel", "RooflinePoint"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One region placed on the roofline."""
+
+    region: str
+    arithmetic_intensity: float  # FLOP/byte
+    achieved_gflops: float
+    attainable_gflops: float
+    memory_bound: bool
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable (1.0 = sitting on the roof)."""
+        if self.attainable_gflops <= 0:
+            return 0.0
+        return min(self.achieved_gflops / self.attainable_gflops, 1.0)
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A machine roofline: peak compute and peak memory bandwidth."""
+
+    peak_gflops: float = 3000.0
+    peak_mem_bw_gbs: float = 200.0
+
+    @property
+    def ridge_intensity(self) -> float:
+        """The FLOP/byte ratio where the two roofs intersect."""
+        return self.peak_gflops / self.peak_mem_bw_gbs
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable GFLOP/s at a given arithmetic intensity."""
+        return min(self.peak_gflops, intensity * self.peak_mem_bw_gbs)
+
+    def place(self, region: RegionProfile) -> RooflinePoint:
+        """Place one instrumented region on the roofline."""
+        attainable = self.attainable(region.arithmetic_intensity)
+        return RooflinePoint(
+            region=region.region,
+            arithmetic_intensity=region.arithmetic_intensity,
+            achieved_gflops=region.gflops,
+            attainable_gflops=attainable,
+            memory_bound=region.arithmetic_intensity < self.ridge_intensity,
+        )
+
+    def analyze(self, regions: Sequence[RegionProfile]) -> List[RooflinePoint]:
+        """Place all regions; sorted by time share descending is the caller's
+        job since RegionProfile carries it."""
+        return [self.place(r) for r in regions]
+
+    def bottleneck_report(self, regions: Sequence[RegionProfile]) -> List[Tuple[str, str]]:
+        """Human-readable (region, verdict) pairs for dashboards."""
+        report = []
+        for point in self.analyze(regions):
+            kind = "memory-bound" if point.memory_bound else "compute-bound"
+            report.append(
+                (point.region, f"{kind}, {point.efficiency:.0%} of attainable")
+            )
+        return report

@@ -1,0 +1,95 @@
+"""Scheduling quality-of-service metrics (descriptive, system software).
+
+Implements the classic parallel-job-scheduling metrics of Feitelson [60]
+over the scheduler's accounting log: bounded slowdown, wait time,
+turnaround, utilization and throughput — the numbers scheduler-level
+dashboards [61][62] put in front of operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.software.jobs import Job, JobState
+
+__all__ = ["SchedulingReport", "scheduling_report", "per_user_report"]
+
+
+@dataclass(frozen=True)
+class SchedulingReport:
+    """Aggregate QoS statistics over a set of completed jobs."""
+
+    jobs: int
+    mean_wait_s: float
+    p95_wait_s: float
+    mean_slowdown: float
+    p95_slowdown: float
+    mean_turnaround_s: float
+    throughput_jobs_per_day: float
+    node_seconds: float
+    completed_fraction: float
+
+    def rows(self) -> list:
+        return [
+            ("jobs", self.jobs),
+            ("mean wait [s]", round(self.mean_wait_s, 1)),
+            ("p95 wait [s]", round(self.p95_wait_s, 1)),
+            ("mean bounded slowdown", round(self.mean_slowdown, 2)),
+            ("p95 bounded slowdown", round(self.p95_slowdown, 2)),
+            ("mean turnaround [s]", round(self.mean_turnaround_s, 1)),
+            ("throughput [jobs/day]", round(self.throughput_jobs_per_day, 1)),
+            ("completed fraction", round(self.completed_fraction, 3)),
+        ]
+
+
+def _finished(jobs: Sequence[Job]) -> List[Job]:
+    return [
+        j for j in jobs
+        if j.terminal and j.runtime is not None and j.wait_time is not None
+    ]
+
+
+def scheduling_report(
+    jobs: Sequence[Job], horizon_s: Optional[float] = None
+) -> SchedulingReport:
+    """Compute the QoS report over an accounting log.
+
+    ``horizon_s`` (for throughput) defaults to the span between the first
+    submission and the last completion in the log.
+    """
+    finished = _finished(jobs)
+    if not finished:
+        raise InsufficientDataError("no finished jobs with complete timing records")
+    waits = np.array([j.wait_time for j in finished])
+    slowdowns = np.array([j.slowdown() for j in finished])
+    turnarounds = np.array([j.turnaround for j in finished])
+    completed = [j for j in finished if j.state is JobState.COMPLETED]
+
+    if horizon_s is None:
+        first = min(j.request.submit_time for j in finished)
+        last = max(j.end_time for j in finished)
+        horizon_s = max(last - first, 1.0)
+
+    return SchedulingReport(
+        jobs=len(finished),
+        mean_wait_s=float(waits.mean()),
+        p95_wait_s=float(np.percentile(waits, 95)),
+        mean_slowdown=float(slowdowns.mean()),
+        p95_slowdown=float(np.percentile(slowdowns, 95)),
+        mean_turnaround_s=float(turnarounds.mean()),
+        throughput_jobs_per_day=len(completed) / (horizon_s / 86_400.0),
+        node_seconds=float(sum(j.node_seconds or 0.0 for j in finished)),
+        completed_fraction=len(completed) / len(finished),
+    )
+
+
+def per_user_report(jobs: Sequence[Job]) -> Dict[str, SchedulingReport]:
+    """QoS report split by user (the fairness view dashboards show)."""
+    by_user: Dict[str, List[Job]] = {}
+    for job in _finished(jobs):
+        by_user.setdefault(job.user, []).append(job)
+    return {user: scheduling_report(user_jobs) for user, user_jobs in by_user.items()}

@@ -1,0 +1,78 @@
+"""Diagnostic analytics — "why did it happen?" (Table I, second row).
+
+Node-level anomaly detection (statistical, PCA-reconstruction, residual
+subspace, peer deviation, isolation forest), root-cause analysis,
+application and crisis fingerprinting, from-scratch supervised
+classifiers, network-contention diagnosis, OS-noise detection and
+software anomaly detection.
+"""
+
+from repro.analytics.diagnostic.anomaly import (
+    Detection,
+    EwmaDetector,
+    PcaReconstructionDetector,
+    PeerDeviationDetector,
+    SubspaceDetector,
+    ZScoreDetector,
+    detection_metrics,
+)
+from repro.analytics.diagnostic.classifiers import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    RandomForestClassifier,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+)
+from repro.analytics.diagnostic.fingerprint import (
+    JOB_COUNTERS,
+    ApplicationFingerprinter,
+    CrisisFingerprint,
+    CrisisLibrary,
+    job_feature_vector,
+)
+from repro.analytics.diagnostic.forest import IsolationForest
+from repro.analytics.diagnostic.network_diag import (
+    ContentionIncident,
+    NetworkDiagnostician,
+)
+from repro.analytics.diagnostic.noise import NoiseVerdict, OsNoiseDetector
+from repro.analytics.diagnostic.rootcause import CauseCandidate, RootCauseAnalyzer
+from repro.analytics.diagnostic.software_anomaly import (
+    CpuContentionDetector,
+    MemoryLeakDetector,
+    SoftwareAnomaly,
+)
+
+__all__ = [
+    "Detection",
+    "EwmaDetector",
+    "PcaReconstructionDetector",
+    "PeerDeviationDetector",
+    "SubspaceDetector",
+    "ZScoreDetector",
+    "detection_metrics",
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayes",
+    "KNeighborsClassifier",
+    "RandomForestClassifier",
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "JOB_COUNTERS",
+    "ApplicationFingerprinter",
+    "CrisisFingerprint",
+    "CrisisLibrary",
+    "job_feature_vector",
+    "IsolationForest",
+    "ContentionIncident",
+    "NetworkDiagnostician",
+    "NoiseVerdict",
+    "OsNoiseDetector",
+    "CauseCandidate",
+    "RootCauseAnalyzer",
+    "CpuContentionDetector",
+    "MemoryLeakDetector",
+    "SoftwareAnomaly",
+]

@@ -1,0 +1,240 @@
+"""Unsupervised anomaly detectors for node-level telemetry.
+
+The diagnostic hardware use case of Table I ("node-level anomaly detection"
+[17][26][47]) with three complementary detectors:
+
+* :class:`ZScoreDetector` — univariate rolling z-score/EWMA baseline.
+* :class:`PcaReconstructionDetector` — multivariate reconstruction error
+  against a PCA model of healthy operation; the stand-in for the
+  semi-supervised autoencoder of Borghesi et al. [17].
+* :class:`SubspaceDetector` — Guan & Fu [26]-style: anomalies live in the
+  *residual* subspace; score = energy outside the principal components.
+* :class:`PeerDeviationDetector` — cross-sectional: a node is anomalous if
+  it strays from its peers doing the same work (the symmetry argument HPC
+  fleets enable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics.common import StandardScaler
+from repro.analytics.descriptive.reduction import PCA
+from repro.errors import InsufficientDataError, NotFittedError
+
+__all__ = [
+    "Detection",
+    "ZScoreDetector",
+    "EwmaDetector",
+    "PcaReconstructionDetector",
+    "SubspaceDetector",
+    "PeerDeviationDetector",
+    "detection_metrics",
+]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One flagged interval/entity with its score."""
+
+    entity: str
+    index: int
+    score: float
+
+
+class ZScoreDetector:
+    """Rolling z-score on a single series; flags |z| > threshold."""
+
+    def __init__(self, window: int = 60, threshold: float = 4.0):
+        if window < 3:
+            raise ValueError("window must be >= 3")
+        self.window = window
+        self.threshold = threshold
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        """|z| of each sample against the trailing window statistics."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size < self.window + 1:
+            raise InsufficientDataError(
+                f"need > {self.window} samples, got {values.size}"
+            )
+        out = np.zeros(values.size)
+        # Cumulative sums give O(n) rolling mean/std.
+        csum = np.concatenate([[0.0], np.cumsum(values)])
+        csum2 = np.concatenate([[0.0], np.cumsum(values**2)])
+        for i in range(self.window, values.size):
+            lo = i - self.window
+            n = self.window
+            mean = (csum[i] - csum[lo]) / n
+            var = max((csum2[i] - csum2[lo]) / n - mean**2, 0.0)
+            std = np.sqrt(var)
+            out[i] = abs(values[i] - mean) / std if std > 0 else 0.0
+        return out
+
+    def detect(self, values: np.ndarray) -> np.ndarray:
+        """Boolean anomaly mask."""
+        return self.score(values) > self.threshold
+
+
+class EwmaDetector:
+    """Exponentially-weighted moving average control chart."""
+
+    def __init__(self, alpha: float = 0.1, threshold: float = 4.0, warmup: int = 10):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.warmup = warmup
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size < 3:
+            raise InsufficientDataError("need >= 3 samples")
+        z = np.zeros_like(values)
+        ewma = values[0]
+        ewvar = 0.0
+        a = self.alpha
+        for i in range(1, values.size):
+            # Score against the *previous* state so a spike cannot inflate
+            # the variance it is judged by (standard control-chart order).
+            # The warmup period is never scored: the chart has no variance
+            # estimate yet.
+            std = np.sqrt(ewvar)
+            if i >= self.warmup:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    z[i] = abs(values[i] - ewma) / std if std > 0 else (
+                        np.inf if values[i] != ewma else 0.0
+                    )
+            delta = values[i] - ewma
+            ewma += a * delta
+            ewvar = (1 - a) * (ewvar + a * delta**2)
+        # A deviation from a variance-free baseline is infinitely surprising;
+        # clamp to a large finite score rather than suppressing it.
+        return np.nan_to_num(z, nan=0.0, posinf=1e9)
+
+    def detect(self, values: np.ndarray) -> np.ndarray:
+        return self.score(values) > self.threshold
+
+
+class PcaReconstructionDetector:
+    """Semi-supervised multivariate detector (autoencoder stand-in [17]).
+
+    Fit on healthy-operation feature rows; the anomaly score of a new row
+    is its PCA reconstruction error, thresholded at a quantile of the
+    training errors.
+    """
+
+    def __init__(self, n_components: int = 3, quantile: float = 0.99):
+        self.n_components = n_components
+        self.quantile = quantile
+        self.scaler = StandardScaler()
+        self.pca: Optional[PCA] = None
+        self.threshold_: Optional[float] = None
+
+    def fit(self, X_healthy: np.ndarray) -> "PcaReconstructionDetector":
+        X = self.scaler.fit_transform(np.asarray(X_healthy, dtype=np.float64))
+        n_components = min(self.n_components, X.shape[1], X.shape[0] - 1)
+        self.pca = PCA(n_components).fit(X)
+        errors = self.pca.reconstruction_error(X)
+        self.threshold_ = float(np.quantile(errors, self.quantile))
+        return self
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        if self.pca is None or self.threshold_ is None:
+            raise NotFittedError("fit was never called")
+        return self.pca.reconstruction_error(self.scaler.transform(X))
+
+    def detect(self, X: np.ndarray) -> np.ndarray:
+        return self.score(X) > self.threshold_
+
+
+class SubspaceDetector:
+    """Residual-subspace detector (Guan & Fu [26]).
+
+    Projects observations onto the residual of the top-k principal subspace
+    of healthy data; the squared residual energy is the anomaly score
+    (classic SPE / Q-statistic formulation).
+    """
+
+    def __init__(self, n_components: int = 3, quantile: float = 0.99):
+        self.n_components = n_components
+        self.quantile = quantile
+        self.scaler = StandardScaler()
+        self._components: Optional[np.ndarray] = None
+        self.threshold_: Optional[float] = None
+
+    def fit(self, X_healthy: np.ndarray) -> "SubspaceDetector":
+        X = self.scaler.fit_transform(np.asarray(X_healthy, dtype=np.float64))
+        k = min(self.n_components, X.shape[1], X.shape[0] - 1)
+        pca = PCA(k).fit(X)
+        self._components = pca.components_
+        spe = self._spe(X)
+        self.threshold_ = float(np.quantile(spe, self.quantile))
+        return self
+
+    def _spe(self, X: np.ndarray) -> np.ndarray:
+        projected = X @ self._components.T @ self._components
+        residual = X - projected
+        return (residual**2).sum(axis=1)
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        if self._components is None:
+            raise NotFittedError("fit was never called")
+        return self._spe(self.scaler.transform(X))
+
+    def detect(self, X: np.ndarray) -> np.ndarray:
+        return self.score(X) > self.threshold_
+
+
+class PeerDeviationDetector:
+    """Cross-sectional detector: flag entities far from the peer median.
+
+    Given a matrix ``(entities, features)`` captured at one instant from
+    nodes running comparable work, an entity's score is the robust distance
+    of its row from the column-wise median in MAD units, averaged over
+    features.  No training phase — the fleet is its own baseline.
+    """
+
+    def __init__(self, threshold: float = 4.0):
+        self.threshold = threshold
+
+    def score(self, matrix: np.ndarray) -> np.ndarray:
+        from repro.analytics.common import robust_scale
+
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] < 3:
+            raise InsufficientDataError("need >= 3 peer entities")
+        median = np.median(matrix, axis=0)
+        scale = np.array([robust_scale(matrix[:, j]) for j in range(matrix.shape[1])])
+        scale[scale == 0] = np.inf  # truly constant columns carry no signal
+        z = np.abs(matrix - median) / scale
+        return z.mean(axis=1)
+
+    def detect(
+        self, matrix: np.ndarray, entities: Sequence[str]
+    ) -> List[Detection]:
+        scores = self.score(matrix)
+        return [
+            Detection(entity=entities[i], index=i, score=float(s))
+            for i, s in enumerate(scores)
+            if s > self.threshold
+        ]
+
+
+def detection_metrics(
+    truth: np.ndarray, predicted: np.ndarray
+) -> Dict[str, float]:
+    """Precision / recall / F1 for boolean anomaly masks."""
+    truth = np.asarray(truth, dtype=bool)
+    predicted = np.asarray(predicted, dtype=bool)
+    tp = int((truth & predicted).sum())
+    fp = int((~truth & predicted).sum())
+    fn = int((truth & ~predicted).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1,
+            "tp": float(tp), "fp": float(fp), "fn": float(fn)}

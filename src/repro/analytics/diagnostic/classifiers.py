@@ -1,0 +1,292 @@
+"""From-scratch supervised classifiers on NumPy.
+
+The diagnostic works the paper surveys lean on standard supervised models
+(random forests in Taxonomist [33], kNN/tree ensembles in Tuncer et
+al. [16], naive Bayes in DeMasi et al. [36]).  No ML stack is available
+offline, so the models are implemented here directly: kNN, Gaussian naive
+Bayes, CART decision trees and a bagged random forest — small, vectorized
+and adequate at substrate scale.
+
+All classifiers share the fit/predict protocol with integer class labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, NotFittedError
+
+__all__ = [
+    "KNeighborsClassifier",
+    "GaussianNaiveBayes",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+]
+
+
+def _validate_xy(X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+        raise InsufficientDataError("X must be (n, d) and y (n,) with matching n")
+    if X.shape[0] == 0:
+        raise InsufficientDataError("empty training set")
+    return X, y
+
+
+class KNeighborsClassifier:
+    """k-nearest-neighbours with Euclidean distance and majority vote."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        self._X, self._y = _validate_xy(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise NotFittedError("fit was never called")
+        X = np.asarray(X, dtype=np.float64)
+        k = min(self.k, self._X.shape[0])
+        # Vectorized pairwise distances: (m, n).
+        d2 = ((X[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+        neighbor_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        votes = self._y[neighbor_idx]
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i in range(X.shape[0]):
+            labels, counts = np.unique(votes[i], return_counts=True)
+            out[i] = labels[counts.argmax()]
+        return out
+
+
+class GaussianNaiveBayes:
+    """Naive Bayes with per-class diagonal Gaussian likelihoods."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+        self.classes_: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._var: Optional[np.ndarray] = None
+        self._log_prior: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X, y = _validate_xy(X, y)
+        self.classes_ = np.unique(y)
+        means, variances, priors = [], [], []
+        max_var = X.var(axis=0).max() or 1.0
+        for c in self.classes_:
+            rows = X[y == c]
+            means.append(rows.mean(axis=0))
+            variances.append(rows.var(axis=0) + self.var_smoothing * max_var)
+            priors.append(rows.shape[0] / X.shape[0])
+        self._mean = np.array(means)
+        self._var = np.array(variances)
+        self._log_prior = np.log(np.array(priors))
+        return self
+
+    def predict_log_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._mean is None:
+            raise NotFittedError("fit was never called")
+        X = np.asarray(X, dtype=np.float64)
+        # (m, classes): sum of per-feature log densities.
+        diff = X[:, None, :] - self._mean[None, :, :]
+        log_likelihood = -0.5 * (
+            np.log(2 * np.pi * self._var[None, :, :]) + diff**2 / self._var[None, :, :]
+        ).sum(axis=2)
+        return log_likelihood + self._log_prior[None, :]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[self.predict_log_proba(X).argmax(axis=1)]
+
+
+@dataclass
+class _TreeNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+    label: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(y: np.ndarray) -> float:
+    _, counts = np.unique(y, return_counts=True)
+    p = counts / y.size
+    return float(1.0 - (p**2).sum())
+
+
+class DecisionTreeClassifier:
+    """CART tree with Gini impurity and midpoint thresholds."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.rng = rng
+        self._root: Optional[_TreeNode] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = _validate_xy(X, y)
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _majority(self, y: np.ndarray) -> int:
+        labels, counts = np.unique(y, return_counts=True)
+        return int(labels[counts.argmax()])
+
+    def _candidate_features(self, d: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= d:
+            return np.arange(d)
+        if self.rng is None:
+            return np.arange(self.max_features)
+        return self.rng.choice(d, size=self.max_features, replace=False)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        if (
+            depth >= self.max_depth
+            or y.size < self.min_samples_split
+            or np.unique(y).size == 1
+        ):
+            return _TreeNode(label=self._majority(y))
+
+        best = (None, None, np.inf)  # feature, threshold, impurity
+        parent_impurity = _gini(y)
+        for feature in self._candidate_features(X.shape[1]):
+            column = X[:, feature]
+            values = np.unique(column)
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            # Cap candidate thresholds to keep fitting cheap at scale.
+            if thresholds.size > 32:
+                thresholds = np.quantile(column, np.linspace(0.05, 0.95, 32))
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == y.size:
+                    continue
+                impurity = (
+                    n_left * _gini(y[mask]) + (y.size - n_left) * _gini(y[~mask])
+                ) / y.size
+                if impurity < best[2]:
+                    best = (int(feature), float(threshold), impurity)
+
+        if best[0] is None or best[2] >= parent_impurity:
+            return _TreeNode(label=self._majority(y))
+
+        feature, threshold, _ = best
+        mask = X[:, feature] <= threshold
+        return _TreeNode(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(X[mask], y[mask], depth + 1),
+            right=self._build(X[~mask], y[~mask], depth + 1),
+            label=self._majority(y),
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("fit was never called")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.label
+        return out
+
+
+class RandomForestClassifier:
+    """Bagged CART trees with feature subsampling and majority vote."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 8,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[DecisionTreeClassifier] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = _validate_xy(X, y)
+        rng = np.random.default_rng(self.seed)
+        max_features = self.max_features or max(1, int(np.sqrt(X.shape[1])))
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, X.shape[0], size=X.shape[0])  # bootstrap
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("fit was never called")
+        votes = np.stack([tree.predict(X) for tree in self._trees])
+        out = np.empty(votes.shape[1], dtype=np.int64)
+        for i in range(votes.shape[1]):
+            labels, counts = np.unique(votes[:, i], return_counts=True)
+            out[i] = labels[counts.argmax()]
+        return out
+
+
+# ----------------------------------------------------------------------
+# Evaluation helpers
+# ----------------------------------------------------------------------
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Counts[i, j] = samples of true class i predicted as class j."""
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for t, p in zip(np.asarray(y_true), np.asarray(y_pred)):
+        matrix[int(t), int(p)] += 1
+    return matrix
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Binary F1 for the given positive label."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = int(((y_true == positive) & (y_pred == positive)).sum())
+    fp = int(((y_true != positive) & (y_pred == positive)).sum())
+    fn = int(((y_true == positive) & (y_pred != positive)).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,163 @@
+"""Fingerprinting: applications and data-center crises.
+
+Two Table I diagnostic use cases built on the same idea — summarize a
+multivariate window into a compact signature, then match signatures:
+
+* **Application fingerprinting** (Taxonomist [33], DeMasi et al. [36]):
+  per-job statistical features over node telemetry, classified into
+  application labels; flags unknown/rogue workloads (cryptominers) when
+  the classifier's confidence is low or the predicted label is the miner
+  class.
+* **Crisis fingerprinting** (Bodik et al. [38]): a data-center-wide
+  incident is summarized as the vector of per-metric deviation quantiles;
+  known crises are matched by nearest fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics.common import FEATURE_NAMES, StandardScaler, summary_features
+from repro.analytics.diagnostic.classifiers import RandomForestClassifier
+from repro.errors import InsufficientDataError, NotFittedError
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = [
+    "job_feature_vector",
+    "ApplicationFingerprinter",
+    "CrisisFingerprint",
+    "CrisisLibrary",
+]
+
+#: Node counters consumed by the application fingerprinter, in order.
+JOB_COUNTERS: Tuple[str, ...] = (
+    "cpu_util", "mem_bw_util", "io_bw", "net_bw", "flops", "ipc",
+)
+
+
+def job_feature_vector(
+    store: TimeSeriesStore,
+    node_metric_paths: Dict[str, str],
+    since: float,
+    until: float,
+) -> np.ndarray:
+    """Taxonomist-style feature vector for one job execution window.
+
+    ``node_metric_paths`` maps each counter name in :data:`JOB_COUNTERS` to
+    a store metric path (typically one representative node of the job).
+    The vector concatenates :func:`summary_features` of each counter.
+    """
+    chunks = []
+    for counter in JOB_COUNTERS:
+        path = node_metric_paths[counter]
+        _, values = store.query(path, since, until)
+        if values.size == 0:
+            raise InsufficientDataError(f"no samples for {path} in job window")
+        chunks.append(summary_features(values))
+    return np.concatenate(chunks)
+
+
+class ApplicationFingerprinter:
+    """Supervised application classifier over job feature vectors.
+
+    Labels are application names; fit on historical labelled jobs, then
+    identify new jobs.  ``min_votes`` implements the rogue-workload check:
+    a prediction is "confident" only when enough trees agree (proxy for
+    the calibrated confidence Taxonomist uses).
+    """
+
+    def __init__(self, n_trees: int = 30, seed: int = 0):
+        self.scaler = StandardScaler()
+        self.forest = RandomForestClassifier(n_trees=n_trees, max_depth=10, seed=seed)
+        self.labels_: List[str] = []
+
+    def fit(self, X: np.ndarray, labels: Sequence[str]) -> "ApplicationFingerprinter":
+        X = np.asarray(X, dtype=np.float64)
+        self.labels_ = sorted(set(labels))
+        index = {label: i for i, label in enumerate(self.labels_)}
+        y = np.array([index[label] for label in labels])
+        self.forest.fit(self.scaler.fit_transform(X), y)
+        return self
+
+    def predict(self, X: np.ndarray) -> List[str]:
+        if not self.labels_:
+            raise NotFittedError("fit was never called")
+        y = self.forest.predict(self.scaler.transform(np.asarray(X, dtype=np.float64)))
+        return [self.labels_[i] for i in y]
+
+    def flag_rogue(self, X: np.ndarray, rogue_label: str = "cryptominer") -> List[bool]:
+        """True per row if the job is identified as the rogue class."""
+        return [label == rogue_label for label in self.predict(X)]
+
+
+@dataclass(frozen=True)
+class CrisisFingerprint:
+    """Bodik-style fingerprint: per-metric deviation summary of an incident."""
+
+    name: str
+    vector: np.ndarray
+    metrics: Tuple[str, ...]
+
+
+class CrisisLibrary:
+    """Library of labelled crisis fingerprints with nearest matching.
+
+    The fingerprint of a window is, per metric, the (p25, p50, p95) of the
+    robust deviation from a healthy baseline — the compact representation
+    Bodik et al. found sufficient to discriminate operational crises.
+    """
+
+    def __init__(self, store: TimeSeriesStore, metrics: Sequence[str], baseline_s: float = 3600.0):
+        if not metrics:
+            raise InsufficientDataError("crisis library needs at least one metric")
+        self.store = store
+        self.metrics = tuple(metrics)
+        self.baseline_s = baseline_s
+        self._library: List[CrisisFingerprint] = []
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, name: str, since: float, until: float) -> CrisisFingerprint:
+        """Fingerprint a window against the baseline immediately before it."""
+        chunks = []
+        for metric in self.metrics:
+            _, base = self.store.query(metric, since - self.baseline_s, since)
+            _, window = self.store.query(metric, since, until)
+            base = base[np.isfinite(base)]
+            window = window[np.isfinite(window)]
+            if base.size < 5 or window.size < 3:
+                chunks.append(np.zeros(3))
+                continue
+            median = np.median(base)
+            mad = 1.4826 * np.median(np.abs(base - median)) or (base.std() or 1.0)
+            z = (window - median) / mad
+            chunks.append(np.percentile(z, [25, 50, 95]))
+        return CrisisFingerprint(name=name, vector=np.concatenate(chunks), metrics=self.metrics)
+
+    def learn(self, name: str, since: float, until: float) -> CrisisFingerprint:
+        """Fingerprint a labelled incident and store it in the library."""
+        fp = self.fingerprint(name, since, until)
+        self._library.append(fp)
+        return fp
+
+    def identify(self, since: float, until: float) -> List[Tuple[str, float]]:
+        """Match an unlabelled window against the library.
+
+        Returns (crisis name, similarity) sorted by decreasing similarity,
+        where similarity is ``1 / (1 + euclidean distance)``.
+        """
+        if not self._library:
+            raise NotFittedError("crisis library is empty")
+        probe = self.fingerprint("?", since, until)
+        matches = []
+        for fp in self._library:
+            distance = float(np.linalg.norm(probe.vector - fp.vector))
+            matches.append((fp.name, 1.0 / (1.0 + distance)))
+        matches.sort(key=lambda m: -m[1])
+        return matches
+
+    @property
+    def known_crises(self) -> List[str]:
+        return [fp.name for fp in self._library]

@@ -1,0 +1,94 @@
+"""OS-noise detection (Ferreira et al. [57] style).
+
+Identifies nodes whose kernel/daemon interference is pathological by
+examining the context-switch counter fleet-wide: healthy nodes cluster
+tightly; afflicted nodes sit orders of magnitude higher.  Reported per
+node with an estimated stolen-cycles fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["NoiseVerdict", "OsNoiseDetector"]
+
+#: The counter model of the substrate: ctx = 200 + 50000 * noise.
+_CTX_BASELINE = 200.0
+_CTX_PER_NOISE = 50_000.0
+
+
+@dataclass(frozen=True)
+class NoiseVerdict:
+    """Per-node noise assessment."""
+
+    node: str
+    median_ctx_switches: float
+    estimated_noise_fraction: float
+    noisy: bool
+
+
+class OsNoiseDetector:
+    """Fleet-relative OS-noise detector over context-switch telemetry.
+
+    A node is flagged when its median context-switch rate exceeds the fleet
+    median by ``mad_threshold`` robust deviations *and* its implied stolen-
+    cycle fraction exceeds ``min_noise_fraction`` (protecting against
+    flagging a tight fleet's mild spread).
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        mad_threshold: float = 5.0,
+        min_noise_fraction: float = 0.01,
+    ):
+        self.store = store
+        self.mad_threshold = mad_threshold
+        self.min_noise_fraction = min_noise_fraction
+
+    def assess(
+        self, node_metric_paths: Dict[str, str], since: float, until: float
+    ) -> List[NoiseVerdict]:
+        """Assess each node; ``node_metric_paths`` maps node -> ctx metric."""
+        medians: Dict[str, float] = {}
+        for node, path in node_metric_paths.items():
+            _, values = self.store.query(path, since, until)
+            values = values[np.isfinite(values)]
+            if values.size == 0:
+                continue
+            medians[node] = float(np.median(values))
+        if len(medians) < 3:
+            raise InsufficientDataError("need ctx-switch data for >= 3 nodes")
+
+        from repro.analytics.common import robust_scale
+
+        fleet = np.array(list(medians.values()))
+        fleet_median = np.median(fleet)
+        mad = robust_scale(fleet) or 1.0
+
+        verdicts = []
+        for node, median in sorted(medians.items()):
+            deviation = (median - fleet_median) / mad
+            estimated = max((median - _CTX_BASELINE) / _CTX_PER_NOISE, 0.0)
+            noisy = deviation > self.mad_threshold and estimated > self.min_noise_fraction
+            verdicts.append(
+                NoiseVerdict(
+                    node=node,
+                    median_ctx_switches=median,
+                    estimated_noise_fraction=estimated,
+                    noisy=noisy,
+                )
+            )
+        return verdicts
+
+    def noisy_nodes(
+        self, node_metric_paths: Dict[str, str], since: float, until: float
+    ) -> List[str]:
+        """Just the names of flagged nodes."""
+        return [v.node for v in self.assess(node_metric_paths, since, until) if v.noisy]

@@ -1,0 +1,148 @@
+"""Root-cause analysis over telemetry and the event trace.
+
+AutoDiagn-style diagnosis [9]: when a symptom metric misbehaves, rank
+candidate cause metrics by (a) abnormal deviation in the symptom window
+and (b) temporal precedence (the cause deviated first), then walk the
+component hierarchy to name a culprit.  Also correlates symptoms with trace
+events (faults, job starts) that immediately precede them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.simulation.trace import TraceLog, TraceRecord
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["CauseCandidate", "RootCauseAnalyzer"]
+
+
+@dataclass(frozen=True)
+class CauseCandidate:
+    """One ranked potential cause of a symptom."""
+
+    metric: str
+    score: float
+    deviation: float
+    lead_s: float  # positive: deviated before the symptom did
+
+    @property
+    def component(self) -> str:
+        return self.metric.rpartition(".")[0]
+
+
+class RootCauseAnalyzer:
+    """Correlation-and-precedence RCA over a time-series store.
+
+    Parameters
+    ----------
+    store:
+        The telemetry archive.
+    baseline_s:
+        Length of the healthy reference window immediately before the
+        symptom window.
+    step:
+        Alignment resolution.
+    """
+
+    def __init__(self, store: TimeSeriesStore, baseline_s: float = 3600.0, step: float = 60.0):
+        self.store = store
+        self.baseline_s = baseline_s
+        self.step = step
+
+    # ------------------------------------------------------------------
+    def _deviation_profile(
+        self, metric: str, symptom_start: float, symptom_end: float
+    ) -> Tuple[float, float]:
+        """(deviation strength, first deviation time) for one metric.
+
+        Deviation is measured in baseline robust-z units; the first time the
+        series leaves the +-3 MAD band marks its onset.
+        """
+        base_t, base_v = self.store.query(
+            metric, symptom_start - self.baseline_s, symptom_start
+        )
+        sym_t, sym_v = self.store.query(metric, symptom_start - self.baseline_s, symptom_end)
+        base_v = base_v[np.isfinite(base_v)]
+        if base_v.size < 5 or sym_t.size == 0:
+            raise InsufficientDataError(f"{metric}: not enough data for RCA")
+        median = np.median(base_v)
+        mad = 1.4826 * np.median(np.abs(base_v - median))
+        if mad == 0:
+            mad = base_v.std() or 1.0
+        z = np.abs(sym_v - median) / mad
+        window_mask = sym_t >= symptom_start
+        deviation = float(z[window_mask].mean()) if window_mask.any() else 0.0
+        breach = np.nonzero(z > 3.0)[0]
+        onset = float(sym_t[breach[0]]) if breach.size else float("inf")
+        return deviation, onset
+
+    def rank_causes(
+        self,
+        symptom_metric: str,
+        symptom_start: float,
+        symptom_end: float,
+        candidate_metrics: Sequence[str],
+        top: int = 5,
+    ) -> List[CauseCandidate]:
+        """Rank candidate metrics as causes of the symptom.
+
+        Score = deviation strength x precedence bonus.  Candidates that
+        never deviate score zero and are dropped.
+        """
+        try:
+            _, symptom_onset = self._deviation_profile(
+                symptom_metric, symptom_start, symptom_end
+            )
+        except InsufficientDataError:
+            symptom_onset = symptom_start
+        if not np.isfinite(symptom_onset):
+            symptom_onset = symptom_start
+
+        candidates: List[CauseCandidate] = []
+        for metric in candidate_metrics:
+            if metric == symptom_metric:
+                continue
+            try:
+                deviation, onset = self._deviation_profile(
+                    metric, symptom_start, symptom_end
+                )
+            except InsufficientDataError:
+                continue
+            if deviation <= 0.5 or not np.isfinite(onset):
+                continue
+            lead = symptom_onset - onset
+            precedence = 1.0 + max(np.tanh(lead / self.baseline_s), -0.5)
+            candidates.append(
+                CauseCandidate(
+                    metric=metric,
+                    score=deviation * precedence,
+                    deviation=deviation,
+                    lead_s=lead,
+                )
+            )
+        candidates.sort(key=lambda c: -c.score)
+        return candidates[:top]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def preceding_events(
+        trace: TraceLog,
+        symptom_start: float,
+        lookback_s: float = 3600.0,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> List[TraceRecord]:
+        """Trace events in the lookback window before the symptom, newest first.
+
+        Feeding the operator "what changed right before this" is often the
+        fastest diagnosis of all.
+        """
+        records = trace.select(since=symptom_start - lookback_s, until=symptom_start)
+        if kinds is not None:
+            allowed = set(kinds)
+            records = [r for r in records if r.kind in allowed]
+        return sorted(records, key=lambda r: -r.time)

@@ -1,0 +1,144 @@
+"""Software anomaly detection: memory leaks and CPU contention.
+
+The Table I software-pillar diagnostics (Tuncer et al. [16]): detect
+software-level pathologies from their telemetry shapes rather than from
+hardware faults —
+
+* **memory leak**: monotone growth of memory occupancy with a significant
+  positive slope sustained over the window,
+* **CPU contention / interference**: utilization demand stays high while
+  achieved progress indicators (IPC, FLOPS) degrade relative to the job's
+  own early-window baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["SoftwareAnomaly", "MemoryLeakDetector", "CpuContentionDetector"]
+
+
+@dataclass(frozen=True)
+class SoftwareAnomaly:
+    """One detected software-level pathology."""
+
+    kind: str
+    entity: str
+    severity: float
+    evidence: str
+
+
+class MemoryLeakDetector:
+    """Flags sustained monotone growth in memory occupancy.
+
+    Fits a robust (Theil-Sen over subsampled pairs) slope to the occupancy
+    series; a leak verdict requires (a) slope above ``min_slope_per_hour``
+    and (b) Spearman-like monotonicity above ``min_monotonicity``.
+    """
+
+    def __init__(self, min_slope_per_hour: float = 0.01, min_monotonicity: float = 0.8):
+        self.min_slope_per_hour = min_slope_per_hour
+        self.min_monotonicity = min_monotonicity
+
+    @staticmethod
+    def _theil_sen(times: np.ndarray, values: np.ndarray, max_pairs: int = 2000) -> float:
+        n = times.size
+        if n < 3:
+            raise InsufficientDataError("need >= 3 samples for a slope")
+        rng = np.random.default_rng(0)
+        if n * (n - 1) // 2 <= max_pairs:
+            i, j = np.triu_indices(n, k=1)
+        else:
+            i = rng.integers(0, n, size=max_pairs)
+            j = rng.integers(0, n, size=max_pairs)
+            keep = i != j
+            i, j = i[keep], j[keep]
+        dt = times[j] - times[i]
+        valid = dt != 0
+        slopes = (values[j][valid] - values[i][valid]) / dt[valid]
+        return float(np.median(slopes))
+
+    @staticmethod
+    def _monotonicity(values: np.ndarray) -> float:
+        """Fraction of consecutive steps that do not decrease (in [0, 1])."""
+        deltas = np.diff(values)
+        if deltas.size == 0:
+            return 0.0
+        return float((deltas >= 0).mean())
+
+    def check(
+        self, store: TimeSeriesStore, metric: str, since: float, until: float,
+        entity: Optional[str] = None,
+    ) -> Optional[SoftwareAnomaly]:
+        """Returns an anomaly record if the series leaks, else None."""
+        times, values = store.query(metric, since, until)
+        finite = np.isfinite(values)
+        times, values = times[finite], values[finite]
+        if times.size < 5:
+            raise InsufficientDataError(f"{metric}: need >= 5 samples")
+        slope_per_hour = self._theil_sen(times, values) * 3600.0
+        monotonicity = self._monotonicity(values)
+        if slope_per_hour >= self.min_slope_per_hour and monotonicity >= self.min_monotonicity:
+            return SoftwareAnomaly(
+                kind="memory_leak",
+                entity=entity or metric,
+                severity=slope_per_hour,
+                evidence=(
+                    f"occupancy grows {slope_per_hour:.3f}/h with "
+                    f"{monotonicity:.0%} monotone steps"
+                ),
+            )
+        return None
+
+
+class CpuContentionDetector:
+    """Flags demand-vs-achievement divergence (interference signature).
+
+    Compares the late fraction of the window with the early fraction: if
+    CPU demand holds while the achievement signal (IPC) drops by more than
+    ``min_drop`` relatively, interference is diagnosed.
+    """
+
+    def __init__(self, min_drop: float = 0.15, min_util: float = 0.5):
+        self.min_drop = min_drop
+        self.min_util = min_util
+
+    def check(
+        self,
+        store: TimeSeriesStore,
+        util_metric: str,
+        ipc_metric: str,
+        since: float,
+        until: float,
+        entity: Optional[str] = None,
+    ) -> Optional[SoftwareAnomaly]:
+        _, util = store.query(util_metric, since, until)
+        _, ipc = store.query(ipc_metric, since, until)
+        n = min(util.size, ipc.size)
+        if n < 6:
+            raise InsufficientDataError("need >= 6 aligned samples")
+        util, ipc = util[:n], ipc[:n]
+        third = n // 3
+        early_ipc = float(np.median(ipc[:third]))
+        late_ipc = float(np.median(ipc[-third:]))
+        late_util = float(np.median(util[-third:]))
+        if early_ipc <= 0:
+            return None
+        drop = (early_ipc - late_ipc) / early_ipc
+        if late_util >= self.min_util and drop >= self.min_drop:
+            return SoftwareAnomaly(
+                kind="cpu_contention",
+                entity=entity or ipc_metric,
+                severity=drop,
+                evidence=(
+                    f"IPC fell {drop:.0%} (from {early_ipc:.2f} to {late_ipc:.2f}) "
+                    f"while utilization held at {late_util:.0%}"
+                ),
+            )
+        return None

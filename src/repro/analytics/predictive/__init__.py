@@ -1,0 +1,72 @@
+"""Predictive analytics — "what will happen?" (Table I, third row).
+
+Regression and time-series forecasters (incl. the PRACTISE-style
+ensemble), FFT power-spike forecasting (the LLNL use case), job duration
+and resource prediction, component-failure prediction, cooling demand and
+performance models, KPI forecasting, and evaluation utilities.
+"""
+
+from repro.analytics.predictive.cooling import (
+    CoolingDemandForecaster,
+    CoolingPerformanceModel,
+)
+from repro.analytics.predictive.evaluation import (
+    forecast_skill,
+    mae,
+    mape,
+    rmse,
+    rolling_origin_backtest,
+)
+from repro.analytics.predictive.failures import FailurePredictor, FailureWarning
+from repro.analytics.predictive.fourier import (
+    FourierForecaster,
+    RampEvent,
+    detect_ramps,
+)
+from repro.analytics.predictive.jobs import (
+    JobDurationPredictor,
+    ResourceClassPredictor,
+    submission_features,
+)
+from repro.analytics.predictive.kpi_forecast import KpiForecaster
+from repro.analytics.predictive.regression import (
+    LinearRegression,
+    RidgeRegression,
+    polynomial_features,
+)
+from repro.analytics.predictive.timeseries import (
+    ARForecaster,
+    ExponentialSmoothing,
+    HoltWinters,
+    NaiveForecaster,
+    PractiseEnsemble,
+    SeasonalNaiveForecaster,
+)
+
+__all__ = [
+    "CoolingDemandForecaster",
+    "CoolingPerformanceModel",
+    "forecast_skill",
+    "mae",
+    "mape",
+    "rmse",
+    "rolling_origin_backtest",
+    "FailurePredictor",
+    "FailureWarning",
+    "FourierForecaster",
+    "RampEvent",
+    "detect_ramps",
+    "JobDurationPredictor",
+    "ResourceClassPredictor",
+    "submission_features",
+    "KpiForecaster",
+    "LinearRegression",
+    "RidgeRegression",
+    "polynomial_features",
+    "ARForecaster",
+    "ExponentialSmoothing",
+    "HoltWinters",
+    "NaiveForecaster",
+    "PractiseEnsemble",
+    "SeasonalNaiveForecaster",
+]

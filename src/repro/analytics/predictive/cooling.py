@@ -1,0 +1,126 @@
+"""Cooling demand and cooling performance prediction.
+
+Table I's infrastructure predictive cell: forecast cooling demand
+(Kjærgaard et al. [37]) and model cooling performance as a function of
+conditions and settings (Conficoni et al. [18], Shoukourian et al. [46]).
+The performance model is a ridge regression on physically-motivated
+features (IT load, ambient, setpoint) learned from facility telemetry —
+usable both to forecast the impact of configuration changes and as the
+inner model of the prescriptive setpoint optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analytics.predictive.regression import RidgeRegression, polynomial_features
+from repro.analytics.predictive.timeseries import HoltWinters
+from repro.errors import InsufficientDataError, NotFittedError
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["CoolingDemandForecaster", "CoolingPerformanceModel"]
+
+
+class CoolingDemandForecaster:
+    """Forecast plant heat load with seasonal Holt-Winters.
+
+    ``period_samples`` should map to one day of samples so the diurnal
+    load cycle is the learned season.
+    """
+
+    def __init__(self, period_samples: int):
+        self.model = HoltWinters(period=period_samples)
+        self._fitted = False
+
+    def fit(
+        self,
+        store: TimeSeriesStore,
+        metric: str,
+        since: float,
+        until: float,
+        step: float,
+    ) -> "CoolingDemandForecaster":
+        _, values = store.resample(metric, since, until, step)
+        finite = values[np.isfinite(values)]
+        if finite.size < values.size * 0.9:
+            raise InsufficientDataError(f"{metric}: too many gaps for forecasting")
+        self.model.fit(finite)
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon_samples: int) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("fit was never called")
+        return self.model.forecast(horizon_samples)
+
+
+class CoolingPerformanceModel:
+    """Learned cooling power = f(IT load, weather, setpoint).
+
+    Features are quadratic expansions of (heat load, dry-bulb, wet-bulb,
+    setpoint); the model answers "what would cooling power be if the
+    setpoint were X under current conditions", which is exactly the query
+    the prescriptive optimizer issues.
+    """
+
+    FEATURES = ("heat_load", "drybulb", "wetbulb", "setpoint")
+
+    def __init__(self, alpha: float = 1.0, degree: int = 2):
+        self.model = RidgeRegression(alpha=alpha)
+        self.degree = degree
+        self._fitted = False
+
+    def fit_from_store(
+        self,
+        store: TimeSeriesStore,
+        since: float,
+        until: float,
+        step: float = 300.0,
+        loop: str = "loop0",
+    ) -> "CoolingPerformanceModel":
+        """Fit from the standard facility metric paths."""
+        names = [
+            f"facility.{loop}.heat_load",
+            "facility.weather.drybulb",
+            "facility.weather.wetbulb",
+            f"facility.{loop}.setpoint",
+            f"facility.{loop}.cooling_power",
+        ]
+        _, matrix = store.align(names, since, until, step)
+        mask = np.isfinite(matrix).all(axis=1)
+        matrix = matrix[mask]
+        if matrix.shape[0] < 20:
+            raise InsufficientDataError("need >= 20 complete samples to fit")
+        return self.fit(matrix[:, :4], matrix[:, 4])
+
+    def fit(self, X: np.ndarray, cooling_power: np.ndarray) -> "CoolingPerformanceModel":
+        self.model.fit(polynomial_features(X, self.degree), cooling_power)
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("fit was never called")
+        return self.model.predict(polynomial_features(X, self.degree))
+
+    def predict_at(
+        self, heat_load_w: float, drybulb_c: float, wetbulb_c: float, setpoint_c: float
+    ) -> float:
+        """Point query used by the setpoint optimizer."""
+        row = np.array([[heat_load_w, drybulb_c, wetbulb_c, setpoint_c]])
+        return float(self.predict(row)[0])
+
+    def setpoint_sensitivity(
+        self, heat_load_w: float, drybulb_c: float, wetbulb_c: float,
+        setpoints: np.ndarray,
+    ) -> np.ndarray:
+        """Predicted cooling power across a setpoint sweep (what-if curve)."""
+        rows = np.column_stack([
+            np.full(setpoints.size, heat_load_w),
+            np.full(setpoints.size, drybulb_c),
+            np.full(setpoints.size, wetbulb_c),
+            setpoints,
+        ])
+        return self.predict(rows)

@@ -1,0 +1,78 @@
+"""Forecast evaluation: error metrics and rolling-origin backtesting."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+
+__all__ = ["mae", "rmse", "mape", "forecast_skill", "rolling_origin_backtest"]
+
+
+def mae(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    actual, predicted = np.asarray(actual), np.asarray(predicted)
+    return float(np.mean(np.abs(actual - predicted)))
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error."""
+    actual, predicted = np.asarray(actual), np.asarray(predicted)
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray, epsilon: float = 1e-12) -> float:
+    """Mean absolute percentage error (zero-safe)."""
+    actual, predicted = np.asarray(actual, dtype=float), np.asarray(predicted, dtype=float)
+    denominator = np.maximum(np.abs(actual), epsilon)
+    return float(np.mean(np.abs(actual - predicted) / denominator))
+
+
+def forecast_skill(actual: np.ndarray, predicted: np.ndarray, baseline: np.ndarray) -> float:
+    """1 - MAE(model)/MAE(baseline); positive means the model adds value."""
+    baseline_error = mae(actual, baseline)
+    if baseline_error == 0:
+        return 0.0
+    return 1.0 - mae(actual, predicted) / baseline_error
+
+
+def rolling_origin_backtest(
+    values: np.ndarray,
+    make_model: Callable[[], object],
+    horizon: int,
+    n_folds: int = 5,
+    min_train: int = 50,
+) -> Dict[str, float]:
+    """Rolling-origin evaluation of a forecaster factory.
+
+    At each fold the model is fitted on a growing prefix and scored on the
+    next ``horizon`` samples.  Returns mean MAE/RMSE across folds plus the
+    persistence-baseline MAE for skill computation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    needed = min_train + horizon * n_folds
+    if values.size < needed:
+        raise InsufficientDataError(f"need >= {needed} samples, got {values.size}")
+    fold_maes: List[float] = []
+    fold_rmses: List[float] = []
+    naive_maes: List[float] = []
+    origins = np.linspace(min_train, values.size - horizon, n_folds).astype(int)
+    for origin in origins:
+        train, test = values[:origin], values[origin : origin + horizon]
+        model = make_model()
+        model.fit(train)
+        prediction = model.forecast(horizon)
+        fold_maes.append(mae(test, prediction))
+        fold_rmses.append(rmse(test, prediction))
+        naive_maes.append(mae(test, np.full(horizon, train[-1])))
+    mean_mae = float(np.mean(fold_maes))
+    mean_naive = float(np.mean(naive_maes))
+    return {
+        "mae": mean_mae,
+        "rmse": float(np.mean(fold_rmses)),
+        "naive_mae": mean_naive,
+        "skill": 1.0 - mean_mae / mean_naive if mean_naive > 0 else 0.0,
+        "folds": float(len(origins)),
+    }

@@ -1,0 +1,134 @@
+"""Component-failure prediction (Sîrbu & Babaoglu [48]).
+
+The substrate's fault model raises a node's ECC-error rate during the
+lead time before a crash; the predictor learns a threshold rule over the
+recent ECC increment and temperature, giving operators a warning horizon
+to drain jobs off a dying node — the "proactive autonomics" the surveyed
+work targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.simulation.trace import TraceLog
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["FailureWarning", "FailurePredictor"]
+
+
+@dataclass(frozen=True)
+class FailureWarning:
+    """A predicted impending node failure."""
+
+    node: str
+    time: float
+    ecc_rate: float
+    score: float
+
+
+class FailurePredictor:
+    """ECC-ramp failure predictor.
+
+    A node is flagged when its ECC-error increment over the recent window
+    exceeds ``ecc_rate_threshold`` errors per hour — healthy nodes emit
+    none, pre-crash nodes ramp to dozens.  ``warn()`` scans the fleet at
+    one instant; ``evaluate()`` scores warnings against trace ground truth.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        window_s: float = 1800.0,
+        ecc_rate_threshold: float = 10.0,
+    ):
+        self.store = store
+        self.window_s = window_s
+        self.ecc_rate_threshold = ecc_rate_threshold
+
+    def ecc_rate(self, metric: str, at: float) -> float:
+        """ECC errors per hour over the trailing window (counter diff)."""
+        times, counts = self.store.query(metric, at - self.window_s, at)
+        if times.size < 2:
+            raise InsufficientDataError(f"{metric}: need >= 2 samples in window")
+        increment = float(counts[-1] - counts[0])
+        span_h = (times[-1] - times[0]) / 3600.0
+        return increment / span_h if span_h > 0 else 0.0
+
+    def warn(self, node_metric_paths: Dict[str, str], at: float) -> List[FailureWarning]:
+        """Nodes predicted to fail soon, highest risk first."""
+        warnings: List[FailureWarning] = []
+        for node, metric in sorted(node_metric_paths.items()):
+            try:
+                rate = self.ecc_rate(metric, at)
+            except InsufficientDataError:
+                continue
+            if rate >= self.ecc_rate_threshold:
+                warnings.append(
+                    FailureWarning(
+                        node=node,
+                        time=at,
+                        ecc_rate=rate,
+                        score=rate / self.ecc_rate_threshold,
+                    )
+                )
+        warnings.sort(key=lambda w: -w.score)
+        return warnings
+
+    def evaluate(
+        self,
+        node_metric_paths: Dict[str, str],
+        trace: TraceLog,
+        scan_period: float,
+        since: float,
+        until: float,
+        lead_time_s: float = 3600.0,
+    ) -> Dict[str, float]:
+        """Score warning quality against crash ground truth in the trace.
+
+        A crash counts as *predicted* if any warning for that node fired in
+        the ``lead_time_s`` before it.  A warning is a *false positive* if
+        no crash on that node follows within ``lead_time_s``.
+        """
+        crashes = [
+            (r.time, r.source.split(".")[-1])
+            for r in trace.select(kind="node_crash", since=since, until=until)
+        ]
+        all_warnings: List[FailureWarning] = []
+        at = since + self.window_s
+        while at <= until:
+            all_warnings.extend(self.warn(node_metric_paths, at))
+            at += scan_period
+
+        predicted = 0
+        for crash_time, node in crashes:
+            if any(
+                w.node == node and crash_time - lead_time_s <= w.time <= crash_time
+                for w in all_warnings
+            ):
+                predicted += 1
+        false_warnings = sum(
+            1
+            for w in all_warnings
+            if not any(
+                node == w.node and w.time <= crash_time <= w.time + lead_time_s
+                for crash_time, node in crashes
+            )
+        )
+        recall = predicted / len(crashes) if crashes else 1.0
+        precision = (
+            (len(all_warnings) - false_warnings) / len(all_warnings)
+            if all_warnings
+            else 1.0
+        )
+        return {
+            "crashes": float(len(crashes)),
+            "predicted": float(predicted),
+            "warnings": float(len(all_warnings)),
+            "recall": recall,
+            "precision": precision,
+        }

@@ -1,0 +1,102 @@
+"""Linear models from scratch: OLS, ridge, polynomial features.
+
+The workhorses of the surveyed predictive ODA — resource-usage regression
+(Evalix [31], Matsunaga & Fortes [53]), power modelling (Sîrbu & Babaoglu
+[52]) — implemented on ``lstsq``/normal equations.  Ridge with lagged
+features also serves as the offline stand-in for the LSTM KPI forecaster of
+Shoukourian & Kranzlmüller [45].
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, NotFittedError
+
+__all__ = ["LinearRegression", "RidgeRegression", "polynomial_features"]
+
+
+class LinearRegression:
+    """Ordinary least squares with an intercept, via ``lstsq``."""
+
+    def __init__(self) -> None:
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    @staticmethod
+    def _design(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        return X
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X = self._design(X)
+        y = np.asarray(y, dtype=np.float64)
+        if X.shape[0] != y.shape[0] or X.shape[0] < X.shape[1] + 1:
+            raise InsufficientDataError(
+                f"need > {X.shape[1]} samples for {X.shape[1]} features"
+            )
+        augmented = np.column_stack([X, np.ones(X.shape[0])])
+        solution, *_ = np.linalg.lstsq(augmented, y, rcond=None)
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise NotFittedError("fit was never called")
+        return self._design(X) @ self.coef_ + self.intercept_
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        y = np.asarray(y, dtype=np.float64)
+        residual = y - self.predict(X)
+        total = y - y.mean()
+        denom = float((total**2).sum())
+        if denom == 0:
+            return 0.0
+        return 1.0 - float((residual**2).sum()) / denom
+
+
+class RidgeRegression(LinearRegression):
+    """L2-regularized least squares via the normal equations.
+
+    The intercept is not penalized (features are centred internally).
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = self._design(X)
+        y = np.asarray(y, dtype=np.float64)
+        if X.shape[0] != y.shape[0] or X.shape[0] < 2:
+            raise InsufficientDataError("need >= 2 samples")
+        x_mean = X.mean(axis=0)
+        y_mean = float(y.mean())
+        Xc = X - x_mean
+        yc = y - y_mean
+        gram = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+
+def polynomial_features(X: np.ndarray, degree: int = 2) -> np.ndarray:
+    """Powers of each feature up to ``degree`` (no cross terms).
+
+    Adequate for the smooth univariate physical relations the substrate
+    produces (COP vs temperature, power vs utilization).
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X[:, None]
+    return np.hstack([X**d for d in range(1, degree + 1)])

@@ -1,0 +1,240 @@
+"""Time-series forecasters: naive baselines, AR, Holt-Winters, ensemble.
+
+The forecasting battery predictive ODA runs on sensor streams (Table I:
+"forecasting hardware sensors" [32][47]).  The :class:`PractiseEnsemble`
+mirrors the core idea of PRACTISE [32]: combine seasonal-aware and
+trend-aware base models and weight them by recent backtest error so the
+forecaster stays robust across regimes.
+
+All forecasters share the protocol ``fit(values) -> self`` and
+``forecast(horizon) -> ndarray`` on a regularly-sampled series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analytics.common import lag_matrix
+from repro.analytics.predictive.regression import RidgeRegression
+from repro.errors import InsufficientDataError, NotFittedError
+
+__all__ = [
+    "NaiveForecaster",
+    "SeasonalNaiveForecaster",
+    "ExponentialSmoothing",
+    "HoltWinters",
+    "ARForecaster",
+    "PractiseEnsemble",
+]
+
+
+class NaiveForecaster:
+    """Persist the last observation ("tomorrow equals today")."""
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def fit(self, values: np.ndarray) -> "NaiveForecaster":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise InsufficientDataError("empty series")
+        self._last = float(values[-1])
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._last is None:
+            raise NotFittedError("fit was never called")
+        return np.full(horizon, self._last)
+
+
+class SeasonalNaiveForecaster:
+    """Repeat the last full season."""
+
+    def __init__(self, period: int):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._season: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "SeasonalNaiveForecaster":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size < self.period:
+            raise InsufficientDataError(
+                f"need >= {self.period} samples, got {values.size}"
+            )
+        self._season = values[-self.period :].copy()
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._season is None:
+            raise NotFittedError("fit was never called")
+        reps = int(np.ceil(horizon / self.period))
+        return np.tile(self._season, reps)[:horizon]
+
+
+class ExponentialSmoothing:
+    """Simple exponential smoothing (level only)."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._level: Optional[float] = None
+
+    def fit(self, values: np.ndarray) -> "ExponentialSmoothing":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise InsufficientDataError("empty series")
+        level = values[0]
+        for v in values[1:]:
+            level += self.alpha * (v - level)
+        self._level = float(level)
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._level is None:
+            raise NotFittedError("fit was never called")
+        return np.full(horizon, self._level)
+
+
+class HoltWinters:
+    """Additive Holt-Winters: level + trend + seasonal components."""
+
+    def __init__(self, period: int, alpha: float = 0.3, beta: float = 0.05, gamma: float = 0.1):
+        if period < 2:
+            raise ValueError("period must be >= 2")
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1]")
+        self.period = period
+        self.alpha, self.beta, self.gamma = alpha, beta, gamma
+        self._level: Optional[float] = None
+        self._trend = 0.0
+        self._seasonal: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "HoltWinters":
+        values = np.asarray(values, dtype=np.float64)
+        m = self.period
+        if values.size < 2 * m:
+            raise InsufficientDataError(f"need >= {2*m} samples, got {values.size}")
+        # Initialisation: first-season mean as level, season-over-season trend.
+        level = values[:m].mean()
+        trend = (values[m : 2 * m].mean() - values[:m].mean()) / m
+        seasonal = values[:m] - level
+        for i in range(m, values.size):
+            season_idx = i % m
+            prev_level = level
+            level = self.alpha * (values[i] - seasonal[season_idx]) + (1 - self.alpha) * (
+                level + trend
+            )
+            trend = self.beta * (level - prev_level) + (1 - self.beta) * trend
+            seasonal[season_idx] = self.gamma * (values[i] - level) + (
+                1 - self.gamma
+            ) * seasonal[season_idx]
+        self._level, self._trend, self._seasonal = float(level), float(trend), seasonal
+        # The next forecast index continues from len(values).
+        self._next_idx = values.size
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._level is None or self._seasonal is None:
+            raise NotFittedError("fit was never called")
+        steps = np.arange(1, horizon + 1)
+        seasonal = self._seasonal[(self._next_idx + steps - 1) % self.period]
+        return self._level + steps * self._trend + seasonal
+
+
+class ARForecaster:
+    """Autoregressive model on ridge-fitted lags, iterated for the horizon."""
+
+    def __init__(self, lags: int = 24, alpha: float = 1.0):
+        if lags < 1:
+            raise ValueError("lags must be >= 1")
+        self.lags = lags
+        self.model = RidgeRegression(alpha=alpha)
+        self._history: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "ARForecaster":
+        values = np.asarray(values, dtype=np.float64)
+        X, y = lag_matrix(values, self.lags)
+        self.model.fit(X, y)
+        self._history = values[-self.lags :].copy()
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._history is None:
+            raise NotFittedError("fit was never called")
+        history = self._history.copy()
+        out = np.empty(horizon)
+        for i in range(horizon):
+            out[i] = float(self.model.predict(history[None, :])[0])
+            history = np.roll(history, -1)
+            history[-1] = out[i]
+        return out
+
+
+class PractiseEnsemble:
+    """Backtest-weighted ensemble of base forecasters (PRACTISE [32]).
+
+    Fits every base model on the head of the series, scores each on the
+    held-out tail, and weights forecasts by inverse validation MAE.  Models
+    that cannot fit (too little data) are dropped silently.
+    """
+
+    def __init__(self, period: int, lags: int = 24, holdout_fraction: float = 0.2):
+        self.period = period
+        self.lags = lags
+        self.holdout_fraction = holdout_fraction
+        self._fitted: List = []
+        self._weights: Optional[np.ndarray] = None
+
+    def _candidates(self) -> List:
+        """Factories so validation and final models are independent fits."""
+        return [
+            NaiveForecaster,
+            lambda: SeasonalNaiveForecaster(self.period),
+            ExponentialSmoothing,
+            lambda: HoltWinters(self.period),
+            lambda: ARForecaster(lags=min(self.lags, self.period)),
+        ]
+
+    def fit(self, values: np.ndarray) -> "PractiseEnsemble":
+        values = np.asarray(values, dtype=np.float64)
+        holdout = max(int(values.size * self.holdout_fraction), 1)
+        head, tail = values[:-holdout], values[-holdout:]
+        self._fitted = []
+        weights = []
+        scale = float(np.mean(np.abs(tail))) or 1.0
+        for factory in self._candidates():
+            try:
+                probe = factory()
+                probe.fit(head)
+                error = float(np.mean(np.abs(probe.forecast(holdout) - tail)))
+                final = factory()
+                final.fit(values)
+            except InsufficientDataError:
+                continue
+            self._fitted.append(final)
+            weights.append(1.0 / (error + 0.01 * scale))
+        if not self._fitted:
+            raise InsufficientDataError("no base model could fit the series")
+        w = np.array(weights)
+        self._weights = w / w.sum()
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._weights is None:
+            raise NotFittedError("fit was never called")
+        forecasts = np.stack([m.forecast(horizon) for m in self._fitted])
+        return (self._weights[:, None] * forecasts).sum(axis=0)
+
+    @property
+    def model_weights(self) -> Dict[str, float]:
+        """Diagnostic view of the ensemble composition."""
+        if self._weights is None:
+            raise NotFittedError("fit was never called")
+        return {
+            type(m).__name__: float(w) for m, w in zip(self._fitted, self._weights)
+        }

@@ -1,0 +1,76 @@
+"""Prescriptive analytics — "what should be done?" (Table I, top row).
+
+Control-loop primitives (PID, setpoint manager, audited control loops),
+cooling setpoint optimization and technology switching, reactive and
+proactive DVFS governors with power capping, power/energy-aware scheduling
+policies, cooling/topology-aware placement, application auto-tuning and
+code recommendations, and plan-based scheduling.
+"""
+
+from repro.analytics.prescriptive.autotune import (
+    AnnealingTuner,
+    GridSearchTuner,
+    HillClimbTuner,
+    RandomSearchTuner,
+    TuningResult,
+    TuningSpace,
+)
+from repro.analytics.prescriptive.control import (
+    ControlAction,
+    ControlLoop,
+    PidController,
+    SetpointManager,
+)
+from repro.analytics.prescriptive.cooling_opt import ModeSwitcher, SetpointOptimizer
+from repro.analytics.prescriptive.maintenance import ProactiveMaintenance
+from repro.analytics.prescriptive.dvfs import (
+    PhasePredictor,
+    PowerCapGovernor,
+    ProactiveEnergyGovernor,
+    ReactiveEnergyGovernor,
+)
+from repro.analytics.prescriptive.placement import (
+    CoolingAwarePolicy,
+    TopologyAwarePolicy,
+)
+from repro.analytics.prescriptive.planner import (
+    ExecutionPlan,
+    PlanBasedPolicy,
+    PlannedStart,
+    build_plan,
+)
+from repro.analytics.prescriptive.power_sched import (
+    EnergyBudgetPolicy,
+    PowerAwarePolicy,
+)
+from repro.analytics.prescriptive.recommend import CodeAdvisor, Recommendation
+
+__all__ = [
+    "AnnealingTuner",
+    "GridSearchTuner",
+    "HillClimbTuner",
+    "RandomSearchTuner",
+    "TuningResult",
+    "TuningSpace",
+    "ControlAction",
+    "ControlLoop",
+    "PidController",
+    "SetpointManager",
+    "ModeSwitcher",
+    "SetpointOptimizer",
+    "ProactiveMaintenance",
+    "PhasePredictor",
+    "PowerCapGovernor",
+    "ProactiveEnergyGovernor",
+    "ReactiveEnergyGovernor",
+    "CoolingAwarePolicy",
+    "TopologyAwarePolicy",
+    "ExecutionPlan",
+    "PlanBasedPolicy",
+    "PlannedStart",
+    "build_plan",
+    "EnergyBudgetPolicy",
+    "PowerAwarePolicy",
+    "CodeAdvisor",
+    "Recommendation",
+]

@@ -1,0 +1,199 @@
+"""Application auto-tuning (Autotune [28], Active Harmony [29]).
+
+Table I's application prescriptive cell: search an application's
+configuration space for the settings optimizing a measured objective.
+Search strategies — exhaustive grid, random, hill climbing and simulated
+annealing — share a tiny interface so examples can compare them, exactly
+the plugin structure of the surveyed frameworks.
+
+The objective is any callable ``objective(config) -> float`` (lower is
+better); in the benchmarks it is a simulated run's energy-delay product
+under a (frequency, parallelism, blocking) configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TuningSpace",
+    "TuningResult",
+    "GridSearchTuner",
+    "RandomSearchTuner",
+    "HillClimbTuner",
+    "AnnealingTuner",
+]
+
+Config = Dict[str, object]
+Objective = Callable[[Config], float]
+
+
+@dataclass(frozen=True)
+class TuningSpace:
+    """Discrete configuration space: parameter name -> allowed values."""
+
+    parameters: Mapping[str, Tuple[object, ...]]
+
+    def __post_init__(self) -> None:
+        if not self.parameters:
+            raise ConfigurationError("tuning space must have >= 1 parameter")
+        for name, values in self.parameters.items():
+            if not values:
+                raise ConfigurationError(f"parameter {name} has no values")
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for values in self.parameters.values():
+            size *= len(values)
+        return size
+
+    def grid(self):
+        """All configurations in deterministic order."""
+        names = sorted(self.parameters)
+        for combo in itertools.product(*(self.parameters[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def random_config(self, rng: np.random.Generator) -> Config:
+        return {
+            name: values[int(rng.integers(len(values)))]
+            for name, values in sorted(self.parameters.items())
+        }
+
+    def neighbors(self, config: Config) -> List[Config]:
+        """Configurations differing in exactly one parameter by one step."""
+        out = []
+        for name, values in sorted(self.parameters.items()):
+            idx = list(values).index(config[name])
+            for delta in (-1, 1):
+                j = idx + delta
+                if 0 <= j < len(values):
+                    neighbor = dict(config)
+                    neighbor[name] = values[j]
+                    out.append(neighbor)
+        return out
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run."""
+
+    best_config: Config
+    best_score: float
+    evaluations: int
+    history: List[Tuple[Config, float]] = field(default_factory=list)
+
+
+class _BaseTuner:
+    def __init__(self, space: TuningSpace, budget: int = 50):
+        if budget < 1:
+            raise ConfigurationError("budget must be >= 1")
+        self.space = space
+        self.budget = budget
+
+    def _record(self, result: TuningResult, config: Config, score: float) -> None:
+        result.history.append((config, score))
+        result.evaluations += 1
+        if score < result.best_score:
+            result.best_score = score
+            result.best_config = config
+
+
+class GridSearchTuner(_BaseTuner):
+    """Exhaustive sweep (budget-capped) — the reference optimum."""
+
+    def tune(self, objective: Objective) -> TuningResult:
+        result = TuningResult(best_config={}, best_score=float("inf"), evaluations=0)
+        for config in itertools.islice(self.space.grid(), self.budget):
+            self._record(result, config, objective(config))
+        return result
+
+
+class RandomSearchTuner(_BaseTuner):
+    """Uniform random sampling — the canonical cheap baseline."""
+
+    def __init__(self, space: TuningSpace, budget: int = 50, seed: int = 0):
+        super().__init__(space, budget)
+        self.rng = np.random.default_rng(seed)
+
+    def tune(self, objective: Objective) -> TuningResult:
+        result = TuningResult(best_config={}, best_score=float("inf"), evaluations=0)
+        for _ in range(self.budget):
+            config = self.space.random_config(self.rng)
+            self._record(result, config, objective(config))
+        return result
+
+
+class HillClimbTuner(_BaseTuner):
+    """Greedy local search with random restarts on plateaus."""
+
+    def __init__(self, space: TuningSpace, budget: int = 50, seed: int = 0):
+        super().__init__(space, budget)
+        self.rng = np.random.default_rng(seed)
+
+    def tune(self, objective: Objective) -> TuningResult:
+        result = TuningResult(best_config={}, best_score=float("inf"), evaluations=0)
+        current = self.space.random_config(self.rng)
+        current_score = objective(current)
+        self._record(result, current, current_score)
+        while result.evaluations < self.budget:
+            improved = False
+            for neighbor in self.space.neighbors(current):
+                if result.evaluations >= self.budget:
+                    break
+                score = objective(neighbor)
+                self._record(result, neighbor, score)
+                if score < current_score:
+                    current, current_score = neighbor, score
+                    improved = True
+                    break  # first-improvement hill climbing
+            if not improved:
+                if result.evaluations >= self.budget:
+                    break
+                current = self.space.random_config(self.rng)  # restart
+                current_score = objective(current)
+                self._record(result, current, current_score)
+        return result
+
+
+class AnnealingTuner(_BaseTuner):
+    """Simulated annealing over the discrete space."""
+
+    def __init__(
+        self,
+        space: TuningSpace,
+        budget: int = 50,
+        seed: int = 0,
+        initial_temperature: float = 1.0,
+    ):
+        super().__init__(space, budget)
+        self.rng = np.random.default_rng(seed)
+        self.initial_temperature = initial_temperature
+
+    def tune(self, objective: Objective) -> TuningResult:
+        result = TuningResult(best_config={}, best_score=float("inf"), evaluations=0)
+        current = self.space.random_config(self.rng)
+        current_score = objective(current)
+        self._record(result, current, current_score)
+        scale = abs(current_score) or 1.0
+        while result.evaluations < self.budget:
+            temperature = self.initial_temperature * (
+                1.0 - result.evaluations / self.budget
+            )
+            neighbors = self.space.neighbors(current)
+            candidate = neighbors[int(self.rng.integers(len(neighbors)))]
+            score = objective(candidate)
+            self._record(result, candidate, score)
+            delta = (score - current_score) / scale
+            if delta < 0 or self.rng.random() < math.exp(
+                -delta / max(temperature, 1e-6)
+            ):
+                current, current_score = candidate, score
+        return result

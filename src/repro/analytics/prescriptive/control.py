@@ -1,0 +1,158 @@
+"""Control-loop primitives for prescriptive ODA.
+
+The shared machinery of every prescriptive use case: a PID controller for
+continuous knobs, a rate-limited setpoint manager (real plants cannot slew
+water temperature instantly), and a generic periodic
+:class:`ControlLoop` that wires a decision function to the simulator and
+records every actuation in the trace — the paper's requirement that
+prescriptive output either automates a knob or lands in front of a human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import ControlError
+from repro.simulation.engine import PeriodicHandle, Simulator
+from repro.simulation.trace import TraceLog
+
+__all__ = ["PidController", "SetpointManager", "ControlLoop", "ControlAction"]
+
+
+class PidController:
+    """Textbook PID with output clamping and anti-windup.
+
+    ``update(error, dt)`` returns the control output.  Integral windup is
+    prevented by freezing integration while the output is saturated.
+    """
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        out_min: float = float("-inf"),
+        out_max: float = float("inf"),
+    ):
+        if out_min >= out_max:
+            raise ControlError("out_min must be < out_max")
+        self.kp, self.ki, self.kd = kp, ki, kd
+        self.out_min, self.out_max = out_min, out_max
+        self._integral = 0.0
+        self._last_error: Optional[float] = None
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._last_error = None
+
+    def update(self, error: float, dt: float) -> float:
+        if dt <= 0:
+            raise ControlError("dt must be positive")
+        derivative = 0.0 if self._last_error is None else (error - self._last_error) / dt
+        self._last_error = error
+        unsaturated = (
+            self.kp * error + self.ki * (self._integral + error * dt) + self.kd * derivative
+        )
+        if self.out_min < unsaturated < self.out_max:
+            self._integral += error * dt  # integrate only when unsaturated
+        return min(max(unsaturated, self.out_min), self.out_max)
+
+
+class SetpointManager:
+    """Rate-limited setpoint actuation.
+
+    Cooling machinery tolerates limited slew rates; the manager clamps each
+    request to ``max_step`` per actuation and to the [lo, hi] range, and
+    applies it through the provided actuator callable.
+    """
+
+    def __init__(
+        self,
+        actuator: Callable[[float], None],
+        initial: float,
+        lo: float,
+        hi: float,
+        max_step: float,
+    ):
+        if not lo <= initial <= hi:
+            raise ControlError(f"initial {initial} outside [{lo}, {hi}]")
+        self.actuator = actuator
+        self.current = initial
+        self.lo, self.hi = lo, hi
+        self.max_step = max_step
+        self.actuations = 0
+
+    def request(self, target: float) -> float:
+        """Move toward ``target``; returns the value actually applied."""
+        clamped = min(max(target, self.lo), self.hi)
+        step = min(max(clamped - self.current, -self.max_step), self.max_step)
+        if step == 0.0:
+            return self.current
+        self.current += step
+        self.actuator(self.current)
+        self.actuations += 1
+        return self.current
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """Record of one actuation decision."""
+
+    time: float
+    controller: str
+    knob: str
+    value: float
+    reason: str = ""
+
+
+class ControlLoop:
+    """Periodic decision loop with trace-backed audit log.
+
+    ``decide(now) -> list[ControlAction] | None`` is called every period;
+    returned actions are assumed already applied by the decision function
+    and are recorded for auditing.  ``recommend_only`` turns the loop into
+    the human-in-the-loop variant: decisions are logged but the decision
+    function is told not to actuate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        decide: Callable[[float, bool], Optional[List[ControlAction]]],
+        period: float,
+        recommend_only: bool = False,
+    ):
+        if period <= 0:
+            raise ControlError("period must be positive")
+        self.name = name
+        self.decide = decide
+        self.period = period
+        self.recommend_only = recommend_only
+        self.actions: List[ControlAction] = []
+        self.trace: Optional[TraceLog] = None
+        self._handle: Optional[PeriodicHandle] = None
+
+    def attach(self, sim: Simulator, trace: Optional[TraceLog] = None) -> None:
+        self.trace = trace
+        self._handle = sim.schedule_periodic(
+            self.period, lambda s: self.step(s.now),
+            start_delay=self.period, label=f"control:{self.name}", priority=6,
+        )
+
+    def detach(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def step(self, now: float) -> List[ControlAction]:
+        actions = self.decide(now, self.recommend_only) or []
+        for action in actions:
+            self.actions.append(action)
+            if self.trace is not None:
+                self.trace.emit(
+                    now, f"control.{self.name}", "control_action",
+                    knob=action.knob, value=action.value, reason=action.reason,
+                    recommend_only=self.recommend_only,
+                )
+        return actions

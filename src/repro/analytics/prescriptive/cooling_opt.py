@@ -1,0 +1,169 @@
+"""Prescriptive cooling control: setpoint optimization and mode switching.
+
+Table I's top-left cell: "switching between types of cooling" (Jiang et
+al. [12]) and "tuning of cooling machinery" (Conficoni et al. [18]).
+
+Two controllers:
+
+* :class:`SetpointOptimizer` — uses the learned
+  :class:`~repro.analytics.predictive.cooling.CoolingPerformanceModel` to
+  pick the supply setpoint minimizing predicted cooling power, subject to a
+  node-inlet ceiling (the thermal-safety constraint that couples back to
+  the hardware pillar).  Demonstrates the diagnostic/predictive →
+  prescriptive layering of Section V-A.
+* :class:`ModeSwitcher` — rule-based technology switching on weather
+  feasibility margins with hysteresis, for sites without a learned model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analytics.predictive.cooling import CoolingPerformanceModel
+from repro.analytics.prescriptive.control import ControlAction, ControlLoop, SetpointManager
+from repro.facility.cooling import CoolingLoop, CoolingMode
+from repro.facility.facility import Facility
+
+__all__ = ["SetpointOptimizer", "ModeSwitcher"]
+
+
+class SetpointOptimizer:
+    """Model-driven supply-setpoint optimizer for one cooling loop.
+
+    Every period, sweeps candidate setpoints through the performance model
+    under current conditions and requests the cheapest one that keeps the
+    implied node inlet below ``max_inlet_c``.
+    """
+
+    def __init__(
+        self,
+        facility: Facility,
+        loop: CoolingLoop,
+        model: CoolingPerformanceModel,
+        period: float = 1800.0,
+        max_inlet_c: float = 32.0,
+        candidates: Optional[np.ndarray] = None,
+        max_step_c: float = 2.0,
+        rack_offset_c: float = 1.5,
+        recommend_only: bool = False,
+    ):
+        self.facility = facility
+        self.loop = loop
+        self.model = model
+        self.max_inlet_c = max_inlet_c
+        self.candidates = (
+            candidates
+            if candidates is not None
+            else np.arange(loop.min_setpoint_c, min(loop.max_setpoint_c, 40.0) + 0.5, 1.0)
+        )
+        self.rack_offset_c = rack_offset_c
+        self.manager = SetpointManager(
+            actuator=loop.set_setpoint,
+            initial=loop.supply_setpoint_c,
+            lo=loop.min_setpoint_c,
+            hi=loop.max_setpoint_c,
+            max_step=max_step_c,
+        )
+        self.control_loop = ControlLoop(
+            name=f"setpoint_opt:{loop.name}",
+            decide=self._decide,
+            period=period,
+            recommend_only=recommend_only,
+        )
+
+    # ------------------------------------------------------------------
+    def best_setpoint(self) -> float:
+        """The setpoint the model currently considers optimal."""
+        weather = self.facility.current_weather
+        feasible = self.candidates[
+            self.candidates + self.rack_offset_c <= self.max_inlet_c
+        ]
+        if feasible.size == 0:
+            return float(self.candidates.min())
+        predicted = self.model.setpoint_sensitivity(
+            self.loop.heat_load_w, weather.drybulb_c, weather.wetbulb_c, feasible
+        )
+        return float(feasible[int(np.argmin(predicted))])
+
+    def _decide(self, now: float, recommend_only: bool) -> List[ControlAction]:
+        target = self.best_setpoint()
+        if recommend_only:
+            return [
+                ControlAction(
+                    time=now, controller=self.control_loop.name,
+                    knob="supply_setpoint", value=target,
+                    reason="recommendation (not applied)",
+                )
+            ]
+        applied = self.manager.request(target)
+        if applied == self.loop.supply_setpoint_c and abs(applied - target) < 1e-9:
+            reason = "optimal under current conditions"
+        else:
+            reason = f"slewing toward {target:.1f}"
+        return [
+            ControlAction(
+                time=now, controller=self.control_loop.name,
+                knob="supply_setpoint", value=applied, reason=reason,
+            )
+        ]
+
+
+class ModeSwitcher:
+    """Hysteretic cooling-technology switcher (Jiang et al. [12] style).
+
+    Switches the loop to free cooling / tower when the weather margin is
+    comfortable, and back to AUTO (chiller-backed) when the margin erodes.
+    ``margin_c`` sets the hysteresis half-width so the plant does not flap
+    around the feasibility boundary.
+    """
+
+    def __init__(
+        self,
+        facility: Facility,
+        loop: CoolingLoop,
+        period: float = 900.0,
+        margin_c: float = 2.0,
+    ):
+        self.facility = facility
+        self.loop = loop
+        self.margin_c = margin_c
+        self.control_loop = ControlLoop(
+            name=f"mode_switch:{loop.name}", decide=self._decide, period=period
+        )
+
+    def _decide(self, now: float, recommend_only: bool) -> List[ControlAction]:
+        weather = self.facility.current_weather
+        setpoint = self.loop.supply_setpoint_c
+        free_margin = setpoint - self.loop.dry_cooler.supply_temp_c(weather.drybulb_c)
+        tower_margin = setpoint - self.loop.tower.supply_temp_c(weather.wetbulb_c)
+
+        current = self.loop.mode
+        target = current
+        if free_margin > self.margin_c:
+            target = CoolingMode.FREE
+        elif tower_margin > self.margin_c:
+            target = CoolingMode.TOWER
+        elif free_margin < 0 and tower_margin < 0:
+            target = CoolingMode.CHILLER
+        # Hysteresis: leave an economized mode only when its margin is gone.
+        if current is CoolingMode.FREE and free_margin > 0:
+            target = CoolingMode.FREE
+        elif current is CoolingMode.TOWER and tower_margin > 0 and target is not CoolingMode.FREE:
+            target = CoolingMode.TOWER
+
+        if target is current:
+            return []
+        if not recommend_only:
+            self.loop.set_mode(target)
+        return [
+            ControlAction(
+                time=now, controller=self.control_loop.name,
+                knob="cooling_mode", value=float(
+                    [CoolingMode.CHILLER, CoolingMode.TOWER, CoolingMode.FREE, CoolingMode.AUTO].index(target)
+                ),
+                reason=f"{current.value} -> {target.value} "
+                       f"(free margin {free_margin:.1f}C, tower margin {tower_margin:.1f}C)",
+            )
+        ]

@@ -1,0 +1,116 @@
+"""Power- and KPI-aware scheduling policies.
+
+Table I's software prescriptive cell [21]-[23]: scheduling decisions that
+respect a facility power budget and exploit predicted job power.  The
+policies implement the software pillar's
+:class:`~repro.software.policies.SchedulingPolicy` protocol, layering
+telemetry-derived estimates on top of the EASY backfill baseline — the
+paper's layering of prescriptive ODA over existing system software.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.software.jobs import Job
+from repro.software.policies import (
+    Allocation,
+    EasyBackfillPolicy,
+    SchedulingContext,
+    estimate_job_power,
+)
+
+__all__ = ["PowerAwarePolicy", "EnergyBudgetPolicy"]
+
+PowerEstimator = Callable[[Job, "SchedulingContext"], float]
+
+
+class PowerAwarePolicy(EasyBackfillPolicy):
+    """EASY backfill under an instantaneous IT power cap.
+
+    A job may only start if (current IT power + predicted job power) stays
+    under ``power_cap_w``.  Jobs denied for power are skipped rather than
+    blocking (power, unlike nodes, frees itself as load phases change, so
+    strict FCFS blocking on power starves badly).
+    """
+
+    name = "power_aware"
+
+    def __init__(
+        self,
+        power_cap_w: float,
+        estimator: Optional[PowerEstimator] = None,
+    ):
+        self.power_cap_w = power_cap_w
+        self.estimator = estimator or (
+            lambda job, ctx: estimate_job_power(job, ctx.system)
+        )
+        self.denied_for_power = 0
+
+    def select(self, ctx: SchedulingContext) -> List[Allocation]:
+        budget = self.power_cap_w - ctx.system.it_power_w
+        allocations: List[Allocation] = []
+        for allocation in super().select(ctx):
+            predicted = self.estimator(allocation.job, ctx)
+            if predicted <= budget:
+                allocations.append(allocation)
+                budget -= predicted
+            else:
+                self.denied_for_power += 1
+        return allocations
+
+
+class EnergyBudgetPolicy(EasyBackfillPolicy):
+    """Scheduling under a periodic energy budget (kWh per accounting window).
+
+    Tracks energy spent in the current window via the caller-provided
+    meter; when the remaining budget divided by the remaining window time
+    implies a power ceiling, that ceiling gates job starts.  This is the
+    "energy budget" operating constraint the paper lists for system-level
+    ODA schedulers.
+    """
+
+    name = "energy_budget"
+
+    def __init__(
+        self,
+        budget_j: float,
+        window_s: float,
+        energy_meter: Callable[[], float],
+        estimator: Optional[PowerEstimator] = None,
+    ):
+        self.budget_j = budget_j
+        self.window_s = window_s
+        self.energy_meter = energy_meter
+        self.estimator = estimator or (
+            lambda job, ctx: estimate_job_power(job, ctx.system)
+        )
+        self._window_start_energy = energy_meter()
+        self._window_start_time: Optional[float] = None
+        self.denied_for_energy = 0
+
+    def _power_ceiling(self, now: float) -> float:
+        if self._window_start_time is None:
+            self._window_start_time = now
+        elapsed = now - self._window_start_time
+        if elapsed >= self.window_s:  # roll the accounting window
+            self._window_start_time = now
+            self._window_start_energy = self.energy_meter()
+            elapsed = 0.0
+        spent = self.energy_meter() - self._window_start_energy
+        remaining_j = max(self.budget_j - spent, 0.0)
+        remaining_s = max(self.window_s - elapsed, 1.0)
+        return remaining_j / remaining_s
+
+    def select(self, ctx: SchedulingContext) -> List[Allocation]:
+        ceiling = self._power_ceiling(ctx.now)
+        headroom = ceiling - ctx.system.it_power_w
+        allocations: List[Allocation] = []
+        for allocation in super().select(ctx):
+            predicted = self.estimator(allocation.job, ctx)
+            if predicted <= headroom:
+                allocations.append(allocation)
+                headroom -= predicted
+            else:
+                self.denied_for_energy += 1
+        return allocations

@@ -1,0 +1,30 @@
+"""Applications substrate (the fourth pillar).
+
+Phase-structured application profiles with separable telemetry signatures,
+a reproducible synthetic workload generator with user communities and
+daily/weekly submission cycles, and per-region instrumentation for
+profiling-based ODA.
+"""
+
+from repro.apps.generator import JobRequest, SyntheticUser, WorkloadGenerator
+from repro.apps.instrumentation import RegionProfile, profile_regions
+from repro.apps.profiles import (
+    AppClass,
+    AppPhase,
+    AppProfile,
+    ProfileCatalog,
+    default_catalog,
+)
+
+__all__ = [
+    "JobRequest",
+    "SyntheticUser",
+    "WorkloadGenerator",
+    "RegionProfile",
+    "profile_regions",
+    "AppClass",
+    "AppPhase",
+    "AppProfile",
+    "ProfileCatalog",
+    "default_catalog",
+]

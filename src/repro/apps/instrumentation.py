@@ -1,0 +1,78 @@
+"""Per-region application instrumentation (profiling data).
+
+Application-pillar descriptive ODA includes profiling dashboards
+(HPCtoolkit [10], ClusterCockpit [5]) built on per-code-region performance
+data.  Here we derive region records from an application's phase structure:
+each phase corresponds to a code region with a time share, arithmetic
+intensity and bandwidth demand — enough to drive the roofline model [63]
+and code-region performance prediction [24].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.apps.profiles import AppProfile
+
+__all__ = ["RegionProfile", "profile_regions"]
+
+#: Machine constants used to convert normalized loads into roofline coords.
+PEAK_GFLOPS = 3000.0
+PEAK_MEM_BW_GBS = 200.0
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Profiling record for one code region (one application phase).
+
+    Attributes
+    ----------
+    region:
+        Region (phase) name.
+    time_share:
+        Fraction of one cycle spent in this region at nominal speed.
+    gflops:
+        Achieved GFLOP/s while in the region.
+    mem_bw_gbs:
+        Achieved memory bandwidth (GB/s) while in the region.
+    arithmetic_intensity:
+        FLOP per byte moved — the roofline x-coordinate.
+    compute_fraction:
+        Frequency sensitivity of the region (for DVFS prediction).
+    """
+
+    region: str
+    time_share: float
+    gflops: float
+    mem_bw_gbs: float
+    arithmetic_intensity: float
+    compute_fraction: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether the roofline classifies the region as bandwidth-bound."""
+        machine_balance = PEAK_GFLOPS / PEAK_MEM_BW_GBS
+        return self.arithmetic_intensity < machine_balance
+
+
+def profile_regions(profile: AppProfile) -> List[RegionProfile]:
+    """Instrument an application: one record per phase of its cycle."""
+    total = profile.cycle_work_s
+    records: List[RegionProfile] = []
+    for phase in profile.phases:
+        gflops = phase.load.flops_per_second * PEAK_GFLOPS
+        mem_bw = phase.load.mem_bw_util * PEAK_MEM_BW_GBS
+        bytes_per_s = max(mem_bw * 1e9, 1.0)
+        intensity = (gflops * 1e9) / bytes_per_s
+        records.append(
+            RegionProfile(
+                region=phase.name,
+                time_share=phase.work_s / total,
+                gflops=gflops,
+                mem_bw_gbs=mem_bw,
+                arithmetic_intensity=intensity,
+                compute_fraction=phase.load.compute_fraction,
+            )
+        )
+    return records

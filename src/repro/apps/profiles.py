@@ -1,0 +1,274 @@
+"""Application profiles: phase-structured synthetic HPC workloads.
+
+Each application is a cyclic sequence of phases (compute, memory, I/O,
+communication, checkpoint...), every phase carrying the per-node resource
+demands of :class:`~repro.cluster.node.NodeLoad`.  Distinct application
+classes have distinct multi-dimensional telemetry signatures, which is what
+application fingerprinting (Taxonomist [33], DeMasi et al. [36]) and
+performance-pattern diagnosis (Imes et al. [20]) rely on — including the
+paper's canonical rogue workload, the cryptocurrency miner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.node import NodeLoad
+from repro.errors import ConfigurationError
+
+__all__ = ["AppClass", "AppPhase", "AppProfile", "ProfileCatalog", "default_catalog"]
+
+
+class AppClass(Enum):
+    """Coarse application families with separable telemetry signatures."""
+
+    COMPUTE_BOUND = "compute_bound"
+    MEMORY_BOUND = "memory_bound"
+    IO_BOUND = "io_bound"
+    NETWORK_BOUND = "network_bound"
+    MIXED = "mixed"
+    CRYPTOMINER = "cryptominer"
+
+
+@dataclass(frozen=True)
+class AppPhase:
+    """One phase of an application's execution cycle.
+
+    ``work_s`` is the phase length in *work seconds*: wall-clock time when
+    the node progresses at rate 1.0 (nominal frequency, no contention).
+    """
+
+    name: str
+    work_s: float
+    load: NodeLoad
+
+    def __post_init__(self) -> None:
+        if self.work_s <= 0:
+            raise ConfigurationError(f"phase {self.name}: work_s must be positive")
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """A named application: class, phase cycle and sizing defaults.
+
+    The phase cycle repeats until the job's total work is exhausted, so a
+    long job shows the periodic telemetry pattern real iterative solvers
+    produce (e.g. compute bursts punctuated by checkpoint I/O).
+    """
+
+    name: str
+    app_class: AppClass
+    phases: Tuple[AppPhase, ...]
+    typical_nodes: Tuple[int, ...] = (1, 2, 4)
+    typical_work_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError(f"profile {self.name} has no phases")
+
+    @property
+    def cycle_work_s(self) -> float:
+        """Total work seconds of one full phase cycle."""
+        return sum(p.work_s for p in self.phases)
+
+    def phase_at(self, work_done_s: float) -> AppPhase:
+        """The phase active after ``work_done_s`` seconds of completed work."""
+        offset = work_done_s % self.cycle_work_s
+        for phase in self.phases:
+            if offset < phase.work_s:
+                return phase
+            offset -= phase.work_s
+        return self.phases[-1]
+
+    def mean_load(self) -> NodeLoad:
+        """Work-weighted average load over one cycle (for quick estimates)."""
+        total = self.cycle_work_s
+        acc = {
+            "cpu_util": 0.0, "mem_bw_util": 0.0, "mem_occupancy": 0.0,
+            "io_bw_bytes": 0.0, "net_bw_bytes": 0.0, "compute_fraction": 0.0,
+            "flops_per_second": 0.0,
+        }
+        for phase in self.phases:
+            weight = phase.work_s / total
+            for key in acc:
+                acc[key] += weight * getattr(phase.load, key)
+        return NodeLoad(**acc)
+
+
+class ProfileCatalog:
+    """Registry of application profiles keyed by name."""
+
+    def __init__(self, profiles: Optional[Sequence[AppProfile]] = None):
+        self._profiles: Dict[str, AppProfile] = {}
+        for profile in profiles or ():
+            self.add(profile)
+
+    def add(self, profile: AppProfile) -> AppProfile:
+        if profile.name in self._profiles:
+            raise ConfigurationError(f"duplicate profile {profile.name!r}")
+        self._profiles[profile.name] = profile
+        return profile
+
+    def get(self, name: str) -> AppProfile:
+        try:
+            return self._profiles[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown application profile {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self):
+        return iter(self._profiles.values())
+
+    def by_class(self, app_class: AppClass) -> List[AppProfile]:
+        return [p for p in self._profiles.values() if p.app_class is app_class]
+
+
+def _phase(name: str, work_s: float, **load_kwargs: float) -> AppPhase:
+    return AppPhase(name=name, work_s=work_s, load=NodeLoad(**load_kwargs))
+
+
+def default_catalog() -> ProfileCatalog:
+    """The stock application mix used by examples and benchmarks.
+
+    Classes are chosen so that (a) every boundedness family from the paper's
+    diagnostic use cases is present, (b) signatures are separable but not
+    trivially so (several share high CPU utilization and differ only in
+    memory/network/IO dimensions), and (c) one profile is a cryptominer.
+    """
+    return ProfileCatalog(
+        [
+            AppProfile(
+                name="cfd_solver",
+                app_class=AppClass.COMPUTE_BOUND,
+                phases=(
+                    _phase("assemble", 120, cpu_util=0.95, mem_bw_util=0.35,
+                           mem_occupancy=0.5, compute_fraction=0.85,
+                           flops_per_second=0.55, net_bw_bytes=4e8),
+                    _phase("solve", 600, cpu_util=0.98, mem_bw_util=0.3,
+                           mem_occupancy=0.5, compute_fraction=0.9,
+                           flops_per_second=0.7, net_bw_bytes=6e8),
+                    _phase("checkpoint", 60, cpu_util=0.2, mem_bw_util=0.1,
+                           mem_occupancy=0.5, compute_fraction=0.1,
+                           io_bw_bytes=1.5e9),
+                ),
+                typical_nodes=(4, 8, 16),
+                typical_work_s=4 * 3600.0,
+            ),
+            AppProfile(
+                name="md_sim",
+                app_class=AppClass.COMPUTE_BOUND,
+                phases=(
+                    _phase("force_calc", 300, cpu_util=0.97, mem_bw_util=0.25,
+                           mem_occupancy=0.3, compute_fraction=0.92,
+                           flops_per_second=0.75, net_bw_bytes=3e8),
+                    _phase("neighbor_update", 45, cpu_util=0.8, mem_bw_util=0.6,
+                           mem_occupancy=0.3, compute_fraction=0.5,
+                           flops_per_second=0.2, net_bw_bytes=8e8),
+                ),
+                typical_nodes=(2, 4, 8),
+                typical_work_s=6 * 3600.0,
+            ),
+            AppProfile(
+                name="climate_model",
+                app_class=AppClass.MEMORY_BOUND,
+                phases=(
+                    _phase("dynamics", 400, cpu_util=0.85, mem_bw_util=0.9,
+                           mem_occupancy=0.75, compute_fraction=0.35,
+                           flops_per_second=0.25, net_bw_bytes=1.2e9),
+                    _phase("physics", 200, cpu_util=0.9, mem_bw_util=0.7,
+                           mem_occupancy=0.75, compute_fraction=0.55,
+                           flops_per_second=0.4, net_bw_bytes=5e8),
+                    _phase("history_write", 80, cpu_util=0.15, mem_bw_util=0.2,
+                           mem_occupancy=0.75, compute_fraction=0.05,
+                           io_bw_bytes=2.5e9),
+                ),
+                typical_nodes=(8, 16, 32),
+                typical_work_s=8 * 3600.0,
+            ),
+            AppProfile(
+                name="graph_analytics",
+                app_class=AppClass.MEMORY_BOUND,
+                phases=(
+                    _phase("traverse", 500, cpu_util=0.7, mem_bw_util=0.95,
+                           mem_occupancy=0.9, compute_fraction=0.15,
+                           flops_per_second=0.05, net_bw_bytes=1.5e9),
+                    _phase("aggregate", 100, cpu_util=0.75, mem_bw_util=0.5,
+                           mem_occupancy=0.9, compute_fraction=0.4,
+                           flops_per_second=0.1, net_bw_bytes=2e9),
+                ),
+                typical_nodes=(2, 4),
+                typical_work_s=2 * 3600.0,
+            ),
+            AppProfile(
+                name="genomics_pipeline",
+                app_class=AppClass.IO_BOUND,
+                phases=(
+                    _phase("ingest", 200, cpu_util=0.3, mem_bw_util=0.2,
+                           mem_occupancy=0.4, compute_fraction=0.1,
+                           io_bw_bytes=4e9),
+                    _phase("align", 300, cpu_util=0.85, mem_bw_util=0.45,
+                           mem_occupancy=0.4, compute_fraction=0.6,
+                           flops_per_second=0.15, io_bw_bytes=1e9),
+                    _phase("write_results", 120, cpu_util=0.2, mem_bw_util=0.15,
+                           mem_occupancy=0.4, compute_fraction=0.05,
+                           io_bw_bytes=3.5e9),
+                ),
+                typical_nodes=(1, 2, 4),
+                typical_work_s=3 * 3600.0,
+            ),
+            AppProfile(
+                name="spectral_fft",
+                app_class=AppClass.NETWORK_BOUND,
+                phases=(
+                    _phase("local_fft", 150, cpu_util=0.9, mem_bw_util=0.6,
+                           mem_occupancy=0.6, compute_fraction=0.7,
+                           flops_per_second=0.5, net_bw_bytes=8e8),
+                    _phase("transpose", 250, cpu_util=0.5, mem_bw_util=0.4,
+                           mem_occupancy=0.6, compute_fraction=0.1,
+                           flops_per_second=0.05, net_bw_bytes=6e9),
+                ),
+                typical_nodes=(4, 8, 16),
+                typical_work_s=2 * 3600.0,
+            ),
+            AppProfile(
+                name="data_assimilation",
+                app_class=AppClass.MIXED,
+                phases=(
+                    _phase("read_obs", 90, cpu_util=0.25, mem_bw_util=0.2,
+                           mem_occupancy=0.55, compute_fraction=0.1,
+                           io_bw_bytes=2e9),
+                    _phase("analysis", 400, cpu_util=0.92, mem_bw_util=0.65,
+                           mem_occupancy=0.55, compute_fraction=0.6,
+                           flops_per_second=0.45, net_bw_bytes=1.5e9),
+                    _phase("broadcast", 60, cpu_util=0.4, mem_bw_util=0.3,
+                           mem_occupancy=0.55, compute_fraction=0.1,
+                           net_bw_bytes=4e9),
+                ),
+                typical_nodes=(4, 8),
+                typical_work_s=3 * 3600.0,
+            ),
+            AppProfile(
+                name="cryptominer",
+                app_class=AppClass.CRYPTOMINER,
+                phases=(
+                    # The signature that gives miners away: pegged CPU,
+                    # minimal memory traffic, no I/O, no communication,
+                    # perfectly flat over time.
+                    _phase("hash", 3600, cpu_util=0.99, mem_bw_util=0.05,
+                           mem_occupancy=0.05, compute_fraction=0.98,
+                           flops_per_second=0.1),
+                ),
+                typical_nodes=(1,),
+                typical_work_s=12 * 3600.0,
+            ),
+        ]
+    )

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map to the library's main entry points so operators can use the
+framework without writing code:
+
+* ``survey``    — regenerate Table I, Figures 1-3 and the survey analysis.
+* ``classify``  — map a free-text ODA capability description onto the grid.
+* ``roadmap``   — staged recommendations from a list of covered cells.
+* ``simulate``  — run the synthetic data center, print KPIs, optionally
+  archive the telemetry store to ``.npz``.
+* ``replay``    — policy what-if comparison on a synthetic trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPC Operational Data Analytics framework and platform",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("survey", help="regenerate Table I, Figures 1-3 and the analysis")
+
+    classify = sub.add_parser("classify", help="classify an ODA description onto the grid")
+    classify.add_argument("description", nargs="+", help="free-text capability description")
+
+    roadmap = sub.add_parser("roadmap", help="staged roadmap from covered cells")
+    roadmap.add_argument(
+        "--covered", nargs="*", default=[],
+        help="covered cells as type:pillar (e.g. descriptive:system_hardware)",
+    )
+    roadmap.add_argument("--horizon", type=int, default=8)
+
+    simulate = sub.add_parser("simulate", help="run the synthetic data center")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--racks", type=int, default=2)
+    simulate.add_argument("--nodes-per-rack", type=int, default=8)
+    simulate.add_argument("--days", type=float, default=1.0)
+    simulate.add_argument("--jobs-per-day", type=float, default=24.0)
+    simulate.add_argument("--faults", action="store_true")
+    simulate.add_argument("--save-store", metavar="PATH.npz",
+                          help="archive the telemetry store")
+
+    replay = sub.add_parser("replay", help="compare scheduling policies on a trace")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--days", type=float, default=1.0)
+    replay.add_argument("--jobs-per-day", type=float, default=24.0)
+    replay.add_argument("--racks", type=int, default=2)
+    replay.add_argument("--nodes-per-rack", type=int, default=8)
+    return parser
+
+
+def _cmd_survey() -> int:
+    from repro.analytics.descriptive import table
+    from repro.core import (
+        analyze_survey, figure3_systems, render_fig1, render_fig2,
+        render_fig3, render_occupancy, render_table1, survey_grid,
+    )
+
+    grid = survey_grid()
+    print(render_fig1())
+    print()
+    print(render_fig2())
+    print()
+    print(render_table1(grid))
+    print()
+    print(render_occupancy(grid))
+    print()
+    print(render_fig3(figure3_systems()))
+    print()
+    print(table(analyze_survey(grid).rows(), title="Survey statistics"))
+    return 0
+
+
+def _cmd_classify(words: List[str]) -> int:
+    from repro.core import UseCaseClassifier
+    from repro.errors import ClassificationError
+
+    text = " ".join(words)
+    try:
+        print(UseCaseClassifier().explain(text))
+    except ClassificationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_roadmap(covered: List[str], horizon: int) -> int:
+    from repro.core import AnalyticsType, GridCell, Pillar, plan_roadmap
+
+    cells = []
+    for item in covered:
+        try:
+            type_name, pillar_name = item.split(":")
+            cells.append(GridCell(AnalyticsType(type_name), Pillar(pillar_name)))
+        except (ValueError, KeyError):
+            print(f"error: bad cell spec {item!r} (want type:pillar)", file=sys.stderr)
+            return 1
+    for step in plan_roadmap(cells, horizon=horizon):
+        print(f"{step.priority}. {step.cell.label}")
+        print(f"   {step.rationale}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analytics.descriptive import table
+    from repro.oda import DataCenter, collect_kpis
+    from repro.telemetry import save_store
+
+    dc = DataCenter(
+        seed=args.seed, racks=args.racks, nodes_per_rack=args.nodes_per_rack,
+        enable_faults=args.faults,
+    )
+    requests = dc.generate_workload(days=args.days, jobs_per_day=args.jobs_per_day)
+    print(f"simulating {args.days} days, {len(requests)} submissions ...")
+    dc.run(days=args.days)
+    kpis = collect_kpis(dc)
+    print(table(kpis.rows(), title="Run KPIs"))
+    if args.save_store:
+        count = save_store(dc.store, args.save_store)
+        print(f"archived {count} series to {args.save_store}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.analytics.prescriptive import CoolingAwarePolicy, PowerAwarePolicy
+    from repro.apps import WorkloadGenerator
+    from repro.software import EasyBackfillPolicy, FcfsPolicy, compare_policies
+
+    generator = WorkloadGenerator(
+        np.random.default_rng(args.seed), jobs_per_day=args.jobs_per_day,
+        max_nodes=args.racks * args.nodes_per_rack,
+    )
+    requests = generator.generate(0.0, args.days * 86_400.0)
+    print(f"replaying {len(requests)} submissions under 4 policies ...")
+    results = compare_policies(
+        requests,
+        {
+            "fcfs": FcfsPolicy(),
+            "easy_backfill": EasyBackfillPolicy(),
+            "power_aware": PowerAwarePolicy(
+                power_cap_w=args.racks * args.nodes_per_rack * 300.0
+            ),
+            "cooling_aware": CoolingAwarePolicy(),
+        },
+        racks=args.racks,
+        nodes_per_rack=args.nodes_per_rack,
+    )
+    for result in results:
+        print("  " + ", ".join(f"{k}={v}" for k, v in result.rows()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "survey":
+        return _cmd_survey()
+    if args.command == "classify":
+        return _cmd_classify(args.description)
+    if args.command == "roadmap":
+        return _cmd_roadmap(args.covered, args.horizon)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

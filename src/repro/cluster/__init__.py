@@ -1,0 +1,29 @@
+"""System-hardware substrate (the second pillar).
+
+Compute nodes with power/thermal/DVFS models, racks, a fat-tree fabric,
+a shared parallel filesystem, stochastic hardware faults, and the
+:class:`~repro.cluster.system.HPCSystem` aggregate that exports hardware
+telemetry.
+"""
+
+from repro.cluster.faults import NodeFault, NodeFaultKind, NodeFaultModel
+from repro.cluster.network import FatTreeFabric
+from repro.cluster.node import IDLE_LOAD, ComputeNode, CpuSpec, NodeLoad
+from repro.cluster.rack import Rack
+from repro.cluster.storage import ParallelFilesystem
+from repro.cluster.system import HPCSystem, build_system
+
+__all__ = [
+    "NodeFault",
+    "NodeFaultKind",
+    "NodeFaultModel",
+    "FatTreeFabric",
+    "IDLE_LOAD",
+    "ComputeNode",
+    "CpuSpec",
+    "NodeLoad",
+    "Rack",
+    "ParallelFilesystem",
+    "HPCSystem",
+    "build_system",
+]

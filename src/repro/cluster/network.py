@@ -1,0 +1,170 @@
+"""Interconnect fabric model.
+
+A two-level fat-tree built on :mod:`networkx`: nodes attach to leaf (edge)
+switches, leaves attach to spine switches.  Job traffic is routed over
+shortest paths; when the offered load on a link exceeds its capacity every
+flow crossing it is slowed proportionally.  This produces exactly the
+inter-job network contention that diagnostic hardware ODA analyses at link
+level (Jha et al. [55], Grant et al. [19]).
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FatTreeFabric"]
+
+LinkKey = Tuple[str, str]
+
+
+def _canonical(a: str, b: str) -> LinkKey:
+    return (a, b) if a <= b else (b, a)
+
+
+class FatTreeFabric:
+    """Two-level fat-tree with proportional-share contention.
+
+    Parameters
+    ----------
+    node_names:
+        Compute-node identifiers to attach.
+    nodes_per_leaf:
+        Ports per leaf switch dedicated to compute nodes.
+    spine_count:
+        Number of spine switches (each leaf uplinks to all spines).
+    link_capacity:
+        Capacity of every link in bytes/s.
+    """
+
+    def __init__(
+        self,
+        node_names: Sequence[str],
+        nodes_per_leaf: int = 16,
+        spine_count: int = 2,
+        link_capacity: float = 12.5e9,  # 100 Gb/s
+    ):
+        if not node_names:
+            raise ConfigurationError("fabric needs at least one node")
+        if nodes_per_leaf < 1 or spine_count < 1:
+            raise ConfigurationError("nodes_per_leaf and spine_count must be >= 1")
+        self.link_capacity = link_capacity
+        self.graph = nx.Graph()
+        self.leaves: List[str] = []
+        self.spines = [f"spine{i}" for i in range(spine_count)]
+        self._node_leaf: Dict[str, str] = {}
+
+        for spine in self.spines:
+            self.graph.add_node(spine, role="spine")
+        for leaf_index, start in enumerate(range(0, len(node_names), nodes_per_leaf)):
+            leaf = f"leaf{leaf_index}"
+            self.leaves.append(leaf)
+            self.graph.add_node(leaf, role="leaf")
+            for spine in self.spines:
+                self.graph.add_edge(leaf, spine)
+            for name in node_names[start : start + nodes_per_leaf]:
+                self.graph.add_node(name, role="node")
+                self.graph.add_edge(name, leaf)
+                self._node_leaf[name] = leaf
+
+        # Offered load per link for the current step, bytes/s.
+        self._offered: Dict[LinkKey, float] = {}
+        # flow id -> links it crosses (so slowdowns can be attributed).
+        self._flow_links: Dict[str, List[LinkKey]] = {}
+
+    # ------------------------------------------------------------------
+    def leaf_of(self, node_name: str) -> str:
+        try:
+            return self._node_leaf[node_name]
+        except KeyError:
+            raise ConfigurationError(f"unknown fabric node {node_name!r}") from None
+
+    def route(self, src: str, dst: str) -> List[LinkKey]:
+        """Deterministic shortest-path route between two compute nodes.
+
+        Same-leaf pairs route through their leaf only; cross-leaf pairs use
+        the spine chosen by a stable hash of the pair, modelling static
+        (deterministic) routing.
+        """
+        leaf_src, leaf_dst = self.leaf_of(src), self.leaf_of(dst)
+        if leaf_src == leaf_dst:
+            return [_canonical(src, leaf_src), _canonical(leaf_src, dst)]
+        # crc32 keeps spine selection stable across processes (unlike hash()).
+        pair_key = zlib.crc32(f"{min(src, dst)}|{max(src, dst)}".encode())
+        spine = self.spines[pair_key % len(self.spines)]
+        return [
+            _canonical(src, leaf_src),
+            _canonical(leaf_src, spine),
+            _canonical(spine, leaf_dst),
+            _canonical(leaf_dst, dst),
+        ]
+
+    # ------------------------------------------------------------------
+    def begin_step(self) -> None:
+        """Reset offered loads before re-registering the current flows."""
+        self._offered.clear()
+        self._flow_links.clear()
+
+    def offer_flow(self, flow_id: str, members: Sequence[str], bytes_per_s: float) -> None:
+        """Register a job's aggregate traffic among its allocated nodes.
+
+        ``bytes_per_s`` is the job's total transmit rate summed over
+        members.  Traffic is a uniform all-to-all: each member transmits
+        ``bytes_per_s / n`` split evenly across its ``n - 1`` peers, so a
+        pair's bidirectional rate is ``2 * bytes_per_s / (n * (n - 1))``
+        and a member's access link carries exactly ``2 * bytes_per_s / n``
+        (tx + rx) when uncontended.
+        """
+        n = len(members)
+        if bytes_per_s <= 0 or n < 2:
+            return
+        per_pair = 2.0 * bytes_per_s / (n * (n - 1))
+        links: List[LinkKey] = []
+        for src, dst in itertools.combinations(sorted(members), 2):
+            for link in self.route(src, dst):
+                self._offered[link] = self._offered.get(link, 0.0) + per_pair
+                links.append(link)
+        self._flow_links[flow_id] = links
+
+    def link_utilization(self) -> Dict[LinkKey, float]:
+        """Offered load / capacity per link (can exceed 1 when saturated)."""
+        return {
+            link: offered / self.link_capacity
+            for link, offered in self._offered.items()
+        }
+
+    def flow_slowdown(self, flow_id: str) -> float:
+        """Contention slowdown factor (>= 1) for a registered flow.
+
+        The factor is the worst oversubscription among links the flow
+        crosses — proportional-share sharing means a flow crossing a link
+        offered at 2x capacity progresses at half speed.
+        """
+        links = self._flow_links.get(flow_id)
+        if not links:
+            return 1.0
+        worst = max(
+            self._offered.get(link, 0.0) / self.link_capacity for link in links
+        )
+        return max(worst, 1.0)
+
+    def hot_links(self, threshold: float = 0.9) -> List[Tuple[LinkKey, float]]:
+        """Links above a utilization threshold, most loaded first."""
+        utilization = self.link_utilization()
+        hot = [(link, u) for link, u in utilization.items() if u >= threshold]
+        return sorted(hot, key=lambda item: -item[1])
+
+    def sensors(self) -> Dict[str, float]:
+        """Fabric-level aggregates for telemetry."""
+        utilization = list(self.link_utilization().values())
+        return {
+            "links_active": float(len(utilization)),
+            "max_link_util": max(utilization, default=0.0),
+            "mean_link_util": (sum(utilization) / len(utilization)) if utilization else 0.0,
+            "saturated_links": float(sum(1 for u in utilization if u > 1.0)),
+        }

@@ -1,0 +1,280 @@
+"""Compute-node model: power, thermals, DVFS and performance counters.
+
+The node is the unit of the system-hardware pillar.  Its models capture the
+couplings hardware ODA exploits:
+
+* **Power** splits into idle, dynamic (scaling with utilization and the cube
+  of frequency) and temperature-dependent leakage — so DVFS tuning
+  (GEOPM [11], EAR [24], SuperMUC EAS [40]) has a real energy/performance
+  trade-off to optimize.
+* **Thermals** are first-order: node temperature relaxes toward
+  ``inlet + R_th * power`` with a time constant, so cooling setpoints
+  (facility pillar) propagate into fan power and leakage (hardware pillar) —
+  the cross-pillar coupling the paper emphasises.
+* **Performance counters** (IPC proxy, memory bandwidth, FLOPS) are derived
+  from the assigned workload phase, giving fingerprinting and anomaly
+  detection realistic multi-dimensional signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, ControlError
+
+__all__ = ["NodeLoad", "CpuSpec", "ComputeNode", "IDLE_LOAD"]
+
+
+@dataclass(frozen=True)
+class NodeLoad:
+    """Resource demands a running job phase places on one node.
+
+    All utilizations are fractions in ``[0, 1]`` of the node's capacity.
+
+    Attributes
+    ----------
+    cpu_util:
+        Fraction of CPU cycles demanded.
+    mem_bw_util:
+        Fraction of memory bandwidth demanded (drives memory-boundedness).
+    mem_occupancy:
+        Fraction of DRAM capacity resident.
+    io_bw_bytes:
+        Filesystem bandwidth demanded, bytes/s (shared; see storage model).
+    net_bw_bytes:
+        Network bandwidth demanded toward job peers, bytes/s.
+    compute_fraction:
+        Sensitivity of progress to CPU frequency: 1.0 = perfectly
+        compute-bound (progress scales with f), 0.0 = fully bound elsewhere.
+    flops_per_second:
+        Peak-normalized FLOP rate at nominal frequency and full progress.
+    """
+
+    cpu_util: float = 0.0
+    mem_bw_util: float = 0.0
+    mem_occupancy: float = 0.0
+    io_bw_bytes: float = 0.0
+    net_bw_bytes: float = 0.0
+    compute_fraction: float = 1.0
+    flops_per_second: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_util", "mem_bw_util", "mem_occupancy", "compute_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"NodeLoad.{name} must be in [0,1], got {value}")
+
+
+#: The load of an idle node.
+IDLE_LOAD = NodeLoad()
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static CPU description, including the DVFS ladder."""
+
+    cores: int = 48
+    freq_levels_ghz: tuple = (1.2, 1.6, 2.0, 2.4, 2.7)
+    nominal_ghz: float = 2.4
+    tdp_w: float = 205.0
+    peak_gflops: float = 3000.0
+
+    def __post_init__(self) -> None:
+        if self.nominal_ghz not in self.freq_levels_ghz:
+            raise ConfigurationError(
+                f"nominal frequency {self.nominal_ghz} not in ladder {self.freq_levels_ghz}"
+            )
+
+
+class ComputeNode:
+    """One compute node with power, thermal and counter models.
+
+    Parameters
+    ----------
+    name:
+        Metric-path identifier, e.g. ``"r0n3"``.
+    cpu:
+        CPU specification (two sockets assumed folded into one spec).
+    idle_power_w / max_dynamic_w:
+        Power at idle, and the additional dynamic power at full utilization
+        and nominal frequency.
+    thermal_resistance:
+        Kelvin per watt from node power to steady-state temperature rise.
+    thermal_tau_s:
+        First-order thermal time constant.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cpu: Optional[CpuSpec] = None,
+        idle_power_w: float = 120.0,
+        max_dynamic_w: float = 280.0,
+        leakage_coeff: float = 0.0035,
+        thermal_resistance: float = 0.06,
+        thermal_tau_s: float = 120.0,
+        fan_base_w: float = 10.0,
+        fan_max_w: float = 45.0,
+        throttle_temp_c: float = 85.0,
+    ):
+        self.name = name
+        self.cpu = cpu or CpuSpec()
+        self.idle_power_w = idle_power_w
+        self.max_dynamic_w = max_dynamic_w
+        self.leakage_coeff = leakage_coeff
+        self.thermal_resistance = thermal_resistance
+        self.thermal_tau_s = thermal_tau_s
+        self.fan_base_w = fan_base_w
+        self.fan_max_w = fan_max_w
+        self.throttle_temp_c = throttle_temp_c
+
+        # Dynamic state.
+        self.frequency_ghz = self.cpu.nominal_ghz
+        self.inlet_temp_c = 20.0
+        self.temp_c = 30.0
+        self.load: NodeLoad = IDLE_LOAD
+        self.job_id: Optional[str] = None
+        self.up = True
+        self.energy_j = 0.0
+        self.age_s = 0.0
+        self.ecc_errors = 0
+        # Health factors degraded by hardware faults (1.0 = nominal).
+        self.mem_bw_health = 1.0
+        self.cpu_health = 1.0
+        # Fraction of cycles stolen by OS/kernel interference (software pillar).
+        self.os_noise = 0.0
+
+        self._power_w = idle_power_w
+        self._progress_rate = 0.0
+        self._contention = 1.0  # network/storage slowdown factor (>= 1)
+
+    # ------------------------------------------------------------------
+    # Knobs (prescriptive interfaces)
+    # ------------------------------------------------------------------
+    def set_frequency(self, ghz: float) -> None:
+        """Actuate DVFS: set the core frequency to a ladder level."""
+        if ghz not in self.cpu.freq_levels_ghz:
+            raise ControlError(
+                f"node {self.name}: {ghz} GHz not in ladder {self.cpu.freq_levels_ghz}"
+            )
+        self.frequency_ghz = ghz
+
+    # ------------------------------------------------------------------
+    # Workload interface (driven by the software pillar)
+    # ------------------------------------------------------------------
+    def assign(self, job_id: Optional[str], load: NodeLoad) -> None:
+        """Install the demands of a running job phase (or idle the node)."""
+        self.job_id = job_id
+        self.load = load
+
+    def set_contention(self, factor: float) -> None:
+        """Install the shared-resource slowdown factor (>= 1) for this step."""
+        if factor < 1.0:
+            raise ConfigurationError(f"contention factor must be >= 1, got {factor}")
+        self._contention = factor
+
+    @property
+    def progress_rate(self) -> float:
+        """Fraction of nominal work completed per wall-clock second.
+
+        1.0 means the phase advances in real time; DVFS below nominal slows
+        compute-bound phases, and contention slows the rest.
+        """
+        return self._progress_rate
+
+    # ------------------------------------------------------------------
+    # Physics
+    # ------------------------------------------------------------------
+    def update(self, dt: float) -> float:
+        """Advance power/thermal state by ``dt`` seconds; returns power (W)."""
+        if not self.up:
+            self._power_w = 0.0
+            self._progress_rate = 0.0
+            self.temp_c += (self.inlet_temp_c - self.temp_c) * min(
+                dt / self.thermal_tau_s, 1.0
+            )
+            return 0.0
+
+        freq_ratio = self.frequency_ghz / self.cpu.nominal_ghz
+        thermal_throttle = 1.0 if self.temp_c < self.throttle_temp_c else 0.7
+        effective_util = self.load.cpu_util * self.cpu_health * thermal_throttle
+
+        # Progress: compute-bound share scales with frequency, the rest is
+        # bounded by memory/IO/network and by the contention factor.
+        compute_share = self.load.compute_fraction
+        rate = compute_share * freq_ratio * thermal_throttle + (1.0 - compute_share)
+        rate *= max(1.0 - self.os_noise, 0.0)
+        self._progress_rate = rate / self._contention if self.load.cpu_util > 0 else 0.0
+
+        dynamic = self.max_dynamic_w * effective_util * freq_ratio**3
+        leakage = self.idle_power_w * self.leakage_coeff * max(self.temp_c - 30.0, 0.0)
+        fan_fraction = min(max((self.temp_c - 40.0) / 45.0, 0.0), 1.0)
+        fan = self.fan_base_w + (self.fan_max_w - self.fan_base_w) * fan_fraction**2
+        power = self.idle_power_w + dynamic + leakage + fan
+
+        # First-order thermal relaxation toward the steady state.
+        steady = self.inlet_temp_c + self.thermal_resistance * power
+        alpha = min(dt / self.thermal_tau_s, 1.0)
+        self.temp_c += (steady - self.temp_c) * alpha
+
+        self._power_w = power
+        self.energy_j += power * dt
+        self.age_s += dt
+        return power
+
+    # ------------------------------------------------------------------
+    # Failure / fault hooks (driven by cluster.faults)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Hard failure: node goes down, dropping its job."""
+        self.up = False
+        self.job_id = None
+        self.load = IDLE_LOAD
+
+    def restore(self) -> None:
+        """Bring the node back after repair."""
+        self.up = True
+        self.cpu_health = 1.0
+        self.mem_bw_health = 1.0
+        self.ecc_errors = 0
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @property
+    def power_w(self) -> float:
+        return self._power_w
+
+    def counters(self) -> Dict[str, float]:
+        """Instantaneous sensor/counter readings for this node."""
+        freq_ratio = self.frequency_ghz / self.cpu.nominal_ghz
+        flops = (
+            self.load.flops_per_second
+            * self._progress_rate
+            * self.cpu.peak_gflops
+            * 1e9
+            if self.up
+            else 0.0
+        )
+        return {
+            "power": self._power_w,
+            "temp": self.temp_c,
+            "inlet_temp": self.inlet_temp_c,
+            "freq": self.frequency_ghz,
+            "cpu_util": self.load.cpu_util if self.up else 0.0,
+            "mem_bw_util": self.load.mem_bw_util * self.mem_bw_health if self.up else 0.0,
+            "mem_occupancy": self.load.mem_occupancy if self.up else 0.0,
+            "io_bw": self.load.io_bw_bytes if self.up else 0.0,
+            "net_bw": self.load.net_bw_bytes if self.up else 0.0,
+            "flops": flops,
+            "ipc": (self.load.compute_fraction * 1.6 + 0.4) * freq_ratio
+            * self.cpu_health
+            if (self.up and self.load.cpu_util > 0)
+            else 0.0,
+            "ecc_errors": float(self.ecc_errors),
+            # Context-switch rate: baseline plus the noise contribution —
+            # the observable OS-noise detectors work from (Ferreira [57]).
+            "ctx_switches": 200.0 + 50_000.0 * self.os_noise,
+            "up": 1.0 if self.up else 0.0,
+        }

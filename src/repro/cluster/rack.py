@@ -1,0 +1,78 @@
+"""Racks: physical grouping of nodes with a shared cooling position.
+
+Each rack receives coolant from a cooling loop with a position-dependent
+temperature offset (racks further along the row run slightly warmer), which
+gives the cooling-aware placement use case (Bash & Forman [22]) a real
+gradient to exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.node import ComputeNode
+from repro.errors import ConfigurationError
+
+__all__ = ["Rack"]
+
+
+class Rack:
+    """A rack of compute nodes.
+
+    Parameters
+    ----------
+    name:
+        Rack identifier, e.g. ``"rack0"``.
+    nodes:
+        The nodes housed in this rack.
+    cooling_offset_c:
+        Temperature penalty of this rack's position relative to the loop
+        supply temperature (0 = closest to the cooling distribution unit).
+    loop_name:
+        Name of the facility cooling loop serving this rack.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nodes: List[ComputeNode],
+        cooling_offset_c: float = 0.0,
+        loop_name: str = "loop0",
+    ):
+        if not nodes:
+            raise ConfigurationError(f"rack {name} must contain at least one node")
+        self.name = name
+        self.nodes = nodes
+        self.cooling_offset_c = cooling_offset_c
+        self.loop_name = loop_name
+
+    def set_inlet_temp(self, supply_temp_c: float) -> None:
+        """Propagate the loop supply temperature to every node's inlet."""
+        inlet = supply_temp_c + self.cooling_offset_c
+        for node in self.nodes:
+            node.inlet_temp_c = inlet
+
+    @property
+    def power_w(self) -> float:
+        """Total instantaneous rack power."""
+        return sum(node.power_w for node in self.nodes)
+
+    @property
+    def up_nodes(self) -> List[ComputeNode]:
+        return [node for node in self.nodes if node.up]
+
+    def node(self, name: str) -> ComputeNode:
+        for candidate in self.nodes:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(f"rack {self.name} has no node {name!r}")
+
+    def sensors(self) -> Dict[str, float]:
+        """Rack-level aggregate sensors."""
+        up = self.up_nodes
+        return {
+            "power": self.power_w,
+            "nodes_up": float(len(up)),
+            "max_temp": max((n.temp_c for n in up), default=0.0),
+            "mean_temp": (sum(n.temp_c for n in up) / len(up)) if up else 0.0,
+        }

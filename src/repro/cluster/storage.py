@@ -1,0 +1,76 @@
+"""Shared parallel-filesystem model.
+
+A single bandwidth pool shared by all concurrently performing I/O phases
+with proportional fairness: when aggregate demand exceeds capacity, every
+stream is scaled by ``capacity / demand``.  This creates the cross-job I/O
+interference that data-locality and I/O-bottleneck diagnostics (AutoDiagn
+[9], roofline I/O analysis [63]) look for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ParallelFilesystem"]
+
+
+class ParallelFilesystem:
+    """Proportional-share bandwidth pool.
+
+    Parameters
+    ----------
+    name:
+        Metric-path identifier.
+    bandwidth_bytes:
+        Aggregate deliverable bandwidth in bytes/s.
+    """
+
+    def __init__(self, name: str = "pfs", bandwidth_bytes: float = 200e9):
+        if bandwidth_bytes <= 0:
+            raise ConfigurationError("filesystem bandwidth must be positive")
+        self.name = name
+        self.bandwidth_bytes = bandwidth_bytes
+        self._demand: Dict[str, float] = {}
+        self._granted: Dict[str, float] = {}
+        self.bytes_moved = 0.0
+
+    def begin_step(self) -> None:
+        """Clear per-step demand registrations."""
+        self._demand.clear()
+        self._granted.clear()
+
+    def demand(self, flow_id: str, bytes_per_s: float) -> None:
+        """Register a job's aggregate I/O demand for this step."""
+        if bytes_per_s > 0:
+            self._demand[flow_id] = self._demand.get(flow_id, 0.0) + bytes_per_s
+
+    def resolve(self, dt: float) -> Mapping[str, float]:
+        """Allocate bandwidth proportionally; returns granted bytes/s by flow."""
+        total = sum(self._demand.values())
+        scale = min(self.bandwidth_bytes / total, 1.0) if total > 0 else 1.0
+        self._granted = {flow: rate * scale for flow, rate in self._demand.items()}
+        self.bytes_moved += sum(self._granted.values()) * dt
+        return dict(self._granted)
+
+    def slowdown(self, flow_id: str) -> float:
+        """I/O slowdown factor (>= 1) for a flow after :meth:`resolve`."""
+        demanded = self._demand.get(flow_id, 0.0)
+        granted = self._granted.get(flow_id, 0.0)
+        if demanded <= 0 or granted <= 0:
+            return 1.0
+        return max(demanded / granted, 1.0)
+
+    @property
+    def utilization(self) -> float:
+        """Granted bandwidth / capacity in the last resolved step."""
+        return sum(self._granted.values()) / self.bandwidth_bytes
+
+    def sensors(self) -> Dict[str, float]:
+        return {
+            "bandwidth_demand": sum(self._demand.values()),
+            "bandwidth_granted": sum(self._granted.values()),
+            "utilization": self.utilization,
+            "bytes_moved": self.bytes_moved,
+        }

@@ -1,0 +1,62 @@
+"""The conceptual ODA framework as executable taxonomy (the paper's core).
+
+Pillars and analytics types, the 4x4 grid, use-case and system records,
+the full survey corpus (Table I), the lexicon classifier, survey analysis,
+staged roadmap planning, and renderers for Table I and Figures 1-3.
+"""
+
+from repro.core.analysis import (
+    SurveyStatistics,
+    analyze_survey,
+    gap_report,
+    pillar_crossing_stats,
+    rank_by_comprehensiveness,
+    similarity_matrix,
+)
+from repro.core.classify import Classification, UseCaseClassifier
+from repro.core.grid import FrameworkGrid, all_cells
+from repro.core.pillars import PILLAR_ORDER, Pillar
+from repro.core.render import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_occupancy,
+    render_table1,
+)
+from repro.core.roadmap import RoadmapStep, plan_roadmap
+from repro.core.survey import REFERENCES, figure3_systems, survey_grid, table1_use_cases
+from repro.core.types import TYPE_ORDER, TYPE_ORDER_TABLE1, AnalyticsType
+from repro.core.usecase import GridCell, Reference, SystemProfile, UseCase
+
+__all__ = [
+    "SurveyStatistics",
+    "analyze_survey",
+    "gap_report",
+    "pillar_crossing_stats",
+    "rank_by_comprehensiveness",
+    "similarity_matrix",
+    "Classification",
+    "UseCaseClassifier",
+    "FrameworkGrid",
+    "all_cells",
+    "PILLAR_ORDER",
+    "Pillar",
+    "render_fig1",
+    "render_fig2",
+    "render_fig3",
+    "render_occupancy",
+    "render_table1",
+    "RoadmapStep",
+    "plan_roadmap",
+    "REFERENCES",
+    "figure3_systems",
+    "survey_grid",
+    "table1_use_cases",
+    "TYPE_ORDER",
+    "TYPE_ORDER_TABLE1",
+    "AnalyticsType",
+    "GridCell",
+    "Reference",
+    "SystemProfile",
+    "UseCase",
+]

@@ -1,0 +1,137 @@
+"""Survey analysis: the quantitative claims of Sections II, IV and V.
+
+Computes, over a populated grid and a set of system profiles, the
+statistics the paper states qualitatively:
+
+* per-cell/per-row/per-column occupancy and gap analysis (Section IV),
+* single- vs multi-pillar prevalence (Section V-B),
+* visualization- vs control-orientation (the [13] claim in Section II),
+* similarity and comprehensiveness comparisons between systems,
+* reactive vs proactive (hindsight/foresight) composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.grid import FrameworkGrid
+from repro.core.pillars import PILLAR_ORDER, Pillar
+from repro.core.types import TYPE_ORDER, AnalyticsType
+from repro.core.usecase import SystemProfile, UseCase
+
+__all__ = ["SurveyStatistics", "analyze_survey", "similarity_matrix", "rank_by_comprehensiveness"]
+
+
+@dataclass(frozen=True)
+class SurveyStatistics:
+    """Aggregate statistics over the survey corpus."""
+
+    use_cases: int
+    distinct_references: int
+    per_type: Mapping[AnalyticsType, int]
+    per_pillar: Mapping[Pillar, int]
+    empty_cells: int
+    control_oriented: int
+    visualization_oriented: int
+    hindsight_cases: int
+    foresight_cases: int
+
+    @property
+    def control_fraction(self) -> float:
+        return self.control_oriented / self.use_cases if self.use_cases else 0.0
+
+    @property
+    def visualization_dominates(self) -> bool:
+        """The [13] claim: visualization-oriented ODA outnumbers control."""
+        return self.visualization_oriented > self.control_oriented
+
+    def rows(self) -> List[Tuple[str, object]]:
+        out: List[Tuple[str, object]] = [
+            ("use cases", self.use_cases),
+            ("distinct references", self.distinct_references),
+            ("empty grid cells", self.empty_cells),
+            ("control-oriented", self.control_oriented),
+            ("visualization/reporting-oriented", self.visualization_oriented),
+            ("hindsight (descriptive+diagnostic)", self.hindsight_cases),
+            ("foresight (predictive+prescriptive)", self.foresight_cases),
+        ]
+        for analytics_type in TYPE_ORDER:
+            out.append((f"type: {analytics_type.title}", self.per_type[analytics_type]))
+        for pillar in PILLAR_ORDER:
+            out.append((f"pillar: {pillar.title}", self.per_pillar[pillar]))
+        return out
+
+
+def analyze_survey(grid: FrameworkGrid) -> SurveyStatistics:
+    """All corpus-level statistics in one pass."""
+    cases = grid.use_cases()
+    references = {n for uc in cases for n in uc.references}
+    per_type = {t: len(grid.by_type(t)) for t in TYPE_ORDER}
+    per_pillar = {p: len(grid.by_pillar(p)) for p in PILLAR_ORDER}
+    control = sum(1 for uc in cases if uc.control_oriented)
+    hindsight = sum(1 for uc in cases if uc.analytics_type.hindsight)
+    return SurveyStatistics(
+        use_cases=len(cases),
+        distinct_references=len(references),
+        per_type=per_type,
+        per_pillar=per_pillar,
+        empty_cells=len(grid.empty_cells()),
+        control_oriented=control,
+        visualization_oriented=len(cases) - control,
+        hindsight_cases=hindsight,
+        foresight_cases=len(cases) - hindsight,
+    )
+
+
+def pillar_crossing_stats(systems: Sequence[SystemProfile]) -> Dict[str, float]:
+    """Single- vs multi-pillar prevalence over system profiles (Section V-B)."""
+    single = sum(1 for s in systems if not s.multi_pillar)
+    multi = len(systems) - single
+    multi_type = sum(1 for s in systems if s.multi_type)
+    return {
+        "systems": float(len(systems)),
+        "single_pillar": float(single),
+        "multi_pillar": float(multi),
+        "multi_type": float(multi_type),
+        "single_pillar_fraction": single / len(systems) if systems else 0.0,
+    }
+
+
+def similarity_matrix(systems: Sequence[SystemProfile]) -> np.ndarray:
+    """Pairwise Jaccard footprint similarity (the paper's comparison tool)."""
+    n = len(systems)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = systems[i].similarity(systems[j])
+    return matrix
+
+
+def rank_by_comprehensiveness(
+    systems: Sequence[SystemProfile],
+) -> List[Tuple[str, float]]:
+    """Systems sorted by grid coverage, the paper's comprehensiveness axis."""
+    ranked = [(s.name, s.comprehensiveness) for s in systems]
+    ranked.sort(key=lambda item: (-item[1], item[0]))
+    return ranked
+
+
+def gap_report(grid: FrameworkGrid) -> List[str]:
+    """Readable list of under-populated areas (the 'gaps to explore')."""
+    lines = []
+    occupancy = grid.occupancy()
+    for cell in grid.empty_cells():
+        lines.append(f"EMPTY: {cell.label}")
+    threshold = max(int(np.median(occupancy)), 1)
+    for analytics_type in TYPE_ORDER:
+        for pillar in PILLAR_ORDER:
+            count = occupancy[analytics_type.stage, pillar.index]
+            if 0 < count < threshold:
+                lines.append(
+                    f"SPARSE ({count} vs median {threshold}): "
+                    f"{analytics_type.title} x {pillar.title}"
+                )
+    return lines

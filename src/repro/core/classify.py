@@ -1,0 +1,187 @@
+"""Use-case classifier: map free-text ODA descriptions onto the grid.
+
+The paper positions the framework as a tool practitioners apply by hand;
+this module automates the mapping with a transparent lexicon-based scorer
+so that sites can triage large capability inventories.  Each pillar and
+each analytics type carries a keyword lexicon (with weights); a
+description's cell is the (argmax type, argmax pillar) of its lexicon
+scores.  The classifier is deliberately interpretable: ``explain()``
+returns the matched terms, because a black-box taxonomy assistant would
+defeat the framework's communication purpose.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.pillars import PILLAR_ORDER, Pillar
+from repro.core.types import TYPE_ORDER, AnalyticsType
+from repro.core.usecase import GridCell
+from repro.errors import ClassificationError
+
+__all__ = ["Classification", "UseCaseClassifier"]
+
+# Weighted keyword lexicons.  Multi-word phrases are matched as substrings
+# of the normalized text; single words on token boundaries.
+_PILLAR_LEXICON: Dict[Pillar, Mapping[str, float]] = {
+    Pillar.BUILDING_INFRASTRUCTURE: {
+        "cooling": 2.0, "chiller": 3.0, "cooling tower": 3.0, "water": 1.5,
+        "facility": 2.5, "data center": 1.5, "datacenter": 1.5, "pue": 3.0,
+        "power distribution": 3.0, "ups": 2.0, "pump": 2.5, "infrastructure": 2.5,
+        "building": 2.5, "utility": 2.0, "grid": 1.0, "weather": 2.0,
+        "setpoint": 2.0, "inlet temperature": 2.0, "site power": 2.5,
+    },
+    Pillar.SYSTEM_HARDWARE: {
+        "node": 1.5, "cpu": 2.0, "gpu": 2.0, "memory": 1.5, "sensor": 1.5,
+        "frequency": 2.0, "dvfs": 3.0, "fan": 1.5, "temperature": 1.0,
+        "hardware": 2.5, "network": 1.5, "interconnect": 2.5, "link": 1.5,
+        "ecc": 3.0, "component failure": 2.5, "firmware": 2.5, "itue": 3.0,
+        "instruction mix": 2.5, "fabric": 2.0,
+    },
+    Pillar.SYSTEM_SOFTWARE: {
+        "schedul": 3.0, "queue": 2.0, "backfill": 3.0,
+        "job placement": 2.0, "resource manager": 3.0, "operating system": 2.5,
+        "os noise": 3.0, "kernel": 2.0, "runtime system": 2.0, "slowdown": 2.5,
+        "workload management": 2.5, "software": 1.5, "allocation": 1.5,
+        "dispatching": 2.5, "system software": 3.0,
+    },
+    Pillar.APPLICATIONS: {
+        "application": 2.5, "job": 1.5, "code": 2.0, "user": 1.5,
+        "auto-tuning": 2.0, "autotuning": 2.0, "roofline": 3.0, "loop": 1.5,
+        "kernel performance": 2.0, "job duration": 2.5, "runtime prediction": 2.0,
+        "profiling": 2.5, "instrumentation": 2.5, "region": 1.5,
+        "workload": 1.0, "miner": 2.5, "fingerprint": 1.0,
+    },
+}
+
+_TYPE_LEXICON: Dict[AnalyticsType, Mapping[str, float]] = {
+    AnalyticsType.DESCRIPTIVE: {
+        "dashboard": 3.0, "visualiz": 3.0, "monitor": 1.5, "display": 2.0,
+        "report": 1.5, "calculation": 2.0, "indicator": 2.0, "metric": 1.5,
+        "aggregation": 2.0, "heatmap": 2.5, "chart": 2.5, "plot": 2.0,
+        "alert": 2.0, "threshold": 1.5, "collect": 1.5, "processing": 1.5,
+    },
+    AnalyticsType.DIAGNOSTIC: {
+        "anomal": 3.0, "diagnos": 3.0, "root cause": 3.0, "detect": 2.5,
+        "fingerprint": 2.5, "identify": 2.0, "classif": 2.0, "why": 2.0,
+        "contention": 2.0, "fault analysis": 2.5, "noise": 1.5,
+        "localization": 2.5, "stress test": 2.0, "pattern": 1.5,
+    },
+    AnalyticsType.PREDICTIVE: {
+        "predict": 3.0, "forecast": 3.0, "anticipat": 2.5, "future": 2.0,
+        "extrapolat": 2.5, "model": 1.0, "estimat": 1.5, "simulat": 2.0,
+        "proactive": 2.0, "duration": 1.0, "failure prediction": 3.0,
+        "demand": 1.5, "lstm": 2.0, "regression": 2.0,
+    },
+    AnalyticsType.PRESCRIPTIVE: {
+        "optimiz": 2.5, "tuning": 2.5, "tune": 2.5, "control": 2.5,
+        "actuate": 3.0, "knob": 3.0, "setpoint": 2.0, "recommend": 2.5,
+        "schedul": 1.0, "placement": 2.0, "switch": 2.0, "cap": 1.5,
+        "best course": 3.0, "decision": 1.5, "plan-based": 2.5, "respond": 3.5, "plan based": 3.0,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The classifier's verdict for one description."""
+
+    cell: GridCell
+    type_scores: Mapping[AnalyticsType, float]
+    pillar_scores: Mapping[Pillar, float]
+    matched_terms: Tuple[Tuple[str, float], ...]
+
+    @property
+    def confidence(self) -> float:
+        """Margin-based confidence in [0, 1]: winner vs runner-up, averaged
+        over the two axes."""
+        def margin(scores: Mapping) -> float:
+            ranked = sorted(scores.values(), reverse=True)
+            if ranked[0] <= 0:
+                return 0.0
+            return (ranked[0] - ranked[1]) / ranked[0]
+
+        return 0.5 * (margin(self.type_scores) + margin(self.pillar_scores))
+
+
+class UseCaseClassifier:
+    """Lexicon-based grid classifier with per-axis scores.
+
+    Extend per site with :meth:`add_terms` — e.g. adding product names the
+    lexicon does not know ("slurm" -> system software).
+    """
+
+    def __init__(self) -> None:
+        self._pillar_lexicon = {p: dict(terms) for p, terms in _PILLAR_LEXICON.items()}
+        self._type_lexicon = {t: dict(terms) for t, terms in _TYPE_LEXICON.items()}
+
+    def add_terms(self, axis_value, terms: Mapping[str, float]) -> None:
+        """Add weighted terms to one pillar's or one type's lexicon."""
+        if isinstance(axis_value, Pillar):
+            self._pillar_lexicon[axis_value].update(terms)
+        elif isinstance(axis_value, AnalyticsType):
+            self._type_lexicon[axis_value].update(terms)
+        else:
+            raise ClassificationError(f"unknown axis value {axis_value!r}")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(text: str) -> str:
+        return re.sub(r"[^a-z0-9 ]+", " ", text.lower())
+
+    @staticmethod
+    def _score(text: str, lexicon: Mapping[str, float]) -> Tuple[float, List[Tuple[str, float]]]:
+        matched = []
+        score = 0.0
+        for term, weight in lexicon.items():
+            if " " in term or term.endswith(("iz", "at", "os", "if")):
+                hit = term in text  # phrase or stem match
+            else:
+                hit = re.search(rf"\b{re.escape(term)}", text) is not None
+            if hit:
+                matched.append((term, weight))
+                score += weight
+        return score, matched
+
+    def classify(self, description: str) -> Classification:
+        """Map a description onto its grid cell.
+
+        Raises :class:`ClassificationError` when no lexicon term matches at
+        all (the description is outside the ODA domain).
+        """
+        text = self._normalize(description)
+        type_scores: Dict[AnalyticsType, float] = {}
+        pillar_scores: Dict[Pillar, float] = {}
+        matched: List[Tuple[str, float]] = []
+        for analytics_type in TYPE_ORDER:
+            score, terms = self._score(text, self._type_lexicon[analytics_type])
+            type_scores[analytics_type] = score
+            matched.extend(terms)
+        for pillar in PILLAR_ORDER:
+            score, terms = self._score(text, self._pillar_lexicon[pillar])
+            pillar_scores[pillar] = score
+            matched.extend(terms)
+
+        if max(type_scores.values()) == 0 or max(pillar_scores.values()) == 0:
+            raise ClassificationError(
+                f"description matched no framework vocabulary: {description!r}"
+            )
+        best_type = max(TYPE_ORDER, key=lambda t: type_scores[t])
+        best_pillar = max(PILLAR_ORDER, key=lambda p: pillar_scores[p])
+        return Classification(
+            cell=GridCell(best_type, best_pillar),
+            type_scores=type_scores,
+            pillar_scores=pillar_scores,
+            matched_terms=tuple(matched),
+        )
+
+    def explain(self, description: str) -> str:
+        """Human-readable classification rationale."""
+        result = self.classify(description)
+        terms = ", ".join(f"{t} (+{w:g})" for t, w in result.matched_terms)
+        return (
+            f"{result.cell.label} (confidence {result.confidence:.2f}); "
+            f"matched: {terms}"
+        )

@@ -1,0 +1,119 @@
+"""The 4x4 framework grid container.
+
+Combines the four pillars (columns) with the four analytics types (rows)
+into the bi-dimensional framework of Section III, and holds placed
+use cases.  All Table I / Figure 3 renderers and the survey analysis
+operate on this structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pillars import PILLAR_ORDER, Pillar
+from repro.core.types import TYPE_ORDER, AnalyticsType
+from repro.core.usecase import GridCell, SystemProfile, UseCase
+from repro.errors import ClassificationError
+
+__all__ = ["all_cells", "FrameworkGrid"]
+
+
+def all_cells() -> List[GridCell]:
+    """All 16 cells in (type-stage, pillar) order."""
+    return [
+        GridCell(analytics_type, pillar)
+        for analytics_type in TYPE_ORDER
+        for pillar in PILLAR_ORDER
+    ]
+
+
+class FrameworkGrid:
+    """A populated instance of the conceptual framework.
+
+    Holds :class:`UseCase` records placed on cells; supports occupancy
+    queries, footprint extraction and the gap analysis of Section IV.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[GridCell, List[UseCase]] = {cell: [] for cell in all_cells()}
+        self._by_name: Dict[str, UseCase] = {}
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def place(self, use_case: UseCase) -> UseCase:
+        """Place a use case on its cell."""
+        if use_case.name in self._by_name:
+            raise ClassificationError(f"duplicate use case {use_case.name!r}")
+        self._cells[use_case.cell].append(use_case)
+        self._by_name[use_case.name] = use_case
+        return use_case
+
+    def place_all(self, use_cases: Sequence[UseCase]) -> None:
+        for use_case in use_cases:
+            self.place(use_case)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def cell(self, analytics_type: AnalyticsType, pillar: Pillar) -> List[UseCase]:
+        return list(self._cells[GridCell(analytics_type, pillar)])
+
+    def get(self, name: str) -> UseCase:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ClassificationError(f"unknown use case {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[UseCase]:
+        for cell in all_cells():
+            yield from self._cells[cell]
+
+    def use_cases(self) -> List[UseCase]:
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # Analysis views
+    # ------------------------------------------------------------------
+    def occupancy(self) -> np.ndarray:
+        """4x4 matrix of use-case counts; rows follow TYPE_ORDER, columns
+        PILLAR_ORDER."""
+        matrix = np.zeros((4, 4), dtype=np.int64)
+        for cell, cases in self._cells.items():
+            matrix[cell.analytics_type.stage, cell.pillar.index] = len(cases)
+        return matrix
+
+    def empty_cells(self) -> List[GridCell]:
+        """The gaps the paper says the framework exposes."""
+        return [cell for cell in all_cells() if not self._cells[cell]]
+
+    def covered_cells(self) -> List[GridCell]:
+        return [cell for cell in all_cells() if self._cells[cell]]
+
+    def by_pillar(self, pillar: Pillar) -> List[UseCase]:
+        return [uc for uc in self if uc.pillar is pillar]
+
+    def by_type(self, analytics_type: AnalyticsType) -> List[UseCase]:
+        return [uc for uc in self if uc.analytics_type is analytics_type]
+
+    def references_in_cell(self, cell: GridCell) -> List[int]:
+        """Distinct reference numbers cited in a cell, sorted."""
+        numbers = set()
+        for use_case in self._cells[cell]:
+            numbers.update(use_case.references)
+        return sorted(numbers)
+
+    def footprint(self, names: Sequence[str], system_name: str = "system") -> SystemProfile:
+        """Build a :class:`SystemProfile` from named use cases (Figure 3)."""
+        cells = frozenset(self.get(name).cell for name in names)
+        references: List[int] = []
+        for name in names:
+            references.extend(self.get(name).references)
+        return SystemProfile(
+            name=system_name, cells=cells, references=tuple(sorted(set(references)))
+        )

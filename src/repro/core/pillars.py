@@ -1,0 +1,105 @@
+"""The four pillars of energy-efficient HPC (Wilde et al. [3]).
+
+The columns of the ODA framework grid: the structural decomposition of an
+HPC data center into building infrastructure, system hardware, system
+software and applications (Figure 1 of the paper).  Each pillar carries
+its definition, example components, and — unique to this executable
+reproduction — the substrate package that simulates it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Tuple
+
+__all__ = ["Pillar", "PILLAR_ORDER"]
+
+
+class Pillar(Enum):
+    """One column of the framework grid."""
+
+    BUILDING_INFRASTRUCTURE = "building_infrastructure"
+    SYSTEM_HARDWARE = "system_hardware"
+    SYSTEM_SOFTWARE = "system_software"
+    APPLICATIONS = "applications"
+
+    @property
+    def title(self) -> str:
+        return {
+            Pillar.BUILDING_INFRASTRUCTURE: "Building Infrastructure",
+            Pillar.SYSTEM_HARDWARE: "System Hardware",
+            Pillar.SYSTEM_SOFTWARE: "System Software",
+            Pillar.APPLICATIONS: "Applications",
+        }[self]
+
+    @property
+    def description(self) -> str:
+        return {
+            Pillar.BUILDING_INFRASTRUCTURE: (
+                "Every support infrastructure (such as cooling and power "
+                "distribution) needed to run the HPC systems and supporting "
+                "the data center's operation as a whole."
+            ),
+            Pillar.SYSTEM_HARDWARE: (
+                "The hardware components that constitute an HPC system, such "
+                "as motherboards and firmwares, CPUs, GPUs, memory and "
+                "system-internal cooling, as well as network equipment."
+            ),
+            Pillar.SYSTEM_SOFTWARE: (
+                "The system-level software stack, including the system "
+                "management software, the resource management and scheduler, "
+                "the compute nodes' operating system, as well as all tools "
+                "and libraries usable by users and their applications."
+            ),
+            Pillar.APPLICATIONS: (
+                "Individual workloads as well as the workload mix executed "
+                "on a system; an application is a unit of work, since the "
+                "goal of an HPC system is new scientific insight through "
+                "software applications."
+            ),
+        }[self]
+
+    @property
+    def example_components(self) -> Tuple[str, ...]:
+        return {
+            Pillar.BUILDING_INFRASTRUCTURE: (
+                "chillers", "cooling towers", "dry coolers", "pumps",
+                "power distribution", "UPS", "weather envelope",
+            ),
+            Pillar.SYSTEM_HARDWARE: (
+                "compute nodes", "CPUs/GPUs", "memory", "node cooling/fans",
+                "interconnect fabric", "storage systems",
+            ),
+            Pillar.SYSTEM_SOFTWARE: (
+                "resource manager/scheduler", "operating system",
+                "node runtimes", "monitoring agents", "system libraries",
+            ),
+            Pillar.APPLICATIONS: (
+                "scientific workloads", "workload mix", "job submissions",
+                "per-region instrumentation",
+            ),
+        }[self]
+
+    @property
+    def substrate_module(self) -> str:
+        """The repro package simulating this pillar."""
+        return {
+            Pillar.BUILDING_INFRASTRUCTURE: "repro.facility",
+            Pillar.SYSTEM_HARDWARE: "repro.cluster",
+            Pillar.SYSTEM_SOFTWARE: "repro.software",
+            Pillar.APPLICATIONS: "repro.apps",
+        }[self]
+
+    @property
+    def index(self) -> int:
+        """Column position in the grid (Table I order)."""
+        return PILLAR_ORDER.index(self)
+
+
+#: Canonical column order (matches Table I of the paper).
+PILLAR_ORDER: Tuple[Pillar, ...] = (
+    Pillar.BUILDING_INFRASTRUCTURE,
+    Pillar.SYSTEM_HARDWARE,
+    Pillar.SYSTEM_SOFTWARE,
+    Pillar.APPLICATIONS,
+)

@@ -1,0 +1,163 @@
+"""Renderers for the paper's artifacts: Table I and Figures 1-3.
+
+Everything returns plain strings (markdown or ASCII art) so benchmarks can
+diff content and examples can print to a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.grid import FrameworkGrid
+from repro.core.pillars import PILLAR_ORDER, Pillar
+from repro.core.types import TYPE_ORDER, TYPE_ORDER_TABLE1, AnalyticsType
+from repro.core.usecase import GridCell, SystemProfile
+
+__all__ = ["render_table1", "render_fig1", "render_fig2", "render_fig3", "render_occupancy"]
+
+
+def _format_use_case(name: str, references: Sequence[int]) -> str:
+    refs = "".join(f"[{n}]" for n in references)
+    return f"{name} {refs}"
+
+
+def render_table1(grid: FrameworkGrid) -> str:
+    """Regenerate Table I as a markdown table.
+
+    Rows follow the paper's order (prescriptive at the top); each cell
+    lists its use cases with their bibliography numbers.
+    """
+    header = "| | " + " | ".join(p.title for p in PILLAR_ORDER) + " |"
+    divider = "|---" * 5 + "|"
+    lines = [
+        "**Table I** — ODA examples categorized using the framework "
+        "(regenerated from the survey corpus)",
+        "",
+        header,
+        divider,
+    ]
+    for analytics_type in TYPE_ORDER_TABLE1:
+        cells = []
+        for pillar in PILLAR_ORDER:
+            entries = grid.cell(analytics_type, pillar)
+            cells.append(
+                "<br>".join(
+                    _format_use_case(uc.name, uc.references) for uc in entries
+                )
+                or "—"
+            )
+        lines.append(f"| **{analytics_type.title}** | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_fig1() -> str:
+    """Regenerate Figure 1: the four pillars of energy-efficient HPC."""
+    width = 19
+    lines = [
+        "Figure 1 — The 4-Pillar Framework for Energy-Efficient HPC Data Centers",
+        "",
+        "+" + "-" * (4 * (width + 1) + 1) + "+",
+        "|" + "HPC Data Center".center(4 * (width + 1) + 1) + "|",
+        "+" + ("-" * width + "+") * 4 + "-+",
+    ]
+    titles = [p.title for p in PILLAR_ORDER]
+    lines.append("|" + "|".join(t.center(width) for t in titles) + "| |")
+    lines.append("|" + ("-" * width + "|") * 4 + " |")
+    max_components = max(len(p.example_components) for p in PILLAR_ORDER)
+    for i in range(max_components):
+        row = []
+        for pillar in PILLAR_ORDER:
+            components = pillar.example_components
+            row.append((components[i] if i < len(components) else "").center(width))
+        lines.append("|" + "|".join(row) + "| |")
+    lines.append("+" + ("-" * width + "+") * 4 + "-+")
+    lines.append("")
+    for pillar in PILLAR_ORDER:
+        lines.append(f"  {pillar.title}: simulated by {pillar.substrate_module}")
+    return "\n".join(lines)
+
+
+def render_fig2() -> str:
+    """Regenerate Figure 2: the staged model of the four analytics types.
+
+    The staircase encodes the model's defining property: value and
+    difficulty grow together from descriptive to prescriptive; hindsight
+    types on the left, foresight on the right.
+    """
+    lines = [
+        "Figure 2 — The four types of data analytics (staged model)",
+        "",
+        "value ^",
+    ]
+    stages = list(TYPE_ORDER)
+    for level in range(len(stages) - 1, -1, -1):
+        analytics_type = stages[level]
+        indent = " " * (6 + level * 14)
+        lines.append(
+            f"      |{indent}+-- {analytics_type.title}: {analytics_type.question!r}"
+        )
+    lines.append("      +" + "-" * 62 + "> difficulty")
+    lines.append("")
+    hindsight = ", ".join(t.title for t in TYPE_ORDER if t.hindsight)
+    foresight = ", ".join(t.title for t in TYPE_ORDER if t.foresight)
+    lines.append(f"  hindsight (reactive ODA):  {hindsight}")
+    lines.append(f"  foresight (proactive ODA): {foresight}")
+    return "\n".join(lines)
+
+
+_FIG3_MARKS = "ABCDEFGHIJKLMNOP"
+
+
+def render_fig3(systems: Sequence[SystemProfile]) -> str:
+    """Regenerate Figure 3: complex ODA systems as footprints on the grid.
+
+    Each system gets a letter mark; a cell shows every mark whose system
+    covers it.  The legend lists references and single/multi-pillar status.
+    """
+    marks = {system.name: _FIG3_MARKS[i] for i, system in enumerate(systems)}
+    width = max(len(p.title) for p in PILLAR_ORDER) + 2
+    label_width = max(len(t.title) for t in TYPE_ORDER) + 2
+    lines = [
+        "Figure 3 — Examples of complex ODA systems categorized with the framework",
+        "",
+        " " * label_width + "".join(p.title.center(width) for p in PILLAR_ORDER),
+    ]
+    for analytics_type in reversed(TYPE_ORDER):
+        row = [analytics_type.title.ljust(label_width)]
+        for pillar in PILLAR_ORDER:
+            cell = GridCell(analytics_type, pillar)
+            cell_marks = "".join(
+                marks[s.name] for s in systems if cell in s.cells
+            )
+            row.append((cell_marks or ".").center(width))
+        lines.append("".join(row))
+    lines.append("")
+    lines.append("Legend:")
+    for system in systems:
+        refs = "".join(f"[{n}]" for n in system.references)
+        span = "multi-pillar" if system.multi_pillar else "single-pillar"
+        kind = "multi-type" if system.multi_type else "single-type"
+        lines.append(
+            f"  {marks[system.name]} = {system.name} {refs} ({span}, {kind}, "
+            f"{len(system.cells)}/16 cells)"
+        )
+    return "\n".join(lines)
+
+
+def render_occupancy(grid: FrameworkGrid) -> str:
+    """Cell-count view of the populated grid (the gap-analysis companion)."""
+    occupancy = grid.occupancy()
+    width = max(len(p.title) for p in PILLAR_ORDER) + 2
+    label_width = max(len(t.title) for t in TYPE_ORDER) + 2
+    lines = [
+        " " * label_width + "".join(p.title.center(width) for p in PILLAR_ORDER),
+    ]
+    for analytics_type in reversed(TYPE_ORDER):
+        row = [analytics_type.title.ljust(label_width)]
+        for pillar in PILLAR_ORDER:
+            count = occupancy[analytics_type.stage, pillar.index]
+            row.append(str(count).center(width))
+        lines.append("".join(row))
+    lines.append("")
+    lines.append(f"total use cases: {len(grid)}, empty cells: {len(grid.empty_cells())}")
+    return "\n".join(lines)

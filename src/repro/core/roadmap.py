@@ -1,0 +1,96 @@
+"""Staged ODA roadmap planning.
+
+The paper argues the type axis "helps establish staged roadmaps in
+planning for HPC ODA systems" (Section I): analytics types are usually
+implemented in stages, and prescriptive capabilities want diagnostic and
+predictive support underneath.  The planner turns a site's current grid
+coverage into an ordered list of recommended next capabilities.
+
+Rules encoded:
+
+1. Within each pillar, build types in staged order — do not recommend
+   prescriptive ODA for a pillar with no descriptive foundation.
+2. Prefer widening a pillar that already has momentum (one step up) over
+   starting a new pillar from scratch, reflecting the observed
+   single-pillar prevalence (Section V-B).
+3. Once every pillar has hindsight coverage (descriptive + diagnostic),
+   recommend the foresight upgrades that enable proactive ODA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.pillars import PILLAR_ORDER, Pillar
+from repro.core.types import TYPE_ORDER, AnalyticsType
+from repro.core.usecase import GridCell
+
+__all__ = ["RoadmapStep", "plan_roadmap"]
+
+
+@dataclass(frozen=True)
+class RoadmapStep:
+    """One recommended capability acquisition."""
+
+    cell: GridCell
+    rationale: str
+    priority: int  # 1 = do first
+
+
+def plan_roadmap(covered: Sequence[GridCell], horizon: int = 8) -> List[RoadmapStep]:
+    """Recommend the next ``horizon`` cells to build, in order.
+
+    ``covered`` is the set of cells the site already operates.
+    """
+    have: Set[GridCell] = set(covered)
+    steps: List[RoadmapStep] = []
+
+    def next_stage(pillar: Pillar) -> int:
+        """First missing stage index for a pillar (4 = complete)."""
+        for analytics_type in TYPE_ORDER:
+            if GridCell(analytics_type, pillar) not in have:
+                return analytics_type.stage
+        return len(TYPE_ORDER)
+
+    while len(steps) < horizon:
+        # Candidate per pillar: its next missing stage.
+        candidates: List[Tuple[int, int, Pillar, AnalyticsType]] = []
+        for pillar in PILLAR_ORDER:
+            stage = next_stage(pillar)
+            if stage >= len(TYPE_ORDER):
+                continue
+            analytics_type = TYPE_ORDER[stage]
+            # Momentum: pillars with some coverage but incomplete stages
+            # rank before untouched pillars at the same stage; untouched
+            # pillars rank before deep specialization of a finished one.
+            momentum = 0 if stage > 0 else 1
+            candidates.append((stage, momentum, pillar, analytics_type))
+        if not candidates:
+            break
+        candidates.sort(key=lambda c: (c[0], c[1], c[2].index))
+        stage, momentum, pillar, analytics_type = candidates[0]
+        cell = GridCell(analytics_type, pillar)
+        have.add(cell)
+        if stage == 0:
+            rationale = (
+                f"establish the descriptive foundation for {pillar.title}: "
+                "no higher type is meaningful without monitoring and dashboards"
+            )
+        elif analytics_type.hindsight:
+            rationale = (
+                f"complete hindsight for {pillar.title}: diagnostic ODA "
+                "automates the analyses operators do by hand"
+            )
+        elif analytics_type is AnalyticsType.PREDICTIVE:
+            rationale = (
+                f"add foresight to {pillar.title}: prediction turns reactive "
+                "operation proactive and feeds prescriptive control"
+            )
+        else:
+            rationale = (
+                f"close the loop for {pillar.title}: prescriptive ODA converts "
+                "the accumulated insight into knob settings"
+            )
+        steps.append(RoadmapStep(cell=cell, rationale=rationale, priority=len(steps) + 1))
+    return steps

@@ -1,0 +1,375 @@
+"""The survey corpus: every Table I use case as structured data.
+
+This module is the data half of the paper's contribution — the
+comprehensive literature survey of Section IV, encoded verbatim:
+
+* :data:`REFERENCES` — the bibliography entries cited in Table I,
+* :func:`table1_use_cases` — the 41 use-case bullets of Table I, each in
+  its published cell with its published citations,
+* :func:`survey_grid` — the populated :class:`FrameworkGrid`,
+* :func:`figure3_systems` — the complex ODA systems of Figure 3 /
+  Section V, as multi-cell footprints.
+
+Regenerating Table I from this corpus (``repro.core.render.render_table1``)
+is experiment T1; the statistics over it back experiments D2 and D4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.pillars import Pillar
+from repro.core.types import AnalyticsType
+from repro.core.usecase import GridCell, Reference, SystemProfile, UseCase
+
+__all__ = ["REFERENCES", "table1_use_cases", "survey_grid", "figure3_systems"]
+
+
+def _ref(number: int, key: str, title: str, venue: str, year: int) -> Tuple[int, Reference]:
+    return number, Reference(number=number, key=key, title=title, venue=venue, year=year)
+
+
+#: Bibliography entries cited in Table I and the Figure 3 discussion.
+REFERENCES: Dict[int, Reference] = dict(
+    [
+        _ref(1, "bourassa2019", "Operational data analytics: Optimizing the NERSC cooling systems", "ICPP Workshops", 2019),
+        _ref(4, "yuventi2013", "A critical analysis of power usage effectiveness", "Energy and Buildings", 2013),
+        _ref(5, "eitzinger2019", "ClusterCockpit - a web application for job-specific performance monitoring", "CLUSTER", 2019),
+        _ref(6, "guillen2014", "The PerSyst monitoring tool", "Euro-Par Workshops", 2014),
+        _ref(7, "bautista2019", "Collecting, monitoring, and analyzing facility and systems data at NERSC", "ICPP Workshops", 2019),
+        _ref(8, "schwaller2020", "HPC system data pipeline to enable meaningful insights", "CLUSTER", 2020),
+        _ref(9, "demirbaga2021", "AutoDiagn: An automated real-time diagnosis framework for big data systems", "IEEE TC", 2021),
+        _ref(10, "adhianto2010", "HPCtoolkit: tools for performance analysis of optimized parallel programs", "CCPE", 2010),
+        _ref(11, "eastep2017", "Global extensible open power manager (GEOPM)", "ISC", 2017),
+        _ref(12, "jiang2019", "Fine-grained warm water cooling for improving datacenter economy", "ISCA", 2019),
+        _ref(13, "ott2020", "Global experiences with HPC operational data measurement, collection and analysis", "CLUSTER", 2020),
+        _ref(14, "hui2018", "A comprehensive informative metric for analyzing HPC system status (LogSCAN)", "FTXS", 2018),
+        _ref(15, "laguna2013", "Automatic problem localization via multi-dimensional metric profiling", "SRDS", 2013),
+        _ref(16, "tuncer2018", "Online diagnosis of performance variation in HPC systems using machine learning", "IEEE TPDS", 2018),
+        _ref(17, "borghesi2019", "A semisupervised autoencoder-based approach for anomaly detection in HPC systems", "EAAI", 2019),
+        _ref(18, "conficoni2015", "Energy-aware cooling for hot-water cooled supercomputers", "DATE", 2015),
+        _ref(19, "grant2015", "Overtime: A tool for analyzing performance variation due to network interference", "ExaMPI", 2015),
+        _ref(20, "imes2018", "Energy-efficient application resource scheduling using machine learning classifiers", "ICPP", 2018),
+        _ref(21, "verma2008", "Power-aware dynamic placement of HPC applications", "ICS", 2008),
+        _ref(22, "bash2007", "Cool job allocation: Measuring the power savings of placing jobs at cooling-efficient locations", "USENIX ATC", 2007),
+        _ref(23, "fan2021", "DRAS-CQSim: A reinforcement learning based framework for HPC cluster scheduling", "Software Impacts", 2021),
+        _ref(24, "corbalan2018", "EAR: Energy management framework for supercomputers", "IPDPS", 2018),
+        _ref(25, "lin2016", "A reinforcement learning-based power management framework for green computing data centers", "IC2E", 2016),
+        _ref(26, "guan2013", "Adaptive anomaly identification by exploring metric subspace in cloud computing infrastructures", "SRDS", 2013),
+        _ref(27, "shaykhislamov2018", "An approach for dynamic detection of inefficient supercomputer applications", "Procedia CS", 2018),
+        _ref(28, "miceli2012", "Autotune: A plugin-driven approach to the automatic tuning of parallel applications", "PARA", 2012),
+        _ref(29, "tapus2002", "Active harmony: Towards automated performance tuning", "SC", 2002),
+        _ref(30, "naghshnejad2018", "Adaptive online runtime prediction to improve HPC applications latency in cloud", "CLOUD", 2018),
+        _ref(31, "emeras2015", "Evalix: Classification and prediction of job resource consumption on HPC platforms", "JSSPP", 2015),
+        _ref(32, "xue2015", "PRACTISE: Robust prediction of data center time series", "CNSM", 2015),
+        _ref(33, "ates2018", "Taxonomist: Application detection through rich monitoring data", "Euro-Par", 2018),
+        _ref(34, "wyatt2018", "PRIONN: Predicting runtime and IO using neural networks", "ICPP", 2018),
+        _ref(35, "mckenna2016", "Machine learning predictions of runtime and IO traffic on high-end clusters", "CLUSTER", 2016),
+        _ref(36, "demasi2013", "Identifying HPC codes via performance logs and machine learning", "CLHS", 2013),
+        _ref(37, "kjaergaard2016", "Demand response in commercial buildings with an assessable impact on occupant comfort", "SmartGridComm", 2016),
+        _ref(38, "bodik2010", "Fingerprinting the datacenter: automated classification of performance crises", "EuroSys", 2010),
+        _ref(39, "bortot2019", "Data centers are a software development challenge (ENI)", "ICPP", 2019),
+        _ref(40, "auweter2014", "A case study of energy aware scheduling on SuperMUC", "ISC", 2014),
+        _ref(41, "wu2020", "Toward an end-to-end auto-tuning framework in HPC PowerStack", "CLUSTER", 2020),
+        _ref(42, "li2009", "Machine learning based online performance prediction for runtime parallelization and task scheduling", "ISPASS", 2009),
+        _ref(43, "zheng2016", "Exploring plan-based scheduling for large-scale computing systems", "CLUSTER", 2016),
+        _ref(44, "zhang2012", "HPC usage behavior analysis and performance estimation with machine learning techniques", "PDPTA", 2012),
+        _ref(45, "shoukourian2020", "Forecasting power-efficiency related KPIs for modern data centers using LSTMs", "FGCS", 2020),
+        _ref(46, "shoukourian2017", "Using machine learning for data center cooling infrastructure efficiency prediction", "IPDPS Workshops", 2017),
+        _ref(47, "netti2021", "Correlation-wise smoothing: Lightweight knowledge extraction for HPC monitoring data", "IPDPS", 2021),
+        _ref(48, "sirbu2016", "Towards operator-less data centers through data-driven, predictive, proactive autonomics", "Cluster Computing", 2016),
+        _ref(49, "galleguillos2020", "AccaSim: a customizable workload management simulator for job dispatching research", "Cluster Computing", 2020),
+        _ref(50, "dutot2015", "Batsim: a realistic language-independent resources and jobs management systems simulator", "JSSPP", 2015),
+        _ref(51, "klusacek2019", "Alea - complex job scheduling simulator", "PPAM", 2019),
+        _ref(52, "sirbu2016b", "Power consumption modeling and prediction in a hybrid CPU-GPU-MIC supercomputer", "Euro-Par", 2016),
+        _ref(53, "matsunaga2010", "On the use of machine learning to predict the time and resources consumed by applications", "CCGrid", 2010),
+        _ref(54, "todd2021", "Artificial intelligence for data center operations (AI ops)", "NREL/HPE TR", 2021),
+        _ref(55, "jha2018", "Characterizing supercomputer traffic networks through link-level analysis", "CLUSTER", 2018),
+        _ref(56, "gustafson2017", "The end of error: Unum computing", "CRC Press", 2017),
+        _ref(57, "ferreira2008", "Characterizing application sensitivity to OS interference using kernel-level noise injection", "SC", 2008),
+        _ref(58, "stewart2019", "Grid accommodation of dynamic HPC demand", "ICPP Workshops", 2019),
+        _ref(59, "patterson2013", "TUE, a new energy-efficiency metric applied at ORNL's Jaguar", "ISC", 2013),
+        _ref(60, "feitelson2001", "Metrics for parallel job scheduling and their convergence", "JSSPP", 2001),
+        _ref(61, "chan2019", "A resource utilization analytics platform using Grafana and Telegraf for the Savio supercluster", "PEARC", 2019),
+        _ref(62, "palmer2015", "Open XDMoD: A tool for the comprehensive management of HPC resources", "CiSE", 2015),
+        _ref(63, "williams2009", "Roofline: an insightful visual performance model for multicore architectures", "CACM", 2009),
+        _ref(72, "abdulla2018", "Forecasting extreme site power fluctuations using fast Fourier transformation (LLNL)", "EE HPC WG", 2018),
+    ]
+)
+
+
+#: One-line descriptions of each Table I bullet, condensed from the prose
+#: of Section IV.  They double as the classifier-benchmark inputs.
+USE_CASE_DESCRIPTIONS: Dict[str, str] = {
+    "Switching between types of cooling": "models that switch the facility between chiller, tower and free cooling technologies according to current demand and weather",
+    "Tuning of cooling machinery": "determining optimal settings for infrastructure knobs such as the inlet water temperature setpoint of the cooling loops",
+    "Responding to anomalies": "automated or recommendation-based response systems that act on detected data center infrastructure anomalies",
+    "Cooling optimization at system level": "optimizing warm water cooling of the hardware at the system level to improve datacenter economy",
+    "CPU frequency tuning": "runtime systems tuning CPU frequency (DVFS) dynamically according to hardware and application behavior",
+    "Tuning of hardware knobs": "controlling hardware knobs such as fan speeds and power caps on compute nodes to trade efficiency against performance",
+    "Intelligent placement of tasks and threads": "deciding the placement of tasks and threads of jobs onto nodes of the system under scheduling constraints",
+    "Plan-based scheduling": "plan based scheduling that builds explicit execution plans for queued jobs instead of greedy queue decisions",
+    "Power and KPI-aware scheduling": "scheduling policies deciding job starts under power budgets and cooling-efficiency objectives to optimize system KPIs",
+    "Auto-tuning of HPC applications": "auto-tuning frameworks optimizing application-specific settings of user codes under performance objectives",
+    "Code improvement recommendations": "recommendation systems suggesting code improvements of HPC applications to users and developers",
+    "Predicting data center KPIs": "forecasting power-efficiency related key performance indicators of the facility using learned models",
+    "Predicting cooling demand": "forecasting the energy and cooling demand of the building infrastructure",
+    "Modelling cooling performance": "theoretical and learned models of cooling infrastructure performance to forecast the impact of configuration changes on the facility",
+    "Forecasting hardware sensors": "robust prediction of hardware sensor time series such as compute node power and temperature",
+    "Component failure prediction": "predicting catastrophic failures of hardware components from node telemetry for proactive autonomics",
+    "Predicting CPU instruction mixes": "forecasting the CPU instruction mix of running phases to anticipate hardware frequency decisions",
+    "Simulating HPC systems and schedulers": "simulating HPC systems and schedulers to estimate future behavior of scheduling software and policies",
+    "Predicting HPC workloads": "forecasting the overall workload of the scheduling system in terms of future user jobs",
+    "Predicting job durations": "predicting the runtime duration of user jobs from submission data and per-user history",
+    "Predicting job resource usage": "predicting the resource consumption of user jobs such as power, memory and IO from submission data",
+    "Predicting performance profiles of code regions": "predicting the duration and performance profile of specific application code regions at high granularity",
+    "Fingerprinting data center crises": "fingerprinting and classifying facility-wide performance crises of the data center from infrastructure telemetry",
+    "Infrastructure anomaly detection": "detecting classes of anomalies in infrastructure components such as water pumps and power supplies",
+    "Infrastructure stress testing": "periodic stress testing of facility cooling machinery to reveal degraded infrastructure components and improve detection accuracy",
+    "Node-level anomaly detection": "detection of anomalous compute node hardware behavior from multi-dimensional sensor monitoring data",
+    "System-level root cause analysis": "automated root cause analysis diagnosing generic hardware behaviors across nodes of the system",
+    "Diagnosing network contention issues": "diagnosing network contention between concurrent jobs through link-level analysis of the interconnect fabric",
+    "Diagnosing data locality issues": "diagnosing data locality and migration issues in the distributed storage software of the system",
+    "Detection of software anomalies": "detecting software anomalies such as CPU contention or memory leaks in the system software stack",
+    "Identifying sources of OS noise": "identifying sources of operating system and kernel-level noise that interferes with scheduled applications",
+    "Application fingerprinting": "fingerprinting entire applications from monitoring data to identify codes and detect rogue workloads such as cryptocurrency miners",
+    "Identifying performance patterns": "identifying performance patterns in user codes such as compute or memory boundedness for application classification",
+    "Diagnosing code-level issues": "diagnosing code-level issues of applications such as inefficient loops via metric profiling of user codes",
+    "PUE calculation": "calculation of the power usage effectiveness energy-efficiency indicator of the facility",
+    "Facility data processing": "basic processing and aggregation of facility-level infrastructure monitoring data for operator reporting",
+    "Facility-level dashboards": "graphical dashboards visualizing cooling and power infrastructure monitoring data of the facility for operators",
+    "ITUE calculation": "calculation of the IT power usage effectiveness indicator for hardware system-level energy efficiency",
+    "System performance indicators": "informative indicator metrics such as the system information entropy characterizing hardware system state from node sensor data",
+    "System-level dashboards": "dashboards visualizing hardware monitoring data of compute nodes and network equipment of the system",
+    "Slowdown calculation": "calculation of job slowdown metrics estimating the quality of service delivered by the scheduling software",
+    "Scheduler-level dashboards": "dashboards visualizing scheduler queue states and resource utilization of the workload management software",
+    "Job performance models": "visual performance models such as the roofline model highlighting IO and memory bottlenecks in applications",
+    "Job data processing": "processing of job-related application monitoring data to enable per-job analysis and reporting",
+    "Job-level dashboards": "dashboards visualizing per-job application performance indicators including sensor and profiling instrumentation data",
+}
+
+
+def _uc(
+    name: str,
+    analytics_type: AnalyticsType,
+    pillar: Pillar,
+    references: Tuple[int, ...],
+    control: bool,
+    implemented_by: Tuple[str, ...],
+    description: str = "",
+) -> UseCase:
+    return UseCase(
+        name=name,
+        cell=GridCell(analytics_type, pillar),
+        references=references,
+        control_oriented=control,
+        implemented_by=implemented_by,
+        description=description or USE_CASE_DESCRIPTIONS.get(name, ""),
+    )
+
+
+def table1_use_cases() -> List[UseCase]:
+    """The 41 use-case bullets of Table I, row by row as published.
+
+    ``control_oriented`` marks capabilities whose output drives knobs
+    (automated or recommended actuation) rather than visualization/
+    reporting — prescriptive entries are control, descriptive entries are
+    visualization, and diagnostic/predictive entries are reporting unless
+    their surveyed instances actuate.
+    """
+    D, G, P, S = (
+        AnalyticsType.DESCRIPTIVE,
+        AnalyticsType.DIAGNOSTIC,
+        AnalyticsType.PREDICTIVE,
+        AnalyticsType.PRESCRIPTIVE,
+    )
+    BI, HW, SW, AP = (
+        Pillar.BUILDING_INFRASTRUCTURE,
+        Pillar.SYSTEM_HARDWARE,
+        Pillar.SYSTEM_SOFTWARE,
+        Pillar.APPLICATIONS,
+    )
+    return [
+        # --- Prescriptive row -------------------------------------------
+        _uc("Switching between types of cooling", S, BI, (12,), True,
+            ("repro.analytics.prescriptive.cooling_opt.ModeSwitcher",)),
+        _uc("Tuning of cooling machinery", S, BI, (18, 37), True,
+            ("repro.analytics.prescriptive.cooling_opt.SetpointOptimizer",)),
+        _uc("Responding to anomalies", S, BI, (38, 39), True,
+            ("repro.analytics.prescriptive.control.ControlLoop",)),
+        _uc("Cooling optimization at system level", S, HW, (12,), True,
+            ("repro.analytics.prescriptive.cooling_opt.SetpointOptimizer",)),
+        _uc("CPU frequency tuning", S, HW, (11, 24, 40), True,
+            ("repro.analytics.prescriptive.dvfs.ReactiveEnergyGovernor",
+             "repro.analytics.prescriptive.dvfs.ProactiveEnergyGovernor")),
+        _uc("Tuning of hardware knobs", S, HW, (20, 25, 41), True,
+            ("repro.analytics.prescriptive.dvfs.PowerCapGovernor",)),
+        _uc("Intelligent placement of tasks and threads", S, SW, (42,), True,
+            ("repro.analytics.prescriptive.placement.TopologyAwarePolicy",)),
+        _uc("Plan-based scheduling", S, SW, (43,), True,
+            ("repro.analytics.prescriptive.planner.PlanBasedPolicy",)),
+        _uc("Power and KPI-aware scheduling", S, SW, (21, 22, 23), True,
+            ("repro.analytics.prescriptive.power_sched.PowerAwarePolicy",
+             "repro.analytics.prescriptive.placement.CoolingAwarePolicy")),
+        _uc("Auto-tuning of HPC applications", S, AP, (28, 29, 41), True,
+            ("repro.analytics.prescriptive.autotune",)),
+        _uc("Code improvement recommendations", S, AP, (44,), True,
+            ("repro.analytics.prescriptive.recommend.CodeAdvisor",)),
+        # --- Predictive row ---------------------------------------------
+        _uc("Predicting data center KPIs", P, BI, (45,), False,
+            ("repro.analytics.predictive.kpi_forecast.KpiForecaster",)),
+        _uc("Predicting cooling demand", P, BI, (37,), False,
+            ("repro.analytics.predictive.cooling.CoolingDemandForecaster",)),
+        _uc("Modelling cooling performance", P, BI, (18, 46), False,
+            ("repro.analytics.predictive.cooling.CoolingPerformanceModel",)),
+        _uc("Forecasting hardware sensors", P, HW, (32, 47), False,
+            ("repro.analytics.predictive.timeseries.PractiseEnsemble",)),
+        _uc("Component failure prediction", P, HW, (48,), False,
+            ("repro.analytics.predictive.failures.FailurePredictor",)),
+        _uc("Predicting CPU instruction mixes", P, HW, (11,), False,
+            ("repro.analytics.prescriptive.dvfs.PhasePredictor",)),
+        _uc("Simulating HPC systems and schedulers", P, SW, (49, 50, 51), False,
+            ("repro.oda.datacenter.DataCenter", "repro.software.scheduler.Scheduler")),
+        _uc("Predicting HPC workloads", P, SW, (23,), False,
+            ("repro.analytics.predictive.timeseries.HoltWinters",)),
+        _uc("Predicting job durations", P, AP, (30, 34, 35), False,
+            ("repro.analytics.predictive.jobs.JobDurationPredictor",)),
+        _uc("Predicting job resource usage", P, AP, (31, 52, 53), False,
+            ("repro.analytics.predictive.jobs.ResourceClassPredictor",)),
+        _uc("Predicting performance profiles of code regions", P, AP, (24,), False,
+            ("repro.apps.instrumentation.profile_regions",)),
+        # --- Diagnostic row ---------------------------------------------
+        _uc("Fingerprinting data center crises", G, BI, (38,), False,
+            ("repro.analytics.diagnostic.fingerprint.CrisisLibrary",)),
+        _uc("Infrastructure anomaly detection", G, BI, (54,), False,
+            ("repro.analytics.diagnostic.anomaly.PcaReconstructionDetector",)),
+        _uc("Infrastructure stress testing", G, BI, (39,), False,
+            ("repro.facility.facility.Facility.stress_test",)),
+        _uc("Node-level anomaly detection", G, HW, (17, 26, 47), False,
+            ("repro.analytics.diagnostic.anomaly.SubspaceDetector",
+             "repro.analytics.diagnostic.anomaly.PeerDeviationDetector")),
+        _uc("System-level root cause analysis", G, HW, (9,), False,
+            ("repro.analytics.diagnostic.rootcause.RootCauseAnalyzer",)),
+        _uc("Diagnosing network contention issues", G, HW, (19, 55), False,
+            ("repro.analytics.diagnostic.network_diag.NetworkDiagnostician",)),
+        _uc("Diagnosing data locality issues", G, SW, (9,), False,
+            ("repro.analytics.diagnostic.rootcause.RootCauseAnalyzer",)),
+        _uc("Detection of software anomalies", G, SW, (16, 56), False,
+            ("repro.analytics.diagnostic.software_anomaly.MemoryLeakDetector",
+             "repro.analytics.diagnostic.software_anomaly.CpuContentionDetector")),
+        _uc("Identifying sources of OS noise", G, SW, (57,), False,
+            ("repro.analytics.diagnostic.noise.OsNoiseDetector",)),
+        _uc("Application fingerprinting", G, AP, (33, 36), False,
+            ("repro.analytics.diagnostic.fingerprint.ApplicationFingerprinter",)),
+        _uc("Identifying performance patterns", G, AP, (20, 31, 44), False,
+            ("repro.analytics.descriptive.roofline.RooflineModel",)),
+        _uc("Diagnosing code-level issues", G, AP, (15, 27), False,
+            ("repro.analytics.prescriptive.recommend.CodeAdvisor",)),
+        # --- Descriptive row --------------------------------------------
+        _uc("PUE calculation", D, BI, (4,), False,
+            ("repro.analytics.descriptive.kpis.pue",)),
+        _uc("Facility data processing", D, BI, (8, 58), False,
+            ("repro.telemetry.store.TimeSeriesStore", "repro.analytics.descriptive.aggregate")),
+        _uc("Facility-level dashboards", D, BI, (1, 7), False,
+            ("repro.analytics.descriptive.dashboard.Dashboard",)),
+        _uc("ITUE calculation", D, HW, (59,), False,
+            ("repro.analytics.descriptive.kpis.itue",)),
+        _uc("System performance indicators", D, HW, (14,), False,
+            ("repro.analytics.descriptive.entropy.entropy_series",)),
+        _uc("System-level dashboards", D, HW, (7, 8), False,
+            ("repro.analytics.descriptive.dashboard.Dashboard",)),
+        _uc("Slowdown calculation", D, SW, (60,), False,
+            ("repro.analytics.descriptive.scheduling_metrics.scheduling_report",)),
+        _uc("Scheduler-level dashboards", D, SW, (61, 62), False,
+            ("repro.analytics.descriptive.dashboard.Dashboard",)),
+        _uc("Job performance models", D, AP, (63,), False,
+            ("repro.analytics.descriptive.roofline.RooflineModel",)),
+        _uc("Job data processing", D, AP, (8,), False,
+            ("repro.telemetry.export",)),
+        _uc("Job-level dashboards", D, AP, (5, 6, 10), False,
+            ("repro.analytics.descriptive.dashboard.Dashboard",)),
+    ]
+
+
+def survey_grid():
+    """The populated framework grid — the executable Table I."""
+    from repro.core.grid import FrameworkGrid
+
+    grid = FrameworkGrid()
+    grid.place_all(table1_use_cases())
+    return grid
+
+
+def figure3_systems() -> List[SystemProfile]:
+    """The complex ODA systems of Figure 3 / Section V as grid footprints.
+
+    The figure itself is schematic; footprints below are reconstructed
+    from the paper's Section V discussion (Bortot/ENI, PowerStack) plus
+    representative single-pillar systems from the survey that the figure
+    contrasts them with — documented as a reconstruction in EXPERIMENTS.md.
+    """
+    D, G, P, S = (
+        AnalyticsType.DESCRIPTIVE,
+        AnalyticsType.DIAGNOSTIC,
+        AnalyticsType.PREDICTIVE,
+        AnalyticsType.PRESCRIPTIVE,
+    )
+    BI, HW, SW, AP = (
+        Pillar.BUILDING_INFRASTRUCTURE,
+        Pillar.SYSTEM_HARDWARE,
+        Pillar.SYSTEM_SOFTWARE,
+        Pillar.APPLICATIONS,
+    )
+    return [
+        SystemProfile(
+            name="Bortot et al. (ENI)",
+            cells=frozenset({GridCell(G, BI), GridCell(S, BI)}),
+            references=(39,),
+            description=(
+                "Diagnostic component identifying infrastructure anomalies "
+                "aided by periodic stress testing, plus a prescriptive "
+                "component determining optimal cooling setpoints; both "
+                "within the building-infrastructure pillar (Section V-A)."
+            ),
+        ),
+        SystemProfile(
+            name="PowerStack",
+            cells=frozenset(
+                {
+                    GridCell(S, HW), GridCell(S, SW), GridCell(S, AP),
+                    GridCell(P, HW), GridCell(P, SW),
+                }
+            ),
+            references=(41,),
+            description=(
+                "Multi-year cross-pillar effort for HPC power management: "
+                "prescriptive control of scheduler, hardware and application "
+                "knobs, informed by predictive techniques (Section V-B)."
+            ),
+        ),
+        SystemProfile(
+            name="GEOPM",
+            cells=frozenset({GridCell(P, HW), GridCell(S, HW)}),
+            references=(11,),
+            description=(
+                "Node-level power management runtime: predicts CPU "
+                "instruction mixes and prescriptively tunes frequencies."
+            ),
+        ),
+        SystemProfile(
+            name="ClusterCockpit",
+            cells=frozenset({GridCell(D, AP)}),
+            references=(5,),
+            description="Job-specific performance-monitoring dashboards (single cell).",
+        ),
+        SystemProfile(
+            name="LLNL power forecasting",
+            cells=frozenset({GridCell(D, BI), GridCell(P, BI)}),
+            references=(72,),
+            description=(
+                "Fourier analysis of historical site power to forecast "
+                ">750 kW / 15 min fluctuations for utility notification "
+                "(Section V-C)."
+            ),
+        ),
+    ]

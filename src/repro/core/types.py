@@ -1,0 +1,106 @@
+"""The four types of data analytics (Gartner staged model [2][70]).
+
+The rows of the ODA framework grid.  Types form a staged progression of
+value and difficulty (Figure 2 of the paper): descriptive and diagnostic
+look backward (*hindsight* — reactive ODA), predictive and prescriptive
+look forward (*foresight* — proactive ODA).  No type is "better"; each
+answers a different operational question.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+__all__ = ["AnalyticsType", "TYPE_ORDER", "TYPE_ORDER_TABLE1"]
+
+
+class AnalyticsType(Enum):
+    """One row of the framework grid."""
+
+    DESCRIPTIVE = "descriptive"
+    DIAGNOSTIC = "diagnostic"
+    PREDICTIVE = "predictive"
+    PRESCRIPTIVE = "prescriptive"
+
+    @property
+    def question(self) -> str:
+        """The operational question this type answers."""
+        return {
+            AnalyticsType.DESCRIPTIVE: "What happened?",
+            AnalyticsType.DIAGNOSTIC: "Why did it happen?",
+            AnalyticsType.PREDICTIVE: "What will happen?",
+            AnalyticsType.PRESCRIPTIVE: "What is the best way to manage my resources?",
+        }[self]
+
+    @property
+    def title(self) -> str:
+        return self.value.capitalize()
+
+    @property
+    def description(self) -> str:
+        return {
+            AnalyticsType.DESCRIPTIVE: (
+                "First-degree examination of data: visualizations, "
+                "dashboards and threshold alerts; may include normalization, "
+                "aggregation, outlier removal and dimensionality reduction, "
+                "but no complex knowledge extraction."
+            ),
+            AnalyticsType.DIAGNOSTIC: (
+                "Systematic automation of diagnoses: models that ingest "
+                "multi-dimensional monitoring or log data and extract "
+                "high-level knowledge — pinpointing why or where a "
+                "phenomenon happened."
+            ),
+            AnalyticsType.PREDICTIVE: (
+                "Forecasting a system's near-future state from current and "
+                "prior data, enabling proactive rather than reactive "
+                "operation."
+            ),
+            AnalyticsType.PRESCRIPTIVE: (
+                "Suggesting or automating the best course of action toward "
+                "an efficiency goal: converting system state into settings "
+                "for system knobs, via optimization models or even simple "
+                "mappings."
+            ),
+        }[self]
+
+    @property
+    def stage(self) -> int:
+        """Position in the staged model (0 = descriptive ... 3 = prescriptive).
+
+        Acts as both the difficulty rank and the value rank — the staged
+        model's defining property (Figure 2's diagonal).
+        """
+        return TYPE_ORDER.index(self)
+
+    @property
+    def hindsight(self) -> bool:
+        """Whether the type explains the past (vs anticipating the future)."""
+        return self in (AnalyticsType.DESCRIPTIVE, AnalyticsType.DIAGNOSTIC)
+
+    @property
+    def foresight(self) -> bool:
+        return not self.hindsight
+
+    @property
+    def proactive(self) -> bool:
+        """Foresight types enable proactive ODA (Section III-B)."""
+        return self.foresight
+
+    @property
+    def analytics_module(self) -> str:
+        """The repro subpackage implementing this type."""
+        return f"repro.analytics.{self.value}"
+
+
+#: Staged order: increasing value and difficulty (Figure 2).
+TYPE_ORDER: Tuple[AnalyticsType, ...] = (
+    AnalyticsType.DESCRIPTIVE,
+    AnalyticsType.DIAGNOSTIC,
+    AnalyticsType.PREDICTIVE,
+    AnalyticsType.PRESCRIPTIVE,
+)
+
+#: Row order as printed in Table I (prescriptive at the top).
+TYPE_ORDER_TABLE1: Tuple[AnalyticsType, ...] = tuple(reversed(TYPE_ORDER))

@@ -1,0 +1,127 @@
+"""Use-case and reference records for the framework.
+
+The survey's unit of analysis: a :class:`UseCase` is one decomposed ODA
+capability (one bullet of Table I) sitting in exactly one grid cell, backed
+by literature :class:`Reference` records.  A :class:`SystemProfile` groups
+the cells one concrete ODA *system* covers (the footprints of Figure 3) —
+the paper notes that real systems "may cover multiple framework categories
+at the same time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.pillars import Pillar
+from repro.core.types import AnalyticsType
+
+__all__ = ["GridCell", "Reference", "UseCase", "SystemProfile"]
+
+
+@dataclass(frozen=True, order=True)
+class GridCell:
+    """One of the 16 cells of the 4x4 framework grid.
+
+    Cells order by (analytics stage, pillar index) — enum members are not
+    themselves orderable, so the comparable ``sort_index`` field carries
+    the ordering and the enum fields are excluded from comparisons.
+    """
+
+    analytics_type: AnalyticsType = field(compare=False)
+    pillar: Pillar = field(compare=False)
+    sort_index: Tuple[int, int] = field(init=False, compare=True, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sort_index", (self.analytics_type.stage, self.pillar.index)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.analytics_type, self.pillar))
+
+    @property
+    def label(self) -> str:
+        return f"{self.analytics_type.title} x {self.pillar.title}"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One surveyed literature reference (a numbered paper citation)."""
+
+    number: int          # the paper's bibliography number, e.g. 12 for [12]
+    key: str             # short citation key, e.g. "jiang2019"
+    title: str
+    venue: str
+    year: int
+
+    def cite(self) -> str:
+        return f"[{self.number}] {self.key}: {self.title} ({self.venue} {self.year})"
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One decomposed ODA capability mapped to a single grid cell."""
+
+    name: str
+    cell: GridCell
+    references: Tuple[int, ...]          # bibliography numbers
+    description: str = ""
+    #: Whether the capability's output is primarily visualization/reporting
+    #: (vs automated control) — used for the Section II claim that
+    #: visualization-oriented ODA dominates [13].
+    control_oriented: bool = False
+    #: The repro module(s) implementing this capability in the platform.
+    implemented_by: Tuple[str, ...] = ()
+
+    @property
+    def pillar(self) -> Pillar:
+        return self.cell.pillar
+
+    @property
+    def analytics_type(self) -> AnalyticsType:
+        return self.cell.analytics_type
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """A concrete ODA system's footprint on the grid (Figure 3)."""
+
+    name: str
+    cells: FrozenSet[GridCell]
+    references: Tuple[int, ...] = ()
+    description: str = ""
+
+    @property
+    def pillars(self) -> FrozenSet[Pillar]:
+        return frozenset(cell.pillar for cell in self.cells)
+
+    @property
+    def analytics_types(self) -> FrozenSet[AnalyticsType]:
+        return frozenset(cell.analytics_type for cell in self.cells)
+
+    @property
+    def multi_pillar(self) -> bool:
+        """Whether the system crosses pillar boundaries (Section V-B)."""
+        return len(self.pillars) > 1
+
+    @property
+    def multi_type(self) -> bool:
+        """Whether the system combines analytics types (Section V-A)."""
+        return len(self.analytics_types) > 1
+
+    @property
+    def comprehensiveness(self) -> float:
+        """Fraction of the 16 grid cells the system covers."""
+        return len(self.cells) / 16.0
+
+    def similarity(self, other: "SystemProfile") -> float:
+        """Jaccard similarity of grid footprints — the paper's notion of
+        comparing use cases 'based on their relative locations in the grid'."""
+        union = self.cells | other.cells
+        if not union:
+            return 0.0
+        return len(self.cells & other.cells) / len(union)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.  Subsystems raise the most
+specific subclass that applies; generic built-ins (``ValueError``,
+``TypeError``) are reserved for plain argument-validation failures where the
+caller made a programming error rather than a domain error.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation enters an invalid state."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed or wired inconsistently."""
+
+
+class TelemetryError(ReproError):
+    """Base class for telemetry-pipeline errors."""
+
+
+class UnknownMetricError(TelemetryError, KeyError):
+    """Raised when a metric name is not present in a registry or store."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable.
+        return f"unknown metric: {self.name!r}"
+
+
+class StoreError(TelemetryError):
+    """Raised on invalid time-series store operations (bad ranges, dtypes)."""
+
+
+class AnalyticsError(ReproError):
+    """Base class for analytics-layer errors."""
+
+
+class NotFittedError(AnalyticsError):
+    """Raised when a model is used before :meth:`fit` was called."""
+
+
+class InsufficientDataError(AnalyticsError):
+    """Raised when an analytics routine receives too few samples to work."""
+
+
+class SchedulingError(ReproError):
+    """Raised on invalid scheduler or job-lifecycle operations."""
+
+
+class ClassificationError(ReproError):
+    """Raised when a use case cannot be mapped onto the ODA framework grid."""
+
+
+class ControlError(ReproError):
+    """Raised when a prescriptive controller receives an invalid actuation."""

@@ -1,0 +1,49 @@
+"""Building-infrastructure substrate (the first pillar).
+
+Physical models of cooling machinery, power distribution and ambient
+weather, aggregated by :class:`~repro.facility.facility.Facility`, with
+fault injection for diagnostic ODA benchmarks.
+"""
+
+from repro.facility.components import (
+    Chiller,
+    CoolingTower,
+    DryCooler,
+    HeatExchanger,
+    InfrastructureComponent,
+    PowerConversion,
+    Pump,
+)
+from repro.facility.cooling import CoolingLoop, CoolingMode, CoolingPlant
+from repro.facility.facility import Facility
+from repro.facility.faults import FaultInjector, FaultKind, InjectedFault
+from repro.facility.power import PowerDistribution
+from repro.facility.site_trace import SitePowerTraceGenerator, SpikePattern
+from repro.facility.sizing import scaled_cooling_plant, scaled_distribution
+from repro.facility.weather import DAY, YEAR, WeatherModel, WeatherSample
+
+__all__ = [
+    "Chiller",
+    "CoolingTower",
+    "DryCooler",
+    "HeatExchanger",
+    "InfrastructureComponent",
+    "PowerConversion",
+    "Pump",
+    "CoolingLoop",
+    "CoolingMode",
+    "CoolingPlant",
+    "Facility",
+    "FaultInjector",
+    "FaultKind",
+    "InjectedFault",
+    "PowerDistribution",
+    "SitePowerTraceGenerator",
+    "SpikePattern",
+    "scaled_cooling_plant",
+    "scaled_distribution",
+    "DAY",
+    "YEAR",
+    "WeatherModel",
+    "WeatherSample",
+]

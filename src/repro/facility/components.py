@@ -1,0 +1,254 @@
+"""Physical models of building-infrastructure components.
+
+Each component exposes:
+
+* a steady-state physics update (given load and ambient conditions),
+* a ``health`` factor in ``(0, 1]`` that fault injection degrades,
+* a ``sensors()`` mapping feeding the telemetry pipeline.
+
+The models are deliberately first-order — part-load efficiency curves, cube
+laws, approach temperatures — but preserve the qualitative behaviour the
+paper's infrastructure ODA use cases exploit: COP falls with ambient
+temperature and rises with warm-water setpoints, free cooling is only
+available under a dry-bulb ceiling, and degraded components show up as
+correlated drifts in their sensor signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "InfrastructureComponent",
+    "Chiller",
+    "CoolingTower",
+    "DryCooler",
+    "Pump",
+    "HeatExchanger",
+    "PowerConversion",
+]
+
+
+@dataclass
+class InfrastructureComponent:
+    """Base class: identity, health and bookkeeping shared by all models."""
+
+    name: str
+    health: float = 1.0
+    enabled: bool = True
+    energy_j: float = field(default=0.0, init=False)
+    _power_w: float = field(default=0.0, init=False)
+
+    def degrade(self, factor: float) -> None:
+        """Multiply health by ``factor`` (fault injection hook)."""
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(f"degrade factor must be in (0, 1], got {factor}")
+        self.health *= factor
+
+    def repair(self) -> None:
+        """Restore full health."""
+        self.health = 1.0
+
+    @property
+    def power_w(self) -> float:
+        """Electric power drawn at the last update."""
+        return self._power_w
+
+    def account(self, power_w: float, dt: float) -> None:
+        """Record power draw over an interval (integrates energy)."""
+        self._power_w = power_w
+        self.energy_j += power_w * dt
+
+    def sensors(self) -> Dict[str, float]:
+        """Instantaneous sensor readings (subclasses extend)."""
+        return {"power": self._power_w, "health": self.health}
+
+
+@dataclass
+class Chiller(InfrastructureComponent):
+    """Mechanical (compressor) chiller.
+
+    COP model: nominal COP scaled by a part-load curve that peaks around 80%
+    load, derated linearly as condenser-side ambient rises above 15 degC and
+    improved as the chilled-water setpoint rises (the physics behind
+    warm-water-cooling economics, cf. Conficoni et al. [18]).
+    """
+
+    capacity_w: float = 2_000_000.0
+    cop_nominal: float = 5.0
+    supply_setpoint_c: float = 16.0
+    ambient_derate_per_c: float = 0.06
+    setpoint_gain_per_c: float = 0.12
+    load_fraction: float = field(default=0.0, init=False)
+
+    def cop(self, ambient_c: float) -> float:
+        """Coefficient of performance at the current state."""
+        lf = min(max(self.load_fraction, 0.05), 1.0)
+        part_load = 1.0 - 0.35 * (lf - 0.8) ** 2  # peaks near 80 % load
+        ambient_term = 1.0 - self.ambient_derate_per_c * max(ambient_c - 15.0, 0.0) / 5.0
+        setpoint_term = 1.0 + self.setpoint_gain_per_c * (self.supply_setpoint_c - 16.0) / 4.0
+        cop = self.cop_nominal * part_load * max(ambient_term, 0.2) * max(setpoint_term, 0.3)
+        return max(cop * self.health, 0.5)
+
+    def update(self, heat_load_w: float, ambient_c: float, dt: float) -> float:
+        """Remove ``heat_load_w`` of heat; returns electric power drawn."""
+        if not self.enabled or heat_load_w <= 0.0:
+            self.load_fraction = 0.0
+            self.account(0.0, dt)
+            return 0.0
+        self.load_fraction = min(heat_load_w / self.capacity_w, 1.0)
+        power = heat_load_w / self.cop(ambient_c)
+        self.account(power, dt)
+        return power
+
+    def sensors(self) -> Dict[str, float]:
+        base = super().sensors()
+        base.update(
+            {
+                "load_fraction": self.load_fraction,
+                "supply_temp": self.supply_setpoint_c,
+                "cop": self.cop(20.0),
+            }
+        )
+        return base
+
+
+@dataclass
+class CoolingTower(InfrastructureComponent):
+    """Evaporative cooling tower.
+
+    Delivers water at ``wetbulb + approach``; fan power follows a cube law
+    on the required airflow fraction.  Degraded health raises the effective
+    approach (fouling) and fan power (bearing wear).
+    """
+
+    capacity_w: float = 2_000_000.0
+    approach_c: float = 4.0
+    fan_power_max_w: float = 30_000.0
+    load_fraction: float = field(default=0.0, init=False)
+
+    def supply_temp_c(self, wetbulb_c: float) -> float:
+        """Achievable supply water temperature at current health."""
+        return wetbulb_c + self.approach_c / max(self.health, 0.1)
+
+    def update(self, heat_load_w: float, wetbulb_c: float, dt: float) -> float:
+        if not self.enabled or heat_load_w <= 0.0:
+            self.load_fraction = 0.0
+            self.account(0.0, dt)
+            return 0.0
+        self.load_fraction = min(heat_load_w / self.capacity_w, 1.0)
+        airflow = self.load_fraction / max(self.health, 0.1)
+        power = self.fan_power_max_w * min(airflow, 1.5) ** 3
+        self.account(power, dt)
+        return power
+
+    def sensors(self) -> Dict[str, float]:
+        base = super().sensors()
+        base.update({"load_fraction": self.load_fraction, "approach": self.approach_c / max(self.health, 0.1)})
+        return base
+
+
+@dataclass
+class DryCooler(InfrastructureComponent):
+    """Dry (free) cooler: cheap fans, but bounded by the dry-bulb ambient.
+
+    Usable only when ``drybulb + approach <= required supply temperature``;
+    the cooling plant checks :meth:`can_serve` before dispatching load here.
+    """
+
+    capacity_w: float = 2_000_000.0
+    approach_c: float = 6.0
+    fan_power_max_w: float = 15_000.0
+    load_fraction: float = field(default=0.0, init=False)
+
+    def supply_temp_c(self, drybulb_c: float) -> float:
+        return drybulb_c + self.approach_c / max(self.health, 0.1)
+
+    def can_serve(self, drybulb_c: float, required_supply_c: float) -> bool:
+        """Whether free cooling can hit the required supply temperature."""
+        return self.enabled and self.supply_temp_c(drybulb_c) <= required_supply_c
+
+    def update(self, heat_load_w: float, drybulb_c: float, dt: float) -> float:
+        if not self.enabled or heat_load_w <= 0.0:
+            self.load_fraction = 0.0
+            self.account(0.0, dt)
+            return 0.0
+        self.load_fraction = min(heat_load_w / self.capacity_w, 1.0)
+        power = self.fan_power_max_w * (self.load_fraction / max(self.health, 0.1)) ** 2
+        self.account(power, dt)
+        return power
+
+
+@dataclass
+class Pump(InfrastructureComponent):
+    """Circulation pump; hydraulic power scales with the cube of flow."""
+
+    rated_flow_ls: float = 100.0
+    rated_power_w: float = 20_000.0
+    flow_ls: float = field(default=0.0, init=False)
+
+    def update(self, flow_ls: float, dt: float) -> float:
+        if not self.enabled:
+            self.flow_ls = 0.0
+            self.account(0.0, dt)
+            return 0.0
+        self.flow_ls = flow_ls
+        fraction = min(flow_ls / self.rated_flow_ls, 1.5)
+        power = self.rated_power_w * fraction**3 / max(self.health, 0.1)
+        self.account(power, dt)
+        return power
+
+    def sensors(self) -> Dict[str, float]:
+        base = super().sensors()
+        base["flow"] = self.flow_ls
+        return base
+
+
+@dataclass
+class HeatExchanger(InfrastructureComponent):
+    """Counter-flow heat exchanger with a fixed effectiveness."""
+
+    effectiveness: float = 0.9
+
+    def secondary_temp_c(self, primary_c: float, secondary_in_c: float) -> float:
+        """Outlet temperature on the secondary side."""
+        eff = self.effectiveness * self.health
+        return secondary_in_c + eff * (primary_c - secondary_in_c)
+
+
+@dataclass
+class PowerConversion(InfrastructureComponent):
+    """Transformer / UPS / PDU stage with a load-dependent efficiency.
+
+    Efficiency curve: poor at very low load (fixed losses dominate), flat
+    near ``efficiency_peak`` above ~30 % load — the standard double-
+    conversion UPS shape.
+    """
+
+    capacity_w: float = 5_000_000.0
+    efficiency_peak: float = 0.96
+    fixed_loss_w: float = 5_000.0
+    throughput_w: float = field(default=0.0, init=False)
+
+    def update(self, load_w: float, dt: float) -> float:
+        """Pass ``load_w`` downstream; returns total electric loss in watts."""
+        if not self.enabled:
+            self.account(0.0, dt)
+            return 0.0
+        self.throughput_w = load_w
+        proportional_loss = load_w * (1.0 - self.efficiency_peak * self.health)
+        loss = self.fixed_loss_w + proportional_loss
+        self.account(loss, dt)
+        return loss
+
+    @property
+    def load_fraction(self) -> float:
+        return self.throughput_w / self.capacity_w
+
+    def sensors(self) -> Dict[str, float]:
+        base = super().sensors()
+        base.update({"throughput": self.throughput_w, "load_fraction": self.load_fraction})
+        return base

@@ -1,0 +1,204 @@
+"""Cooling plant: technologies, loops and the technology-switching knob.
+
+The plant serves the IT heat load using one of three technologies —
+mechanical chillers, evaporative cooling towers or dry (free) coolers — per
+cooling loop.  The *mode* knob and the *supply setpoint* knob are exactly
+the control interfaces the paper's prescriptive infrastructure ODA examples
+actuate: switching between types of cooling (Jiang et al. [12]) and tuning
+inlet water temperature (Conficoni et al. [18], Kjærgaard et al. [37]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, ControlError
+from repro.facility.components import Chiller, CoolingTower, DryCooler, Pump
+from repro.facility.weather import WeatherSample
+
+__all__ = ["CoolingMode", "CoolingLoop", "CoolingPlant"]
+
+
+class CoolingMode(Enum):
+    """Cooling technology in use for a loop."""
+
+    CHILLER = "chiller"
+    TOWER = "tower"
+    FREE = "free"
+    AUTO = "auto"  # plant picks the cheapest feasible technology
+
+
+@dataclass
+class CoolingLoop:
+    """One hydraulic loop serving a share of the IT heat load.
+
+    Attributes
+    ----------
+    name:
+        Loop identifier used in metric paths.
+    supply_setpoint_c:
+        Desired supply-water temperature; a warm-water loop runs at 35-45 C,
+        a chilled-water loop at 14-18 C.  Raising the setpoint widens the
+        window where towers and free cooling are feasible — the core lever
+        of energy-aware cooling ODA.
+    mode:
+        Selected technology (or AUTO).
+    """
+
+    name: str
+    supply_setpoint_c: float = 16.0
+    mode: CoolingMode = CoolingMode.AUTO
+    chiller: Chiller = field(default_factory=lambda: Chiller(name="chiller"))
+    tower: CoolingTower = field(default_factory=lambda: CoolingTower(name="tower"))
+    dry_cooler: DryCooler = field(default_factory=lambda: DryCooler(name="drycooler"))
+    pump: Pump = field(default_factory=lambda: Pump(name="pump"))
+    min_setpoint_c: float = 10.0
+    max_setpoint_c: float = 50.0
+
+    # State from the last update.
+    active_mode: CoolingMode = field(default=CoolingMode.CHILLER, init=False)
+    supply_temp_c: float = field(default=16.0, init=False)
+    heat_load_w: float = field(default=0.0, init=False)
+    cooling_power_w: float = field(default=0.0, init=False)
+
+    def set_setpoint(self, setpoint_c: float) -> None:
+        """Actuate the supply-temperature knob (prescriptive interface)."""
+        if not self.min_setpoint_c <= setpoint_c <= self.max_setpoint_c:
+            raise ControlError(
+                f"loop {self.name}: setpoint {setpoint_c} outside "
+                f"[{self.min_setpoint_c}, {self.max_setpoint_c}]"
+            )
+        self.supply_setpoint_c = setpoint_c
+        self.chiller.supply_setpoint_c = setpoint_c
+
+    def set_mode(self, mode: CoolingMode) -> None:
+        """Actuate the technology-switching knob (prescriptive interface)."""
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    def _feasible_modes(self, weather: WeatherSample) -> List[CoolingMode]:
+        feasible = [CoolingMode.CHILLER]
+        if (
+            self.tower.enabled
+            and self.tower.supply_temp_c(weather.wetbulb_c) <= self.supply_setpoint_c
+        ):
+            feasible.append(CoolingMode.TOWER)
+        if self.dry_cooler.can_serve(weather.drybulb_c, self.supply_setpoint_c):
+            feasible.append(CoolingMode.FREE)
+        return feasible
+
+    def _mode_power(
+        self, mode: CoolingMode, heat_load_w: float, weather: WeatherSample, dt: float
+    ) -> float:
+        if mode is CoolingMode.CHILLER:
+            return self.chiller.update(heat_load_w, weather.drybulb_c, dt)
+        if mode is CoolingMode.TOWER:
+            return self.tower.update(heat_load_w, weather.wetbulb_c, dt)
+        if mode is CoolingMode.FREE:
+            return self.dry_cooler.update(heat_load_w, weather.drybulb_c, dt)
+        raise ConfigurationError(f"unexpected mode {mode}")
+
+    def _estimate_power(
+        self, mode: CoolingMode, heat_load_w: float, weather: WeatherSample
+    ) -> float:
+        """Side-effect-free power estimate used for AUTO dispatch."""
+        if mode is CoolingMode.CHILLER:
+            saved = self.chiller.load_fraction
+            self.chiller.load_fraction = min(heat_load_w / self.chiller.capacity_w, 1.0)
+            power = heat_load_w / self.chiller.cop(weather.drybulb_c)
+            self.chiller.load_fraction = saved
+            return power
+        if mode is CoolingMode.TOWER:
+            lf = min(heat_load_w / self.tower.capacity_w, 1.0)
+            return self.tower.fan_power_max_w * min(lf / max(self.tower.health, 0.1), 1.5) ** 3
+        if mode is CoolingMode.FREE:
+            lf = min(heat_load_w / self.dry_cooler.capacity_w, 1.0)
+            return self.dry_cooler.fan_power_max_w * (lf / max(self.dry_cooler.health, 0.1)) ** 2
+        raise ConfigurationError(f"unexpected mode {mode}")
+
+    def update(self, heat_load_w: float, weather: WeatherSample, dt: float) -> float:
+        """Serve the heat load for ``dt`` seconds; returns cooling power (W).
+
+        In AUTO mode the cheapest feasible technology is chosen each step;
+        otherwise the selected mode is used, falling back to the chiller if
+        the selection is infeasible under current weather (a tower asked to
+        deliver water colder than the wet-bulb floor cannot comply).
+        """
+        self.heat_load_w = heat_load_w
+        feasible = self._feasible_modes(weather)
+        if self.mode is CoolingMode.AUTO:
+            chosen = min(
+                feasible, key=lambda m: self._estimate_power(m, heat_load_w, weather)
+            )
+        elif self.mode in feasible:
+            chosen = self.mode
+        else:
+            chosen = CoolingMode.CHILLER
+
+        # Idle the technologies not chosen so their sensors read zero.
+        for mode in (CoolingMode.CHILLER, CoolingMode.TOWER, CoolingMode.FREE):
+            if mode is not chosen:
+                self._mode_power(mode, 0.0, weather, dt)
+        technology_power = self._mode_power(chosen, heat_load_w, weather, dt)
+
+        # Pump flow scales with heat load at a fixed design delta-T of 10 K;
+        # water heat capacity ~4186 J/(kg K), 1 kg/L.
+        flow_ls = heat_load_w / (4186.0 * 10.0) if heat_load_w > 0 else 0.0
+        pump_power = self.pump.update(flow_ls, dt)
+
+        self.active_mode = chosen
+        if chosen is CoolingMode.CHILLER:
+            self.supply_temp_c = self.supply_setpoint_c
+        elif chosen is CoolingMode.TOWER:
+            self.supply_temp_c = min(
+                self.tower.supply_temp_c(weather.wetbulb_c), self.supply_setpoint_c
+            )
+        else:
+            self.supply_temp_c = min(
+                self.dry_cooler.supply_temp_c(weather.drybulb_c), self.supply_setpoint_c
+            )
+        self.cooling_power_w = technology_power + pump_power
+        return self.cooling_power_w
+
+    def sensors(self) -> Dict[str, float]:
+        """Loop-level sensor readings (component sensors are separate)."""
+        return {
+            "supply_temp": self.supply_temp_c,
+            "setpoint": self.supply_setpoint_c,
+            "heat_load": self.heat_load_w,
+            "cooling_power": self.cooling_power_w,
+            "mode": float(
+                [CoolingMode.CHILLER, CoolingMode.TOWER, CoolingMode.FREE].index(
+                    self.active_mode
+                )
+            ),
+        }
+
+
+class CoolingPlant:
+    """Set of cooling loops plus plant-level accounting."""
+
+    def __init__(self, loops: Optional[List[CoolingLoop]] = None):
+        self.loops: List[CoolingLoop] = loops or [CoolingLoop(name="loop0")]
+        names = [loop.name for loop in self.loops]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate loop names: {names}")
+        self.cooling_power_w = 0.0
+
+    def loop(self, name: str) -> CoolingLoop:
+        for candidate in self.loops:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(f"no cooling loop named {name!r}")
+
+    def update(self, heat_load_w: float, weather: WeatherSample, dt: float) -> float:
+        """Distribute the heat load evenly across loops; returns plant power."""
+        if not self.loops:
+            raise ConfigurationError("cooling plant has no loops")
+        share = heat_load_w / len(self.loops)
+        self.cooling_power_w = sum(
+            loop.update(share, weather, dt) for loop in self.loops
+        )
+        return self.cooling_power_w

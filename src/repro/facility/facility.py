@@ -1,0 +1,265 @@
+"""The facility aggregate: weather + cooling plant + power distribution.
+
+This is the building-infrastructure pillar of the simulated data center.
+It advances its physics on a periodic simulator tick, driven by the IT power
+reported by the cluster, and exposes a telemetry source covering every
+infrastructure sensor (the raw material of descriptive facility ODA:
+PUE calculation [4], facility dashboards [1][7], data processing [8][58]).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.facility.components import InfrastructureComponent
+from repro.facility.cooling import CoolingLoop, CoolingPlant
+from repro.facility.faults import FaultInjector
+from repro.facility.power import PowerDistribution
+from repro.facility.weather import WeatherModel, WeatherSample
+from repro.simulation.engine import PeriodicHandle, Simulator
+from repro.simulation.trace import TraceLog
+from repro.telemetry.collector import Sampler
+from repro.telemetry.metric import MetricKind, MetricSpec, Unit
+
+__all__ = ["Facility"]
+
+
+class Facility:
+    """Simulated building infrastructure.
+
+    Parameters
+    ----------
+    name:
+        Root of all facility metric paths (default ``"facility"``).
+    weather:
+        Ambient weather model.
+    plant:
+        Cooling plant (defaults to one AUTO loop).
+    distribution:
+        Electrical distribution chain.
+    it_power_source:
+        Callable returning the current IT power in watts; wired to the
+        cluster by :class:`~repro.oda.system.DataCenter`.  Defaults to zero.
+    tick:
+        Physics update period in seconds.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        name: str = "facility",
+        weather: Optional[WeatherModel] = None,
+        plant: Optional[CoolingPlant] = None,
+        distribution: Optional[PowerDistribution] = None,
+        it_power_source: Optional[Callable[[], float]] = None,
+        tick: float = 60.0,
+        sensor_noise_floor_w: float = 0.0,
+        sensor_noise_rel: float = 0.0,
+    ):
+        if tick <= 0:
+            raise ConfigurationError("facility tick must be positive")
+        self.name = name
+        self.weather = weather or WeatherModel(rng)
+        self.plant = plant or CoolingPlant()
+        self.distribution = distribution or PowerDistribution()
+        self.it_power_source = it_power_source or (lambda: 0.0)
+        self.tick = tick
+        # Optional measurement noise on power-like sensors: real plant
+        # instrumentation has an absolute resolution floor, which is what
+        # makes low-load fault signatures invisible without stress testing
+        # (the Bortot et al. [39] rationale).
+        self.sensor_noise_floor_w = sensor_noise_floor_w
+        self.sensor_noise_rel = sensor_noise_rel
+        # Derive the noise generator from the weather generator's *state*
+        # without consuming a draw, so enabling noise never perturbs the
+        # physics trajectory of an otherwise identical run.
+        if sensor_noise_floor_w > 0 or sensor_noise_rel > 0:
+            import zlib
+
+            state_key = zlib.crc32(repr(rng.bit_generator.state).encode("utf-8"))
+            self._noise_rng = np.random.default_rng(state_key)
+        else:
+            self._noise_rng = None
+        self.trace: Optional[TraceLog] = None
+        self.fault_injector: Optional[FaultInjector] = None
+
+        self._last_weather = WeatherSample(12.0, 8.0, 0.6)
+        self._last_update: Optional[float] = None
+        self._handle: Optional[PeriodicHandle] = None
+        self.it_energy_j = 0.0
+        self.site_energy_j = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, sim: Simulator, trace: Optional[TraceLog] = None) -> None:
+        """Start the periodic physics tick on ``sim``."""
+        self.trace = trace
+        if trace is not None and self.fault_injector is None:
+            self.fault_injector = FaultInjector(sim, trace)
+        self._handle = sim.schedule_periodic(
+            self.tick, lambda s: self.update(s.now), start_delay=0.0,
+            label=f"{self.name}:tick", priority=0,
+        )
+
+    def detach(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Physics
+    # ------------------------------------------------------------------
+    def update(self, now: float) -> float:
+        """Advance facility physics to ``now``; returns site power in watts."""
+        dt = self.tick if self._last_update is None else now - self._last_update
+        self._last_update = now
+        self._last_weather = self.weather.sample(now)
+
+        it_power = max(float(self.it_power_source()), 0.0)
+        # All IT power becomes heat that the cooling plant must remove.
+        cooling_power = self.plant.update(it_power, self._last_weather, dt)
+        site_power = self.distribution.update(it_power, cooling_power, dt)
+
+        self.it_energy_j += it_power * dt
+        self.site_energy_j += site_power * dt
+        return site_power
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_weather(self) -> WeatherSample:
+        return self._last_weather
+
+    @property
+    def site_power_w(self) -> float:
+        return self.distribution.site_power_w
+
+    @property
+    def pue_instantaneous(self) -> float:
+        """Instantaneous PUE (site power / IT power); inf when IT is idle."""
+        it = self.distribution.it_power_w
+        return self.distribution.site_power_w / it if it > 0 else float("inf")
+
+    def components(self) -> List[InfrastructureComponent]:
+        """All fault-injectable infrastructure components."""
+        out: List[InfrastructureComponent] = []
+        for loop in self.plant.loops:
+            out.extend([loop.chiller, loop.tower, loop.dry_cooler, loop.pump])
+        out.extend([self.distribution.transformer, self.distribution.ups])
+        out.extend(self.distribution.pdus)
+        return out
+
+    def stress_test(self, sim: Simulator, duration: float = 600.0) -> None:
+        """Run a brief plant stress test (Bortot et al. [39] style).
+
+        Temporarily forces the cooling plant to full design load so that
+        degraded components reveal themselves in their sensor signatures;
+        emits trace markers so diagnostics can align windows.
+        """
+        original = self.it_power_source
+        design_load = sum(loop.chiller.capacity_w for loop in self.plant.loops) * 0.9
+        if self.trace is not None:
+            self.trace.emit(sim.now, self.name, "stress_test_start", duration=duration)
+        self.it_power_source = lambda: design_load
+
+        def end(s: Simulator) -> None:
+            self.it_power_source = original
+            if self.trace is not None:
+                self.trace.emit(s.now, self.name, "stress_test_end")
+
+        sim.schedule(duration, end, label=f"{self.name}:stress_end")
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _read_sensors(self, now: float) -> Dict[str, float]:
+        readings: Dict[str, float] = {}
+        prefix = self.name
+        bias = self.fault_injector.sensor_bias if self.fault_injector else (lambda _n: 1.0)
+
+        readings[f"{prefix}.weather.drybulb"] = self._last_weather.drybulb_c
+        readings[f"{prefix}.weather.wetbulb"] = self._last_weather.wetbulb_c
+        readings[f"{prefix}.weather.humidity"] = self._last_weather.humidity
+        for key, value in self.distribution.sensors().items():
+            readings[f"{prefix}.power.{key}"] = value
+        readings[f"{prefix}.pue"] = (
+            self.pue_instantaneous if np.isfinite(self.pue_instantaneous) else 0.0
+        )
+        readings[f"{prefix}.it_energy"] = self.it_energy_j
+        readings[f"{prefix}.site_energy"] = self.site_energy_j
+
+        for loop in self.plant.loops:
+            for key, value in loop.sensors().items():
+                readings[f"{prefix}.{loop.name}.{key}"] = value
+            for component in (loop.chiller, loop.tower, loop.dry_cooler, loop.pump):
+                b = bias(component.name)
+                for key, value in component.sensors().items():
+                    if key == "health":
+                        continue  # ground truth: not observable via telemetry
+                    readings[f"{prefix}.{loop.name}.{component.name}.{key}"] = value * b
+        for stage in [self.distribution.transformer, self.distribution.ups, *self.distribution.pdus]:
+            b = bias(stage.name)
+            for key, value in stage.sensors().items():
+                if key == "health":
+                    continue
+                readings[f"{prefix}.power.{stage.name}.{key}"] = value * b
+
+        if self.sensor_noise_floor_w > 0 or self.sensor_noise_rel > 0:
+            for key in readings:
+                if key.endswith("power") or key.endswith("heat_load"):
+                    value = readings[key]
+                    sigma = self.sensor_noise_floor_w + self.sensor_noise_rel * abs(value)
+                    readings[key] = value + float(self._noise_rng.normal(0.0, sigma))
+        return readings
+
+    def metric_specs(self) -> List[MetricSpec]:
+        """Specs for every facility metric (registered before first scrape)."""
+        labels = {"pillar": "building_infrastructure"}
+        specs = [
+            MetricSpec(f"{self.name}.weather.drybulb", Unit.CELSIUS, labels=labels),
+            MetricSpec(f"{self.name}.weather.wetbulb", Unit.CELSIUS, labels=labels),
+            MetricSpec(f"{self.name}.weather.humidity", Unit.FRACTION, low=0, high=1, labels=labels),
+            MetricSpec(f"{self.name}.power.site_power", Unit.WATT, low=0, labels=labels),
+            MetricSpec(f"{self.name}.power.it_power", Unit.WATT, low=0, labels=labels),
+            MetricSpec(f"{self.name}.power.cooling_power", Unit.WATT, low=0, labels=labels),
+            MetricSpec(f"{self.name}.power.loss_power", Unit.WATT, low=0, labels=labels),
+            MetricSpec(f"{self.name}.pue", Unit.DIMENSIONLESS, low=0, labels=labels),
+            MetricSpec(f"{self.name}.it_energy", Unit.JOULE, MetricKind.COUNTER, low=0, labels=labels),
+            MetricSpec(f"{self.name}.site_energy", Unit.JOULE, MetricKind.COUNTER, low=0, labels=labels),
+        ]
+        for loop in self.plant.loops:
+            base = f"{self.name}.{loop.name}"
+            specs.extend(
+                [
+                    MetricSpec(f"{base}.supply_temp", Unit.CELSIUS, labels=labels),
+                    MetricSpec(f"{base}.setpoint", Unit.CELSIUS, labels=labels),
+                    MetricSpec(f"{base}.heat_load", Unit.WATT, low=0, labels=labels),
+                    MetricSpec(f"{base}.cooling_power", Unit.WATT, low=0, labels=labels),
+                    MetricSpec(f"{base}.mode", Unit.DIMENSIONLESS, labels=labels),
+                ]
+            )
+            for component in (loop.chiller, loop.tower, loop.dry_cooler, loop.pump):
+                cbase = f"{base}.{component.name}"
+                sample = component.sensors()
+                for key in sample:
+                    if key == "health":
+                        continue
+                    specs.append(MetricSpec(f"{cbase}.{key}", labels=labels))
+        for stage in [self.distribution.transformer, self.distribution.ups, *self.distribution.pdus]:
+            sbase = f"{self.name}.power.{stage.name}"
+            for key in stage.sensors():
+                if key == "health":
+                    continue
+                specs.append(MetricSpec(f"{sbase}.{key}", labels=labels))
+        return specs
+
+    def sampler(self) -> Sampler:
+        """Telemetry sampler covering all facility sensors."""
+        return Sampler(
+            name=self.name, source=self._read_sensors, specs=self.metric_specs()
+        )

@@ -1,0 +1,143 @@
+"""Infrastructure fault injection.
+
+Diagnostic infrastructure ODA (anomaly detection in pumps and power
+supplies [54], crisis fingerprinting [38], stress-test-aided detection
+[39]) needs faults to detect.  The :class:`FaultInjector` schedules
+degradations on infrastructure components via the discrete-event simulator
+and records ground truth in the trace log so benchmarks can score
+detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.facility.components import InfrastructureComponent
+from repro.simulation.engine import Simulator
+from repro.simulation.trace import TraceLog
+
+__all__ = ["FaultKind", "InjectedFault", "FaultInjector"]
+
+
+class FaultKind(Enum):
+    """Failure modes for infrastructure machinery."""
+
+    DEGRADATION = "degradation"   # gradual efficiency loss (fouling, wear)
+    OUTAGE = "outage"             # component disabled outright
+    SENSOR_DRIFT = "sensor_drift" # telemetry lies; physics unaffected
+
+
+@dataclass
+class InjectedFault:
+    """Ground-truth record of one injected fault."""
+
+    component: str
+    kind: FaultKind
+    start: float
+    duration: float
+    severity: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def overlaps(self, since: float, until: float) -> bool:
+        """Whether the fault is active anywhere in ``[since, until]``."""
+        return self.start <= until and self.end >= since
+
+
+class FaultInjector:
+    """Schedules faults on components and records ground truth.
+
+    Sensor drift is implemented by installing a multiplicative bias the
+    owning facility applies when exporting the component's sensors; the
+    injector only tracks the bias value here.
+    """
+
+    def __init__(self, sim: Simulator, trace: TraceLog, rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.trace = trace
+        self.rng = rng or np.random.default_rng(0)
+        self.injected: List[InjectedFault] = []
+        self._drift: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def sensor_bias(self, component_name: str) -> float:
+        """Current multiplicative sensor bias for a component (1.0 = none)."""
+        return self._drift.get(component_name, 1.0)
+
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        component: InfrastructureComponent,
+        kind: FaultKind,
+        start: float,
+        duration: float,
+        severity: float = 0.5,
+    ) -> InjectedFault:
+        """Schedule a fault.
+
+        ``severity`` is in ``(0, 1]``: for DEGRADATION it is the health
+        multiplier applied at onset; for SENSOR_DRIFT it sets the bias to
+        ``1 + severity``; OUTAGE ignores it.
+        """
+        fault = InjectedFault(component.name, kind, start, duration, severity)
+        self.injected.append(fault)
+
+        def onset(sim: Simulator) -> None:
+            if kind is FaultKind.DEGRADATION:
+                component.degrade(max(severity, 1e-3))
+            elif kind is FaultKind.OUTAGE:
+                component.enabled = False
+            elif kind is FaultKind.SENSOR_DRIFT:
+                self._drift[component.name] = 1.0 + severity
+            self.trace.emit(
+                sim.now, f"faults.{component.name}", "fault_onset",
+                fault_kind=kind.value, severity=severity, duration=duration,
+            )
+
+        def clear(sim: Simulator) -> None:
+            if kind is FaultKind.DEGRADATION:
+                component.repair()
+            elif kind is FaultKind.OUTAGE:
+                component.enabled = True
+            elif kind is FaultKind.SENSOR_DRIFT:
+                self._drift.pop(component.name, None)
+            self.trace.emit(
+                sim.now, f"faults.{component.name}", "fault_clear", fault_kind=kind.value
+            )
+
+        self.sim.schedule_at(start, onset, label=f"fault:{component.name}")
+        self.sim.schedule_at(start + duration, clear, label=f"fault_clear:{component.name}")
+        return fault
+
+    def inject_random(
+        self,
+        components: List[InfrastructureComponent],
+        horizon: float,
+        rate_per_day: float = 0.5,
+        mean_duration: float = 4 * 3600.0,
+    ) -> List[InjectedFault]:
+        """Poisson-process fault injection over ``[now, now+horizon]``."""
+        day = 86_400.0
+        expected = rate_per_day * horizon / day
+        count = int(self.rng.poisson(expected))
+        faults = []
+        for _ in range(count):
+            component = components[int(self.rng.integers(len(components)))]
+            kind = [FaultKind.DEGRADATION, FaultKind.OUTAGE, FaultKind.SENSOR_DRIFT][
+                int(self.rng.integers(3))
+            ]
+            start = self.sim.now + float(self.rng.uniform(0, horizon))
+            duration = float(self.rng.exponential(mean_duration))
+            severity = float(self.rng.uniform(0.3, 0.8))
+            faults.append(self.inject(component, kind, start, duration, severity))
+        return faults
+
+    def active_at(self, time: float) -> List[InjectedFault]:
+        """Ground-truth faults active at ``time``."""
+        return [f for f in self.injected if f.start <= time <= f.end]

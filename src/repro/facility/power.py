@@ -1,0 +1,90 @@
+"""Power-distribution chain: utility feed -> transformer -> UPS -> PDUs.
+
+Models the electrical path and its conversion losses so that facility-level
+power (the quantity the PUE and the LLNL utility-notification use case are
+computed from) is physically consistent: every watt the IT equipment and the
+cooling plant draw is pulled through lossy conversion stages up to the
+utility meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.facility.components import PowerConversion
+
+__all__ = ["PowerDistribution"]
+
+
+@dataclass
+class PowerDistribution:
+    """Two-stage conversion chain with per-stage loss accounting.
+
+    Attributes
+    ----------
+    transformer:
+        Medium-voltage utility transformer (everything flows through it).
+    ups:
+        UPS protecting the IT load only; cooling machinery is fed directly
+        from the transformer, as in most real plants.
+    pdus:
+        Rack-level PDUs splitting the IT feed.
+    """
+
+    transformer: PowerConversion = field(
+        default_factory=lambda: PowerConversion(
+            name="transformer", capacity_w=10_000_000.0, efficiency_peak=0.985,
+            fixed_loss_w=8_000.0,
+        )
+    )
+    ups: PowerConversion = field(
+        default_factory=lambda: PowerConversion(
+            name="ups", capacity_w=6_000_000.0, efficiency_peak=0.95,
+            fixed_loss_w=6_000.0,
+        )
+    )
+    pdus: List[PowerConversion] = field(default_factory=list)
+
+    # State from the last update.
+    it_power_w: float = field(default=0.0, init=False)
+    cooling_power_w: float = field(default=0.0, init=False)
+    loss_w: float = field(default=0.0, init=False)
+    site_power_w: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.pdus:
+            self.pdus = [
+                PowerConversion(
+                    name=f"pdu{i}", capacity_w=1_500_000.0,
+                    efficiency_peak=0.97, fixed_loss_w=1_000.0,
+                )
+                for i in range(4)
+            ]
+
+    def update(self, it_power_w: float, cooling_power_w: float, dt: float) -> float:
+        """Propagate loads up the chain; returns total site power in watts."""
+        if it_power_w < 0 or cooling_power_w < 0:
+            raise ConfigurationError("power loads must be non-negative")
+        self.it_power_w = it_power_w
+        self.cooling_power_w = cooling_power_w
+
+        pdu_share = it_power_w / len(self.pdus)
+        pdu_loss = sum(pdu.update(pdu_share, dt) for pdu in self.pdus)
+        ups_loss = self.ups.update(it_power_w + pdu_loss, dt)
+        through_transformer = it_power_w + pdu_loss + ups_loss + cooling_power_w
+        transformer_loss = self.transformer.update(through_transformer, dt)
+
+        self.loss_w = pdu_loss + ups_loss + transformer_loss
+        self.site_power_w = it_power_w + cooling_power_w + self.loss_w
+        return self.site_power_w
+
+    def sensors(self) -> Dict[str, float]:
+        """Chain-level sensor readings."""
+        return {
+            "site_power": self.site_power_w,
+            "it_power": self.it_power_w,
+            "cooling_power": self.cooling_power_w,
+            "loss_power": self.loss_w,
+        }

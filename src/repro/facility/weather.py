@@ -1,0 +1,102 @@
+"""Synthetic weather model.
+
+Cooling efficiency in real data centers is dominated by ambient conditions:
+dry-bulb temperature gates free cooling, wet-bulb temperature sets the floor
+for evaporative cooling towers.  The model combines seasonal and diurnal
+sinusoids with a slowly-varying AR(1) weather-front term, which gives the
+predictive-analytics benchmarks realistic seasonality and autocorrelation to
+learn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WeatherSample", "WeatherModel", "DAY", "YEAR"]
+
+#: Seconds per day / per (simplified 360-day) year.
+DAY = 86_400.0
+YEAR = 360 * DAY
+
+
+@dataclass(frozen=True)
+class WeatherSample:
+    """Ambient conditions at one instant (temperatures in Celsius)."""
+
+    drybulb_c: float
+    wetbulb_c: float
+    humidity: float  # relative humidity fraction in [0, 1]
+
+
+class WeatherModel:
+    """Deterministic-plus-AR(1) ambient weather generator.
+
+    Parameters
+    ----------
+    rng:
+        Generator for the stochastic front term.
+    mean_c:
+        Annual-mean dry-bulb temperature.
+    seasonal_amp_c / diurnal_amp_c:
+        Amplitudes of the yearly and daily cycles.
+    front_sigma_c:
+        Std-dev of the AR(1) weather-front perturbation.
+    humidity_mean:
+        Mean relative humidity (drives the wet-bulb depression).
+
+    The model is advanced by calling :meth:`sample` with non-decreasing
+    times; the AR(1) state uses the actual elapsed interval so irregular
+    sampling stays consistent.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_c: float = 12.0,
+        seasonal_amp_c: float = 10.0,
+        diurnal_amp_c: float = 5.0,
+        front_sigma_c: float = 3.0,
+        front_tau_s: float = 2 * DAY,
+        humidity_mean: float = 0.6,
+    ):
+        self._rng = rng
+        self.mean_c = mean_c
+        self.seasonal_amp_c = seasonal_amp_c
+        self.diurnal_amp_c = diurnal_amp_c
+        self.front_sigma_c = front_sigma_c
+        self.front_tau_s = front_tau_s
+        self.humidity_mean = humidity_mean
+        self._front = 0.0
+        self._last_time: float | None = None
+
+    def deterministic_drybulb(self, time: float) -> float:
+        """The noise-free component of the dry-bulb temperature."""
+        seasonal = self.seasonal_amp_c * math.sin(2 * math.pi * (time / YEAR - 0.25))
+        diurnal = self.diurnal_amp_c * math.sin(2 * math.pi * (time / DAY - 0.25))
+        return self.mean_c + seasonal + diurnal
+
+    def _advance_front(self, time: float) -> None:
+        if self._last_time is None:
+            self._front = float(self._rng.normal(0.0, self.front_sigma_c))
+        else:
+            dt = max(time - self._last_time, 0.0)
+            # Exact AR(1)/Ornstein-Uhlenbeck discretisation for step dt.
+            phi = math.exp(-dt / self.front_tau_s)
+            noise_sd = self.front_sigma_c * math.sqrt(max(1.0 - phi * phi, 0.0))
+            self._front = phi * self._front + float(self._rng.normal(0.0, noise_sd))
+        self._last_time = time
+
+    def sample(self, time: float) -> WeatherSample:
+        """Ambient conditions at ``time`` (advances the stochastic state)."""
+        self._advance_front(time)
+        drybulb = self.deterministic_drybulb(time) + self._front
+        # Humidity wanders mildly with the front; clamp to a physical range.
+        humidity = min(max(self.humidity_mean - 0.01 * self._front, 0.15), 0.98)
+        # Wet-bulb depression shrinks as humidity rises (simple psychrometric
+        # approximation adequate for COP modelling).
+        depression = (1.0 - humidity) * (8.0 + 0.25 * max(drybulb, 0.0))
+        wetbulb = drybulb - depression
+        return WeatherSample(drybulb_c=drybulb, wetbulb_c=wetbulb, humidity=humidity)

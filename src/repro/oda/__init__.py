@@ -1,0 +1,40 @@
+"""ODA composition layer.
+
+The fully-wired synthetic site (:class:`~repro.oda.datacenter.DataCenter`),
+capability descriptors bound to framework cells, streaming pipeline
+stages, the self-describing :class:`~repro.oda.system.ODASystem`,
+multi-pillar orchestration, KPI collection/comparison, and reference
+deployments mirroring Figure 3's systems.
+"""
+
+from repro.oda.capability import ODACapability, capability
+from repro.oda.datacenter import DataCenter
+from repro.oda.deployments import (
+    build_clustercockpit_like,
+    build_eni_like,
+    build_geopm_like,
+    build_llnl_like,
+)
+from repro.oda.kpi import RunKpis, collect_kpis, compare_kpis
+from repro.oda.orchestrator import MultiPillarOrchestrator, OrchestratorConfig
+from repro.oda.pipeline import DerivedMetricStage, StreamingDetectorStage, StreamingStage
+from repro.oda.system import ODASystem
+
+__all__ = [
+    "ODACapability",
+    "capability",
+    "DataCenter",
+    "build_clustercockpit_like",
+    "build_eni_like",
+    "build_geopm_like",
+    "build_llnl_like",
+    "RunKpis",
+    "collect_kpis",
+    "compare_kpis",
+    "MultiPillarOrchestrator",
+    "OrchestratorConfig",
+    "DerivedMetricStage",
+    "StreamingDetectorStage",
+    "StreamingStage",
+    "ODASystem",
+]

@@ -1,0 +1,77 @@
+"""ODA capabilities: analytics bound to framework cells.
+
+An :class:`ODACapability` is the unit of composition of an ODA system: a
+named, runnable piece of analytics annotated with the grid cell it
+occupies.  Systems built from capabilities can report their own framework
+footprint (Figure 3) — the paper's "tools to analyze, assess and
+categorize such systems" made literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from repro.core.classify import UseCaseClassifier
+from repro.core.pillars import Pillar
+from repro.core.types import AnalyticsType
+from repro.core.usecase import GridCell
+
+__all__ = ["ODACapability", "capability"]
+
+
+@dataclass
+class ODACapability:
+    """One analytics capability of a deployed ODA system.
+
+    Attributes
+    ----------
+    name:
+        Human-readable capability name.
+    cell:
+        The framework cell the capability occupies.
+    run:
+        Callable executing the capability; signature is capability-specific
+        (most take ``(since, until)`` windows and return a result object).
+    description:
+        One-liner shown in footprint reports.
+    """
+
+    name: str
+    cell: GridCell
+    run: Callable[..., Any]
+    description: str = ""
+    invocations: int = field(default=0, init=False)
+    last_result: Any = field(default=None, init=False, repr=False)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        self.invocations += 1
+        self.last_result = self.run(*args, **kwargs)
+        return self.last_result
+
+    @property
+    def pillar(self) -> Pillar:
+        return self.cell.pillar
+
+    @property
+    def analytics_type(self) -> AnalyticsType:
+        return self.cell.analytics_type
+
+
+def capability(
+    name: str,
+    run: Callable[..., Any],
+    cell: Optional[GridCell] = None,
+    description: str = "",
+    classifier: Optional[UseCaseClassifier] = None,
+) -> ODACapability:
+    """Build a capability, auto-classifying onto the grid when no cell given.
+
+    Auto-classification uses the lexicon classifier on ``name`` +
+    ``description`` — convenient when wrapping ad-hoc site scripts whose
+    authors never thought in framework terms.
+    """
+    if cell is None:
+        classifier = classifier or UseCaseClassifier()
+        cell = classifier.classify(f"{name}. {description}").cell
+    return ODACapability(name=name, cell=cell, run=run, description=description)

@@ -1,0 +1,132 @@
+"""KPI tracking and A/B comparison of ODA configurations.
+
+The paper's ODA definition centers on "improving KPIs"; benchmarks need a
+uniform way to summarize a simulated run into the KPIs the paper names
+(PUE, energy, slowdown, utilization) and compare two configurations — for
+example reactive vs proactive DVFS (experiment D1) or siloed vs
+orchestrated multi-pillar control (experiment D2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analytics.descriptive.kpis import pue
+from repro.analytics.descriptive.scheduling_metrics import scheduling_report
+from repro.errors import InsufficientDataError
+from repro.oda.datacenter import DataCenter
+from repro.software.jobs import JobState
+
+__all__ = ["RunKpis", "collect_kpis", "compare_kpis"]
+
+
+@dataclass(frozen=True)
+class RunKpis:
+    """Headline KPIs of one simulated run over a window."""
+
+    window_s: float
+    pue: float
+    it_energy_kwh: float
+    site_energy_kwh: float
+    completed_jobs: int
+    mean_slowdown: float
+    mean_wait_s: float
+    utilization: float
+    total_work_done_s: float
+
+    @property
+    def energy_per_job_kwh(self) -> float:
+        if self.completed_jobs == 0:
+            return float("inf")
+        return self.site_energy_kwh / self.completed_jobs
+
+    @property
+    def energy_per_work_kwh(self) -> float:
+        """Site energy per completed work-second — the efficiency KPI that
+        stays comparable when two runs complete different job mixes."""
+        if self.total_work_done_s <= 0:
+            return float("inf")
+        return self.site_energy_kwh / self.total_work_done_s
+
+    def rows(self) -> List[tuple]:
+        return [
+            ("PUE", round(self.pue, 3)),
+            ("IT energy [kWh]", round(self.it_energy_kwh, 2)),
+            ("site energy [kWh]", round(self.site_energy_kwh, 2)),
+            ("completed jobs", self.completed_jobs),
+            ("mean slowdown", round(self.mean_slowdown, 2)),
+            ("mean wait [s]", round(self.mean_wait_s, 1)),
+            ("utilization", round(self.utilization, 3)),
+            ("site energy / work [kWh/s]", round(self.energy_per_work_kwh, 6)),
+        ]
+
+
+def collect_kpis(
+    dc: DataCenter, since: Optional[float] = None, until: Optional[float] = None
+) -> RunKpis:
+    """Summarize a finished (or paused) simulation into KPIs."""
+    store = dc.store
+    until = until if until is not None else dc.sim.now
+    since = since if since is not None else max(until - 30 * 86_400.0, 0.0)
+
+    from repro.errors import UnknownMetricError
+
+    try:
+        times, it = store.query("facility.power.it_power", since, until)
+        _, site = store.query("facility.power.site_power", since, until)
+    except UnknownMetricError as exc:
+        raise InsufficientDataError(
+            f"run produced no facility telemetry yet ({exc})"
+        ) from exc
+    if times.size < 2:
+        raise InsufficientDataError("run too short for KPI collection")
+    it_energy = float(np.trapezoid(it, times)) / 3.6e6
+    site_energy = float(np.trapezoid(site, times)) / 3.6e6
+
+    finished = [j for j in dc.scheduler.accounting if j.terminal]
+    completed = [j for j in finished if j.state is JobState.COMPLETED]
+    try:
+        report = scheduling_report(finished, horizon_s=until - since)
+        slowdown = report.mean_slowdown
+        wait = report.mean_wait_s
+    except InsufficientDataError:
+        slowdown, wait = float("nan"), float("nan")
+
+    _, util = store.query("scheduler.utilization", since, until)
+    work_done = sum(j.work_done_s * j.nodes for j in completed)
+    return RunKpis(
+        window_s=until - since,
+        pue=pue(store, since, until),
+        it_energy_kwh=it_energy,
+        site_energy_kwh=site_energy,
+        completed_jobs=len(completed),
+        mean_slowdown=slowdown,
+        mean_wait_s=wait,
+        utilization=float(util.mean()) if util.size else 0.0,
+        total_work_done_s=work_done,
+    )
+
+
+def compare_kpis(baseline: RunKpis, candidate: RunKpis) -> Dict[str, float]:
+    """Relative change of the candidate vs the baseline (negative = lower).
+
+    Keys are KPI names; values are fractional changes, e.g. -0.12 means the
+    candidate reduced the KPI by 12 %.
+    """
+    def rel(b: float, c: float) -> float:
+        if not np.isfinite(b) or b == 0:
+            return float("nan")
+        return (c - b) / b
+
+    return {
+        "pue": rel(baseline.pue, candidate.pue),
+        "site_energy": rel(baseline.site_energy_kwh, candidate.site_energy_kwh),
+        "it_energy": rel(baseline.it_energy_kwh, candidate.it_energy_kwh),
+        "energy_per_work": rel(baseline.energy_per_work_kwh, candidate.energy_per_work_kwh),
+        "mean_slowdown": rel(baseline.mean_slowdown, candidate.mean_slowdown),
+        "mean_wait": rel(baseline.mean_wait_s, candidate.mean_wait_s),
+        "completed_jobs": rel(float(baseline.completed_jobs), float(candidate.completed_jobs)),
+    }

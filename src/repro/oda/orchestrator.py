@@ -1,0 +1,145 @@
+"""Multi-pillar orchestration (Section V-B made runnable).
+
+Single-pillar ODA systems are *closed*: each optimizes its own knob with
+"little concern for other system components".  The paper argues
+multi-pillar use cases need "careful planning and holistic design, often
+integrating multiple systems with one another and requiring orchestration
+mechanisms" — this module is that mechanism.
+
+:class:`MultiPillarOrchestrator` coordinates controllers across pillars
+toward a global energy objective: it watches facility conditions and
+scheduler pressure, then (a) widens the cooling setpoint when hardware
+thermal headroom allows (infrastructure knob), (b) relaxes or tightens the
+fleet DVFS bias with queue pressure (hardware knob via software-pillar
+state), keeping the pillars consistent instead of letting two siloed
+controllers fight (e.g. cooling saving power by running warm while the
+node fleet burns leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analytics.prescriptive.control import ControlAction, ControlLoop, SetpointManager
+from repro.facility.cooling import CoolingLoop
+from repro.oda.datacenter import DataCenter
+
+__all__ = ["OrchestratorConfig", "MultiPillarOrchestrator"]
+
+
+@dataclass
+class OrchestratorConfig:
+    """Tunables of the cross-pillar coordination policy."""
+
+    period_s: float = 1800.0
+    max_node_temp_c: float = 70.0       # hardware-pillar thermal ceiling
+    target_temp_margin_c: float = 8.0   # desired headroom below the ceiling
+    setpoint_step_c: float = 2.0
+    min_setpoint_c: float = 14.0
+    max_setpoint_c: float = 38.0
+    queue_pressure_high: float = 4.0    # queued node-demand / free nodes
+    queue_pressure_low: float = 0.5
+    low_freq_ghz: float = 1.6
+
+
+class MultiPillarOrchestrator:
+    """Coordinates infrastructure, hardware and software knobs globally.
+
+    Decision logic per period:
+
+    1. **Infrastructure <-> hardware**: read the fleet's hottest node; if
+       the margin below the thermal ceiling exceeds the target, raise the
+       cooling setpoint one step (cheaper cooling); if the margin is gone,
+       lower it — the cross-pillar loop a siloed cooling controller cannot
+       close because it never sees node temperatures.
+    2. **Software <-> hardware**: read queue pressure; when the queue is
+       deep, push node frequencies to nominal (finish work, drain queue);
+       when the machine is under-subscribed, bias busy nodes' memory-bound
+       phases down via the fleet default — trading slack capacity for
+       energy.
+    """
+
+    def __init__(self, dc: DataCenter, loop: Optional[CoolingLoop] = None,
+                 config: Optional[OrchestratorConfig] = None):
+        self.dc = dc
+        self.config = config or OrchestratorConfig()
+        self.loop = loop or dc.facility.plant.loops[0]
+        self.manager = SetpointManager(
+            actuator=self.loop.set_setpoint,
+            initial=self.loop.supply_setpoint_c,
+            lo=self.config.min_setpoint_c,
+            hi=self.config.max_setpoint_c,
+            max_step=self.config.setpoint_step_c,
+        )
+        self.control_loop = ControlLoop(
+            name="orchestrator", decide=self._decide, period=self.config.period_s
+        )
+        self.frequency_bias = "nominal"  # or "efficient"
+
+    def attach(self) -> None:
+        self.control_loop.attach(self.dc.sim, self.dc.trace)
+
+    # ------------------------------------------------------------------
+    def _queue_pressure(self) -> float:
+        scheduler = self.dc.scheduler
+        free = len(scheduler.free_node_names())
+        demand = scheduler.queue.total_requested_nodes()
+        return demand / max(free, 1)
+
+    def _decide(self, now: float, recommend_only: bool) -> List[ControlAction]:
+        actions: List[ControlAction] = []
+        cfg = self.config
+
+        # --- cooling vs node thermals (infrastructure <-> hardware) -----
+        up = self.dc.system.up_nodes()
+        if up:
+            hottest = max(node.temp_c for node in up)
+            margin = cfg.max_node_temp_c - hottest
+            if margin > cfg.target_temp_margin_c:
+                target = self.manager.current + cfg.setpoint_step_c
+                reason = f"thermal margin {margin:.1f}C > target; warmer water is cheaper"
+            elif margin < cfg.target_temp_margin_c * 0.5:
+                target = self.manager.current - cfg.setpoint_step_c
+                reason = f"thermal margin {margin:.1f}C too small; cooling down"
+            else:
+                target = self.manager.current
+                reason = ""
+            if target != self.manager.current and not recommend_only:
+                applied = self.manager.request(target)
+                actions.append(
+                    ControlAction(now, "orchestrator", "supply_setpoint", applied, reason)
+                )
+
+        # --- DVFS bias vs queue pressure (software <-> hardware) --------
+        pressure = self._queue_pressure()
+        if pressure > cfg.queue_pressure_high and self.frequency_bias != "nominal":
+            self.frequency_bias = "nominal"
+            if not recommend_only:
+                for node in up:
+                    node.set_frequency(node.cpu.nominal_ghz)
+            actions.append(
+                ControlAction(
+                    now, "orchestrator", "frequency_bias", 1.0,
+                    f"queue pressure {pressure:.1f}: draining at nominal frequency",
+                )
+            )
+        elif pressure < cfg.queue_pressure_low and self.frequency_bias != "efficient":
+            self.frequency_bias = "efficient"
+            if not recommend_only:
+                for node in up:
+                    if node.load.compute_fraction < 0.5 and node.load.cpu_util > 0:
+                        node.set_frequency(cfg.low_freq_ghz)
+            actions.append(
+                ControlAction(
+                    now, "orchestrator", "frequency_bias", 0.0,
+                    f"queue pressure {pressure:.1f}: biasing memory-bound work down",
+                )
+            )
+        return actions
+
+    @property
+    def actions(self) -> List[ControlAction]:
+        return self.control_loop.actions

@@ -1,0 +1,136 @@
+"""Streaming analytics pipelines over the message bus.
+
+Production ODA runs much of its analytics *online*: stages subscribe to
+telemetry topics, transform batches as they arrive, and republish derived
+metrics that land in the store like any sensor (DCDB Wintermute's
+operator plugins, ExaMon's consumers).  :class:`StreamingStage` is that
+plugin shape; two stock stages cover the common cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.telemetry.bus import MessageBus
+from repro.telemetry.sample import SampleBatch
+
+__all__ = ["StreamingStage", "DerivedMetricStage", "StreamingDetectorStage"]
+
+
+class StreamingStage:
+    """Base: subscribe to a topic pattern, transform, republish.
+
+    Subclasses implement :meth:`process`, returning a mapping of derived
+    metric names to values (or ``None`` to emit nothing for this batch).
+    Derived batches are published on ``output_topic`` so downstream stages
+    and the store pick them up transparently.
+    """
+
+    def __init__(self, bus: MessageBus, pattern: str, output_topic: str):
+        self.bus = bus
+        self.output_topic = output_topic
+        self.processed = 0
+        self.emitted = 0
+        self._subscription = bus.subscribe(pattern, self._on_batch)
+
+    def stop(self) -> None:
+        self._subscription.cancel()
+
+    def _on_batch(self, topic: str, batch: SampleBatch) -> None:
+        self.processed += 1
+        derived = self.process(topic, batch)
+        if derived:
+            self.emitted += 1
+            self.bus.publish(self.output_topic, SampleBatch.from_mapping(batch.time, derived))
+
+    def process(self, topic: str, batch: SampleBatch) -> Optional[Dict[str, float]]:
+        raise NotImplementedError
+
+
+class DerivedMetricStage(StreamingStage):
+    """Compute derived metrics from each batch with a plain function.
+
+    ``compute(values: dict) -> dict`` receives the batch as a mapping and
+    returns derived name/value pairs; missing inputs skip the batch.
+    Example — streaming instantaneous PUE::
+
+        DerivedMetricStage(
+            bus, "facility", "derived.pue",
+            inputs=("facility.power.site_power", "facility.power.it_power"),
+            compute=lambda v: {"derived.pue": v["facility.power.site_power"]
+                                              / max(v["facility.power.it_power"], 1.0)},
+        )
+    """
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        pattern: str,
+        output_topic: str,
+        inputs: tuple,
+        compute: Callable[[Dict[str, float]], Dict[str, float]],
+    ):
+        super().__init__(bus, pattern, output_topic)
+        self.inputs = inputs
+        self.compute = compute
+
+    def process(self, topic: str, batch: SampleBatch) -> Optional[Dict[str, float]]:
+        values = batch.as_dict()
+        if not all(name in values for name in self.inputs):
+            return None
+        return self.compute(values)
+
+
+class StreamingDetectorStage(StreamingStage):
+    """Online EWMA anomaly scoring of selected metrics.
+
+    Maintains per-metric EWMA mean/variance; publishes a ``<metric>.zscore``
+    derived value per batch and counts threshold breaches — the streaming
+    half of descriptive alerting and diagnostic detection.
+    """
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        pattern: str,
+        output_topic: str,
+        metrics: tuple,
+        alpha: float = 0.1,
+        threshold: float = 4.0,
+    ):
+        super().__init__(bus, pattern, output_topic)
+        self.metrics = metrics
+        self.alpha = alpha
+        self.threshold = threshold
+        self.breaches = 0
+        self._state: Dict[str, tuple] = {}  # metric -> (ewma, ewvar)
+
+    def process(self, topic: str, batch: SampleBatch) -> Optional[Dict[str, float]]:
+        values = batch.as_dict()
+        out: Dict[str, float] = {}
+        for metric in self.metrics:
+            if metric not in values:
+                continue
+            value = values[metric]
+            state = self._state.get(metric)
+            if state is None:
+                self._state[metric] = (value, 0.0)
+                continue
+            ewma, ewvar = state
+            # Score against the previous state (control-chart order); a
+            # deviation from a variance-free baseline is maximally surprising.
+            std = np.sqrt(ewvar)
+            if std > 0:
+                z = abs(value - ewma) / std
+            else:
+                z = 0.0 if value == ewma else self.threshold * 10.0
+            delta = value - ewma
+            ewma += self.alpha * delta
+            ewvar = (1 - self.alpha) * (ewvar + self.alpha * delta**2)
+            self._state[metric] = (ewma, ewvar)
+            out[f"{metric}.zscore"] = z
+            if z > self.threshold:
+                self.breaches += 1
+        return out or None

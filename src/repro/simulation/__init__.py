@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate.
+
+Provides the deterministic event engine (:class:`~repro.simulation.engine.Simulator`),
+named seeded RNG streams (:class:`~repro.simulation.rng.RngPool`) and the
+structured event trace (:class:`~repro.simulation.trace.TraceLog`) that every
+other substrate package builds on.
+"""
+
+from repro.simulation.engine import Event, PeriodicHandle, Simulator
+from repro.simulation.rng import RngPool
+from repro.simulation.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "PeriodicHandle",
+    "Simulator",
+    "RngPool",
+    "TraceLog",
+    "TraceRecord",
+]

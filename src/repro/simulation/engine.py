@@ -1,0 +1,261 @@
+"""Discrete-event simulation engine.
+
+The engine is the heartbeat of the synthetic data center: every physical
+model (cooling loops, compute nodes, schedulers, telemetry samplers) advances
+by scheduling events on a shared :class:`Simulator`.
+
+Design notes
+------------
+* Time is a ``float`` number of seconds since simulation start.  All
+  substrate models use SI units throughout (watts, kelvin offsets in celsius,
+  bytes, seconds) so analytics code never unit-juggles.
+* The event queue is a binary heap keyed on ``(time, priority, seq)``.  The
+  monotonically increasing sequence number makes ordering deterministic for
+  simultaneous events, which keeps whole-simulation runs reproducible
+  bit-for-bit given a seed.
+* Handlers are plain callables ``handler(sim) -> None``.  Periodic activities
+  use :meth:`Simulator.schedule_periodic`, which reschedules itself until
+  cancelled; this is how telemetry samplers and physics ticks are driven.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator", "PeriodicHandle"]
+
+Handler = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled occurrence in the simulation.
+
+    Events sort by ``(time, priority, seq)``; lower priority values run
+    first among simultaneous events.  ``seq`` breaks remaining ties in
+    insertion order so execution is fully deterministic.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    handler: Handler = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class PeriodicHandle:
+    """Handle returned by :meth:`Simulator.schedule_periodic`.
+
+    Allows cancelling the recurring activity and inspecting its period.
+    """
+
+    def __init__(self, period: float, label: str):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.label = label
+        self._active = True
+        self._current: Optional[Event] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the periodic activity is still scheduled."""
+        return self._active
+
+    def cancel(self) -> None:
+        """Stop the periodic activity after the currently pending firing."""
+        self._active = False
+        if self._current is not None:
+            self._current.cancel()
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation clock value in seconds.  Non-zero starts are
+        useful when replaying from a checkpointed trace.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda s: fired.append(s.now))
+    >>> sim.run_until(10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events currently in the queue (including cancelled)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        handler: Handler,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``handler`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled before it fires.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule event in the past: delay={delay}"
+            )
+        event = Event(self._now + delay, priority, next(self._seq), handler, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        handler: Handler,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``handler`` at an absolute simulation time."""
+        return self.schedule(time - self._now, handler, priority=priority, label=label)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        handler: Handler,
+        *,
+        start_delay: float | None = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> PeriodicHandle:
+        """Schedule ``handler`` every ``period`` seconds until cancelled.
+
+        ``start_delay`` defaults to one full period (i.e. the first firing is
+        at ``now + period``); pass ``0.0`` to fire immediately.
+        """
+        handle = PeriodicHandle(period, label)
+        first = period if start_delay is None else start_delay
+
+        def tick(sim: "Simulator") -> None:
+            if not handle.active:
+                return
+            handler(sim)
+            if handle.active:
+                handle._current = sim.schedule(
+                    handle.period, tick, priority=priority, label=label
+                )
+
+        handle._current = self.schedule(first, tick, priority=priority, label=label)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event {event.label!r} scheduled at {event.time} "
+                    f"before current time {self._now}"
+                )
+            self._now = event.time
+            event.handler(self)
+            self._events_executed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run all events with ``time <= end_time``, then set ``now``.
+
+        The clock always lands exactly on ``end_time`` so back-to-back calls
+        compose: ``run_until(t1); run_until(t2)`` is equivalent to
+        ``run_until(t2)`` for ``t1 <= t2``.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"cannot run backwards: now={self._now}, end={end_time}"
+            )
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant call)")
+        self._running = True
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.time > end_time:
+                    break
+                self.step()
+            self._now = end_time
+        finally:
+            self._running = False
+
+    def run(self, duration: float) -> None:
+        """Run for ``duration`` seconds of simulated time from ``now``."""
+        self.run_until(self._now + duration)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue is empty; returns the number of events run.
+
+        ``max_events`` guards against self-perpetuating periodic activities.
+        """
+        ran = 0
+        while self.step():
+            ran += 1
+            if ran >= max_events:
+                raise SimulationError(
+                    f"drain exceeded max_events={max_events}; "
+                    "cancel periodic activities before draining"
+                )
+        return ran
+
+    def iter_labels(self) -> Iterator[str]:
+        """Yield labels of pending (non-cancelled) events, soonest first."""
+        for event in sorted(e for e in self._queue if not e.cancelled):
+            yield event.label

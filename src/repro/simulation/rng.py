@@ -1,0 +1,67 @@
+"""Seeded, named random-number streams for reproducible simulations.
+
+Every stochastic component in the substrate draws from its own named stream
+derived from a single root seed.  This gives two properties the benchmarks
+rely on:
+
+* **Reproducibility** — the same root seed always produces the same
+  simulation trajectory.
+* **Isolation** — adding a new component (a new stream name) does not
+  perturb the draws of existing components, because each stream is seeded
+  from ``hash(root_seed, name)`` via :class:`numpy.random.SeedSequence`
+  rather than by order of creation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngPool"]
+
+
+class RngPool:
+    """Factory of named, independently seeded NumPy generators.
+
+    Examples
+    --------
+    >>> pool = RngPool(seed=42)
+    >>> a = pool.stream("weather")
+    >>> b = pool.stream("weather")
+    >>> a is b  # streams are cached by name
+    True
+    >>> float(a.random()) == float(RngPool(42).stream("weather").random())
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            # crc32 is stable across processes (unlike hash()) and spreads
+            # short component names well enough for SeedSequence mixing.
+            key = zlib.crc32(name.encode("utf-8"))
+            seq = np.random.SeedSequence(entropy=self.seed, spawn_key=(key,))
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RngPool":
+        """Derive a child pool whose streams are independent of the parent.
+
+        Useful when an experiment runs several simulations from one seed.
+        """
+        key = zlib.crc32(name.encode("utf-8"))
+        return RngPool(seed=(self.seed * 1_000_003 + key) % (2**63))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:
+        return f"RngPool(seed={self.seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,102 @@
+"""Event tracing: a structured record of everything notable a simulation did.
+
+The trace is the simulation-side analogue of a site's operational log
+stream: job events, fault injections, control actions and alerts all land
+here.  Diagnostic analytics (root-cause analysis, crisis fingerprinting)
+consume it alongside numeric telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Mapping, Optional
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured log line.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    source:
+        Hierarchical component id, e.g. ``"facility.chiller0"`` or
+        ``"scheduler"``.
+    kind:
+        Event category, e.g. ``"job_start"``, ``"fault"``, ``"control"``.
+    detail:
+        Free-form payload; keys depend on ``kind`` but are stable per kind.
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def matches(self, *, source: Optional[str] = None, kind: Optional[str] = None) -> bool:
+        """Whether the record matches the given source prefix and/or kind."""
+        if kind is not None and self.kind != kind:
+            return False
+        if source is not None and not self.source.startswith(source):
+            return False
+        return True
+
+
+class TraceLog:
+    """Append-only in-memory log of :class:`TraceRecord` entries.
+
+    The log preserves insertion order, which for a deterministic simulator
+    equals time order.  Filtering helpers return lists (cheap at the scales
+    involved) so analytics code can index freely.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> TraceRecord:
+        """Append a record and notify subscribers; returns the record."""
+        record = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+        self._records.append(record)
+        if self._capacity is not None and len(self._records) > self._capacity:
+            # Drop the oldest half in one slice to amortise the cost.
+            del self._records[: len(self._records) // 2]
+        for callback in self._subscribers:
+            callback(record)
+        return record
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked synchronously on every new record."""
+        self._subscribers.append(callback)
+
+    def select(
+        self,
+        *,
+        source: Optional[str] = None,
+        kind: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[TraceRecord]:
+        """Return records matching the filters, in time order."""
+        return [
+            r
+            for r in self._records
+            if since <= r.time <= until and r.matches(source=source, kind=kind)
+        ]
+
+    def kinds(self) -> List[str]:
+        """Distinct record kinds present, sorted."""
+        return sorted({r.kind for r in self._records})
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]

@@ -1,0 +1,43 @@
+"""System-software substrate (the third pillar).
+
+Job model and queue, the pluggable-policy workload manager
+(:class:`~repro.software.scheduler.Scheduler`), baseline scheduling
+policies, the GEOPM-like node runtime for DVFS governors, and OS-noise
+injection.
+"""
+
+from repro.software.jobs import Job, JobState
+from repro.software.os_noise import OsNoiseInjector
+from repro.software.policies import (
+    Allocation,
+    EasyBackfillPolicy,
+    FcfsPolicy,
+    PriorityPolicy,
+    SchedulingContext,
+    SchedulingPolicy,
+    estimate_job_power,
+)
+from repro.software.queue import JobQueue
+from repro.software.runtime import FrequencyGovernor, NodeRuntime
+from repro.software.scheduler import Scheduler
+from repro.software.whatif import ReplayResult, compare_policies, replay
+
+__all__ = [
+    "Job",
+    "JobState",
+    "OsNoiseInjector",
+    "Allocation",
+    "EasyBackfillPolicy",
+    "FcfsPolicy",
+    "PriorityPolicy",
+    "SchedulingContext",
+    "SchedulingPolicy",
+    "estimate_job_power",
+    "JobQueue",
+    "FrequencyGovernor",
+    "NodeRuntime",
+    "Scheduler",
+    "ReplayResult",
+    "compare_policies",
+    "replay",
+]

@@ -1,0 +1,158 @@
+"""Job model and lifecycle.
+
+Wraps an application-pillar :class:`~repro.apps.generator.JobRequest` with
+the scheduler-visible state machine: PENDING -> RUNNING -> {COMPLETED,
+TIMEOUT, FAILED, CANCELLED}.  Completed jobs retain their full timing record
+so descriptive scheduling analytics (slowdown [60], wait time, utilization)
+and predictive job analytics (duration prediction [30][34]) can be computed
+from the accounting log alone, exactly as sites do from their resource
+manager databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.apps.generator import JobRequest
+from repro.errors import SchedulingError
+
+__all__ = ["JobState", "Job"]
+
+
+class JobState(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"   # finished its work
+    TIMEOUT = "timeout"       # hit its requested walltime
+    FAILED = "failed"         # lost a node
+    CANCELLED = "cancelled"
+
+
+_TERMINAL = {JobState.COMPLETED, JobState.TIMEOUT, JobState.FAILED, JobState.CANCELLED}
+
+
+@dataclass
+class Job:
+    """A job in the scheduling system.
+
+    Attributes
+    ----------
+    request:
+        The immutable submission record.
+    state:
+        Current lifecycle state.
+    start_time / end_time:
+        Set on transitions; ``None`` until they happen.
+    assigned_nodes:
+        Node names allocated while RUNNING.
+    work_done_s:
+        Accumulated work progress (work-seconds completed).
+    frequency_ghz:
+        Optional per-job DVFS override applied by runtime systems.
+    """
+
+    request: JobRequest
+    state: JobState = JobState.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    assigned_nodes: List[str] = field(default_factory=list)
+    work_done_s: float = 0.0
+    frequency_ghz: Optional[float] = None
+    #: Times the job was restarted after a node failure (lost its work).
+    restarts: int = 0
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def job_id(self) -> str:
+        return self.request.job_id
+
+    @property
+    def user(self) -> str:
+        return self.request.user
+
+    @property
+    def nodes(self) -> int:
+        return self.request.nodes
+
+    @property
+    def profile_name(self) -> str:
+        return self.request.profile.name
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def start(self, now: float, nodes: List[str]) -> None:
+        if self.state is not JobState.PENDING:
+            raise SchedulingError(f"{self.job_id}: cannot start from {self.state}")
+        if len(nodes) != self.request.nodes:
+            raise SchedulingError(
+                f"{self.job_id}: allocated {len(nodes)} nodes, requested {self.request.nodes}"
+            )
+        self.state = JobState.RUNNING
+        self.start_time = now
+        self.assigned_nodes = list(nodes)
+
+    def finish(self, now: float, state: JobState) -> None:
+        if self.state is not JobState.RUNNING and state is not JobState.CANCELLED:
+            raise SchedulingError(f"{self.job_id}: cannot finish from {self.state}")
+        if state not in _TERMINAL:
+            raise SchedulingError(f"{self.job_id}: {state} is not terminal")
+        self.state = state
+        self.end_time = now
+        if state is not JobState.COMPLETED:
+            # failed/killed jobs release nodes but keep the record
+            pass
+        self.assigned_nodes = [] if state is JobState.CANCELLED else self.assigned_nodes
+
+    # ------------------------------------------------------------------
+    # Derived timings
+    # ------------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue wait in seconds (needs a start time)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.request.submit_time
+
+    @property
+    def runtime(self) -> Optional[float]:
+        """Wall-clock execution time (needs start and end)."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.request.submit_time
+
+    def slowdown(self, threshold: float = 10.0) -> Optional[float]:
+        """Bounded slowdown (Feitelson [60]).
+
+        ``(wait + runtime) / max(runtime, threshold)``, with the threshold
+        guarding against tiny jobs dominating the metric.
+        """
+        if self.runtime is None or self.wait_time is None:
+            return None
+        return (self.wait_time + self.runtime) / max(self.runtime, threshold)
+
+    @property
+    def node_seconds(self) -> Optional[float]:
+        if self.runtime is None:
+            return None
+        return self.runtime * self.request.nodes
+
+    def remaining_walltime(self, now: float) -> float:
+        """Seconds until the walltime limit kills the job."""
+        if self.start_time is None:
+            return self.request.walltime_req_s
+        return self.request.walltime_req_s - (now - self.start_time)

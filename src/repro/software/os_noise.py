@@ -1,0 +1,85 @@
+"""OS/kernel noise injection.
+
+System daemons, kernel ticks and stray services steal cycles from HPC
+applications; at scale this "OS noise" measurably degrades tightly-coupled
+jobs (Ferreira et al. [57]).  The injector gives a configurable subset of
+nodes an elevated noise level, which (a) reduces their progress rate and
+(b) raises their context-switch counter — the observable that the
+diagnostic detector in :mod:`repro.analytics.diagnostic.noise` keys on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.node import ComputeNode
+from repro.cluster.system import HPCSystem
+from repro.simulation.engine import PeriodicHandle, Simulator
+from repro.simulation.trace import TraceLog
+
+__all__ = ["OsNoiseInjector"]
+
+
+class OsNoiseInjector:
+    """Installs baseline and pathological OS noise on cluster nodes.
+
+    Parameters
+    ----------
+    baseline:
+        Noise fraction every node carries (healthy systems sit ~0.1-0.5 %).
+    noisy_fraction:
+        Fraction of nodes afflicted with a misconfigured daemon.
+    noisy_level:
+        Noise fraction on afflicted nodes.
+    jitter_period:
+        How often noise levels fluctuate around their mean.
+    """
+
+    def __init__(
+        self,
+        system: HPCSystem,
+        rng: np.random.Generator,
+        baseline: float = 0.002,
+        noisy_fraction: float = 0.0,
+        noisy_level: float = 0.08,
+        jitter_period: float = 300.0,
+    ):
+        self.system = system
+        self.rng = rng
+        self.baseline = baseline
+        self.noisy_level = noisy_level
+        self.jitter_period = jitter_period
+        count = max(int(round(noisy_fraction * len(system.nodes))), 0)
+        idx = rng.choice(len(system.nodes), size=count, replace=False) if count else []
+        self.noisy_nodes: List[str] = sorted(system.nodes[int(i)].name for i in np.atleast_1d(idx))
+        self._handle: Optional[PeriodicHandle] = None
+
+    def attach(self, sim: Simulator, trace: Optional[TraceLog] = None) -> None:
+        if trace is not None:
+            for name in self.noisy_nodes:
+                trace.emit(sim.now, f"os_noise.{name}", "noise_source", level=self.noisy_level)
+        self._apply()
+        self._handle = sim.schedule_periodic(
+            self.jitter_period, lambda s: self._apply(), label="os_noise", priority=4
+        )
+
+    def detach(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _apply(self) -> None:
+        noisy = set(self.noisy_nodes)
+        for node in self.system.nodes:
+            mean = self.noisy_level if node.name in noisy else self.baseline
+            # Multiplicative jitter keeps noise positive and mean-centred.
+            node.os_noise = float(
+                np.clip(mean * self.rng.lognormal(0.0, 0.25), 0.0, 0.5)
+            )
+
+    def ground_truth(self) -> Dict[str, bool]:
+        """``{node_name: is_noisy}`` for detector scoring."""
+        noisy = set(self.noisy_nodes)
+        return {node.name: node.name in noisy for node in self.system.nodes}

@@ -1,0 +1,207 @@
+"""Scheduling policies: the plugin interface plus the classic baselines.
+
+The policy interface is deliberately the integration point for prescriptive
+ODA: the baselines here (FCFS, EASY backfill, priority) are pure software-
+pillar implementations, while power-aware and cooling-aware policies in
+:mod:`repro.analytics.prescriptive` implement the same protocol using
+telemetry-derived models — exactly the layering the paper describes for
+"power and KPI-aware scheduling" [21]-[23].
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.system import HPCSystem
+from repro.software.jobs import Job
+
+__all__ = [
+    "Allocation",
+    "SchedulingContext",
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "EasyBackfillPolicy",
+    "PriorityPolicy",
+    "estimate_job_power",
+]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A scheduling decision: start ``job`` on ``node_names``."""
+
+    job: Job
+    node_names: Tuple[str, ...]
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a policy may consult when deciding.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time.
+    system:
+        The hardware aggregate (for node state, topology, temperatures).
+    free_nodes:
+        Names of idle, healthy nodes, in stable (sorted) order.
+    pending:
+        Queue snapshot in queue order.
+    running:
+        Currently running jobs.
+    """
+
+    now: float
+    system: HPCSystem
+    free_nodes: List[str]
+    pending: List[Job]
+    running: List[Job]
+
+
+class SchedulingPolicy(ABC):
+    """Protocol: inspect the context, return start decisions.
+
+    Policies must not mutate the context; the scheduler validates that the
+    returned allocations are disjoint and use only free nodes.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, ctx: SchedulingContext) -> List[Allocation]:
+        """Return the set of jobs to start now, with their placements."""
+
+    # ------------------------------------------------------------------
+    def place(self, job: Job, free_nodes: Sequence[str], ctx: SchedulingContext) -> Tuple[str, ...]:
+        """Choose nodes for ``job`` from ``free_nodes`` (first-fit default).
+
+        Subclasses override this for topology/thermal-aware placement.
+        """
+        return tuple(free_nodes[: job.request.nodes])
+
+
+def estimate_job_power(job: Job, system: HPCSystem) -> float:
+    """Rough per-job power estimate from the application's mean load.
+
+    Uses the node power model at nominal frequency with the profile's
+    work-weighted average utilization — the kind of static estimate a
+    power-aware scheduler has before a job has run (cf. Evalix [31]).
+    """
+    mean = job.request.profile.mean_load()
+    if not system.nodes:
+        return 0.0
+    reference = system.nodes[0]
+    per_node = reference.idle_power_w + reference.max_dynamic_w * mean.cpu_util
+    return per_node * job.request.nodes
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """First-come first-served, head-of-queue blocking."""
+
+    name = "fcfs"
+
+    def select(self, ctx: SchedulingContext) -> List[Allocation]:
+        allocations: List[Allocation] = []
+        free = list(ctx.free_nodes)
+        for job in ctx.pending:
+            if job.request.nodes > len(free):
+                break  # strict FCFS: the head blocks everything behind it
+            nodes = self.place(job, free, ctx)
+            allocations.append(Allocation(job, nodes))
+            free = [n for n in free if n not in set(nodes)]
+        return allocations
+
+
+class EasyBackfillPolicy(SchedulingPolicy):
+    """EASY backfilling (Feitelson & Weil).
+
+    The head job gets a reservation at the *shadow time* — the earliest
+    instant enough nodes will be free assuming running jobs exit at their
+    walltime limits.  Jobs behind the head may start now iff they fit the
+    currently free nodes and either (a) finish before the shadow time or
+    (b) avoid the head job's reserved nodes ("extra" nodes).
+    """
+
+    name = "easy_backfill"
+
+    def select(self, ctx: SchedulingContext) -> List[Allocation]:
+        allocations: List[Allocation] = []
+        free = list(ctx.free_nodes)
+
+        pending = list(ctx.pending)
+        # Start jobs in order while they fit.
+        while pending and pending[0].request.nodes <= len(free):
+            job = pending.pop(0)
+            nodes = self.place(job, free, ctx)
+            allocations.append(Allocation(job, nodes))
+            free = [n for n in free if n not in set(nodes)]
+        if not pending:
+            return allocations
+
+        head = pending[0]
+        shadow_time, extra = self._shadow(ctx, head, len(free))
+
+        for job in pending[1:]:
+            need = job.request.nodes
+            if need > len(free):
+                continue
+            finishes_by = ctx.now + job.request.walltime_req_s
+            if finishes_by <= shadow_time or need <= extra:
+                nodes = self.place(job, free, ctx)
+                allocations.append(Allocation(job, nodes))
+                free = [n for n in free if n not in set(nodes)]
+                extra = min(extra, len(free))
+        return allocations
+
+    @staticmethod
+    def _shadow(ctx: SchedulingContext, head: Job, free_now: int) -> Tuple[float, int]:
+        """Compute (shadow_time, extra_nodes) for the head reservation."""
+        releases = sorted(
+            (job.start_time + job.request.walltime_req_s, job.request.nodes)
+            for job in ctx.running
+            if job.start_time is not None
+        )
+        available = free_now
+        for release_time, released in releases:
+            if available >= head.request.nodes:
+                break
+            available += released
+            shadow = release_time
+        else:
+            shadow = releases[-1][0] if releases else ctx.now
+        if available >= head.request.nodes:
+            extra = available - head.request.nodes
+        else:
+            extra = 0
+        if free_now >= head.request.nodes:
+            shadow = ctx.now
+            extra = free_now - head.request.nodes
+        return shadow, extra
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Order the queue by a priority key, then schedule greedily (no blocking).
+
+    ``key`` maps a job to a float; lower sorts first.  The default favors
+    short, small jobs (SJF-like), a common throughput-oriented baseline.
+    """
+
+    name = "priority"
+
+    def __init__(self, key: Optional[Callable[[Job], float]] = None):
+        self._key = key or (
+            lambda job: job.request.walltime_req_s * job.request.nodes
+        )
+
+    def select(self, ctx: SchedulingContext) -> List[Allocation]:
+        allocations: List[Allocation] = []
+        free = list(ctx.free_nodes)
+        for job in sorted(ctx.pending, key=self._key):
+            if job.request.nodes <= len(free):
+                nodes = self.place(job, free, ctx)
+                allocations.append(Allocation(job, nodes))
+                free = [n for n in free if n not in set(nodes)]
+        return allocations

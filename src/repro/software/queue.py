@@ -1,0 +1,56 @@
+"""The pending-job queue.
+
+A thin ordered container with the query helpers scheduling policies need:
+FIFO order, priority reordering, and lookahead slices for backfilling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import SchedulingError
+from repro.software.jobs import Job, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """FIFO queue of PENDING jobs with stable ordering."""
+
+    def __init__(self) -> None:
+        self._jobs: List[Job] = []
+
+    def push(self, job: Job) -> None:
+        if job.state is not JobState.PENDING:
+            raise SchedulingError(f"{job.job_id}: only PENDING jobs can be queued")
+        self._jobs.append(job)
+
+    def remove(self, job: Job) -> None:
+        try:
+            self._jobs.remove(job)
+        except ValueError:
+            raise SchedulingError(f"{job.job_id} is not in the queue") from None
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def head(self) -> Optional[Job]:
+        """The job at the front of the queue, or ``None`` when empty."""
+        return self._jobs[0] if self._jobs else None
+
+    def snapshot(self) -> List[Job]:
+        """A copy of the current ordering (policies may not mutate it)."""
+        return list(self._jobs)
+
+    def reorder(self, key: Callable[[Job], float]) -> None:
+        """Stable re-sort of the queue by ``key`` (priority policies)."""
+        self._jobs.sort(key=key)
+
+    def total_requested_nodes(self) -> int:
+        return sum(job.request.nodes for job in self._jobs)

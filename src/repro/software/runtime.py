@@ -1,0 +1,82 @@
+"""Node-level runtime system (GEOPM/EAR-class hook).
+
+The :class:`NodeRuntime` runs a periodic per-node control loop that feeds a
+pluggable governor with the node's live counters and applies the frequency
+decision it returns.  The governors themselves — reactive and proactive
+DVFS policies — live in :mod:`repro.analytics.prescriptive.dvfs`; this
+module is only the actuation vehicle, mirroring how GEOPM [11] separates
+its agent algorithms from the runtime infrastructure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.cluster.node import ComputeNode
+from repro.cluster.system import HPCSystem
+from repro.simulation.engine import PeriodicHandle, Simulator
+from repro.simulation.trace import TraceLog
+
+__all__ = ["FrequencyGovernor", "NodeRuntime"]
+
+
+class FrequencyGovernor(Protocol):
+    """Decides a node's next frequency from its current counters.
+
+    Implementations return a frequency from the node's DVFS ladder, or
+    ``None`` to leave the frequency unchanged.
+    """
+
+    def decide(self, node: ComputeNode, counters: Dict[str, float], now: float) -> Optional[float]:
+        ...
+
+
+class NodeRuntime:
+    """Periodic per-node governor loop over a set of nodes."""
+
+    def __init__(
+        self,
+        system: HPCSystem,
+        governor: FrequencyGovernor,
+        period: float = 120.0,
+        name: str = "runtime",
+    ):
+        self.system = system
+        self.governor = governor
+        self.period = period
+        self.name = name
+        self.trace: Optional[TraceLog] = None
+        self.decisions = 0
+        self.changes = 0
+        self._handle: Optional[PeriodicHandle] = None
+
+    def attach(self, sim: Simulator, trace: Optional[TraceLog] = None) -> None:
+        self.trace = trace
+        self._handle = sim.schedule_periodic(
+            self.period, lambda s: self.step(s.now), start_delay=self.period,
+            label=f"{self.name}:tick", priority=3,
+        )
+
+    def detach(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def step(self, now: float) -> int:
+        """Run one governor pass over all healthy nodes; returns changes."""
+        changed = 0
+        for node in self.system.nodes:
+            if not node.up:
+                continue
+            decision = self.governor.decide(node, node.counters(), now)
+            self.decisions += 1
+            if decision is not None and decision != node.frequency_ghz:
+                node.set_frequency(decision)
+                changed += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, f"{self.name}.{node.name}", "dvfs_change",
+                        freq=decision, job_id=node.job_id,
+                    )
+        self.changes += changed
+        return changed

@@ -1,0 +1,346 @@
+"""The workload manager: job intake, dispatch, progress and accounting.
+
+The :class:`Scheduler` is the system-software pillar's centerpiece.  On a
+periodic tick it advances running jobs using the hardware pillar's actual
+progress rates (so DVFS, contention, OS noise and faults all show up as
+longer runtimes), enforces walltime limits, reacts to node failures,
+invokes the pluggable policy to start pending jobs, and installs the
+resulting per-node loads back onto the hardware.
+
+Every lifecycle transition is recorded in the trace log, and completed jobs
+accumulate in :attr:`Scheduler.accounting` — the substrate equivalent of a
+resource manager's accounting database that job-level ODA mines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.generator import JobRequest
+from repro.cluster.node import NodeLoad
+from repro.cluster.system import HPCSystem
+from repro.errors import SchedulingError
+from repro.simulation.engine import PeriodicHandle, Simulator
+from repro.simulation.trace import TraceLog
+from repro.software.jobs import Job, JobState
+from repro.software.policies import (
+    Allocation,
+    FcfsPolicy,
+    SchedulingContext,
+    SchedulingPolicy,
+)
+from repro.software.queue import JobQueue
+from repro.telemetry.collector import Sampler
+from repro.telemetry.metric import MetricSpec, Unit
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Pluggable-policy workload manager bound to an :class:`HPCSystem`.
+
+    Parameters
+    ----------
+    system:
+        The hardware aggregate to schedule onto.
+    policy:
+        Scheduling policy; defaults to FCFS.
+    tick:
+        Scheduling period in seconds (also the job-progress resolution).
+    name:
+        Root of software-pillar metric paths.
+    """
+
+    def __init__(
+        self,
+        system: HPCSystem,
+        policy: Optional[SchedulingPolicy] = None,
+        tick: float = 60.0,
+        name: str = "scheduler",
+        resubmit_failed: bool = False,
+        max_restarts: int = 3,
+    ):
+        self.system = system
+        self.policy = policy or FcfsPolicy()
+        self.tick = tick
+        self.name = name
+        self.resubmit_failed = resubmit_failed
+        self.max_restarts = max_restarts
+        self.queue = JobQueue()
+        self.running: List[Job] = []
+        self.accounting: List[Job] = []
+        self.jobs: Dict[str, Job] = {}
+        self.trace: Optional[TraceLog] = None
+        self._sim: Optional[Simulator] = None
+        self._handle: Optional[PeriodicHandle] = None
+        self._last_tick: Optional[float] = None
+        #: Nodes administratively removed from scheduling (maintenance).
+        self.drained: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, sim: Simulator, trace: Optional[TraceLog] = None) -> None:
+        """Start the periodic scheduling tick."""
+        self._sim = sim
+        self.trace = trace
+        self._handle = sim.schedule_periodic(
+            self.tick, lambda s: self._tick(s.now), start_delay=0.0,
+            label=f"{self.name}:tick", priority=2,  # after hardware physics
+        )
+
+    def detach(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest, now: Optional[float] = None) -> Job:
+        """Accept a submission immediately."""
+        if request.job_id in self.jobs:
+            raise SchedulingError(f"duplicate job id {request.job_id}")
+        job = Job(request=request)
+        self.jobs[request.job_id] = job
+        self.queue.push(job)
+        if self.trace is not None:
+            self.trace.emit(
+                now if now is not None else (self._sim.now if self._sim else 0.0),
+                self.name, "job_submit",
+                job_id=job.job_id, user=job.user, nodes=job.nodes,
+                profile=job.profile_name, walltime=request.walltime_req_s,
+            )
+        return job
+
+    def load_trace(self, sim: Simulator, requests: List[JobRequest]) -> None:
+        """Schedule future submissions as simulator events."""
+        for request in requests:
+            if request.submit_time < sim.now:
+                raise SchedulingError(
+                    f"{request.job_id}: submit time {request.submit_time} is in the past"
+                )
+            sim.schedule_at(
+                request.submit_time,
+                lambda s, r=request: self.submit(r, s.now),
+                label=f"submit:{request.job_id}",
+                priority=1,
+            )
+
+    def cancel(self, job_id: str, now: float) -> None:
+        """Cancel a pending or running job (e.g. a detected cryptominer)."""
+        job = self.jobs.get(job_id)
+        if job is None or job.terminal:
+            return
+        if job.state is JobState.PENDING:
+            self.queue.remove(job)
+        elif job.state is JobState.RUNNING:
+            self.running.remove(job)
+        job.finish(now, JobState.CANCELLED)
+        self.accounting.append(job)
+        if self.trace is not None:
+            self.trace.emit(now, self.name, "job_cancel", job_id=job_id)
+
+    # ------------------------------------------------------------------
+    # The scheduling tick
+    # ------------------------------------------------------------------
+    def _tick(self, now: float) -> None:
+        dt = self.tick if self._last_tick is None else now - self._last_tick
+        self._last_tick = now
+        self._advance_running(now, dt)
+        self._dispatch(now)
+        self._install_loads()
+
+    def _advance_running(self, now: float, dt: float) -> None:
+        finished: List[Tuple[Job, JobState]] = []
+        for job in self.running:
+            down = [
+                n for n in job.assigned_nodes if not self.system.node(n).up
+            ]
+            if down:
+                finished.append((job, JobState.FAILED))
+                continue
+            job.work_done_s += self.system.job_progress_rate(job.job_id) * dt
+            if job.work_done_s >= job.request.work_s:
+                finished.append((job, JobState.COMPLETED))
+            elif job.remaining_walltime(now) <= 0:
+                finished.append((job, JobState.TIMEOUT))
+        for job, state in finished:
+            self.running.remove(job)
+            if (
+                state is JobState.FAILED
+                and self.resubmit_failed
+                and job.restarts < self.max_restarts
+            ):
+                # Restart-from-scratch semantics: the failed job loses its
+                # progress and rejoins the queue (the reactive baseline the
+                # proactive-maintenance experiment compares against).
+                job.state = JobState.PENDING
+                job.start_time = None
+                job.end_time = None
+                job.assigned_nodes = []
+                job.work_done_s = 0.0
+                job.restarts += 1
+                self.queue.push(job)
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, self.name, "job_restart",
+                        job_id=job.job_id, restarts=job.restarts,
+                    )
+                continue
+            job.finish(now, state)
+            self.accounting.append(job)
+            if self.trace is not None:
+                self.trace.emit(
+                    now, self.name, "job_end",
+                    job_id=job.job_id, state=state.value,
+                    runtime=job.runtime, wait=job.wait_time,
+                    nodes=job.nodes, profile=job.profile_name, user=job.user,
+                )
+
+    def free_node_names(self) -> List[str]:
+        """Healthy, undrained nodes not assigned to any running job, sorted."""
+        busy = {n for job in self.running for n in job.assigned_nodes}
+        return sorted(
+            node.name
+            for node in self.system.nodes
+            if node.up and node.name not in busy and node.name not in self.drained
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance interface (proactive ODA hooks)
+    # ------------------------------------------------------------------
+    def drain(self, node_name: str, now: float) -> None:
+        """Remove a node from scheduling (running jobs are unaffected)."""
+        self.system.node(node_name)  # validates the name
+        if node_name not in self.drained:
+            self.drained.add(node_name)
+            if self.trace is not None:
+                self.trace.emit(now, self.name, "node_drain", node=node_name)
+
+    def undrain(self, node_name: str, now: float) -> None:
+        """Return a drained node to service."""
+        if node_name in self.drained:
+            self.drained.discard(node_name)
+            if self.trace is not None:
+                self.trace.emit(now, self.name, "node_undrain", node=node_name)
+
+    def requeue(self, job_id: str, now: float, keep_progress: bool = True) -> Job:
+        """Checkpoint-and-requeue a running job.
+
+        The job returns to PENDING; with ``keep_progress`` its completed
+        work survives (checkpoint/restart semantics), otherwise it restarts
+        from zero.  Used by proactive maintenance to evacuate jobs from
+        nodes predicted to fail.
+        """
+        job = self.jobs.get(job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            raise SchedulingError(f"{job_id}: only RUNNING jobs can be requeued")
+        self.running.remove(job)
+        job.state = JobState.PENDING
+        job.start_time = None
+        job.end_time = None
+        job.assigned_nodes = []
+        if not keep_progress:
+            job.work_done_s = 0.0
+        self.queue.push(job)
+        if self.trace is not None:
+            self.trace.emit(
+                now, self.name, "job_requeue",
+                job_id=job_id, work_done=job.work_done_s, kept=keep_progress,
+            )
+        return job
+
+    def _dispatch(self, now: float) -> None:
+        ctx = SchedulingContext(
+            now=now,
+            system=self.system,
+            free_nodes=self.free_node_names(),
+            pending=self.queue.snapshot(),
+            running=list(self.running),
+        )
+        allocations = self.policy.select(ctx)
+        self._validate(allocations, ctx)
+        for allocation in allocations:
+            job = allocation.job
+            self.queue.remove(job)
+            job.start(now, list(allocation.node_names))
+            self.running.append(job)
+            if self.trace is not None:
+                self.trace.emit(
+                    now, self.name, "job_start",
+                    job_id=job.job_id, nodes=list(allocation.node_names),
+                    wait=job.wait_time, profile=job.profile_name, user=job.user,
+                )
+
+    @staticmethod
+    def _validate(allocations: List[Allocation], ctx: SchedulingContext) -> None:
+        free = set(ctx.free_nodes)
+        used: set = set()
+        pending_ids = {job.job_id for job in ctx.pending}
+        for allocation in allocations:
+            if allocation.job.job_id not in pending_ids:
+                raise SchedulingError(
+                    f"policy returned non-pending job {allocation.job.job_id}"
+                )
+            names = set(allocation.node_names)
+            if len(names) != allocation.job.request.nodes:
+                raise SchedulingError(
+                    f"{allocation.job.job_id}: placement size mismatch"
+                )
+            if not names <= free or names & used:
+                raise SchedulingError(
+                    f"{allocation.job.job_id}: placement uses unavailable nodes"
+                )
+            used |= names
+
+    def _install_loads(self) -> None:
+        assignments: Dict[str, Tuple[str, NodeLoad]] = {}
+        for job in self.running:
+            phase = job.request.profile.phase_at(job.work_done_s)
+            for node_name in job.assigned_nodes:
+                assignments[node_name] = (job.job_id, phase.load)
+        self.system.apply_loads(assignments)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of healthy nodes currently running jobs."""
+        up = len([n for n in self.system.nodes if n.up])
+        if up == 0:
+            return 0.0
+        busy = sum(len(job.assigned_nodes) for job in self.running)
+        return busy / up
+
+    def _read_sensors(self, now: float) -> Dict[str, float]:
+        completed = [j for j in self.accounting if j.state is JobState.COMPLETED]
+        return {
+            f"{self.name}.queue_length": float(len(self.queue)),
+            f"{self.name}.queued_nodes": float(self.queue.total_requested_nodes()),
+            f"{self.name}.running_jobs": float(len(self.running)),
+            f"{self.name}.utilization": self.utilization(),
+            f"{self.name}.completed_jobs": float(len(completed)),
+            f"{self.name}.failed_jobs": float(
+                sum(1 for j in self.accounting if j.state is JobState.FAILED)
+            ),
+            f"{self.name}.timeout_jobs": float(
+                sum(1 for j in self.accounting if j.state is JobState.TIMEOUT)
+            ),
+        }
+
+    def metric_specs(self) -> List[MetricSpec]:
+        labels = {"pillar": "system_software"}
+        names = [
+            "queue_length", "queued_nodes", "running_jobs", "utilization",
+            "completed_jobs", "failed_jobs", "timeout_jobs",
+        ]
+        return [
+            MetricSpec(f"{self.name}.{n}", Unit.COUNT if n != "utilization" else Unit.FRACTION,
+                       low=0, labels=labels)
+            for n in names
+        ]
+
+    def sampler(self) -> Sampler:
+        """Telemetry sampler for scheduler-level metrics."""
+        return Sampler(name=self.name, source=self._read_sensors, specs=self.metric_specs())

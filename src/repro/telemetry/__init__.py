@@ -1,0 +1,38 @@
+"""Telemetry pipeline: the monitoring substrate of the ODA platform.
+
+Mirrors the architecture of production HPC monitoring stacks (LDMS, DCDB,
+ExaMon): samplers scrape substrate components, a pub/sub bus transports
+sample batches, a columnar time-series store archives them, and an alert
+engine implements threshold-based descriptive alerting.
+"""
+
+from repro.telemetry.alerts import Alert, AlertEngine, AlertRule, AlertSeverity
+from repro.telemetry.bus import MessageBus, Subscription
+from repro.telemetry.collector import CollectionAgent, Sampler, TelemetrySystem
+from repro.telemetry.metric import MetricKind, MetricRegistry, MetricSpec, Unit
+from repro.telemetry.persistence import load_store, save_store
+from repro.telemetry.sample import SampleBatch, merge_batches
+from repro.telemetry.store import AGGREGATIONS, SeriesBuffer, TimeSeriesStore
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "AlertSeverity",
+    "MessageBus",
+    "Subscription",
+    "CollectionAgent",
+    "Sampler",
+    "TelemetrySystem",
+    "MetricKind",
+    "MetricRegistry",
+    "MetricSpec",
+    "Unit",
+    "SampleBatch",
+    "merge_batches",
+    "load_store",
+    "save_store",
+    "AGGREGATIONS",
+    "SeriesBuffer",
+    "TimeSeriesStore",
+]

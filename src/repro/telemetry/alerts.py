@@ -1,0 +1,151 @@
+"""Threshold alerting — the automated-alert half of descriptive ODA.
+
+Per the paper (Section III-B), descriptive analytics "may even include
+features for automated alerts upon exceeding human-defined thresholds of
+monitored sensors".  The :class:`AlertEngine` subscribes to the message bus
+and evaluates simple threshold rules with hysteresis and duration filtering,
+raising and clearing :class:`Alert` records.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.telemetry.sample import SampleBatch
+
+__all__ = ["AlertSeverity", "AlertRule", "Alert", "AlertEngine"]
+
+
+class AlertSeverity(Enum):
+    INFO = 1
+    WARNING = 2
+    CRITICAL = 3
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """A human-defined threshold rule.
+
+    The rule fires when the metric is beyond ``threshold`` in direction
+    ``above`` for at least ``for_seconds`` continuously, and clears with a
+    hysteresis band of ``clear_margin`` to avoid flapping.
+    """
+
+    name: str
+    metric_pattern: str
+    threshold: float
+    above: bool = True
+    for_seconds: float = 0.0
+    clear_margin: float = 0.0
+    severity: AlertSeverity = AlertSeverity.WARNING
+
+    def __post_init__(self) -> None:
+        if self.for_seconds < 0 or self.clear_margin < 0:
+            raise ConfigurationError(
+                f"rule {self.name}: for_seconds and clear_margin must be >= 0"
+            )
+
+    def breaches(self, value: float) -> bool:
+        return value > self.threshold if self.above else value < self.threshold
+
+    def clears(self, value: float) -> bool:
+        if self.above:
+            return value <= self.threshold - self.clear_margin
+        return value >= self.threshold + self.clear_margin
+
+
+@dataclass
+class Alert:
+    """A raised (and possibly later cleared) alert instance."""
+
+    rule: AlertRule
+    metric: str
+    raised_at: float
+    value: float
+    cleared_at: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_at is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.cleared_at is None:
+            return None
+        return self.cleared_at - self.raised_at
+
+
+@dataclass
+class _PendingState:
+    """Per (rule, metric) evaluation state."""
+
+    breach_started: Optional[float] = None
+    alert: Optional[Alert] = None
+
+
+class AlertEngine:
+    """Evaluates alert rules against live sample batches.
+
+    Subscribe it to a bus with ``bus.subscribe("#", engine.observe)``, or
+    feed batches manually.  All raised alerts are retained in ``history``.
+    """
+
+    def __init__(self) -> None:
+        self._rules: List[AlertRule] = []
+        self._state: Dict[tuple, _PendingState] = {}
+        self.history: List[Alert] = []
+
+    def add_rule(self, rule: AlertRule) -> AlertRule:
+        self._rules.append(rule)
+        return rule
+
+    @property
+    def rules(self) -> List[AlertRule]:
+        return list(self._rules)
+
+    def active_alerts(self) -> List[Alert]:
+        """Alerts currently raised and not yet cleared."""
+        return [a for a in self.history if a.active]
+
+    def observe(self, topic: str, batch: SampleBatch) -> List[Alert]:
+        """Bus-compatible sink; returns alerts newly raised by this batch."""
+        raised: List[Alert] = []
+        for name, value in batch:
+            for rule in self._rules:
+                if not fnmatch.fnmatchcase(name, rule.metric_pattern):
+                    continue
+                key = (rule.name, name)
+                state = self._state.setdefault(key, _PendingState())
+                raised.extend(self._evaluate(rule, name, batch.time, value, state))
+        return raised
+
+    def _evaluate(
+        self,
+        rule: AlertRule,
+        metric: str,
+        now: float,
+        value: float,
+        state: _PendingState,
+    ) -> List[Alert]:
+        raised: List[Alert] = []
+        if state.alert is not None:
+            if rule.clears(value):
+                state.alert.cleared_at = now
+                state.alert = None
+                state.breach_started = None
+            return raised
+        if rule.breaches(value):
+            if state.breach_started is None:
+                state.breach_started = now
+            if now - state.breach_started >= rule.for_seconds:
+                alert = Alert(rule=rule, metric=metric, raised_at=now, value=value)
+                state.alert = alert
+                self.history.append(alert)
+                raised.append(alert)
+        else:
+            state.breach_started = None
+        return raised

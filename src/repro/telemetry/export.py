@@ -1,0 +1,89 @@
+"""Export utilities: dump store contents to CSV/JSON-friendly structures.
+
+Production ODA stacks feed downstream consumers (dashboards, notebooks,
+archival object stores); here we provide the minimal equivalents used by the
+examples and by EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["to_rows", "to_csv", "to_json", "write_csv"]
+
+
+def to_rows(
+    store: TimeSeriesStore,
+    names: Sequence[str],
+    since: float,
+    until: float,
+    step: float,
+    agg: str = "mean",
+) -> List[Dict[str, float]]:
+    """Aligned export: one dict per grid timestamp with a column per metric."""
+    grid, matrix = store.align(names, since, until, step, agg=agg)
+    rows: List[Dict[str, float]] = []
+    for i, t in enumerate(grid):
+        row: Dict[str, float] = {"time": float(t)}
+        for j, name in enumerate(names):
+            value = matrix[i, j]
+            row[name] = float(value) if np.isfinite(value) else float("nan")
+        rows.append(row)
+    return rows
+
+
+def to_csv(
+    store: TimeSeriesStore,
+    names: Sequence[str],
+    since: float,
+    until: float,
+    step: float,
+    agg: str = "mean",
+) -> str:
+    """Render the aligned export as a CSV string."""
+    rows = to_rows(store, names, since, until, step, agg)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time", *names])
+    for row in rows:
+        writer.writerow([row["time"], *(row[n] for n in names)])
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str,
+    store: TimeSeriesStore,
+    names: Sequence[str],
+    since: float,
+    until: float,
+    step: float,
+    agg: str = "mean",
+) -> None:
+    """Write the aligned export to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(store, names, since, until, step, agg))
+
+
+def to_json(
+    store: TimeSeriesStore,
+    names: Optional[Sequence[str]] = None,
+    since: float = float("-inf"),
+    until: float = float("inf"),
+) -> str:
+    """Raw per-series JSON export (no alignment), NaNs rendered as null."""
+    names = list(names) if names is not None else store.names()
+    payload: Dict[str, Dict[str, list]] = {}
+    for name in names:
+        times, values = store.query(name, since, until)
+        payload[name] = {
+            "times": [float(t) for t in times],
+            "values": [float(v) if np.isfinite(v) else None for v in values],
+        }
+    return json.dumps(payload)

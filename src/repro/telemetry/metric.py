@@ -1,0 +1,183 @@
+"""Metric specifications and the metric registry.
+
+A metric is a named, typed, unit-carrying time series produced by some
+component of the data center ("sensor" in monitoring-stack parlance).
+Names are hierarchical, dot-separated paths mirroring the physical topology,
+e.g. ``cluster.rack0.node3.cpu_power`` or ``facility.chiller0.cop`` — the
+same convention used by production HPC monitoring stacks such as DCDB and
+LDMS, which lets analytics select whole subtrees with a prefix query.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import ConfigurationError, UnknownMetricError
+
+__all__ = ["MetricKind", "Unit", "MetricSpec", "MetricRegistry"]
+
+
+class MetricKind(Enum):
+    """How a metric's value evolves, which determines valid aggregations.
+
+    GAUGE values may move arbitrarily (temperature, utilization); COUNTER
+    values are monotonically non-decreasing (energy, completed jobs) and are
+    usually differentiated before analysis; EVENT metrics are sparse
+    occurrence counts (faults, alerts).
+    """
+
+    GAUGE = "gauge"
+    COUNTER = "counter"
+    EVENT = "event"
+
+
+class Unit(Enum):
+    """SI-ish units used across the substrate. Values are display symbols."""
+
+    WATT = "W"
+    JOULE = "J"
+    CELSIUS = "degC"
+    HERTZ = "Hz"
+    FRACTION = "frac"       # dimensionless in [0, 1]
+    PERCENT = "%"
+    BYTES = "B"
+    BYTES_PER_SECOND = "B/s"
+    SECONDS = "s"
+    COUNT = "count"
+    FLOPS = "flop/s"
+    LITERS_PER_SECOND = "L/s"
+    KELVIN_PER_WATT = "K/W"
+    DIMENSIONLESS = ""
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Static description of one metric.
+
+    Attributes
+    ----------
+    name:
+        Dot-separated hierarchical identifier, unique within a registry.
+    unit:
+        Physical unit of the sampled values.
+    kind:
+        Gauge / counter / event semantics (see :class:`MetricKind`).
+    description:
+        One-line human description for dashboards.
+    low, high:
+        Optional plausibility bounds used by validation and by descriptive
+        normalization; ``None`` means unbounded on that side.
+    labels:
+        Arbitrary static key/value annotations (pillar, component class...).
+    """
+
+    name: str
+    unit: Unit = Unit.DIMENSIONLESS
+    kind: MetricKind = MetricKind.GAUGE
+    description: str = ""
+    low: Optional[float] = None
+    high: Optional[float] = None
+    labels: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name.startswith(".") or self.name.endswith("."):
+            raise ConfigurationError(f"invalid metric name: {self.name!r}")
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise ConfigurationError(
+                f"metric {self.name}: low={self.low} > high={self.high}"
+            )
+
+    def validate(self, value: float) -> bool:
+        """Whether ``value`` lies within the declared plausibility bounds."""
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    @property
+    def component(self) -> str:
+        """The metric path without its final segment (its owning component)."""
+        head, _, _ = self.name.rpartition(".")
+        return head
+
+    @property
+    def leaf(self) -> str:
+        """The final path segment (the quantity name)."""
+        return self.name.rpartition(".")[2]
+
+
+class MetricRegistry:
+    """Collection of :class:`MetricSpec` indexed by name.
+
+    Supports shell-style pattern selection (``cluster.*.cpu_power``) and
+    prefix selection, which is what analytics code uses to gather all
+    signals for a pillar or a component subtree.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, MetricSpec] = {}
+
+    def register(self, spec: MetricSpec) -> MetricSpec:
+        """Add a spec; re-registering an identical spec is a no-op."""
+        existing = self._specs.get(spec.name)
+        if existing is not None:
+            if existing != spec:
+                raise ConfigurationError(
+                    f"metric {spec.name!r} already registered with a different spec"
+                )
+            return existing
+        self._specs[spec.name] = spec
+        return spec
+
+    def register_many(self, specs: List[MetricSpec]) -> None:
+        for spec in specs:
+            self.register(spec)
+
+    def get(self, name: str) -> MetricSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownMetricError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[MetricSpec]:
+        return iter(self._specs.values())
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._specs)
+
+    def select(self, pattern: str) -> List[MetricSpec]:
+        """Return specs whose names match a shell-style ``pattern``."""
+        return [
+            self._specs[name]
+            for name in sorted(self._specs)
+            if fnmatch.fnmatchcase(name, pattern)
+        ]
+
+    def select_prefix(self, prefix: str) -> List[MetricSpec]:
+        """Return specs under a hierarchical ``prefix`` (inclusive)."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return [
+            spec
+            for name, spec in sorted(self._specs.items())
+            if name == prefix or name.startswith(dotted)
+        ]
+
+    def select_labels(self, **labels: str) -> List[MetricSpec]:
+        """Return specs whose ``labels`` include every given key/value."""
+        out = []
+        for name in sorted(self._specs):
+            spec = self._specs[name]
+            if all(spec.labels.get(k) == v for k, v in labels.items()):
+                out.append(spec)
+        return out

@@ -1,0 +1,69 @@
+"""Store persistence: save/load the time-series archive to ``.npz``.
+
+Production monitoring databases persist to disk; the substrate equivalent
+lets long simulations be archived once and analyzed repeatedly (examples,
+notebooks, regression baselines) without re-running the simulator.
+
+Format: one compressed ``.npz`` with two arrays per series
+(``<name>::t``, ``<name>::v``) plus a small JSON header under ``__meta__``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["save_store", "load_store"]
+
+_META_KEY = "__meta__"
+_FORMAT_VERSION = 1
+
+
+def save_store(
+    store: TimeSeriesStore, path: str, names: Optional[Sequence[str]] = None
+) -> int:
+    """Write the store (or a subset of series) to ``path``.
+
+    Returns the number of series written.
+    """
+    selected = list(names) if names is not None else store.names()
+    payload = {}
+    for name in selected:
+        series = store.series(name)
+        payload[f"{name}::t"] = series.times.copy()
+        payload[f"{name}::v"] = series.values.copy()
+    meta = {
+        "version": _FORMAT_VERSION,
+        "series": selected,
+        "retention": store.retention,
+        "samples": int(store.samples_ingested),
+    }
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return len(selected)
+
+
+def load_store(path: str) -> TimeSeriesStore:
+    """Load a store previously written by :func:`save_store`."""
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise StoreError(f"{path}: not a repro store archive (missing header)")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise StoreError(
+                f"{path}: unsupported archive version {meta.get('version')}"
+            )
+        store = TimeSeriesStore(retention=meta.get("retention"))
+        for name in meta["series"]:
+            times = archive[f"{name}::t"]
+            values = archive[f"{name}::v"]
+            store.append_many(name, times, values)
+    return store

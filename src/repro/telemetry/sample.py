@@ -1,0 +1,91 @@
+"""Sample batches: the wire format of the telemetry pipeline.
+
+Samplers produce :class:`SampleBatch` objects — a timestamp plus parallel
+arrays of metric names and values — which flow over the message bus into the
+time-series store.  Batches use NumPy arrays rather than per-sample objects
+so that a full-cluster scrape is a single vectorized append on the store
+side (see the hpc-parallel guides: vectorize the hot path, avoid per-element
+Python objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SampleBatch", "merge_batches"]
+
+
+@dataclass(frozen=True)
+class SampleBatch:
+    """A set of simultaneous samples taken at one timestamp.
+
+    Attributes
+    ----------
+    time:
+        Sample timestamp (simulation seconds).
+    names:
+        Tuple of metric names; parallel to ``values``.
+    values:
+        1-D ``float64`` array of sampled values.
+    """
+
+    time: float
+    names: Tuple[str, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        object.__setattr__(self, "values", values)
+        if values.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {values.shape}")
+        if len(self.names) != values.shape[0]:
+            raise ValueError(
+                f"{len(self.names)} names but {values.shape[0]} values"
+            )
+
+    @classmethod
+    def from_mapping(cls, time: float, mapping: Dict[str, float]) -> "SampleBatch":
+        """Build a batch from a ``{name: value}`` dict (iteration order kept)."""
+        names = tuple(mapping)
+        values = np.fromiter(mapping.values(), dtype=np.float64, count=len(names))
+        return cls(time=time, names=names, values=values)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return ``{name: value}``; values as Python floats."""
+        return {n: float(v) for n, v in zip(self.names, self.values)}
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return ((n, float(v)) for n, v in zip(self.names, self.values))
+
+    def subset(self, names: Sequence[str]) -> "SampleBatch":
+        """Return a batch restricted to ``names`` (missing names dropped)."""
+        index = {n: i for i, n in enumerate(self.names)}
+        keep = [n for n in names if n in index]
+        idx = np.fromiter((index[n] for n in keep), dtype=np.intp, count=len(keep))
+        return SampleBatch(self.time, tuple(keep), self.values[idx])
+
+
+def merge_batches(batches: Sequence[SampleBatch]) -> SampleBatch:
+    """Merge simultaneous batches into one.
+
+    All batches must share the same timestamp.  Later batches win on
+    duplicate metric names, mirroring last-writer-wins store semantics.
+    """
+    if not batches:
+        raise ValueError("cannot merge zero batches")
+    time = batches[0].time
+    for batch in batches[1:]:
+        if batch.time != time:
+            raise ValueError(
+                f"cannot merge batches at different times: {time} vs {batch.time}"
+            )
+    merged: Dict[str, float] = {}
+    for batch in batches:
+        merged.update(batch.as_dict())
+    return SampleBatch.from_mapping(time, merged)

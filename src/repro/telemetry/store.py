@@ -1,0 +1,351 @@
+"""Columnar in-memory time-series store.
+
+The store is the archive tier of the telemetry pipeline: every metric gets
+an append-only pair of NumPy arrays (timestamps, values) that grow
+geometrically and are queried by binary search.  Reads return **views** onto
+the underlying buffers (no copies — see the hpc-parallel guides), so
+analytics over long windows are zero-copy until they explicitly transform.
+
+Features mirrored from production HPC monitoring databases (DCDB/KairosDB,
+LDMS+DSOS, Prometheus):
+
+* last-writer-wins ingest from the message bus,
+* time-range queries,
+* downsampling/resampling with standard aggregations,
+* multi-metric alignment onto a common time grid (the input shape every
+  multivariate analytics model wants),
+* optional retention limit per series.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StoreError, UnknownMetricError
+from repro.telemetry.sample import SampleBatch
+
+__all__ = ["SeriesBuffer", "TimeSeriesStore", "AGGREGATIONS"]
+
+
+def _rate(values: np.ndarray) -> float:
+    """Aggregation helper: total increase across the bucket (for counters)."""
+    if values.size < 2:
+        return 0.0
+    return float(values[-1] - values[0])
+
+
+#: Named aggregation functions usable in :meth:`TimeSeriesStore.resample`.
+AGGREGATIONS: Dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda v: float(np.mean(v)),
+    "min": lambda v: float(np.min(v)),
+    "max": lambda v: float(np.max(v)),
+    "sum": lambda v: float(np.sum(v)),
+    "last": lambda v: float(v[-1]),
+    "first": lambda v: float(v[0]),
+    "std": lambda v: float(np.std(v)),
+    "median": lambda v: float(np.median(v)),
+    "count": lambda v: float(v.size),
+    "p95": lambda v: float(np.percentile(v, 95)),
+    "rate": _rate,
+}
+
+_INITIAL_CAPACITY = 64
+
+
+class SeriesBuffer:
+    """Append-only (time, value) series with geometric growth.
+
+    Timestamps must be non-decreasing; equal timestamps overwrite in place
+    (last writer wins), which is how repeated publishes of the same scrape
+    behave in real stores.
+    """
+
+    def __init__(self, name: str, capacity: int = _INITIAL_CAPACITY):
+        self.name = name
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def times(self) -> np.ndarray:
+        """View of the stored timestamps (do not mutate)."""
+        return self._times[: self._size]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the stored values (do not mutate)."""
+        return self._values[: self._size]
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._times.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, capacity * 2)
+        for attr in ("_times", "_values"):
+            old = getattr(self, attr)
+            new = np.empty(new_capacity, dtype=np.float64)
+            new[: self._size] = old[: self._size]
+            setattr(self, attr, new)
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample; overwrite if ``time`` equals the last sample."""
+        if self._size and time < self._times[self._size - 1]:
+            raise StoreError(
+                f"series {self.name}: out-of-order append at t={time} "
+                f"(last t={self._times[self._size - 1]})"
+            )
+        if self._size and time == self._times[self._size - 1]:
+            self._values[self._size - 1] = value
+            return
+        self._grow(self._size + 1)
+        self._times[self._size] = time
+        self._values[self._size] = value
+        self._size += 1
+
+    def append_many(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized bulk append of already-sorted, strictly newer samples."""
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if times.shape != values.shape or times.ndim != 1:
+            raise StoreError("append_many arrays must be 1-D and equal length")
+        if times.size == 0:
+            return
+        if np.any(np.diff(times) < 0):
+            raise StoreError(f"series {self.name}: times must be non-decreasing")
+        if self._size and times[0] <= self._times[self._size - 1]:
+            raise StoreError(
+                f"series {self.name}: bulk append must start after last sample"
+            )
+        self._grow(self._size + times.size)
+        self._times[self._size : self._size + times.size] = times
+        self._values[self._size : self._size + times.size] = values
+        self._size += times.size
+
+    def range(self, since: float, until: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (times, values) views for samples with ``since <= t <= until``."""
+        lo = int(np.searchsorted(self.times, since, side="left"))
+        hi = int(np.searchsorted(self.times, until, side="right"))
+        return self._times[lo:hi], self._values[lo:hi]
+
+    def latest(self) -> Tuple[float, float]:
+        """The most recent (time, value); raises if empty."""
+        if not self._size:
+            raise StoreError(f"series {self.name} is empty")
+        i = self._size - 1
+        return float(self._times[i]), float(self._values[i])
+
+    def value_at(self, time: float) -> float:
+        """Last-observation-carried-forward value at ``time``.
+
+        Raises :class:`StoreError` if ``time`` precedes the first sample.
+        """
+        idx = int(np.searchsorted(self.times, time, side="right")) - 1
+        if idx < 0:
+            raise StoreError(
+                f"series {self.name}: no sample at or before t={time}"
+            )
+        return float(self._values[idx])
+
+    def trim_before(self, cutoff: float) -> int:
+        """Drop samples strictly older than ``cutoff``; returns count dropped.
+
+        Compacts in place so the buffer does not grow without bound under a
+        retention policy.
+        """
+        lo = int(np.searchsorted(self.times, cutoff, side="left"))
+        if lo == 0:
+            return 0
+        keep = self._size - lo
+        self._times[:keep] = self._times[lo : self._size]
+        self._values[:keep] = self._values[lo : self._size]
+        self._size = keep
+        return lo
+
+
+class TimeSeriesStore:
+    """Named collection of :class:`SeriesBuffer` with query helpers.
+
+    Parameters
+    ----------
+    retention:
+        If given, samples older than ``latest_time - retention`` seconds are
+        trimmed opportunistically on ingest.
+    """
+
+    def __init__(self, retention: Optional[float] = None):
+        self._series: Dict[str, SeriesBuffer] = {}
+        self.retention = retention
+        self.samples_ingested = 0
+        self._latest_time = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, topic: str, batch: SampleBatch) -> None:
+        """Bus-compatible sink: store every sample of ``batch``.
+
+        The ``topic`` is ignored for storage purposes (metric names are
+        already fully qualified) but kept in the signature so the store can
+        be subscribed directly: ``bus.subscribe("#", store.ingest)``.
+        """
+        for name, value in batch:
+            self.append(name, batch.time, value)
+
+    def append(self, name: str, time: float, value: float) -> None:
+        """Append one sample to ``name``, creating the series if needed."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = SeriesBuffer(name)
+        series.append(time, value)
+        self.samples_ingested += 1
+        if time > self._latest_time:
+            self._latest_time = time
+            if self.retention is not None:
+                self._apply_retention()
+
+    def append_many(self, name: str, times: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized bulk append to a single series."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = SeriesBuffer(name)
+        times = np.asarray(times, dtype=np.float64)
+        series.append_many(times, values)
+        self.samples_ingested += int(times.size)
+        if times.size:
+            self._latest_time = max(self._latest_time, float(times[-1]))
+
+    def _apply_retention(self) -> None:
+        cutoff = self._latest_time - float(self.retention or 0)
+        for series in self._series.values():
+            series.trim_before(cutoff)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def series(self, name: str) -> SeriesBuffer:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise UnknownMetricError(name) from None
+
+    @property
+    def latest_time(self) -> float:
+        """Largest timestamp ingested so far (-inf when empty)."""
+        return self._latest_time
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self, name: str, since: float = float("-inf"), until: float = float("inf")
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw range query; returns (times, values) array views."""
+        return self.series(name).range(since, until)
+
+    def latest(self, name: str) -> Tuple[float, float]:
+        """Most recent (time, value) for ``name``."""
+        return self.series(name).latest()
+
+    def value_at(self, name: str, time: float) -> float:
+        """Last-observation-carried-forward lookup."""
+        return self.series(name).value_at(time)
+
+    def resample(
+        self,
+        name: str,
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Downsample a series onto buckets of width ``step``.
+
+        Buckets are left-closed ``[t, t+step)``; each output timestamp is the
+        bucket start.  Empty buckets yield ``NaN`` so gaps stay visible to
+        descriptive analytics rather than being silently interpolated.
+        """
+        if step <= 0:
+            raise StoreError(f"step must be positive, got {step}")
+        try:
+            agg_fn = AGGREGATIONS[agg]
+        except KeyError:
+            raise StoreError(
+                f"unknown aggregation {agg!r}; valid: {sorted(AGGREGATIONS)}"
+            ) from None
+        times, values = self.query(name, since, until)
+        edges = np.arange(since, until + step * 0.5, step)
+        if edges.size < 2:
+            return np.empty(0), np.empty(0)
+        out_times = edges[:-1]
+        out = np.full(out_times.shape, np.nan)
+        if times.size:
+            # Vectorized bucketing: one searchsorted, then per-bucket slices.
+            idx = np.searchsorted(times, edges)
+            for i in range(out_times.size):
+                lo, hi = idx[i], idx[i + 1]
+                if hi > lo:
+                    out[i] = agg_fn(values[lo:hi])
+        return out_times, out
+
+    def align(
+        self,
+        names: Sequence[str],
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+        fill: str = "ffill",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Align several series onto a common grid.
+
+        Returns ``(grid, matrix)`` where ``matrix[i, j]`` is series ``j`` at
+        grid point ``i``.  ``fill`` controls gap handling: ``"ffill"``
+        carries the last observation forward, ``"nan"`` leaves gaps.
+
+        This produces exactly the dense design matrix multivariate analytics
+        (PCA, anomaly detectors, regressors) consume.
+        """
+        if fill not in ("ffill", "nan"):
+            raise StoreError(f"unknown fill mode {fill!r}")
+        columns = []
+        grid = None
+        for name in names:
+            t, v = self.resample(name, since, until, step, agg)
+            if grid is None:
+                grid = t
+            if fill == "ffill" and v.size:
+                # Vectorized forward fill of NaNs.
+                mask = np.isnan(v)
+                if mask.any():
+                    idx = np.where(~mask, np.arange(v.size), 0)
+                    np.maximum.accumulate(idx, out=idx)
+                    v = v[idx]
+                    # Leading NaNs (before first sample) remain NaN.
+                    if mask[0]:
+                        first_valid = int(np.argmax(~mask)) if (~mask).any() else v.size
+                        v[:first_valid] = np.nan
+            columns.append(v)
+        if grid is None:
+            return np.empty(0), np.empty((0, 0))
+        matrix = np.column_stack(columns) if columns else np.empty((grid.size, 0))
+        return grid, matrix
+
+    def select(self, pattern: str) -> List[str]:
+        """Names of stored series matching a shell-style pattern."""
+        import fnmatch
+
+        return [n for n in self.names() if fnmatch.fnmatchcase(n, pattern)]

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import RngPool, Simulator, TraceLog
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+@pytest.fixture
+def trace() -> TraceLog:
+    return TraceLog()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_pool() -> RngPool:
+    return RngPool(seed=12345)

@@ -1,0 +1,130 @@
+"""Additional coverage: ERE, live plan-based scheduling, KPI edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.descriptive import per_user_report
+from repro.analytics.descriptive.kpis import ere, pue
+from repro.analytics.prescriptive import PlanBasedPolicy
+from repro.apps import default_catalog
+from repro.apps.generator import JobRequest
+from repro.cluster import build_system
+from repro.errors import InsufficientDataError
+from repro.oda import DataCenter, compare_kpis, collect_kpis
+from repro.software import JobState, Scheduler
+from repro.telemetry import TimeSeriesStore
+
+
+def make_power_store(site=1200.0, it=1000.0, reuse=0.0, n=50):
+    store = TimeSeriesStore()
+    t = np.arange(float(n)) * 60.0
+    store.append_many("facility.power.site_power", t, np.full(n, site))
+    store.append_many("facility.power.it_power", t, np.full(n, it))
+    if reuse:
+        store.append_many("facility.power.reuse", t, np.full(n, reuse))
+    return store
+
+
+class TestEre:
+    def test_without_reuse_equals_pue(self):
+        store = make_power_store()
+        window = (0.0, 2000.0)
+        assert ere(store, *window) == pytest.approx(pue(store, *window))
+
+    def test_heat_reuse_lowers_ere_below_pue(self):
+        store = make_power_store(reuse=150.0)
+        window = (0.0, 2000.0)
+        value = ere(store, *window, reuse_metric="facility.power.reuse")
+        assert value < pue(store, *window)
+        assert value == pytest.approx((1200.0 - 150.0) / 1000.0)
+
+    def test_idle_window_rejected(self):
+        store = make_power_store(site=0.0, it=0.0)
+        with pytest.raises(InsufficientDataError):
+            ere(store, 0.0, 2000.0)
+
+
+class TestPlanBasedLive:
+    def test_plan_based_policy_runs_full_trace(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=8)
+        system.attach(sim, trace, rng)
+        policy = PlanBasedPolicy(
+            predictor=lambda job: job.request.walltime_req_s * 0.5,
+            replan_interval=600.0,
+        )
+        scheduler = Scheduler(system, policy=policy, tick=60.0)
+        scheduler.attach(sim, trace)
+        profile = default_catalog().get("cfd_solver")
+        for i in range(6):
+            scheduler.load_trace(sim, [JobRequest(
+                job_id=f"j{i}", submit_time=float(i * 300), user="u",
+                profile=profile, nodes=4, work_s=1800.0, walltime_req_s=7200.0,
+            )])
+        sim.run(12 * 3600.0)
+        states = {j.job_id: j.state for j in scheduler.jobs.values()}
+        assert all(s is JobState.COMPLETED for s in states.values()), states
+        assert policy.replans >= 1
+
+    def test_plan_survives_node_failure(self, sim, trace, rng):
+        """Planned nodes lost to failures fall back to first-fit."""
+        system = build_system(racks=1, nodes_per_rack=8)
+        system.attach(sim, trace, rng)
+        policy = PlanBasedPolicy(predictor=lambda job: 1800.0)
+        scheduler = Scheduler(system, policy=policy, tick=60.0)
+        scheduler.attach(sim, trace)
+        profile = default_catalog().get("md_sim")
+        scheduler.load_trace(sim, [
+            JobRequest(job_id="a", submit_time=0.0, user="u", profile=profile,
+                       nodes=4, work_s=1200.0, walltime_req_s=7200.0),
+            JobRequest(job_id="b", submit_time=60.0, user="u", profile=profile,
+                       nodes=4, work_s=1200.0, walltime_req_s=7200.0),
+        ])
+        sim.run(120)
+        system.node("r0n7").fail()  # may or may not be planned; must not wedge
+        sim.run(4 * 3600.0)
+        assert scheduler.jobs["a"].terminal
+        assert scheduler.jobs["b"].terminal
+
+
+class TestKpiEdgeCases:
+    def test_compare_kpis_nan_on_zero_baseline(self):
+        dc = DataCenter(seed=2, racks=1, nodes_per_rack=4)
+        dc.run(seconds=3600.0)
+        kpis = collect_kpis(dc)
+        diff = compare_kpis(kpis, kpis)
+        # Slowdown is NaN on an idle run; comparison must not explode.
+        assert np.isnan(diff["mean_slowdown"]) or diff["mean_slowdown"] == 0.0
+
+    def test_idle_run_kpis(self):
+        dc = DataCenter(seed=2, racks=1, nodes_per_rack=4)
+        dc.run(seconds=3600.0)
+        kpis = collect_kpis(dc)
+        assert kpis.completed_jobs == 0
+        assert kpis.energy_per_job_kwh == float("inf")
+        assert kpis.pue > 1.0
+
+    def test_too_short_run_rejected(self):
+        dc = DataCenter(seed=2, racks=1, nodes_per_rack=4)
+        with pytest.raises(InsufficientDataError):
+            collect_kpis(dc)
+
+
+class TestPerUserReport:
+    def test_split_by_user(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=8)
+        system.attach(sim, trace, rng)
+        scheduler = Scheduler(system, tick=60.0)
+        scheduler.attach(sim, trace)
+        profile = default_catalog().get("cfd_solver")
+        for i, user in enumerate(["alice", "bob", "alice"]):
+            scheduler.load_trace(sim, [JobRequest(
+                job_id=f"j{i}", submit_time=float(i * 60), user=user,
+                profile=profile, nodes=2, work_s=600.0, walltime_req_s=7200.0,
+            )])
+        sim.run(4 * 3600.0)
+        reports = per_user_report(scheduler.accounting)
+        assert set(reports) == {"alice", "bob"}
+        assert reports["alice"].jobs == 2
+        assert reports["bob"].jobs == 1

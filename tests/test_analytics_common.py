@@ -1,0 +1,123 @@
+"""Tests for shared analytics utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.common import (
+    FEATURE_NAMES,
+    StandardScaler,
+    lag_matrix,
+    sliding_windows,
+    summary_features,
+    train_test_split_time,
+)
+from repro.errors import InsufficientDataError, NotFittedError
+
+
+class TestSlidingWindows:
+    def test_shape_and_content(self):
+        windows = sliding_windows(np.arange(10.0), width=4)
+        assert windows.shape == (7, 4)
+        assert windows[0].tolist() == [0, 1, 2, 3]
+        assert windows[-1].tolist() == [6, 7, 8, 9]
+
+    def test_step(self):
+        windows = sliding_windows(np.arange(10.0), width=4, step=3)
+        assert windows.shape == (3, 4)
+        assert windows[1].tolist() == [3, 4, 5, 6]
+
+    def test_zero_copy_view(self):
+        data = np.arange(10.0)
+        windows = sliding_windows(data, 3)
+        assert windows.base is not None
+
+    def test_too_few_samples(self):
+        with pytest.raises(InsufficientDataError):
+            sliding_windows(np.arange(3.0), width=4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(10.0), width=0)
+
+
+class TestLagMatrix:
+    def test_shapes(self):
+        X, y = lag_matrix(np.arange(10.0), lags=3)
+        assert X.shape == (7, 3)
+        assert y.shape == (7,)
+        assert X[0].tolist() == [0, 1, 2]
+        assert y[0] == 3.0
+
+    def test_insufficient(self):
+        with pytest.raises(InsufficientDataError):
+            lag_matrix(np.arange(3.0), lags=3)
+
+
+class TestSplit:
+    def test_chronological(self):
+        train, test = train_test_split_time(np.arange(100), test_fraction=0.25)
+        assert train.shape[0] == 75
+        assert test[0] == 75  # the future, not a shuffle
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split_time(np.arange(10), test_fraction=1.5)
+
+    def test_degenerate_split(self):
+        with pytest.raises(InsufficientDataError):
+            train_test_split_time(np.arange(2), test_fraction=0.01)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        X = np.random.default_rng(0).normal(5, 3, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_survives(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self):
+        X = np.random.default_rng(1).normal(2, 5, (50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestSummaryFeatures:
+    def test_length_matches_names(self):
+        features = summary_features(np.arange(100.0))
+        assert features.shape == (len(FEATURE_NAMES),)
+
+    def test_known_values(self):
+        features = summary_features(np.arange(101.0))
+        named = dict(zip(FEATURE_NAMES, features))
+        assert named["mean"] == pytest.approx(50.0)
+        assert named["min"] == 0.0
+        assert named["max"] == 100.0
+        assert named["median"] == 50.0
+        assert named["skew"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_nan_handling(self):
+        values = np.array([1.0, np.nan, 3.0])
+        features = summary_features(values)
+        assert dict(zip(FEATURE_NAMES, features))["mean"] == pytest.approx(2.0)
+
+    def test_all_nan_gives_zeros(self):
+        assert (summary_features(np.array([np.nan, np.nan])) == 0).all()
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_features_always_finite(self, values):
+        assert np.all(np.isfinite(summary_features(np.array(values))))

@@ -1,0 +1,127 @@
+"""Tests for application profiles, the workload generator and instrumentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AppClass,
+    WorkloadGenerator,
+    default_catalog,
+    profile_regions,
+)
+from repro.errors import ConfigurationError
+from repro.facility.weather import DAY
+
+
+class TestProfiles:
+    def test_catalog_covers_all_classes(self):
+        catalog = default_catalog()
+        present = {p.app_class for p in catalog}
+        assert present == set(AppClass)
+
+    def test_phase_cycle_wraps(self):
+        profile = default_catalog().get("cfd_solver")
+        cycle = profile.cycle_work_s
+        assert profile.phase_at(0.0).name == "assemble"
+        assert profile.phase_at(cycle + 1.0).name == profile.phase_at(1.0).name
+
+    def test_phase_boundaries(self):
+        profile = default_catalog().get("cfd_solver")
+        assert profile.phase_at(119.9).name == "assemble"
+        assert profile.phase_at(120.1).name == "solve"
+
+    def test_mean_load_weighted(self):
+        profile = default_catalog().get("cryptominer")
+        mean = profile.mean_load()
+        assert mean.cpu_util == pytest.approx(0.99)
+        assert mean.io_bw_bytes == 0.0
+
+    def test_miner_signature_is_distinct(self):
+        """The miner's (cpu, io, net) signature separates from HPC codes."""
+        catalog = default_catalog()
+        miner = catalog.get("cryptominer").mean_load()
+        for profile in catalog:
+            if profile.name == "cryptominer":
+                continue
+            other = profile.mean_load()
+            assert other.io_bw_bytes + other.net_bw_bytes > 0
+        assert miner.io_bw_bytes + miner.net_bw_bytes == 0.0
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigurationError):
+            default_catalog().get("nope")
+
+
+class TestWorkloadGenerator:
+    @pytest.fixture
+    def generator(self):
+        return WorkloadGenerator(np.random.default_rng(42), jobs_per_day=100.0)
+
+    def test_reproducible(self):
+        a = WorkloadGenerator(np.random.default_rng(1)).generate(0.0, DAY)
+        b = WorkloadGenerator(np.random.default_rng(1)).generate(0.0, DAY)
+        assert [r.job_id for r in a] == [r.job_id for r in b]
+        assert [r.submit_time for r in a] == [r.submit_time for r in b]
+
+    def test_submissions_within_horizon_sorted(self, generator):
+        requests = generator.generate(100.0, DAY)
+        times = [r.submit_time for r in requests]
+        assert times == sorted(times)
+        assert all(100.0 <= t < 100.0 + DAY for t in times)
+
+    def test_daily_rhythm(self, generator):
+        requests = generator.generate(0.0, 10 * DAY)
+        hours = np.array([(r.submit_time % DAY) / 3600 for r in requests])
+        day_jobs = ((hours >= 9) & (hours < 17)).sum()
+        night_jobs = ((hours < 5)).sum()
+        assert day_jobs > night_jobs * 1.5
+
+    def test_weekend_quieter(self, generator):
+        requests = generator.generate(0.0, 28 * DAY)
+        weekday = sum(1 for r in requests if (r.submit_time % (7 * DAY)) / DAY < 5)
+        weekend = len(requests) - weekday
+        assert weekday / 5 > (weekend / 2) * 1.5
+
+    def test_walltime_overestimates_work(self, generator):
+        requests = generator.generate(0.0, 2 * DAY)
+        assert all(r.walltime_req_s >= r.work_s for r in requests)
+
+    def test_user_repertoires_stable(self, generator):
+        requests = generator.generate(0.0, 20 * DAY)
+        by_user = {}
+        for r in requests:
+            by_user.setdefault(r.user, set()).add(r.profile.name)
+        # Users stick to small repertoires (<= 4 apps).
+        assert all(len(apps) <= 4 for apps in by_user.values())
+
+    def test_miner_fraction(self):
+        generator = WorkloadGenerator(
+            np.random.default_rng(7), jobs_per_day=300.0, miner_fraction=0.3
+        )
+        requests = generator.generate(0.0, 5 * DAY)
+        miners = sum(1 for r in requests if r.profile.name == "cryptominer")
+        assert 0.15 < miners / len(requests) < 0.45
+
+    def test_node_counts_capped(self):
+        generator = WorkloadGenerator(
+            np.random.default_rng(7), jobs_per_day=200.0, max_nodes=8
+        )
+        requests = generator.generate(0.0, 3 * DAY)
+        assert all(1 <= r.nodes <= 8 for r in requests)
+
+
+class TestInstrumentation:
+    def test_time_shares_sum_to_one(self):
+        for profile in default_catalog():
+            regions = profile_regions(profile)
+            assert sum(r.time_share for r in regions) == pytest.approx(1.0)
+
+    def test_memory_bound_classification(self):
+        regions = {r.region: r for r in profile_regions(default_catalog().get("graph_analytics"))}
+        assert regions["traverse"].memory_bound
+
+    def test_compute_bound_not_memory_bound(self):
+        regions = {r.region: r for r in profile_regions(default_catalog().get("md_sim"))}
+        assert not regions["force_calc"].memory_bound

@@ -1,0 +1,128 @@
+"""Tests for the fat-tree fabric and the parallel filesystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import FatTreeFabric, ParallelFilesystem
+from repro.errors import ConfigurationError
+
+
+def make_fabric(n=8, per_leaf=4, capacity=100.0):
+    return FatTreeFabric(
+        [f"n{i}" for i in range(n)], nodes_per_leaf=per_leaf,
+        spine_count=2, link_capacity=capacity,
+    )
+
+
+class TestTopology:
+    def test_nodes_attached_to_leaves(self):
+        fabric = make_fabric()
+        assert fabric.leaf_of("n0") == "leaf0"
+        assert fabric.leaf_of("n4") == "leaf1"
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_fabric().leaf_of("bogus")
+
+    def test_same_leaf_route_avoids_spine(self):
+        route = make_fabric().route("n0", "n1")
+        assert len(route) == 2
+        assert not any("spine" in a or "spine" in b for a, b in route)
+
+    def test_cross_leaf_route_uses_spine(self):
+        route = make_fabric().route("n0", "n5")
+        assert len(route) == 4
+        assert any("spine" in a or "spine" in b for a, b in route)
+
+    def test_route_symmetric(self):
+        """Same link set regardless of direction (order may differ)."""
+        fabric = make_fabric()
+        assert set(fabric.route("n0", "n5")) == set(fabric.route("n5", "n0"))
+
+
+class TestContention:
+    def test_no_flows_no_slowdown(self):
+        fabric = make_fabric()
+        fabric.begin_step()
+        assert fabric.flow_slowdown("j") == 1.0
+
+    def test_underloaded_flow_full_speed(self):
+        fabric = make_fabric(capacity=1e9)
+        fabric.begin_step()
+        fabric.offer_flow("j", ["n0", "n1"], 100.0)
+        assert fabric.flow_slowdown("j") == 1.0
+
+    def test_oversubscribed_link_slows_flow(self):
+        fabric = make_fabric(capacity=100.0)
+        fabric.begin_step()
+        fabric.offer_flow("j", ["n0", "n1"], 400.0)
+        assert fabric.flow_slowdown("j") > 1.0
+
+    def test_two_jobs_interfere_on_shared_links(self):
+        fabric = make_fabric(capacity=150.0)
+        fabric.begin_step()
+        fabric.offer_flow("a", ["n0", "n4"], 100.0)
+        solo = fabric.flow_slowdown("a")
+        fabric.begin_step()
+        fabric.offer_flow("a", ["n0", "n4"], 100.0)
+        fabric.offer_flow("b", ["n1", "n5"], 100.0)
+        shared = fabric.flow_slowdown("a")
+        # Whether they share a spine is hash-dependent; at minimum the
+        # contended case is never faster.
+        assert shared >= solo
+
+    def test_hot_links_sorted(self):
+        fabric = make_fabric(capacity=10.0)
+        fabric.begin_step()
+        fabric.offer_flow("j", ["n0", "n1", "n4"], 100.0)
+        hot = fabric.hot_links(threshold=0.5)
+        assert hot
+        utils = [u for _, u in hot]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_sensors_shape(self):
+        fabric = make_fabric()
+        fabric.begin_step()
+        fabric.offer_flow("j", ["n0", "n5"], 50.0)
+        sensors = fabric.sensors()
+        assert sensors["links_active"] > 0
+        assert 0 <= sensors["mean_link_util"] <= sensors["max_link_util"]
+
+
+class TestParallelFilesystem:
+    def test_under_capacity_full_grant(self):
+        pfs = ParallelFilesystem(bandwidth_bytes=100.0)
+        pfs.begin_step()
+        pfs.demand("a", 40.0)
+        granted = pfs.resolve(1.0)
+        assert granted["a"] == 40.0
+        assert pfs.slowdown("a") == 1.0
+
+    def test_over_capacity_proportional_share(self):
+        pfs = ParallelFilesystem(bandwidth_bytes=100.0)
+        pfs.begin_step()
+        pfs.demand("a", 150.0)
+        pfs.demand("b", 50.0)
+        granted = pfs.resolve(1.0)
+        assert granted["a"] == pytest.approx(75.0)
+        assert granted["b"] == pytest.approx(25.0)
+        assert pfs.slowdown("a") == pytest.approx(2.0)
+
+    def test_bytes_moved_accumulates(self):
+        pfs = ParallelFilesystem(bandwidth_bytes=100.0)
+        pfs.begin_step()
+        pfs.demand("a", 60.0)
+        pfs.resolve(10.0)
+        assert pfs.bytes_moved == pytest.approx(600.0)
+
+    def test_utilization(self):
+        pfs = ParallelFilesystem(bandwidth_bytes=100.0)
+        pfs.begin_step()
+        pfs.demand("a", 50.0)
+        pfs.resolve(1.0)
+        assert pfs.utilization == pytest.approx(0.5)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            ParallelFilesystem(bandwidth_bytes=0.0)

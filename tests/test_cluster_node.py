@@ -1,0 +1,182 @@
+"""Tests for the compute-node power/thermal/DVFS model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ComputeNode, CpuSpec, NodeLoad, IDLE_LOAD
+from repro.errors import ConfigurationError, ControlError
+
+
+def busy_load(compute_fraction=0.8):
+    return NodeLoad(
+        cpu_util=0.95, mem_bw_util=0.3, mem_occupancy=0.5,
+        compute_fraction=compute_fraction, flops_per_second=0.5,
+    )
+
+
+def settle(node, seconds=3600.0, dt=30.0):
+    for _ in range(int(seconds / dt)):
+        node.update(dt)
+
+
+class TestPowerModel:
+    def test_idle_power_floor(self):
+        node = ComputeNode("n")
+        node.update(30.0)
+        assert node.power_w >= node.idle_power_w
+
+    def test_busy_draws_more_than_idle(self):
+        idle = ComputeNode("a")
+        busy = ComputeNode("b")
+        busy.assign("j", busy_load())
+        settle(idle); settle(busy)
+        assert busy.power_w > idle.power_w + 150.0
+
+    def test_dvfs_cube_law_on_dynamic_power(self):
+        hi = ComputeNode("a")
+        lo = ComputeNode("b")
+        for node in (hi, lo):
+            node.assign("j", busy_load())
+        lo.set_frequency(1.2)
+        settle(hi); settle(lo)
+        assert lo.power_w < hi.power_w
+
+    def test_energy_integrates_power(self):
+        node = ComputeNode("n")
+        node.update(100.0)
+        assert node.energy_j == pytest.approx(node.power_w * 100.0)
+
+    def test_leakage_rises_with_temperature(self):
+        cool = ComputeNode("a"); cool.inlet_temp_c = 15.0
+        hot = ComputeNode("b"); hot.inlet_temp_c = 45.0
+        for node in (cool, hot):
+            node.assign("j", busy_load())
+            settle(node)
+        assert hot.power_w > cool.power_w
+
+
+class TestThermalModel:
+    def test_steady_state_tracks_inlet_plus_rth_power(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load())
+        settle(node, seconds=7200.0)
+        expected = node.inlet_temp_c + node.thermal_resistance * node.power_w
+        assert node.temp_c == pytest.approx(expected, abs=1.0)
+
+    def test_first_order_relaxation(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load())
+        node.update(30.0)
+        early = node.temp_c
+        settle(node)
+        assert node.temp_c > early
+
+    def test_throttling_above_threshold(self):
+        node = ComputeNode("n", throttle_temp_c=50.0)
+        node.inlet_temp_c = 48.0
+        node.assign("j", busy_load(compute_fraction=1.0))
+        settle(node)
+        assert node.temp_c >= 50.0
+        assert node.progress_rate < 0.75
+
+
+class TestProgressModel:
+    def test_nominal_progress_is_one(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load())
+        node.update(30.0)
+        assert node.progress_rate == pytest.approx(1.0)
+
+    def test_compute_bound_slows_with_frequency(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load(compute_fraction=1.0))
+        node.set_frequency(1.2)
+        node.update(30.0)
+        assert node.progress_rate == pytest.approx(1.2 / 2.4)
+
+    def test_memory_bound_insensitive_to_frequency(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load(compute_fraction=0.0))
+        node.set_frequency(1.2)
+        node.update(30.0)
+        assert node.progress_rate == pytest.approx(1.0)
+
+    def test_contention_divides_progress(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load())
+        node.set_contention(2.0)
+        node.update(30.0)
+        assert node.progress_rate == pytest.approx(0.5)
+
+    def test_os_noise_reduces_progress(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load())
+        node.os_noise = 0.1
+        node.update(30.0)
+        assert node.progress_rate == pytest.approx(0.9)
+
+    def test_idle_node_no_progress(self):
+        node = ComputeNode("n")
+        node.update(30.0)
+        assert node.progress_rate == 0.0
+
+
+class TestDvfsKnob:
+    def test_only_ladder_levels_allowed(self):
+        node = ComputeNode("n")
+        with pytest.raises(ControlError):
+            node.set_frequency(3.14)
+
+    def test_nominal_must_be_on_ladder(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec(freq_levels_ghz=(1.0, 2.0), nominal_ghz=1.5)
+
+
+class TestFailure:
+    def test_fail_drops_job_and_power(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load())
+        node.update(30.0)
+        node.fail()
+        node.update(30.0)
+        assert not node.up
+        assert node.job_id is None
+        assert node.power_w == 0.0
+        assert node.counters()["up"] == 0.0
+
+    def test_restore_resets_health(self):
+        node = ComputeNode("n")
+        node.cpu_health = 0.5
+        node.ecc_errors = 42
+        node.fail()
+        node.restore()
+        assert node.up and node.cpu_health == 1.0 and node.ecc_errors == 0
+
+    def test_failed_node_cools_to_inlet(self):
+        node = ComputeNode("n")
+        node.assign("j", busy_load())
+        settle(node)
+        node.fail()
+        settle(node, seconds=7200.0)
+        assert node.temp_c == pytest.approx(node.inlet_temp_c, abs=0.5)
+
+
+class TestCounters:
+    def test_counters_complete(self):
+        node = ComputeNode("n")
+        node.update(30.0)
+        counters = node.counters()
+        for key in ("power", "temp", "freq", "cpu_util", "flops", "ipc",
+                    "ecc_errors", "ctx_switches", "up"):
+            assert key in counters
+
+    def test_invalid_load_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeLoad(cpu_util=1.5)
+
+    def test_noise_visible_in_ctx_switches(self):
+        quiet = ComputeNode("a")
+        noisy = ComputeNode("b")
+        noisy.os_noise = 0.05
+        assert noisy.counters()["ctx_switches"] > quiet.counters()["ctx_switches"] * 5

@@ -1,0 +1,98 @@
+"""Tests for the lexicon use-case classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnalyticsType, Pillar, UseCaseClassifier, survey_grid
+from repro.errors import ClassificationError
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return UseCaseClassifier()
+
+
+class TestClassifier:
+    def test_clear_descriptive_infrastructure(self, classifier):
+        result = classifier.classify(
+            "a dashboard visualizing cooling and power data of the facility"
+        )
+        assert result.cell.analytics_type is AnalyticsType.DESCRIPTIVE
+        assert result.cell.pillar is Pillar.BUILDING_INFRASTRUCTURE
+
+    def test_clear_prescriptive_hardware(self, classifier):
+        result = classifier.classify(
+            "tuning CPU frequency knobs with DVFS to optimize node energy"
+        )
+        assert result.cell.analytics_type is AnalyticsType.PRESCRIPTIVE
+        assert result.cell.pillar is Pillar.SYSTEM_HARDWARE
+
+    def test_clear_predictive_applications(self, classifier):
+        result = classifier.classify(
+            "predicting the runtime duration of user jobs from submission history"
+        )
+        assert result.cell.analytics_type is AnalyticsType.PREDICTIVE
+        assert result.cell.pillar is Pillar.APPLICATIONS
+
+    def test_clear_diagnostic_software(self, classifier):
+        result = classifier.classify(
+            "detecting anomalies such as memory leaks in the scheduling software"
+        )
+        assert result.cell.analytics_type is AnalyticsType.DIAGNOSTIC
+        assert result.cell.pillar is Pillar.SYSTEM_SOFTWARE
+
+    def test_out_of_domain_rejected(self, classifier):
+        with pytest.raises(ClassificationError):
+            classifier.classify("the quick brown fox jumps over the lazy dog")
+
+    def test_confidence_in_unit_interval(self, classifier):
+        result = classifier.classify("dashboards for facility cooling data")
+        assert 0.0 <= result.confidence <= 1.0
+
+    def test_explain_lists_terms(self, classifier):
+        text = classifier.explain("forecasting chiller cooling demand")
+        assert "forecast" in text and "chiller" in text
+
+    def test_add_terms_extends_lexicon(self):
+        clf = UseCaseClassifier()
+        clf.add_terms(Pillar.SYSTEM_SOFTWARE, {"slurm": 5.0})
+        clf.add_terms(AnalyticsType.DESCRIPTIVE, {"birdseye": 5.0})
+        result = clf.classify("a birdseye view of slurm")
+        assert result.cell.pillar is Pillar.SYSTEM_SOFTWARE
+        assert result.cell.analytics_type is AnalyticsType.DESCRIPTIVE
+
+    def test_add_terms_invalid_axis(self):
+        with pytest.raises(ClassificationError):
+            UseCaseClassifier().add_terms("bogus", {"x": 1.0})
+
+
+class TestClassifierOnSurveyCorpus:
+    """The headline validity check: re-classify every Table I entry."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        classifier = UseCaseClassifier()
+        grid = survey_grid()
+        out = []
+        for uc in grid:
+            result = classifier.classify(f"{uc.name}. {uc.description}")
+            out.append((uc, result))
+        return out
+
+    def test_all_corpus_entries_classifiable(self, results):
+        assert len(results) == 45
+
+    def test_type_accuracy(self, results):
+        correct = sum(
+            1 for uc, r in results if r.cell.analytics_type is uc.analytics_type
+        )
+        assert correct / len(results) >= 0.85
+
+    def test_pillar_accuracy(self, results):
+        correct = sum(1 for uc, r in results if r.cell.pillar is uc.pillar)
+        assert correct / len(results) >= 0.85
+
+    def test_joint_accuracy(self, results):
+        correct = sum(1 for uc, r in results if r.cell == uc.cell)
+        assert correct / len(results) >= 0.80

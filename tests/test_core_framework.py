@@ -1,0 +1,312 @@
+"""Tests for the framework taxonomy: pillars, types, grid, survey, renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PILLAR_ORDER,
+    REFERENCES,
+    TYPE_ORDER,
+    AnalyticsType,
+    FrameworkGrid,
+    GridCell,
+    Pillar,
+    SystemProfile,
+    UseCase,
+    all_cells,
+    analyze_survey,
+    figure3_systems,
+    gap_report,
+    pillar_crossing_stats,
+    plan_roadmap,
+    rank_by_comprehensiveness,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_occupancy,
+    render_table1,
+    similarity_matrix,
+    survey_grid,
+    table1_use_cases,
+)
+from repro.errors import ClassificationError
+
+
+class TestAxes:
+    def test_four_pillars_ordered(self):
+        assert len(PILLAR_ORDER) == 4
+        assert PILLAR_ORDER[0] is Pillar.BUILDING_INFRASTRUCTURE
+        assert [p.index for p in PILLAR_ORDER] == [0, 1, 2, 3]
+
+    def test_four_types_staged(self):
+        assert [t.stage for t in TYPE_ORDER] == [0, 1, 2, 3]
+        assert TYPE_ORDER[0] is AnalyticsType.DESCRIPTIVE
+        assert TYPE_ORDER[-1] is AnalyticsType.PRESCRIPTIVE
+
+    def test_hindsight_foresight_split(self):
+        assert AnalyticsType.DESCRIPTIVE.hindsight
+        assert AnalyticsType.DIAGNOSTIC.hindsight
+        assert AnalyticsType.PREDICTIVE.foresight
+        assert AnalyticsType.PRESCRIPTIVE.foresight
+
+    def test_each_type_has_question(self):
+        assert AnalyticsType.DESCRIPTIVE.question == "What happened?"
+        assert "best way" in AnalyticsType.PRESCRIPTIVE.question
+
+    def test_pillar_substrate_modules_importable(self):
+        import importlib
+
+        for pillar in PILLAR_ORDER:
+            assert importlib.import_module(pillar.substrate_module)
+
+    def test_type_analytics_modules_importable(self):
+        import importlib
+
+        for analytics_type in TYPE_ORDER:
+            assert importlib.import_module(analytics_type.analytics_module)
+
+
+class TestGridCell:
+    def test_sixteen_cells(self):
+        cells = all_cells()
+        assert len(cells) == 16
+        assert len(set(cells)) == 16
+
+    def test_ordering_by_stage_then_pillar(self):
+        cells = sorted(all_cells())
+        assert cells[0].analytics_type is AnalyticsType.DESCRIPTIVE
+        assert cells[-1].analytics_type is AnalyticsType.PRESCRIPTIVE
+
+    def test_equality_and_hash(self):
+        a = GridCell(AnalyticsType.PREDICTIVE, Pillar.APPLICATIONS)
+        b = GridCell(AnalyticsType.PREDICTIVE, Pillar.APPLICATIONS)
+        assert a == b and hash(a) == hash(b)
+
+    def test_label(self):
+        cell = GridCell(AnalyticsType.DIAGNOSTIC, Pillar.SYSTEM_HARDWARE)
+        assert cell.label == "Diagnostic x System Hardware"
+
+
+class TestFrameworkGrid:
+    def test_place_and_cell_lookup(self):
+        grid = FrameworkGrid()
+        uc = UseCase("x", GridCell(AnalyticsType.DESCRIPTIVE, Pillar.APPLICATIONS), (1,))
+        grid.place(uc)
+        assert grid.cell(AnalyticsType.DESCRIPTIVE, Pillar.APPLICATIONS) == [uc]
+        assert grid.get("x") is uc
+
+    def test_duplicate_rejected(self):
+        grid = FrameworkGrid()
+        uc = UseCase("x", GridCell(AnalyticsType.DESCRIPTIVE, Pillar.APPLICATIONS), ())
+        grid.place(uc)
+        with pytest.raises(ClassificationError):
+            grid.place(uc)
+
+    def test_occupancy_matrix(self):
+        grid = survey_grid()
+        occupancy = grid.occupancy()
+        assert occupancy.shape == (4, 4)
+        assert occupancy.sum() == len(grid)
+
+    def test_footprint(self):
+        grid = survey_grid()
+        profile = grid.footprint(["PUE calculation", "CPU frequency tuning"], "mix")
+        assert profile.multi_pillar and profile.multi_type
+        assert len(profile.cells) == 2
+
+
+class TestSurveyCorpus:
+    def test_counts_match_table1(self):
+        """Table I has 45 bullets over 16 non-empty cells."""
+        grid = survey_grid()
+        assert len(grid) == 45
+        assert grid.empty_cells() == []
+
+    def test_published_cell_counts_per_row(self):
+        grid = survey_grid()
+        per_type = {t: len(grid.by_type(t)) for t in TYPE_ORDER}
+        assert per_type[AnalyticsType.PRESCRIPTIVE] == 11
+        assert per_type[AnalyticsType.PREDICTIVE] == 11
+        assert per_type[AnalyticsType.DIAGNOSTIC] == 12
+        assert per_type[AnalyticsType.DESCRIPTIVE] == 11
+
+    def test_published_cell_counts_per_pillar(self):
+        grid = survey_grid()
+        per_pillar = {p: len(grid.by_pillar(p)) for p in PILLAR_ORDER}
+        assert per_pillar[Pillar.BUILDING_INFRASTRUCTURE] == 12
+        assert per_pillar[Pillar.SYSTEM_HARDWARE] == 12
+        assert per_pillar[Pillar.SYSTEM_SOFTWARE] == 10
+        assert per_pillar[Pillar.APPLICATIONS] == 11
+
+    def test_spot_check_published_placements(self):
+        grid = survey_grid()
+        checks = {
+            "PUE calculation": (AnalyticsType.DESCRIPTIVE, Pillar.BUILDING_INFRASTRUCTURE, (4,)),
+            "CPU frequency tuning": (AnalyticsType.PRESCRIPTIVE, Pillar.SYSTEM_HARDWARE, (11, 24, 40)),
+            "Predicting job durations": (AnalyticsType.PREDICTIVE, Pillar.APPLICATIONS, (30, 34, 35)),
+            "Identifying sources of OS noise": (AnalyticsType.DIAGNOSTIC, Pillar.SYSTEM_SOFTWARE, (57,)),
+            "Application fingerprinting": (AnalyticsType.DIAGNOSTIC, Pillar.APPLICATIONS, (33, 36)),
+        }
+        for name, (analytics_type, pillar, refs) in checks.items():
+            uc = grid.get(name)
+            assert uc.analytics_type is analytics_type, name
+            assert uc.pillar is pillar, name
+            assert uc.references == refs, name
+
+    def test_all_references_resolve(self):
+        for uc in table1_use_cases():
+            for number in uc.references:
+                assert number in REFERENCES, f"{uc.name} cites unknown [{number}]"
+
+    def test_every_use_case_has_implementation(self):
+        for uc in table1_use_cases():
+            assert uc.implemented_by, f"{uc.name} has no implementing module"
+
+    def test_every_use_case_has_description(self):
+        for uc in table1_use_cases():
+            assert uc.description, f"{uc.name} lacks a description"
+
+    def test_implementations_resolve_to_modules(self):
+        """Every 'implemented_by' path must import (module or attribute)."""
+        import importlib
+
+        for uc in table1_use_cases():
+            for path in uc.implemented_by:
+                parts = path.split(".")
+                # Try progressively shorter module prefixes, then getattr.
+                module = None
+                for cut in range(len(parts), 0, -1):
+                    try:
+                        module = importlib.import_module(".".join(parts[:cut]))
+                        remainder = parts[cut:]
+                        break
+                    except ImportError:
+                        continue
+                assert module is not None, f"{uc.name}: cannot import {path}"
+                obj = module
+                for attr in remainder:
+                    obj = getattr(obj, attr)  # raises if missing
+
+
+class TestSystemProfiles:
+    def test_figure3_systems_shape(self):
+        systems = figure3_systems()
+        names = {s.name for s in systems}
+        assert "Bortot et al. (ENI)" in names
+        assert "PowerStack" in names
+
+    def test_eni_footprint_matches_section_va(self):
+        eni = next(s for s in figure3_systems() if "ENI" in s.name)
+        assert not eni.multi_pillar  # both cells in building infrastructure
+        assert eni.multi_type       # diagnostic + prescriptive
+        assert eni.pillars == frozenset({Pillar.BUILDING_INFRASTRUCTURE})
+
+    def test_powerstack_is_multi_pillar(self):
+        ps = next(s for s in figure3_systems() if s.name == "PowerStack")
+        assert ps.multi_pillar
+        assert AnalyticsType.PRESCRIPTIVE in ps.analytics_types
+        assert AnalyticsType.PREDICTIVE in ps.analytics_types
+
+    def test_similarity_identity_and_symmetry(self):
+        systems = figure3_systems()
+        matrix = similarity_matrix(systems)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_geopm_powerstack_overlap(self):
+        systems = {s.name: s for s in figure3_systems()}
+        sim = systems["GEOPM"].similarity(systems["PowerStack"])
+        assert 0.0 < sim < 1.0  # they share the hardware cells
+
+    def test_comprehensiveness_ranking(self):
+        ranked = rank_by_comprehensiveness(figure3_systems())
+        assert ranked[0][0] == "PowerStack"  # widest footprint
+
+
+class TestSurveyAnalysis:
+    def test_visualization_dominates_claim(self):
+        stats = analyze_survey(survey_grid())
+        assert stats.visualization_dominates  # the [13] claim
+
+    def test_control_exactly_prescriptive(self):
+        grid = survey_grid()
+        stats = analyze_survey(grid)
+        assert stats.control_oriented == len(grid.by_type(AnalyticsType.PRESCRIPTIVE))
+
+    def test_single_pillar_prevalence_claim(self):
+        stats = pillar_crossing_stats(figure3_systems())
+        assert stats["single_pillar"] > stats["multi_pillar"]
+
+    def test_gap_report_empty_grid(self):
+        report = gap_report(FrameworkGrid())
+        assert len([l for l in report if l.startswith("EMPTY")]) == 16
+
+    def test_stats_rows_renderable(self):
+        rows = analyze_survey(survey_grid()).rows()
+        assert any("use cases" in k for k, _ in rows)
+
+
+class TestRenderers:
+    def test_table1_contains_all_use_cases_and_refs(self):
+        grid = survey_grid()
+        text = render_table1(grid)
+        for uc in grid:
+            assert uc.name in text, uc.name
+            for number in uc.references:
+                assert f"[{number}]" in text
+
+    def test_table1_row_order_matches_paper(self):
+        text = render_table1(survey_grid())
+        prescriptive = text.index("**Prescriptive**")
+        descriptive = text.index("**Descriptive**")
+        assert prescriptive < descriptive  # paper prints prescriptive first
+
+    def test_fig1_mentions_all_pillars_and_substrates(self):
+        text = render_fig1()
+        for pillar in PILLAR_ORDER:
+            assert pillar.title in text
+            assert pillar.substrate_module in text
+
+    def test_fig2_staged_order_and_questions(self):
+        text = render_fig2()
+        for analytics_type in TYPE_ORDER:
+            assert analytics_type.title in text
+        assert text.index("Descriptive") > text.index("Prescriptive")  # staircase top-down
+        assert "hindsight" in text and "foresight" in text
+
+    def test_fig3_marks_and_legend(self):
+        text = render_fig3(figure3_systems())
+        assert "A = Bortot" in text
+        assert "multi-pillar" in text
+
+    def test_occupancy_render(self):
+        text = render_occupancy(survey_grid())
+        assert "total use cases: 45" in text
+
+
+class TestRoadmap:
+    def test_greenfield_starts_descriptive(self):
+        steps = plan_roadmap([], horizon=4)
+        assert all(s.cell.analytics_type is AnalyticsType.DESCRIPTIVE for s in steps)
+
+    def test_staged_progression_per_pillar(self):
+        covered = [GridCell(AnalyticsType.DESCRIPTIVE, p) for p in PILLAR_ORDER]
+        steps = plan_roadmap(covered, horizon=4)
+        assert all(s.cell.analytics_type is AnalyticsType.DIAGNOSTIC for s in steps)
+
+    def test_never_recommends_covered_cell(self):
+        covered = all_cells()[:12]
+        steps = plan_roadmap(covered, horizon=8)
+        assert not (set(covered) & {s.cell for s in steps})
+
+    def test_full_coverage_empty_roadmap(self):
+        assert plan_roadmap(all_cells()) == []
+
+    def test_priorities_sequential(self):
+        steps = plan_roadmap([], horizon=6)
+        assert [s.priority for s in steps] == list(range(1, 7))
+
+    def test_rationales_present(self):
+        assert all(s.rationale for s in plan_roadmap([], horizon=16))

@@ -1,0 +1,81 @@
+"""Integration tests: the fully-wired DataCenter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oda import DataCenter
+from repro.software import JobState
+
+
+@pytest.fixture(scope="module")
+def ran_dc():
+    """One shared half-day simulation (module-scoped: simulation is costly)."""
+    dc = DataCenter(seed=11, racks=2, nodes_per_rack=8)
+    dc.generate_workload(days=0.5, jobs_per_day=60)
+    dc.run(days=0.5)
+    return dc
+
+
+class TestDataCenterIntegration:
+    def test_reproducible_trajectories(self):
+        def trajectory(seed):
+            dc = DataCenter(seed=seed, racks=1, nodes_per_rack=4)
+            dc.generate_workload(days=0.1, jobs_per_day=50)
+            dc.run(days=0.1)
+            return dc.metric("facility.power.site_power")[1]
+
+        a, b = trajectory(3), trajectory(3)
+        assert (a == b).all()
+        c = trajectory(4)
+        assert not np.array_equal(a, c)
+
+    def test_all_pillar_metrics_present(self, ran_dc):
+        names = ran_dc.store.names()
+        assert any(n.startswith("facility.") for n in names)
+        assert any(n.startswith("cluster.") for n in names)
+        assert any(n.startswith("scheduler.") for n in names)
+
+    def test_jobs_flow_through_lifecycle(self, ran_dc):
+        assert len(ran_dc.scheduler.jobs) > 10
+        done = [j for j in ran_dc.scheduler.accounting if j.state is JobState.COMPLETED]
+        assert done, "some jobs should complete in half a day"
+
+    def test_pue_physical(self, ran_dc):
+        _, pue = ran_dc.metric("facility.pue")
+        loaded = pue[pue > 0]
+        assert (loaded > 1.0).all()
+        assert loaded.mean() < 2.0
+
+    def test_energy_conservation(self, ran_dc):
+        """Site power equals IT + cooling + losses at every sample."""
+        _, site = ran_dc.metric("facility.power.site_power")
+        _, it = ran_dc.metric("facility.power.it_power")
+        _, cool = ran_dc.metric("facility.power.cooling_power")
+        _, loss = ran_dc.metric("facility.power.loss_power")
+        assert np.allclose(site, it + cool + loss)
+
+    def test_cooling_coupling_reaches_nodes(self, ran_dc):
+        """Node inlet temperatures track the loop supply temperature."""
+        _, supply = ran_dc.metric("facility.loop0.supply_temp")
+        _, inlet = ran_dc.metric("cluster.rack0.r0n0.inlet_temp")
+        # Inlet = supply + rack offset; correlation must be near-perfect.
+        n = min(supply.size, inlet.size)
+        corr = np.corrcoef(supply[:n], inlet[:n])[0, 1]
+        assert corr > 0.95
+
+    def test_it_power_tracks_utilization(self, ran_dc):
+        _, util = ran_dc.metric("scheduler.utilization")
+        _, power = ran_dc.metric("cluster.it_power")
+        n = min(util.size, power.size)
+        assert np.corrcoef(util[:n], power[:n])[0, 1] > 0.5
+
+    def test_peak_it_sizing(self, ran_dc):
+        _, power = ran_dc.metric("cluster.it_power")
+        assert power.max() <= ran_dc.peak_it_w
+
+    def test_store_and_registry_consistent(self, ran_dc):
+        registered = set(ran_dc.telemetry.registry.names())
+        stored = set(ran_dc.store.names())
+        assert stored <= registered

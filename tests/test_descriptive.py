@@ -1,0 +1,263 @@
+"""Tests for descriptive analytics: KPIs, metrics, entropy, reduction, dashboards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.descriptive import (
+    PCA,
+    Dashboard,
+    RooflineModel,
+    correlation_order,
+    correlation_wise_smoothing,
+    entropy_series,
+    group_aggregate,
+    hampel_filter,
+    heatmap,
+    itue,
+    mad_clean,
+    normalize,
+    outlier_fraction,
+    pue,
+    quantile_transport,
+    scheduling_report,
+    shannon_entropy,
+    sparkline,
+    state_entropy,
+    table,
+    tue,
+    zscore_clean,
+)
+from repro.apps import default_catalog, profile_regions
+from repro.errors import InsufficientDataError
+from repro.telemetry import TimeSeriesStore
+
+
+def power_store(site=1000.0, it=800.0, n=100):
+    store = TimeSeriesStore()
+    t = np.arange(float(n)) * 60.0
+    store.append_many("facility.power.site_power", t, np.full(n, site))
+    store.append_many("facility.power.it_power", t, np.full(n, it))
+    store.append_many("cluster.it_power", t, np.full(n, it * 0.98))
+    return store
+
+
+class TestKpis:
+    def test_pue_constant_power(self):
+        store = power_store(site=1200.0, it=1000.0)
+        assert pue(store, 0.0, 5000.0) == pytest.approx(1.2)
+
+    def test_pue_idle_window_raises(self):
+        store = power_store(site=0.0, it=0.0)
+        with pytest.raises(InsufficientDataError):
+            pue(store, 0.0, 5000.0)
+
+    def test_itue_above_one(self):
+        store = power_store()
+        value = itue(store, 0.0, 5000.0)
+        assert value > 1.0
+
+    def test_tue_product(self):
+        assert tue(1.2, 1.1) == pytest.approx(1.32)
+
+    def test_pue_single_sample_raises(self):
+        store = TimeSeriesStore()
+        store.append("facility.power.site_power", 0.0, 100.0)
+        store.append("facility.power.it_power", 0.0, 80.0)
+        with pytest.raises(InsufficientDataError):
+            pue(store, 0.0, 10.0)
+
+
+class TestEntropy:
+    def test_shannon_uniform(self):
+        assert shannon_entropy(np.array([1, 1, 1, 1])) == pytest.approx(2.0)
+
+    def test_shannon_degenerate(self):
+        assert shannon_entropy(np.array([10, 0, 0])) == 0.0
+
+    def test_state_entropy_uniform_fleet_zero(self):
+        matrix = np.ones((8, 3))
+        assert state_entropy(matrix) == 0.0
+
+    def test_state_entropy_diverse_fleet_positive(self):
+        rng = np.random.default_rng(0)
+        assert state_entropy(rng.normal(0, 1, (32, 3))) > 1.0
+
+    def test_entropy_series_spikes_on_transition(self):
+        store = TimeSeriesStore()
+        t = np.arange(100.0)
+        # 8 nodes: identical until t=50, then half diverge strongly.
+        for i in range(8):
+            values = np.ones(100) * 5.0
+            if i % 2 == 0:
+                values[50:] = 50.0 + i
+            store.append_many(f"c.n{i}.power", t, values)
+        grid, series = entropy_series(store, "c.*.power", 0.0, 100.0, 10.0)
+        assert series[-1] > series[0]
+
+
+class TestAggregation:
+    def test_quantile_transport(self):
+        store = TimeSeriesStore()
+        t = np.arange(50.0)
+        for i in range(10):
+            store.append_many(f"c.n{i}.temp", t, np.full(50, float(i)))
+        summary = quantile_transport(store, "c.*.temp", 0.0, 50.0, 10.0)
+        assert summary.median[0] == pytest.approx(4.5)
+        assert summary.spread[0] == pytest.approx(8.1 - 0.9)
+
+    def test_group_aggregate(self):
+        store = TimeSeriesStore()
+        t = np.arange(20.0)
+        store.append_many("a1", t, np.full(20, 1.0))
+        store.append_many("a2", t, np.full(20, 3.0))
+        grid, out = group_aggregate(store, {"a": ["a1", "a2"]}, 0.0, 20.0, 5.0)
+        assert np.allclose(out["a"], 2.0)
+
+    def test_normalize(self):
+        out = normalize(np.array([-5.0, 0.0, 5.0, 15.0]), low=0.0, high=10.0)
+        assert out.tolist() == [0.0, 0.0, 0.5, 1.0]
+
+
+class TestOutliers:
+    def test_zscore_removes_spike(self):
+        values = np.ones(100)
+        values[50] = 100.0
+        cleaned = zscore_clean(values)
+        assert np.isnan(cleaned[50])
+        assert outlier_fraction(values, cleaned) == pytest.approx(0.01)
+
+    def test_mad_robust_to_many_outliers(self):
+        values = np.ones(100)
+        values[:10] = 1000.0  # 10 % contamination breaks plain z-score
+        assert not np.isnan(zscore_clean(values)[:10]).any()  # z-score misses
+        cleaned = mad_clean(values)
+        assert np.isnan(cleaned[:10]).all()
+
+    def test_hampel_catches_local_spike_in_trend(self):
+        values = np.arange(100.0)
+        values[50] += 30.0
+        cleaned = hampel_filter(values)
+        assert np.isnan(cleaned[50])
+        assert np.isfinite(cleaned[49])
+
+    def test_hampel_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            hampel_filter(np.ones(10), window=4)
+
+    def test_constant_series_untouched(self):
+        values = np.full(50, 7.0)
+        assert not np.isnan(zscore_clean(values)).any()
+        assert not np.isnan(mad_clean(values)).any()
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(0, 5, 500)
+        X = np.column_stack([t, 2 * t, 0.5 * t]) + rng.normal(0, 0.1, (500, 3))
+        pca = PCA(1).fit(X)
+        assert pca.explained_variance_ratio_[0] > 0.99
+
+    def test_reconstruction_error_low_for_inliers(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(0, 5, 500)
+        X = np.column_stack([t, 2 * t]) + rng.normal(0, 0.05, (500, 2))
+        pca = PCA(1).fit(X)
+        inlier_err = pca.reconstruction_error(X).mean()
+        outlier = np.array([[10.0, -20.0]])  # off the principal axis
+        assert pca.reconstruction_error(outlier)[0] > inlier_err * 10
+
+    def test_transform_inverse_roundtrip_full_rank(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, (50, 3))
+        pca = PCA(3).fit(X)
+        assert np.allclose(pca.inverse_transform(pca.transform(X)), X)
+
+    def test_too_many_components(self):
+        with pytest.raises(InsufficientDataError):
+            PCA(5).fit(np.ones((10, 2)))
+
+
+class TestCorrelationWiseSmoothing:
+    def test_order_groups_correlated_columns(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 300)
+        b = rng.normal(0, 1, 300)
+        # Columns: [a, b, a+noise, b+noise]
+        X = np.column_stack([a, b, a + rng.normal(0, 0.05, 300), b + rng.normal(0, 0.05, 300)])
+        order = correlation_order(X)
+        position = {col: i for i, col in enumerate(order)}
+        assert abs(position[0] - position[2]) == 1  # a-pair adjacent
+        assert abs(position[1] - position[3]) == 1  # b-pair adjacent
+
+    def test_sketch_shape(self):
+        X = np.random.default_rng(0).normal(0, 1, (100, 8))
+        sketch, order = correlation_wise_smoothing(X, block=4)
+        assert sketch.shape == (100, 2)
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_sketch_preserves_signal(self):
+        rng = np.random.default_rng(0)
+        signal = np.sin(np.linspace(0, 10, 500))
+        X = np.column_stack([signal + rng.normal(0, 0.3, 500) for _ in range(8)])
+        sketch, _ = correlation_wise_smoothing(X, block=8)
+        # Averaging correlated noisy copies should denoise toward the signal.
+        assert np.corrcoef(sketch[:, 0], signal)[0, 1] > 0.9
+
+
+class TestDashboards:
+    def test_sparkline_width_and_monotone(self):
+        line = sparkline(np.linspace(0, 1, 200), width=40)
+        assert len(line) == 40
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_sparkline_constant(self):
+        assert set(sparkline(np.ones(10), width=10)) == {"▁"}
+
+    def test_heatmap_contains_labels_and_scale(self):
+        out = heatmap(np.array([[0.0, 1.0], [1.0, 0.0]]), ["a", "b"], title="T")
+        assert "T" in out and "a |" in out and "scale:" in out
+
+    def test_table_alignment(self):
+        out = table([("k", 1), ("longer", 2)], title="t")
+        assert "k      : 1" in out
+
+    def test_dashboard_render(self):
+        store = power_store()
+        dash = Dashboard(store, 0.0, 6000.0, width=30)
+        dash.add_sparkline("site", "facility.power.site_power")
+        dash.add_heatmap("power wall", "facility.power.*")
+        dash.add_table("kpis", [("pue", 1.2)])
+        out = dash.render()
+        assert "site" in out and "power wall" in out and "pue" in out
+
+    def test_dashboard_missing_metric(self):
+        store = power_store()
+        dash = Dashboard(store, 1e9, 2e9)
+        dash.add_sparkline("x", "facility.power.site_power")
+        assert "(no data)" in dash.render()
+
+
+class TestRoofline:
+    @pytest.fixture
+    def model(self):
+        return RooflineModel(peak_gflops=1000.0, peak_mem_bw_gbs=100.0)
+
+    def test_ridge_point(self, model):
+        assert model.ridge_intensity == 10.0
+
+    def test_attainable_capped(self, model):
+        assert model.attainable(1.0) == 100.0     # bandwidth roof
+        assert model.attainable(100.0) == 1000.0  # compute roof
+
+    def test_classify_catalog_regions(self, model):
+        regions = profile_regions(default_catalog().get("graph_analytics"))
+        points = model.analyze(regions)
+        assert any(p.memory_bound for p in points)
+
+    def test_bottleneck_report_strings(self, model):
+        regions = profile_regions(default_catalog().get("cfd_solver"))
+        report = model.bottleneck_report(regions)
+        assert all("bound" in verdict for _, verdict in report)

@@ -1,0 +1,144 @@
+"""Tests for infrastructure component physics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.facility import Chiller, CoolingTower, DryCooler, HeatExchanger, PowerConversion, Pump
+
+
+class TestChiller:
+    def test_power_is_load_over_cop(self):
+        chiller = Chiller(name="c", capacity_w=1e6, cop_nominal=5.0)
+        power = chiller.update(5e5, ambient_c=15.0, dt=60.0)
+        assert power == pytest.approx(5e5 / chiller.cop(15.0))
+
+    def test_cop_degrades_with_ambient(self):
+        chiller = Chiller(name="c")
+        chiller.load_fraction = 0.8
+        assert chiller.cop(35.0) < chiller.cop(15.0)
+
+    def test_cop_improves_with_warm_setpoint(self):
+        cold = Chiller(name="c", supply_setpoint_c=14.0)
+        warm = Chiller(name="w", supply_setpoint_c=40.0)
+        cold.load_fraction = warm.load_fraction = 0.8
+        assert warm.cop(20.0) > cold.cop(20.0)
+
+    def test_part_load_curve_peaks_near_80pct(self):
+        chiller = Chiller(name="c")
+        cops = {}
+        for lf in (0.2, 0.8, 1.0):
+            chiller.load_fraction = lf
+            cops[lf] = chiller.cop(15.0)
+        assert cops[0.8] > cops[0.2]
+        assert cops[0.8] >= cops[1.0]
+
+    def test_health_degradation_reduces_cop(self):
+        chiller = Chiller(name="c")
+        chiller.load_fraction = 0.8
+        nominal = chiller.cop(15.0)
+        chiller.degrade(0.5)
+        assert chiller.cop(15.0) == pytest.approx(nominal * 0.5)
+        chiller.repair()
+        assert chiller.cop(15.0) == pytest.approx(nominal)
+
+    def test_zero_load_zero_power(self):
+        chiller = Chiller(name="c")
+        assert chiller.update(0.0, 15.0, 60.0) == 0.0
+
+    def test_energy_accounting(self):
+        chiller = Chiller(name="c")
+        power = chiller.update(1e6, 15.0, dt=100.0)
+        assert chiller.energy_j == pytest.approx(power * 100.0)
+
+    def test_invalid_degrade_factor(self):
+        with pytest.raises(ConfigurationError):
+            Chiller(name="c").degrade(0.0)
+        with pytest.raises(ConfigurationError):
+            Chiller(name="c").degrade(1.5)
+
+
+class TestCoolingTower:
+    def test_supply_temp_is_wetbulb_plus_approach(self):
+        tower = CoolingTower(name="t", approach_c=4.0)
+        assert tower.supply_temp_c(wetbulb_c=10.0) == 14.0
+
+    def test_fouling_raises_approach(self):
+        tower = CoolingTower(name="t", approach_c=4.0)
+        tower.degrade(0.5)
+        assert tower.supply_temp_c(10.0) == pytest.approx(18.0)
+
+    def test_fan_cube_law(self):
+        tower = CoolingTower(name="t", capacity_w=1e6, fan_power_max_w=1000.0)
+        half = tower.update(5e5, 10.0, 1.0)
+        full = tower.update(1e6, 10.0, 1.0)
+        assert full == pytest.approx(half * 8.0)
+
+    def test_disabled_draws_nothing(self):
+        tower = CoolingTower(name="t")
+        tower.enabled = False
+        assert tower.update(1e5, 10.0, 1.0) == 0.0
+
+
+class TestDryCooler:
+    def test_can_serve_depends_on_drybulb(self):
+        cooler = DryCooler(name="d", approach_c=6.0)
+        assert cooler.can_serve(drybulb_c=10.0, required_supply_c=18.0)
+        assert not cooler.can_serve(drybulb_c=15.0, required_supply_c=18.0)
+
+    def test_cheaper_than_tower_at_same_load(self):
+        cooler = DryCooler(name="d", capacity_w=1e6, fan_power_max_w=8_000.0)
+        tower = CoolingTower(name="t", capacity_w=1e6, fan_power_max_w=15_000.0)
+        assert cooler.update(8e5, 5.0, 1.0) < tower.update(8e5, 5.0, 1.0)
+
+
+class TestPump:
+    def test_cube_law_on_flow(self):
+        pump = Pump(name="p", rated_flow_ls=100.0, rated_power_w=1000.0)
+        assert pump.update(100.0, 1.0) == pytest.approx(1000.0)
+        assert pump.update(50.0, 1.0) == pytest.approx(125.0)
+
+    def test_worn_pump_draws_more(self):
+        pump = Pump(name="p")
+        nominal = pump.update(50.0, 1.0)
+        pump.degrade(0.5)
+        assert pump.update(50.0, 1.0) == pytest.approx(nominal * 2.0)
+
+    def test_sensors_include_flow(self):
+        pump = Pump(name="p")
+        pump.update(42.0, 1.0)
+        assert pump.sensors()["flow"] == 42.0
+
+
+class TestHeatExchanger:
+    def test_effectiveness_blends_temperatures(self):
+        hx = HeatExchanger(name="h", effectiveness=0.9)
+        out = hx.secondary_temp_c(primary_c=50.0, secondary_in_c=20.0)
+        assert out == pytest.approx(20.0 + 0.9 * 30.0)
+
+    def test_degraded_effectiveness(self):
+        hx = HeatExchanger(name="h", effectiveness=1.0)
+        hx.degrade(0.5)
+        assert hx.secondary_temp_c(40.0, 20.0) == pytest.approx(30.0)
+
+
+class TestPowerConversion:
+    def test_loss_has_fixed_and_proportional_parts(self):
+        stage = PowerConversion(name="s", efficiency_peak=0.95, fixed_loss_w=100.0)
+        loss = stage.update(10_000.0, 1.0)
+        assert loss == pytest.approx(100.0 + 10_000.0 * 0.05)
+
+    def test_zero_load_still_fixed_loss(self):
+        stage = PowerConversion(name="s", fixed_loss_w=100.0)
+        assert stage.update(0.0, 1.0) == pytest.approx(100.0)
+
+    def test_load_fraction(self):
+        stage = PowerConversion(name="s", capacity_w=1000.0)
+        stage.update(250.0, 1.0)
+        assert stage.load_fraction == 0.25
+
+    def test_disabled_no_loss(self):
+        stage = PowerConversion(name="s")
+        stage.enabled = False
+        assert stage.update(1000.0, 1.0) == 0.0

@@ -1,0 +1,108 @@
+"""Tests for cooling loops, technology switching and the plant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ControlError
+from repro.facility import CoolingLoop, CoolingMode, CoolingPlant, WeatherSample
+
+COLD = WeatherSample(drybulb_c=2.0, wetbulb_c=-1.0, humidity=0.6)
+MILD = WeatherSample(drybulb_c=16.0, wetbulb_c=11.0, humidity=0.6)
+HOT = WeatherSample(drybulb_c=33.0, wetbulb_c=24.0, humidity=0.6)
+
+
+class TestCoolingModeSelection:
+    def test_auto_avoids_chiller_when_cold(self):
+        loop = CoolingLoop(name="l", supply_setpoint_c=18.0)
+        loop.update(5e5, COLD, 60.0)
+        # Both tower and free cooling are feasible; AUTO picks the cheapest
+        # of the two, never the chiller.
+        assert loop.active_mode in (CoolingMode.FREE, CoolingMode.TOWER)
+
+    def test_auto_falls_back_to_chiller_when_hot(self):
+        loop = CoolingLoop(name="l", supply_setpoint_c=16.0)
+        loop.update(5e5, HOT, 60.0)
+        assert loop.active_mode is CoolingMode.CHILLER
+
+    def test_warm_setpoint_widens_free_cooling_window(self):
+        cold_loop = CoolingLoop(name="a", supply_setpoint_c=16.0)
+        warm_loop = CoolingLoop(name="b", supply_setpoint_c=45.0)
+        cold_loop.update(5e5, HOT, 60.0)
+        warm_loop.update(5e5, HOT, 60.0)
+        assert cold_loop.active_mode is CoolingMode.CHILLER
+        assert warm_loop.active_mode is not CoolingMode.CHILLER
+
+    def test_forced_mode_respected_when_feasible(self):
+        loop = CoolingLoop(name="l", supply_setpoint_c=18.0)
+        loop.set_mode(CoolingMode.TOWER)
+        loop.update(5e5, COLD, 60.0)
+        assert loop.active_mode is CoolingMode.TOWER
+
+    def test_forced_infeasible_mode_falls_back_to_chiller(self):
+        loop = CoolingLoop(name="l", supply_setpoint_c=16.0)
+        loop.set_mode(CoolingMode.FREE)
+        loop.update(5e5, HOT, 60.0)
+        assert loop.active_mode is CoolingMode.CHILLER
+
+    def test_free_cooling_cheaper_than_chiller(self):
+        free = CoolingLoop(name="a", supply_setpoint_c=18.0, mode=CoolingMode.FREE)
+        chill = CoolingLoop(name="b", supply_setpoint_c=18.0, mode=CoolingMode.CHILLER)
+        p_free = free.update(5e5, COLD, 60.0)
+        p_chill = chill.update(5e5, COLD, 60.0)
+        assert p_free < p_chill
+
+
+class TestSetpointKnob:
+    def test_setpoint_propagates_to_chiller(self):
+        loop = CoolingLoop(name="l")
+        loop.set_setpoint(30.0)
+        assert loop.chiller.supply_setpoint_c == 30.0
+
+    def test_setpoint_bounds_enforced(self):
+        loop = CoolingLoop(name="l", min_setpoint_c=10.0, max_setpoint_c=50.0)
+        with pytest.raises(ControlError):
+            loop.set_setpoint(5.0)
+        with pytest.raises(ControlError):
+            loop.set_setpoint(55.0)
+
+    def test_raising_setpoint_saves_chiller_power(self):
+        cold = CoolingLoop(name="a", mode=CoolingMode.CHILLER)
+        cold.set_setpoint(14.0)
+        warm = CoolingLoop(name="b", mode=CoolingMode.CHILLER)
+        warm.set_setpoint(40.0)
+        assert warm.update(5e5, MILD, 60.0) < cold.update(5e5, MILD, 60.0)
+
+
+class TestLoopAccounting:
+    def test_pump_power_included(self):
+        loop = CoolingLoop(name="l", mode=CoolingMode.CHILLER)
+        total = loop.update(5e5, MILD, 60.0)
+        assert total > 5e5 / loop.chiller.cop(MILD.drybulb_c)  # more than chiller alone
+
+    def test_idle_technologies_read_zero(self):
+        loop = CoolingLoop(name="l", supply_setpoint_c=18.0, mode=CoolingMode.FREE)
+        loop.update(5e5, COLD, 60.0)
+        assert loop.chiller.power_w == 0.0
+        assert loop.tower.power_w == 0.0
+
+    def test_sensors_mode_encoding(self):
+        loop = CoolingLoop(name="l", supply_setpoint_c=18.0, mode=CoolingMode.FREE)
+        loop.update(5e5, COLD, 60.0)
+        assert loop.sensors()["mode"] == 2.0  # FREE
+
+
+class TestCoolingPlant:
+    def test_load_split_across_loops(self):
+        plant = CoolingPlant([CoolingLoop(name="a"), CoolingLoop(name="b")])
+        plant.update(1e6, MILD, 60.0)
+        assert plant.loop("a").heat_load_w == pytest.approx(5e5)
+        assert plant.loop("b").heat_load_w == pytest.approx(5e5)
+
+    def test_duplicate_loop_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoolingPlant([CoolingLoop(name="a"), CoolingLoop(name="a")])
+
+    def test_unknown_loop(self):
+        with pytest.raises(ConfigurationError):
+            CoolingPlant().loop("nope")

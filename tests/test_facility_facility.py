@@ -1,0 +1,108 @@
+"""Tests for the Facility aggregate and infrastructure fault injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.facility import Facility, FaultInjector, FaultKind
+from repro.facility.sizing import scaled_cooling_plant, scaled_distribution
+
+
+@pytest.fixture
+def facility(rng, sim, trace):
+    fac = Facility(
+        rng,
+        plant=scaled_cooling_plant(1e5),
+        distribution=scaled_distribution(1e5),
+        it_power_source=lambda: 8e4,
+        tick=60.0,
+    )
+    fac.attach(sim, trace)
+    return fac
+
+
+class TestFacility:
+    def test_pue_above_one_under_load(self, facility, sim):
+        sim.run(3600)
+        assert 1.0 < facility.pue_instantaneous < 2.0
+
+    def test_energy_counters_monotone(self, facility, sim):
+        sim.run(1800)
+        first = facility.site_energy_j
+        sim.run(1800)
+        assert facility.site_energy_j > first
+        assert facility.site_energy_j > facility.it_energy_j
+
+    def test_sampler_covers_specs(self, facility, sim):
+        sim.run(120)
+        readings = facility.sampler().scrape(sim.now).as_dict()
+        spec_names = {s.name for s in facility.metric_specs()}
+        assert spec_names == set(readings)
+
+    def test_components_enumeration(self, facility):
+        names = [c.name for c in facility.components()]
+        assert "chiller" in names and "transformer" in names
+
+    def test_idle_pue_infinite(self, rng):
+        fac = Facility(rng)
+        assert fac.pue_instantaneous == float("inf")
+
+    def test_stress_test_raises_load_then_restores(self, facility, sim):
+        sim.run(600)
+        baseline = facility.plant.loops[0].heat_load_w
+        facility.stress_test(sim, duration=300.0)
+        sim.run(120)
+        assert facility.plant.loops[0].heat_load_w > baseline * 1.1
+        sim.run(600)
+        assert facility.plant.loops[0].heat_load_w == pytest.approx(baseline, rel=0.2)
+        kinds = [r.kind for r in facility.trace.select(source="facility")]
+        assert "stress_test_start" in kinds and "stress_test_end" in kinds
+
+
+class TestFaultInjector:
+    def test_degradation_applied_and_cleared(self, facility, sim):
+        chiller = facility.plant.loops[0].chiller
+        injector = facility.fault_injector
+        injector.inject(chiller, FaultKind.DEGRADATION, start=100.0, duration=200.0, severity=0.5)
+        sim.run_until(150.0)
+        assert chiller.health == pytest.approx(0.5)
+        sim.run_until(400.0)
+        assert chiller.health == 1.0
+
+    def test_outage_disables_component(self, facility, sim):
+        pump = facility.plant.loops[0].pump
+        facility.fault_injector.inject(pump, FaultKind.OUTAGE, start=10.0, duration=50.0)
+        sim.run_until(20.0)
+        assert not pump.enabled
+        sim.run_until(100.0)
+        assert pump.enabled
+
+    def test_sensor_drift_biases_telemetry_not_physics(self, facility, sim):
+        pump = facility.plant.loops[0].pump
+        facility.fault_injector.inject(
+            pump, FaultKind.SENSOR_DRIFT, start=10.0, duration=1e6, severity=0.5
+        )
+        sim.run_until(120.0)
+        readings = facility.sampler().scrape(sim.now).as_dict()
+        biased = readings["facility.loop0.pump.power"]
+        assert biased == pytest.approx(pump.power_w * 1.5)
+
+    def test_ground_truth_recorded(self, facility, sim):
+        chiller = facility.plant.loops[0].chiller
+        fault = facility.fault_injector.inject(
+            chiller, FaultKind.DEGRADATION, 100.0, 200.0, 0.4
+        )
+        assert fault.overlaps(150.0, 160.0)
+        assert not fault.overlaps(400.0, 500.0)
+        sim.run_until(150.0)
+        assert facility.fault_injector.active_at(150.0) == [fault]
+
+    def test_inject_random_poisson(self, sim, trace, rng):
+        injector = FaultInjector(sim, trace, rng)
+        from repro.facility import Pump
+
+        components = [Pump(name=f"p{i}") for i in range(5)]
+        faults = injector.inject_random(components, horizon=30 * 86400.0, rate_per_day=1.0)
+        assert len(faults) > 10  # ~30 expected
+        assert all(f.start >= 0 for f in faults)

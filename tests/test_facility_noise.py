@@ -1,0 +1,64 @@
+"""Tests for optional facility sensor noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.facility import Facility
+from repro.facility.sizing import scaled_cooling_plant, scaled_distribution
+
+
+def build(rng, **kwargs):
+    return Facility(
+        rng,
+        plant=scaled_cooling_plant(1e5),
+        distribution=scaled_distribution(1e5),
+        it_power_source=lambda: 8e4,
+        **kwargs,
+    )
+
+
+class TestSensorNoise:
+    def test_default_noise_free(self, rng, sim, trace):
+        facility = build(rng)
+        facility.attach(sim, trace)
+        sim.run(300)
+        a = facility.sampler().scrape(sim.now).as_dict()
+        b = facility.sampler().scrape(sim.now).as_dict()
+        assert a == b  # deterministic without noise
+
+    def test_noise_applies_to_power_sensors_only(self, rng, sim, trace):
+        facility = build(rng, sensor_noise_floor_w=5.0)
+        facility.attach(sim, trace)
+        sim.run(300)
+        a = facility.sampler().scrape(sim.now).as_dict()
+        b = facility.sampler().scrape(sim.now).as_dict()
+        assert a["facility.power.site_power"] != b["facility.power.site_power"]
+        # Non-power sensors stay exact.
+        assert a["facility.weather.drybulb"] == b["facility.weather.drybulb"]
+        assert a["facility.loop0.setpoint"] == b["facility.loop0.setpoint"]
+
+    def test_noise_magnitude_matches_floor(self, rng, sim, trace):
+        facility = build(rng, sensor_noise_floor_w=10.0)
+        facility.attach(sim, trace)
+        sim.run(300)
+        truth = facility.distribution.site_power_w
+        samples = np.array([
+            facility.sampler().scrape(sim.now).as_dict()["facility.power.site_power"]
+            for _ in range(300)
+        ])
+        assert abs(samples.mean() - truth) < 3.0  # unbiased
+        assert 7.0 < samples.std() < 13.0         # sigma ~ the floor
+
+    def test_noise_free_weather_unchanged_by_noise_option(self, sim, trace):
+        """Enabling noise must not perturb the physics trajectory."""
+        results = []
+        for floor in (0.0, 10.0):
+            rng = np.random.default_rng(9)
+            facility = build(rng, sensor_noise_floor_w=floor)
+            local_sim = type(sim)()
+            facility.attach(local_sim, trace)
+            local_sim.run(3600)
+            results.append(facility.current_weather.drybulb_c)
+        assert results[0] == results[1]

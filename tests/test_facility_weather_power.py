@@ -1,0 +1,101 @@
+"""Tests for the weather model and the power-distribution chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.facility import DAY, YEAR, PowerDistribution, WeatherModel
+from repro.facility.sizing import scaled_cooling_plant, scaled_distribution
+
+
+class TestWeatherModel:
+    def test_deterministic_reproducibility(self):
+        a = WeatherModel(np.random.default_rng(1))
+        b = WeatherModel(np.random.default_rng(1))
+        for t in np.linspace(0, DAY, 10):
+            sa, sb = a.sample(t), b.sample(t)
+            assert sa.drybulb_c == sb.drybulb_c
+
+    def test_seasonal_cycle(self):
+        model = WeatherModel(np.random.default_rng(1), seasonal_amp_c=10.0)
+        summer = model.deterministic_drybulb(YEAR / 2)
+        winter = model.deterministic_drybulb(0.0)
+        assert summer - winter > 10.0
+
+    def test_diurnal_cycle(self):
+        model = WeatherModel(np.random.default_rng(1), diurnal_amp_c=5.0)
+        afternoon = model.deterministic_drybulb(13 * 3600.0)
+        night = model.deterministic_drybulb(1 * 3600.0)
+        assert afternoon > night
+
+    def test_wetbulb_below_drybulb(self):
+        model = WeatherModel(np.random.default_rng(1))
+        for t in np.linspace(0, YEAR, 50):
+            sample = model.sample(t)
+            assert sample.wetbulb_c < sample.drybulb_c
+
+    def test_humidity_in_physical_range(self):
+        model = WeatherModel(np.random.default_rng(1))
+        for t in np.linspace(0, YEAR, 50):
+            assert 0.15 <= model.sample(t).humidity <= 0.98
+
+    def test_front_autocorrelation_decays(self):
+        """The AR(1) front decorrelates over timescales >> tau."""
+        model = WeatherModel(np.random.default_rng(1), front_tau_s=1000.0)
+        model.sample(0.0)
+        front0 = model._front
+        model.sample(100.0)   # dt << tau: front barely moves
+        near = abs(model._front - front0)
+        model.sample(1e6)     # dt >> tau: fully decorrelated
+        assert near < 3.0  # small move over 0.1 tau
+
+
+class TestPowerDistribution:
+    def test_site_power_exceeds_loads_by_losses(self):
+        chain = PowerDistribution()
+        site = chain.update(1e6, 2e5, 60.0)
+        assert site > 1.2e6
+        assert site == pytest.approx(1e6 + 2e5 + chain.loss_w)
+
+    def test_losses_grow_with_load(self):
+        chain = PowerDistribution()
+        chain.update(5e5, 1e5, 1.0)
+        low_loss = chain.loss_w
+        chain.update(2e6, 4e5, 1.0)
+        assert chain.loss_w > low_loss
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerDistribution().update(-1.0, 0.0, 1.0)
+
+    def test_sensors_consistent(self):
+        chain = PowerDistribution()
+        chain.update(1e6, 2e5, 1.0)
+        sensors = chain.sensors()
+        assert sensors["site_power"] == pytest.approx(
+            sensors["it_power"] + sensors["cooling_power"] + sensors["loss_power"]
+        )
+
+
+class TestSizing:
+    def test_scaled_plant_capacity_has_headroom(self):
+        plant = scaled_cooling_plant(1e5, loops=2, headroom=1.3)
+        total_capacity = sum(l.chiller.capacity_w for l in plant.loops)
+        assert total_capacity == pytest.approx(1.3e5)
+
+    def test_scaled_distribution_fixed_losses_proportional(self):
+        small = scaled_distribution(1e4)
+        large = scaled_distribution(1e6)
+        assert large.transformer.fixed_loss_w == pytest.approx(
+            small.transformer.fixed_loss_w * 100
+        )
+
+    def test_scaled_plant_reasonable_pue_overhead(self):
+        """Cooling power stays a sane fraction of IT power at design load."""
+        from repro.facility import WeatherSample
+
+        plant = scaled_cooling_plant(1e5)
+        cooling = plant.update(1e5, WeatherSample(25.0, 18.0, 0.6), 60.0)
+        assert cooling < 0.5 * 1e5

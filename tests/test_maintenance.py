@@ -1,0 +1,154 @@
+"""Tests for scheduler drain/requeue and proactive maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.prescriptive import ProactiveMaintenance
+from repro.apps import default_catalog
+from repro.apps.generator import JobRequest
+from repro.cluster import NodeFaultKind, build_system
+from repro.errors import SchedulingError
+from repro.oda import DataCenter
+from repro.software import JobState, Scheduler
+
+
+def request(job_id, nodes=2, work=20_000.0, wall=86_400.0):
+    return JobRequest(
+        job_id=job_id, submit_time=0.0, user="u",
+        profile=default_catalog().get("cfd_solver"),
+        nodes=nodes, work_s=work, walltime_req_s=wall,
+    )
+
+
+@pytest.fixture
+def setup(sim, trace, rng):
+    system = build_system(racks=1, nodes_per_rack=8)
+    system.attach(sim, trace, rng)
+    scheduler = Scheduler(system, tick=60.0)
+    scheduler.attach(sim, trace)
+    return sim, system, scheduler
+
+
+class TestDrain:
+    def test_drained_node_not_allocated(self, setup):
+        sim, system, scheduler = setup
+        scheduler.drain("r0n0", sim.now)
+        scheduler.submit(request("a", nodes=8))
+        sim.run(600)
+        assert scheduler.jobs["a"].state is JobState.PENDING  # 7 free < 8
+
+    def test_undrain_restores(self, setup):
+        sim, system, scheduler = setup
+        scheduler.drain("r0n0", sim.now)
+        scheduler.undrain("r0n0", sim.now)
+        scheduler.submit(request("a", nodes=8))
+        sim.run(600)
+        assert scheduler.jobs["a"].state is JobState.RUNNING
+
+    def test_drain_traced(self, setup, trace):
+        sim, _, scheduler = setup
+        scheduler.drain("r0n3", sim.now)
+        assert trace.select(kind="node_drain")
+
+    def test_drain_unknown_node(self, setup):
+        sim, _, scheduler = setup
+        with pytest.raises(Exception):
+            scheduler.drain("bogus", sim.now)
+
+
+class TestRequeue:
+    def test_requeue_keeps_progress(self, setup):
+        sim, _, scheduler = setup
+        scheduler.submit(request("a", nodes=2, work=50_000.0))
+        sim.run(3600)
+        job = scheduler.jobs["a"]
+        progress = job.work_done_s
+        assert progress > 1000.0
+        scheduler.requeue("a", sim.now, keep_progress=True)
+        assert job.state is JobState.PENDING
+        assert job.work_done_s == progress
+        sim.run(300)
+        assert job.state is JobState.RUNNING  # restarted on free nodes
+
+    def test_requeue_without_progress(self, setup):
+        sim, _, scheduler = setup
+        scheduler.submit(request("a", nodes=2, work=50_000.0))
+        sim.run(3600)
+        scheduler.requeue("a", sim.now, keep_progress=False)
+        assert scheduler.jobs["a"].work_done_s == 0.0
+
+    def test_requeue_pending_rejected(self, setup):
+        sim, _, scheduler = setup
+        scheduler.drain("r0n0", sim.now)  # keep the job queued
+        for name in [f"r0n{i}" for i in range(1, 8)]:
+            scheduler.drain(name, sim.now)
+        scheduler.submit(request("a"))
+        sim.run(120)
+        with pytest.raises(SchedulingError):
+            scheduler.requeue("a", sim.now)
+
+
+class TestResubmitFailed:
+    def test_failed_job_restarts_from_scratch(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=4)
+        system.attach(sim, trace, rng)
+        scheduler = Scheduler(system, tick=60.0, resubmit_failed=True)
+        scheduler.attach(sim, trace)
+        scheduler.submit(request("a", nodes=2, work=50_000.0))
+        sim.run(3600)
+        job = scheduler.jobs["a"]
+        victim = job.assigned_nodes[0]
+        system.node(victim).fail()
+        sim.run(300)
+        assert job.state is JobState.PENDING or job.state is JobState.RUNNING
+        assert job.restarts == 1
+        assert trace.select(kind="job_restart")
+
+    def test_max_restarts_enforced(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=4)
+        system.attach(sim, trace, rng)
+        scheduler = Scheduler(system, tick=60.0, resubmit_failed=True, max_restarts=1)
+        scheduler.attach(sim, trace)
+        scheduler.submit(request("a", nodes=4, work=500_000.0))
+        for _ in range(2):
+            sim.run(600)
+            job = scheduler.jobs["a"]
+            if job.assigned_nodes:
+                system.node(job.assigned_nodes[0]).fail()
+            sim.run(300)
+            for node in system.nodes:
+                node.restore()
+        assert scheduler.jobs["a"].state is JobState.FAILED
+
+
+class TestProactiveMaintenance:
+    def test_evacuates_before_predicted_crash(self):
+        dc = DataCenter(seed=5, racks=1, nodes_per_rack=8, enable_faults=True)
+        dc.scheduler.resubmit_failed = True
+        maintenance = ProactiveMaintenance(dc.scheduler, dc.store, period=600.0)
+        maintenance.attach(dc.sim, dc.trace)
+        dc.scheduler.submit(request("a", nodes=8, work=400_000.0), 0.0)
+        dc.run(seconds=600)
+        # Force a pending crash with an ECC ramp on a job node.
+        victim = dc.scheduler.jobs["a"].assigned_nodes[0]
+        dc.system.fault_model._pending_crash[victim] = dc.sim.now + 2 * 3600.0
+        dc.run(seconds=3 * 3600.0)
+        assert maintenance.drains >= 1
+        assert maintenance.evacuations >= 1
+        assert dc.trace.select(kind="job_requeue")
+        # The job survived the crash (never lost its progress).
+        assert dc.scheduler.jobs["a"].restarts == 0
+
+    def test_repaired_node_undrained(self):
+        dc = DataCenter(seed=6, racks=1, nodes_per_rack=4, enable_faults=True)
+        maintenance = ProactiveMaintenance(dc.scheduler, dc.store, period=600.0)
+        maintenance.attach(dc.sim, dc.trace)
+        victim = dc.system.nodes[0]
+        dc.system.fault_model._pending_crash[victim.name] = dc.sim.now + 3600.0
+        dc.run(seconds=2 * 3600.0)   # drains, then node crashes
+        assert victim.name in dc.scheduler.drained or not victim.up
+        dc.run(seconds=10 * 3600.0)  # repair (exp mttr 6h) then undrain
+        if victim.up:
+            assert victim.name not in dc.scheduler.drained

@@ -1,0 +1,319 @@
+"""Tests for predictive analytics: regression, forecasting, jobs, failures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.predictive import (
+    ARForecaster,
+    CoolingPerformanceModel,
+    ExponentialSmoothing,
+    FourierForecaster,
+    HoltWinters,
+    JobDurationPredictor,
+    KpiForecaster,
+    LinearRegression,
+    NaiveForecaster,
+    PractiseEnsemble,
+    ResourceClassPredictor,
+    RidgeRegression,
+    SeasonalNaiveForecaster,
+    detect_ramps,
+    forecast_skill,
+    mae,
+    mape,
+    polynomial_features,
+    rmse,
+    rolling_origin_backtest,
+    submission_features,
+)
+from repro.apps import default_catalog
+from repro.apps.generator import JobRequest
+from repro.errors import InsufficientDataError, NotFittedError
+from repro.software.jobs import Job, JobState
+from repro.telemetry import TimeSeriesStore
+
+
+def seasonal_series(n=600, period=48, noise=0.2, trend=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 10 + 3 * np.sin(2 * np.pi * t / period) + trend * t + rng.normal(0, noise, n)
+
+
+class TestRegression:
+    def test_ols_recovers_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (200, 2))
+        y = 3.0 * X[:, 0] - 1.5 * X[:, 1] + 4.0
+        model = LinearRegression().fit(X, y)
+        assert model.coef_ == pytest.approx([3.0, -1.5], abs=1e-9)
+        assert model.intercept_ == pytest.approx(4.0)
+        assert model.score(X, y) == pytest.approx(1.0)
+
+    def test_ridge_shrinks_toward_zero(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (100, 1))
+        y = 5.0 * X[:, 0]
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=100.0).fit(X, y)
+        assert abs(ridge.coef_[0]) < abs(ols.coef_[0])
+
+    def test_ridge_intercept_unpenalized(self):
+        X = np.zeros((50, 1))
+        y = np.full(50, 7.0)
+        model = RidgeRegression(alpha=10.0).fit(X, y)
+        assert model.predict(np.zeros((1, 1)))[0] == pytest.approx(7.0)
+
+    def test_1d_input_accepted(self):
+        x = np.arange(50.0)
+        model = LinearRegression().fit(x, 2 * x)
+        assert model.predict(np.array([100.0]))[0] == pytest.approx(200.0)
+
+    def test_polynomial_features(self):
+        out = polynomial_features(np.array([[2.0]]), degree=3)
+        assert out.tolist() == [[2.0, 4.0, 8.0]]
+
+    def test_insufficient_samples(self):
+        with pytest.raises(InsufficientDataError):
+            LinearRegression().fit(np.ones((2, 3)), np.ones(2))
+
+
+class TestForecasters:
+    def test_naive_persists_last(self):
+        model = NaiveForecaster().fit(np.array([1.0, 2.0, 3.0]))
+        assert (model.forecast(4) == 3.0).all()
+
+    def test_seasonal_naive_repeats_season(self):
+        values = np.tile(np.array([1.0, 2.0, 3.0]), 4)
+        model = SeasonalNaiveForecaster(period=3).fit(values)
+        assert model.forecast(5).tolist() == [1.0, 2.0, 3.0, 1.0, 2.0]
+
+    def test_exponential_smoothing_level(self):
+        model = ExponentialSmoothing(alpha=1.0).fit(np.array([1.0, 9.0]))
+        assert (model.forecast(2) == 9.0).all()
+
+    def test_holtwinters_beats_naive_on_seasonal(self):
+        values = seasonal_series()
+        result_hw = rolling_origin_backtest(
+            values, lambda: HoltWinters(period=48), horizon=48, min_train=200
+        )
+        assert result_hw["skill"] > 0.3
+
+    def test_holtwinters_tracks_trend(self):
+        values = seasonal_series(trend=0.01)
+        model = HoltWinters(period=48).fit(values)
+        forecast = model.forecast(96)
+        assert forecast[-1] > forecast[0]  # the trend continues
+
+    def test_ar_on_ar_process(self):
+        rng = np.random.default_rng(0)
+        values = np.zeros(500)
+        for i in range(1, 500):
+            values[i] = 0.9 * values[i - 1] + rng.normal(0, 0.1)
+        result = rolling_origin_backtest(
+            values, lambda: ARForecaster(lags=5), horizon=5, min_train=100
+        )
+        assert result["mae"] < 0.5
+
+    def test_ensemble_weights_sum_to_one(self):
+        ensemble = PractiseEnsemble(period=48).fit(seasonal_series())
+        assert sum(ensemble.model_weights.values()) == pytest.approx(1.0)
+
+    def test_ensemble_competitive_with_best_member(self):
+        values = seasonal_series()
+        ens = rolling_origin_backtest(
+            values, lambda: PractiseEnsemble(period=48), horizon=48, min_train=300
+        )
+        assert ens["skill"] > 0.2
+
+    def test_not_fitted_errors(self):
+        for model in (NaiveForecaster(), HoltWinters(4), ARForecaster(2),
+                      SeasonalNaiveForecaster(4), PractiseEnsemble(4)):
+            with pytest.raises(NotFittedError):
+                model.forecast(1)
+
+
+class TestFourier:
+    def test_recovers_pure_harmonic(self):
+        t = np.arange(0.0, 4000.0, 10.0)
+        y = 100 + 20 * np.sin(2 * np.pi * t / 500.0)
+        # detrend=False: a pure periodic signal on an integer number of
+        # cycles is recovered exactly; the trend fit would add leakage.
+        model = FourierForecaster(n_harmonics=3, detrend=False).fit(t, y)
+        future_t = np.arange(4000.0, 4500.0, 10.0)
+        expected = 100 + 20 * np.sin(2 * np.pi * future_t / 500.0)
+        assert mae(expected, model.predict(future_t)) < 1.0
+
+    def test_detrending(self):
+        t = np.arange(0.0, 2000.0, 10.0)
+        y = 0.05 * t + 10 * np.sin(2 * np.pi * t / 200.0)
+        model = FourierForecaster(n_harmonics=2).fit(t, y)
+        future = model.predict(np.array([2500.0]))
+        assert future[0] > 100.0  # trend extrapolated
+
+    def test_irregular_sampling_rejected(self):
+        t = np.array([0.0, 1.0, 2.0, 10.0, 11.0, 12.0, 13.0, 14.0])
+        with pytest.raises(InsufficientDataError):
+            FourierForecaster().fit(t, np.ones_like(t))
+
+    def test_detect_ramps_finds_step(self):
+        t = np.arange(0.0, 3600.0, 60.0)
+        watts = np.full(t.size, 1e6)
+        watts[t >= 1800] = 2e6  # 1 MW step
+        events = detect_ramps(t, watts, threshold_w=750e3, window_s=900.0)
+        assert len(events) == 1
+        assert events[0].direction == "up"
+        assert events[0].delta_w == pytest.approx(1e6)
+
+    def test_detect_ramps_ignores_slow_drift(self):
+        t = np.arange(0.0, 86400.0, 60.0)
+        watts = 1e6 + t * 5.0  # +5 W/s -> 4.5 kW per 15 min
+        assert detect_ramps(t, watts, threshold_w=750e3) == []
+
+    def test_ramp_direction_down(self):
+        t = np.arange(0.0, 3600.0, 60.0)
+        watts = np.full(t.size, 2e6)
+        watts[t >= 1800] = 1e6
+        events = detect_ramps(t, watts, threshold_w=750e3)
+        assert events[0].direction == "down"
+
+
+def completed_job(job_id, user, profile_name, runtime, submit=0.0, nodes=2, wall=None):
+    profile = default_catalog().get(profile_name)
+    request = JobRequest(
+        job_id=job_id, submit_time=submit, user=user, profile=profile,
+        nodes=nodes, work_s=runtime, walltime_req_s=wall or runtime * 2,
+    )
+    job = Job(request)
+    job.start(submit + 10.0, [f"n{i}" for i in range(nodes)])
+    job.finish(submit + 10.0 + runtime, JobState.COMPLETED)
+    return job
+
+
+class TestJobPrediction:
+    def test_history_dominates_for_known_user_app(self):
+        jobs = [
+            completed_job(f"j{i}", "alice", "cfd_solver", runtime=3600.0, submit=i * 100.0)
+            for i in range(10)
+        ]
+        predictor = JobDurationPredictor().fit(jobs)
+        request = JobRequest(
+            job_id="new", submit_time=2000.0, user="alice",
+            profile=default_catalog().get("cfd_solver"),
+            nodes=2, work_s=1.0, walltime_req_s=20_000.0,
+        )
+        assert predictor.predict(request) == pytest.approx(3600.0)
+
+    def test_fallback_walltime_fraction_unfitted(self):
+        predictor = JobDurationPredictor(walltime_fraction=0.4)
+        request = JobRequest(
+            job_id="x", submit_time=0.0, user="bob",
+            profile=default_catalog().get("md_sim"),
+            nodes=1, work_s=1.0, walltime_req_s=10_000.0,
+        )
+        assert predictor.predict(request) == pytest.approx(4000.0)
+
+    def test_evaluate_improves_over_time(self):
+        rng = np.random.default_rng(0)
+        jobs = []
+        for i in range(40):
+            user = f"user{i % 4}"
+            runtime = 1800.0 * (1 + (i % 4)) * float(rng.lognormal(0, 0.05))
+            jobs.append(completed_job(f"j{i}", user, "cfd_solver", runtime, submit=i * 50.0))
+        predictor = JobDurationPredictor().fit(jobs[:20])
+        metrics = predictor.evaluate(jobs[20:])
+        assert metrics["mape"] < 0.3  # per-user history is a strong signal
+
+    def test_fit_requires_enough_jobs(self):
+        with pytest.raises(InsufficientDataError):
+            JobDurationPredictor().fit([])
+
+    def test_resource_class_predictor(self):
+        rng = np.random.default_rng(1)
+        requests, usage = [], []
+        for i in range(60):
+            profile = default_catalog().get("cfd_solver" if i % 2 else "genomics_pipeline")
+            nodes = 1 + (i % 4)
+            requests.append(JobRequest(
+                job_id=f"j{i}", submit_time=float(i), user="u",
+                profile=profile, nodes=nodes, work_s=100.0, walltime_req_s=200.0 * nodes,
+            ))
+            usage.append(nodes * 100.0 + rng.normal(0, 5))
+        model = ResourceClassPredictor(n_classes=3, seed=0).fit(requests, np.array(usage))
+        predicted = model.predict(requests)
+        truth = model.classify_usage(np.array(usage))
+        assert (predicted == truth).mean() > 0.7
+
+    def test_submission_features_no_oracle(self):
+        request = JobRequest(
+            job_id="j", submit_time=3600.0 * 30, user="u",
+            profile=default_catalog().get("md_sim"),
+            nodes=4, work_s=123.0, walltime_req_s=999.0,
+        )
+        features = submission_features(request)
+        assert 123.0 not in features.tolist()  # true work never leaks
+
+
+class TestKpiForecaster:
+    def make_store(self):
+        store = TimeSeriesStore()
+        t = np.arange(0.0, 10 * 86400.0, 600.0)
+        values = 1000 + 200 * np.sin(2 * np.pi * t / 86400.0)
+        store.append_many("kpi", t, values + np.random.default_rng(0).normal(0, 10, t.size))
+        return store
+
+    def test_beats_persistence_on_diurnal_kpi(self):
+        store = self.make_store()
+        model = KpiForecaster(lags=24, horizon=6, step=600.0)
+        model.fit(store, "kpi", 0.0, 7 * 86400.0)
+        result = model.backtest(store, "kpi", 7 * 86400.0, 10 * 86400.0)
+        assert result["skill"] > 0.3
+
+    def test_predict_from_recent(self):
+        store = self.make_store()
+        model = KpiForecaster(lags=24, horizon=6, step=600.0)
+        model.fit(store, "kpi", 0.0, 7 * 86400.0)
+        _, recent = store.query("kpi", 6 * 86400.0, 7 * 86400.0)
+        prediction = model.predict_from(recent, 7 * 86400.0)
+        assert 600 < prediction < 1400
+
+
+class TestEvaluationHelpers:
+    def test_metrics_basic(self):
+        a = np.array([1.0, 2.0, 3.0])
+        p = np.array([1.0, 2.0, 5.0])
+        assert mae(a, p) == pytest.approx(2 / 3)
+        assert rmse(a, p) == pytest.approx(np.sqrt(4 / 3))
+        assert mape(a, p) == pytest.approx((0 + 0 + 2 / 3) / 3)
+
+    def test_skill_positive_when_better(self):
+        actual = np.array([1.0, 1.0])
+        assert forecast_skill(actual, actual, np.array([2.0, 2.0])) == 1.0
+
+    def test_backtest_insufficient(self):
+        with pytest.raises(InsufficientDataError):
+            rolling_origin_backtest(np.ones(10), NaiveForecaster, horizon=5, min_train=50)
+
+
+class TestCoolingModel:
+    def test_learned_setpoint_sensitivity_direction(self):
+        """Higher setpoint -> lower chiller power; the model must learn it."""
+        rng = np.random.default_rng(0)
+        n = 300
+        heat = rng.uniform(4e4, 9e4, n)
+        dry = rng.uniform(10, 30, n)
+        wet = dry - 5
+        setpoint = rng.uniform(14, 38, n)
+        # Physics-like target: power ~ heat / cop, cop rises with setpoint.
+        cop = 4.0 + 0.15 * (setpoint - 16) - 0.05 * (dry - 15)
+        power = heat / np.clip(cop, 1.0, None) + rng.normal(0, 200, n)
+        model = CoolingPerformanceModel().fit(
+            np.column_stack([heat, dry, wet, setpoint]), power
+        )
+        sweep = model.setpoint_sensitivity(7e4, 20.0, 15.0, np.array([16.0, 30.0]))
+        assert sweep[1] < sweep[0]
+
+    def test_fit_from_store_requires_data(self):
+        with pytest.raises(Exception):
+            CoolingPerformanceModel().fit_from_store(TimeSeriesStore(), 0.0, 1.0)

@@ -1,0 +1,373 @@
+"""Tests for prescriptive analytics: control, cooling, DVFS, scheduling, tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.predictive.cooling import CoolingPerformanceModel
+from repro.analytics.prescriptive import (
+    AnnealingTuner,
+    CodeAdvisor,
+    ControlAction,
+    ControlLoop,
+    CoolingAwarePolicy,
+    EnergyBudgetPolicy,
+    GridSearchTuner,
+    HillClimbTuner,
+    ModeSwitcher,
+    PhasePredictor,
+    PidController,
+    PlanBasedPolicy,
+    PowerAwarePolicy,
+    PowerCapGovernor,
+    ProactiveEnergyGovernor,
+    RandomSearchTuner,
+    ReactiveEnergyGovernor,
+    SetpointManager,
+    SetpointOptimizer,
+    TopologyAwarePolicy,
+    TuningSpace,
+    build_plan,
+)
+from repro.apps import default_catalog, profile_regions
+from repro.apps.generator import JobRequest
+from repro.cluster import ComputeNode, build_system
+from repro.errors import ControlError
+from repro.software import Job, NodeRuntime, Scheduler, SchedulingContext
+from repro.software.jobs import JobState
+
+
+class TestPid:
+    def test_proportional_only(self):
+        pid = PidController(kp=2.0)
+        assert pid.update(error=3.0, dt=1.0) == 6.0
+
+    def test_integral_accumulates(self):
+        pid = PidController(kp=0.0, ki=1.0)
+        pid.update(1.0, dt=1.0)
+        assert pid.update(1.0, dt=1.0) == pytest.approx(2.0)
+
+    def test_output_clamped_with_antiwindup(self):
+        pid = PidController(kp=0.0, ki=1.0, out_max=2.0)
+        for _ in range(100):
+            out = pid.update(10.0, dt=1.0)
+        assert out == 2.0
+        # After the error flips, recovery is immediate (no windup debt).
+        assert pid.update(-10.0, dt=1.0) < 2.0
+
+    def test_derivative_term(self):
+        pid = PidController(kp=0.0, kd=1.0)
+        pid.update(0.0, dt=1.0)
+        assert pid.update(2.0, dt=1.0) == pytest.approx(2.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ControlError):
+            PidController(kp=1.0, out_min=1.0, out_max=0.0)
+
+
+class TestSetpointManager:
+    def test_rate_limited(self):
+        applied = []
+        manager = SetpointManager(applied.append, initial=20.0, lo=10.0, hi=40.0, max_step=2.0)
+        assert manager.request(30.0) == 22.0
+        assert manager.request(30.0) == 24.0
+        assert applied == [22.0, 24.0]
+
+    def test_range_clamped(self):
+        manager = SetpointManager(lambda v: None, initial=20.0, lo=10.0, hi=25.0, max_step=100.0)
+        assert manager.request(99.0) == 25.0
+
+    def test_noop_request_not_counted(self):
+        manager = SetpointManager(lambda v: None, initial=20.0, lo=10.0, hi=40.0, max_step=2.0)
+        manager.request(20.0)
+        assert manager.actuations == 0
+
+
+class TestControlLoop:
+    def test_periodic_decisions_recorded(self, sim, trace):
+        def decide(now, recommend_only):
+            return [ControlAction(now, "c", "knob", 1.0, "test")]
+
+        loop = ControlLoop("c", decide, period=100.0)
+        loop.attach(sim, trace)
+        sim.run(350)
+        assert len(loop.actions) == 3
+        assert len(trace.select(kind="control_action")) == 3
+
+    def test_recommend_only_flag_passed(self, sim, trace):
+        seen = []
+        loop = ControlLoop("c", lambda now, ro: seen.append(ro) or [], period=50.0,
+                           recommend_only=True)
+        loop.attach(sim, trace)
+        sim.run(60)
+        assert seen == [True]
+
+
+class TestDvfsGovernors:
+    def _node(self, compute_fraction, util=0.9):
+        from repro.cluster.node import NodeLoad
+
+        node = ComputeNode("n")
+        node.assign("job1", NodeLoad(cpu_util=util, compute_fraction=compute_fraction))
+        node.update(30.0)
+        return node
+
+    def test_reactive_clocks_down_memory_bound(self):
+        node = self._node(compute_fraction=0.1)
+        governor = ReactiveEnergyGovernor()
+        assert governor.decide(node, node.counters(), 0.0) == governor.low_ghz
+
+    def test_reactive_full_speed_compute_bound(self):
+        node = self._node(compute_fraction=0.95)
+        governor = ReactiveEnergyGovernor()
+        assert governor.decide(node, node.counters(), 0.0) == node.cpu.nominal_ghz
+
+    def test_reactive_parks_idle_nodes(self):
+        node = ComputeNode("n")
+        node.update(30.0)
+        governor = ReactiveEnergyGovernor()
+        assert governor.decide(node, node.counters(), 0.0) == governor.low_ghz
+
+    def test_phase_predictor_learns_transition(self):
+        predictor = PhasePredictor()
+        # Phase A (compute) for 100 s, then phase B (memory), repeated.
+        for cycle in range(3):
+            base = cycle * 160.0
+            for t in (0.0, 50.0):
+                predictor.observe("n", "app", "A", compute_fraction=0.1, now=base + t)
+            for t in (100.0, 150.0):
+                predictor.observe("n", "app", "B", compute_fraction=0.9, now=base + t)
+        # Near the end of an A phase, the predictor anticipates B's fraction.
+        predictor.observe("n", "app", "A", compute_fraction=0.1, now=500.0)
+        prediction = predictor.predict_next("n", now=590.0, lookahead=30.0)
+        assert prediction is not None
+
+    def test_power_cap_governor_steps_down_over_cap(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=4)
+        system.attach(sim, trace, rng)
+        from repro.cluster.node import NodeLoad
+
+        system.apply_loads({
+            f"r0n{i}": ("j", NodeLoad(cpu_util=0.95, compute_fraction=0.9))
+            for i in range(4)
+        })
+        sim.run(120)
+        governor = PowerCapGovernor(system, cap_w=system.it_power_w * 0.5)
+        runtime = NodeRuntime(system, governor, period=60.0)
+        runtime.attach(sim, trace)
+        before = [n.frequency_ghz for n in system.nodes]
+        sim.run(120)
+        after = [n.frequency_ghz for n in system.nodes]
+        assert all(a <= b for a, b in zip(after, before))
+        assert any(a < b for a, b in zip(after, before))
+
+
+class TestSchedulingPolicies:
+    def _ctx(self, pending, running=(), racks=1, nodes=8):
+        system = build_system(racks=racks, nodes_per_rack=nodes)
+        free = [n.name for n in system.nodes]
+        busy = {name for job in running for name in job.assigned_nodes}
+        return SchedulingContext(
+            now=0.0, system=system,
+            free_nodes=[n for n in free if n not in busy],
+            pending=list(pending), running=list(running),
+        )
+
+    def _job(self, job_id, nodes=2, wall=3600.0, profile="cfd_solver"):
+        return Job(JobRequest(
+            job_id=job_id, submit_time=0.0, user="u",
+            profile=default_catalog().get(profile),
+            nodes=nodes, work_s=wall / 2, walltime_req_s=wall,
+        ))
+
+    def test_power_aware_denies_over_budget(self):
+        ctx = self._ctx([self._job("a", 4), self._job("b", 4)])
+        # Budget above current draw fits roughly one 4-node job.
+        per_job = 4 * 420.0
+        policy = PowerAwarePolicy(power_cap_w=ctx.system.it_power_w + per_job)
+        allocations = policy.select(ctx)
+        assert len(allocations) == 1
+        assert policy.denied_for_power >= 1
+
+    def test_power_aware_unconstrained_equals_backfill(self):
+        jobs = [self._job("a", 2), self._job("b", 2)]
+        generous = PowerAwarePolicy(power_cap_w=1e9).select(self._ctx(jobs))
+        assert [a.job.job_id for a in generous] == ["a", "b"]
+
+    def test_energy_budget_policy_gates(self):
+        meter = {"v": 0.0}
+        policy = EnergyBudgetPolicy(
+            budget_j=1.0, window_s=3600.0, energy_meter=lambda: meter["v"]
+        )
+        allocations = policy.select(self._ctx([self._job("a", 2)]))
+        assert allocations == []  # ~0 W ceiling blocks everything
+        assert policy.denied_for_energy == 1
+
+    def test_cooling_aware_picks_coolest(self):
+        ctx = self._ctx([self._job("a", 2)])
+        for i, node in enumerate(ctx.system.nodes):
+            node.inlet_temp_c = 18.0 + i
+        allocations = CoolingAwarePolicy().select(ctx)
+        assert set(allocations[0].node_names) == {"r0n0", "r0n1"}
+
+    def test_topology_aware_packs_one_leaf(self):
+        ctx = self._ctx([self._job("a", 4)], racks=2, nodes=8)
+        allocations = TopologyAwarePolicy().select(ctx)
+        leaves = {ctx.system.fabric.leaf_of(n) for n in allocations[0].node_names}
+        assert len(leaves) == 1
+
+    def test_plan_based_builds_and_executes(self):
+        jobs = [self._job("a", 4), self._job("b", 4), self._job("c", 4)]
+        ctx = self._ctx(jobs)
+        policy = PlanBasedPolicy(predictor=lambda job: job.request.walltime_req_s / 2)
+        allocations = policy.select(ctx)
+        # 8 free nodes: a and b start now; c is planned for later.
+        assert {a.job.job_id for a in allocations} == {"a", "b"}
+        assert policy.plan is not None
+        planned = {s.job_id for s in policy.plan.starts}
+        assert planned == {"a", "b", "c"}
+        assert policy.plan.makespan > 0
+
+    def test_plan_utilization_and_due(self):
+        jobs = [self._job("a", 8), self._job("b", 8)]
+        ctx = self._ctx(jobs)
+        plan = build_plan(ctx, predictor=lambda job: 100.0)
+        assert plan.predicted_utilization(8) == pytest.approx(1.0)
+        due_now = plan.starts_due(0.0, {"a", "b"})
+        assert [s.job_id for s in due_now] == ["a"]
+
+
+class TestSetpointOptimizerAndSwitcher:
+    def test_optimizer_prefers_warm_when_model_says_so(self, rng, sim, trace):
+        from repro.facility import Facility
+        from repro.facility.sizing import scaled_cooling_plant, scaled_distribution
+
+        facility = Facility(
+            rng, plant=scaled_cooling_plant(1e5),
+            distribution=scaled_distribution(1e5),
+            it_power_source=lambda: 8e4,
+        )
+        facility.attach(sim, trace)
+        sim.run(600)
+        # Synthetic model: warmer is cheaper (chiller physics).
+        n = 200
+        rng2 = np.random.default_rng(0)
+        heat = rng2.uniform(4e4, 9e4, n)
+        dry = rng2.uniform(10, 30, n)
+        setpoint = rng2.uniform(14, 38, n)
+        power = heat / (3 + 0.2 * (setpoint - 14)) + rng2.normal(0, 100, n)
+        model = CoolingPerformanceModel().fit(
+            np.column_stack([heat, dry, dry - 5, setpoint]), power
+        )
+        optimizer = SetpointOptimizer(
+            facility, facility.plant.loops[0], model, max_inlet_c=45.0
+        )
+        assert optimizer.best_setpoint() >= 30.0
+
+    def test_optimizer_respects_inlet_ceiling(self, rng, sim, trace):
+        from repro.facility import Facility
+
+        facility = Facility(rng, it_power_source=lambda: 5e5)
+        facility.attach(sim, trace)
+        sim.run(300)
+        model = CoolingPerformanceModel().fit(
+            np.column_stack([
+                np.full(50, 5e5), np.full(50, 20.0), np.full(50, 15.0),
+                np.linspace(14, 38, 50),
+            ]),
+            -np.linspace(14, 38, 50),  # warmer always "cheaper"
+        )
+        optimizer = SetpointOptimizer(
+            facility, facility.plant.loops[0], model,
+            max_inlet_c=25.0, rack_offset_c=2.0,
+        )
+        assert optimizer.best_setpoint() <= 23.0
+
+    def test_mode_switcher_switches_with_weather(self, rng, sim, trace):
+        from repro.facility import CoolingMode, Facility
+
+        facility = Facility(rng, it_power_source=lambda: 5e5)
+        facility.plant.loops[0].set_mode(CoolingMode.CHILLER)
+        facility.plant.loops[0].set_setpoint(30.0)  # warm-water loop
+        facility.attach(sim, trace)
+        switcher = ModeSwitcher(facility, facility.plant.loops[0], period=300.0)
+        switcher.control_loop.attach(sim, trace)
+        sim.run(3600)
+        # With a 30 C setpoint and ~winter weather, economized cooling wins.
+        assert facility.plant.loops[0].mode in (CoolingMode.FREE, CoolingMode.TOWER)
+        assert switcher.control_loop.actions
+
+
+class TestAutotuners:
+    @pytest.fixture
+    def space(self):
+        return TuningSpace({
+            "freq": (1.2, 1.6, 2.0, 2.4),
+            "block": (16, 32, 64, 128),
+            "threads": (1, 2, 4, 8),
+        })
+
+    @staticmethod
+    def objective(config):
+        # Smooth bowl with optimum at (2.0, 64, 4).
+        return (
+            (config["freq"] - 2.0) ** 2
+            + (np.log2(config["block"]) - 6.0) ** 2 * 0.1
+            + (np.log2(config["threads"]) - 2.0) ** 2 * 0.1
+        )
+
+    def test_space_size_and_grid(self, space):
+        assert space.size == 64
+        assert len(list(space.grid())) == 64
+
+    def test_grid_finds_optimum(self, space):
+        result = GridSearchTuner(space, budget=64).tune(self.objective)
+        assert result.best_config["freq"] == 2.0
+        assert result.best_config["block"] == 64
+
+    @pytest.mark.parametrize("tuner_cls", [RandomSearchTuner, HillClimbTuner, AnnealingTuner])
+    def test_heuristics_close_to_optimum(self, space, tuner_cls):
+        result = tuner_cls(space, budget=40, seed=3).tune(self.objective)
+        optimum = GridSearchTuner(space, budget=64).tune(self.objective).best_score
+        assert result.best_score <= optimum + 0.5
+        assert result.evaluations <= 40
+
+    def test_neighbors_differ_by_one_step(self, space):
+        config = {"freq": 1.6, "block": 32, "threads": 2}
+        for neighbor in space.neighbors(config):
+            diffs = [k for k in config if neighbor[k] != config[k]]
+            assert len(diffs) == 1
+
+
+class TestCodeAdvisor:
+    def test_memory_bound_app_gets_locality_advice(self):
+        regions = profile_regions(default_catalog().get("graph_analytics"))
+        recommendations = CodeAdvisor().advise(regions)
+        assert any("locality" in r.title for r in recommendations)
+
+    def test_io_heavy_app_gets_io_advice(self):
+        regions = profile_regions(default_catalog().get("genomics_pipeline"))
+        recommendations = CodeAdvisor().advise(regions)
+        assert any("I/O" in r.title for r in recommendations)
+
+    def test_priorities_sorted(self):
+        regions = profile_regions(default_catalog().get("climate_model"))
+        recommendations = CodeAdvisor().advise(regions)
+        priorities = [r.priority for r in recommendations]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_report_format(self):
+        regions = profile_regions(default_catalog().get("graph_analytics"))
+        report = CodeAdvisor().report(regions)
+        assert "1." in report
+
+    def test_custom_rule(self):
+        advisor = CodeAdvisor()
+        from repro.analytics.prescriptive.recommend import Recommendation
+
+        advisor.add_rule(lambda region, roofline: Recommendation(
+            region=region.region, priority=1.0, title="always", detail="x"
+        ))
+        regions = profile_regions(default_catalog().get("md_sim"))
+        assert any(r.title == "always" for r in advisor.advise(regions))

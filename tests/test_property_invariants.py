@@ -1,0 +1,173 @@
+"""Hypothesis property tests on substrate and scheduling invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import default_catalog
+from repro.apps.generator import JobRequest
+from repro.cluster import ComputeNode, NodeLoad, build_system
+from repro.facility import CoolingLoop, CoolingMode, WeatherSample
+from repro.facility.sizing import scaled_cooling_plant, scaled_distribution
+from repro.simulation import Simulator, TraceLog
+from repro.software import EasyBackfillPolicy, FcfsPolicy, PriorityPolicy, Scheduler
+
+
+# ----------------------------------------------------------------------
+# Cooling physics
+# ----------------------------------------------------------------------
+class TestCoolingPhysicsProperties:
+    @given(
+        heat=st.floats(min_value=0.0, max_value=2e6),
+        drybulb=st.floats(min_value=-20.0, max_value=45.0),
+        humidity=st.floats(min_value=0.15, max_value=0.98),
+        setpoint=st.floats(min_value=10.0, max_value=50.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cooling_power_nonnegative_any_conditions(self, heat, drybulb, humidity, setpoint):
+        wetbulb = drybulb - (1.0 - humidity) * 8.0
+        loop = CoolingLoop(name="l")
+        loop.set_setpoint(setpoint)
+        weather = WeatherSample(drybulb, wetbulb, humidity)
+        power = loop.update(heat, weather, 60.0)
+        assert power >= 0.0
+        assert np.isfinite(power)
+
+    @given(
+        heat=st.floats(min_value=1e4, max_value=1.5e6),
+        drybulb=st.floats(min_value=-10.0, max_value=40.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_auto_never_costs_more_than_chiller(self, heat, drybulb):
+        """AUTO picks the cheapest feasible mode, so it can never exceed a
+        forced chiller at the same conditions."""
+        weather = WeatherSample(drybulb, drybulb - 4.0, 0.6)
+        auto = CoolingLoop(name="a", supply_setpoint_c=20.0)
+        chiller = CoolingLoop(name="c", supply_setpoint_c=20.0, mode=CoolingMode.CHILLER)
+        assert auto.update(heat, weather, 60.0) <= chiller.update(heat, weather, 60.0) + 1e-9
+
+    @given(it_power=st.floats(min_value=1e3, max_value=5e5))
+    @settings(max_examples=50, deadline=None)
+    def test_distribution_conserves_power(self, it_power):
+        chain = scaled_distribution(5e5)
+        site = chain.update(it_power, it_power * 0.2, 60.0)
+        assert site == pytest.approx(it_power + it_power * 0.2 + chain.loss_w)
+        assert chain.loss_w > 0
+
+
+# ----------------------------------------------------------------------
+# Node physics
+# ----------------------------------------------------------------------
+class TestNodeProperties:
+    @given(
+        cpu=st.floats(min_value=0.0, max_value=1.0),
+        mem=st.floats(min_value=0.0, max_value=1.0),
+        compute_fraction=st.floats(min_value=0.0, max_value=1.0),
+        freq_idx=st.integers(min_value=0, max_value=4),
+        inlet=st.floats(min_value=10.0, max_value=45.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_power_and_progress_bounded(self, cpu, mem, compute_fraction, freq_idx, inlet):
+        node = ComputeNode("n")
+        node.inlet_temp_c = inlet
+        node.set_frequency(node.cpu.freq_levels_ghz[freq_idx])
+        node.assign("j", NodeLoad(cpu_util=cpu, mem_bw_util=mem,
+                                  compute_fraction=compute_fraction))
+        for _ in range(50):
+            power = node.update(60.0)
+        assert node.idle_power_w <= power <= 1000.0
+        assert 0.0 <= node.progress_rate <= 1.5
+        assert inlet <= node.temp_c <= 120.0
+
+    @given(freq_idx=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_lower_frequency_never_draws_more(self, freq_idx):
+        ladder = ComputeNode("x").cpu.freq_levels_ghz
+        lo, hi = ComputeNode("a"), ComputeNode("b")
+        load = NodeLoad(cpu_util=0.9, compute_fraction=0.8)
+        lo.assign("j", load)
+        hi.assign("j", load)
+        lo.set_frequency(ladder[freq_idx])
+        hi.set_frequency(ladder[freq_idx + 1])
+        for _ in range(60):
+            lo.update(60.0)
+            hi.update(60.0)
+        assert lo.power_w <= hi.power_w + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Scheduler invariants under random traces and policies
+# ----------------------------------------------------------------------
+def random_requests(draw_sizes, draw_works, submit_spacing=120.0):
+    catalog = default_catalog()
+    profiles = [p for p in catalog]
+    requests = []
+    for i, (nodes, work) in enumerate(zip(draw_sizes, draw_works)):
+        requests.append(JobRequest(
+            job_id=f"j{i:03d}",
+            submit_time=i * submit_spacing,
+            user=f"u{i % 3}",
+            profile=profiles[i % len(profiles)],
+            nodes=nodes,
+            work_s=work,
+            walltime_req_s=work * 3.0,
+        ))
+    return requests
+
+
+class TestSchedulerInvariants:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=12),
+        policy_idx=st.integers(min_value=0, max_value=2),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_node_double_allocated_ever(self, sizes, policy_idx, data):
+        works = [
+            data.draw(st.floats(min_value=300.0, max_value=7200.0))
+            for _ in sizes
+        ]
+        policy = [FcfsPolicy(), EasyBackfillPolicy(), PriorityPolicy()][policy_idx]
+        sim = Simulator()
+        trace = TraceLog()
+        system = build_system(racks=1, nodes_per_rack=8)
+        system.attach(sim, trace, np.random.default_rng(0))
+        scheduler = Scheduler(system, policy=policy, tick=60.0)
+        scheduler.attach(sim, trace)
+        scheduler.load_trace(sim, random_requests(sizes, works))
+
+        horizon = len(sizes) * 120.0 + 4 * 3600.0
+        step = 300.0
+        t = 0.0
+        while t < horizon:
+            sim.run(step)
+            t += step
+            allocated = [n for job in scheduler.running for n in job.assigned_nodes]
+            # Invariant 1: no node serves two jobs.
+            assert len(allocated) == len(set(allocated))
+            # Invariant 2: running jobs hold exactly their requested size.
+            for job in scheduler.running:
+                assert len(job.assigned_nodes) == job.request.nodes
+            # Invariant 3: work never regresses or exceeds the requirement
+            # by more than one tick's progress.
+            for job in scheduler.jobs.values():
+                assert job.work_done_s >= 0.0
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_every_job_reaches_terminal_state(self, sizes):
+        works = [600.0] * len(sizes)
+        sim = Simulator()
+        trace = TraceLog()
+        system = build_system(racks=1, nodes_per_rack=8)
+        system.attach(sim, trace, np.random.default_rng(0))
+        scheduler = Scheduler(system, policy=EasyBackfillPolicy(), tick=60.0)
+        scheduler.attach(sim, trace)
+        scheduler.load_trace(sim, random_requests(sizes, works))
+        sim.run(len(sizes) * 120.0 + 12 * 3600.0)
+        assert all(j.terminal for j in scheduler.jobs.values())
+        # Accounting and job registry agree.
+        assert len(scheduler.accounting) == len(scheduler.jobs)

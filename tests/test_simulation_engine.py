@@ -1,0 +1,180 @@
+"""Tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import Simulator
+
+
+class TestScheduling:
+    def test_schedule_and_run(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda s: fired.append(s.now))
+        sim.run_until(10.0)
+        assert fired == [5.0]
+        assert sim.now == 10.0
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(7.5, lambda s: fired.append(s.now))
+        sim.run_until(8.0)
+        assert fired == [7.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda s: None)
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda s: fired.append(1))
+        event.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.schedule(delay, lambda s, d=delay: order.append(d))
+        sim.run_until(5.0)
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_simultaneous_events_priority_order(self, sim):
+        order = []
+        sim.schedule(1.0, lambda s: order.append("low"), priority=5)
+        sim.schedule(1.0, lambda s: order.append("high"), priority=0)
+        sim.run_until(2.0)
+        assert order == ["high", "low"]
+
+    def test_simultaneous_same_priority_insertion_order(self, sim):
+        order = []
+        sim.schedule(1.0, lambda s: order.append("first"))
+        sim.schedule(1.0, lambda s: order.append("second"))
+        sim.run_until(2.0)
+        assert order == ["first", "second"]
+
+    def test_handler_can_schedule_more_events(self, sim):
+        fired = []
+
+        def chain(s):
+            fired.append(s.now)
+            if len(fired) < 3:
+                s.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestRunSemantics:
+    def test_run_until_lands_exactly_on_end(self, sim):
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_run_until_composes(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda s: fired.append(s.now))
+        sim.run_until(3.0)
+        assert fired == []
+        sim.run_until(6.0)
+        assert fired == [5.0]
+
+    def test_run_backwards_rejected(self, sim):
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_run_duration(self, sim):
+        sim.run(100.0)
+        sim.run(50.0)
+        assert sim.now == 150.0
+
+    def test_drain_runs_all_events(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda s: fired.append(s.now))
+        assert sim.drain() == 5
+        assert len(fired) == 5
+
+    def test_drain_guards_against_runaway(self, sim):
+        def perpetual(s):
+            s.schedule(1.0, perpetual)
+
+        sim.schedule(1.0, perpetual)
+        with pytest.raises(SimulationError):
+            sim.drain(max_events=100)
+
+    def test_events_executed_counter(self, sim):
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        sim.run_until(5.0)
+        assert sim.events_executed == 2
+
+    def test_start_time(self):
+        sim = Simulator(start_time=1000.0)
+        assert sim.now == 1000.0
+        fired = []
+        sim.schedule(5.0, lambda s: fired.append(s.now))
+        sim.run_until(1010.0)
+        assert fired == [1005.0]
+
+
+class TestPeriodic:
+    def test_periodic_fires_every_period(self, sim):
+        fired = []
+        sim.schedule_periodic(10.0, lambda s: fired.append(s.now))
+        sim.run_until(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_periodic_start_delay_zero_fires_immediately(self, sim):
+        fired = []
+        sim.schedule_periodic(10.0, lambda s: fired.append(s.now), start_delay=0.0)
+        sim.run_until(25.0)
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_periodic_cancel_stops_firing(self, sim):
+        fired = []
+        handle = sim.schedule_periodic(10.0, lambda s: fired.append(s.now))
+        sim.run_until(25.0)
+        handle.cancel()
+        sim.run_until(100.0)
+        assert fired == [10.0, 20.0]
+        assert not handle.active
+
+    def test_periodic_invalid_period(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule_periodic(0.0, lambda s: None)
+
+
+class TestPropertyBased:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_fire_in_sorted_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda s: fired.append(s.now))
+        sim.run_until(2e6)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20),
+        split=st.floats(min_value=0.0, max_value=200.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_split_runs_equal_single_run(self, delays, split):
+        """run_until(a); run_until(b) fires the same events as run_until(b)."""
+        fired_split, fired_single = [], []
+        sim1 = Simulator()
+        sim2 = Simulator()
+        for delay in delays:
+            sim1.schedule(delay, lambda s: fired_split.append(s.now))
+            sim2.schedule(delay, lambda s: fired_single.append(s.now))
+        sim1.run_until(split)
+        sim1.run_until(200.0)
+        sim2.run_until(200.0)
+        assert fired_split == fired_single

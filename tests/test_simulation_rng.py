@@ -1,0 +1,50 @@
+"""Tests for named seeded RNG streams."""
+
+from __future__ import annotations
+
+from repro.simulation import RngPool
+
+
+class TestRngPool:
+    def test_same_seed_same_stream(self):
+        a = RngPool(42).stream("weather").random(10)
+        b = RngPool(42).stream("weather").random(10)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        pool = RngPool(42)
+        a = pool.stream("weather").random(10)
+        b = pool.stream("faults").random(10)
+        assert not (a == b).all()
+
+    def test_streams_cached_by_name(self):
+        pool = RngPool(0)
+        assert pool.stream("x") is pool.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        """Stream isolation: draws depend only on (seed, name)."""
+        pool1 = RngPool(7)
+        first_draws = pool1.stream("a").random(5)
+
+        pool2 = RngPool(7)
+        pool2.stream("zzz")  # extra stream created first
+        second_draws = pool2.stream("a").random(5)
+        assert (first_draws == second_draws).all()
+
+    def test_contains(self):
+        pool = RngPool(0)
+        assert "x" not in pool
+        pool.stream("x")
+        assert "x" in pool
+
+    def test_spawn_children_differ_from_parent(self):
+        pool = RngPool(3)
+        child = pool.spawn("experiment1")
+        a = pool.stream("s").random(5)
+        b = child.stream("s").random(5)
+        assert not (a == b).all()
+
+    def test_spawn_deterministic(self):
+        a = RngPool(3).spawn("e").stream("s").random(5)
+        b = RngPool(3).spawn("e").stream("s").random(5)
+        assert (a == b).all()

@@ -1,0 +1,56 @@
+"""Tests for the structured trace log."""
+
+from __future__ import annotations
+
+from repro.simulation import TraceLog
+
+
+class TestTraceLog:
+    def test_emit_and_len(self, trace):
+        trace.emit(1.0, "scheduler", "job_start", job_id="j1")
+        trace.emit(2.0, "scheduler", "job_end", job_id="j1")
+        assert len(trace) == 2
+        assert trace[0].detail["job_id"] == "j1"
+
+    def test_select_by_kind(self, trace):
+        trace.emit(1.0, "a", "x")
+        trace.emit(2.0, "a", "y")
+        trace.emit(3.0, "b", "x")
+        assert len(trace.select(kind="x")) == 2
+
+    def test_select_by_source_prefix(self, trace):
+        trace.emit(1.0, "facility.chiller0", "fault")
+        trace.emit(2.0, "cluster.n1", "fault")
+        assert len(trace.select(source="facility")) == 1
+
+    def test_select_by_time_window(self, trace):
+        for t in (1.0, 5.0, 9.0):
+            trace.emit(t, "s", "k")
+        assert len(trace.select(since=2.0, until=8.0)) == 1
+
+    def test_kinds_sorted_distinct(self, trace):
+        trace.emit(1.0, "s", "b")
+        trace.emit(1.0, "s", "a")
+        trace.emit(1.0, "s", "b")
+        assert trace.kinds() == ["a", "b"]
+
+    def test_subscriber_called_on_emit(self, trace):
+        seen = []
+        trace.subscribe(seen.append)
+        record = trace.emit(1.0, "s", "k")
+        assert seen == [record]
+
+    def test_capacity_trims_oldest(self):
+        log = TraceLog(capacity=10)
+        for i in range(25):
+            log.emit(float(i), "s", "k")
+        assert len(log) <= 13  # halved once capacity exceeded
+        # Most recent record always retained.
+        assert log[len(log) - 1].time == 24.0
+
+    def test_record_matches(self, trace):
+        record = trace.emit(0.0, "facility.pump", "fault")
+        assert record.matches(source="facility")
+        assert record.matches(kind="fault")
+        assert not record.matches(kind="other")
+        assert not record.matches(source="cluster")

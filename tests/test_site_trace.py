@@ -1,0 +1,81 @@
+"""Tests for the LLNL-scale site-power trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.facility import SitePowerTraceGenerator, SpikePattern
+
+DAY = 86_400.0
+
+
+def make(seed=0, **kwargs):
+    return SitePowerTraceGenerator(np.random.default_rng(seed), **kwargs)
+
+
+class TestSitePowerTrace:
+    def test_reproducible(self):
+        t1, w1, e1 = make(seed=1).generate(days=3.0)
+        t2, w2, e2 = make(seed=1).generate(days=3.0)
+        assert (w1 == w2).all()
+        assert e1 == e2
+
+    def test_scale_and_positivity(self):
+        _, watts, _ = make().generate(days=7.0)
+        assert watts.min() > 15e6
+        assert watts.max() < 35e6
+
+    def test_diurnal_structure(self):
+        times, watts, _ = make(noise_sigma_w=1e3).generate(days=10.0)
+        hours = (times % DAY) / 3600.0
+        midday = watts[(hours >= 11) & (hours < 15)].mean()
+        night = watts[(hours >= 1) & (hours < 5)].mean()
+        assert midday - night > 2e6
+
+    def test_weekend_quieter(self):
+        times, watts, _ = make(noise_sigma_w=1e3).generate(days=28.0)
+        weekday_mask = (times % (7 * DAY)) / DAY < 5
+        hours = (times % DAY) / 3600.0
+        midday = (hours >= 11) & (hours < 15)
+        weekday_midday = watts[weekday_mask & midday].mean()
+        weekend_midday = watts[~weekday_mask & midday].mean()
+        assert weekday_midday > weekend_midday + 1e6
+
+    def test_spike_events_recorded_and_applied(self):
+        generator = make(
+            noise_sigma_w=1e3,
+            patterns=[SpikePattern(hour=12.0, magnitude_w=3e6, duration_s=3600.0,
+                                   probability=1.0, jitter_s=0.0)],
+        )
+        times, watts, events = generator.generate(days=2.0, step_s=300.0)
+        assert len(events) == 2  # one per day
+        for start, magnitude in events:
+            during = watts[(times >= start + 300) & (times < start + 3000)]
+            before = watts[(times >= start - 3000) & (times < start - 300)]
+            assert during.mean() - before.mean() > 2e6
+
+    def test_weekdays_only_pattern(self):
+        generator = make(
+            patterns=[SpikePattern(hour=12.0, magnitude_w=1e6, duration_s=600.0,
+                                   probability=1.0, weekdays_only=True)],
+        )
+        _, _, events = generator.generate(days=7.0)
+        assert len(events) == 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            make().generate(days=0.0)
+        with pytest.raises(ConfigurationError):
+            make(base_w=-1.0)
+
+    def test_noise_autocorrelated(self):
+        """OU noise: adjacent samples correlate, distant ones do not."""
+        generator = make(diurnal_amp_w=0.0, patterns=[], noise_sigma_w=1e6)
+        _, watts, _ = generator.generate(days=14.0, step_s=300.0)
+        noise = watts - watts.mean()
+        def autocorr(lag):
+            return float(np.corrcoef(noise[:-lag], noise[lag:])[0, 1])
+        assert autocorr(1) > 0.9
+        assert abs(autocorr(2000)) < 0.3

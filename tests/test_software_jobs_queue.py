@@ -1,0 +1,128 @@
+"""Tests for the job lifecycle and the pending queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import default_catalog
+from repro.apps.generator import JobRequest
+from repro.errors import SchedulingError
+from repro.software import Job, JobQueue, JobState
+
+
+def request(job_id="j1", nodes=2, submit=0.0, work=1000.0, wall=2000.0, user="u"):
+    return JobRequest(
+        job_id=job_id, submit_time=submit, user=user,
+        profile=default_catalog().get("cfd_solver"),
+        nodes=nodes, work_s=work, walltime_req_s=wall,
+    )
+
+
+class TestJobLifecycle:
+    def test_start_transitions(self):
+        job = Job(request())
+        job.start(10.0, ["a", "b"])
+        assert job.state is JobState.RUNNING
+        assert job.wait_time == 10.0
+
+    def test_start_wrong_node_count(self):
+        with pytest.raises(SchedulingError):
+            Job(request(nodes=2)).start(0.0, ["a"])
+
+    def test_double_start_rejected(self):
+        job = Job(request())
+        job.start(0.0, ["a", "b"])
+        with pytest.raises(SchedulingError):
+            job.start(1.0, ["a", "b"])
+
+    def test_finish_completed(self):
+        job = Job(request())
+        job.start(10.0, ["a", "b"])
+        job.finish(100.0, JobState.COMPLETED)
+        assert job.terminal
+        assert job.runtime == 90.0
+        assert job.turnaround == 100.0
+
+    def test_finish_requires_terminal_state(self):
+        job = Job(request())
+        job.start(0.0, ["a", "b"])
+        with pytest.raises(SchedulingError):
+            job.finish(1.0, JobState.RUNNING)
+
+    def test_cancel_from_pending(self):
+        job = Job(request())
+        job.finish(5.0, JobState.CANCELLED)
+        assert job.state is JobState.CANCELLED
+
+    def test_slowdown_bounded(self):
+        job = Job(request(submit=0.0))
+        job.start(100.0, ["a", "b"])
+        job.finish(105.0, JobState.COMPLETED)  # 5 s runtime, 100 s wait
+        # Bounded: divide by max(runtime, 10)
+        assert job.slowdown() == pytest.approx(105.0 / 10.0)
+
+    def test_slowdown_long_job(self):
+        job = Job(request())
+        job.start(50.0, ["a", "b"])
+        job.finish(1050.0, JobState.COMPLETED)
+        assert job.slowdown() == pytest.approx(1050.0 / 1000.0)
+
+    def test_remaining_walltime(self):
+        job = Job(request(wall=100.0))
+        assert job.remaining_walltime(5.0) == 100.0
+        job.start(10.0, ["a", "b"])
+        assert job.remaining_walltime(60.0) == 50.0
+
+    def test_node_seconds(self):
+        job = Job(request(nodes=2))
+        job.start(0.0, ["a", "b"])
+        job.finish(100.0, JobState.COMPLETED)
+        assert job.node_seconds == 200.0
+
+    def test_invalid_request_params(self):
+        with pytest.raises(Exception):
+            request(nodes=0)
+        with pytest.raises(Exception):
+            request(work=-1.0)
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        queue = JobQueue()
+        jobs = [Job(request(job_id=f"j{i}")) for i in range(3)]
+        for job in jobs:
+            queue.push(job)
+        assert queue.snapshot() == jobs
+        assert queue.head() is jobs[0]
+
+    def test_push_non_pending_rejected(self):
+        job = Job(request())
+        job.start(0.0, ["a", "b"])
+        with pytest.raises(SchedulingError):
+            JobQueue().push(job)
+
+    def test_remove(self):
+        queue = JobQueue()
+        job = Job(request())
+        queue.push(job)
+        queue.remove(job)
+        assert len(queue) == 0
+        with pytest.raises(SchedulingError):
+            queue.remove(job)
+
+    def test_reorder_stable(self):
+        queue = JobQueue()
+        for i, nodes in enumerate((4, 2, 2)):
+            queue.push(Job(request(job_id=f"j{i}", nodes=nodes)))
+        queue.reorder(lambda j: j.request.nodes)
+        ids = [j.job_id for j in queue]
+        assert ids == ["j1", "j2", "j0"]  # stable among equals
+
+    def test_total_requested_nodes(self):
+        queue = JobQueue()
+        queue.push(Job(request(job_id="a", nodes=2)))
+        queue.push(Job(request(job_id="b", nodes=3)))
+        assert queue.total_requested_nodes() == 5
+
+    def test_empty_head_none(self):
+        assert JobQueue().head() is None

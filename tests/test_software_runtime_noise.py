@@ -1,0 +1,101 @@
+"""Tests for the node runtime (governor loop) and OS-noise injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_system, NodeLoad
+from repro.software import NodeRuntime, OsNoiseInjector
+
+
+class FixedGovernor:
+    """Test governor: always requests one fixed frequency."""
+
+    def __init__(self, ghz):
+        self.ghz = ghz
+        self.calls = 0
+
+    def decide(self, node, counters, now):
+        self.calls += 1
+        return self.ghz
+
+
+class NoopGovernor:
+    def decide(self, node, counters, now):
+        return None
+
+
+class TestNodeRuntime:
+    def test_governor_applied_periodically(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=4)
+        system.attach(sim, trace, rng)
+        governor = FixedGovernor(1.6)
+        runtime = NodeRuntime(system, governor, period=100.0)
+        runtime.attach(sim, trace)
+        sim.run(250)
+        assert all(n.frequency_ghz == 1.6 for n in system.nodes)
+        assert governor.calls == 2 * 4  # two passes over four nodes
+        # Frequency only *changed* on the first pass.
+        assert runtime.changes == 4
+
+    def test_none_decision_keeps_frequency(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=2)
+        system.attach(sim, trace, rng)
+        runtime = NodeRuntime(system, NoopGovernor(), period=50.0)
+        runtime.attach(sim, trace)
+        sim.run(200)
+        assert all(n.frequency_ghz == n.cpu.nominal_ghz for n in system.nodes)
+        assert runtime.changes == 0
+
+    def test_dvfs_changes_traced(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=2)
+        system.attach(sim, trace, rng)
+        runtime = NodeRuntime(system, FixedGovernor(2.0), period=50.0)
+        runtime.attach(sim, trace)
+        sim.run(120)
+        assert len(trace.select(kind="dvfs_change")) == 2
+
+    def test_down_nodes_skipped(self, sim, trace, rng):
+        system = build_system(racks=1, nodes_per_rack=2)
+        system.attach(sim, trace, rng)
+        system.nodes[0].fail()
+        runtime = NodeRuntime(system, FixedGovernor(1.2), period=50.0)
+        runtime.attach(sim, trace)
+        sim.run(120)
+        assert system.nodes[0].frequency_ghz != 1.2
+        assert system.nodes[1].frequency_ghz == 1.2
+
+
+class TestOsNoise:
+    def test_noisy_subset_has_higher_noise(self, sim, trace):
+        rng = np.random.default_rng(5)
+        system = build_system(racks=2, nodes_per_rack=8)
+        system.attach(sim, trace, rng)
+        injector = OsNoiseInjector(system, rng, noisy_fraction=0.25, noisy_level=0.1)
+        injector.attach(sim, trace)
+        sim.run(600)
+        truth = injector.ground_truth()
+        noisy = [n for n in system.nodes if truth[n.name]]
+        quiet = [n for n in system.nodes if not truth[n.name]]
+        assert len(noisy) == 4
+        assert min(n.os_noise for n in noisy) > max(q.os_noise for q in quiet)
+
+    def test_zero_fraction_all_baseline(self, sim, trace):
+        rng = np.random.default_rng(5)
+        system = build_system(racks=1, nodes_per_rack=4)
+        system.attach(sim, trace, rng)
+        injector = OsNoiseInjector(system, rng, noisy_fraction=0.0)
+        injector.attach(sim, trace)
+        sim.run(600)
+        assert all(n.os_noise < 0.01 for n in system.nodes)
+
+    def test_noise_slows_job_progress(self, sim, trace):
+        rng = np.random.default_rng(5)
+        system = build_system(racks=1, nodes_per_rack=2)
+        system.attach(sim, trace, rng)
+        load = NodeLoad(cpu_util=0.9, compute_fraction=0.9)
+        system.apply_loads({"r0n0": ("j", load)})
+        system.nodes[0].os_noise = 0.2
+        sim.run(60)
+        assert system.job_progress_rate("j") < 0.85

@@ -1,0 +1,87 @@
+"""Tests for the threshold alert engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import AlertEngine, AlertRule, AlertSeverity, SampleBatch
+
+
+def feed(engine, samples):
+    """Feed [(time, value)] into metric m.x; return all raised alerts."""
+    raised = []
+    for t, v in samples:
+        raised.extend(engine.observe("topic", SampleBatch.from_mapping(t, {"m.x": v})))
+    return raised
+
+
+class TestAlertRules:
+    def test_simple_threshold_raises(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0))
+        raised = feed(engine, [(0.0, 5.0), (1.0, 15.0)])
+        assert len(raised) == 1
+        assert raised[0].metric == "m.x"
+        assert raised[0].raised_at == 1.0
+
+    def test_below_direction(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("cold", "m.*", threshold=2.0, above=False))
+        raised = feed(engine, [(0.0, 5.0), (1.0, 1.0)])
+        assert len(raised) == 1
+
+    def test_for_seconds_requires_sustained_breach(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0, for_seconds=5.0))
+        raised = feed(engine, [(0.0, 20.0), (2.0, 20.0), (4.0, 20.0)])
+        assert raised == []  # not yet 5 s
+        raised = feed(engine, [(6.0, 20.0)])
+        assert len(raised) == 1
+
+    def test_breach_interrupted_resets_timer(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0, for_seconds=5.0))
+        raised = feed(engine, [(0.0, 20.0), (3.0, 5.0), (4.0, 20.0), (8.0, 20.0)])
+        assert raised == []  # breach restarted at t=4
+        assert len(feed(engine, [(9.5, 20.0)])) == 1
+
+    def test_alert_clears_with_hysteresis(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0, clear_margin=2.0))
+        feed(engine, [(0.0, 15.0)])
+        feed(engine, [(1.0, 9.0)])  # within hysteresis band: still active
+        assert len(engine.active_alerts()) == 1
+        feed(engine, [(2.0, 7.9)])
+        assert engine.active_alerts() == []
+        alert = engine.history[0]
+        assert alert.cleared_at == 2.0
+        assert alert.duration == 2.0
+
+    def test_no_duplicate_alert_while_active(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0))
+        raised = feed(engine, [(0.0, 15.0), (1.0, 16.0), (2.0, 17.0)])
+        assert len(raised) == 1
+
+    def test_per_metric_state_isolated(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "*", threshold=10.0))
+        batch = SampleBatch.from_mapping(0.0, {"a": 20.0, "b": 5.0})
+        raised = engine.observe("t", batch)
+        assert [a.metric for a in raised] == ["a"]
+
+    def test_severity_and_rule_metadata(self):
+        rule = AlertRule("r", "m", threshold=0.0, severity=AlertSeverity.CRITICAL)
+        assert rule.severity is AlertSeverity.CRITICAL
+
+    def test_invalid_rule_params(self):
+        with pytest.raises(ConfigurationError):
+            AlertRule("r", "m", threshold=0.0, for_seconds=-1.0)
+
+    def test_reraise_after_clear(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0))
+        feed(engine, [(0.0, 15.0), (1.0, 5.0), (2.0, 15.0)])
+        assert len(engine.history) == 2
+        assert len(engine.active_alerts()) == 1

@@ -1,0 +1,68 @@
+"""Tests for the pub/sub message bus."""
+
+from __future__ import annotations
+
+from repro.telemetry import MessageBus, SampleBatch
+
+
+def batch(t=0.0, **values):
+    return SampleBatch.from_mapping(t, values or {"m": 1.0})
+
+
+class TestMessageBus:
+    def test_publish_delivers_to_matching_subscription(self):
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("cluster.*", lambda topic, b: seen.append(topic))
+        bus.publish("cluster.rack0", batch())
+        bus.publish("facility", batch())
+        assert seen == ["cluster.rack0"]
+
+    def test_match_all_pattern(self):
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("#", lambda topic, b: seen.append(topic))
+        bus.publish("a", batch())
+        bus.publish("b.c", batch())
+        assert seen == ["a", "b.c"]
+
+    def test_multiple_subscribers_all_delivered(self):
+        bus = MessageBus()
+        counts = [0, 0]
+        bus.subscribe("#", lambda t, b: counts.__setitem__(0, counts[0] + 1))
+        bus.subscribe("#", lambda t, b: counts.__setitem__(1, counts[1] + 1))
+        assert bus.publish("x", batch()) == 2
+        assert counts == [1, 1]
+
+    def test_unmatched_publish_counts_dropped(self):
+        bus = MessageBus()
+        bus.subscribe("only.this", lambda t, b: None)
+        bus.publish("other", batch())
+        assert bus.dropped == 1
+
+    def test_cancelled_subscription_stops_delivery(self):
+        bus = MessageBus()
+        seen = []
+        sub = bus.subscribe("#", lambda t, b: seen.append(t))
+        bus.publish("x", batch())
+        sub.cancel()
+        bus.publish("y", batch())
+        assert seen == ["x"]
+        assert bus.subscription_count == 0
+
+    def test_delivery_accounting(self):
+        bus = MessageBus()
+        bus.subscribe("#", lambda t, b: None)
+        for _ in range(3):
+            bus.publish("x", batch())
+        assert bus.published == 3
+        assert bus.delivered == 3
+        assert bus.topic_count("x") == 3
+        assert bus.topics() == ["x"]
+
+    def test_subscription_delivered_counter(self):
+        bus = MessageBus()
+        sub = bus.subscribe("a*", lambda t, b: None)
+        bus.publish("abc", batch())
+        bus.publish("xyz", batch())
+        assert sub.delivered == 1

@@ -1,0 +1,106 @@
+"""Tests for samplers, collection agents and the TelemetrySystem bundle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    CollectionAgent,
+    MessageBus,
+    MetricRegistry,
+    MetricSpec,
+    Sampler,
+    TelemetrySystem,
+    Unit,
+)
+
+
+def constant_source(value: float):
+    return lambda now: {"m.x": value}
+
+
+class TestSampler:
+    def test_scrape_packages_batch(self):
+        sampler = Sampler("s", constant_source(3.0))
+        batch = sampler.scrape(5.0)
+        assert batch.time == 5.0
+        assert batch.as_dict() == {"m.x": 3.0}
+        assert sampler.scrapes == 1
+        assert sampler.samples == 1
+
+
+class TestCollectionAgent:
+    def test_collect_once_publishes(self):
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("#", lambda t, b: seen.append((t, b.time)))
+        agent = CollectionAgent("a", bus, period=10.0)
+        agent.add_sampler(Sampler("s1", constant_source(1.0)))
+        agent.add_sampler(Sampler("s2", constant_source(2.0)))
+        assert agent.collect_once(7.0) == 2
+        assert seen == [("s1", 7.0), ("s2", 7.0)]
+
+    def test_registry_populated_from_specs(self):
+        registry = MetricRegistry()
+        agent = CollectionAgent("a", MessageBus(), 10.0, registry=registry)
+        agent.add_sampler(
+            Sampler("s", constant_source(1.0), [MetricSpec("m.x", Unit.WATT)])
+        )
+        assert "m.x" in registry
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            CollectionAgent("a", MessageBus(), 0.0)
+
+    def test_periodic_collection(self, sim):
+        bus = MessageBus()
+        times = []
+        bus.subscribe("#", lambda t, b: times.append(b.time))
+        agent = CollectionAgent("a", bus, period=10.0)
+        agent.add_sampler(Sampler("s", constant_source(1.0)))
+        agent.start(sim, start_delay=0.0)
+        sim.run_until(25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_stop_ends_collection(self, sim):
+        bus = MessageBus()
+        times = []
+        bus.subscribe("#", lambda t, b: times.append(b.time))
+        agent = CollectionAgent("a", bus, period=10.0)
+        agent.add_sampler(Sampler("s", constant_source(1.0)))
+        agent.start(sim, start_delay=0.0)
+        sim.run_until(15.0)
+        agent.stop()
+        sim.run_until(100.0)
+        assert times == [0.0, 10.0]
+
+    def test_double_start_rejected(self, sim):
+        agent = CollectionAgent("a", MessageBus(), 10.0)
+        agent.start(sim)
+        with pytest.raises(ConfigurationError):
+            agent.start(sim)
+
+
+class TestTelemetrySystem:
+    def test_end_to_end_pipeline(self, sim):
+        telemetry = TelemetrySystem()
+        agent = telemetry.new_agent("a", period=5.0)
+        counter = {"v": 0.0}
+
+        def source(now):
+            counter["v"] += 1.0
+            return {"m.count": counter["v"]}
+
+        agent.add_sampler(Sampler("s", source, [MetricSpec("m.count")]))
+        telemetry.start_all(sim)
+        sim.run_until(20.0)
+        times, values = telemetry.store.query("m.count")
+        # start_all begins scraping immediately: t = 0, 5, 10, 15, 20.
+        assert len(times) == 5
+        assert values.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert "m.count" in telemetry.registry
+
+    def test_store_retention_passthrough(self):
+        telemetry = TelemetrySystem(store_retention=60.0)
+        assert telemetry.store.retention == 60.0

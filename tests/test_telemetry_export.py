@@ -1,0 +1,46 @@
+"""Tests for store export utilities."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.telemetry import TimeSeriesStore
+from repro.telemetry.export import to_csv, to_json, to_rows, write_csv
+
+
+def make_store():
+    store = TimeSeriesStore()
+    store.append_many("a", np.arange(0.0, 100.0, 10.0), np.arange(10.0))
+    store.append_many("b", np.arange(0.0, 100.0, 10.0), np.arange(10.0) * 2)
+    return store
+
+
+class TestExport:
+    def test_to_rows_aligned(self):
+        rows = to_rows(make_store(), ["a", "b"], 0.0, 100.0, 20.0)
+        assert len(rows) == 5
+        assert rows[0]["time"] == 0.0
+        assert rows[0]["a"] == 0.5  # mean of samples 0, 1
+        assert rows[0]["b"] == 1.0
+
+    def test_to_csv_header_and_rows(self):
+        csv_text = to_csv(make_store(), ["a", "b"], 0.0, 100.0, 20.0)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "time,a,b"
+        assert len(lines) == 6
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), make_store(), ["a"], 0.0, 100.0, 50.0)
+        assert path.read_text().startswith("time,a")
+
+    def test_to_json_roundtrip(self):
+        payload = json.loads(to_json(make_store(), ["a"]))
+        assert payload["a"]["times"] == list(np.arange(0.0, 100.0, 10.0))
+        assert payload["a"]["values"][3] == 3.0
+
+    def test_to_json_defaults_to_all_series(self):
+        payload = json.loads(to_json(make_store()))
+        assert sorted(payload) == ["a", "b"]

@@ -1,0 +1,100 @@
+"""Tests for metric specs and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownMetricError
+from repro.telemetry import MetricKind, MetricRegistry, MetricSpec, Unit
+
+
+class TestMetricSpec:
+    def test_defaults(self):
+        spec = MetricSpec("cluster.n0.power")
+        assert spec.kind is MetricKind.GAUGE
+        assert spec.unit is Unit.DIMENSIONLESS
+
+    def test_invalid_names_rejected(self):
+        for bad in ("", ".x", "x."):
+            with pytest.raises(ConfigurationError):
+                MetricSpec(bad)
+
+    def test_bounds_validation(self):
+        spec = MetricSpec("m", low=0.0, high=1.0)
+        assert spec.validate(0.5)
+        assert not spec.validate(-0.1)
+        assert not spec.validate(1.1)
+
+    def test_unbounded_sides(self):
+        assert MetricSpec("m", low=0.0).validate(1e12)
+        assert MetricSpec("m", high=10.0).validate(-1e12)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricSpec("m", low=2.0, high=1.0)
+
+    def test_component_and_leaf(self):
+        spec = MetricSpec("cluster.rack0.n3.power")
+        assert spec.component == "cluster.rack0.n3"
+        assert spec.leaf == "power"
+
+    def test_top_level_metric_component_empty(self):
+        assert MetricSpec("power").component == ""
+
+
+class TestMetricRegistry:
+    def test_register_and_get(self):
+        registry = MetricRegistry()
+        spec = registry.register(MetricSpec("a.b"))
+        assert registry.get("a.b") is spec
+        assert "a.b" in registry
+        assert len(registry) == 1
+
+    def test_reregister_identical_is_noop(self):
+        registry = MetricRegistry()
+        registry.register(MetricSpec("a.b", Unit.WATT))
+        registry.register(MetricSpec("a.b", Unit.WATT))
+        assert len(registry) == 1
+
+    def test_reregister_conflicting_rejected(self):
+        registry = MetricRegistry()
+        registry.register(MetricSpec("a.b", Unit.WATT))
+        with pytest.raises(ConfigurationError):
+            registry.register(MetricSpec("a.b", Unit.JOULE))
+
+    def test_unknown_metric_error(self):
+        with pytest.raises(UnknownMetricError):
+            MetricRegistry().get("missing")
+
+    def test_select_pattern(self):
+        registry = MetricRegistry()
+        for name in ("c.n0.power", "c.n1.power", "c.n0.temp"):
+            registry.register(MetricSpec(name))
+        assert [s.name for s in registry.select("c.*.power")] == [
+            "c.n0.power", "c.n1.power",
+        ]
+
+    def test_select_prefix(self):
+        registry = MetricRegistry()
+        for name in ("c.n0.power", "c.n0.temp", "c.n10.power", "d.x"):
+            registry.register(MetricSpec(name))
+        names = [s.name for s in registry.select_prefix("c.n0")]
+        assert names == ["c.n0.power", "c.n0.temp"]
+
+    def test_select_prefix_no_partial_segment_match(self):
+        registry = MetricRegistry()
+        registry.register(MetricSpec("c.n1.power"))
+        registry.register(MetricSpec("c.n10.power"))
+        assert [s.name for s in registry.select_prefix("c.n1")] == ["c.n1.power"]
+
+    def test_select_labels(self):
+        registry = MetricRegistry()
+        registry.register(MetricSpec("a", labels={"pillar": "system_hardware"}))
+        registry.register(MetricSpec("b", labels={"pillar": "applications"}))
+        assert [s.name for s in registry.select_labels(pillar="applications")] == ["b"]
+
+    def test_names_sorted(self):
+        registry = MetricRegistry()
+        for name in ("z", "a", "m"):
+            registry.register(MetricSpec(name))
+        assert registry.names() == ["a", "m", "z"]

@@ -1,0 +1,63 @@
+"""Tests for sample batches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry import SampleBatch, merge_batches
+
+
+class TestSampleBatch:
+    def test_from_mapping_roundtrip(self):
+        batch = SampleBatch.from_mapping(1.0, {"a": 1.0, "b": 2.0})
+        assert batch.as_dict() == {"a": 1.0, "b": 2.0}
+        assert len(batch) == 2
+
+    def test_values_coerced_to_float64(self):
+        batch = SampleBatch(0.0, ("a",), np.array([1], dtype=np.int32))
+        assert batch.values.dtype == np.float64
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SampleBatch(0.0, ("a", "b"), np.array([1.0]))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            SampleBatch(0.0, ("a",), np.ones((1, 1)))
+
+    def test_iteration_yields_pairs(self):
+        batch = SampleBatch.from_mapping(0.0, {"a": 1.0, "b": 2.0})
+        assert list(batch) == [("a", 1.0), ("b", 2.0)]
+
+    def test_subset(self):
+        batch = SampleBatch.from_mapping(0.0, {"a": 1.0, "b": 2.0, "c": 3.0})
+        sub = batch.subset(["c", "a", "missing"])
+        assert sub.as_dict() == {"c": 3.0, "a": 1.0}
+
+
+class TestMergeBatches:
+    def test_merge_combines_names(self):
+        merged = merge_batches([
+            SampleBatch.from_mapping(1.0, {"a": 1.0}),
+            SampleBatch.from_mapping(1.0, {"b": 2.0}),
+        ])
+        assert merged.as_dict() == {"a": 1.0, "b": 2.0}
+
+    def test_merge_last_writer_wins(self):
+        merged = merge_batches([
+            SampleBatch.from_mapping(1.0, {"a": 1.0}),
+            SampleBatch.from_mapping(1.0, {"a": 9.0}),
+        ])
+        assert merged.as_dict() == {"a": 9.0}
+
+    def test_merge_different_times_rejected(self):
+        with pytest.raises(ValueError):
+            merge_batches([
+                SampleBatch.from_mapping(1.0, {"a": 1.0}),
+                SampleBatch.from_mapping(2.0, {"b": 2.0}),
+            ])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_batches([])

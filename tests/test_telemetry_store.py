@@ -1,0 +1,240 @@
+"""Tests for the columnar time-series store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StoreError, UnknownMetricError
+from repro.telemetry import SampleBatch, SeriesBuffer, TimeSeriesStore
+
+
+class TestSeriesBuffer:
+    def test_append_and_views(self):
+        buf = SeriesBuffer("m")
+        buf.append(1.0, 10.0)
+        buf.append(2.0, 20.0)
+        assert len(buf) == 2
+        assert buf.times.tolist() == [1.0, 2.0]
+        assert buf.values.tolist() == [10.0, 20.0]
+
+    def test_growth_beyond_initial_capacity(self):
+        buf = SeriesBuffer("m", capacity=4)
+        for i in range(100):
+            buf.append(float(i), float(i) * 2)
+        assert len(buf) == 100
+        assert buf.values[-1] == 198.0
+
+    def test_equal_timestamp_overwrites(self):
+        buf = SeriesBuffer("m")
+        buf.append(1.0, 10.0)
+        buf.append(1.0, 99.0)
+        assert len(buf) == 1
+        assert buf.values[0] == 99.0
+
+    def test_out_of_order_rejected(self):
+        buf = SeriesBuffer("m")
+        buf.append(5.0, 1.0)
+        with pytest.raises(StoreError):
+            buf.append(4.0, 1.0)
+
+    def test_range_query_inclusive(self):
+        buf = SeriesBuffer("m")
+        for t in range(10):
+            buf.append(float(t), float(t))
+        times, values = buf.range(2.0, 5.0)
+        assert times.tolist() == [2.0, 3.0, 4.0, 5.0]
+
+    def test_range_returns_views_not_copies(self):
+        buf = SeriesBuffer("m")
+        for t in range(10):
+            buf.append(float(t), float(t))
+        times, _ = buf.range(0.0, 9.0)
+        assert times.base is not None  # a view onto the internal buffer
+
+    def test_latest(self):
+        buf = SeriesBuffer("m")
+        buf.append(1.0, 5.0)
+        buf.append(3.0, 7.0)
+        assert buf.latest() == (3.0, 7.0)
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(StoreError):
+            SeriesBuffer("m").latest()
+
+    def test_value_at_carries_forward(self):
+        buf = SeriesBuffer("m")
+        buf.append(1.0, 5.0)
+        buf.append(10.0, 7.0)
+        assert buf.value_at(5.0) == 5.0
+        assert buf.value_at(10.0) == 7.0
+        assert buf.value_at(100.0) == 7.0
+
+    def test_value_at_before_first_raises(self):
+        buf = SeriesBuffer("m")
+        buf.append(5.0, 1.0)
+        with pytest.raises(StoreError):
+            buf.value_at(4.0)
+
+    def test_append_many(self):
+        buf = SeriesBuffer("m")
+        buf.append_many(np.arange(5.0), np.arange(5.0) * 10)
+        assert len(buf) == 5
+        buf.append_many(np.arange(5.0, 10.0), np.ones(5))
+        assert len(buf) == 10
+
+    def test_append_many_must_be_newer(self):
+        buf = SeriesBuffer("m")
+        buf.append(5.0, 1.0)
+        with pytest.raises(StoreError):
+            buf.append_many(np.array([5.0, 6.0]), np.zeros(2))
+
+    def test_append_many_rejects_unsorted(self):
+        with pytest.raises(StoreError):
+            SeriesBuffer("m").append_many(np.array([2.0, 1.0]), np.zeros(2))
+
+    def test_trim_before(self):
+        buf = SeriesBuffer("m")
+        for t in range(10):
+            buf.append(float(t), float(t))
+        dropped = buf.trim_before(5.0)
+        assert dropped == 5
+        assert buf.times.tolist() == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+
+class TestStoreIngest:
+    def test_ingest_batch(self):
+        store = TimeSeriesStore()
+        store.ingest("topic", SampleBatch.from_mapping(1.0, {"a": 1.0, "b": 2.0}))
+        assert store.names() == ["a", "b"]
+        assert store.samples_ingested == 2
+
+    def test_latest_time_tracks_max(self):
+        store = TimeSeriesStore()
+        store.append("a", 5.0, 1.0)
+        store.append("b", 3.0, 1.0)
+        assert store.latest_time == 5.0
+
+    def test_retention_trims(self):
+        store = TimeSeriesStore(retention=10.0)
+        for t in range(100):
+            store.append("a", float(t), 0.0)
+        times, _ = store.query("a")
+        assert times[0] >= 89.0
+
+    def test_unknown_series(self):
+        with pytest.raises(UnknownMetricError):
+            TimeSeriesStore().query("nope")
+
+
+class TestResample:
+    @pytest.fixture
+    def store(self):
+        store = TimeSeriesStore()
+        # One sample per second for 100 s, value == time.
+        store.append_many("m", np.arange(100.0), np.arange(100.0))
+        return store
+
+    def test_mean_buckets(self, store):
+        times, values = store.resample("m", 0.0, 100.0, 10.0)
+        assert times.tolist() == [float(t) for t in range(0, 100, 10)]
+        assert values[0] == pytest.approx(4.5)  # mean of 0..9
+
+    def test_max_and_min(self, store):
+        _, max_values = store.resample("m", 0.0, 100.0, 10.0, agg="max")
+        _, min_values = store.resample("m", 0.0, 100.0, 10.0, agg="min")
+        assert max_values[0] == 9.0
+        assert min_values[0] == 0.0
+
+    def test_empty_bucket_is_nan(self):
+        store = TimeSeriesStore()
+        store.append("m", 0.0, 1.0)
+        store.append("m", 25.0, 2.0)
+        _, values = store.resample("m", 0.0, 30.0, 10.0)
+        assert np.isnan(values[1])
+
+    def test_rate_aggregation_for_counters(self):
+        store = TimeSeriesStore()
+        store.append_many("e", np.arange(10.0), np.arange(10.0) ** 2)
+        _, rates = store.resample("e", 0.0, 10.0, 5.0, agg="rate")
+        assert rates[0] == 16.0  # 4^2 - 0^2
+
+    def test_unknown_aggregation(self, store):
+        with pytest.raises(StoreError):
+            store.resample("m", 0.0, 100.0, 10.0, agg="bogus")
+
+    def test_invalid_step(self, store):
+        with pytest.raises(StoreError):
+            store.resample("m", 0.0, 100.0, 0.0)
+
+
+class TestAlign:
+    def test_align_shapes(self):
+        store = TimeSeriesStore()
+        store.append_many("a", np.arange(100.0), np.ones(100))
+        store.append_many("b", np.arange(100.0), np.full(100, 2.0))
+        grid, matrix = store.align(["a", "b"], 0.0, 100.0, 10.0)
+        assert matrix.shape == (10, 2)
+        assert (matrix[:, 0] == 1.0).all()
+        assert (matrix[:, 1] == 2.0).all()
+
+    def test_align_ffill_fills_gaps(self):
+        store = TimeSeriesStore()
+        store.append("a", 0.0, 5.0)
+        store.append("a", 95.0, 9.0)
+        _, matrix = store.align(["a"], 0.0, 100.0, 10.0, fill="ffill")
+        # Bucket 0 has the sample; buckets 1..8 carry it forward.
+        assert matrix[4, 0] == 5.0
+        assert matrix[9, 0] == 9.0
+
+    def test_align_nan_mode_keeps_gaps(self):
+        store = TimeSeriesStore()
+        store.append("a", 0.0, 5.0)
+        store.append("a", 95.0, 9.0)
+        _, matrix = store.align(["a"], 0.0, 100.0, 10.0, fill="nan")
+        assert np.isnan(matrix[4, 0])
+
+    def test_align_leading_nans_preserved(self):
+        store = TimeSeriesStore()
+        store.append("a", 55.0, 1.0)
+        _, matrix = store.align(["a"], 0.0, 100.0, 10.0, fill="ffill")
+        assert np.isnan(matrix[0, 0])
+        assert matrix[6, 0] == 1.0
+
+    def test_invalid_fill_mode(self):
+        store = TimeSeriesStore()
+        store.append("a", 0.0, 1.0)
+        with pytest.raises(StoreError):
+            store.align(["a"], 0.0, 10.0, 1.0, fill="interp")
+
+
+class TestPropertyBased:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+            min_size=1, max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_append_preserves_all_samples(self, values):
+        buf = SeriesBuffer("m")
+        for i, v in enumerate(values):
+            buf.append(float(i), v)
+        assert len(buf) == len(values)
+        assert buf.values.tolist() == pytest.approx(values)
+
+    @given(
+        n=st.integers(min_value=1, max_value=100),
+        lo=st.floats(min_value=0, max_value=100),
+        hi=st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_range_query_matches_linear_scan(self, n, lo, hi):
+        buf = SeriesBuffer("m")
+        for i in range(n):
+            buf.append(float(i), float(i))
+        times, _ = buf.range(lo, hi)
+        expected = [float(i) for i in range(n) if lo <= i <= hi]
+        assert times.tolist() == expected

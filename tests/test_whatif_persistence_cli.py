@@ -1,0 +1,140 @@
+"""Tests for the what-if replay API, store persistence and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import WorkloadGenerator, default_catalog
+from repro.apps.generator import JobRequest
+from repro.cli import main
+from repro.errors import InsufficientDataError, StoreError
+from repro.software import (
+    EasyBackfillPolicy,
+    FcfsPolicy,
+    compare_policies,
+    replay,
+)
+from repro.telemetry import TimeSeriesStore, load_store, save_store
+
+
+def trace(jobs_per_day=24.0, days=0.5, seed=7, max_nodes=16):
+    generator = WorkloadGenerator(
+        np.random.default_rng(seed), jobs_per_day=jobs_per_day, max_nodes=max_nodes
+    )
+    return generator.generate(0.0, days * 86_400.0)
+
+
+class TestReplay:
+    def test_replay_completes_trace(self):
+        result = replay(trace(), FcfsPolicy())
+        assert result.total == len(trace())
+        assert result.completed > 0
+        assert result.it_energy_kwh > 0
+        assert result.makespan_s > 0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            replay([], FcfsPolicy())
+
+    def test_backfill_no_worse_makespan(self):
+        requests = trace(jobs_per_day=40.0)
+        fcfs = replay(requests, FcfsPolicy())
+        easy = replay(requests, EasyBackfillPolicy())
+        assert easy.makespan_s <= fcfs.makespan_s * 1.05
+        assert easy.completed >= fcfs.completed
+
+    def test_compare_policies_sorted(self):
+        requests = trace()
+        results = compare_policies(
+            requests,
+            {"fcfs": FcfsPolicy(), "easy": EasyBackfillPolicy()},
+        )
+        assert [r.policy_name for r in results]
+        spans = [r.makespan_s for r in results]
+        assert spans == sorted(spans)
+
+    def test_stall_detection_terminates(self):
+        """A policy that never starts anything must not drain forever."""
+
+        class NeverPolicy(FcfsPolicy):
+            name = "never"
+
+            def select(self, ctx):
+                return []
+
+        result = replay(trace(days=0.2), NeverPolicy(), max_days=5.0)
+        assert result.completed == 0
+        assert result.makespan_s == 0.0
+
+    def test_replay_result_rows(self):
+        result = replay(trace(), EasyBackfillPolicy())
+        rows = dict(result.rows())
+        assert rows["policy"] == "easy_backfill"
+        assert "utilization" in rows
+
+
+class TestPersistence:
+    def make_store(self):
+        store = TimeSeriesStore(retention=None)
+        t = np.arange(0.0, 500.0, 5.0)
+        store.append_many("a.power", t, np.sin(t))
+        store.append_many("b.temp", t, np.cos(t))
+        return store
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "archive.npz")
+        original = self.make_store()
+        assert save_store(original, path) == 2
+        loaded = load_store(path)
+        assert loaded.names() == original.names()
+        for name in original.names():
+            t0, v0 = original.query(name)
+            t1, v1 = loaded.query(name)
+            assert (t0 == t1).all() and (v0 == v1).all()
+
+    def test_subset_save(self, tmp_path):
+        path = str(tmp_path / "subset.npz")
+        save_store(self.make_store(), path, names=["a.power"])
+        loaded = load_store(path)
+        assert loaded.names() == ["a.power"]
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, x=np.ones(3))
+        with pytest.raises(StoreError):
+            load_store(path)
+
+
+class TestCli:
+    def test_classify_command(self, capsys):
+        assert main(["classify", "dashboards", "for", "facility", "cooling"]) == 0
+        out = capsys.readouterr().out
+        assert "Descriptive x Building Infrastructure" in out
+
+    def test_classify_out_of_domain(self, capsys):
+        assert main(["classify", "zzz", "qqq"]) == 1
+
+    def test_roadmap_command(self, capsys):
+        assert main(["roadmap", "--covered", "descriptive:applications",
+                     "--horizon", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1." in out and "2." in out
+
+    def test_roadmap_bad_cell(self, capsys):
+        assert main(["roadmap", "--covered", "nonsense"]) == 1
+
+    def test_survey_command(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Figure 3" in out
+
+    def test_simulate_command(self, capsys, tmp_path):
+        path = str(tmp_path / "run.npz")
+        assert main([
+            "simulate", "--days", "0.05", "--jobs-per-day", "10",
+            "--save-store", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Run KPIs" in out
+        assert load_store(path).names()
