@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Fault-tolerant telemetry: dirty sensors, broken sinks, and self-metrics.
+
+Production ODA runs against imperfect monitoring stacks: sensors drop out,
+stick, spike and drift; downstream consumers crash.  This example builds a
+small telemetry pipeline, injects the classic sensor pathologies with
+:class:`FaultySource`, breaks one bus subscriber on purpose, and shows how
+the pipeline degrades gracefully instead of dying:
+
+* the raising sink is quarantined and its failed deliveries parked in the
+  dead-letter queue (then replayed after "fixing" it),
+* the flaky sensor is retried with backoff and its errors counted,
+* the pipeline publishes its own health metrics (``telemetry.*``),
+* a stale-data alert fires for a sensor that goes completely silent.
+
+Run:  python examples/telemetry_resilience.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation import Simulator
+from repro.telemetry import (
+    FaultySource,
+    Sampler,
+    SensorFaultKind,
+    StaleDataRule,
+    TelemetrySystem,
+)
+
+
+def main() -> None:
+    sim = Simulator()
+    telemetry = TelemetrySystem(health_period=60.0)
+
+    print("=== 1. A pipeline with injected sensor pathologies ===")
+    rng = np.random.default_rng(7)
+
+    def power_source(now):
+        return {"rack0.power": 12_000.0 + 500.0 * np.sin(now / 600.0)}
+
+    faulty = FaultySource(power_source, rng, dropout_prob=0.10)
+    faulty.inject(SensorFaultKind.STUCK, start=600.0, duration=300.0)
+    faulty.inject(SensorFaultKind.SPIKE, start=1500.0, duration=60.0,
+                  magnitude=8.0)
+
+    agent = telemetry.new_agent("site", period=30.0)
+    agent.add_sampler(Sampler("rack0", faulty))
+    dead_sensor = agent.add_sampler(
+        Sampler("rack1", lambda now: {"rack1.power": 11_500.0})
+    )
+
+    print("=== 2. A broken subscriber (crashes on every delivery) ===")
+
+    def broken_sink(topic, batch):
+        raise RuntimeError("downstream analytics service is down")
+
+    broken = telemetry.bus.subscribe("rack*", broken_sink)
+
+    telemetry.alerts.add_stale_rule(
+        StaleDataRule("no-data", "rack*.power", max_age=120.0)
+    )
+
+    telemetry.start_all(sim)
+    sim.run_until(1800.0)
+
+    print("=== 3. Kill rack1's sensor entirely; keep running ===")
+
+    def dead(now):
+        raise RuntimeError("sensor hardware failure")
+
+    dead_sensor.source = dead
+    sim.run_until(3600.0)
+    print(f"simulation completed: {sim.events_executed} events, no crash\n")
+
+    print("=== 4. What the pipeline absorbed ===")
+    kinds = {k.value: v for k, v in faulty.counts.items() if v}
+    print(f"  injected sensor faults: {kinds}")
+    print(f"  rack0 scrape errors (dropouts): {agent.samplers[0].errors}")
+    print(f"  rack1 scrape errors (dead sensor): {dead_sensor.errors}")
+    print(f"  broken sink quarantined: {broken.quarantined} "
+          f"after {broken.errors} failures")
+    print(f"  dead-letter queue depth: {telemetry.bus.dead_letter_count}\n")
+
+    print("=== 5. Pipeline self-metrics, straight from the store ===")
+    for name in (
+        "telemetry.bus.delivered",
+        "telemetry.bus.delivery_errors",
+        "telemetry.bus.dead_letters",
+        "telemetry.agent.site.scrape_errors",
+        "telemetry.store.samples",
+    ):
+        _, value = telemetry.store.latest(name)
+        print(f"  {name}: {value:.0f}")
+    print()
+
+    print("=== 6. Alerts raised ===")
+    for alert in telemetry.alerts.history:
+        state = "ACTIVE" if alert.active else f"cleared at {alert.cleared_at:.0f}s"
+        print(f"  [{alert.rule.name}] {alert.metric} "
+              f"raised at t={alert.raised_at:.0f}s ({state})")
+    print()
+
+    print("=== 7. Fix the sink and replay the dead letters ===")
+    delivered = []
+    broken.callback = lambda topic, batch: delivered.append(topic)
+    broken.reset()
+    replayed = telemetry.bus.replay_dead_letters(broken)
+    print(f"  replayed {replayed} parked batches into the repaired sink; "
+          f"queue depth now {telemetry.bus.dead_letter_count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,22 @@ class StoreError(TelemetryError):
     """Raised on invalid time-series store operations (bad ranges, dtypes)."""
 
 
+class SamplerError(TelemetryError):
+    """Raised when a telemetry source fails to produce a reading."""
+
+
+class SensorDropoutError(SamplerError):
+    """Raised by a (possibly injected) sensor that is offline for a scrape."""
+
+
+class SamplerTimeoutError(SamplerError):
+    """Raised when a source exceeds the collection agent's scrape budget."""
+
+
+class SubscriberError(TelemetryError):
+    """Raised when a bus sink cannot accept a delivery (e.g. failed replay)."""
+
+
 class AnalyticsError(ReproError):
     """Base class for analytics-layer errors."""
 

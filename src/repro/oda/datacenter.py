@@ -62,6 +62,9 @@ class DataCenter:
         Fraction of nodes with pathological OS noise.
     catalog:
         Application-profile catalog for workload generation.
+    health_period:
+        If given, publish pipeline self-metrics (``telemetry.*``) on this
+        period and drive stale-data alert checks.
     """
 
     def __init__(
@@ -81,6 +84,7 @@ class DataCenter:
         cooling_loops: int = 1,
         start_time: float = 0.0,
         sensor_noise_floor_w: float = 0.0,
+        health_period: Optional[float] = None,
     ):
         self.rng_pool = RngPool(seed)
         self.sim = Simulator(start_time=start_time)
@@ -139,6 +143,11 @@ class DataCenter:
         agent.add_sampler(self.system.sampler())
         agent.add_sampler(self.scheduler.sampler())
         agent.start(self.sim, start_delay=telemetry_period)
+
+        # Optional pipeline self-observability (telemetry.* meta-metrics).
+        if health_period is not None:
+            self.telemetry.enable_health(health_period)
+            self.telemetry.health.start(self.sim)
 
     # ------------------------------------------------------------------
     def _propagate_cooling(self) -> None:

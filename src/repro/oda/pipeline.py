@@ -33,6 +33,8 @@ class StreamingStage:
         self.output_topic = output_topic
         self.processed = 0
         self.emitted = 0
+        self.errors = 0
+        self.last_error = ""
         self._subscription = bus.subscribe(pattern, self._on_batch)
 
     def stop(self) -> None:
@@ -40,10 +42,26 @@ class StreamingStage:
 
     def _on_batch(self, topic: str, batch: SampleBatch) -> None:
         self.processed += 1
-        derived = self.process(topic, batch)
+        try:
+            derived = self.process(topic, batch)
+        except Exception as exc:  # noqa: BLE001 — a buggy stage must not
+            # poison the bus delivery loop or get itself quarantined; count
+            # the failure and skip this batch.
+            self.errors += 1
+            self.last_error = repr(exc)
+            return
         if derived:
             self.emitted += 1
             self.bus.publish(self.output_topic, SampleBatch.from_mapping(batch.time, derived))
+
+    def health_metrics(self) -> Dict[str, float]:
+        """Self-metrics snapshot, registrable as a health-monitor probe."""
+        prefix = f"telemetry.stage.{self.output_topic}"
+        return {
+            f"{prefix}.processed": float(self.processed),
+            f"{prefix}.emitted": float(self.emitted),
+            f"{prefix}.errors": float(self.errors),
+        }
 
     def process(self, topic: str, batch: SampleBatch) -> Optional[Dict[str, float]]:
         raise NotImplementedError

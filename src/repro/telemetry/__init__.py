@@ -3,12 +3,23 @@
 Mirrors the architecture of production HPC monitoring stacks (LDMS, DCDB,
 ExaMon): samplers scrape substrate components, a pub/sub bus transports
 sample batches, a columnar time-series store archives them, and an alert
-engine implements threshold-based descriptive alerting.
+engine implements threshold-based descriptive alerting.  The pipeline is
+fault-tolerant end to end — raising sources back off, raising sinks are
+quarantined with failed deliveries parked in a dead-letter queue — and
+publishes its own health metrics (:mod:`repro.telemetry.health`).
 """
 
-from repro.telemetry.alerts import Alert, AlertEngine, AlertRule, AlertSeverity
-from repro.telemetry.bus import MessageBus, Subscription
+from repro.telemetry.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    AlertSeverity,
+    StaleDataRule,
+)
+from repro.telemetry.bus import DeadLetter, MessageBus, Subscription
 from repro.telemetry.collector import CollectionAgent, Sampler, TelemetrySystem
+from repro.telemetry.faults import FaultySource, SensorFault, SensorFaultKind
+from repro.telemetry.health import HEALTH_TOPIC, HealthMonitor
 from repro.telemetry.metric import MetricKind, MetricRegistry, MetricSpec, Unit
 from repro.telemetry.persistence import load_store, save_store
 from repro.telemetry.sample import SampleBatch, merge_batches
@@ -19,11 +30,18 @@ __all__ = [
     "AlertEngine",
     "AlertRule",
     "AlertSeverity",
+    "StaleDataRule",
     "MessageBus",
     "Subscription",
+    "DeadLetter",
     "CollectionAgent",
     "Sampler",
     "TelemetrySystem",
+    "FaultySource",
+    "SensorFault",
+    "SensorFaultKind",
+    "HealthMonitor",
+    "HEALTH_TOPIC",
     "MetricKind",
     "MetricRegistry",
     "MetricSpec",

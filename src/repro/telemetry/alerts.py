@@ -5,19 +5,29 @@ features for automated alerts upon exceeding human-defined thresholds of
 monitored sensors".  The :class:`AlertEngine` subscribes to the message bus
 and evaluates simple threshold rules with hysteresis and duration filtering,
 raising and clearing :class:`Alert` records.
+
+Two failure modes of real monitoring stacks are handled explicitly:
+
+* **NaN samples** are treated as missing data — they never breach, never
+  clear, and never reset an in-progress breach timer, so a sensor that
+  starts emitting garbage cannot silently cancel an active alert.
+* **Silence** is alertable: a :class:`StaleDataRule` raises when a metric
+  stops reporting (or reports only NaN) for longer than ``max_age``, which
+  is how a dead sampler becomes visible instead of just... quiet.
 """
 
 from __future__ import annotations
 
 import fnmatch
+import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.telemetry.sample import SampleBatch
 
-__all__ = ["AlertSeverity", "AlertRule", "Alert", "AlertEngine"]
+__all__ = ["AlertSeverity", "AlertRule", "StaleDataRule", "Alert", "AlertEngine"]
 
 
 class AlertSeverity(Enum):
@@ -58,11 +68,41 @@ class AlertRule:
         return value >= self.threshold + self.clear_margin
 
 
+@dataclass(frozen=True)
+class StaleDataRule:
+    """Alert when a metric goes silent (no-data / NaN-only) for too long.
+
+    A metric is tracked from its first observation; once the gap since its
+    last *real* (non-NaN, when ``nan_is_missing``) sample exceeds
+    ``max_age``, an alert is raised.  It clears as soon as real data flows
+    again.  Staleness is evaluated against batch timestamps on every
+    :meth:`AlertEngine.observe` and on explicit
+    :meth:`AlertEngine.check_staleness` calls (the health monitor drives the
+    latter, so a totally dead pipeline still alerts).
+    """
+
+    name: str
+    metric_pattern: str
+    max_age: float
+    severity: AlertSeverity = AlertSeverity.WARNING
+    nan_is_missing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_age <= 0:
+            raise ConfigurationError(
+                f"rule {self.name}: max_age must be > 0, got {self.max_age}"
+            )
+
+
+#: Either rule flavour; :attr:`Alert.rule` holds whichever raised it.
+Rule = Union[AlertRule, StaleDataRule]
+
+
 @dataclass
 class Alert:
     """A raised (and possibly later cleared) alert instance."""
 
-    rule: AlertRule
+    rule: Rule
     metric: str
     raised_at: float
     value: float
@@ -96,16 +136,27 @@ class AlertEngine:
 
     def __init__(self) -> None:
         self._rules: List[AlertRule] = []
+        self._stale_rules: List[StaleDataRule] = []
         self._state: Dict[tuple, _PendingState] = {}
+        self._last_seen: Dict[Tuple[str, str], float] = {}
+        self._stale_alerts: Dict[Tuple[str, str], Alert] = {}
         self.history: List[Alert] = []
 
     def add_rule(self, rule: AlertRule) -> AlertRule:
         self._rules.append(rule)
         return rule
 
+    def add_stale_rule(self, rule: StaleDataRule) -> StaleDataRule:
+        self._stale_rules.append(rule)
+        return rule
+
     @property
     def rules(self) -> List[AlertRule]:
         return list(self._rules)
+
+    @property
+    def stale_rules(self) -> List[StaleDataRule]:
+        return list(self._stale_rules)
 
     def active_alerts(self) -> List[Alert]:
         """Alerts currently raised and not yet cleared."""
@@ -115,14 +166,66 @@ class AlertEngine:
         """Bus-compatible sink; returns alerts newly raised by this batch."""
         raised: List[Alert] = []
         for name, value in batch:
+            self._track_freshness(name, batch.time, value)
+            if math.isnan(value):
+                # Missing data: never breaches, never clears, never resets
+                # an in-progress breach timer.
+                continue
             for rule in self._rules:
                 if not fnmatch.fnmatchcase(name, rule.metric_pattern):
                     continue
                 key = (rule.name, name)
                 state = self._state.setdefault(key, _PendingState())
                 raised.extend(self._evaluate(rule, name, batch.time, value, state))
+        if self._stale_rules:
+            raised.extend(self.check_staleness(batch.time))
         return raised
 
+    # ------------------------------------------------------------------
+    # Stale / no-data rules
+    # ------------------------------------------------------------------
+    def _track_freshness(self, metric: str, now: float, value: float) -> None:
+        for rule in self._stale_rules:
+            if not fnmatch.fnmatchcase(metric, rule.metric_pattern):
+                continue
+            key = (rule.name, metric)
+            if math.isnan(value) and rule.nan_is_missing:
+                # First sighting starts the staleness clock even if it is
+                # NaN, so a sensor that only ever emits NaN still alerts.
+                self._last_seen.setdefault(key, now)
+                continue
+            self._last_seen[key] = now
+            alert = self._stale_alerts.pop(key, None)
+            if alert is not None:
+                alert.cleared_at = now
+
+    def check_staleness(self, now: float) -> List[Alert]:
+        """Raise stale-data alerts for tracked metrics silent past max_age.
+
+        Called automatically on every observed batch; call it explicitly (the
+        health monitor does, each period) to detect staleness even when no
+        traffic reaches this engine at all.
+        """
+        raised: List[Alert] = []
+        for rule in self._stale_rules:
+            for (rule_name, metric), last in self._last_seen.items():
+                if rule_name != rule.name:
+                    continue
+                key = (rule_name, metric)
+                if key in self._stale_alerts:
+                    continue
+                if now - last > rule.max_age:
+                    alert = Alert(
+                        rule=rule, metric=metric, raised_at=now, value=float("nan")
+                    )
+                    self._stale_alerts[key] = alert
+                    self.history.append(alert)
+                    raised.append(alert)
+        return raised
+
+    # ------------------------------------------------------------------
+    # Threshold rules
+    # ------------------------------------------------------------------
     def _evaluate(
         self,
         rule: AlertRule,

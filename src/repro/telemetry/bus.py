@@ -9,17 +9,25 @@ topic patterns.
 Topics are hierarchical dot-paths like metric names; subscriptions match by
 shell-style patterns so a store can subscribe to ``"#"`` (everything) while a
 node-level runtime subscribes only to ``cluster.rack0.node3.*``.
+
+Fault tolerance mirrors what long-lived monitoring deployments need: a
+raising sink is isolated (other subscribers still get the batch), repeated
+failures quarantine the subscription instead of poisoning every publish, and
+failed deliveries are parked in a bounded dead-letter queue that operators
+can inspect and replay once the sink is fixed.
 """
 
 from __future__ import annotations
 
 import fnmatch
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Deque, Dict, List, Optional
 
+from repro.errors import SubscriberError
 from repro.telemetry.sample import SampleBatch
 
-__all__ = ["Subscription", "MessageBus"]
+__all__ = ["Subscription", "DeadLetter", "MessageBus"]
 
 SinkFn = Callable[[str, SampleBatch], None]
 
@@ -29,23 +37,53 @@ MATCH_ALL = "#"
 
 @dataclass
 class Subscription:
-    """A registered sink: pattern + callback + delivery statistics."""
+    """A registered sink: pattern + callback + delivery statistics.
+
+    ``errors`` counts every failed delivery; ``consecutive_errors`` resets on
+    each success and drives quarantine.  A quarantined subscription stays
+    registered (inspectable, revivable via :meth:`reset`) but receives no
+    deliveries until revived.
+    """
 
     pattern: str
     callback: SinkFn
     delivered: int = 0
     active: bool = True
+    errors: int = 0
+    consecutive_errors: int = 0
+    quarantined: bool = False
+    last_error: str = ""
 
     def matches(self, topic: str) -> bool:
-        if not self.active:
+        if not self.active or self.quarantined:
             return False
         if self.pattern == MATCH_ALL:
             return True
         return fnmatch.fnmatchcase(topic, self.pattern)
 
     def cancel(self) -> None:
-        """Stop delivering to this subscription."""
+        """Stop delivering to this subscription.
+
+        The bus compacts cancelled subscriptions out of its delivery list
+        opportunistically on the next publish.
+        """
         self.active = False
+
+    def reset(self) -> None:
+        """Revive a quarantined subscription (e.g. after fixing the sink)."""
+        self.quarantined = False
+        self.consecutive_errors = 0
+
+
+@dataclass
+class DeadLetter:
+    """One failed delivery parked for inspection/replay."""
+
+    topic: str
+    batch: SampleBatch
+    subscription: Subscription
+    error: str
+    time: float = field(default=0.0)
 
 
 class MessageBus:
@@ -53,15 +91,34 @@ class MessageBus:
 
     Delivery is synchronous and in subscription order, which keeps the whole
     pipeline deterministic under the discrete-event simulator.  The bus keeps
-    simple counters (published / delivered / dropped) that the telemetry
-    benchmarks report.
+    simple counters (published / delivered / dropped / delivery_errors) that
+    the telemetry benchmarks and the health monitor report.
+
+    Parameters
+    ----------
+    max_consecutive_errors:
+        A subscription that fails this many deliveries in a row is
+        quarantined: skipped on subsequent publishes until
+        :meth:`Subscription.reset` revives it.
+    dead_letter_capacity:
+        Bound on the dead-letter queue; oldest letters are evicted first and
+        counted in ``dead_letters_evicted``.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_consecutive_errors: int = 5,
+        dead_letter_capacity: int = 256,
+    ) -> None:
         self._subscriptions: List[Subscription] = []
         self.published = 0
         self.delivered = 0
         self.dropped = 0
+        self.delivery_errors = 0
+        self.quarantines = 0
+        self.dead_letters_evicted = 0
+        self.max_consecutive_errors = max_consecutive_errors
+        self._dead_letters: Deque[DeadLetter] = deque(maxlen=dead_letter_capacity)
         self._topic_counts: Dict[str, int] = {}
 
     def subscribe(self, pattern: str, callback: SinkFn) -> Subscription:
@@ -77,21 +134,124 @@ class MessageBus:
     def publish(self, topic: str, batch: SampleBatch) -> int:
         """Deliver ``batch`` to all matching subscriptions.
 
-        Returns the number of deliveries; a published batch no subscriber
-        wanted counts as dropped.
+        Returns the number of successful deliveries; a published batch no
+        subscriber wanted counts as dropped.  A raising subscriber does not
+        abort delivery to the rest: the failure is counted, the batch is
+        parked in the dead-letter queue, and delivery continues.
         """
         self.published += 1
         self._topic_counts[topic] = self._topic_counts.get(topic, 0) + 1
         count = 0
+        saw_inactive = False
         for sub in self._subscriptions:
-            if sub.matches(topic):
+            if not sub.active:
+                saw_inactive = True
+                continue
+            if not sub.matches(topic):
+                continue
+            try:
                 sub.callback(topic, batch)
-                sub.delivered += 1
-                count += 1
+            except Exception as exc:  # noqa: BLE001 — isolate any sink failure
+                self._record_failure(sub, topic, batch, exc)
+                continue
+            sub.delivered += 1
+            sub.consecutive_errors = 0
+            count += 1
+        if saw_inactive:
+            self.compact()
         if count == 0:
             self.dropped += 1
         self.delivered += count
         return count
+
+    def _record_failure(
+        self, sub: Subscription, topic: str, batch: SampleBatch, exc: Exception
+    ) -> None:
+        sub.errors += 1
+        sub.consecutive_errors += 1
+        sub.last_error = repr(exc)
+        self.delivery_errors += 1
+        if (
+            self._dead_letters.maxlen is not None
+            and len(self._dead_letters) >= self._dead_letters.maxlen
+        ):
+            self.dead_letters_evicted += 1
+        self._dead_letters.append(
+            DeadLetter(topic, batch, sub, repr(exc), time=batch.time)
+        )
+        if (
+            not sub.quarantined
+            and sub.consecutive_errors >= self.max_consecutive_errors
+        ):
+            sub.quarantined = True
+            self.quarantines += 1
+
+    # ------------------------------------------------------------------
+    # Dead-letter queue
+    # ------------------------------------------------------------------
+    @property
+    def dead_letters(self) -> List[DeadLetter]:
+        """Snapshot of currently parked failed deliveries (oldest first)."""
+        return list(self._dead_letters)
+
+    @property
+    def dead_letter_count(self) -> int:
+        return len(self._dead_letters)
+
+    def replay_dead_letters(
+        self, subscription: Optional[Subscription] = None, strict: bool = False
+    ) -> int:
+        """Re-attempt parked deliveries; returns the number redelivered.
+
+        Letters whose delivery succeeds are removed; letters that fail again
+        are re-parked with the fresh error.  Letters for cancelled
+        subscriptions are discarded.  Pass ``subscription`` to replay only one
+        sink's letters; with ``strict=True`` the first re-failure raises
+        :class:`~repro.errors.SubscriberError` instead of re-parking.
+
+        Replay intentionally ignores quarantine: the operator flow is to fix
+        the sink, :meth:`Subscription.reset` it, then replay.
+        """
+        letters = list(self._dead_letters)
+        self._dead_letters.clear()
+        replayed = 0
+        for letter in letters:
+            sub = letter.subscription
+            if subscription is not None and sub is not subscription:
+                self._dead_letters.append(letter)
+                continue
+            if not sub.active:
+                continue
+            try:
+                sub.callback(letter.topic, letter.batch)
+            except Exception as exc:  # noqa: BLE001
+                letter.error = repr(exc)
+                self._dead_letters.append(letter)
+                if strict:
+                    raise SubscriberError(
+                        f"replay to {sub.pattern!r} failed again: {exc!r}"
+                    ) from exc
+                continue
+            sub.delivered += 1
+            self.delivered += 1
+            replayed += 1
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Drop cancelled subscriptions from the delivery list.
+
+        Called opportunistically by :meth:`publish`; returns count removed.
+        """
+        before = len(self._subscriptions)
+        self._subscriptions = [s for s in self._subscriptions if s.active]
+        return before - len(self._subscriptions)
+
+    def quarantined(self) -> List[Subscription]:
+        """Subscriptions currently quarantined for repeated failures."""
+        return [s for s in self._subscriptions if s.active and s.quarantined]
 
     def topics(self) -> List[str]:
         """Topics seen so far, sorted."""
@@ -104,3 +264,20 @@ class MessageBus:
     @property
     def subscription_count(self) -> int:
         return sum(1 for s in self._subscriptions if s.active)
+
+    @property
+    def quarantined_count(self) -> int:
+        return sum(1 for s in self._subscriptions if s.active and s.quarantined)
+
+    def health_metrics(self) -> Dict[str, float]:
+        """Self-metrics snapshot (see :mod:`repro.telemetry.health`)."""
+        return {
+            "telemetry.bus.published": float(self.published),
+            "telemetry.bus.delivered": float(self.delivered),
+            "telemetry.bus.dropped": float(self.dropped),
+            "telemetry.bus.delivery_errors": float(self.delivery_errors),
+            "telemetry.bus.dead_letters": float(len(self._dead_letters)),
+            "telemetry.bus.dead_letters_evicted": float(self.dead_letters_evicted),
+            "telemetry.bus.subscriptions": float(self.subscription_count),
+            "telemetry.bus.quarantined": float(self.quarantined_count),
+        }

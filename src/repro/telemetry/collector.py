@@ -7,14 +7,20 @@ discrete-event simulator and publishes each scrape as one
 :class:`~repro.telemetry.sample.SampleBatch` on the message bus — the same
 pull-model architecture as LDMS samplers + aggregators or Prometheus scrape
 jobs.
+
+A raising (or over-budget) source does not crash the run: the failure is
+counted on the sampler and the agent, and the sampler is retried with
+exponential backoff (skipping scrape ticks) until it recovers — mirroring
+how production collectors survive flaky sensors.
 """
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SamplerTimeoutError
 from repro.simulation.engine import PeriodicHandle, Simulator
 from repro.telemetry.bus import MessageBus
 from repro.telemetry.metric import MetricRegistry, MetricSpec
@@ -40,6 +46,10 @@ class Sampler:
         The metric specs this sampler produces.  Declared up front so the
         registry is complete before the first scrape (analytics can plan
         against the registry without waiting for data).
+
+    ``errors`` / ``consecutive_errors`` / ``suspended_until`` record scrape
+    failures and the backoff window the owning agent applies; they are
+    maintained by :class:`CollectionAgent`.
     """
 
     name: str
@@ -47,6 +57,11 @@ class Sampler:
     specs: List[MetricSpec] = field(default_factory=list)
     scrapes: int = 0
     samples: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    consecutive_errors: int = 0
+    last_error: str = ""
+    suspended_until: float = float("-inf")
 
     def scrape(self, now: float) -> SampleBatch:
         """Read the source and package the result as a batch."""
@@ -57,7 +72,18 @@ class Sampler:
 
 
 class CollectionAgent:
-    """Drives a group of samplers at a fixed period and publishes batches."""
+    """Drives a group of samplers at a fixed period and publishes batches.
+
+    Parameters
+    ----------
+    backoff_cap:
+        Upper bound, in periods, of the exponential retry backoff applied to
+        a repeatedly-failing sampler (1, 2, 4, … scrape periods).
+    source_timeout_s:
+        Optional wall-clock budget per source call; a slower source counts as
+        a timed-out scrape and its (late) batch is discarded.  Off by default
+        to keep simulations fully deterministic.
+    """
 
     def __init__(
         self,
@@ -65,13 +91,22 @@ class CollectionAgent:
         bus: MessageBus,
         period: float,
         registry: Optional[MetricRegistry] = None,
+        backoff_cap: float = 64.0,
+        source_timeout_s: Optional[float] = None,
     ):
         if period <= 0:
             raise ConfigurationError(f"agent {name}: period must be > 0")
+        if backoff_cap < 1:
+            raise ConfigurationError(f"agent {name}: backoff_cap must be >= 1")
         self.name = name
         self.bus = bus
         self.period = period
         self.registry = registry
+        self.backoff_cap = backoff_cap
+        self.source_timeout_s = source_timeout_s
+        self.scrape_errors = 0
+        self.scrapes_skipped = 0
+        self.last_error = ""
         self._samplers: List[Sampler] = []
         self._handle: Optional[PeriodicHandle] = None
 
@@ -87,14 +122,53 @@ class CollectionAgent:
         return list(self._samplers)
 
     def collect_once(self, now: float) -> int:
-        """Scrape every sampler once and publish; returns batches published."""
+        """Scrape every sampler once and publish; returns batches published.
+
+        A raising source is isolated: the error is recorded and the sampler
+        enters exponential backoff (its next scrapes are skipped) instead of
+        killing the collection tick.
+        """
         published = 0
         for sampler in self._samplers:
-            batch = sampler.scrape(now)
+            if now < sampler.suspended_until:
+                self.scrapes_skipped += 1
+                continue
+            try:
+                batch = self._scrape(sampler, now)
+            except Exception as exc:  # noqa: BLE001 — isolate any source failure
+                self._record_error(sampler, now, exc)
+                continue
+            sampler.consecutive_errors = 0
+            sampler.suspended_until = float("-inf")
             if len(batch):
                 self.bus.publish(sampler.name, batch)
                 published += 1
         return published
+
+    def _scrape(self, sampler: Sampler, now: float) -> SampleBatch:
+        if self.source_timeout_s is None:
+            return sampler.scrape(now)
+        t0 = _time.perf_counter()
+        batch = sampler.scrape(now)
+        elapsed = _time.perf_counter() - t0
+        if elapsed > self.source_timeout_s:
+            sampler.timeouts += 1
+            raise SamplerTimeoutError(
+                f"sampler {sampler.name}: scrape took {elapsed:.3f}s "
+                f"(budget {self.source_timeout_s}s)"
+            )
+        return batch
+
+    def _record_error(self, sampler: Sampler, now: float, exc: Exception) -> None:
+        sampler.errors += 1
+        sampler.consecutive_errors += 1
+        sampler.last_error = repr(exc)
+        self.scrape_errors += 1
+        self.last_error = f"{sampler.name}: {exc!r}"
+        backoff = self.period * min(
+            2.0 ** (sampler.consecutive_errors - 1), self.backoff_cap
+        )
+        sampler.suspended_until = now + backoff
 
     def start(self, sim: Simulator, start_delay: float = 0.0) -> None:
         """Begin periodic collection on the simulator."""
@@ -114,6 +188,17 @@ class CollectionAgent:
             self._handle.cancel()
             self._handle = None
 
+    def health_metrics(self) -> Dict[str, float]:
+        """Self-metrics snapshot (see :mod:`repro.telemetry.health`)."""
+        prefix = f"telemetry.agent.{self.name}"
+        return {
+            f"{prefix}.samplers": float(len(self._samplers)),
+            f"{prefix}.scrapes": float(sum(s.scrapes for s in self._samplers)),
+            f"{prefix}.samples": float(sum(s.samples for s in self._samplers)),
+            f"{prefix}.scrape_errors": float(self.scrape_errors),
+            f"{prefix}.scrapes_skipped": float(self.scrapes_skipped),
+        }
+
 
 class TelemetrySystem:
     """Convenience bundle: registry + bus + store + agents, pre-wired.
@@ -126,16 +211,53 @@ class TelemetrySystem:
         agent.start(sim)
         sim.run(3600)
         times, watts = telemetry.store.query("cluster.rack0.node0.cpu_power")
+
+    ``alerts`` lazily attaches an :class:`~repro.telemetry.alerts.AlertEngine`
+    to the bus on first access; :meth:`enable_health` adds a
+    :class:`~repro.telemetry.health.HealthMonitor` publishing pipeline
+    self-metrics and driving stale-data checks.
     """
 
-    def __init__(self, store_retention: Optional[float] = None):
+    def __init__(
+        self,
+        store_retention: Optional[float] = None,
+        health_period: Optional[float] = None,
+    ):
         from repro.telemetry.store import TimeSeriesStore
 
         self.registry = MetricRegistry()
         self.bus = MessageBus()
         self.store = TimeSeriesStore(retention=store_retention)
         self.agents: List[CollectionAgent] = []
+        self._alerts = None
+        self.health = None
         self.bus.subscribe("#", self.store.ingest)
+        if health_period is not None:
+            self.enable_health(health_period)
+
+    @property
+    def alerts(self):
+        """The alert engine, subscribed to the bus on first access."""
+        if self._alerts is None:
+            from repro.telemetry.alerts import AlertEngine
+
+            self._alerts = AlertEngine()
+            self.bus.subscribe("#", self._alerts.observe)
+        return self._alerts
+
+    def enable_health(self, period: float = 60.0):
+        """Attach (or return) the pipeline self-metrics monitor."""
+        if self.health is None:
+            from repro.telemetry.health import HealthMonitor
+
+            self.health = HealthMonitor(
+                self.bus,
+                store=self.store,
+                agents=self.agents,  # shared list: later agents are seen too
+                alerts=lambda: self._alerts,
+                period=period,
+            )
+        return self.health
 
     def new_agent(self, name: str, period: float) -> CollectionAgent:
         """Create, register and return a collection agent."""
@@ -144,11 +266,15 @@ class TelemetrySystem:
         return agent
 
     def start_all(self, sim: Simulator) -> None:
-        """Start every agent that is not already running."""
+        """Start every agent (and the health monitor) not already running."""
         for agent in self.agents:
             if agent._handle is None or not agent._handle.active:
                 agent.start(sim)
+        if self.health is not None and not self.health.running:
+            self.health.start(sim)
 
     def stop_all(self) -> None:
         for agent in self.agents:
             agent.stop()
+        if self.health is not None:
+            self.health.stop()

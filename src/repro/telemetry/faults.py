@@ -1,0 +1,205 @@
+"""Sensor-fault injection for the telemetry pipeline.
+
+Real monitoring deployments never see clean data: sensors drop out, stick at
+their last reading, spike, emit NaN, or drift out of calibration (the
+pathologies catalogued by the DCDB and ExaMon deployment reports).
+:class:`FaultySource` wraps any sampler source callable and injects exactly
+these pathologies — either on a deterministic schedule (:meth:`inject`) or
+stochastically from a seeded RNG — so diagnostic-cell analytics and the
+fault-tolerant collection path can be exercised with realistic dirty data
+while staying bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SensorDropoutError
+
+__all__ = ["SensorFaultKind", "SensorFault", "FaultySource"]
+
+
+class SensorFaultKind(Enum):
+    """The classic sensor pathologies."""
+
+    DROPOUT = "dropout"    # sensor offline: the scrape raises
+    STUCK = "stuck"        # repeats the last good reading
+    SPIKE = "spike"        # reading multiplied by a large factor
+    NAN = "nan"            # reading replaced by NaN
+    DRIFT = "drift"        # linearly growing calibration offset
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """One scheduled fault episode (ground truth for detector evaluation).
+
+    ``magnitude`` is kind-specific: spike multiplier, drift rate per second,
+    ignored for dropout/stuck/NaN.  ``metrics`` is a shell-style pattern
+    restricting which readings of the source are corrupted (dropout always
+    affects the whole scrape — an offline sensor returns nothing at all).
+    """
+
+    kind: SensorFaultKind
+    start: float
+    duration: float
+    magnitude: float = 1.0
+    metrics: str = "*"
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, now: float) -> bool:
+        return self.start <= now <= self.end
+
+
+class FaultySource:
+    """Wrap a source callable with seeded sensor-fault injection.
+
+    Use it anywhere a plain source fits::
+
+        sampler = Sampler("cluster.rack0", FaultySource(node_source, rng,
+                                                        dropout_prob=0.1))
+
+    Two injection mechanisms compose:
+
+    * **Scheduled** episodes via :meth:`inject` — deterministic ground truth
+      for benchmarks.
+    * **Stochastic** per-scrape faults drawn from ``rng`` with the given
+      probabilities; a triggered stuck fault opens an episode of
+      ``stuck_duration_s`` rather than corrupting a single scrape.
+
+    All injected events are recorded in ``events`` / ``counts`` so tests can
+    compare detector output against ground truth.
+    """
+
+    def __init__(
+        self,
+        source,
+        rng: Optional[np.random.Generator] = None,
+        dropout_prob: float = 0.0,
+        stuck_prob: float = 0.0,
+        spike_prob: float = 0.0,
+        nan_prob: float = 0.0,
+        drift_rate: float = 0.0,
+        spike_magnitude: float = 10.0,
+        stuck_duration_s: float = 300.0,
+    ):
+        probs = (dropout_prob, stuck_prob, spike_prob, nan_prob)
+        if any(p < 0 or p > 1 for p in probs):
+            raise ConfigurationError("fault probabilities must be in [0, 1]")
+        if any(probs) and rng is None:
+            raise ConfigurationError(
+                "stochastic fault injection requires a seeded rng"
+            )
+        self.source = source
+        self.rng = rng
+        self.dropout_prob = dropout_prob
+        self.stuck_prob = stuck_prob
+        self.spike_prob = spike_prob
+        self.nan_prob = nan_prob
+        self.drift_rate = drift_rate
+        self.spike_magnitude = spike_magnitude
+        self.stuck_duration_s = stuck_duration_s
+        self.scheduled: List[SensorFault] = []
+        self.events: List[tuple] = []  # (time, SensorFaultKind)
+        self.counts: Dict[SensorFaultKind, int] = {k: 0 for k in SensorFaultKind}
+        self._last_good: Optional[Dict[str, float]] = None
+        self._stuck_until = float("-inf")
+        self._drift_started: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        kind: SensorFaultKind,
+        start: float,
+        duration: float,
+        magnitude: float = 1.0,
+        metrics: str = "*",
+    ) -> SensorFault:
+        """Schedule a deterministic fault episode; returns the ground truth."""
+        if duration < 0:
+            raise ConfigurationError("fault duration must be >= 0")
+        fault = SensorFault(kind, start, duration, magnitude, metrics)
+        self.scheduled.append(fault)
+        return fault
+
+    def _record(self, now: float, kind: SensorFaultKind) -> None:
+        self.counts[kind] += 1
+        self.events.append((now, kind))
+
+    # ------------------------------------------------------------------
+    def __call__(self, now: float) -> Dict[str, float]:
+        active = [f for f in self.scheduled if f.active(now)]
+
+        # Stochastic draws happen every scrape, in a fixed order, so the
+        # rng stream stays aligned across runs regardless of which faults
+        # actually trigger.
+        draws = self.rng.random(4) if self.rng is not None else None
+        dropout = any(f.kind is SensorFaultKind.DROPOUT for f in active)
+        if draws is not None and draws[0] < self.dropout_prob:
+            dropout = True
+        if dropout:
+            self._record(now, SensorFaultKind.DROPOUT)
+            raise SensorDropoutError(f"sensor offline at t={now}")
+
+        if draws is not None and draws[1] < self.stuck_prob:
+            self._stuck_until = max(self._stuck_until, now + self.stuck_duration_s)
+        stuck = [f for f in active if f.kind is SensorFaultKind.STUCK]
+        if (now <= self._stuck_until or stuck) and self._last_good is not None:
+            self._record(now, SensorFaultKind.STUCK)
+            if stuck and stuck[0].metrics != "*":
+                # Partial stuck-at: only matching metrics freeze.
+                readings = dict(self.source(now))
+                for name in readings:
+                    if fnmatch.fnmatchcase(name, stuck[0].metrics):
+                        readings[name] = self._last_good.get(name, readings[name])
+                return readings
+            return dict(self._last_good)
+
+        readings = dict(self.source(now))
+
+        for fault in active:
+            if fault.kind is SensorFaultKind.SPIKE:
+                self._corrupt(readings, fault.metrics, lambda v: v * fault.magnitude)
+                self._record(now, SensorFaultKind.SPIKE)
+            elif fault.kind is SensorFaultKind.NAN:
+                self._corrupt(readings, fault.metrics, lambda v: float("nan"))
+                self._record(now, SensorFaultKind.NAN)
+            elif fault.kind is SensorFaultKind.DRIFT:
+                offset = fault.magnitude * (now - fault.start)
+                self._corrupt(readings, fault.metrics, lambda v: v + offset)
+                self._record(now, SensorFaultKind.DRIFT)
+
+        if draws is not None and draws[2] < self.spike_prob and readings:
+            victim = sorted(readings)[int(draws[3] * len(readings)) % len(readings)]
+            readings[victim] *= self.spike_magnitude
+            self._record(now, SensorFaultKind.SPIKE)
+        if draws is not None and draws[3] < self.nan_prob:
+            for name in readings:
+                readings[name] = float("nan")
+            self._record(now, SensorFaultKind.NAN)
+
+        if self.drift_rate:
+            if self._drift_started is None:
+                self._drift_started = now
+            offset = self.drift_rate * (now - self._drift_started)
+            if offset:
+                for name in readings:
+                    readings[name] += offset
+                self._record(now, SensorFaultKind.DRIFT)
+
+        if not any(np.isnan(v) for v in readings.values()):
+            self._last_good = dict(readings)
+        return readings
+
+    @staticmethod
+    def _corrupt(readings: Dict[str, float], pattern: str, fn) -> None:
+        for name, value in readings.items():
+            if pattern == "*" or fnmatch.fnmatchcase(name, pattern):
+                readings[name] = fn(value)

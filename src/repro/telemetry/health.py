@@ -1,0 +1,126 @@
+"""Pipeline self-observability: the monitoring stack monitors itself.
+
+Long-lived ODA deployments treat the monitoring pipeline as just another
+production service: the bus, the collection agents and the store publish
+their own meta-telemetry (delivery counts, scrape errors, dead-letter depth,
+series counts) back onto the bus, where it lands in the store and can be
+alerted on like any sensor.  :class:`HealthMonitor` does exactly that on a
+period, and additionally drives the alert engine's stale-data checks so a
+dead sampler raises an alert even when no data flows at all.
+
+Metric names follow the ``telemetry.*`` subtree::
+
+    telemetry.bus.delivered          telemetry.agent.<name>.scrape_errors
+    telemetry.bus.dead_letters       telemetry.store.samples
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.simulation.engine import PeriodicHandle, Simulator
+from repro.telemetry.bus import MessageBus
+from repro.telemetry.sample import SampleBatch
+
+__all__ = ["HealthMonitor", "HEALTH_TOPIC"]
+
+#: Bus topic health batches are published on.
+HEALTH_TOPIC = "telemetry.health"
+
+ProbeFn = Callable[[], Dict[str, float]]
+
+
+class HealthMonitor:
+    """Publishes pipeline self-metrics on a period.
+
+    Parameters
+    ----------
+    bus:
+        The bus to report on *and* publish to (health batches flow through
+        the normal transport so they land in the store and alert engine).
+    store:
+        Optional store to report sample/series counts for.
+    agents:
+        Collection agents to report on.  The live list may be passed (as
+        :class:`~repro.telemetry.collector.TelemetrySystem` does) so agents
+        created later are picked up automatically.
+    alerts:
+        An :class:`~repro.telemetry.alerts.AlertEngine`, or a zero-argument
+        callable returning one (or ``None``); its ``check_staleness`` is
+        driven every period so no-data alerts fire on a silent pipeline.
+    """
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        store=None,
+        agents: Optional[Sequence] = None,
+        alerts: Union[None, object, Callable[[], object]] = None,
+        period: float = 60.0,
+        topic: str = HEALTH_TOPIC,
+    ):
+        self.bus = bus
+        self.store = store
+        self.agents = agents if agents is not None else []
+        self._alerts = alerts
+        self.period = period
+        self.topic = topic
+        self.ticks = 0
+        self._probes: List[ProbeFn] = []
+        self._handle: Optional[PeriodicHandle] = None
+
+    def add_probe(self, probe: ProbeFn) -> ProbeFn:
+        """Register an extra metrics provider (e.g. a streaming stage)."""
+        self._probes.append(probe)
+        return probe
+
+    def _alert_engine(self):
+        if callable(self._alerts):
+            return self._alerts()
+        return self._alerts
+
+    # ------------------------------------------------------------------
+    def metrics(self, now: float) -> Dict[str, float]:
+        """One self-metrics snapshot across bus, agents, store and probes."""
+        out = dict(self.bus.health_metrics())
+        for agent in self.agents:
+            out.update(agent.health_metrics())
+        if self.store is not None:
+            out["telemetry.store.samples"] = float(self.store.samples_ingested)
+            out["telemetry.store.series"] = float(len(self.store))
+        for probe in self._probes:
+            out.update(probe())
+        out["telemetry.health.ticks"] = float(self.ticks)
+        return out
+
+    def collect(self, now: float) -> SampleBatch:
+        """Publish one health batch and run staleness checks; returns it."""
+        self.ticks += 1
+        batch = SampleBatch.from_mapping(now, self.metrics(now))
+        self.bus.publish(self.topic, batch)
+        engine = self._alert_engine()
+        if engine is not None:
+            engine.check_staleness(now)
+        return batch
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and self._handle.active
+
+    def start(self, sim: Simulator, start_delay: Optional[float] = None) -> None:
+        """Begin periodic self-reporting on the simulator."""
+        if self.running:
+            return
+        self._handle = sim.schedule_periodic(
+            self.period,
+            lambda s: self.collect(s.now),
+            start_delay=self.period if start_delay is None else start_delay,
+            label="telemetry:health",
+            priority=20,  # after collection ticks: report this tick's counters
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

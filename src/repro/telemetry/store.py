@@ -30,10 +30,21 @@ __all__ = ["SeriesBuffer", "TimeSeriesStore", "AGGREGATIONS"]
 
 
 def _rate(values: np.ndarray) -> float:
-    """Aggregation helper: total increase across the bucket (for counters)."""
+    """Aggregation helper: total increase across the bucket (for counters).
+
+    Reset-aware: a counter that resets mid-bucket (process restart, wrap)
+    shows a negative step; like Prometheus' ``increase``, the post-reset
+    value is taken as the increment from zero, so the total never goes
+    negative from a reset.
+    """
     if values.size < 2:
         return 0.0
-    return float(values[-1] - values[0])
+    deltas = np.diff(values)
+    resets = deltas < 0
+    if resets.any():
+        deltas = deltas.copy()
+        deltas[resets] = values[1:][resets]
+    return float(deltas.sum())
 
 
 #: Named aggregation functions usable in :meth:`TimeSeriesStore.resample`.
@@ -216,8 +227,10 @@ class TimeSeriesStore:
         times = np.asarray(times, dtype=np.float64)
         series.append_many(times, values)
         self.samples_ingested += int(times.size)
-        if times.size:
-            self._latest_time = max(self._latest_time, float(times[-1]))
+        if times.size and float(times[-1]) > self._latest_time:
+            self._latest_time = float(times[-1])
+            if self.retention is not None:
+                self._apply_retention()
 
     def _apply_retention(self) -> None:
         cutoff = self._latest_time - float(self.retention or 0)
@@ -275,8 +288,11 @@ class TimeSeriesStore:
         """Downsample a series onto buckets of width ``step``.
 
         Buckets are left-closed ``[t, t+step)``; each output timestamp is the
-        bucket start.  Empty buckets yield ``NaN`` so gaps stay visible to
-        descriptive analytics rather than being silently interpolated.
+        bucket start.  When ``until - since`` is not an exact multiple of
+        ``step``, the final bucket is partial and covers ``[t, until]``
+        (closed, so a sample exactly at ``until`` is included rather than
+        silently dropped).  Empty buckets yield ``NaN`` so gaps stay visible
+        to descriptive analytics rather than being silently interpolated.
         """
         if step <= 0:
             raise StoreError(f"step must be positive, got {step}")
@@ -286,15 +302,19 @@ class TimeSeriesStore:
             raise StoreError(
                 f"unknown aggregation {agg!r}; valid: {sorted(AGGREGATIONS)}"
             ) from None
-        times, values = self.query(name, since, until)
-        edges = np.arange(since, until + step * 0.5, step)
-        if edges.size < 2:
+        if until <= since:
             return np.empty(0), np.empty(0)
+        times, values = self.query(name, since, until)
+        n_buckets = int(np.ceil((until - since) / step - 1e-9))
+        edges = since + np.arange(n_buckets + 1) * step
         out_times = edges[:-1]
         out = np.full(out_times.shape, np.nan)
         if times.size:
             # Vectorized bucketing: one searchsorted, then per-bucket slices.
             idx = np.searchsorted(times, edges)
+            # The query is already capped at `until`, so the (possibly
+            # partial) final bucket absorbs every remaining sample.
+            idx[-1] = times.size
             for i in range(out_times.size):
                 lo, hi = idx[i], idx[i + 1]
                 if hi > lo:

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.telemetry import AlertEngine, AlertRule, AlertSeverity, SampleBatch
+from repro.telemetry import (
+    AlertEngine,
+    AlertRule,
+    AlertSeverity,
+    SampleBatch,
+    StaleDataRule,
+)
 
 
 def feed(engine, samples):
@@ -85,3 +91,80 @@ class TestAlertRules:
         feed(engine, [(0.0, 15.0), (1.0, 5.0), (2.0, 15.0)])
         assert len(engine.history) == 2
         assert len(engine.active_alerts()) == 1
+
+
+class TestNaNHandling:
+    def test_nan_does_not_clear_active_alert(self):
+        """Regression: NaN used to clear an active alert via rule.clears."""
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0))
+        feed(engine, [(0.0, 15.0)])
+        assert len(engine.active_alerts()) == 1
+        feed(engine, [(1.0, float("nan")), (2.0, float("nan"))])
+        assert len(engine.active_alerts()) == 1  # still raised
+
+    def test_nan_does_not_reset_breach_timer(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0, for_seconds=5.0))
+        raised = feed(
+            engine, [(0.0, 20.0), (2.0, float("nan")), (5.0, 20.0)]
+        )
+        assert len(raised) == 1  # breach started at t=0 despite the NaN
+
+    def test_nan_never_breaches(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("hot", "m.*", threshold=10.0))
+        engine.add_rule(AlertRule("cold", "m.*", threshold=0.0, above=False))
+        assert feed(engine, [(0.0, float("nan"))]) == []
+
+
+class TestStaleDataRule:
+    def test_silent_metric_raises_stale_alert(self):
+        engine = AlertEngine()
+        rule = engine.add_stale_rule(StaleDataRule("dead", "m.*", max_age=10.0))
+        feed(engine, [(0.0, 1.0), (5.0, 1.0)])
+        assert engine.active_alerts() == []
+        raised = engine.check_staleness(20.0)
+        assert len(raised) == 1
+        assert raised[0].rule is rule
+        assert raised[0].metric == "m.x"
+
+    def test_stale_alert_clears_when_data_returns(self):
+        engine = AlertEngine()
+        engine.add_stale_rule(StaleDataRule("dead", "m.*", max_age=10.0))
+        feed(engine, [(0.0, 1.0)])
+        engine.check_staleness(20.0)
+        assert len(engine.active_alerts()) == 1
+        feed(engine, [(25.0, 1.0)])
+        assert engine.active_alerts() == []
+        assert engine.history[0].cleared_at == 25.0
+
+    def test_staleness_checked_on_observe_of_other_metrics(self):
+        """Traffic on any metric advances the staleness clock."""
+        engine = AlertEngine()
+        engine.add_stale_rule(StaleDataRule("dead", "m.x", max_age=10.0))
+        feed(engine, [(0.0, 1.0)])
+        raised = engine.observe(
+            "t", SampleBatch.from_mapping(30.0, {"other": 1.0})
+        )
+        assert [a.metric for a in raised] == ["m.x"]
+
+    def test_nan_only_sensor_goes_stale(self):
+        """A sensor emitting only NaN is alertable as stale."""
+        engine = AlertEngine()
+        engine.add_stale_rule(StaleDataRule("dead", "m.*", max_age=10.0))
+        feed(engine, [(0.0, float("nan")), (5.0, float("nan"))])
+        raised = engine.check_staleness(15.0)
+        assert len(raised) == 1
+
+    def test_no_duplicate_stale_alert(self):
+        engine = AlertEngine()
+        engine.add_stale_rule(StaleDataRule("dead", "m.*", max_age=10.0))
+        feed(engine, [(0.0, 1.0)])
+        assert len(engine.check_staleness(20.0)) == 1
+        assert engine.check_staleness(30.0) == []
+        assert len(engine.history) == 1
+
+    def test_invalid_max_age(self):
+        with pytest.raises(ConfigurationError):
+            StaleDataRule("r", "m", max_age=0.0)

@@ -66,3 +66,142 @@ class TestMessageBus:
         bus.publish("abc", batch())
         bus.publish("xyz", batch())
         assert sub.delivered == 1
+
+    def test_cancelled_subscriptions_compacted(self):
+        """Regression: cancelled subs must not be scanned forever."""
+        bus = MessageBus()
+        subs = [bus.subscribe("#", lambda t, b: None) for _ in range(10)]
+        for sub in subs[:9]:
+            sub.cancel()
+        assert bus.subscription_count == 1
+        bus.publish("x", batch())  # opportunistic compaction
+        assert len(bus._subscriptions) == 1
+        assert bus.subscription_count == 1
+        # Survivor still receives deliveries after compaction.
+        assert bus.publish("x", batch()) == 1
+
+    def test_compact_explicit(self):
+        bus = MessageBus()
+        sub = bus.subscribe("#", lambda t, b: None)
+        bus.subscribe("#", lambda t, b: None)
+        sub.cancel()
+        assert bus.compact() == 1
+        assert bus.subscription_count == 1
+
+
+class TestErrorIsolation:
+    def test_raising_subscriber_does_not_block_others(self):
+        bus = MessageBus()
+        seen = []
+
+        def bad(topic, b):
+            raise RuntimeError("sink down")
+
+        bus.subscribe("#", bad)
+        bus.subscribe("#", lambda t, b: seen.append(t))
+        count = bus.publish("x", batch())
+        assert count == 1  # only the healthy sink delivered
+        assert seen == ["x"]
+        assert bus.delivery_errors == 1
+
+    def test_error_counters_and_dead_letters(self):
+        bus = MessageBus()
+        sub = bus.subscribe("#", lambda t, b: 1 / 0)
+        bus.publish("x", batch())
+        bus.publish("y", batch())
+        assert sub.errors == 2
+        assert sub.consecutive_errors == 2
+        assert "ZeroDivisionError" in sub.last_error
+        assert bus.dead_letter_count == 2
+        assert [dl.topic for dl in bus.dead_letters] == ["x", "y"]
+
+    def test_quarantine_after_consecutive_failures(self):
+        bus = MessageBus(max_consecutive_errors=3)
+        sub = bus.subscribe("#", lambda t, b: 1 / 0)
+        for _ in range(5):
+            bus.publish("x", batch())
+        assert sub.quarantined
+        assert bus.quarantines == 1
+        assert bus.quarantined() == [sub]
+        # Quarantined: skipped, so no further errors accumulate.
+        assert sub.errors == 3
+        assert bus.delivery_errors == 3
+
+    def test_success_resets_consecutive_errors(self):
+        bus = MessageBus(max_consecutive_errors=3)
+        flaky = {"fail": True}
+
+        def sink(topic, b):
+            if flaky["fail"]:
+                raise RuntimeError("flaky")
+
+        sub = bus.subscribe("#", sink)
+        bus.publish("x", batch())
+        bus.publish("x", batch())
+        flaky["fail"] = False
+        bus.publish("x", batch())
+        assert sub.consecutive_errors == 0
+        assert not sub.quarantined
+        assert sub.errors == 2
+
+    def test_reset_revives_quarantined_subscription(self):
+        bus = MessageBus(max_consecutive_errors=1)
+        state = {"fail": True}
+
+        def sink(topic, b):
+            if state["fail"]:
+                raise RuntimeError("down")
+
+        sub = bus.subscribe("#", sink)
+        bus.publish("x", batch())
+        assert sub.quarantined
+        state["fail"] = False
+        sub.reset()
+        assert bus.publish("x", batch()) == 1
+        assert sub.delivered == 1
+
+    def test_replay_dead_letters_after_recovery(self):
+        bus = MessageBus(max_consecutive_errors=2)
+        delivered = []
+        state = {"fail": True}
+
+        def sink(topic, b):
+            if state["fail"]:
+                raise RuntimeError("down")
+            delivered.append((topic, b.time))
+
+        sub = bus.subscribe("#", sink)
+        bus.publish("x", batch(t=1.0))
+        bus.publish("x", batch(t=2.0))
+        assert sub.quarantined and bus.dead_letter_count == 2
+        state["fail"] = False
+        sub.reset()
+        assert bus.replay_dead_letters() == 2
+        assert delivered == [("x", 1.0), ("x", 2.0)]
+        assert bus.dead_letter_count == 0
+
+    def test_replay_failure_reparks_letter(self):
+        bus = MessageBus()
+        bus.subscribe("#", lambda t, b: 1 / 0)
+        bus.publish("x", batch())
+        assert bus.replay_dead_letters() == 0
+        assert bus.dead_letter_count == 1
+
+    def test_dead_letter_queue_is_bounded(self):
+        bus = MessageBus(max_consecutive_errors=10**9, dead_letter_capacity=4)
+        bus.subscribe("#", lambda t, b: 1 / 0)
+        for i in range(10):
+            bus.publish("x", batch(t=float(i)))
+        assert bus.dead_letter_count == 4
+        assert bus.dead_letters_evicted == 6
+        # Oldest evicted first.
+        assert [dl.time for dl in bus.dead_letters] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_health_metrics_snapshot(self):
+        bus = MessageBus()
+        bus.subscribe("#", lambda t, b: None)
+        bus.publish("x", batch())
+        metrics = bus.health_metrics()
+        assert metrics["telemetry.bus.published"] == 1.0
+        assert metrics["telemetry.bus.delivered"] == 1.0
+        assert metrics["telemetry.bus.subscriptions"] == 1.0

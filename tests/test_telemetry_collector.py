@@ -82,6 +82,73 @@ class TestCollectionAgent:
             agent.start(sim)
 
 
+class TestSamplerFaultHandling:
+    def test_raising_source_is_isolated(self):
+        """A raising source must not kill the collection tick."""
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("#", lambda t, b: seen.append(t))
+        agent = CollectionAgent("a", bus, period=10.0)
+
+        def bad(now):
+            raise RuntimeError("sensor hw error")
+
+        sampler = agent.add_sampler(Sampler("bad", bad))
+        agent.add_sampler(Sampler("good", constant_source(1.0)))
+        assert agent.collect_once(0.0) == 1
+        assert seen == ["good"]
+        assert sampler.errors == 1
+        assert agent.scrape_errors == 1
+        assert "sensor hw error" in agent.last_error
+
+    def test_failing_sampler_backs_off_exponentially(self, sim):
+        bus = MessageBus()
+        agent = CollectionAgent("a", bus, period=10.0)
+
+        calls = []
+
+        def bad(now):
+            calls.append(now)
+            raise RuntimeError("down")
+
+        agent.add_sampler(Sampler("bad", bad))
+        agent.start(sim, start_delay=0.0)
+        sim.run_until(150.0)
+        # Backoff 1, 2, 4, 8 periods: attempts at t = 0, 10, 30, 70, 150.
+        assert calls == [0.0, 10.0, 30.0, 70.0, 150.0]
+        assert agent.scrapes_skipped > 0
+
+    def test_recovered_sampler_resumes_publishing(self, sim):
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("#", lambda t, b: seen.append(b.time))
+        agent = CollectionAgent("a", bus, period=10.0)
+        state = {"fail": True}
+
+        def flaky(now):
+            if state["fail"]:
+                raise RuntimeError("down")
+            return {"m.x": 1.0}
+
+        sampler = agent.add_sampler(Sampler("s", flaky))
+        agent.start(sim, start_delay=0.0)
+        sim.run_until(5.0)
+        state["fail"] = False
+        sim.run_until(30.0)
+        assert seen == [10.0, 20.0, 30.0]
+        assert sampler.consecutive_errors == 0
+        assert sampler.errors == 1
+
+    def test_health_metrics_snapshot(self):
+        agent = CollectionAgent("a", MessageBus(), 10.0)
+        agent.add_sampler(Sampler("s", constant_source(1.0)))
+        agent.collect_once(0.0)
+        metrics = agent.health_metrics()
+        assert metrics["telemetry.agent.a.scrapes"] == 1.0
+        assert metrics["telemetry.agent.a.scrape_errors"] == 0.0
+        assert metrics["telemetry.agent.a.samplers"] == 1.0
+
+
 class TestTelemetrySystem:
     def test_end_to_end_pipeline(self, sim):
         telemetry = TelemetrySystem()

@@ -124,6 +124,32 @@ class TestStoreIngest:
         times, _ = store.query("a")
         assert times[0] >= 89.0
 
+    def test_retention_applies_to_append_many(self):
+        """Regression: bulk ingest used to bypass the retention policy."""
+        store = TimeSeriesStore(retention=10.0)
+        store.append_many("a", np.arange(100.0), np.zeros(100))
+        times, _ = store.query("a")
+        assert times[0] >= 89.0
+        assert len(store.series("a")) <= 12
+
+    def test_retention_append_many_trims_other_series(self):
+        store = TimeSeriesStore(retention=10.0)
+        for t in range(50):
+            store.append("old", float(t), 0.0)
+        store.append_many("new", np.arange(100.0, 120.0), np.zeros(20))
+        old_times, _ = store.query("old")
+        assert old_times.size == 0  # everything older than 119 - 10
+
+    def test_retention_append_append_many_interleaved(self):
+        store = TimeSeriesStore(retention=20.0)
+        store.append("a", 0.0, 1.0)
+        store.append_many("b", np.arange(0.0, 30.0), np.zeros(30))
+        store.append("a", 35.0, 2.0)
+        store.append_many("b", np.arange(40.0, 50.0), np.ones(10))
+        for name in ("a", "b"):
+            times, _ = store.query(name)
+            assert times.size == 0 or times[0] >= store.latest_time - 20.0
+
     def test_unknown_series(self):
         with pytest.raises(UnknownMetricError):
             TimeSeriesStore().query("nope")
@@ -160,6 +186,45 @@ class TestResample:
         store.append_many("e", np.arange(10.0), np.arange(10.0) ** 2)
         _, rates = store.resample("e", 0.0, 10.0, 5.0, agg="rate")
         assert rates[0] == 16.0  # 4^2 - 0^2
+
+    def test_rate_handles_counter_reset(self):
+        """Regression: a counter reset mid-bucket gave a negative total."""
+        store = TimeSeriesStore()
+        # Counter climbs to 40, wraps to 0, climbs again to 20.
+        store.append_many(
+            "c", np.arange(7.0),
+            np.array([0.0, 20.0, 40.0, 0.0, 5.0, 10.0, 20.0]),
+        )
+        _, rates = store.resample("c", 0.0, 7.0, 7.0, agg="rate")
+        # Increase = 40 (pre-reset) + 20 (post-reset, from zero) = 60.
+        assert rates[0] == 60.0
+
+    def test_trailing_partial_bucket_emitted(self):
+        """Regression: samples past the last full bucket were dropped."""
+        store = TimeSeriesStore()
+        store.append_many("m", np.arange(96.0), np.arange(96.0))
+        times, values = store.resample("m", 0.0, 95.0, 10.0)
+        assert times.size == 10  # 9 full buckets + 1 partial [90, 95]
+        assert times[-1] == 90.0
+        assert values[-1] == pytest.approx(np.mean([90, 91, 92, 93, 94, 95]))
+
+    def test_sample_at_until_included_in_final_bucket(self):
+        store = TimeSeriesStore()
+        store.append_many("m", np.arange(11.0), np.arange(11.0))
+        _, values = store.resample("m", 0.0, 10.0, 5.0, agg="max")
+        # Final bucket is closed at `until`: the sample at t=10 counts.
+        assert values[-1] == 10.0
+
+    def test_resample_empty_range(self, store):
+        times, values = store.resample("m", 50.0, 50.0, 10.0)
+        assert times.size == 0 and values.size == 0
+
+    def test_resample_range_shorter_than_step(self):
+        store = TimeSeriesStore()
+        store.append_many("m", np.arange(5.0), np.ones(5))
+        times, values = store.resample("m", 0.0, 4.0, 10.0)
+        assert times.tolist() == [0.0]
+        assert values[0] == 1.0
 
     def test_unknown_aggregation(self, store):
         with pytest.raises(StoreError):
@@ -238,3 +303,40 @@ class TestPropertyBased:
         times, _ = buf.range(lo, hi)
         expected = [float(i) for i in range(n) if lo <= i <= hi]
         assert times.tolist() == expected
+
+    @given(
+        n=st.integers(min_value=1, max_value=100),
+        step=st.floats(min_value=0.5, max_value=20.0),
+        until=st.floats(min_value=0.5, max_value=120.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resample_buckets_partition_the_range(self, n, step, until):
+        """Every sample in [since, until] lands in exactly one bucket."""
+        store = TimeSeriesStore()
+        store.append_many("m", np.arange(float(n)), np.ones(n))
+        _, counts = store.resample("m", 0.0, until, step, agg="count")
+        in_range = sum(1 for i in range(n) if 0.0 <= i <= until)
+        assert int(np.nansum(counts)) == in_range
+
+    @given(
+        chunks=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=8)),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_retention_invariant_under_interleaved_appends(self, chunks):
+        """Retention holds however append and append_many interleave."""
+        store = TimeSeriesStore(retention=15.0)
+        t = 0.0
+        for use_bulk, size in chunks:
+            if use_bulk:
+                times = t + np.arange(size, dtype=np.float64)
+                store.append_many("m", times, np.zeros(size))
+                t += size
+            else:
+                store.append("m", t, 0.0)
+                t += 1.0
+        times = store.series("m").times
+        assert times.size > 0
+        assert times[0] >= store.latest_time - 15.0
