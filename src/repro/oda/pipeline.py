@@ -70,8 +70,11 @@ class StreamingStage:
 class DerivedMetricStage(StreamingStage):
     """Compute derived metrics from each batch with a plain function.
 
-    ``compute(values: dict) -> dict`` receives the batch as a mapping and
-    returns derived name/value pairs; missing inputs skip the batch.
+    ``compute(values: dict) -> dict`` receives the declared ``inputs`` as a
+    mapping and returns derived name/value pairs; missing inputs skip the
+    batch.  Only the declared inputs are materialized (via indexed batch
+    lookups), so non-matching batches cost two dict probes, not a full
+    batch-to-dict conversion.
     Example — streaming instantaneous PUE::
 
         DerivedMetricStage(
@@ -95,9 +98,12 @@ class DerivedMetricStage(StreamingStage):
         self.compute = compute
 
     def process(self, topic: str, batch: SampleBatch) -> Optional[Dict[str, float]]:
-        values = batch.as_dict()
-        if not all(name in values for name in self.inputs):
-            return None
+        values: Dict[str, float] = {}
+        for name in self.inputs:
+            value = batch.get(name)
+            if value is None:
+                return None
+            values[name] = value
         return self.compute(values)
 
 
@@ -126,12 +132,11 @@ class StreamingDetectorStage(StreamingStage):
         self._state: Dict[str, tuple] = {}  # metric -> (ewma, ewvar)
 
     def process(self, topic: str, batch: SampleBatch) -> Optional[Dict[str, float]]:
-        values = batch.as_dict()
         out: Dict[str, float] = {}
         for metric in self.metrics:
-            if metric not in values:
+            value = batch.get(metric)
+            if value is None:
                 continue
-            value = values[metric]
             state = self._state.get(metric)
             if state is None:
                 self._state[metric] = (value, 0.0)

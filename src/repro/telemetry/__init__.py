@@ -23,7 +23,12 @@ from repro.telemetry.health import HEALTH_TOPIC, HealthMonitor
 from repro.telemetry.metric import MetricKind, MetricRegistry, MetricSpec, Unit
 from repro.telemetry.persistence import load_store, save_store
 from repro.telemetry.sample import SampleBatch, merge_batches
-from repro.telemetry.store import AGGREGATIONS, SeriesBuffer, TimeSeriesStore
+from repro.telemetry.store import (
+    AGGREGATIONS,
+    VECTORIZED_AGGREGATIONS,
+    SeriesBuffer,
+    TimeSeriesStore,
+)
 
 __all__ = [
     "Alert",
@@ -51,6 +56,7 @@ __all__ = [
     "load_store",
     "save_store",
     "AGGREGATIONS",
+    "VECTORIZED_AGGREGATIONS",
     "SeriesBuffer",
     "TimeSeriesStore",
 ]

@@ -10,6 +10,12 @@ Topics are hierarchical dot-paths like metric names; subscriptions match by
 shell-style patterns so a store can subscribe to ``"#"`` (everything) while a
 node-level runtime subscribes only to ``cluster.rack0.node3.*``.
 
+Routing is indexed: each subscription pattern is compiled to a regex once,
+and the bus caches the exact-topic → matching-subscriptions list so a
+publish on a hot topic does no pattern matching at all.  The cache is
+invalidated on subscribe and compaction; quarantine and cancellation are
+checked per delivery, so the resilience semantics below are unaffected.
+
 Fault tolerance mirrors what long-lived monitoring deployments need: a
 raising sink is isolated (other subscribers still get the batch), repeated
 failures quarantine the subscription instead of poisoning every publish, and
@@ -20,6 +26,7 @@ can inspect and replay once the sink is fixed.
 from __future__ import annotations
 
 import fnmatch
+import re
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
@@ -53,13 +60,29 @@ class Subscription:
     consecutive_errors: int = 0
     quarantined: bool = False
     last_error: str = ""
+    _matcher: Optional[Callable] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _bus: Optional["MessageBus"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        # Compile the shell pattern once; "#" (and "*") match everything
+        # without a regex call at all.
+        if self.pattern in (MATCH_ALL, "*"):
+            self._matcher = None
+        else:
+            self._matcher = re.compile(fnmatch.translate(self.pattern)).match
+
+    def matches_topic(self, topic: str) -> bool:
+        """Pure pattern match, ignoring active/quarantine state."""
+        return self._matcher is None or self._matcher(topic) is not None
 
     def matches(self, topic: str) -> bool:
         if not self.active or self.quarantined:
             return False
-        if self.pattern == MATCH_ALL:
-            return True
-        return fnmatch.fnmatchcase(topic, self.pattern)
+        return self.matches_topic(topic)
 
     def cancel(self) -> None:
         """Stop delivering to this subscription.
@@ -68,6 +91,8 @@ class Subscription:
         opportunistically on the next publish.
         """
         self.active = False
+        if self._bus is not None:
+            self._bus._pending_compact = True
 
     def reset(self) -> None:
         """Revive a quarantined subscription (e.g. after fixing the sink)."""
@@ -103,12 +128,23 @@ class MessageBus:
     dead_letter_capacity:
         Bound on the dead-letter queue; oldest letters are evicted first and
         counted in ``dead_letters_evicted``.
+    topic_cardinality_cap:
+        Bound on the per-topic publish counters.  The first
+        ``topic_cardinality_cap`` distinct topics are tracked individually;
+        publishes on any further topic are folded into a single overflow
+        bucket (``topic_overflow``) so a high-cardinality workload cannot
+        grow bus memory without bound.
+    route_cache_capacity:
+        Bound on the exact-topic routing cache; when full, the cache is
+        dropped and rebuilt on demand.
     """
 
     def __init__(
         self,
         max_consecutive_errors: int = 5,
         dead_letter_capacity: int = 256,
+        topic_cardinality_cap: int = 1024,
+        route_cache_capacity: int = 1024,
     ) -> None:
         self._subscriptions: List[Subscription] = []
         self.published = 0
@@ -119,7 +155,14 @@ class MessageBus:
         self.dead_letters_evicted = 0
         self.max_consecutive_errors = max_consecutive_errors
         self._dead_letters: Deque[DeadLetter] = deque(maxlen=dead_letter_capacity)
+        self.topic_cardinality_cap = topic_cardinality_cap
         self._topic_counts: Dict[str, int] = {}
+        self.topic_overflow = 0  # publishes folded into the overflow bucket
+        self.route_cache_capacity = route_cache_capacity
+        self._route_cache: Dict[str, List[Subscription]] = {}
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+        self._pending_compact = False
 
     def subscribe(self, pattern: str, callback: SinkFn) -> Subscription:
         """Register ``callback`` for topics matching ``pattern``.
@@ -128,8 +171,33 @@ class MessageBus:
         ``"#"`` which matches every topic.
         """
         sub = Subscription(pattern=pattern, callback=callback)
+        sub._bus = self
         self._subscriptions.append(sub)
+        self._route_cache.clear()
         return sub
+
+    def _count_topic(self, topic: str) -> None:
+        counts = self._topic_counts
+        seen = counts.get(topic)
+        if seen is not None:
+            counts[topic] = seen + 1
+        elif len(counts) < self.topic_cardinality_cap:
+            counts[topic] = 1
+        else:
+            self.topic_overflow += 1
+
+    def _route(self, topic: str) -> List[Subscription]:
+        """Matching subscriptions for ``topic``, cached per exact topic."""
+        subs = self._route_cache.get(topic)
+        if subs is None:
+            self.route_cache_misses += 1
+            if len(self._route_cache) >= self.route_cache_capacity:
+                self._route_cache.clear()
+            subs = [s for s in self._subscriptions if s.matches_topic(topic)]
+            self._route_cache[topic] = subs
+        else:
+            self.route_cache_hits += 1
+        return subs
 
     def publish(self, topic: str, batch: SampleBatch) -> int:
         """Deliver ``batch`` to all matching subscriptions.
@@ -140,14 +208,12 @@ class MessageBus:
         parked in the dead-letter queue, and delivery continues.
         """
         self.published += 1
-        self._topic_counts[topic] = self._topic_counts.get(topic, 0) + 1
+        self._count_topic(topic)
+        if self._pending_compact:
+            self.compact()
         count = 0
-        saw_inactive = False
-        for sub in self._subscriptions:
-            if not sub.active:
-                saw_inactive = True
-                continue
-            if not sub.matches(topic):
+        for sub in self._route(topic):
+            if not sub.active or sub.quarantined:
                 continue
             try:
                 sub.callback(topic, batch)
@@ -157,8 +223,6 @@ class MessageBus:
             sub.delivered += 1
             sub.consecutive_errors = 0
             count += 1
-        if saw_inactive:
-            self.compact()
         if count == 0:
             self.dropped += 1
         self.delivered += count
@@ -244,21 +308,31 @@ class MessageBus:
         """Drop cancelled subscriptions from the delivery list.
 
         Called opportunistically by :meth:`publish`; returns count removed.
+        Invalidates the routing cache, which still references the dropped
+        subscriptions.
         """
         before = len(self._subscriptions)
         self._subscriptions = [s for s in self._subscriptions if s.active]
-        return before - len(self._subscriptions)
+        removed = before - len(self._subscriptions)
+        if removed:
+            self._route_cache.clear()
+        self._pending_compact = False
+        return removed
 
     def quarantined(self) -> List[Subscription]:
         """Subscriptions currently quarantined for repeated failures."""
         return [s for s in self._subscriptions if s.active and s.quarantined]
 
     def topics(self) -> List[str]:
-        """Topics seen so far, sorted."""
+        """Individually tracked topics seen so far, sorted.
+
+        Topics folded into the overflow bucket (beyond
+        ``topic_cardinality_cap``) are not listed.
+        """
         return sorted(self._topic_counts)
 
     def topic_count(self, topic: str) -> int:
-        """Number of batches published on ``topic``."""
+        """Number of batches published on ``topic`` (0 if untracked)."""
         return self._topic_counts.get(topic, 0)
 
     @property
@@ -280,4 +354,10 @@ class MessageBus:
             "telemetry.bus.dead_letters_evicted": float(self.dead_letters_evicted),
             "telemetry.bus.subscriptions": float(self.subscription_count),
             "telemetry.bus.quarantined": float(self.quarantined_count),
+            "telemetry.bus.topics_tracked": float(len(self._topic_counts)),
+            "telemetry.bus.topic_cardinality_cap": float(self.topic_cardinality_cap),
+            "telemetry.bus.topic_overflow": float(self.topic_overflow),
+            "telemetry.bus.route_cache_size": float(len(self._route_cache)),
+            "telemetry.bus.route_cache_hits": float(self.route_cache_hits),
+            "telemetry.bus.route_cache_misses": float(self.route_cache_misses),
         }

@@ -222,12 +222,18 @@ class TelemetrySystem:
         self,
         store_retention: Optional[float] = None,
         health_period: Optional[float] = None,
+        store_retention_slack: float = 0.25,
+        store_flush_threshold: int = 256,
     ):
         from repro.telemetry.store import TimeSeriesStore
 
         self.registry = MetricRegistry()
         self.bus = MessageBus()
-        self.store = TimeSeriesStore(retention=store_retention)
+        self.store = TimeSeriesStore(
+            retention=store_retention,
+            retention_slack=store_retention_slack,
+            flush_threshold=store_flush_threshold,
+        )
         self.agents: List[CollectionAgent] = []
         self._alerts = None
         self.health = None
@@ -278,3 +284,6 @@ class TelemetrySystem:
             agent.stop()
         if self.health is not None:
             self.health.stop()
+        # Compact any staged samples so a stopped system is fully flushed
+        # (reads flush lazily anyway; this is for persistence/shutdown).
+        self.store.flush()

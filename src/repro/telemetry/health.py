@@ -86,8 +86,12 @@ class HealthMonitor:
         for agent in self.agents:
             out.update(agent.health_metrics())
         if self.store is not None:
-            out["telemetry.store.samples"] = float(self.store.samples_ingested)
-            out["telemetry.store.series"] = float(len(self.store))
+            store_health = getattr(self.store, "health_metrics", None)
+            if store_health is not None:
+                out.update(store_health())
+            else:  # duck-typed store without self-metrics
+                out["telemetry.store.samples"] = float(self.store.samples_ingested)
+                out["telemetry.store.series"] = float(len(self.store))
         for probe in self._probes:
             out.update(probe())
         out["telemetry.health.ticks"] = float(self.ticks)

@@ -11,7 +11,7 @@ Python objects).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,19 +53,40 @@ class SampleBatch:
         values = np.fromiter(mapping.values(), dtype=np.float64, count=len(names))
         return cls(time=time, names=names, values=values)
 
+    def _name_index(self) -> Dict[str, int]:
+        """Lazy ``name -> position`` map; duplicate names keep the last
+        occurrence (last writer wins, matching store semantics)."""
+        index = self.__dict__.get("_index")
+        if index is None:
+            index = {n: i for i, n in enumerate(self.names)}
+            object.__setattr__(self, "_index", index)
+        return index
+
+    def get(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        """Value for ``name`` as a Python float, or ``default`` if absent.
+
+        O(1) after the first lookup on a batch — the hot-path alternative to
+        building a full :meth:`as_dict` per batch in streaming stages.
+        """
+        i = self._name_index().get(name)
+        return default if i is None else float(self.values[i])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_index()
+
     def as_dict(self) -> Dict[str, float]:
         """Return ``{name: value}``; values as Python floats."""
-        return {n: float(v) for n, v in zip(self.names, self.values)}
+        return dict(zip(self.names, self.values.tolist()))
 
     def __len__(self) -> int:
         return len(self.names)
 
     def __iter__(self) -> Iterator[Tuple[str, float]]:
-        return ((n, float(v)) for n, v in zip(self.names, self.values))
+        return iter(zip(self.names, self.values.tolist()))
 
     def subset(self, names: Sequence[str]) -> "SampleBatch":
         """Return a batch restricted to ``names`` (missing names dropped)."""
-        index = {n: i for i, n in enumerate(self.names)}
+        index = self._name_index()
         keep = [n for n in names if n in index]
         idx = np.fromiter((index[n] for n in keep), dtype=np.intp, count=len(keep))
         return SampleBatch(self.time, tuple(keep), self.values[idx])
@@ -85,7 +106,9 @@ def merge_batches(batches: Sequence[SampleBatch]) -> SampleBatch:
             raise ValueError(
                 f"cannot merge batches at different times: {time} vs {batch.time}"
             )
+    if len(batches) == 1:
+        return batches[0]
     merged: Dict[str, float] = {}
     for batch in batches:
-        merged.update(batch.as_dict())
+        merged.update(zip(batch.names, batch.values.tolist()))
     return SampleBatch.from_mapping(time, merged)

@@ -10,15 +10,28 @@ Features mirrored from production HPC monitoring databases (DCDB/KairosDB,
 LDMS+DSOS, Prometheus):
 
 * last-writer-wins ingest from the message bus,
+* staged batch ingest: bus batches land in cheap per-series staging buffers
+  and are flushed to the columnar arrays in vectorized chunks (flush happens
+  automatically before any read, so queries always see every sample),
+* amortized retention: instead of sweeping every series on each new
+  timestamp, a series is trimmed when its stale fraction crosses a slack
+  watermark (plus one round-robin peer per flush, so cold series are
+  eventually reclaimed too); reads enforce the exact cutoff for the series
+  being read,
 * time-range queries,
-* downsampling/resampling with standard aggregations,
+* downsampling/resampling with standard aggregations — the common ones
+  (``mean/min/max/sum/count/first/last``) run as vectorized ``reduceat``
+  kernels keyed off a single ``searchsorted``,
 * multi-metric alignment onto a common time grid (the input shape every
-  multivariate analytics model wants),
+  multivariate analytics model wants), computing the bucket-edge grid once
+  and sharing it across all series,
 * optional retention limit per series.
 """
 
 from __future__ import annotations
 
+import fnmatch
+import re
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,7 +39,12 @@ import numpy as np
 from repro.errors import StoreError, UnknownMetricError
 from repro.telemetry.sample import SampleBatch
 
-__all__ = ["SeriesBuffer", "TimeSeriesStore", "AGGREGATIONS"]
+__all__ = [
+    "SeriesBuffer",
+    "TimeSeriesStore",
+    "AGGREGATIONS",
+    "VECTORIZED_AGGREGATIONS",
+]
 
 
 def _rate(values: np.ndarray) -> float:
@@ -48,6 +66,8 @@ def _rate(values: np.ndarray) -> float:
 
 
 #: Named aggregation functions usable in :meth:`TimeSeriesStore.resample`.
+#: These scalar callables are the semantic reference; where a vectorized
+#: kernel exists (:data:`VECTORIZED_AGGREGATIONS`) it must agree with them.
 AGGREGATIONS: Dict[str, Callable[[np.ndarray], float]] = {
     "mean": lambda v: float(np.mean(v)),
     "min": lambda v: float(np.min(v)),
@@ -62,7 +82,28 @@ AGGREGATIONS: Dict[str, Callable[[np.ndarray], float]] = {
     "rate": _rate,
 }
 
+
+# Vectorized bucket kernels.  Each receives the in-range ``values`` plus the
+# start/end sample index of every *non-empty* bucket (strictly increasing
+# starts, ends[-1] == values.size) and returns one value per bucket.  Empty
+# buckets never reach a kernel — the caller leaves them NaN.  Consecutive
+# non-empty buckets are contiguous through any empty buckets between them
+# (empty buckets have zero width in sample space), which is exactly the
+# segment layout ``reduceat`` reduces over.
+VECTORIZED_AGGREGATIONS: Dict[str, Callable[..., np.ndarray]] = {
+    "sum": lambda v, s, e: np.add.reduceat(v, s),
+    "mean": lambda v, s, e: np.add.reduceat(v, s) / (e - s),
+    "min": lambda v, s, e: np.minimum.reduceat(v, s),
+    "max": lambda v, s, e: np.maximum.reduceat(v, s),
+    "count": lambda v, s, e: (e - s).astype(np.float64),
+    "first": lambda v, s, e: v[s],
+    "last": lambda v, s, e: v[e - 1],
+}
+
 _INITIAL_CAPACITY = 64
+
+#: Bound on the per-store cache of compiled ``select`` patterns.
+_SELECT_CACHE_CAP = 256
 
 
 class SeriesBuffer:
@@ -119,7 +160,12 @@ class SeriesBuffer:
         self._size += 1
 
     def append_many(self, times: np.ndarray, values: np.ndarray) -> None:
-        """Vectorized bulk append of already-sorted, strictly newer samples."""
+        """Vectorized bulk append of already-sorted samples.
+
+        Must start at or after the last stored timestamp; samples whose
+        timestamp equals the last stored one overwrite it in place (last
+        writer wins), matching :meth:`append` applied sample by sample.
+        """
         times = np.asarray(times, dtype=np.float64)
         values = np.asarray(values, dtype=np.float64)
         if times.shape != values.shape or times.ndim != 1:
@@ -128,10 +174,22 @@ class SeriesBuffer:
             return
         if np.any(np.diff(times) < 0):
             raise StoreError(f"series {self.name}: times must be non-decreasing")
-        if self._size and times[0] <= self._times[self._size - 1]:
-            raise StoreError(
-                f"series {self.name}: bulk append must start after last sample"
-            )
+        if self._size:
+            last = self._times[self._size - 1]
+            if times[0] < last:
+                raise StoreError(
+                    f"series {self.name}: bulk append must start at or after "
+                    f"the last sample (t={times[0]} < last t={last})"
+                )
+            head = int(np.searchsorted(times, last, side="right"))
+            if head:
+                # Leading samples share the last stored timestamp: collapse
+                # them onto it, keeping the final writer's value.
+                self._values[self._size - 1] = values[head - 1]
+                times = times[head:]
+                values = values[head:]
+                if times.size == 0:
+                    return
         self._grow(self._size + times.size)
         self._times[self._size : self._size + times.size] = times
         self._values[self._size : self._size + times.size] = values
@@ -178,6 +236,17 @@ class SeriesBuffer:
         return lo
 
 
+class _Stage:
+    """Per-series staging buffer: plain Python lists, flushed in chunks."""
+
+    __slots__ = ("times", "values", "last_t")
+
+    def __init__(self, last_t: float):
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.last_t = last_t
+
+
 class TimeSeriesStore:
     """Named collection of :class:`SeriesBuffer` with query helpers.
 
@@ -185,14 +254,48 @@ class TimeSeriesStore:
     ----------
     retention:
         If given, samples older than ``latest_time - retention`` seconds are
-        trimmed opportunistically on ingest.
+        trimmed opportunistically on ingest.  The ingest path trims a series
+        only when its stale fraction exceeds ``retention_slack`` (amortized
+        O(1) per sample instead of an O(total series) sweep per new
+        timestamp); any read of a series first enforces the exact cutoff, so
+        queries never observe samples older than the retention window.
+    retention_slack:
+        High-watermark fraction in ``[0, 1)``: on the ingest path a series
+        is compacted once at least this fraction of its samples is stale.
+        ``0.0`` trims eagerly on every flush.
+    flush_threshold:
+        Number of staged samples at which a series' staging buffer is
+        flushed to its columnar arrays.  Reads flush implicitly, so this
+        only tunes ingest chunking, never visibility.
     """
 
-    def __init__(self, retention: Optional[float] = None):
+    def __init__(
+        self,
+        retention: Optional[float] = None,
+        retention_slack: float = 0.25,
+        flush_threshold: int = 256,
+    ):
+        if not 0.0 <= retention_slack < 1.0:
+            raise StoreError(
+                f"retention_slack must be in [0, 1), got {retention_slack}"
+            )
+        if flush_threshold < 1:
+            raise StoreError(
+                f"flush_threshold must be >= 1, got {flush_threshold}"
+            )
         self._series: Dict[str, SeriesBuffer] = {}
+        self._staging: Dict[str, _Stage] = {}
         self.retention = retention
+        self.retention_slack = retention_slack
+        self.flush_threshold = flush_threshold
         self.samples_ingested = 0
+        self.flushes = 0
+        self.retention_trims = 0
+        self.samples_trimmed = 0
         self._latest_time = float("-inf")
+        self._names_cache: Optional[List[str]] = None
+        self._select_cache: Dict[str, Callable] = {}
+        self._sweep_queue: List[str] = []
 
     # ------------------------------------------------------------------
     # Ingest
@@ -203,45 +306,158 @@ class TimeSeriesStore:
         The ``topic`` is ignored for storage purposes (metric names are
         already fully qualified) but kept in the signature so the store can
         be subscribed directly: ``bus.subscribe("#", store.ingest)``.
+
+        Samples land in per-series staging buffers (two Python list appends
+        per sample) and are flushed to the columnar arrays in vectorized
+        chunks of ``flush_threshold``; reads flush implicitly first, so this
+        is invisible to queries.
         """
-        for name, value in batch:
-            self.append(name, batch.time, value)
+        t = batch.time
+        staging = self._staging
+        threshold = self.flush_threshold
+        for name, value in zip(batch.names, batch.values.tolist()):
+            stage = staging.get(name)
+            if stage is None:
+                stage = staging[name] = _Stage(self._last_time_of(name))
+            if t < stage.last_t:
+                raise StoreError(
+                    f"series {name}: out-of-order ingest at t={t} "
+                    f"(last t={stage.last_t})"
+                )
+            if t == stage.last_t and stage.times:
+                stage.values[-1] = value  # last writer wins in staging too
+            else:
+                stage.times.append(t)
+                stage.values.append(value)
+                stage.last_t = t
+                if len(stage.times) >= threshold:
+                    self._flush_stage(name, stage)
+        self.samples_ingested += len(batch.names)
+        if t > self._latest_time:
+            self._latest_time = t
+
+    def _last_time_of(self, name: str) -> float:
+        """Last stored timestamp of ``name``, creating the series if needed."""
+        buf = self._series.get(name)
+        if buf is None:
+            buf = self._series[name] = SeriesBuffer(name)
+            self._names_cache = None
+        return float(buf._times[buf._size - 1]) if buf._size else float("-inf")
+
+    def _flush_stage(self, name: str, stage: _Stage) -> None:
+        """Move one series' staged samples into its columnar buffer."""
+        buf = self._series[name]
+        times = np.asarray(stage.times, dtype=np.float64)
+        values = np.asarray(stage.values, dtype=np.float64)
+        stage.times = []
+        stage.values = []
+        buf.append_many(times, values)
+        self.flushes += 1
+        if self.retention is not None:
+            self._maybe_trim(buf, exact=False)
+            self._sweep_one()
+
+    def flush(self, name: Optional[str] = None) -> int:
+        """Flush staged samples for ``name`` (or every series) to columnar
+        storage; returns the number of samples flushed.
+
+        Reads flush the touched series implicitly — this is only needed to
+        force full compaction, e.g. before persisting or at shutdown.
+        """
+        flushed = 0
+        if name is not None:
+            stage = self._staging.get(name)
+            if stage is not None and stage.times:
+                flushed = len(stage.times)
+                self._flush_stage(name, stage)
+            return flushed
+        for series_name, stage in self._staging.items():
+            if stage.times:
+                flushed += len(stage.times)
+                self._flush_stage(series_name, stage)
+        return flushed
 
     def append(self, name: str, time: float, value: float) -> None:
         """Append one sample to ``name``, creating the series if needed."""
-        series = self._series.get(name)
-        if series is None:
-            series = self._series[name] = SeriesBuffer(name)
-        series.append(time, value)
+        self._last_time_of(name)  # ensure the series exists
+        buf = self._series[name]
+        stage = self._staging.get(name)
+        if stage is not None:
+            if stage.times:
+                self._flush_stage(name, stage)
+            if time > stage.last_t:
+                stage.last_t = time
+        buf.append(time, value)
         self.samples_ingested += 1
         if time > self._latest_time:
             self._latest_time = time
-            if self.retention is not None:
-                self._apply_retention()
+        if self.retention is not None:
+            self._maybe_trim(buf, exact=False)
+            self._sweep_one()
 
     def append_many(self, name: str, times: np.ndarray, values: np.ndarray) -> None:
         """Vectorized bulk append to a single series."""
-        series = self._series.get(name)
-        if series is None:
-            series = self._series[name] = SeriesBuffer(name)
+        self._last_time_of(name)  # ensure the series exists
+        buf = self._series[name]
         times = np.asarray(times, dtype=np.float64)
-        series.append_many(times, values)
+        stage = self._staging.get(name)
+        if stage is not None and stage.times:
+            self._flush_stage(name, stage)
+        buf.append_many(times, values)
         self.samples_ingested += int(times.size)
-        if times.size and float(times[-1]) > self._latest_time:
-            self._latest_time = float(times[-1])
-            if self.retention is not None:
-                self._apply_retention()
+        if times.size:
+            last = float(times[-1])
+            if stage is not None and last > stage.last_t:
+                stage.last_t = last
+            if last > self._latest_time:
+                self._latest_time = last
+        if self.retention is not None:
+            self._maybe_trim(buf, exact=False)
+            self._sweep_one()
 
-    def _apply_retention(self) -> None:
-        cutoff = self._latest_time - float(self.retention or 0)
-        for series in self._series.values():
-            series.trim_before(cutoff)
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def _maybe_trim(self, buf: SeriesBuffer, exact: bool) -> None:
+        """Trim ``buf`` to the retention window.
+
+        With ``exact=False`` (ingest path) the trim is skipped until the
+        stale fraction crosses ``retention_slack``, amortizing the memmove;
+        with ``exact=True`` (read path) the cutoff is enforced strictly.
+        """
+        if not buf._size:
+            return
+        cutoff = self._latest_time - float(self.retention or 0.0)
+        if buf._times[0] >= cutoff:
+            return
+        if not exact and self.retention_slack > 0.0:
+            stale = int(np.searchsorted(buf.times, cutoff, side="left"))
+            if stale < self.retention_slack * buf._size:
+                return
+        dropped = buf.trim_before(cutoff)
+        if dropped:
+            self.retention_trims += 1
+            self.samples_trimmed += dropped
+
+    def _sweep_one(self) -> None:
+        """Watermark-check one extra series, round-robin.
+
+        Gives cold series (no longer receiving data) an amortized O(1) path
+        to reclamation without sweeping the whole store per append.
+        """
+        if not self._sweep_queue:
+            self._sweep_queue = list(self._series)
+        buf = self._series.get(self._sweep_queue.pop())
+        if buf is not None:
+            self._maybe_trim(buf, exact=False)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
-        return sorted(self._series)
+        if self._names_cache is None:
+            self._names_cache = sorted(self._series)
+        return list(self._names_cache)
 
     def __contains__(self, name: str) -> bool:
         return name in self._series
@@ -250,15 +466,37 @@ class TimeSeriesStore:
         return len(self._series)
 
     def series(self, name: str) -> SeriesBuffer:
-        try:
-            return self._series[name]
-        except KeyError:
-            raise UnknownMetricError(name) from None
+        """Read accessor: flushes staged samples and enforces retention."""
+        buf = self._series.get(name)
+        if buf is None:
+            raise UnknownMetricError(name)
+        stage = self._staging.get(name)
+        if stage is not None and stage.times:
+            self._flush_stage(name, stage)
+        if self.retention is not None:
+            self._maybe_trim(buf, exact=True)
+        return buf
 
     @property
     def latest_time(self) -> float:
         """Largest timestamp ingested so far (-inf when empty)."""
         return self._latest_time
+
+    @property
+    def staged_samples(self) -> int:
+        """Samples currently parked in staging buffers (pre-flush)."""
+        return sum(len(stage.times) for stage in self._staging.values())
+
+    def health_metrics(self) -> Dict[str, float]:
+        """Self-metrics snapshot (see :mod:`repro.telemetry.health`)."""
+        return {
+            "telemetry.store.samples": float(self.samples_ingested),
+            "telemetry.store.series": float(len(self._series)),
+            "telemetry.store.staged": float(self.staged_samples),
+            "telemetry.store.flushes": float(self.flushes),
+            "telemetry.store.retention_trims": float(self.retention_trims),
+            "telemetry.store.samples_trimmed": float(self.samples_trimmed),
+        }
 
     # ------------------------------------------------------------------
     # Queries
@@ -277,6 +515,64 @@ class TimeSeriesStore:
         """Last-observation-carried-forward lookup."""
         return self.series(name).value_at(time)
 
+    @staticmethod
+    def _bucket_edges(since: float, until: float, step: float) -> np.ndarray:
+        """Bucket-edge grid for ``[since, until]`` in steps of ``step``."""
+        n_buckets = int(np.ceil((until - since) / step - 1e-9))
+        return since + np.arange(n_buckets + 1) * step
+
+    def _resample_onto(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        edges: np.ndarray,
+        agg: str,
+        engine: str,
+    ) -> np.ndarray:
+        """Aggregate in-range samples onto the buckets defined by ``edges``."""
+        out = np.full(edges.size - 1, np.nan)
+        if not times.size:
+            return out
+        # One searchsorted keys every kernel: sample index of each edge.
+        idx = np.searchsorted(times, edges)
+        # The query is already capped at `until`, so the (possibly partial)
+        # final bucket absorbs every remaining sample.
+        idx[-1] = times.size
+        starts = idx[:-1]
+        ends = idx[1:]
+        kernel = (
+            VECTORIZED_AGGREGATIONS.get(agg) if engine != "scalar" else None
+        )
+        if kernel is not None:
+            nonempty = ends > starts
+            if nonempty.any():
+                out[nonempty] = kernel(values, starts[nonempty], ends[nonempty])
+            return out
+        if engine == "vectorized":
+            raise StoreError(
+                f"no vectorized kernel for {agg!r}; "
+                f"available: {sorted(VECTORIZED_AGGREGATIONS)}"
+            )
+        agg_fn = AGGREGATIONS[agg]
+        for i in range(out.size):
+            lo, hi = starts[i], ends[i]
+            if hi > lo:
+                out[i] = agg_fn(values[lo:hi])
+        return out
+
+    @staticmethod
+    def _check_resample_args(step: float, agg: str, engine: str) -> None:
+        if step <= 0:
+            raise StoreError(f"step must be positive, got {step}")
+        if agg not in AGGREGATIONS:
+            raise StoreError(
+                f"unknown aggregation {agg!r}; valid: {sorted(AGGREGATIONS)}"
+            )
+        if engine not in ("auto", "vectorized", "scalar"):
+            raise StoreError(
+                f"unknown engine {engine!r}; valid: auto, vectorized, scalar"
+            )
+
     def resample(
         self,
         name: str,
@@ -284,6 +580,7 @@ class TimeSeriesStore:
         until: float,
         step: float,
         agg: str = "mean",
+        engine: str = "auto",
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Downsample a series onto buckets of width ``step``.
 
@@ -293,33 +590,19 @@ class TimeSeriesStore:
         (closed, so a sample exactly at ``until`` is included rather than
         silently dropped).  Empty buckets yield ``NaN`` so gaps stay visible
         to descriptive analytics rather than being silently interpolated.
+
+        ``engine`` selects the bucketing implementation: ``"auto"`` uses the
+        vectorized ``reduceat`` kernel when one exists for ``agg`` and falls
+        back to the scalar per-bucket loop otherwise (``std/median/p95/rate``),
+        ``"scalar"`` forces the reference loop, ``"vectorized"`` raises if no
+        kernel exists.
         """
-        if step <= 0:
-            raise StoreError(f"step must be positive, got {step}")
-        try:
-            agg_fn = AGGREGATIONS[agg]
-        except KeyError:
-            raise StoreError(
-                f"unknown aggregation {agg!r}; valid: {sorted(AGGREGATIONS)}"
-            ) from None
+        self._check_resample_args(step, agg, engine)
         if until <= since:
             return np.empty(0), np.empty(0)
         times, values = self.query(name, since, until)
-        n_buckets = int(np.ceil((until - since) / step - 1e-9))
-        edges = since + np.arange(n_buckets + 1) * step
-        out_times = edges[:-1]
-        out = np.full(out_times.shape, np.nan)
-        if times.size:
-            # Vectorized bucketing: one searchsorted, then per-bucket slices.
-            idx = np.searchsorted(times, edges)
-            # The query is already capped at `until`, so the (possibly
-            # partial) final bucket absorbs every remaining sample.
-            idx[-1] = times.size
-            for i in range(out_times.size):
-                lo, hi = idx[i], idx[i + 1]
-                if hi > lo:
-                    out[i] = agg_fn(values[lo:hi])
-        return out_times, out
+        edges = self._bucket_edges(since, until, step)
+        return edges[:-1], self._resample_onto(times, values, edges, agg, engine)
 
     def align(
         self,
@@ -329,6 +612,7 @@ class TimeSeriesStore:
         step: float,
         agg: str = "mean",
         fill: str = "ffill",
+        engine: str = "auto",
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Align several series onto a common grid.
 
@@ -336,17 +620,23 @@ class TimeSeriesStore:
         grid point ``i``.  ``fill`` controls gap handling: ``"ffill"``
         carries the last observation forward, ``"nan"`` leaves gaps.
 
+        The bucket-edge grid is computed once and shared by every series, so
+        an N-series alignment costs one grid build plus N kernel passes.
+
         This produces exactly the dense design matrix multivariate analytics
         (PCA, anomaly detectors, regressors) consume.
         """
         if fill not in ("ffill", "nan"):
             raise StoreError(f"unknown fill mode {fill!r}")
+        self._check_resample_args(step, agg, engine)
+        if until <= since or not names:
+            return np.empty(0), np.empty((0, len(names)))
+        edges = self._bucket_edges(since, until, step)
+        grid = edges[:-1]
         columns = []
-        grid = None
         for name in names:
-            t, v = self.resample(name, since, until, step, agg)
-            if grid is None:
-                grid = t
+            times, values = self.query(name, since, until)
+            v = self._resample_onto(times, values, edges, agg, engine)
             if fill == "ffill" and v.size:
                 # Vectorized forward fill of NaNs.
                 mask = np.isnan(v)
@@ -359,13 +649,15 @@ class TimeSeriesStore:
                         first_valid = int(np.argmax(~mask)) if (~mask).any() else v.size
                         v[:first_valid] = np.nan
             columns.append(v)
-        if grid is None:
-            return np.empty(0), np.empty((0, 0))
-        matrix = np.column_stack(columns) if columns else np.empty((grid.size, 0))
-        return grid, matrix
+        return grid, np.column_stack(columns)
 
     def select(self, pattern: str) -> List[str]:
         """Names of stored series matching a shell-style pattern."""
-        import fnmatch
-
-        return [n for n in self.names() if fnmatch.fnmatchcase(n, pattern)]
+        matcher = self._select_cache.get(pattern)
+        if matcher is None:
+            if len(self._select_cache) >= _SELECT_CACHE_CAP:
+                self._select_cache.clear()
+            matcher = self._select_cache[pattern] = re.compile(
+                fnmatch.translate(pattern)
+            ).match
+        return [n for n in self.names() if matcher(n)]

@@ -1,0 +1,128 @@
+"""Property tests: vectorized resample kernels match the scalar reference.
+
+Every aggregation in :data:`VECTORIZED_AGGREGATIONS` must agree with the
+scalar :data:`AGGREGATIONS` callable it replaces, bucket for bucket — on
+random series, including empty buckets, single-sample buckets and the
+partial trailing bucket.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StoreError
+from repro.telemetry import TimeSeriesStore
+from repro.telemetry.store import AGGREGATIONS, VECTORIZED_AGGREGATIONS
+
+VECTOR_AGGS = sorted(VECTORIZED_AGGREGATIONS)
+
+
+def _assert_engines_agree(store, name, since, until, step, agg):
+    grid_v, vec = store.resample(name, since, until, step, agg=agg)
+    grid_s, ref = store.resample(name, since, until, step, agg=agg,
+                                 engine="scalar")
+    assert grid_v.tolist() == grid_s.tolist()
+    assert vec.shape == ref.shape
+    nan_v, nan_s = np.isnan(vec), np.isnan(ref)
+    assert (nan_v == nan_s).all(), f"{agg}: NaN (empty-bucket) mask differs"
+    np.testing.assert_allclose(vec[~nan_v], ref[~nan_s], rtol=1e-9, atol=1e-9)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("agg", VECTOR_AGGS)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=150,
+        ),
+        step=st.floats(min_value=0.3, max_value=40.0),
+        until=st.floats(min_value=1.0, max_value=120.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_matches_scalar_on_random_series(self, agg, times, step, until):
+        """Random irregular series: sparse (empty + single-sample buckets),
+        dense clusters, and a partial trailing bucket when until % step != 0."""
+        times = np.sort(np.asarray(times, dtype=np.float64))
+        rng = np.random.default_rng(int(times.sum() * 1000) % 2**32)
+        values = rng.normal(scale=100.0, size=times.size)
+        store = TimeSeriesStore()
+        store.append_many("m", times, values)
+        _assert_engines_agree(store, "m", 0.0, until, step, agg)
+
+    @pytest.mark.parametrize("agg", VECTOR_AGGS)
+    def test_all_buckets_empty(self, agg):
+        store = TimeSeriesStore()
+        store.append("m", 1000.0, 1.0)
+        _, out = store.resample("m", 0.0, 100.0, 10.0, agg=agg)
+        assert np.isnan(out).all()
+
+    @pytest.mark.parametrize("agg", VECTOR_AGGS)
+    def test_single_sample_buckets(self, agg):
+        store = TimeSeriesStore()
+        store.append_many("m", np.array([5.0, 25.0, 45.0]),
+                          np.array([1.0, -2.0, 3.0]))
+        _assert_engines_agree(store, "m", 0.0, 50.0, 10.0, agg)
+
+    @pytest.mark.parametrize("agg", VECTOR_AGGS)
+    def test_partial_trailing_bucket(self, agg):
+        store = TimeSeriesStore()
+        store.append_many("m", np.arange(17.0), np.arange(17.0) * 3.0)
+        # until=16 -> 1 full bucket [0,10) + partial [10,16] incl. t=16.
+        _assert_engines_agree(store, "m", 0.0, 16.0, 10.0, agg)
+
+    @pytest.mark.parametrize("agg", VECTOR_AGGS)
+    def test_nan_samples_propagate_like_scalar(self, agg):
+        store = TimeSeriesStore()
+        values = np.array([1.0, np.nan, 3.0, 4.0])
+        store.append_many("m", np.arange(4.0), values)
+        grid_v, vec = store.resample("m", 0.0, 4.0, 2.0, agg=agg)
+        _, ref = store.resample("m", 0.0, 4.0, 2.0, agg=agg, engine="scalar")
+        # NaN *samples* poison their bucket identically in both engines
+        # (count is NaN-blind in both).
+        assert np.array_equal(vec, ref, equal_nan=True)
+
+    def test_scalar_only_aggs_fall_back(self):
+        store = TimeSeriesStore()
+        store.append_many("m", np.arange(20.0), np.arange(20.0))
+        for agg in ("std", "median", "p95", "rate"):
+            assert agg not in VECTORIZED_AGGREGATIONS
+            _, out = store.resample("m", 0.0, 20.0, 5.0, agg=agg)
+            assert out.size == 4 and np.isfinite(out).all()
+
+    def test_vectorized_engine_rejects_scalar_only_agg(self):
+        store = TimeSeriesStore()
+        store.append("m", 0.0, 1.0)
+        with pytest.raises(StoreError):
+            store.resample("m", 0.0, 10.0, 1.0, agg="p95", engine="vectorized")
+
+    def test_unknown_engine_rejected(self):
+        store = TimeSeriesStore()
+        store.append("m", 0.0, 1.0)
+        with pytest.raises(StoreError):
+            store.resample("m", 0.0, 10.0, 1.0, engine="numba")
+
+    def test_align_engines_agree(self):
+        store = TimeSeriesStore()
+        rng = np.random.default_rng(7)
+        for i in range(4):
+            n = 40 + 10 * i
+            store.append_many(f"s{i}", np.sort(rng.uniform(0, 100, n)),
+                              rng.normal(size=n))
+        for fill in ("ffill", "nan"):
+            grid_v, mat_v = store.align([f"s{i}" for i in range(4)],
+                                        0.0, 95.0, 7.0, fill=fill)
+            grid_s, mat_s = store.align([f"s{i}" for i in range(4)],
+                                        0.0, 95.0, 7.0, fill=fill,
+                                        engine="scalar")
+            assert grid_v.tolist() == grid_s.tolist()
+            assert (np.isnan(mat_v) == np.isnan(mat_s)).all()
+            np.testing.assert_allclose(mat_v[~np.isnan(mat_v)],
+                                       mat_s[~np.isnan(mat_s)], rtol=1e-9)
+
+    def test_every_scalar_agg_has_consistent_registry(self):
+        # Vectorized kernels may only exist for aggs the scalar table knows.
+        assert set(VECTORIZED_AGGREGATIONS) <= set(AGGREGATIONS)

@@ -205,3 +205,103 @@ class TestErrorIsolation:
         assert metrics["telemetry.bus.published"] == 1.0
         assert metrics["telemetry.bus.delivered"] == 1.0
         assert metrics["telemetry.bus.subscriptions"] == 1.0
+
+
+class TestIndexedRouting:
+    def test_repeat_publish_hits_route_cache(self):
+        bus = MessageBus()
+        bus.subscribe("cluster.*", lambda t, b: None)
+        for _ in range(5):
+            bus.publish("cluster.rack0", batch())
+        assert bus.route_cache_misses == 1
+        assert bus.route_cache_hits == 4
+
+    def test_subscribe_invalidates_route_cache(self):
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("x*", lambda t, b: seen.append("first"))
+        bus.publish("x", batch())
+        bus.subscribe("x*", lambda t, b: seen.append("second"))
+        bus.publish("x", batch())
+        assert seen == ["first", "first", "second"]
+
+    def test_cancel_respected_through_cached_route(self):
+        bus = MessageBus()
+        seen = []
+        sub = bus.subscribe("x", lambda t, b: seen.append(1))
+        bus.publish("x", batch())
+        sub.cancel()
+        bus.publish("x", batch())
+        assert seen == [1]
+        assert len(bus._subscriptions) == 0  # compacted opportunistically
+
+    def test_quarantine_respected_through_cached_route(self):
+        bus = MessageBus(max_consecutive_errors=1)
+        sub = bus.subscribe("x", lambda t, b: 1 / 0)
+        bus.publish("x", batch())  # builds cache + quarantines
+        bus.publish("x", batch())
+        assert sub.quarantined
+        assert sub.errors == 1  # second publish skipped the quarantined sink
+
+    def test_reset_revives_through_cached_route(self):
+        bus = MessageBus(max_consecutive_errors=1)
+        state = {"fail": True}
+        seen = []
+
+        def sink(topic, b):
+            if state["fail"]:
+                raise RuntimeError("down")
+            seen.append(topic)
+
+        sub = bus.subscribe("x", sink)
+        bus.publish("x", batch())
+        assert sub.quarantined
+        state["fail"] = False
+        sub.reset()
+        assert bus.publish("x", batch()) == 1
+        assert seen == ["x"]
+
+    def test_route_cache_bounded(self):
+        bus = MessageBus(route_cache_capacity=8)
+        bus.subscribe("#", lambda t, b: None)
+        for i in range(50):
+            bus.publish(f"topic.{i}", batch())
+        assert len(bus._route_cache) <= 8
+
+    def test_delivery_order_is_subscription_order(self):
+        bus = MessageBus()
+        order = []
+        bus.subscribe("#", lambda t, b: order.append("a"))
+        bus.subscribe("x*", lambda t, b: order.append("b"))
+        bus.subscribe("#", lambda t, b: order.append("c"))
+        bus.publish("x", batch())
+        assert order == ["a", "b", "c"]
+
+
+class TestTopicCardinalityCap:
+    def test_overflow_topics_folded(self):
+        bus = MessageBus(topic_cardinality_cap=4)
+        for i in range(10):
+            bus.publish(f"t{i}", batch())
+        assert len(bus.topics()) == 4
+        assert bus.topic_overflow == 6
+        assert bus.topic_count("t0") == 1
+        assert bus.topic_count("t9") == 0  # folded, not tracked
+
+    def test_tracked_topic_keeps_counting_past_cap(self):
+        bus = MessageBus(topic_cardinality_cap=2)
+        bus.publish("a", batch())
+        bus.publish("b", batch())
+        bus.publish("c", batch())  # overflow
+        bus.publish("a", batch())  # still tracked
+        assert bus.topic_count("a") == 2
+        assert bus.topic_overflow == 1
+
+    def test_cap_exposed_in_health_metrics(self):
+        bus = MessageBus(topic_cardinality_cap=7)
+        bus.publish("a", batch())
+        metrics = bus.health_metrics()
+        assert metrics["telemetry.bus.topic_cardinality_cap"] == 7.0
+        assert metrics["telemetry.bus.topics_tracked"] == 1.0
+        assert metrics["telemetry.bus.topic_overflow"] == 0.0
+        assert metrics["telemetry.bus.route_cache_misses"] == 1.0

@@ -85,11 +85,29 @@ class TestSeriesBuffer:
         buf.append_many(np.arange(5.0, 10.0), np.ones(5))
         assert len(buf) == 10
 
-    def test_append_many_must_be_newer(self):
+    def test_append_many_must_not_precede_last(self):
         buf = SeriesBuffer("m")
         buf.append(5.0, 1.0)
         with pytest.raises(StoreError):
-            buf.append_many(np.array([5.0, 6.0]), np.zeros(2))
+            buf.append_many(np.array([4.0, 6.0]), np.zeros(2))
+
+    def test_append_many_equal_boundary_overwrites(self):
+        """Regression: a bulk append starting at the last stored timestamp
+        used to be rejected; it must overwrite in place (last writer wins)
+        to match ``append`` semantics."""
+        buf = SeriesBuffer("m")
+        buf.append(5.0, 1.0)
+        buf.append_many(np.array([5.0, 6.0]), np.array([7.0, 8.0]))
+        assert len(buf) == 2
+        assert buf.times.tolist() == [5.0, 6.0]
+        assert buf.values.tolist() == [7.0, 8.0]
+
+    def test_append_many_all_equal_boundary_collapses(self):
+        buf = SeriesBuffer("m")
+        buf.append(5.0, 1.0)
+        buf.append_many(np.array([5.0, 5.0]), np.array([2.0, 3.0]))
+        assert len(buf) == 1
+        assert buf.values.tolist() == [3.0]  # final writer wins
 
     def test_append_many_rejects_unsorted(self):
         with pytest.raises(StoreError):
@@ -153,6 +171,154 @@ class TestStoreIngest:
     def test_unknown_series(self):
         with pytest.raises(UnknownMetricError):
             TimeSeriesStore().query("nope")
+
+
+class TestStagedIngest:
+    """Batch ingest stages samples per series and flushes vectorized."""
+
+    def test_staged_samples_visible_to_queries(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        for t in range(10):
+            store.ingest("topic", SampleBatch.from_mapping(float(t), {"a": float(t)}))
+        assert store.staged_samples == 10  # nothing flushed yet
+        times, values = store.query("a")
+        assert times.tolist() == [float(t) for t in range(10)]
+        assert store.staged_samples == 0  # read flushed the series
+
+    def test_flush_threshold_triggers_vectorized_flush(self):
+        store = TimeSeriesStore(flush_threshold=4)
+        for t in range(10):
+            store.ingest("topic", SampleBatch.from_mapping(float(t), {"a": 1.0}))
+        assert store.flushes >= 2
+        assert len(store.series("a")) == 10
+
+    def test_staged_series_listed_before_flush(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        store.ingest("topic", SampleBatch.from_mapping(0.0, {"a": 1.0, "b": 2.0}))
+        assert store.names() == ["a", "b"]
+        assert "a" in store and len(store) == 2
+
+    def test_equal_timestamp_ingest_is_last_writer_wins(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        store.ingest("t1", SampleBatch.from_mapping(1.0, {"a": 1.0}))
+        store.ingest("t2", SampleBatch.from_mapping(1.0, {"a": 9.0}))
+        times, values = store.query("a")
+        assert times.tolist() == [1.0]
+        assert values.tolist() == [9.0]
+
+    def test_lww_across_flush_boundary(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        store.ingest("t", SampleBatch.from_mapping(1.0, {"a": 1.0}))
+        store.flush()
+        store.ingest("t", SampleBatch.from_mapping(1.0, {"a": 9.0}))
+        times, values = store.query("a")
+        assert times.tolist() == [1.0]
+        assert values.tolist() == [9.0]
+
+    def test_out_of_order_ingest_raises_immediately(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        store.ingest("t", SampleBatch.from_mapping(5.0, {"a": 1.0}))
+        with pytest.raises(StoreError):
+            store.ingest("t", SampleBatch.from_mapping(4.0, {"a": 2.0}))
+
+    def test_out_of_order_vs_flushed_data_raises(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        store.ingest("t", SampleBatch.from_mapping(5.0, {"a": 1.0}))
+        store.flush()
+        with pytest.raises(StoreError):
+            store.ingest("t", SampleBatch.from_mapping(4.0, {"a": 2.0}))
+
+    def test_interleaved_ingest_and_direct_append(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        store.ingest("t", SampleBatch.from_mapping(1.0, {"a": 1.0}))
+        store.append("a", 2.0, 2.0)  # flushes staging first, stays ordered
+        store.ingest("t", SampleBatch.from_mapping(3.0, {"a": 3.0}))
+        times, values = store.query("a")
+        assert times.tolist() == [1.0, 2.0, 3.0]
+        assert values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_direct_append_older_than_staged_rejected(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        store.ingest("t", SampleBatch.from_mapping(10.0, {"a": 1.0}))
+        with pytest.raises(StoreError):
+            store.append("a", 5.0, 0.0)
+
+    def test_flush_returns_sample_count(self):
+        store = TimeSeriesStore(flush_threshold=1000)
+        store.ingest("t", SampleBatch.from_mapping(0.0, {"a": 1.0, "b": 2.0}))
+        store.ingest("t", SampleBatch.from_mapping(1.0, {"a": 1.0}))
+        assert store.flush() == 3
+        assert store.flush() == 0
+
+    def test_health_metrics_expose_staging(self):
+        store = TimeSeriesStore(retention=10.0, flush_threshold=1000)
+        store.ingest("t", SampleBatch.from_mapping(0.0, {"a": 1.0}))
+        metrics = store.health_metrics()
+        assert metrics["telemetry.store.samples"] == 1.0
+        assert metrics["telemetry.store.staged"] == 1.0
+        assert "telemetry.store.retention_trims" in metrics
+
+
+class TestRetentionWatermark:
+    def test_reads_enforce_exact_cutoff(self):
+        store = TimeSeriesStore(retention=10.0, retention_slack=0.9)
+        for t in range(100):
+            store.ingest("t", SampleBatch.from_mapping(float(t), {"a": 0.0}))
+        times, _ = store.query("a")
+        assert times[0] >= 89.0  # exact on read, whatever the slack
+
+    def test_ingest_path_defers_until_watermark(self):
+        store = TimeSeriesStore(retention=10.0, retention_slack=0.9,
+                                flush_threshold=1)
+        for t in range(30):
+            store.ingest("t", SampleBatch.from_mapping(float(t), {"a": 0.0}))
+        # Stale fraction (~2/3) is under the 0.9 watermark: no trim yet.
+        assert len(store._series["a"]) == 30
+        # A read still never shows stale samples.
+        times, _ = store.query("a")
+        assert times[0] >= 19.0
+
+    def test_zero_slack_trims_on_flush(self):
+        store = TimeSeriesStore(retention=10.0, retention_slack=0.0,
+                                flush_threshold=1)
+        for t in range(100):
+            store.ingest("t", SampleBatch.from_mapping(float(t), {"a": 0.0}))
+        assert len(store._series["a"]) <= 12
+        assert store.retention_trims > 0
+        assert store.samples_trimmed > 0
+
+    def test_cold_series_swept_round_robin(self):
+        store = TimeSeriesStore(retention=10.0, retention_slack=0.1,
+                                flush_threshold=1)
+        store.ingest("t", SampleBatch.from_mapping(0.0, {"cold": 1.0}))
+        store.flush()
+        # Only "hot" receives data; the sweep must still reclaim "cold".
+        for t in range(1, 50):
+            store.ingest("t", SampleBatch.from_mapping(float(t), {"hot": 0.0}))
+        assert len(store._series["cold"]) == 0  # reclaimed without a read
+
+    def test_invalid_slack_rejected(self):
+        with pytest.raises(StoreError):
+            TimeSeriesStore(retention_slack=1.5)
+        with pytest.raises(StoreError):
+            TimeSeriesStore(flush_threshold=0)
+
+
+class TestSelectCaching:
+    def test_select_matches_fnmatch_reference(self):
+        store = TimeSeriesStore()
+        for name in ("a.power", "a.temp", "b.power"):
+            store.append(name, 0.0, 1.0)
+        assert store.select("*.power") == ["a.power", "b.power"]
+        assert store.select("a.*") == ["a.power", "a.temp"]
+        assert store.select("nope*") == []
+
+    def test_names_cache_invalidated_on_new_series(self):
+        store = TimeSeriesStore()
+        store.append("a", 0.0, 1.0)
+        assert store.select("*") == ["a"]
+        store.ingest("t", SampleBatch.from_mapping(1.0, {"b": 2.0}))
+        assert store.select("*") == ["a", "b"]
 
 
 class TestResample:
