@@ -1,0 +1,246 @@
+"""Sharded-tier benchmark: ingest and federated-query scaling vs shard count.
+
+Measures the distributed storage tier (``repro.telemetry.distributed``)
+against the single ``TimeSeriesStore`` on the same workload and writes
+``BENCH_sharding.json`` to ``benchmarks/output/``:
+
+* **ingest** — hash-partitioned batch ingest at 1/2/4/8 shards vs the
+  single store, plus the per-shard load split (the scaling story in a
+  single-process harness: wall-clock stays near parity while the work per
+  shard drops ~1/N, which is what a multi-backend deployment parallelizes),
+* **federated queries** — resample/align across every series through the
+  federation layer vs the single store (shared reduceat kernels, so the
+  overhead is routing only), with bit-for-bit equality asserted,
+* **failover** — query throughput with replication=1 after every primary
+  is killed (reads served entirely by replicas).
+
+The PR-2 single-store trajectory in ``BENCH_telemetry.json`` is produced
+by ``test_bench_hotpath.py`` and is untouched by this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+import pytest
+
+from repro.telemetry import SampleBatch, ShardedStore, TimeSeriesStore
+
+SCALE = os.environ.get("BENCH_SCALE", "small")
+
+SCALES: Dict[str, Dict] = {
+    "small": dict(
+        series=256, batches=150, query_series=64, query_samples=40_000,
+        buckets=200, max_ingest_overhead=3.0, max_query_overhead=3.0,
+        balance_factor=1.8,
+    ),
+    "medium": dict(
+        series=512, batches=400, query_series=128, query_samples=150_000,
+        buckets=500, max_ingest_overhead=2.0, max_query_overhead=2.0,
+        balance_factor=1.6,
+    ),
+    "large": dict(
+        series=1_000, batches=1_000, query_series=256, query_samples=400_000,
+        buckets=1_000, max_ingest_overhead=1.8, max_query_overhead=1.5,
+        balance_factor=1.5,
+    ),
+}
+
+P = SCALES[SCALE]
+SHARD_COUNTS = (1, 2, 4, 8)
+
+RESULTS: Dict[str, Dict] = {
+    "scale": SCALE,
+    "params": {k: v for k, v in P.items() if not k.startswith("max_")},
+}
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _make_batches(n_series: int, n_batches: int) -> List[SampleBatch]:
+    names = tuple(f"cluster.rack{i % 16}.node{i}.power" for i in range(n_series))
+    rng = np.random.default_rng(7)
+    return [
+        SampleBatch(float(t), names, rng.random(n_series))
+        for t in range(n_batches)
+    ]
+
+
+def test_bench_sharded_ingest():
+    """Ingest wall-clock and per-shard load split at 1/2/4/8 shards."""
+    batches = _make_batches(P["series"], P["batches"])
+    total = P["series"] * P["batches"]
+    repeats = 1 if SCALE == "large" else 2
+
+    def run_single():
+        store = TimeSeriesStore()
+        for b in batches:
+            store.ingest("c", b)
+        store.flush()
+        return store
+
+    single_s = _best_of(run_single, repeats=repeats)
+    out: Dict[str, Dict] = {
+        "single": {
+            "seconds": round(single_s, 4),
+            "samples_per_sec": round(total / single_s),
+        }
+    }
+
+    worst_overhead = 0.0
+    for shards in SHARD_COUNTS:
+        def run_sharded():
+            store = ShardedStore(shards=shards)
+            for b in batches:
+                store.ingest("c", b)
+            store.flush()
+            return store
+
+        sharded_s = _best_of(run_sharded, repeats=repeats)
+        store = run_sharded()
+        per_shard = [
+            rs.primary.samples_ingested for rs in store.replica_sets
+        ]
+        overhead = sharded_s / single_s
+        worst_overhead = max(worst_overhead, overhead)
+        out[f"shards_{shards}"] = {
+            "seconds": round(sharded_s, 4),
+            "samples_per_sec": round(total / sharded_s),
+            "overhead_vs_single": round(overhead, 2),
+            "max_shard_samples": max(per_shard),
+            "mean_shard_samples": round(total / shards),
+        }
+        # Hash balance: no shard holds more than balance_factor x its share.
+        assert max(per_shard) <= P["balance_factor"] * total / shards, per_shard
+        # Work per shard shrinks ~1/N: that is what real deployments
+        # parallelize across backend nodes.
+        assert sum(per_shard) == total
+
+    RESULTS["ingest"] = {"samples": total, **out}
+    # Partitioned ingest must stay within a bounded overhead of the single
+    # store even at 8 shards (the split is cached and vectorized).
+    assert worst_overhead <= P["max_ingest_overhead"], RESULTS["ingest"]
+
+
+def test_bench_federated_queries():
+    """Federated resample/align vs single store: equality + bounded cost."""
+    n_series = P["query_series"]
+    per_series = P["query_samples"] // n_series
+    names = [f"fed.rack{i % 8}.node{i}.power" for i in range(n_series)]
+    times = np.arange(per_series, dtype=np.float64)
+    rng = np.random.default_rng(3)
+    columns = [rng.random(per_series) for _ in names]
+
+    single = TimeSeriesStore()
+    for name, col in zip(names, columns):
+        single.append_many(name, times, col)
+    step = per_series / P["buckets"]
+
+    single_resample_s = _best_of(
+        lambda: [single.resample(n, 0.0, float(per_series), step) for n in names]
+    )
+    single_align_s = _best_of(
+        lambda: single.align(names, 0.0, float(per_series), step)
+    )
+    out: Dict[str, Dict] = {
+        "single": {
+            "resample_s": round(single_resample_s, 5),
+            "align_s": round(single_align_s, 5),
+        }
+    }
+
+    worst = 0.0
+    for shards in SHARD_COUNTS:
+        sharded = ShardedStore(shards=shards)
+        for name, col in zip(names, columns):
+            sharded.append_many(name, times, col)
+
+        resample_s = _best_of(
+            lambda: [
+                sharded.resample(n, 0.0, float(per_series), step) for n in names
+            ]
+        )
+        align_s = _best_of(
+            lambda: sharded.align(names, 0.0, float(per_series), step)
+        )
+        # Federated results are bit-for-bit the single-store results.
+        _, ref = single.align(names, 0.0, float(per_series), step)
+        _, fed = sharded.align(names, 0.0, float(per_series), step)
+        np.testing.assert_array_equal(ref, fed)
+
+        overhead = max(
+            resample_s / single_resample_s, align_s / single_align_s
+        )
+        worst = max(worst, overhead)
+        out[f"shards_{shards}"] = {
+            "resample_s": round(resample_s, 5),
+            "align_s": round(align_s, 5),
+            "overhead_vs_single": round(overhead, 2),
+        }
+
+    RESULTS["federated_query"] = {
+        "series": n_series, "samples_per_series": per_series, **out,
+    }
+    # Federation shares the reduceat kernels; only routing is added, so the
+    # cost must stay within a small factor of the single store.
+    assert worst <= P["max_query_overhead"], RESULTS["federated_query"]
+
+
+def test_bench_failover_queries():
+    """Replicated reads survive a full primary wipe-out at full speed."""
+    n_series = P["query_series"]
+    per_series = P["query_samples"] // n_series
+    names = [f"ha.node{i}.power" for i in range(n_series)]
+    times = np.arange(per_series, dtype=np.float64)
+    rng = np.random.default_rng(9)
+
+    sharded = ShardedStore(shards=4, replication=1)
+    for name in names:
+        sharded.append_many(name, times, rng.random(per_series))
+
+    def query_all():
+        for name in names:
+            sharded.query(name)
+
+    healthy_s = _best_of(query_all)
+    for rs in sharded.replica_sets:
+        rs.mark_down(0)  # kill every primary; replicas serve all reads
+    failover_s = _best_of(query_all)
+
+    for name in names:  # every query still answers, from replicas
+        t, _ = sharded.query(name)
+        assert t.size == per_series
+
+    RESULTS["failover"] = {
+        "series": n_series,
+        "healthy_s": round(healthy_s, 5),
+        "all_primaries_down_s": round(failover_s, 5),
+        "overhead": round(failover_s / healthy_s, 2),
+        "failover_reads": sum(rs.failover_reads for rs in sharded.replica_sets),
+    }
+    assert RESULTS["failover"]["failover_reads"] > 0
+
+
+def test_write_bench_artifact(write_artifact):
+    """Runs last in this module: persist the sharding scaling artifact."""
+    RESULTS["env"] = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    write_artifact("BENCH_sharding.json", json.dumps(RESULTS, indent=2) + "\n")
+    missing = {"ingest", "federated_query", "failover"} - set(RESULTS)
+    assert not missing, f"benchmarks did not run: {missing}"

@@ -48,8 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--days", type=float, default=1.0)
     simulate.add_argument("--jobs-per-day", type=float, default=24.0)
     simulate.add_argument("--faults", action="store_true")
+    simulate.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="archive telemetry in N hash-partitioned "
+                               "store shards")
+    simulate.add_argument("--replication", type=int, default=0, metavar="R",
+                          help="extra replicas per shard (requires --shards)")
     simulate.add_argument("--save-store", metavar="PATH.npz",
-                          help="archive the telemetry store")
+                          help="archive the telemetry store (a sharded run "
+                               "writes a manifest plus one file per shard)")
 
     replay = sub.add_parser("replay", help="compare scheduling policies on a trace")
     replay.add_argument("--seed", type=int, default=0)
@@ -119,13 +125,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     dc = DataCenter(
         seed=args.seed, racks=args.racks, nodes_per_rack=args.nodes_per_rack,
-        enable_faults=args.faults,
+        enable_faults=args.faults, shards=args.shards,
+        replication=args.replication,
     )
     requests = dc.generate_workload(days=args.days, jobs_per_day=args.jobs_per_day)
     print(f"simulating {args.days} days, {len(requests)} submissions ...")
     dc.run(days=args.days)
     kpis = collect_kpis(dc)
     print(table(kpis.rows(), title="Run KPIs"))
+    if args.shards is not None:
+        health = dc.store.health_metrics()
+        per_shard = [
+            int(health[f"telemetry.shard.{i}.series"]) for i in range(args.shards)
+        ]
+        print(
+            f"sharded store: {args.shards} shards x {args.replication + 1} "
+            f"copies, series per shard {per_shard}"
+        )
     if args.save_store:
         count = save_store(dc.store, args.save_store)
         print(f"archived {count} series to {args.save_store}")

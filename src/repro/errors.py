@@ -41,6 +41,10 @@ class StoreError(TelemetryError):
     """Raised on invalid time-series store operations (bad ranges, dtypes)."""
 
 
+class ShardDownError(StoreError):
+    """Raised when no healthy replica of a storage shard can serve a read."""
+
+
 class SamplerError(TelemetryError):
     """Raised when a telemetry source fails to produce a reading."""
 

@@ -30,6 +30,7 @@ from repro.apps.profiles import ProfileCatalog, default_catalog
 from repro.cluster.system import HPCSystem, build_system
 from repro.facility.facility import Facility
 from repro.facility.sizing import scaled_cooling_plant, scaled_distribution
+from repro.errors import ConfigurationError
 from repro.facility.weather import DAY
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RngPool
@@ -65,6 +66,11 @@ class DataCenter:
     health_period:
         If given, publish pipeline self-metrics (``telemetry.*``) on this
         period and drive stale-data alert checks.
+    shards / replication:
+        If ``shards`` is given, telemetry is archived in a hash-partitioned
+        :class:`~repro.telemetry.distributed.ShardedStore` with
+        ``replication`` extra copies per shard (reads fail over when a
+        shard member is down); every query API is unchanged.
     """
 
     def __init__(
@@ -85,6 +91,8 @@ class DataCenter:
         start_time: float = 0.0,
         sensor_noise_floor_w: float = 0.0,
         health_period: Optional[float] = None,
+        shards: Optional[int] = None,
+        replication: int = 0,
     ):
         self.rng_pool = RngPool(seed)
         self.sim = Simulator(start_time=start_time)
@@ -111,7 +119,10 @@ class DataCenter:
             sensor_noise_floor_w=sensor_noise_floor_w,
         )
         self.scheduler = Scheduler(self.system, policy=policy, tick=scheduler_tick)
-        self.telemetry = TelemetrySystem(store_retention=store_retention)
+        self.telemetry = TelemetrySystem(
+            store_retention=store_retention, shards=shards,
+            replication=replication,
+        )
         self.runtime: Optional[NodeRuntime] = None
         self.noise: Optional[OsNoiseInjector] = None
         self.generator: Optional[WorkloadGenerator] = None
@@ -201,8 +212,19 @@ class DataCenter:
     # ------------------------------------------------------------------
     @property
     def store(self):
-        """The telemetry time-series store."""
+        """The telemetry time-series store (sharded when ``shards`` set)."""
         return self.telemetry.store
+
+    def shard_fault(self):
+        """A :class:`~repro.telemetry.distributed.ShardFault` injector bound
+        to this site's sharded store and bus (requires ``shards``)."""
+        from repro.telemetry.distributed import ShardFault, ShardedStore
+
+        if not isinstance(self.telemetry.store, ShardedStore):
+            raise ConfigurationError(
+                "shard_fault() requires a sharded store (pass shards=...)"
+            )
+        return ShardFault(self.telemetry.store, bus=self.telemetry.bus)
 
     def metric(self, name: str):
         """Shorthand range query over the full history."""

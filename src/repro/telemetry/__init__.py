@@ -18,6 +18,14 @@ from repro.telemetry.alerts import (
 )
 from repro.telemetry.bus import DeadLetter, MessageBus, Subscription
 from repro.telemetry.collector import CollectionAgent, Sampler, TelemetrySystem
+from repro.telemetry.distributed import (
+    FederatedQueryEngine,
+    HashPartitioner,
+    ReplicaSet,
+    ShardFault,
+    ShardFaultKind,
+    ShardedStore,
+)
 from repro.telemetry.faults import FaultySource, SensorFault, SensorFaultKind
 from repro.telemetry.health import HEALTH_TOPIC, HealthMonitor
 from repro.telemetry.metric import MetricKind, MetricRegistry, MetricSpec, Unit
@@ -28,6 +36,9 @@ from repro.telemetry.store import (
     VECTORIZED_AGGREGATIONS,
     SeriesBuffer,
     TimeSeriesStore,
+    bucket_edges,
+    forward_fill,
+    resample_onto,
 )
 
 __all__ = [
@@ -42,6 +53,12 @@ __all__ = [
     "CollectionAgent",
     "Sampler",
     "TelemetrySystem",
+    "FederatedQueryEngine",
+    "HashPartitioner",
+    "ReplicaSet",
+    "ShardFault",
+    "ShardFaultKind",
+    "ShardedStore",
     "FaultySource",
     "SensorFault",
     "SensorFaultKind",
@@ -59,4 +76,7 @@ __all__ = [
     "VECTORIZED_AGGREGATIONS",
     "SeriesBuffer",
     "TimeSeriesStore",
+    "bucket_edges",
+    "forward_fill",
+    "resample_onto",
 ]

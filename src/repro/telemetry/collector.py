@@ -216,6 +216,12 @@ class TelemetrySystem:
     to the bus on first access; :meth:`enable_health` adds a
     :class:`~repro.telemetry.health.HealthMonitor` publishing pipeline
     self-metrics and driving stale-data checks.
+
+    With ``shards`` set, the archive tier is a hash-partitioned
+    :class:`~repro.telemetry.distributed.ShardedStore` (optionally
+    replicated ``replication`` times per shard) instead of a single
+    :class:`~repro.telemetry.store.TimeSeriesStore`; collector output is
+    routed through it transparently and every read API is unchanged.
     """
 
     def __init__(
@@ -224,16 +230,33 @@ class TelemetrySystem:
         health_period: Optional[float] = None,
         store_retention_slack: float = 0.25,
         store_flush_threshold: int = 256,
+        shards: Optional[int] = None,
+        replication: int = 0,
     ):
         from repro.telemetry.store import TimeSeriesStore
 
+        if shards is None and replication:
+            raise ConfigurationError(
+                "replication requires a sharded store (pass shards=...)"
+            )
         self.registry = MetricRegistry()
         self.bus = MessageBus()
-        self.store = TimeSeriesStore(
-            retention=store_retention,
-            retention_slack=store_retention_slack,
-            flush_threshold=store_flush_threshold,
-        )
+        if shards is not None:
+            from repro.telemetry.distributed import ShardedStore
+
+            self.store = ShardedStore(
+                shards=shards,
+                replication=replication,
+                retention=store_retention,
+                retention_slack=store_retention_slack,
+                flush_threshold=store_flush_threshold,
+            )
+        else:
+            self.store = TimeSeriesStore(
+                retention=store_retention,
+                retention_slack=store_retention_slack,
+                flush_threshold=store_flush_threshold,
+            )
         self.agents: List[CollectionAgent] = []
         self._alerts = None
         self.health = None

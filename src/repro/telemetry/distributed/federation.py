@@ -1,0 +1,128 @@
+"""Federated queries over a sharded store.
+
+The single query front-end of a distributed monitoring deployment (DCDB's
+libdcdb fanning a query out over per-node storage backends): callers ask
+for series by name or pattern and never see which shard holds what.
+
+Partitioning is by series name, so a single-series read routes straight to
+the owning shard and runs that shard's own fast path.  The federated part
+is everything spanning shards:
+
+* ``names``/``select`` — k-way merge of the shards' sorted name lists
+  (disjoint by construction, so the merge is a plain heapq merge),
+* ``align`` — the bucket-edge grid is computed **once** and shared across
+  every series exactly as in
+  :meth:`~repro.telemetry.store.TimeSeriesStore.align`, with each column
+  produced by the shared :func:`~repro.telemetry.store.resample_onto`
+  reduceat kernels on data fetched from the owning shard.  Because the
+  federated path and the single-store path execute the same kernel on the
+  same per-series samples, results are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.telemetry.store import (
+    bucket_edges,
+    check_resample_args,
+    forward_fill,
+    resample_onto,
+)
+
+__all__ = ["FederatedQueryEngine"]
+
+
+class FederatedQueryEngine:
+    """Fans queries out across a :class:`ShardedStore`'s shards and merges.
+
+    Constructed by (and accessible as) ``ShardedStore.federation``; the
+    store delegates its cross-shard read API here.
+    """
+
+    def __init__(self, sharded):
+        self._sharded = sharded
+        self.fanouts = 0
+
+    # ------------------------------------------------------------------
+    # Catalog queries: merge per-shard sorted name lists
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """All series names across shards, sorted."""
+        self.fanouts += 1
+        per_shard = [
+            rs.read_store().names() for rs in self._sharded.replica_sets
+        ]
+        return list(heapq.merge(*per_shard))
+
+    def select(self, pattern: str) -> List[str]:
+        """Names matching a shell-style pattern, across all shards."""
+        self.fanouts += 1
+        per_shard = [
+            rs.read_store().select(pattern)
+            for rs in self._sharded.replica_sets
+        ]
+        return list(heapq.merge(*per_shard))
+
+    # ------------------------------------------------------------------
+    # Data queries
+    # ------------------------------------------------------------------
+    def query(
+        self, name: str, since: float = float("-inf"), until: float = float("inf")
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Route a raw range query to the shard owning ``name``."""
+        return self._sharded.store_for(name).query(name, since, until)
+
+    def resample(
+        self,
+        name: str,
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+        engine: str = "auto",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Single-series resample on the owning shard (keeps its fast path)."""
+        return self._sharded.store_for(name).resample(
+            name, since, until, step, agg=agg, engine=engine
+        )
+
+    def align(
+        self,
+        names: Sequence[str],
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+        fill: str = "ffill",
+        engine: str = "auto",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cross-shard alignment onto one shared grid.
+
+        Mirrors :meth:`TimeSeriesStore.align` — same argument validation,
+        one shared bucket-edge grid, same vectorized kernels — but fetches
+        each series from its owning shard, so the result is bit-for-bit
+        what a single store holding every series would return.
+        """
+        if fill not in ("ffill", "nan"):
+            raise StoreError(f"unknown fill mode {fill!r}")
+        check_resample_args(step, agg, engine)
+        if until <= since or not names:
+            return np.empty(0), np.empty((0, len(names)))
+        self.fanouts += 1
+        edges = bucket_edges(since, until, step)
+        grid = edges[:-1]
+        columns = []
+        for name in names:
+            times, values = self._sharded.store_for(name).query(
+                name, since, until
+            )
+            v = resample_onto(times, values, edges, agg, engine)
+            if fill == "ffill":
+                v = forward_fill(v)
+            columns.append(v)
+        return grid, np.column_stack(columns)

@@ -1,0 +1,228 @@
+"""Replica sets: one storage shard as primary + R replicas with failover.
+
+Production monitoring backends replicate each partition so a dead backend
+node degrades capacity, not availability ("ODA in Practice": the storage
+tier must stay queryable through maintenance and failures).  A
+:class:`ReplicaSet` is that unit: ``replication + 1`` independent
+:class:`~repro.telemetry.store.TimeSeriesStore` members that all receive
+every write, with reads served by the primary and transparently failed
+over to the first healthy replica when the primary is marked down.
+
+Failure semantics mirror real collectors:
+
+* **writes never raise** — a down member simply misses the write (counted
+  in ``missed_writes``); if *every* member is down the batch is lost and
+  counted (``lost_batches``/``lost_samples``), exactly like a monitoring
+  stack dropping data while its backend is offline,
+* **reads fail over** — served by the first healthy member in primary →
+  replica order (``failover_reads`` counts reads served by a non-primary);
+  only when no healthy member remains does a read raise
+  :class:`~repro.errors.ShardDownError`,
+* **revival resyncs** — a revived member missed writes while down, so by
+  default it is rebuilt from a healthy peer before serving again.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShardDownError
+from repro.telemetry.sample import SampleBatch
+from repro.telemetry.store import TimeSeriesStore
+
+__all__ = ["ReplicaSet"]
+
+StoreFactory = Callable[[], TimeSeriesStore]
+
+
+class ReplicaSet:
+    """Primary + R replica stores for one shard, with read failover."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        replication: int = 0,
+        store_factory: StoreFactory = TimeSeriesStore,
+    ):
+        if replication < 0:
+            raise ConfigurationError(
+                f"replication must be >= 0, got {replication}"
+            )
+        self.shard_id = shard_id
+        self._factory = store_factory
+        self.members: List[TimeSeriesStore] = [
+            store_factory() for _ in range(replication + 1)
+        ]
+        self._down = [False] * len(self.members)
+        self._drop_fraction = [0.0] * len(self.members)
+        self._drop_rng: Optional[np.random.Generator] = None
+        self.missed_writes = [0] * len(self.members)
+        self.dropped_writes = [0] * len(self.members)
+        self.lost_batches = 0
+        self.lost_samples = 0
+        self.failover_reads = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def replication(self) -> int:
+        return len(self.members) - 1
+
+    @property
+    def primary(self) -> TimeSeriesStore:
+        return self.members[0]
+
+    def is_down(self, member: int = 0) -> bool:
+        return self._down[member]
+
+    @property
+    def down_members(self) -> int:
+        return sum(self._down)
+
+    @property
+    def healthy_members(self) -> int:
+        return len(self.members) - self.down_members
+
+    def mark_down(self, member: int = 0) -> None:
+        """Take one member offline (writes missed, reads fail over)."""
+        self._down[member] = True
+
+    def degrade(
+        self,
+        drop_fraction: float,
+        rng: np.random.Generator,
+        member: int = 0,
+    ) -> None:
+        """Degrade one member: drop this fraction of its writes (seeded).
+
+        Pass ``0.0`` to restore the member to full write acceptance.  A
+        degraded member silently diverges from its peers — the realistic
+        failure mode of an overloaded backend shedding ingest load.
+        """
+        if not 0.0 <= drop_fraction <= 1.0:
+            raise ConfigurationError(
+                f"drop_fraction must be in [0, 1], got {drop_fraction}"
+            )
+        self._drop_fraction[member] = drop_fraction
+        self._drop_rng = rng
+
+    def revive(self, member: int = 0, resync: bool = True) -> None:
+        """Bring a member back; by default rebuild it from a healthy peer.
+
+        Without resync the member serves whatever (stale) data it held when
+        it went down; with resync it is replaced by a fresh store populated
+        from the first healthy peer, so failback reads see the full series.
+        Reviving with ``resync=True`` when no peer is healthy keeps the
+        member's own data (there is nothing better to copy from).
+        """
+        self._drop_fraction[member] = 0.0
+        if resync:
+            source = next(
+                (
+                    m
+                    for i, m in enumerate(self.members)
+                    if i != member and not self._down[i]
+                ),
+                None,
+            )
+            if source is not None:
+                source.flush()
+                fresh = self._factory()
+                for name in source.names():
+                    times, values = source.query(name)
+                    fresh.append_many(name, times, values)
+                self.members[member] = fresh
+                self.missed_writes[member] = 0
+        self._down[member] = False
+
+    # ------------------------------------------------------------------
+    # Writes: fan out to every healthy member
+    # ------------------------------------------------------------------
+    def ingest(self, topic: str, batch: SampleBatch) -> int:
+        """Deliver one batch to every healthy member; returns copies written.
+
+        Never raises: down members miss the write, a fully-down shard loses
+        the batch (both counted), matching how monitoring stacks behave
+        while a storage backend is offline.
+        """
+        written = 0
+        for i, store in enumerate(self.members):
+            if self._down[i]:
+                self.missed_writes[i] += len(batch)
+                continue
+            if (
+                self._drop_fraction[i] > 0.0
+                and self._drop_rng is not None
+                and self._drop_rng.random() < self._drop_fraction[i]
+            ):
+                self.dropped_writes[i] += len(batch)
+                continue
+            store.ingest(topic, batch)
+            written += 1
+        if written == 0:
+            self.lost_batches += 1
+            self.lost_samples += len(batch)
+        return written
+
+    def append(self, name: str, time: float, value: float) -> None:
+        for i, store in enumerate(self.members):
+            if self._down[i]:
+                self.missed_writes[i] += 1
+            else:
+                store.append(name, time, value)
+
+    def append_many(
+        self, name: str, times: np.ndarray, values: np.ndarray
+    ) -> None:
+        n = int(np.asarray(times).size)
+        for i, store in enumerate(self.members):
+            if self._down[i]:
+                self.missed_writes[i] += n
+            else:
+                store.append_many(name, times, values)
+
+    def flush(self) -> int:
+        return sum(
+            store.flush()
+            for i, store in enumerate(self.members)
+            if not self._down[i]
+        )
+
+    # ------------------------------------------------------------------
+    # Reads: primary, else first healthy replica
+    # ------------------------------------------------------------------
+    def read_store(self) -> TimeSeriesStore:
+        """The member currently serving reads; raises if none is healthy."""
+        for i, store in enumerate(self.members):
+            if not self._down[i]:
+                if i != 0:
+                    self.failover_reads += 1
+                return store
+        raise ShardDownError(
+            f"shard {self.shard_id}: all {len(self.members)} members are down"
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def health_metrics(self, prefix: str) -> dict:
+        """Per-shard counters under ``prefix`` (``telemetry.shard.<i>``)."""
+        try:
+            serving = self.read_store()
+            samples = float(serving.samples_ingested)
+            series = float(len(serving))
+        except ShardDownError:
+            samples = float("nan")
+            series = float("nan")
+        return {
+            f"{prefix}.samples": samples,
+            f"{prefix}.series": series,
+            f"{prefix}.down_members": float(self.down_members),
+            f"{prefix}.missed_writes": float(sum(self.missed_writes)),
+            f"{prefix}.dropped_writes": float(sum(self.dropped_writes)),
+            f"{prefix}.lost_samples": float(self.lost_samples),
+            f"{prefix}.failover_reads": float(self.failover_reads),
+        }

@@ -1,0 +1,289 @@
+"""Hash-partitioned sharded store: the distributed archive tier.
+
+A :class:`ShardedStore` spreads series across N independent
+:class:`~repro.telemetry.store.TimeSeriesStore` shards by hashing the
+series name (pluggable partitioner, CRC-32 by default so assignment is
+consistent across runs and archives).  Each shard slot is a
+:class:`~repro.telemetry.distributed.replica.ReplicaSet` — primary plus R
+replicas with transparent read failover — and cross-shard reads go through
+the :class:`~repro.telemetry.distributed.federation.FederatedQueryEngine`.
+
+The public surface is API-compatible with ``TimeSeriesStore`` (``ingest``,
+``query``, ``resample``, ``align``, ``select``, ``names``, ``flush``,
+``health_metrics``, …), so everything downstream — bus subscription,
+streaming stages, alert evaluation, analytics, persistence — works
+unchanged on a sharded deployment::
+
+    store = ShardedStore(shards=8, replication=1, retention=86_400.0)
+    bus.subscribe("#", store.ingest)
+    grid, X = store.align(store.select("cluster.*"), 0.0, now, 60.0)
+
+Ingest splits each bus batch into per-shard sub-batches with a cached
+split plan: scrapes re-publish the same metric-name tuple every period, so
+after the first batch the partitioner is never consulted again on the hot
+path — one dict hit yields the (shard, names, index-array) plan and the
+values are fancy-indexed straight into per-shard batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.telemetry.distributed.federation import FederatedQueryEngine
+from repro.telemetry.distributed.partition import HashPartitioner, Partitioner
+from repro.telemetry.distributed.replica import ReplicaSet
+from repro.telemetry.sample import SampleBatch
+from repro.telemetry.store import SeriesBuffer, TimeSeriesStore
+
+__all__ = ["ShardedStore"]
+
+#: Bound on the cached batch split plans (keyed by the batch's name tuple).
+_SPLIT_CACHE_CAP = 1024
+
+#: One split-plan entry: (shard_id, names sub-tuple, value index array).
+_SplitPlan = List[Tuple[int, Tuple[str, ...], np.ndarray]]
+
+
+class ShardedStore:
+    """N hash-partitioned, optionally replicated, time-series shards.
+
+    Parameters
+    ----------
+    shards:
+        Number of shard slots (>= 1).
+    replication:
+        Extra copies per shard: every write lands on the primary plus this
+        many replicas, and reads fail over when the primary is down.
+    partitioner:
+        ``name -> shard_id`` callable; defaults to CRC-32 hashing
+        (:class:`~repro.telemetry.distributed.partition.HashPartitioner`).
+    retention / retention_slack / flush_threshold:
+        Per-shard store configuration, identical in meaning to
+        :class:`~repro.telemetry.store.TimeSeriesStore`.
+    store_factory:
+        Override how member stores are built (e.g. to pass a custom store
+        subclass); when given, the three config knobs above are only
+        recorded for introspection, not applied.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        replication: int = 0,
+        partitioner: Optional[Partitioner] = None,
+        retention: Optional[float] = None,
+        retention_slack: float = 0.25,
+        flush_threshold: int = 256,
+        store_factory: Optional[Callable[[], TimeSeriesStore]] = None,
+    ):
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if replication < 0:
+            raise ConfigurationError(
+                f"replication must be >= 0, got {replication}"
+            )
+        self.shards = shards
+        self.replication = replication
+        self.retention = retention
+        self.retention_slack = retention_slack
+        self.flush_threshold = flush_threshold
+        if store_factory is None:
+            store_factory = lambda: TimeSeriesStore(  # noqa: E731
+                retention=retention,
+                retention_slack=retention_slack,
+                flush_threshold=flush_threshold,
+            )
+        self.partitioner: Partitioner = (
+            partitioner if partitioner is not None else HashPartitioner(shards)
+        )
+        self.replica_sets: List[ReplicaSet] = [
+            ReplicaSet(i, replication, store_factory) for i in range(shards)
+        ]
+        self.federation = FederatedQueryEngine(self)
+        self.batches_ingested = 0
+        self._route: Dict[str, int] = {}
+        self._split_cache: Dict[Tuple[str, ...], _SplitPlan] = {}
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_of(self, name: str) -> int:
+        """Shard id owning ``name`` (cached, consistent for the run)."""
+        shard = self._route.get(name)
+        if shard is None:
+            shard = self._route[name] = int(self.partitioner(name)) % self.shards
+            if not 0 <= shard < self.shards:  # custom partitioner misbehaving
+                raise ConfigurationError(
+                    f"partitioner returned shard {shard} for {name!r} "
+                    f"(valid: 0..{self.shards - 1})"
+                )
+        return shard
+
+    def store_for(self, name: str) -> TimeSeriesStore:
+        """The store currently serving reads for ``name``'s shard."""
+        return self.replica_sets[self.shard_of(name)].read_store()
+
+    def _split_plan(self, names: Tuple[str, ...]) -> _SplitPlan:
+        plan = self._split_cache.get(names)
+        if plan is None:
+            by_shard: Dict[int, List[int]] = {}
+            for i, name in enumerate(names):
+                by_shard.setdefault(self.shard_of(name), []).append(i)
+            plan = [
+                (
+                    shard,
+                    tuple(names[i] for i in idx),
+                    np.asarray(idx, dtype=np.intp),
+                )
+                for shard, idx in sorted(by_shard.items())
+            ]
+            if len(self._split_cache) >= _SPLIT_CACHE_CAP:
+                self._split_cache.clear()
+            self._split_cache[names] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, topic: str, batch: SampleBatch) -> None:
+        """Bus-compatible sink: split the batch and write each sub-batch to
+        its shard's replica set (primary + replicas)."""
+        self.batches_ingested += 1
+        plan = self._split_plan(batch.names)
+        if len(plan) == 1:
+            # Whole batch lands on one shard: forward it as-is, no copies.
+            self.replica_sets[plan[0][0]].ingest(topic, batch)
+            return
+        time = batch.time
+        values = batch.values
+        for shard, names, idx in plan:
+            self.replica_sets[shard].ingest(
+                topic, SampleBatch(time, names, values[idx])
+            )
+
+    def append(self, name: str, time: float, value: float) -> None:
+        self.replica_sets[self.shard_of(name)].append(name, time, value)
+
+    def append_many(
+        self, name: str, times: np.ndarray, values: np.ndarray
+    ) -> None:
+        self.replica_sets[self.shard_of(name)].append_many(name, times, values)
+
+    def flush(self, name: Optional[str] = None) -> int:
+        """Flush staged samples on every shard member; returns samples
+        flushed on the primaries-and-replicas of the touched shard(s)."""
+        if name is not None:
+            rs = self.replica_sets[self.shard_of(name)]
+            return sum(
+                store.flush(name)
+                for i, store in enumerate(rs.members)
+                if not rs.is_down(i)
+            )
+        return sum(rs.flush() for rs in self.replica_sets)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return self.federation.names()
+
+    def select(self, pattern: str) -> List[str]:
+        return self.federation.select(pattern)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.store_for(name)
+
+    def __len__(self) -> int:
+        return sum(len(rs.read_store()) for rs in self.replica_sets)
+
+    def series(self, name: str) -> SeriesBuffer:
+        """Read accessor on the owning shard (flushes + enforces retention)."""
+        return self.store_for(name).series(name)
+
+    @property
+    def latest_time(self) -> float:
+        """Largest timestamp across all serving members (-inf when empty)."""
+        return max(
+            (rs.read_store().latest_time for rs in self.replica_sets),
+            default=float("-inf"),
+        )
+
+    @property
+    def samples_ingested(self) -> int:
+        """Logical samples stored (per-shard, counted once per sample —
+        replica copies are not double-counted)."""
+        return sum(rs.read_store().samples_ingested for rs in self.replica_sets)
+
+    @property
+    def staged_samples(self) -> int:
+        return sum(rs.read_store().staged_samples for rs in self.replica_sets)
+
+    def health_metrics(self) -> Dict[str, float]:
+        """Self-metrics on the ``telemetry.shard.*`` subtree.
+
+        Published by the :class:`~repro.telemetry.health.HealthMonitor`
+        like any store's, so shard failures are visible — and alertable —
+        through the ordinary pipeline.
+        """
+        out: Dict[str, float] = {
+            "telemetry.shard.count": float(self.shards),
+            "telemetry.shard.replication": float(self.replication),
+            "telemetry.shard.batches": float(self.batches_ingested),
+            "telemetry.shard.fanouts": float(self.federation.fanouts),
+        }
+        down = 0
+        failovers = 0
+        lost = 0
+        for rs in self.replica_sets:
+            out.update(rs.health_metrics(f"telemetry.shard.{rs.shard_id}"))
+            down += rs.down_members
+            failovers += rs.failover_reads
+            lost += rs.lost_samples
+        out["telemetry.shard.down_members"] = float(down)
+        out["telemetry.shard.failover_reads"] = float(failovers)
+        out["telemetry.shard.lost_samples"] = float(lost)
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries (single-series routed, cross-series federated)
+    # ------------------------------------------------------------------
+    def query(
+        self, name: str, since: float = float("-inf"), until: float = float("inf")
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.federation.query(name, since, until)
+
+    def latest(self, name: str) -> Tuple[float, float]:
+        return self.store_for(name).latest(name)
+
+    def value_at(self, name: str, time: float) -> float:
+        return self.store_for(name).value_at(name, time)
+
+    def resample(
+        self,
+        name: str,
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+        engine: str = "auto",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.federation.resample(
+            name, since, until, step, agg=agg, engine=engine
+        )
+
+    def align(
+        self,
+        names: Sequence[str],
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+        fill: str = "ffill",
+        engine: str = "auto",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.federation.align(
+            names, since, until, step, agg=agg, fill=fill, engine=engine
+        )

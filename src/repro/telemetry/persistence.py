@@ -4,15 +4,28 @@ Production monitoring databases persist to disk; the substrate equivalent
 lets long simulations be archived once and analyzed repeatedly (examples,
 notebooks, regression baselines) without re-running the simulator.
 
-Format: one compressed ``.npz`` with two arrays per series
+Single-store format: one compressed ``.npz`` with two arrays per series
 (``<name>::t``, ``<name>::v``) plus a small JSON header under ``__meta__``.
+Format v2 also records the store configuration (``retention``,
+``retention_slack``, ``flush_threshold``) so a reloaded store behaves like
+the one that was saved; v1 archives (no config) still load with defaults.
+
+Sharded format: a :class:`~repro.telemetry.distributed.ShardedStore`
+deployment persists as one manifest ``.npz`` (header only: topology +
+shard file names) plus one ordinary store archive per shard next to it —
+``run.npz`` → ``run.shard0.npz`` … ``run.shard<N-1>.npz``.  Each shard
+archive is itself a valid single-store archive, so individual shards can
+be inspected with :func:`load_store` directly.  On load, series are routed
+through the reconstructed store's partitioner (placement is re-derived
+from names, not trusted from the files) and replicas are rebuilt by the
+normal write fan-out.
 """
 
 from __future__ import annotations
 
-import io
 import json
-from typing import List, Optional, Sequence
+import os
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -22,16 +35,47 @@ from repro.telemetry.store import TimeSeriesStore
 __all__ = ["save_store", "load_store"]
 
 _META_KEY = "__meta__"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
-def save_store(
-    store: TimeSeriesStore, path: str, names: Optional[Sequence[str]] = None
+def _encode_meta(meta: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+
+def _read_meta(archive, path: str) -> dict:
+    if _META_KEY not in archive:
+        raise StoreError(f"{path}: not a repro store archive (missing header)")
+    meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    if meta.get("version") not in _READABLE_VERSIONS:
+        raise StoreError(
+            f"{path}: unsupported archive version {meta.get('version')}"
+        )
+    return meta
+
+
+def _config_meta(store) -> dict:
+    return {
+        "retention": store.retention,
+        "retention_slack": store.retention_slack,
+        "flush_threshold": store.flush_threshold,
+    }
+
+
+def _shard_paths(path: str, shards: int) -> List[str]:
+    base, ext = os.path.splitext(path)
+    if ext != ".npz":
+        base, ext = path, ".npz"
+    return [f"{base}.shard{i}{ext}" for i in range(shards)]
+
+
+def _save_single(
+    store: TimeSeriesStore, path: str, names: Optional[Sequence[str]]
 ) -> int:
-    """Write the store (or a subset of series) to ``path``.
-
-    Returns the number of series written.
-    """
+    # Compact staged samples up front so the archive never misses in-flight
+    # data (series() also flushes per read, but an explicit full flush keeps
+    # the saved samples_ingested/flush counters consistent too).
+    store.flush()
     selected = list(names) if names is not None else store.names()
     payload = {}
     for name in selected:
@@ -40,30 +84,106 @@ def save_store(
         payload[f"{name}::v"] = series.values.copy()
     meta = {
         "version": _FORMAT_VERSION,
+        "kind": "store",
         "series": selected,
-        "retention": store.retention,
         "samples": int(store.samples_ingested),
+        **_config_meta(store),
     }
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    )
+    payload[_META_KEY] = _encode_meta(meta)
     np.savez_compressed(path, **payload)
     return len(selected)
 
 
-def load_store(path: str) -> TimeSeriesStore:
-    """Load a store previously written by :func:`save_store`."""
+def _save_sharded(store, path: str, names: Optional[Sequence[str]]) -> int:
+    store.flush()
+    shard_paths = _shard_paths(path, store.shards)
+    total = 0
+    for rs, shard_path in zip(store.replica_sets, shard_paths):
+        serving = rs.read_store()
+        shard_names = (
+            [n for n in names if n in serving] if names is not None else None
+        )
+        total += _save_single(serving, shard_path, shard_names)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "kind": "sharded",
+        "shards": store.shards,
+        "replication": store.replication,
+        "partitioner": getattr(store.partitioner, "name", "custom"),
+        "shard_files": [os.path.basename(p) for p in shard_paths],
+        "series": total,
+        **_config_meta(store),
+    }
+    np.savez_compressed(path, **{_META_KEY: _encode_meta(meta)})
+    return total
+
+
+def save_store(
+    store, path: str, names: Optional[Sequence[str]] = None
+) -> int:
+    """Write the store (or a subset of series) to ``path``.
+
+    Accepts a :class:`TimeSeriesStore` or a
+    :class:`~repro.telemetry.distributed.ShardedStore` (saved as a manifest
+    plus one archive per shard).  Staged samples are flushed first, so an
+    archive always contains every ingested sample.  Returns the number of
+    series written.
+    """
+    from repro.telemetry.distributed.shard import ShardedStore
+
+    if isinstance(store, ShardedStore):
+        return _save_sharded(store, path, names)
+    return _save_single(store, path, names)
+
+
+def _store_kwargs(meta: dict) -> dict:
+    # v1 archives carry only retention; config knobs default like the
+    # TimeSeriesStore constructor.
+    return {
+        "retention": meta.get("retention"),
+        "retention_slack": meta.get("retention_slack", 0.25),
+        "flush_threshold": meta.get("flush_threshold", 256),
+    }
+
+
+def _load_series_into(store, archive, meta: dict) -> None:
+    for name in meta["series"]:
+        times = archive[f"{name}::t"]
+        values = archive[f"{name}::v"]
+        store.append_many(name, times, values)
+
+
+def _load_sharded(path: str, meta: dict):
+    from repro.telemetry.distributed.shard import ShardedStore
+
+    store = ShardedStore(
+        shards=int(meta["shards"]),
+        replication=int(meta.get("replication", 0)),
+        **_store_kwargs(meta),
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    for shard_file in meta["shard_files"]:
+        shard_path = os.path.join(directory, shard_file)
+        with np.load(shard_path) as archive:
+            shard_meta = _read_meta(archive, shard_path)
+            # Routed through the partitioner (append_many), so placement is
+            # consistent even if the shard files were produced under a
+            # different partitioner or shard count.
+            _load_series_into(store, archive, shard_meta)
+    return store
+
+
+def load_store(path: str) -> Union[TimeSeriesStore, "object"]:
+    """Load a store previously written by :func:`save_store`.
+
+    Returns a :class:`TimeSeriesStore`, or a
+    :class:`~repro.telemetry.distributed.ShardedStore` when ``path`` is a
+    sharded-deployment manifest.
+    """
     with np.load(path) as archive:
-        if _META_KEY not in archive:
-            raise StoreError(f"{path}: not a repro store archive (missing header)")
-        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
-        if meta.get("version") != _FORMAT_VERSION:
-            raise StoreError(
-                f"{path}: unsupported archive version {meta.get('version')}"
-            )
-        store = TimeSeriesStore(retention=meta.get("retention"))
-        for name in meta["series"]:
-            times = archive[f"{name}::t"]
-            values = archive[f"{name}::v"]
-            store.append_many(name, times, values)
+        meta = _read_meta(archive, path)
+        if meta.get("kind") == "sharded":
+            return _load_sharded(path, meta)
+        store = TimeSeriesStore(**_store_kwargs(meta))
+        _load_series_into(store, archive, meta)
     return store

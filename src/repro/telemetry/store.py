@@ -44,6 +44,10 @@ __all__ = [
     "TimeSeriesStore",
     "AGGREGATIONS",
     "VECTORIZED_AGGREGATIONS",
+    "bucket_edges",
+    "resample_onto",
+    "forward_fill",
+    "check_resample_args",
 ]
 
 
@@ -104,6 +108,90 @@ _INITIAL_CAPACITY = 64
 
 #: Bound on the per-store cache of compiled ``select`` patterns.
 _SELECT_CACHE_CAP = 256
+
+
+# ---------------------------------------------------------------------------
+# Resample kernels, shared by TimeSeriesStore and the federated query layer
+# (repro.telemetry.distributed): any engine that can produce the in-range
+# (times, values) of a series reuses exactly these functions, so single-store
+# and sharded/federated results are bit-for-bit identical by construction.
+# ---------------------------------------------------------------------------
+def bucket_edges(since: float, until: float, step: float) -> np.ndarray:
+    """Bucket-edge grid for ``[since, until]`` in steps of ``step``."""
+    n_buckets = int(np.ceil((until - since) / step - 1e-9))
+    return since + np.arange(n_buckets + 1) * step
+
+
+def check_resample_args(step: float, agg: str, engine: str) -> None:
+    """Validate shared resample/align arguments."""
+    if step <= 0:
+        raise StoreError(f"step must be positive, got {step}")
+    if agg not in AGGREGATIONS:
+        raise StoreError(
+            f"unknown aggregation {agg!r}; valid: {sorted(AGGREGATIONS)}"
+        )
+    if engine not in ("auto", "vectorized", "scalar"):
+        raise StoreError(
+            f"unknown engine {engine!r}; valid: auto, vectorized, scalar"
+        )
+
+
+def resample_onto(
+    times: np.ndarray,
+    values: np.ndarray,
+    edges: np.ndarray,
+    agg: str,
+    engine: str = "auto",
+) -> np.ndarray:
+    """Aggregate in-range samples onto the buckets defined by ``edges``.
+
+    The caller guarantees ``times`` is already restricted to the query range
+    (the final edge absorbs every remaining sample, so a closed upper bound
+    works).  Empty buckets yield NaN.
+    """
+    out = np.full(edges.size - 1, np.nan)
+    if not times.size:
+        return out
+    # One searchsorted keys every kernel: sample index of each edge.
+    idx = np.searchsorted(times, edges)
+    # The query is already capped at `until`, so the (possibly partial)
+    # final bucket absorbs every remaining sample.
+    idx[-1] = times.size
+    starts = idx[:-1]
+    ends = idx[1:]
+    kernel = VECTORIZED_AGGREGATIONS.get(agg) if engine != "scalar" else None
+    if kernel is not None:
+        nonempty = ends > starts
+        if nonempty.any():
+            out[nonempty] = kernel(values, starts[nonempty], ends[nonempty])
+        return out
+    if engine == "vectorized":
+        raise StoreError(
+            f"no vectorized kernel for {agg!r}; "
+            f"available: {sorted(VECTORIZED_AGGREGATIONS)}"
+        )
+    agg_fn = AGGREGATIONS[agg]
+    for i in range(out.size):
+        lo, hi = starts[i], ends[i]
+        if hi > lo:
+            out[i] = agg_fn(values[lo:hi])
+    return out
+
+
+def forward_fill(v: np.ndarray) -> np.ndarray:
+    """Vectorized forward fill of NaNs; leading NaNs stay NaN."""
+    if not v.size:
+        return v
+    mask = np.isnan(v)
+    if not mask.any():
+        return v
+    idx = np.where(~mask, np.arange(v.size), 0)
+    np.maximum.accumulate(idx, out=idx)
+    v = v[idx]
+    if mask[0]:
+        first_valid = int(np.argmax(~mask)) if (~mask).any() else v.size
+        v[:first_valid] = np.nan
+    return v
 
 
 class SeriesBuffer:
@@ -515,11 +603,9 @@ class TimeSeriesStore:
         """Last-observation-carried-forward lookup."""
         return self.series(name).value_at(time)
 
-    @staticmethod
-    def _bucket_edges(since: float, until: float, step: float) -> np.ndarray:
-        """Bucket-edge grid for ``[since, until]`` in steps of ``step``."""
-        n_buckets = int(np.ceil((until - since) / step - 1e-9))
-        return since + np.arange(n_buckets + 1) * step
+    # Shared kernels, kept as method aliases for backwards compatibility.
+    _bucket_edges = staticmethod(bucket_edges)
+    _check_resample_args = staticmethod(check_resample_args)
 
     def _resample_onto(
         self,
@@ -530,48 +616,7 @@ class TimeSeriesStore:
         engine: str,
     ) -> np.ndarray:
         """Aggregate in-range samples onto the buckets defined by ``edges``."""
-        out = np.full(edges.size - 1, np.nan)
-        if not times.size:
-            return out
-        # One searchsorted keys every kernel: sample index of each edge.
-        idx = np.searchsorted(times, edges)
-        # The query is already capped at `until`, so the (possibly partial)
-        # final bucket absorbs every remaining sample.
-        idx[-1] = times.size
-        starts = idx[:-1]
-        ends = idx[1:]
-        kernel = (
-            VECTORIZED_AGGREGATIONS.get(agg) if engine != "scalar" else None
-        )
-        if kernel is not None:
-            nonempty = ends > starts
-            if nonempty.any():
-                out[nonempty] = kernel(values, starts[nonempty], ends[nonempty])
-            return out
-        if engine == "vectorized":
-            raise StoreError(
-                f"no vectorized kernel for {agg!r}; "
-                f"available: {sorted(VECTORIZED_AGGREGATIONS)}"
-            )
-        agg_fn = AGGREGATIONS[agg]
-        for i in range(out.size):
-            lo, hi = starts[i], ends[i]
-            if hi > lo:
-                out[i] = agg_fn(values[lo:hi])
-        return out
-
-    @staticmethod
-    def _check_resample_args(step: float, agg: str, engine: str) -> None:
-        if step <= 0:
-            raise StoreError(f"step must be positive, got {step}")
-        if agg not in AGGREGATIONS:
-            raise StoreError(
-                f"unknown aggregation {agg!r}; valid: {sorted(AGGREGATIONS)}"
-            )
-        if engine not in ("auto", "vectorized", "scalar"):
-            raise StoreError(
-                f"unknown engine {engine!r}; valid: auto, vectorized, scalar"
-            )
+        return resample_onto(times, values, edges, agg, engine)
 
     def resample(
         self,
@@ -637,17 +682,8 @@ class TimeSeriesStore:
         for name in names:
             times, values = self.query(name, since, until)
             v = self._resample_onto(times, values, edges, agg, engine)
-            if fill == "ffill" and v.size:
-                # Vectorized forward fill of NaNs.
-                mask = np.isnan(v)
-                if mask.any():
-                    idx = np.where(~mask, np.arange(v.size), 0)
-                    np.maximum.accumulate(idx, out=idx)
-                    v = v[idx]
-                    # Leading NaNs (before first sample) remain NaN.
-                    if mask[0]:
-                        first_valid = int(np.argmax(~mask)) if (~mask).any() else v.size
-                        v[:first_valid] = np.nan
+            if fill == "ffill":
+                v = forward_fill(v)
             columns.append(v)
         return grid, np.column_stack(columns)
 

@@ -15,7 +15,7 @@ from repro.software import (
     compare_policies,
     replay,
 )
-from repro.telemetry import TimeSeriesStore, load_store, save_store
+from repro.telemetry import SampleBatch, TimeSeriesStore, load_store, save_store
 
 
 def trace(jobs_per_day=24.0, days=0.5, seed=7, max_nodes=16):
@@ -105,6 +105,128 @@ class TestPersistence:
         with pytest.raises(StoreError):
             load_store(path)
 
+    def test_config_round_trips(self, tmp_path):
+        """v2 archives persist retention/flush/slack and restore them."""
+        path = str(tmp_path / "configured.npz")
+        store = TimeSeriesStore(retention=3600.0, retention_slack=0.125,
+                                flush_threshold=32)
+        store.append_many("a.power", np.arange(10.0), np.ones(10))
+        save_store(store, path)
+        loaded = load_store(path)
+        assert loaded.retention == 3600.0
+        assert loaded.retention_slack == 0.125
+        assert loaded.flush_threshold == 32
+
+    def test_staged_only_store_round_trips(self, tmp_path):
+        """Regression: un-flushed staged samples must reach the archive."""
+        path = str(tmp_path / "staged.npz")
+        store = TimeSeriesStore(flush_threshold=10_000)  # never auto-flushes
+        batch_names = ("a.power", "b.temp")
+        for t in range(5):
+            store.ingest("t", SampleBatch(float(t), batch_names, np.ones(2) * t))
+        assert store.staged_samples == 10
+        save_store(store, path)
+        loaded = load_store(path)
+        for name in batch_names:
+            times, values = loaded.query(name)
+            np.testing.assert_array_equal(times, np.arange(5.0))
+            np.testing.assert_array_equal(values, np.arange(5.0))
+
+    def test_v1_archive_still_loads(self, tmp_path):
+        """Forward compatibility: pre-config archives load with defaults."""
+        import json
+
+        path = str(tmp_path / "v1.npz")
+        t = np.arange(4.0)
+        meta = {"version": 1, "series": ["old.metric"], "retention": 60.0,
+                "samples": 4}
+        np.savez_compressed(
+            path,
+            **{
+                "old.metric::t": t,
+                "old.metric::v": t * 2,
+                "__meta__": np.frombuffer(
+                    json.dumps(meta).encode("utf-8"), dtype=np.uint8
+                ),
+            },
+        )
+        loaded = load_store(path)
+        assert loaded.retention == 60.0
+        assert loaded.retention_slack == 0.25  # constructor default
+        times, values = loaded.query("old.metric")
+        np.testing.assert_array_equal(values, times * 2)
+
+    def test_unreadable_version_rejected(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "future.npz")
+        meta = {"version": 99, "series": []}
+        np.savez_compressed(path, __meta__=np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8))
+        with pytest.raises(StoreError):
+            load_store(path)
+
+
+class TestShardedPersistence:
+    def make_sharded(self, replication=1):
+        from repro.telemetry import SampleBatch, ShardedStore
+
+        store = ShardedStore(shards=3, replication=replication,
+                             retention_slack=0.125)
+        names = tuple(f"rack{r}.node{n}.power" for r in range(2) for n in range(4))
+        rng = np.random.default_rng(5)
+        for t in range(20):
+            store.ingest("t", SampleBatch(float(t), names, rng.random(len(names))))
+        return store
+
+    def test_sharded_round_trip(self, tmp_path):
+        from repro.telemetry import ShardedStore
+
+        path = str(tmp_path / "site.npz")
+        original = self.make_sharded()
+        count = save_store(original, path)
+        assert count == len(original.names())
+        # Manifest plus one archive per shard.
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["site.npz", "site.shard0.npz", "site.shard1.npz",
+                         "site.shard2.npz"]
+        loaded = load_store(path)
+        assert isinstance(loaded, ShardedStore)
+        assert loaded.shards == 3 and loaded.replication == 1
+        assert loaded.retention_slack == 0.125
+        assert loaded.names() == original.names()
+        for name in original.names():
+            t0, v0 = original.query(name)
+            t1, v1 = loaded.query(name)
+            np.testing.assert_array_equal(t0, t1)
+            np.testing.assert_array_equal(v0, v1)
+
+    def test_shard_archive_loads_standalone(self, tmp_path):
+        path = str(tmp_path / "site.npz")
+        original = self.make_sharded()
+        save_store(original, path)
+        shard0 = load_store(str(tmp_path / "site.shard0.npz"))
+        assert isinstance(shard0, TimeSeriesStore)
+        assert shard0.names() == original.replica_sets[0].primary.names()
+
+    def test_sharded_subset_save(self, tmp_path):
+        path = str(tmp_path / "subset.npz")
+        original = self.make_sharded(replication=0)
+        keep = original.names()[:3]
+        save_store(original, path, names=keep)
+        loaded = load_store(path)
+        assert loaded.names() == sorted(keep)
+
+    def test_sharded_save_survives_failover(self, tmp_path):
+        """Archiving reads through failover: a dead primary does not lose
+        the shard's series as long as a replica is up."""
+        path = str(tmp_path / "failed.npz")
+        original = self.make_sharded(replication=1)
+        original.replica_sets[1].mark_down(0)
+        save_store(original, path)
+        loaded = load_store(path)
+        assert loaded.names() == original.names()
+
 
 class TestCli:
     def test_classify_command(self, capsys):
@@ -138,3 +260,18 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Run KPIs" in out
         assert load_store(path).names()
+
+    def test_simulate_sharded_command(self, capsys, tmp_path):
+        from repro.telemetry import ShardedStore
+
+        path = str(tmp_path / "sharded.npz")
+        assert main([
+            "simulate", "--days", "0.02", "--jobs-per-day", "5",
+            "--shards", "4", "--replication", "1", "--save-store", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded store: 4 shards x 2 copies" in out
+        loaded = load_store(path)
+        assert isinstance(loaded, ShardedStore)
+        assert loaded.shards == 4
+        assert loaded.names()
