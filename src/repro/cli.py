@@ -9,6 +9,9 @@ framework without writing code:
 * ``simulate``  — run the synthetic data center, print KPIs, optionally
   archive the telemetry store to ``.npz``.
 * ``replay``    — policy what-if comparison on a synthetic trace.
+* ``obs``       — run an instrumented simulation and export observability
+  artifacts: a per-operation profile, Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto), span JSONL and a Prometheus snapshot.
 """
 
 from __future__ import annotations
@@ -63,6 +66,23 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--jobs-per-day", type=float, default=24.0)
     replay.add_argument("--racks", type=int, default=2)
     replay.add_argument("--nodes-per-rack", type=int, default=8)
+
+    obs = sub.add_parser(
+        "obs", help="trace + profile an instrumented simulation run"
+    )
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--racks", type=int, default=2)
+    obs.add_argument("--nodes-per-rack", type=int, default=4)
+    obs.add_argument("--hours", type=float, default=2.0)
+    obs.add_argument("--jobs-per-day", type=float, default=24.0)
+    obs.add_argument("--shards", type=int, default=2, metavar="N",
+                     help="telemetry shards (0 = single store)")
+    obs.add_argument("--replication", type=int, default=0, metavar="R")
+    obs.add_argument("--trace-capacity", type=int, default=65536,
+                     help="span ring-buffer bound")
+    obs.add_argument("--out", default="obs-artifacts", metavar="DIR",
+                     help="directory for trace.json / spans.jsonl / "
+                          "metrics.prom")
     return parser
 
 
@@ -177,6 +197,88 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import OBS
+    from repro.oda import DataCenter
+    from repro.oda.pipeline import DerivedMetricStage
+    from repro.telemetry.export import (
+        write_chrome_trace,
+        write_prometheus,
+        write_spans_jsonl,
+    )
+
+    hours = args.hours
+    shards = args.shards if args.shards and args.shards > 0 else None
+    OBS.reset(trace_capacity=args.trace_capacity)
+    OBS.enable()
+    try:
+        dc = DataCenter(
+            seed=args.seed, racks=args.racks,
+            nodes_per_rack=args.nodes_per_rack, shards=shards,
+            replication=args.replication, health_period=600.0,
+        )
+        DerivedMetricStage(
+            dc.telemetry.bus, "facility", "derived.pue",
+            inputs=("facility.power.site_power", "facility.power.it_power"),
+            compute=lambda v: {
+                "derived.pue": v["facility.power.site_power"]
+                / max(v["facility.power.it_power"], 1.0)
+            },
+        )
+        requests = dc.generate_workload(
+            days=hours / 24.0, jobs_per_day=args.jobs_per_day
+        )
+        print(
+            f"tracing {hours:g} simulated hours "
+            f"({len(requests)} submissions, "
+            f"shards={shards or 1}x{args.replication + 1}) ..."
+        )
+        dc.run(seconds=hours * 3600.0)
+        # Exercise the federated read path so query spans appear too.
+        names = dc.store.select("cluster.*")[:8] or dc.store.names()[:8]
+        if names:
+            dc.store.align(names, 0.0, hours * 3600.0, 300.0)
+
+        tracer = OBS.tracer
+        print(
+            f"spans: {tracer.finished} finished, "
+            f"{tracer.dropped} evicted (capacity {tracer.capacity})"
+        )
+        header = (
+            f"{'span':<24}{'count':>8}{'total_s':>10}{'mean_us':>10}"
+            f"{'p95_us':>10}{'p99_us':>10}{'errors':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for name, row in OBS.report().items():
+            print(
+                f"{name:<24}{int(row['count']):>8}"
+                f"{row['total_s']:>10.4f}"
+                f"{row.get('mean_s', 0.0) * 1e6:>10.1f}"
+                f"{row.get('p95_s', 0.0) * 1e6:>10.1f}"
+                f"{row.get('p99_s', 0.0) * 1e6:>10.1f}"
+                f"{int(row['errors']):>8}"
+            )
+
+        os.makedirs(args.out, exist_ok=True)
+        trace_path = os.path.join(args.out, "trace.json")
+        spans_path = os.path.join(args.out, "spans.jsonl")
+        prom_path = os.path.join(args.out, "metrics.prom")
+        events = write_chrome_trace(trace_path, tracer)
+        write_spans_jsonl(spans_path, tracer)
+        write_prometheus(prom_path, dc.telemetry.prometheus())
+        print(
+            f"wrote {events} trace events to {trace_path} "
+            f"(open in chrome://tracing or Perfetto), spans to "
+            f"{spans_path}, metrics to {prom_path}"
+        )
+    finally:
+        OBS.disable()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "survey":
@@ -189,6 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -1,0 +1,255 @@
+"""Distributed-style tracing for the in-process telemetry/ODA stack.
+
+A :class:`Tracer` produces nested :class:`Span` objects carrying both
+**wall time** (``time.perf_counter``, what profiling cares about) and
+**sim time** (the discrete-event clock, what the data path cares about).
+Because the whole pipeline is synchronous, context propagation is a plain
+span stack: a span opened while another is active becomes its child, so a
+sample's path — sampler scrape → bus publish → delivery → streaming stage →
+store ingest → shard fan-out — nests into one trace without any explicit
+context plumbing at the call sites.
+
+Finished spans land in a bounded ring buffer (oldest evicted first, counted)
+and can be exported as Chrome trace-event JSON — loadable directly in
+``chrome://tracing`` or Perfetto — or as one-span-per-line JSONL via
+:mod:`repro.telemetry.export`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "spans_to_chrome", "spans_to_dicts"]
+
+
+class Span:
+    """One timed operation: name, ids, wall/sim time, free-form attributes.
+
+    Used as a context manager; an exception escaping the body marks the
+    span (``error`` holds the exception class name) and is re-raised, so
+    error isolation at the call site is unchanged.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "trace_id", "start", "end",
+                 "sim_time", "attrs", "error", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        trace_id: int,
+        sim_time: Optional[float],
+        attrs: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.sim_time = sim_time
+        self.attrs = attrs
+        self.start = perf_counter()
+        self.end: Optional[float] = None
+        self.error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        self._tracer._finish(self)
+        return False  # never swallow — call-site error handling is unchanged
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (see JSONL export)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.sim_time is not None:
+            out["sim_time"] = self.sim_time
+        if self.error is not None:
+            out["error"] = self.error
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration * 1e6:.1f}us)"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Span factory with stack-based context propagation and a ring buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Bound on retained finished spans; the oldest are evicted first and
+        counted in ``dropped`` so a long simulation cannot grow trace
+        memory without bound.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        self.capacity = capacity
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self._stack: List[Span] = []
+        self._next_span_id = 1
+        self._next_trace_id = 1
+        self.started = 0
+        self.finished = 0
+        self.dropped = 0
+        #: Epoch for relative timestamps in exports.
+        self.epoch = perf_counter()
+        #: Optional hook called with each finished span (the observability
+        #: facade uses it to feed per-span-name duration histograms).
+        self.on_finish: Optional[Callable[[Span], None]] = None
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, sim_time: Optional[float] = None, **attrs) -> Span:
+        """Open a span; the innermost open span becomes its parent."""
+        if self._stack:
+            parent = self._stack[-1]
+            parent_id: Optional[int] = parent.span_id
+            trace_id = parent.trace_id
+        else:
+            parent_id = None
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+        span = Span(
+            self, name, self._next_span_id, parent_id, trace_id, sim_time, attrs
+        )
+        self._next_span_id += 1
+        self.started += 1
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = perf_counter()
+        # Normal exits pop the top; an abnormal unwind (caller re-entered
+        # the tracer without closing) pops down to the finishing span so
+        # the stack cannot grow stale entries.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self.finished += 1
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(span)
+        if self.on_finish is not None:
+            self.on_finish(span)
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def spans(self) -> List[Span]:
+        """Finished spans, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._stack.clear()
+
+    def by_name(self) -> Dict[str, List[Span]]:
+        """Finished spans grouped by span name."""
+        out: Dict[str, List[Span]] = {}
+        for span in self._ring:
+            out.setdefault(span.name, []).append(span)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Export shapes (file I/O lives in repro.telemetry.export)
+# ---------------------------------------------------------------------------
+def spans_to_dicts(spans: List[Span]) -> List[Dict[str, Any]]:
+    """JSON-friendly dicts, one per span (the JSONL line shape)."""
+    return [span.to_dict() for span in spans]
+
+
+def spans_to_chrome(
+    spans: List[Span], time_origin: Optional[float] = None
+) -> Dict[str, Any]:
+    """Chrome trace-event JSON (the ``chrome://tracing``/Perfetto format).
+
+    Every span becomes one complete (``"ph": "X"``) event with microsecond
+    ``ts``/``dur`` relative to ``time_origin`` (default: the earliest span
+    start, so traces begin at t=0).  Events are sorted by ``ts`` so the
+    stream is monotonic; span/parent/trace ids and sim time ride along in
+    ``args`` for programmatic consumers.
+    """
+    if time_origin is None:
+        time_origin = min((s.start for s in spans), default=0.0)
+    events: List[Dict[str, Any]] = []
+    for span in sorted(spans, key=lambda s: s.start):
+        args: Dict[str, Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "trace_id": span.trace_id,
+        }
+        if span.sim_time is not None:
+            args["sim_time"] = span.sim_time
+        if span.error is not None:
+            args["error"] = span.error
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (span.start - time_origin) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 0,
+                "tid": span.trace_id,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }

@@ -229,3 +229,9 @@ class DataCenter:
     def metric(self, name: str):
         """Shorthand range query over the full history."""
         return self.store.query(name)
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of every pipeline metrics registry
+        (bus, agents, store/shards, health, plus any profiling histograms
+        collected while :data:`repro.obs.OBS` was enabled)."""
+        return self.telemetry.prometheus()

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analytics.prescriptive.control import ControlAction, ControlLoop, SetpointManager
 from repro.facility.cooling import CoolingLoop
+from repro.obs import OBS as _OBS
 from repro.oda.datacenter import DataCenter
 
 __all__ = ["OrchestratorConfig", "MultiPillarOrchestrator"]
@@ -90,6 +91,16 @@ class MultiPillarOrchestrator:
         return demand / max(free, 1)
 
     def _decide(self, now: float, recommend_only: bool) -> List[ControlAction]:
+        if _OBS.enabled:
+            with _OBS.tracer.span("orchestrator.decide", sim_time=now) as sp:
+                actions = self._decide_impl(now, recommend_only)
+                sp.set_attr("actions", len(actions))
+                return actions
+        return self._decide_impl(now, recommend_only)
+
+    def _decide_impl(
+        self, now: float, recommend_only: bool
+    ) -> List[ControlAction]:
         actions: List[ControlAction] = []
         cfg = self.config
 

@@ -9,10 +9,12 @@ plugin shape; two stock stages cover the common cases.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.obs import OBS as _OBS
+from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.bus import MessageBus
 from repro.telemetry.sample import SampleBatch
 
@@ -35,12 +37,22 @@ class StreamingStage:
         self.emitted = 0
         self.errors = 0
         self.last_error = ""
+        self._metrics: Optional[MetricsRegistry] = None
         self._subscription = bus.subscribe(pattern, self._on_batch)
 
     def stop(self) -> None:
         self._subscription.cancel()
 
     def _on_batch(self, topic: str, batch: SampleBatch) -> None:
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "stage.process", sim_time=batch.time, stage=self.output_topic
+            ):
+                self._on_batch_impl(topic, batch)
+            return
+        self._on_batch_impl(topic, batch)
+
+    def _on_batch_impl(self, topic: str, batch: SampleBatch) -> None:
         self.processed += 1
         try:
             derived = self.process(topic, batch)
@@ -54,14 +66,24 @@ class StreamingStage:
             self.emitted += 1
             self.bus.publish(self.output_topic, SampleBatch.from_mapping(batch.time, derived))
 
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """Typed instruments on the ``telemetry.stage.<topic>`` subtree."""
+        if self._metrics is None:
+            prefix = f"telemetry.stage.{self.output_topic}"
+            r = MetricsRegistry()
+            r.counter(f"{prefix}.processed", "batches seen by the stage",
+                      fn=lambda: float(self.processed))
+            r.counter(f"{prefix}.emitted", "derived batches republished",
+                      fn=lambda: float(self.emitted))
+            r.counter(f"{prefix}.errors", "process() calls that raised",
+                      fn=lambda: float(self.errors))
+            self._metrics = r
+        return self._metrics
+
     def health_metrics(self) -> Dict[str, float]:
         """Self-metrics snapshot, registrable as a health-monitor probe."""
-        prefix = f"telemetry.stage.{self.output_topic}"
-        return {
-            f"{prefix}.processed": float(self.processed),
-            f"{prefix}.emitted": float(self.emitted),
-            f"{prefix}.errors": float(self.errors),
-        }
+        return self.metrics_registry.snapshot()
 
     def process(self, topic: str, batch: SampleBatch) -> Optional[Dict[str, float]]:
         raise NotImplementedError

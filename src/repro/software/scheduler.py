@@ -20,6 +20,7 @@ from repro.apps.generator import JobRequest
 from repro.cluster.node import NodeLoad
 from repro.cluster.system import HPCSystem
 from repro.errors import SchedulingError
+from repro.obs import OBS as _OBS
 from repro.simulation.engine import PeriodicHandle, Simulator
 from repro.simulation.trace import TraceLog
 from repro.software.jobs import Job, JobState
@@ -145,6 +146,13 @@ class Scheduler:
     # The scheduling tick
     # ------------------------------------------------------------------
     def _tick(self, now: float) -> None:
+        if _OBS.enabled:
+            with _OBS.tracer.span("scheduler.tick", sim_time=now):
+                self._tick_impl(now)
+            return
+        self._tick_impl(now)
+
+    def _tick_impl(self, now: float) -> None:
         dt = self.tick if self._last_tick is None else now - self._last_tick
         self._last_tick = now
         self._advance_running(now, dt)

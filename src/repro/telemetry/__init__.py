@@ -18,6 +18,16 @@ from repro.telemetry.alerts import (
 )
 from repro.telemetry.bus import DeadLetter, MessageBus, Subscription
 from repro.telemetry.collector import CollectionAgent, Sampler, TelemetrySystem
+from repro.telemetry.export import (
+    load_spans_jsonl,
+    to_csv,
+    to_json,
+    to_rows,
+    write_chrome_trace,
+    write_csv,
+    write_prometheus,
+    write_spans_jsonl,
+)
 from repro.telemetry.distributed import (
     FederatedQueryEngine,
     HashPartitioner,
@@ -79,4 +89,12 @@ __all__ = [
     "bucket_edges",
     "forward_fill",
     "resample_onto",
+    "to_rows",
+    "to_csv",
+    "to_json",
+    "write_csv",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "load_spans_jsonl",
+    "write_prometheus",
 ]

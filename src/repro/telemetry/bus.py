@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.errors import SubscriberError
+from repro.obs import OBS as _OBS
+from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.sample import SampleBatch
 
 __all__ = ["Subscription", "DeadLetter", "MessageBus"]
@@ -163,6 +165,7 @@ class MessageBus:
         self.route_cache_hits = 0
         self.route_cache_misses = 0
         self._pending_compact = False
+        self._metrics: Optional[MetricsRegistry] = None
 
     def subscribe(self, pattern: str, callback: SinkFn) -> Subscription:
         """Register ``callback`` for topics matching ``pattern``.
@@ -207,16 +210,29 @@ class MessageBus:
         abort delivery to the rest: the failure is counted, the batch is
         parked in the dead-letter queue, and delivery continues.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span("bus.publish", sim_time=batch.time, topic=topic):
+                return self._publish(topic, batch)
+        return self._publish(topic, batch)
+
+    def _publish(self, topic: str, batch: SampleBatch) -> int:
         self.published += 1
         self._count_topic(topic)
         if self._pending_compact:
             self.compact()
+        obs_on = _OBS.enabled
         count = 0
         for sub in self._route(topic):
             if not sub.active or sub.quarantined:
                 continue
             try:
-                sub.callback(topic, batch)
+                if obs_on:
+                    with _OBS.tracer.span(
+                        "bus.deliver", sim_time=batch.time, pattern=sub.pattern
+                    ):
+                        sub.callback(topic, batch)
+                else:
+                    sub.callback(topic, batch)
             except Exception as exc:  # noqa: BLE001 — isolate any sink failure
                 self._record_failure(sub, topic, batch, exc)
                 continue
@@ -343,21 +359,58 @@ class MessageBus:
     def quarantined_count(self) -> int:
         return sum(1 for s in self._subscriptions if s.active and s.quarantined)
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Typed instruments over the bus counters (lazily built).
+
+        The hot-path counting stays plain attribute increments; the
+        registry's callback-backed instruments read them at snapshot or
+        Prometheus-export time, so migration costs the publish path
+        nothing.
+        """
+        if self._metrics is None:
+            r = MetricsRegistry()
+            r.counter("telemetry.bus.published",
+                      "batches published", fn=lambda: float(self.published))
+            r.counter("telemetry.bus.delivered",
+                      "successful deliveries", fn=lambda: float(self.delivered))
+            r.counter("telemetry.bus.dropped",
+                      "batches no subscriber accepted",
+                      fn=lambda: float(self.dropped))
+            r.counter("telemetry.bus.delivery_errors",
+                      "failed deliveries", fn=lambda: float(self.delivery_errors))
+            r.gauge("telemetry.bus.dead_letters",
+                    "parked failed deliveries",
+                    fn=lambda: float(len(self._dead_letters)))
+            r.counter("telemetry.bus.dead_letters_evicted",
+                      "dead letters evicted by the capacity bound",
+                      fn=lambda: float(self.dead_letters_evicted))
+            r.gauge("telemetry.bus.subscriptions",
+                    "active subscriptions",
+                    fn=lambda: float(self.subscription_count))
+            r.gauge("telemetry.bus.quarantined",
+                    "quarantined subscriptions",
+                    fn=lambda: float(self.quarantined_count))
+            r.gauge("telemetry.bus.topics_tracked",
+                    "individually tracked topics",
+                    fn=lambda: float(len(self._topic_counts)))
+            r.gauge("telemetry.bus.topic_cardinality_cap",
+                    "bound on tracked topics",
+                    fn=lambda: float(self.topic_cardinality_cap))
+            r.counter("telemetry.bus.topic_overflow",
+                      "publishes folded into the overflow bucket",
+                      fn=lambda: float(self.topic_overflow))
+            r.gauge("telemetry.bus.route_cache_size",
+                    "cached exact-topic routes",
+                    fn=lambda: float(len(self._route_cache)))
+            r.counter("telemetry.bus.route_cache_hits",
+                      "route cache hits", fn=lambda: float(self.route_cache_hits))
+            r.counter("telemetry.bus.route_cache_misses",
+                      "route cache misses",
+                      fn=lambda: float(self.route_cache_misses))
+            self._metrics = r
+        return self._metrics
+
     def health_metrics(self) -> Dict[str, float]:
-        """Self-metrics snapshot (see :mod:`repro.telemetry.health`)."""
-        return {
-            "telemetry.bus.published": float(self.published),
-            "telemetry.bus.delivered": float(self.delivered),
-            "telemetry.bus.dropped": float(self.dropped),
-            "telemetry.bus.delivery_errors": float(self.delivery_errors),
-            "telemetry.bus.dead_letters": float(len(self._dead_letters)),
-            "telemetry.bus.dead_letters_evicted": float(self.dead_letters_evicted),
-            "telemetry.bus.subscriptions": float(self.subscription_count),
-            "telemetry.bus.quarantined": float(self.quarantined_count),
-            "telemetry.bus.topics_tracked": float(len(self._topic_counts)),
-            "telemetry.bus.topic_cardinality_cap": float(self.topic_cardinality_cap),
-            "telemetry.bus.topic_overflow": float(self.topic_overflow),
-            "telemetry.bus.route_cache_size": float(len(self._route_cache)),
-            "telemetry.bus.route_cache_hits": float(self.route_cache_hits),
-            "telemetry.bus.route_cache_misses": float(self.route_cache_misses),
-        }
+        """Self-metrics snapshot — a thin dict view over :attr:`metrics`."""
+        return self.metrics.snapshot()

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError, SamplerTimeoutError
+from repro.obs import OBS as _OBS
+from repro.obs.metrics import MetricsRegistry
 from repro.simulation.engine import PeriodicHandle, Simulator
 from repro.telemetry.bus import MessageBus
 from repro.telemetry.metric import MetricRegistry, MetricSpec
@@ -62,6 +64,8 @@ class Sampler:
     consecutive_errors: int = 0
     last_error: str = ""
     suspended_until: float = float("-inf")
+    #: Cumulative wall-clock seconds spent inside :meth:`scrape`.
+    scrape_seconds: float = 0.0
 
     def scrape(self, now: float) -> SampleBatch:
         """Read the source and package the result as a batch."""
@@ -107,8 +111,10 @@ class CollectionAgent:
         self.scrape_errors = 0
         self.scrapes_skipped = 0
         self.last_error = ""
+        self.scrape_seconds = 0.0
         self._samplers: List[Sampler] = []
         self._handle: Optional[PeriodicHandle] = None
+        self._metrics: Optional[MetricsRegistry] = None
 
     def add_sampler(self, sampler: Sampler) -> Sampler:
         """Attach a sampler and register its metric specs."""
@@ -128,30 +134,59 @@ class CollectionAgent:
         enters exponential backoff (its next scrapes are skipped) instead of
         killing the collection tick.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "collector.collect", sim_time=now, agent=self.name
+            ):
+                return self._collect_once(now)
+        return self._collect_once(now)
+
+    def _collect_once(self, now: float) -> int:
         published = 0
+        obs_on = _OBS.enabled
         for sampler in self._samplers:
             if now < sampler.suspended_until:
                 self.scrapes_skipped += 1
                 continue
-            try:
-                batch = self._scrape(sampler, now)
-            except Exception as exc:  # noqa: BLE001 — isolate any source failure
-                self._record_error(sampler, now, exc)
-                continue
-            sampler.consecutive_errors = 0
-            sampler.suspended_until = float("-inf")
-            if len(batch):
-                self.bus.publish(sampler.name, batch)
-                published += 1
+            if obs_on:
+                with _OBS.tracer.span(
+                    "collector.scrape", sim_time=now, sampler=sampler.name
+                ):
+                    published += self._scrape_and_publish(sampler, now)
+            else:
+                published += self._scrape_and_publish(sampler, now)
         return published
 
+    def _scrape_and_publish(self, sampler: Sampler, now: float) -> int:
+        """Scrape one sampler and publish its batch; returns 0 or 1."""
+        try:
+            batch = self._scrape(sampler, now)
+        except Exception as exc:  # noqa: BLE001 — isolate any source failure
+            self._record_error(sampler, now, exc)
+            return 0
+        sampler.consecutive_errors = 0
+        sampler.suspended_until = float("-inf")
+        if len(batch):
+            self.bus.publish(sampler.name, batch)
+            return 1
+        return 0
+
     def _scrape(self, sampler: Sampler, now: float) -> SampleBatch:
-        if self.source_timeout_s is None:
-            return sampler.scrape(now)
+        """Timed scrape of one source; always accounts wall-clock duration.
+
+        The elapsed wall time is accumulated on both the sampler and the
+        agent (surfaced as ``telemetry.agent.<name>.scrape_seconds``) even
+        when the source raises, so a slow-then-failing sensor is visible in
+        the duration metric and not just the error counters.
+        """
         t0 = _time.perf_counter()
-        batch = sampler.scrape(now)
-        elapsed = _time.perf_counter() - t0
-        if elapsed > self.source_timeout_s:
+        try:
+            batch = sampler.scrape(now)
+        finally:
+            elapsed = _time.perf_counter() - t0
+            sampler.scrape_seconds += elapsed
+            self.scrape_seconds += elapsed
+        if self.source_timeout_s is not None and elapsed > self.source_timeout_s:
             sampler.timeouts += 1
             raise SamplerTimeoutError(
                 f"sampler {sampler.name}: scrape took {elapsed:.3f}s "
@@ -188,16 +223,32 @@ class CollectionAgent:
             self._handle.cancel()
             self._handle = None
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Typed instruments over the agent counters (lazily built)."""
+        if self._metrics is None:
+            prefix = f"telemetry.agent.{self.name}"
+            r = MetricsRegistry()
+            r.gauge(f"{prefix}.samplers", "attached samplers",
+                    fn=lambda: float(len(self._samplers)))
+            r.counter(f"{prefix}.scrapes", "completed scrapes",
+                      fn=lambda: float(sum(s.scrapes for s in self._samplers)))
+            r.counter(f"{prefix}.samples", "samples produced",
+                      fn=lambda: float(sum(s.samples for s in self._samplers)))
+            r.counter(f"{prefix}.scrape_errors", "raising/over-budget scrapes",
+                      fn=lambda: float(self.scrape_errors))
+            r.counter(f"{prefix}.scrapes_skipped",
+                      "scrapes skipped by backoff",
+                      fn=lambda: float(self.scrapes_skipped))
+            r.counter(f"{prefix}.scrape_seconds",
+                      "cumulative wall-clock seconds spent scraping",
+                      unit="s", fn=lambda: self.scrape_seconds)
+            self._metrics = r
+        return self._metrics
+
     def health_metrics(self) -> Dict[str, float]:
-        """Self-metrics snapshot (see :mod:`repro.telemetry.health`)."""
-        prefix = f"telemetry.agent.{self.name}"
-        return {
-            f"{prefix}.samplers": float(len(self._samplers)),
-            f"{prefix}.scrapes": float(sum(s.scrapes for s in self._samplers)),
-            f"{prefix}.samples": float(sum(s.samples for s in self._samplers)),
-            f"{prefix}.scrape_errors": float(self.scrape_errors),
-            f"{prefix}.scrapes_skipped": float(self.scrapes_skipped),
-        }
+        """Self-metrics snapshot — a thin dict view over :attr:`metrics`."""
+        return self.metrics.snapshot()
 
 
 class TelemetrySystem:
@@ -310,3 +361,30 @@ class TelemetrySystem:
         # Compact any staged samples so a stopped system is fully flushed
         # (reads flush lazily anyway; this is for persistence/shutdown).
         self.store.flush()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metric_registries(self) -> List[MetricsRegistry]:
+        """Every typed-metric registry in the stack: bus, agents, store,
+        health monitor, plus the global profiling registry when the
+        observability switch has collected anything."""
+        registries = [self.bus.metrics]
+        registries.extend(agent.metrics for agent in self.agents)
+        store_registries = getattr(self.store, "metric_registries", None)
+        if store_registries is not None:  # sharded store: one per replica set
+            registries.extend(store_registries())
+        elif getattr(self.store, "metrics", None) is not None:
+            registries.append(self.store.metrics)
+        if self.health is not None:
+            registries.append(self.health.metrics_registry)
+        if len(_OBS.registry):
+            registries.append(_OBS.registry)
+        return registries
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of the whole pipeline's self-metrics
+        (typed ``telemetry.*`` instruments + ``obs.*`` span histograms)."""
+        from repro.obs.metrics import prometheus_text
+
+        return prometheus_text(self.metric_registries())

@@ -27,6 +27,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import StoreError
+from repro.obs import OBS as _OBS
 from repro.telemetry.store import (
     bucket_edges,
     check_resample_args,
@@ -53,6 +54,14 @@ class FederatedQueryEngine:
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
         """All series names across shards, sorted."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "federation.names", shards=self._sharded.shards
+            ):
+                return self._names()
+        return self._names()
+
+    def _names(self) -> List[str]:
         self.fanouts += 1
         per_shard = [
             rs.read_store().names() for rs in self._sharded.replica_sets
@@ -61,6 +70,12 @@ class FederatedQueryEngine:
 
     def select(self, pattern: str) -> List[str]:
         """Names matching a shell-style pattern, across all shards."""
+        if _OBS.enabled:
+            with _OBS.tracer.span("federation.select", pattern=pattern):
+                return self._select(pattern)
+        return self._select(pattern)
+
+    def _select(self, pattern: str) -> List[str]:
         self.fanouts += 1
         per_shard = [
             rs.read_store().select(pattern)
@@ -75,6 +90,9 @@ class FederatedQueryEngine:
         self, name: str, since: float = float("-inf"), until: float = float("inf")
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Route a raw range query to the shard owning ``name``."""
+        if _OBS.enabled:
+            with _OBS.tracer.span("federation.query", metric=name):
+                return self._sharded.store_for(name).query(name, since, until)
         return self._sharded.store_for(name).query(name, since, until)
 
     def resample(
@@ -108,6 +126,28 @@ class FederatedQueryEngine:
         each series from its owning shard, so the result is bit-for-bit
         what a single store holding every series would return.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "federation.align", series=len(names), agg=agg
+            ):
+                return self._align(
+                    names, since, until, step, agg=agg, fill=fill,
+                    engine=engine,
+                )
+        return self._align(
+            names, since, until, step, agg=agg, fill=fill, engine=engine
+        )
+
+    def _align(
+        self,
+        names: Sequence[str],
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+        fill: str = "ffill",
+        engine: str = "auto",
+    ) -> Tuple[np.ndarray, np.ndarray]:
         if fill not in ("ffill", "nan"):
             raise StoreError(f"unknown fill mode {fill!r}")
         check_resample_args(step, agg, engine)

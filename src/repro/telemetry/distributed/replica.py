@@ -29,6 +29,8 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, ShardDownError
+from repro.obs import OBS as _OBS
+from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.sample import SampleBatch
 from repro.telemetry.store import TimeSeriesStore
 
@@ -63,6 +65,8 @@ class ReplicaSet:
         self.lost_batches = 0
         self.lost_samples = 0
         self.failover_reads = 0
+        self._metrics: Optional[MetricsRegistry] = None
+        self._metrics_prefix: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -148,6 +152,16 @@ class ReplicaSet:
         the batch (both counted), matching how monitoring stacks behave
         while a storage backend is offline.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "replica.write", sim_time=batch.time, shard=self.shard_id
+            ) as sp:
+                written = self._ingest(topic, batch)
+                sp.set_attr("written", written)
+                return written
+        return self._ingest(topic, batch)
+
+    def _ingest(self, topic: str, batch: SampleBatch) -> int:
         written = 0
         for i, store in enumerate(self.members):
             if self._down[i]:
@@ -208,21 +222,49 @@ class ReplicaSet:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def _serving_stat(self, attr: str) -> float:
+        """Read one stat off the serving member; NaN when all are down.
+
+        Scans members directly (rather than via :meth:`read_store`) so a
+        metrics snapshot never perturbs the ``failover_reads`` counter.
+        """
+        serving = next(
+            (m for i, m in enumerate(self.members) if not self._down[i]),
+            None,
+        )
+        if serving is None:
+            return float("nan")
+        return float(len(serving)) if attr == "series" else float(
+            getattr(serving, attr)
+        )
+
+    def metrics_registry(self, prefix: str) -> MetricsRegistry:
+        """Typed instruments under ``prefix`` (``telemetry.shard.<i>``)."""
+        if self._metrics is None or self._metrics_prefix != prefix:
+            r = MetricsRegistry()
+            r.counter(f"{prefix}.samples", "samples on the serving member",
+                      fn=lambda: self._serving_stat("samples_ingested"))
+            r.gauge(f"{prefix}.series", "series on the serving member",
+                    fn=lambda: self._serving_stat("series"))
+            r.gauge(f"{prefix}.down_members", "members currently down",
+                    fn=lambda: float(self.down_members))
+            r.counter(f"{prefix}.missed_writes",
+                      "writes missed by down members",
+                      fn=lambda: float(sum(self.missed_writes)))
+            r.counter(f"{prefix}.dropped_writes",
+                      "writes shed by degraded members",
+                      fn=lambda: float(sum(self.dropped_writes)))
+            r.counter(f"{prefix}.lost_samples",
+                      "samples lost with every member down",
+                      fn=lambda: float(self.lost_samples))
+            r.counter(f"{prefix}.failover_reads",
+                      "reads served by a non-primary member",
+                      fn=lambda: float(self.failover_reads))
+            self._metrics = r
+            self._metrics_prefix = prefix
+        return self._metrics
+
     def health_metrics(self, prefix: str) -> dict:
-        """Per-shard counters under ``prefix`` (``telemetry.shard.<i>``)."""
-        try:
-            serving = self.read_store()
-            samples = float(serving.samples_ingested)
-            series = float(len(serving))
-        except ShardDownError:
-            samples = float("nan")
-            series = float("nan")
-        return {
-            f"{prefix}.samples": samples,
-            f"{prefix}.series": series,
-            f"{prefix}.down_members": float(self.down_members),
-            f"{prefix}.missed_writes": float(sum(self.missed_writes)),
-            f"{prefix}.dropped_writes": float(sum(self.dropped_writes)),
-            f"{prefix}.lost_samples": float(self.lost_samples),
-            f"{prefix}.failover_reads": float(self.failover_reads),
-        }
+        """Per-shard counters under ``prefix`` — a thin dict view over
+        :meth:`metrics_registry`."""
+        return self.metrics_registry(prefix).snapshot()

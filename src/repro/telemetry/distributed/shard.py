@@ -32,6 +32,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS as _OBS
+from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.distributed.federation import FederatedQueryEngine
 from repro.telemetry.distributed.partition import HashPartitioner, Partitioner
 from repro.telemetry.distributed.replica import ReplicaSet
@@ -106,6 +108,7 @@ class ShardedStore:
         self.batches_ingested = 0
         self._route: Dict[str, int] = {}
         self._split_cache: Dict[Tuple[str, ...], _SplitPlan] = {}
+        self._metrics: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------
     # Routing
@@ -151,6 +154,15 @@ class ShardedStore:
     def ingest(self, topic: str, batch: SampleBatch) -> None:
         """Bus-compatible sink: split the batch and write each sub-batch to
         its shard's replica set (primary + replicas)."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "shard.ingest", sim_time=batch.time, samples=len(batch)
+            ):
+                self._ingest(topic, batch)
+            return
+        self._ingest(topic, batch)
+
+    def _ingest(self, topic: str, batch: SampleBatch) -> None:
         self.batches_ingested += 1
         plan = self._split_plan(batch.names)
         if len(plan) == 1:
@@ -221,30 +233,71 @@ class ShardedStore:
     def staged_samples(self) -> int:
         return sum(rs.read_store().staged_samples for rs in self.replica_sets)
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Typed aggregate instruments on the ``telemetry.shard.*`` subtree."""
+        if self._metrics is None:
+            r = MetricsRegistry()
+            r.gauge("telemetry.shard.count", "configured shard slots",
+                    fn=lambda: float(self.shards))
+            r.gauge("telemetry.shard.replication", "replica copies per shard",
+                    fn=lambda: float(self.replication))
+            r.counter("telemetry.shard.batches", "bus batches ingested",
+                      fn=lambda: float(self.batches_ingested))
+            r.counter("telemetry.shard.fanouts", "federated cross-shard reads",
+                      fn=lambda: float(self.federation.fanouts))
+            r.gauge("telemetry.shard.down_members",
+                    "members currently down across all shards",
+                    fn=lambda: float(
+                        sum(rs.down_members for rs in self.replica_sets)
+                    ))
+            r.counter("telemetry.shard.failover_reads",
+                      "reads served by a non-primary across all shards",
+                      fn=lambda: float(
+                          sum(rs.failover_reads for rs in self.replica_sets)
+                      ))
+            r.counter("telemetry.shard.lost_samples",
+                      "samples lost with a whole shard down",
+                      fn=lambda: float(
+                          sum(rs.lost_samples for rs in self.replica_sets)
+                      ))
+            self._metrics = r
+        return self._metrics
+
+    def metric_registries(self) -> List[MetricsRegistry]:
+        """Aggregate registry plus one per replica set (for exporters)."""
+        return [self.metrics] + [
+            rs.metrics_registry(f"telemetry.shard.{rs.shard_id}")
+            for rs in self.replica_sets
+        ]
+
     def health_metrics(self) -> Dict[str, float]:
         """Self-metrics on the ``telemetry.shard.*`` subtree.
 
         Published by the :class:`~repro.telemetry.health.HealthMonitor`
         like any store's, so shard failures are visible — and alertable —
-        through the ordinary pipeline.
+        through the ordinary pipeline.  A thin dict view over
+        :meth:`metrics` plus the per-shard registries, preserving the
+        historical key order (aggregates bracket the per-shard entries).
         """
+        agg = self.metrics.snapshot()
         out: Dict[str, float] = {
-            "telemetry.shard.count": float(self.shards),
-            "telemetry.shard.replication": float(self.replication),
-            "telemetry.shard.batches": float(self.batches_ingested),
-            "telemetry.shard.fanouts": float(self.federation.fanouts),
+            k: agg[k]
+            for k in (
+                "telemetry.shard.count",
+                "telemetry.shard.replication",
+                "telemetry.shard.batches",
+                "telemetry.shard.fanouts",
+            )
         }
-        down = 0
-        failovers = 0
-        lost = 0
         for rs in self.replica_sets:
             out.update(rs.health_metrics(f"telemetry.shard.{rs.shard_id}"))
-            down += rs.down_members
-            failovers += rs.failover_reads
-            lost += rs.lost_samples
-        out["telemetry.shard.down_members"] = float(down)
-        out["telemetry.shard.failover_reads"] = float(failovers)
-        out["telemetry.shard.lost_samples"] = float(lost)
+        for k in (
+            "telemetry.shard.down_members",
+            "telemetry.shard.failover_reads",
+            "telemetry.shard.lost_samples",
+        ):
+            out[k] = agg[k]
         return out
 
     # ------------------------------------------------------------------

@@ -2,7 +2,9 @@
 
 Production ODA stacks feed downstream consumers (dashboards, notebooks,
 archival object stores); here we provide the minimal equivalents used by the
-examples and by EXPERIMENTS.md generation.
+examples and by EXPERIMENTS.md generation — plus observability artifact
+writers: Chrome trace-event JSON (loadable in ``chrome://tracing`` /
+Perfetto), span JSONL round-trips, and Prometheus text snapshots.
 """
 
 from __future__ import annotations
@@ -10,13 +12,23 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.trace import Span, Tracer, spans_to_chrome, spans_to_dicts
 from repro.telemetry.store import TimeSeriesStore
 
-__all__ = ["to_rows", "to_csv", "to_json", "write_csv"]
+__all__ = [
+    "to_rows",
+    "to_csv",
+    "to_json",
+    "write_csv",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "load_spans_jsonl",
+    "write_prometheus",
+]
 
 
 def to_rows(
@@ -87,3 +99,54 @@ def to_json(
             "values": [float(v) if np.isfinite(v) else None for v in values],
         }
     return json.dumps(payload)
+
+
+# ----------------------------------------------------------------------
+# Observability artifacts
+# ----------------------------------------------------------------------
+SpansLike = Union[Tracer, Iterable[Span]]
+
+
+def _spans(source: SpansLike) -> List[Span]:
+    return source.spans() if isinstance(source, Tracer) else list(source)
+
+
+def write_chrome_trace(path: str, source: SpansLike) -> int:
+    """Write spans as Chrome trace-event JSON; returns events written.
+
+    The file loads directly in ``chrome://tracing`` or Perfetto: complete
+    ``"X"`` events with microsecond timestamps relative to the earliest
+    span, one track per trace.
+    """
+    payload = spans_to_chrome(_spans(source))
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return len(payload["traceEvents"])
+
+
+def write_spans_jsonl(path: str, source: SpansLike) -> int:
+    """Write one span dict per line; returns spans written."""
+    dicts = spans_to_dicts(_spans(source))
+    with open(path, "w") as handle:
+        for d in dicts:
+            handle.write(json.dumps(d))
+            handle.write("\n")
+    return len(dicts)
+
+
+def load_spans_jsonl(path: str) -> List[Dict]:
+    """Load span dicts written by :func:`write_spans_jsonl`."""
+    out: List[Dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def write_prometheus(path: str, text: str) -> None:
+    """Write a Prometheus text-exposition snapshot (e.g. from
+    :meth:`~repro.telemetry.collector.TelemetrySystem.prometheus`)."""
+    with open(path, "w") as handle:
+        handle.write(text)

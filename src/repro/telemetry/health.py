@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simulation.engine import PeriodicHandle, Simulator
 from repro.telemetry.bus import MessageBus
 from repro.telemetry.sample import SampleBatch
@@ -66,8 +67,11 @@ class HealthMonitor:
         self.period = period
         self.topic = topic
         self.ticks = 0
+        self.probe_errors = 0
+        self.last_probe_error = ""
         self._probes: List[ProbeFn] = []
         self._handle: Optional[PeriodicHandle] = None
+        self._metrics: Optional[MetricsRegistry] = None
 
     def add_probe(self, probe: ProbeFn) -> ProbeFn:
         """Register an extra metrics provider (e.g. a streaming stage)."""
@@ -80,8 +84,27 @@ class HealthMonitor:
         return self._alerts
 
     # ------------------------------------------------------------------
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """Typed instruments for the monitor's own counters."""
+        if self._metrics is None:
+            r = MetricsRegistry()
+            r.counter("telemetry.health.ticks", "health reporting ticks",
+                      fn=lambda: float(self.ticks))
+            r.counter("telemetry.health.probe_errors",
+                      "registered probes that raised during a health tick",
+                      fn=lambda: float(self.probe_errors))
+            self._metrics = r
+        return self._metrics
+
     def metrics(self, now: float) -> Dict[str, float]:
-        """One self-metrics snapshot across bus, agents, store and probes."""
+        """One self-metrics snapshot across bus, agents, store and probes.
+
+        A raising probe is isolated: its metrics are skipped for this tick,
+        the failure is counted in ``telemetry.health.probe_errors``, and
+        every other contributor still reports — the health tick itself must
+        be as fault-tolerant as the pipeline it watches.
+        """
         out = dict(self.bus.health_metrics())
         for agent in self.agents:
             out.update(agent.health_metrics())
@@ -93,8 +116,12 @@ class HealthMonitor:
                 out["telemetry.store.samples"] = float(self.store.samples_ingested)
                 out["telemetry.store.series"] = float(len(self.store))
         for probe in self._probes:
-            out.update(probe())
-        out["telemetry.health.ticks"] = float(self.ticks)
+            try:
+                out.update(probe())
+            except Exception as exc:  # noqa: BLE001 — isolate probe failures
+                self.probe_errors += 1
+                self.last_probe_error = repr(exc)
+        out.update(self.metrics_registry.snapshot())
         return out
 
     def collect(self, now: float) -> SampleBatch:

@@ -37,6 +37,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import StoreError, UnknownMetricError
+from repro.obs import OBS as _OBS
+from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.sample import SampleBatch
 
 __all__ = [
@@ -384,6 +386,7 @@ class TimeSeriesStore:
         self._names_cache: Optional[List[str]] = None
         self._select_cache: Dict[str, Callable] = {}
         self._sweep_queue: List[str] = []
+        self._metrics: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -400,6 +403,14 @@ class TimeSeriesStore:
         chunks of ``flush_threshold``; reads flush implicitly first, so this
         is invisible to queries.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "store.ingest", sim_time=batch.time, samples=len(batch)
+            ):
+                return self._ingest(topic, batch)
+        return self._ingest(topic, batch)
+
+    def _ingest(self, topic: str, batch: SampleBatch) -> None:
         t = batch.time
         staging = self._staging
         threshold = self.flush_threshold
@@ -452,6 +463,14 @@ class TimeSeriesStore:
         Reads flush the touched series implicitly — this is only needed to
         force full compaction, e.g. before persisting or at shutdown.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span("store.flush") as sp:
+                flushed = self._flush(name)
+                sp.set_attr("samples", flushed)
+                return flushed
+        return self._flush(name)
+
+    def _flush(self, name: Optional[str] = None) -> int:
         flushed = 0
         if name is not None:
             stage = self._staging.get(name)
@@ -575,16 +594,30 @@ class TimeSeriesStore:
         """Samples currently parked in staging buffers (pre-flush)."""
         return sum(len(stage.times) for stage in self._staging.values())
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Typed instruments over the store counters (lazily built)."""
+        if self._metrics is None:
+            r = MetricsRegistry()
+            r.counter("telemetry.store.samples", "samples ingested",
+                      fn=lambda: float(self.samples_ingested))
+            r.gauge("telemetry.store.series", "distinct series held",
+                    fn=lambda: float(len(self._series)))
+            r.gauge("telemetry.store.staged", "samples parked in staging",
+                    fn=lambda: float(self.staged_samples))
+            r.counter("telemetry.store.flushes", "staging flushes",
+                      fn=lambda: float(self.flushes))
+            r.counter("telemetry.store.retention_trims", "retention compactions",
+                      fn=lambda: float(self.retention_trims))
+            r.counter("telemetry.store.samples_trimmed",
+                      "samples dropped by retention",
+                      fn=lambda: float(self.samples_trimmed))
+            self._metrics = r
+        return self._metrics
+
     def health_metrics(self) -> Dict[str, float]:
-        """Self-metrics snapshot (see :mod:`repro.telemetry.health`)."""
-        return {
-            "telemetry.store.samples": float(self.samples_ingested),
-            "telemetry.store.series": float(len(self._series)),
-            "telemetry.store.staged": float(self.staged_samples),
-            "telemetry.store.flushes": float(self.flushes),
-            "telemetry.store.retention_trims": float(self.retention_trims),
-            "telemetry.store.samples_trimmed": float(self.samples_trimmed),
-        }
+        """Self-metrics snapshot — a thin dict view over :attr:`metrics`."""
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
     # Queries
@@ -642,6 +675,20 @@ class TimeSeriesStore:
         ``"scalar"`` forces the reference loop, ``"vectorized"`` raises if no
         kernel exists.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span("store.resample", metric=name, agg=agg):
+                return self._resample_impl(name, since, until, step, agg, engine)
+        return self._resample_impl(name, since, until, step, agg, engine)
+
+    def _resample_impl(
+        self,
+        name: str,
+        since: float,
+        until: float,
+        step: float,
+        agg: str,
+        engine: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         self._check_resample_args(step, agg, engine)
         if until <= since:
             return np.empty(0), np.empty(0)
@@ -671,6 +718,21 @@ class TimeSeriesStore:
         This produces exactly the dense design matrix multivariate analytics
         (PCA, anomaly detectors, regressors) consume.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span("store.align", series=len(names), agg=agg):
+                return self._align_impl(names, since, until, step, agg, fill, engine)
+        return self._align_impl(names, since, until, step, agg, fill, engine)
+
+    def _align_impl(
+        self,
+        names: Sequence[str],
+        since: float,
+        until: float,
+        step: float,
+        agg: str,
+        fill: str,
+        engine: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         if fill not in ("ffill", "nan"):
             raise StoreError(f"unknown fill mode {fill!r}")
         self._check_resample_args(step, agg, engine)

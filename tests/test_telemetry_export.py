@@ -6,8 +6,18 @@ import json
 
 import numpy as np
 
+from repro.obs.trace import Tracer
 from repro.telemetry import TimeSeriesStore
-from repro.telemetry.export import to_csv, to_json, to_rows, write_csv
+from repro.telemetry.export import (
+    load_spans_jsonl,
+    to_csv,
+    to_json,
+    to_rows,
+    write_chrome_trace,
+    write_csv,
+    write_prometheus,
+    write_spans_jsonl,
+)
 
 
 def make_store():
@@ -44,3 +54,64 @@ class TestExport:
     def test_to_json_defaults_to_all_series(self):
         payload = json.loads(to_json(make_store()))
         assert sorted(payload) == ["a", "b"]
+
+
+def make_tracer():
+    tracer = Tracer()
+    with tracer.span("outer", sim_time=60.0, topic="facility"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("failing"):
+            try:
+                with tracer.span("deep"):
+                    raise RuntimeError("x")
+            except RuntimeError:
+                pass
+    return tracer
+
+
+class TestObsArtifacts:
+    def test_spans_jsonl_roundtrip(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "spans.jsonl"
+        count = write_spans_jsonl(str(path), tracer)
+        assert count == 4
+        loaded = load_spans_jsonl(str(path))
+        original = [s.to_dict() for s in tracer.spans()]
+        assert loaded == original
+        # parent links survive the round trip
+        by_id = {d["span_id"]: d for d in loaded}
+        inner = next(d for d in loaded if d["name"] == "inner")
+        assert by_id[inner["parent_id"]]["name"] == "outer"
+        deep = next(d for d in loaded if d["name"] == "deep")
+        assert deep["error"] == "RuntimeError"
+
+    def test_spans_jsonl_accepts_span_list(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(str(path), tracer.spans()[:2])
+        assert len(load_spans_jsonl(str(path))) == 2
+
+    def test_chrome_trace_is_valid(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "trace.json"
+        events_written = write_chrome_trace(str(path), tracer)
+        doc = json.loads(path.read_text())  # well-formed JSON
+        events = doc["traceEvents"]
+        assert events_written == len(events) == 4
+        # complete events only, microsecond ts/dur, monotonic stream
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["dur"] >= 0.0 for e in events)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        assert ts[0] == 0.0
+        # ids and sim time ride along in args
+        outer = next(e for e in events if e["name"] == "outer")
+        assert outer["args"]["sim_time"] == 60.0
+        assert outer["args"]["topic"] == "facility"
+        assert outer["args"]["parent_id"] is None
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(str(path), "# TYPE a counter\na 1.0\n")
+        assert path.read_text().endswith("a 1.0\n")
