@@ -84,13 +84,20 @@ class SetpointManager:
         self.actuations = 0
 
     def request(self, target: float) -> float:
-        """Move toward ``target``; returns the value actually applied."""
+        """Move toward ``target``; returns the value actually applied.
+
+        The actuator call happens *before* any state is committed: when the
+        plant rejects the actuation (the actuator raises), ``current`` and
+        ``actuations`` are left untouched, so the manager's view of the
+        plant never desyncs from the plant itself.
+        """
         clamped = min(max(target, self.lo), self.hi)
         step = min(max(clamped - self.current, -self.max_step), self.max_step)
         if step == 0.0:
             return self.current
-        self.current += step
-        self.actuator(self.current)
+        proposed = self.current + step
+        self.actuator(proposed)  # may raise: state commits only on success
+        self.current = proposed
         self.actuations += 1
         return self.current
 
@@ -132,6 +139,7 @@ class ControlLoop:
         self.actions: List[ControlAction] = []
         self.trace: Optional[TraceLog] = None
         self._handle: Optional[PeriodicHandle] = None
+        self._applied: List[ControlAction] = []
 
     def attach(self, sim: Simulator, trace: Optional[TraceLog] = None) -> None:
         self.trace = trace
@@ -145,14 +153,46 @@ class ControlLoop:
             self._handle.cancel()
             self._handle = None
 
+    def record_applied(self, action: ControlAction) -> ControlAction:
+        """Register an actuation the decision function has *already applied*.
+
+        Decision functions that actuate mid-decide should call this right
+        after each actuation: if the rest of ``decide()`` then fails, the
+        audit log and trace still reflect everything that touched the plant
+        (see :meth:`step`).  Actions both registered here and returned from
+        ``decide()`` are logged once.
+        """
+        self._applied.append(action)
+        return action
+
+    def _log(self, now: float, action: ControlAction, partial: bool = False) -> None:
+        self.actions.append(action)
+        if self.trace is not None:
+            detail = dict(
+                knob=action.knob, value=action.value, reason=action.reason,
+                recommend_only=self.recommend_only,
+            )
+            if partial:
+                detail["partial"] = True
+            self.trace.emit(now, f"control.{self.name}", "control_action", **detail)
+
     def step(self, now: float) -> List[ControlAction]:
-        actions = self.decide(now, self.recommend_only) or []
-        for action in actions:
-            self.actions.append(action)
-            if self.trace is not None:
-                self.trace.emit(
-                    now, f"control.{self.name}", "control_action",
-                    knob=action.knob, value=action.value, reason=action.reason,
-                    recommend_only=self.recommend_only,
-                )
-        return actions
+        self._applied.clear()
+        try:
+            actions = self.decide(now, self.recommend_only) or []
+        except Exception:
+            # The decision failed mid-way: anything actually applied before
+            # the failure (registered via record_applied) must still reach
+            # the audit log and trace before the error propagates.
+            for action in self._applied:
+                self._log(now, action, partial=True)
+            self._applied.clear()
+            raise
+        merged = list(actions)
+        for action in self._applied:
+            if action not in merged:
+                merged.append(action)
+        self._applied.clear()
+        for action in merged:
+            self._log(now, action)
+        return merged

@@ -12,6 +12,9 @@ framework without writing code:
 * ``obs``       — run an instrumented simulation and export observability
   artifacts: a per-operation profile, Chrome trace-event JSON
   (``chrome://tracing`` / Perfetto), span JSONL and a Prometheus snapshot.
+* ``chaos``     — run a seeded chaos campaign against a supervised site
+  (controller crashes, facility outage, node faults, shard kill) and
+  write the resilience scorecard (MTTD/MTTR per fault) as JSON.
 """
 
 from __future__ import annotations
@@ -83,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--out", default="obs-artifacts", metavar="DIR",
                      help="directory for trace.json / spans.jsonl / "
                           "metrics.prom")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a seeded chaos campaign against a supervised site"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--racks", type=int, default=2)
+    chaos.add_argument("--nodes-per-rack", type=int, default=8)
+    chaos.add_argument("--days", type=float, default=1.0)
+    chaos.add_argument("--jobs-per-day", type=float, default=24.0)
+    chaos.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="telemetry shards (0 = single store, "
+                            "disables the shard-kill fault)")
+    chaos.add_argument("--replication", type=int, default=1, metavar="R")
+    chaos.add_argument("--out", default="chaos-scorecard.json",
+                       metavar="PATH.json",
+                       help="where to write the resilience scorecard")
     return parser
 
 
@@ -279,6 +298,56 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.facility.weather import DAY
+    from repro.oda import ChaosEngine, DataCenter, MultiPillarOrchestrator
+    from repro.oda.chaos import standard_campaign
+
+    shards = args.shards if args.shards and args.shards > 0 else None
+    dc = DataCenter(
+        seed=args.seed, racks=args.racks, nodes_per_rack=args.nodes_per_rack,
+        shards=shards, replication=args.replication if shards else 0,
+        health_period=300.0,
+    )
+    dc.enable_supervision()
+    orchestrator = MultiPillarOrchestrator(dc)
+    orchestrator.attach()  # auto-supervised: the site has a supervisor
+
+    horizon = args.days * DAY
+    campaign = standard_campaign(
+        seed=args.seed, horizon_s=horizon, shards=shards is not None,
+    )
+    engine = ChaosEngine(dc)
+    engine.schedule(campaign)
+    requests = dc.generate_workload(days=args.days, jobs_per_day=args.jobs_per_day)
+    print(
+        f"chaos campaign {campaign.name!r}: {len(campaign.faults)} faults "
+        f"over {args.days:g} days ({len(requests)} submissions) ..."
+    )
+    dc.run(days=args.days)
+
+    card = engine.write_scorecard(campaign, args.out)
+    totals = card["totals"]
+    fmt = lambda v: "n/a" if v is None else f"{v:.0f}s"  # noqa: E731
+    for row in card["faults"]:
+        print(
+            f"  {row['pillar']:<10} {row['target']:<12} {row['mode']:<12} "
+            f"mttd={fmt(row['mttd_s'])} mttr={fmt(row['mttr_s'])} "
+            f"actions_during={row['actions_during_fault']}"
+        )
+    print(
+        f"detected {totals['detected']}/{totals['faults']}, "
+        f"recovered {totals['recovered']}/{totals['faults']}, "
+        f"mean MTTD {fmt(totals['mean_mttd_s'])}, "
+        f"mean MTTR {fmt(totals['mean_mttr_s'])}, "
+        f"safe-state entries {totals.get('safe_state_entries', 0)}, "
+        f"breaker opens/closes {totals.get('breaker_opens', 0)}"
+        f"/{totals.get('breaker_closes', 0)}"
+    )
+    print(f"scorecard written to {args.out}")
+    return 0 if totals["unrecovered"] == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "survey":
@@ -293,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_replay(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

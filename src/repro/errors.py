@@ -83,3 +83,11 @@ class ClassificationError(ReproError):
 
 class ControlError(ReproError):
     """Raised when a prescriptive controller receives an invalid actuation."""
+
+
+class SupervisionError(ReproError):
+    """Raised on invalid control-plane supervision configuration or use."""
+
+
+class ChaosError(ReproError):
+    """Raised by injected controller faults during a chaos campaign."""

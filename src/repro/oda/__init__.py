@@ -3,11 +3,13 @@
 The fully-wired synthetic site (:class:`~repro.oda.datacenter.DataCenter`),
 capability descriptors bound to framework cells, streaming pipeline
 stages, the self-describing :class:`~repro.oda.system.ODASystem`,
-multi-pillar orchestration, KPI collection/comparison, and reference
-deployments mirroring Figure 3's systems.
+multi-pillar orchestration, KPI collection/comparison, control-plane
+supervision (circuit breakers, safe-state fallback), unified chaos
+campaigns, and reference deployments mirroring Figure 3's systems.
 """
 
 from repro.oda.capability import ODACapability, capability
+from repro.oda.chaos import ChaosCampaign, ChaosEngine, ChaosFault, standard_campaign
 from repro.oda.datacenter import DataCenter
 from repro.oda.deployments import (
     build_clustercockpit_like,
@@ -18,11 +20,25 @@ from repro.oda.deployments import (
 from repro.oda.kpi import RunKpis, collect_kpis, compare_kpis
 from repro.oda.orchestrator import MultiPillarOrchestrator, OrchestratorConfig
 from repro.oda.pipeline import DerivedMetricStage, StreamingDetectorStage, StreamingStage
+from repro.oda.supervision import (
+    CircuitBreaker,
+    ControllerFaultKind,
+    SupervisionPolicy,
+    Supervisor,
+)
 from repro.oda.system import ODASystem
 
 __all__ = [
     "ODACapability",
     "capability",
+    "ChaosCampaign",
+    "ChaosEngine",
+    "ChaosFault",
+    "standard_campaign",
+    "CircuitBreaker",
+    "ControllerFaultKind",
+    "SupervisionPolicy",
+    "Supervisor",
     "DataCenter",
     "build_clustercockpit_like",
     "build_eni_like",

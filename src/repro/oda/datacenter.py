@@ -126,6 +126,7 @@ class DataCenter:
         self.runtime: Optional[NodeRuntime] = None
         self.noise: Optional[OsNoiseInjector] = None
         self.generator: Optional[WorkloadGenerator] = None
+        self.supervisor = None  # created on demand by enable_supervision()
 
         # --- wiring -----------------------------------------------------
         self.system.attach(
@@ -230,8 +231,34 @@ class DataCenter:
         """Shorthand range query over the full history."""
         return self.store.query(name)
 
+    def enable_supervision(self, policy=None):
+        """Create (once) and start the control-plane
+        :class:`~repro.oda.supervision.Supervisor` for this site.
+
+        Control loops attached afterwards through
+        :class:`~repro.oda.system.ODASystem` or
+        :meth:`~repro.oda.orchestrator.MultiPillarOrchestrator.attach` are
+        wrapped automatically; existing loops can be wrapped explicitly via
+        ``dc.supervisor.supervise_loop(...)``.
+        """
+        from repro.oda.supervision import Supervisor
+
+        if self.supervisor is None:
+            self.supervisor = Supervisor(
+                self.sim, trace=self.trace, store=self.store, policy=policy,
+            )
+        self.supervisor.start()
+        return self.supervisor
+
     def prometheus(self) -> str:
         """Prometheus text exposition of every pipeline metrics registry
         (bus, agents, store/shards, health, plus any profiling histograms
-        collected while :data:`repro.obs.OBS` was enabled)."""
-        return self.telemetry.prometheus()
+        collected while :data:`repro.obs.OBS` was enabled; supervisor
+        instruments are included once supervision is enabled)."""
+        if self.supervisor is None:
+            return self.telemetry.prometheus()
+        from repro.obs.metrics import prometheus_text
+
+        registries = list(self.telemetry.metric_registries())
+        registries.append(self.supervisor.metrics_registry)
+        return prometheus_text(registries)

@@ -19,7 +19,7 @@ node fleet burns leakage).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -64,7 +64,8 @@ class MultiPillarOrchestrator:
     """
 
     def __init__(self, dc: DataCenter, loop: Optional[CoolingLoop] = None,
-                 config: Optional[OrchestratorConfig] = None):
+                 config: Optional[OrchestratorConfig] = None,
+                 recommend_only: bool = False):
         self.dc = dc
         self.config = config or OrchestratorConfig()
         self.loop = loop or dc.facility.plant.loops[0]
@@ -76,12 +77,39 @@ class MultiPillarOrchestrator:
             max_step=self.config.setpoint_step_c,
         )
         self.control_loop = ControlLoop(
-            name="orchestrator", decide=self._decide, period=self.config.period_s
+            name="orchestrator", decide=self._decide, period=self.config.period_s,
+            recommend_only=recommend_only,
         )
         self.frequency_bias = "nominal"  # or "efficient"
 
-    def attach(self) -> None:
+    def attach(
+        self,
+        supervise: Optional[bool] = None,
+        safe_setpoint: Optional[float] = None,
+        stale_inputs: Sequence[str] = (),
+    ) -> None:
+        """Attach the control loop; supervise it when the site has a
+        :class:`~repro.oda.supervision.Supervisor` (or ``supervise=True``).
+
+        ``safe_setpoint`` is the declared safe cooling setpoint the
+        supervisor drives back to when this controller's breaker opens
+        (default: the setpoint at attach time).  ``stale_inputs`` are
+        telemetry series the supervisor's stale-data guard checks before
+        allowing actuation.
+        """
         self.control_loop.attach(self.dc.sim, self.dc.trace)
+        supervisor = getattr(self.dc, "supervisor", None)
+        if supervise or (supervise is None and supervisor is not None):
+            if supervisor is None:
+                supervisor = self.dc.enable_supervision()
+            supervisor.supervise_loop(
+                self.control_loop,
+                manager=self.manager,
+                safe_setpoint=(
+                    self.manager.current if safe_setpoint is None else safe_setpoint
+                ),
+                inputs=tuple(stale_inputs),
+            )
 
     # ------------------------------------------------------------------
     def _queue_pressure(self) -> float:
@@ -118,37 +146,50 @@ class MultiPillarOrchestrator:
             else:
                 target = self.manager.current
                 reason = ""
-            if target != self.manager.current and not recommend_only:
-                applied = self.manager.request(target)
-                actions.append(
-                    ControlAction(now, "orchestrator", "supply_setpoint", applied, reason)
-                )
+            if target != self.manager.current:
+                if recommend_only:
+                    # Human-in-the-loop mode: log the recommendation (the
+                    # clamped target the loop *would* move toward) without
+                    # touching the plant — same semantics as ControlLoop.
+                    recommended = min(max(target, self.manager.lo), self.manager.hi)
+                    actions.append(
+                        ControlAction(
+                            now, "orchestrator", "supply_setpoint", recommended, reason
+                        )
+                    )
+                else:
+                    applied = self.manager.request(target)
+                    actions.append(self.control_loop.record_applied(
+                        ControlAction(
+                            now, "orchestrator", "supply_setpoint", applied, reason
+                        )
+                    ))
 
         # --- DVFS bias vs queue pressure (software <-> hardware) --------
         pressure = self._queue_pressure()
         if pressure > cfg.queue_pressure_high and self.frequency_bias != "nominal":
             self.frequency_bias = "nominal"
+            action = ControlAction(
+                now, "orchestrator", "frequency_bias", 1.0,
+                f"queue pressure {pressure:.1f}: draining at nominal frequency",
+            )
             if not recommend_only:
                 for node in up:
                     node.set_frequency(node.cpu.nominal_ghz)
-            actions.append(
-                ControlAction(
-                    now, "orchestrator", "frequency_bias", 1.0,
-                    f"queue pressure {pressure:.1f}: draining at nominal frequency",
-                )
-            )
+                self.control_loop.record_applied(action)
+            actions.append(action)
         elif pressure < cfg.queue_pressure_low and self.frequency_bias != "efficient":
             self.frequency_bias = "efficient"
+            action = ControlAction(
+                now, "orchestrator", "frequency_bias", 0.0,
+                f"queue pressure {pressure:.1f}: biasing memory-bound work down",
+            )
             if not recommend_only:
                 for node in up:
                     if node.load.compute_fraction < 0.5 and node.load.cpu_util > 0:
                         node.set_frequency(cfg.low_freq_ghz)
-            actions.append(
-                ControlAction(
-                    now, "orchestrator", "frequency_bias", 0.0,
-                    f"queue pressure {pressure:.1f}: biasing memory-bound work down",
-                )
-            )
+                self.control_loop.record_applied(action)
+            actions.append(action)
         return actions
 
     @property

@@ -47,12 +47,16 @@ class ODASystem:
 
     def add_stage(self, stage: StreamingStage) -> StreamingStage:
         self.stages.append(stage)
+        if self.datacenter.supervisor is not None:
+            self.datacenter.supervisor.supervise_stage(stage)
         return stage
 
     def add_control_loop(self, loop: ControlLoop, attach: bool = True) -> ControlLoop:
         self.control_loops.append(loop)
         if attach:
             loop.attach(self.datacenter.sim, self.datacenter.trace)
+        if self.datacenter.supervisor is not None:
+            self.datacenter.supervisor.supervise_loop(loop)
         return loop
 
     def get(self, name: str) -> ODACapability:

@@ -215,3 +215,42 @@ class TestOrchestrator:
         kinds = {a.knob for a in orchestrator.actions}
         assert kinds <= {"supply_setpoint", "frequency_bias"}
         assert dc.trace.select(kind="control_action")
+
+    def test_recommend_only_logs_cooling_without_actuating(self):
+        dc = DataCenter(seed=9, racks=1, nodes_per_rack=8)
+        dc.generate_workload(days=0.3, jobs_per_day=120)
+        orchestrator = MultiPillarOrchestrator(dc, recommend_only=True)
+        initial_setpoint = orchestrator.manager.current
+        orchestrator.attach()
+        dc.run(days=0.3)
+        # Recommendations are logged (previously silently dropped) ...
+        cooling = [a for a in orchestrator.actions if a.knob == "supply_setpoint"]
+        assert cooling, "recommend-only mode must still log cooling decisions"
+        assert all(
+            orchestrator.manager.lo <= a.value <= orchestrator.manager.hi
+            for a in cooling
+        )
+        # ... but nothing touched the plant.
+        assert orchestrator.manager.actuations == 0
+        assert orchestrator.manager.current == initial_setpoint
+
+    def test_recommend_only_matches_actuating_decisions(self):
+        def run(recommend_only):
+            dc = DataCenter(seed=9, racks=1, nodes_per_rack=8)
+            dc.generate_workload(days=0.2, jobs_per_day=120)
+            orch = MultiPillarOrchestrator(dc, recommend_only=recommend_only)
+            orch.attach()
+            dc.run(days=0.2)
+            return orch
+
+        acting, advising = run(False), run(True)
+        # The first recommendation matches the first actuation (identical
+        # state up to that point); afterwards trajectories may diverge.
+        first_act = next(
+            a for a in acting.actions if a.knob == "supply_setpoint"
+        )
+        first_rec = next(
+            a for a in advising.actions if a.knob == "supply_setpoint"
+        )
+        assert first_rec.time == first_act.time
+        assert first_rec.value == first_act.value

@@ -83,6 +83,23 @@ class TestSetpointManager:
         manager.request(20.0)
         assert manager.actuations == 0
 
+    def test_transactional_on_actuator_failure(self):
+        calls = []
+
+        def actuator(value):
+            calls.append(value)
+            if len(calls) == 2:
+                raise ControlError("plant refused")
+
+        manager = SetpointManager(actuator, initial=20.0, lo=10.0, hi=40.0, max_step=2.0)
+        assert manager.request(30.0) == 22.0
+        with pytest.raises(ControlError):
+            manager.request(30.0)
+        # Failed actuation commits nothing: state still matches the plant.
+        assert manager.current == 22.0
+        assert manager.actuations == 1
+        assert manager.request(30.0) == 24.0
+
 
 class TestControlLoop:
     def test_periodic_decisions_recorded(self, sim, trace):
@@ -102,6 +119,20 @@ class TestControlLoop:
         loop.attach(sim, trace)
         sim.run(60)
         assert seen == [True]
+
+    def test_partial_actuations_logged_on_midway_failure(self, sim, trace):
+        def decide(now, recommend_only):
+            loop.record_applied(ControlAction(now, "c", "first", 1.0))
+            raise RuntimeError("second actuation failed")
+
+        loop = ControlLoop("c", decide, period=50.0)
+        loop.attach(sim, trace)
+        with pytest.raises(RuntimeError):
+            sim.run(60)
+        # The applied-before-failure action reaches the audit log and trace.
+        assert [a.knob for a in loop.actions] == ["first"]
+        events = trace.select(source="control.c", kind="control_action")
+        assert len(events) == 1 and events[0].detail["partial"] is True
 
 
 class TestDvfsGovernors:
