@@ -13,6 +13,7 @@ import pathlib
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -25,6 +26,11 @@ def artifact_dir() -> pathlib.Path:
 def write_artifact(artifact_dir):
     def _write(name: str, text: str) -> None:
         (artifact_dir / name).write_text(text)
+        if name.startswith("BENCH_"):
+            # Repo-root copy: CI jobs upload these without digging into
+            # benchmarks/output/, and diffs against the committed baseline
+            # show up in review.
+            (REPO_ROOT / name).write_text(text)
 
     return _write
 

@@ -16,6 +16,12 @@ against the single ``TimeSeriesStore`` on the same workload and writes
 
 The PR-2 single-store trajectory in ``BENCH_telemetry.json`` is produced
 by ``test_bench_hotpath.py`` and is untouched by this module.
+
+Like every benchmark module here, this one is meant to run as its own
+pytest invocation (CI runs one module per job step): the timing floors —
+especially the multi-process fleet benchmark — are calibrated for an
+otherwise-idle interpreter, and a whole-directory run on a small box
+inherits allocator and scheduler pressure from the 30+ benches before it.
 """
 
 from __future__ import annotations
@@ -37,19 +43,25 @@ SCALES: Dict[str, Dict] = {
     "small": dict(
         series=256, batches=150, query_series=64, query_samples=40_000,
         buckets=200, max_ingest_overhead=3.0, max_query_overhead=3.0,
-        balance_factor=1.8,
+        balance_factor=1.8, fleet_batches=40,
     ),
     "medium": dict(
         series=512, batches=400, query_series=128, query_samples=150_000,
         buckets=500, max_ingest_overhead=2.0, max_query_overhead=2.0,
-        balance_factor=1.6,
+        balance_factor=1.6, fleet_batches=80,
     ),
     "large": dict(
         series=1_000, batches=1_000, query_series=256, query_samples=400_000,
         buckets=1_000, max_ingest_overhead=1.8, max_query_overhead=1.5,
-        balance_factor=1.5,
+        balance_factor=1.5, fleet_batches=150,
     ),
 }
+
+# The fleet benchmark keeps 10k+ simulated nodes at every scale — the node
+# count IS the claim (a fleet-wide scrape per tick); only the number of
+# scrape ticks shrinks at reduced scale.
+FLEET_NODES = 10_240
+MIN_PARALLEL_SPEEDUP = 2.0  # floor for 8-shard parallel vs single store
 
 P = SCALES[SCALE]
 SHARD_COUNTS = (1, 2, 4, 8)
@@ -233,6 +245,108 @@ def test_bench_failover_queries():
     assert RESULTS["failover"]["failover_reads"] > 0
 
 
+def test_bench_fleet_parallel_ingest():
+    """Fleet-scale scrape ingest: parallel shard workers vs single store.
+
+    One batch = one fleet-wide scrape of 10k+ node power sensors.  The
+    parallel runtime pushes raw slots into shared-memory rings and the
+    workers apply them columnar (one vectorized ``append_many`` per block)
+    instead of the single store's per-sample staging loop — that
+    architectural change, not core count, is where the throughput comes
+    from, so the floor holds even on a single-core runner.
+    """
+    from repro.telemetry import RuntimeConfig
+
+    n_batches = P["fleet_batches"]
+    names = tuple(
+        f"fleet.rack{i // 64}.node{i}.power" for i in range(FLEET_NODES)
+    )
+    rng = np.random.default_rng(17)
+    values = [rng.random(FLEET_NODES) for _ in range(n_batches)]
+    repeats = 1 if SCALE == "large" else 2
+    # The parallel side gets one extra run: the first timed window also
+    # absorbs copy-on-write faults in the freshly forked workers, so give
+    # best-of a window past that warm-up.
+    par_repeats = repeats if SCALE == "large" else repeats + 1
+    # Each timed repeat ingests a fresh, strictly-later time range: stores
+    # reject (single) or shed (worker) re-ingest of old timestamps, so
+    # reusing one range would time the discard path, not ingest.
+    runs = [
+        [
+            SampleBatch(float(rep * n_batches + t), names, values[t])
+            for t in range(n_batches)
+        ]
+        for rep in range(par_repeats)
+    ]
+    total = FLEET_NODES * n_batches
+
+    def run_single():
+        store = TimeSeriesStore()
+        for b in runs[0]:
+            store.ingest("c", b)
+        store.flush()
+        return store
+
+    import gc
+
+    gc.collect()
+    single_s = _best_of(run_single, repeats=repeats)
+    single = run_single()
+    out: Dict[str, Dict] = {
+        "single": {
+            "seconds": round(single_s, 4),
+            "samples_per_sec": round(total / single_s),
+        }
+    }
+
+    speedup_at_8 = 0.0
+    for shards in (1, 2, 8):
+        gc.collect()
+        store = ShardedStore(
+            shards=shards, parallel=True,
+            parallel_config=RuntimeConfig(ring_capacity=512),
+        )
+        try:
+            best = float("inf")
+            for run in runs:
+                t0 = time.perf_counter()
+                for b in run:
+                    store.ingest("c", b)
+                store.runtime.drain()
+                best = min(best, time.perf_counter() - t0)
+            # Parity spot-check: the first run's window must hold exactly
+            # the samples the single store holds.
+            until = float(n_batches - 1)
+            for name in (names[0], names[FLEET_NODES // 2], names[-1]):
+                t_ref, v_ref = single.query(name)
+                t_par, v_par = store.query(name, 0.0, until)
+                np.testing.assert_array_equal(t_ref, t_par)
+                np.testing.assert_array_equal(v_ref, v_par)
+            rt = store.runtime
+            assert rt.dropped_batches == 0, "fleet bench must not shed load"
+            for shard in range(shards):
+                assert rt.shard_stats(shard)["stager_errors"] == 0
+            speedup = single_s / best
+            if shards == 8:
+                speedup_at_8 = speedup
+            out[f"parallel_shards_{shards}"] = {
+                "seconds": round(best, 4),
+                "samples_per_sec": round(total / best),
+                "speedup_vs_single": round(speedup, 2),
+                "pushed_slots": rt.pushed_slots,
+                "backpressure_waits": rt.backpressure_waits,
+            }
+        finally:
+            store.close()
+
+    RESULTS["fleet_parallel"] = {
+        "nodes": FLEET_NODES, "scrapes": n_batches, "samples": total, **out,
+    }
+    # The scale-out claim: batched columnar apply through the parallel
+    # runtime sustains at least 2x the single store's ingest rate.
+    assert speedup_at_8 >= MIN_PARALLEL_SPEEDUP, RESULTS["fleet_parallel"]
+
+
 def test_write_bench_artifact(write_artifact):
     """Runs last in this module: persist the sharding scaling artifact."""
     RESULTS["env"] = {
@@ -242,5 +356,7 @@ def test_write_bench_artifact(write_artifact):
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     write_artifact("BENCH_sharding.json", json.dumps(RESULTS, indent=2) + "\n")
-    missing = {"ingest", "federated_query", "failover"} - set(RESULTS)
+    missing = {
+        "ingest", "federated_query", "failover", "fleet_parallel",
+    } - set(RESULTS)
     assert not missing, f"benchmarks did not run: {missing}"

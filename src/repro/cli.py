@@ -59,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "store shards")
     simulate.add_argument("--replication", type=int, default=0, metavar="R",
                           help="extra replicas per shard (requires --shards)")
+    simulate.add_argument("--parallel", action="store_true",
+                          help="run each shard's replica set in its own "
+                               "worker process fed by shared-memory ring "
+                               "buffers (requires --shards)")
     simulate.add_argument("--save-store", metavar="PATH.npz",
                           help="archive the telemetry store (a sharded run "
                                "writes a manifest plus one file per shard)")
@@ -162,28 +166,48 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.oda import DataCenter, collect_kpis
     from repro.telemetry import save_store
 
+    if args.parallel and args.shards is None:
+        print("error: --parallel requires --shards", file=sys.stderr)
+        return 1
     dc = DataCenter(
         seed=args.seed, racks=args.racks, nodes_per_rack=args.nodes_per_rack,
         enable_faults=args.faults, shards=args.shards,
-        replication=args.replication,
+        replication=args.replication, parallel=args.parallel,
     )
-    requests = dc.generate_workload(days=args.days, jobs_per_day=args.jobs_per_day)
-    print(f"simulating {args.days} days, {len(requests)} submissions ...")
-    dc.run(days=args.days)
-    kpis = collect_kpis(dc)
-    print(table(kpis.rows(), title="Run KPIs"))
-    if args.shards is not None:
-        health = dc.store.health_metrics()
-        per_shard = [
-            int(health[f"telemetry.shard.{i}.series"]) for i in range(args.shards)
-        ]
-        print(
-            f"sharded store: {args.shards} shards x {args.replication + 1} "
-            f"copies, series per shard {per_shard}"
+    try:
+        requests = dc.generate_workload(
+            days=args.days, jobs_per_day=args.jobs_per_day
         )
-    if args.save_store:
-        count = save_store(dc.store, args.save_store)
-        print(f"archived {count} series to {args.save_store}")
+        print(f"simulating {args.days} days, {len(requests)} submissions ...")
+        dc.run(days=args.days)
+        kpis = collect_kpis(dc)
+        print(table(kpis.rows(), title="Run KPIs"))
+        if args.shards is not None:
+            health = dc.store.health_metrics()
+            per_shard = [
+                int(health[f"telemetry.shard.{i}.series"])
+                for i in range(args.shards)
+            ]
+            print(
+                f"sharded store: {args.shards} shards x "
+                f"{args.replication + 1} copies, series per shard {per_shard}"
+            )
+        if args.parallel:
+            runtime = dc.store.runtime
+            print(
+                f"parallel runtime: {args.shards} shard workers, "
+                f"{runtime.pushed_batches} batches pushed "
+                f"({runtime.pushed_slots} ring slots), "
+                f"{runtime.backpressure_waits} backpressure waits, "
+                f"{runtime.dropped_batches} dropped, "
+                f"{runtime.worker_crashes} crashes"
+            )
+        if args.save_store:
+            count = save_store(dc.store, args.save_store)
+            print(f"archived {count} series to {args.save_store}")
+    finally:
+        # Graceful drain: workers apply + flush everything pushed, then exit.
+        dc.close()
     return 0
 
 

@@ -71,6 +71,12 @@ class DataCenter:
         :class:`~repro.telemetry.distributed.ShardedStore` with
         ``replication`` extra copies per shard (reads fail over when a
         shard member is down); every query API is unchanged.
+    parallel:
+        With ``shards``, run each shard's replica set in its own worker
+        process fed by shared-memory ring buffers (the scale-out runtime,
+        :mod:`repro.telemetry.runtime`).  Call :meth:`close` when done for
+        a graceful drain; ``enable_supervision()`` automatically puts the
+        workers under watchdog crash detection.
     """
 
     def __init__(
@@ -93,6 +99,8 @@ class DataCenter:
         health_period: Optional[float] = None,
         shards: Optional[int] = None,
         replication: int = 0,
+        parallel: bool = False,
+        parallel_config=None,
     ):
         self.rng_pool = RngPool(seed)
         self.sim = Simulator(start_time=start_time)
@@ -121,7 +129,8 @@ class DataCenter:
         self.scheduler = Scheduler(self.system, policy=policy, tick=scheduler_tick)
         self.telemetry = TelemetrySystem(
             store_retention=store_retention, shards=shards,
-            replication=replication,
+            replication=replication, parallel=parallel,
+            parallel_config=parallel_config,
         )
         self.runtime: Optional[NodeRuntime] = None
         self.noise: Optional[OsNoiseInjector] = None
@@ -247,8 +256,21 @@ class DataCenter:
             self.supervisor = Supervisor(
                 self.sim, trace=self.trace, store=self.store, policy=policy,
             )
+        runtime = getattr(self.store, "runtime", None)
+        if runtime is not None:
+            # Parallel shard workers go under watchdog crash detection.
+            self.supervisor.watch_runtime(runtime)
         self.supervisor.start()
         return self.supervisor
+
+    def close(self) -> None:
+        """Stop telemetry collection and drain/stop any shard workers.
+
+        Required for a clean shutdown when ``parallel`` is set (workers
+        apply and flush every pushed batch before exiting); harmless
+        otherwise.
+        """
+        self.telemetry.close()
 
     def prometheus(self) -> str:
         """Prometheus text exposition of every pipeline metrics registry

@@ -596,6 +596,7 @@ class Supervisor:
         self.policy = policy or SupervisionPolicy()
         self.loops: Dict[str, SupervisedLoop] = {}
         self.stages: Dict[str, SupervisedStage] = {}
+        self.runtimes: List = []  # parallel shard runtimes under watch
         self._watchdog: Optional[PeriodicHandle] = None
         self._metrics: Optional[MetricsRegistry] = None
 
@@ -646,6 +647,18 @@ class Supervisor:
         self.stages[stage.output_topic] = supervised
         return supervised
 
+    def watch_runtime(self, runtime) -> None:
+        """Put a :class:`~repro.telemetry.runtime.ParallelShardRuntime`
+        under watchdog supervision (idempotent).
+
+        Every watchdog tick sweeps the runtime's worker processes; a dead
+        worker is traced as a ``worker_crash`` event and — when the
+        runtime's ``auto_restart`` is set — restarted with checkpoint
+        recovery and ring replay.
+        """
+        if runtime not in self.runtimes:
+            self.runtimes.append(runtime)
+
     def inject_controller_fault(
         self,
         loop_name: str,
@@ -684,6 +697,12 @@ class Supervisor:
     def _watchdog_tick(self, now: float) -> None:
         for supervised in self.loops.values():
             supervised.check_deadline(now)
+        for runtime in self.runtimes:
+            for shard in runtime.check_workers(now):
+                self.emit(
+                    now, "supervisor.runtime", "worker_crash",
+                    shard=shard, restarted=runtime.config.auto_restart,
+                )
 
     # ------------------------------------------------------------------
     # Aggregates / metrics
@@ -749,6 +768,16 @@ class Supervisor:
                       "stage batches short-circuited by an open breaker",
                       fn=lambda: float(
                           sum(s.skipped for s in self.stages.values())
+                      ))
+            r.counter("oda.supervisor.worker_crashes",
+                      "shard worker processes found dead by the watchdog",
+                      fn=lambda: float(
+                          sum(r_.worker_crashes for r_ in self.runtimes)
+                      ))
+            r.counter("oda.supervisor.worker_restarts",
+                      "shard worker processes restarted by the watchdog",
+                      fn=lambda: float(
+                          sum(r_.worker_restarts for r_ in self.runtimes)
                       ))
             self._metrics = r
         return self._metrics

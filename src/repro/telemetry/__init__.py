@@ -37,6 +37,11 @@ from repro.telemetry.distributed import (
     ShardedStore,
 )
 from repro.telemetry.faults import FaultySource, SensorFault, SensorFaultKind
+from repro.telemetry.runtime import (
+    ParallelShardRuntime,
+    RuntimeConfig,
+    SampleRing,
+)
 from repro.telemetry.health import HEALTH_TOPIC, HealthMonitor
 from repro.telemetry.metric import MetricKind, MetricRegistry, MetricSpec, Unit
 from repro.telemetry.persistence import load_store, save_store
@@ -72,6 +77,9 @@ __all__ = [
     "FaultySource",
     "SensorFault",
     "SensorFaultKind",
+    "ParallelShardRuntime",
+    "RuntimeConfig",
+    "SampleRing",
     "HealthMonitor",
     "HEALTH_TOPIC",
     "MetricKind",

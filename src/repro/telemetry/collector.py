@@ -283,12 +283,18 @@ class TelemetrySystem:
         store_flush_threshold: int = 256,
         shards: Optional[int] = None,
         replication: int = 0,
+        parallel: bool = False,
+        parallel_config=None,
     ):
         from repro.telemetry.store import TimeSeriesStore
 
         if shards is None and replication:
             raise ConfigurationError(
                 "replication requires a sharded store (pass shards=...)"
+            )
+        if shards is None and parallel:
+            raise ConfigurationError(
+                "parallel ingest requires a sharded store (pass shards=...)"
             )
         self.registry = MetricRegistry()
         self.bus = MessageBus()
@@ -301,6 +307,8 @@ class TelemetrySystem:
                 retention=store_retention,
                 retention_slack=store_retention_slack,
                 flush_threshold=store_flush_threshold,
+                parallel=parallel,
+                parallel_config=parallel_config,
             )
         else:
             self.store = TimeSeriesStore(
@@ -361,6 +369,19 @@ class TelemetrySystem:
         # Compact any staged samples so a stopped system is fully flushed
         # (reads flush lazily anyway; this is for persistence/shutdown).
         self.store.flush()
+
+    def close(self) -> None:
+        """Stop collection and shut the store down.
+
+        For a parallel sharded store this gracefully drains the shard
+        worker processes (every pushed batch is applied and flushed — or
+        checkpointed — before the workers exit); otherwise it is
+        equivalent to :meth:`stop_all`.
+        """
+        self.stop_all()
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------
     # Observability

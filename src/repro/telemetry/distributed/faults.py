@@ -40,6 +40,7 @@ class ShardFaultKind(Enum):
     KILL = "kill"        # member offline: misses writes, reads fail over
     DEGRADE = "degrade"  # member sheds a fraction of its writes
     REVIVE = "revive"    # member back (optionally resynced from a peer)
+    WORKER_CRASH = "worker_crash"  # parallel runtime: shard process dies
 
 
 @dataclass(frozen=True)
@@ -126,6 +127,27 @@ class ShardFault:
         self.store.replica_sets[shard].revive(member, resync=resync)
         self._record(now, shard, member, ShardFaultKind.REVIVE)
 
+    def crash_worker(self, shard: int, now: float = 0.0) -> None:
+        """Kill a shard's *worker process* (parallel runtime only).
+
+        Unlike :meth:`kill` — which models a storage member going offline
+        while the process keeps running — this makes the whole shard
+        worker die abruptly (no flush, no checkpoint), exercising crash
+        detection, restart and ring replay in
+        :class:`~repro.telemetry.runtime.ParallelShardRuntime`.
+        """
+        if self.store.runtime is None:
+            raise ConfigurationError(
+                "crash_worker requires a parallel ShardedStore "
+                "(parallel=True)"
+            )
+        if not 0 <= shard < self.store.shards:
+            raise ConfigurationError(
+                f"no shard {shard} (store has {self.store.shards})"
+            )
+        self.store.runtime.crash_worker(shard)
+        self._record(now, shard, -1, ShardFaultKind.WORKER_CRASH)
+
     # ------------------------------------------------------------------
     # Scheduled (mid-run) actions
     # ------------------------------------------------------------------
@@ -154,4 +176,19 @@ class ShardFault:
             at,
             lambda s: self.revive(shard, member, resync=resync, now=s.now),
             label=f"shardfault:revive:{shard}.{member}",
+        )
+
+    def schedule_crash_worker(
+        self, sim: Simulator, at: float, shard: int
+    ) -> None:
+        """Crash a shard worker process at absolute simulation time ``at``."""
+        if self.store.runtime is None:
+            raise ConfigurationError(
+                "crash_worker requires a parallel ShardedStore "
+                "(parallel=True)"
+            )
+        sim.schedule_at(
+            at,
+            lambda s: self.crash_worker(shard, now=s.now),
+            label=f"shardfault:worker_crash:{shard}",
         )

@@ -22,7 +22,7 @@ is everything spanning shards:
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,28 @@ class FederatedQueryEngine:
         self._sharded = sharded
         self.fanouts = 0
 
+    def _pinned_store(self) -> Callable:
+        """A per-query resolver that fixes each shard's serving member.
+
+        Fan-outs used to call ``read_store()`` once per shard *per leg*, so
+        a primary dying mid-fan-out could mix its view with a stale
+        replica's in one merged result.  Every fan-out now resolves each
+        involved shard exactly once, up front on first touch, and reuses
+        that member for all of the query's legs — the merged result is one
+        self-consistent snapshot.  (Resolution stays lazy per shard so a
+        fully-down shard that the query never touches cannot fail it.)
+        """
+        stores: Dict[int, object] = {}
+        replica_sets = self._sharded.replica_sets
+
+        def store_of(shard: int):
+            store = stores.get(shard)
+            if store is None:
+                store = stores[shard] = replica_sets[shard].read_store()
+            return store
+
+        return store_of
+
     # ------------------------------------------------------------------
     # Catalog queries: merge per-shard sorted name lists
     # ------------------------------------------------------------------
@@ -63,8 +85,10 @@ class FederatedQueryEngine:
 
     def _names(self) -> List[str]:
         self.fanouts += 1
+        store_of = self._pinned_store()
         per_shard = [
-            rs.read_store().names() for rs in self._sharded.replica_sets
+            store_of(shard).names()
+            for shard in range(self._sharded.shards)
         ]
         return list(heapq.merge(*per_shard))
 
@@ -77,9 +101,10 @@ class FederatedQueryEngine:
 
     def _select(self, pattern: str) -> List[str]:
         self.fanouts += 1
+        store_of = self._pinned_store()
         per_shard = [
-            rs.read_store().select(pattern)
-            for rs in self._sharded.replica_sets
+            store_of(shard).select(pattern)
+            for shard in range(self._sharded.shards)
         ]
         return list(heapq.merge(*per_shard))
 
@@ -154,11 +179,13 @@ class FederatedQueryEngine:
         if until <= since or not names:
             return np.empty(0), np.empty((0, len(names)))
         self.fanouts += 1
+        store_of = self._pinned_store()
+        shard_of = self._sharded.shard_of
         edges = bucket_edges(since, until, step)
         grid = edges[:-1]
         columns = []
         for name in names:
-            times, values = self._sharded.store_for(name).query(
+            times, values = store_of(shard_of(name)).query(
                 name, since, until
             )
             v = resample_onto(times, values, edges, agg, engine)

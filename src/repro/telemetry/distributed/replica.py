@@ -24,6 +24,7 @@ Failure semantics mirror real collectors:
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -35,6 +36,8 @@ from repro.telemetry.sample import SampleBatch
 from repro.telemetry.store import TimeSeriesStore
 
 __all__ = ["ReplicaSet"]
+
+log = logging.getLogger(__name__)
 
 StoreFactory = Callable[[], TimeSeriesStore]
 
@@ -65,6 +68,7 @@ class ReplicaSet:
         self.lost_batches = 0
         self.lost_samples = 0
         self.failover_reads = 0
+        self.resync_failures = 0
         self._metrics: Optional[MetricsRegistry] = None
         self._metrics_prefix: Optional[str] = None
 
@@ -120,7 +124,9 @@ class ReplicaSet:
         it went down; with resync it is replaced by a fresh store populated
         from the first healthy peer, so failback reads see the full series.
         Reviving with ``resync=True`` when no peer is healthy keeps the
-        member's own data (there is nothing better to copy from).
+        member's own data (there is nothing better to copy from) — this is
+        no longer silent: it counts as a ``resync_failure`` and logs a
+        warning, because the member re-enters service with stale data.
         """
         self._drop_fraction[member] = 0.0
         if resync:
@@ -140,6 +146,17 @@ class ReplicaSet:
                     fresh.append_many(name, times, values)
                 self.members[member] = fresh
                 self.missed_writes[member] = 0
+            elif self._down[member] and self.replication > 0:
+                # A resync was requested and would have mattered (the
+                # member was down and has peers to copy from), but every
+                # peer is down too: the member serves stale data.
+                self.resync_failures += 1
+                log.warning(
+                    "shard %d: revive(member=%d, resync=True) found no "
+                    "healthy peer; member re-enters service with stale data "
+                    "(%d writes missed while down)",
+                    self.shard_id, member, self.missed_writes[member],
+                )
         self._down[member] = False
 
     # ------------------------------------------------------------------
@@ -260,6 +277,9 @@ class ReplicaSet:
             r.counter(f"{prefix}.failover_reads",
                       "reads served by a non-primary member",
                       fn=lambda: float(self.failover_reads))
+            r.counter(f"{prefix}.resync_failed",
+                      "revivals that found no healthy peer to resync from",
+                      fn=lambda: float(self.resync_failures))
             self._metrics = r
             self._metrics_prefix = prefix
         return self._metrics

@@ -27,6 +27,7 @@ values are fancy-indexed straight into per-shard batches.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -68,7 +69,19 @@ class ShardedStore:
     store_factory:
         Override how member stores are built (e.g. to pass a custom store
         subclass); when given, the three config knobs above are only
-        recorded for introspection, not applied.
+        recorded for introspection, not applied.  Incompatible with
+        ``parallel`` (worker processes rebuild stores from configuration,
+        not from an arbitrary closure).
+    parallel:
+        Run each replica set in its own worker process, fed by
+        shared-memory ring buffers with async batched ingest
+        (:mod:`repro.telemetry.runtime`).  The store API is unchanged and
+        federated query results are bit-identical to the in-process path;
+        call :meth:`close` (or use the owning system's ``close``) for a
+        graceful drain at shutdown.
+    parallel_config:
+        Optional :class:`~repro.telemetry.runtime.RuntimeConfig` tuning
+        ring sizes, backpressure timeout and durability.
     """
 
     def __init__(
@@ -80,6 +93,8 @@ class ShardedStore:
         retention_slack: float = 0.25,
         flush_threshold: int = 256,
         store_factory: Optional[Callable[[], TimeSeriesStore]] = None,
+        parallel: bool = False,
+        parallel_config=None,
     ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -92,22 +107,47 @@ class ShardedStore:
         self.retention = retention
         self.retention_slack = retention_slack
         self.flush_threshold = flush_threshold
+        self.parallel = parallel
+        self.runtime = None
         if store_factory is None:
             store_factory = lambda: TimeSeriesStore(  # noqa: E731
                 retention=retention,
                 retention_slack=retention_slack,
                 flush_threshold=flush_threshold,
             )
+        elif parallel:
+            raise ConfigurationError(
+                "parallel=True cannot ship a custom store_factory to worker "
+                "processes; configure stores via retention/flush knobs"
+            )
         self.partitioner: Partitioner = (
             partitioner if partitioner is not None else HashPartitioner(shards)
         )
-        self.replica_sets: List[ReplicaSet] = [
-            ReplicaSet(i, replication, store_factory) for i in range(shards)
-        ]
+        if parallel:
+            from repro.telemetry.runtime import ParallelShardRuntime
+
+            self.runtime = ParallelShardRuntime(
+                shards,
+                replication,
+                store_config={
+                    "retention": retention,
+                    "retention_slack": retention_slack,
+                    "flush_threshold": flush_threshold,
+                },
+                config=parallel_config,
+            )
+            self.replica_sets = self.runtime.replica_sets
+        else:
+            self.replica_sets: List[ReplicaSet] = [
+                ReplicaSet(i, replication, store_factory)
+                for i in range(shards)
+            ]
         self.federation = FederatedQueryEngine(self)
         self.batches_ingested = 0
         self._route: Dict[str, int] = {}
-        self._split_cache: Dict[Tuple[str, ...], _SplitPlan] = {}
+        self._split_cache: "OrderedDict[Tuple[str, ...], _SplitPlan]" = (
+            OrderedDict()
+        )
         self._metrics: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------
@@ -144,8 +184,13 @@ class ShardedStore:
                 for shard, idx in sorted(by_shard.items())
             ]
             if len(self._split_cache) >= _SPLIT_CACHE_CAP:
-                self._split_cache.clear()
+                # LRU: evict only the coldest entry.  A wholesale clear()
+                # here forced every live scrape shape to re-consult the
+                # partitioner on its next batch — a periodic latency spike.
+                self._split_cache.popitem(last=False)
             self._split_cache[names] = plan
+        else:
+            self._split_cache.move_to_end(names)
         return plan
 
     # ------------------------------------------------------------------
@@ -261,15 +306,32 @@ class ShardedStore:
                       fn=lambda: float(
                           sum(rs.lost_samples for rs in self.replica_sets)
                       ))
+            r.counter("telemetry.shard.resync_failed",
+                      "revivals that found no healthy peer to resync from",
+                      fn=lambda: float(
+                          sum(rs.resync_failures for rs in self.replica_sets)
+                      ))
             self._metrics = r
         return self._metrics
 
     def metric_registries(self) -> List[MetricsRegistry]:
-        """Aggregate registry plus one per replica set (for exporters)."""
-        return [self.metrics] + [
+        """Aggregate registry plus one per replica set (for exporters);
+        a parallel deployment adds the ``telemetry.runtime.*`` registry."""
+        registries = [self.metrics] + [
             rs.metrics_registry(f"telemetry.shard.{rs.shard_id}")
             for rs in self.replica_sets
         ]
+        if self.runtime is not None:
+            registries.append(self.runtime.metrics)
+        return registries
+
+    # ------------------------------------------------------------------
+    # Lifecycle (parallel mode)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Gracefully drain and stop shard workers (no-op when in-process)."""
+        if self.runtime is not None:
+            self.runtime.close()
 
     def health_metrics(self) -> Dict[str, float]:
         """Self-metrics on the ``telemetry.shard.*`` subtree.
@@ -296,8 +358,11 @@ class ShardedStore:
             "telemetry.shard.down_members",
             "telemetry.shard.failover_reads",
             "telemetry.shard.lost_samples",
+            "telemetry.shard.resync_failed",
         ):
             out[k] = agg[k]
+        if self.runtime is not None:
+            out.update(self.runtime.health_metrics())
         return out
 
     # ------------------------------------------------------------------

@@ -1,0 +1,852 @@
+"""Parent-side parallel shard runtime: producers, proxies, lifecycle.
+
+:class:`ParallelShardRuntime` owns one worker process per shard (LDMS-style
+daemon-per-partition aggregation), each fed by a shared-memory
+:class:`~repro.telemetry.runtime.ring.SampleRing` and controlled over a
+pipe.  The pieces the rest of the codebase sees:
+
+* :class:`ParallelReplicaSet` — drop-in replacement for
+  :class:`~repro.telemetry.distributed.replica.ReplicaSet`: same write
+  semantics (never raises; fault bookkeeping is sample-exact because the
+  worker falls back to real ``ReplicaSet.ingest`` while faults are
+  active), same read failover, same ``telemetry.shard.<i>.*`` metrics.
+* :class:`RemoteStoreProxy` — read-side stand-in for a member
+  :class:`~repro.telemetry.store.TimeSeriesStore`.  Raw sample arrays are
+  fetched from the worker; ``resample``/``align`` run the shared kernels
+  from :mod:`repro.telemetry.store` on those arrays in the parent, so
+  federated results are bit-identical to the in-process path by
+  construction.
+
+Backpressure is explicit: a full ring makes the producer wait (bounded by
+``push_timeout``) and then *drop and count* rather than raise — the same
+never-raise write contract as the in-process replica tier — and every
+state of the pipeline is observable via the ``telemetry.runtime.*``
+registry (pushed/dropped batches, waits, backlog, worker crashes/restarts,
+replayed slots).
+
+Worker death is detected by :meth:`ParallelShardRuntime.check_workers`
+(polled by the :class:`~repro.oda.supervision.Supervisor` watchdog once
+wired via ``watch_runtime``) and heals by restarting the worker: the
+replacement inherits the name-interning table and fault mirror, reloads
+its checkpoint when durability is ``"checkpoint"``, and replays the ring
+window ``[acked, head)`` that the producer never reclaimed.
+"""
+
+from __future__ import annotations
+
+import gc
+import logging
+import multiprocessing as mp
+import os
+import time as _time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.errors as _errors
+from repro.errors import ConfigurationError, ShardDownError, StoreError
+from repro.obs.metrics import MetricsRegistry
+from repro.telemetry.runtime.ring import SampleRing
+from repro.telemetry.runtime.worker import worker_main
+from repro.telemetry.sample import SampleBatch
+from repro.telemetry.store import (
+    SeriesBuffer,
+    bucket_edges,
+    check_resample_args,
+    forward_fill,
+    resample_onto,
+)
+
+__all__ = [
+    "ParallelShardRuntime",
+    "ParallelReplicaSet",
+    "RemoteStoreProxy",
+    "RuntimeConfig",
+]
+
+log = logging.getLogger(__name__)
+
+#: Sleep while waiting out ring backpressure / command replies.
+_POLL_S = 0.0005
+
+
+class RuntimeConfig:
+    """Tunables for the parallel runtime (picklable plain object)."""
+
+    def __init__(
+        self,
+        ring_capacity: int = 256,
+        slot_width: int = 4096,
+        durability: str = "none",
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: int = 64,
+        push_timeout: float = 5.0,
+        command_timeout: float = 60.0,
+        auto_restart: bool = True,
+    ):
+        if durability not in ("none", "checkpoint"):
+            raise ConfigurationError(
+                f"durability must be 'none' or 'checkpoint', got {durability!r}"
+            )
+        if durability == "checkpoint" and not checkpoint_dir:
+            raise ConfigurationError(
+                "durability='checkpoint' requires checkpoint_dir"
+            )
+        self.ring_capacity = ring_capacity
+        self.slot_width = slot_width
+        self.durability = durability
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.push_timeout = push_timeout
+        self.command_timeout = command_timeout
+        self.auto_restart = auto_restart
+
+
+class RemoteStoreProxy:
+    """Read-side view of one member store living in a worker process.
+
+    Mirrors the :class:`~repro.telemetry.store.TimeSeriesStore` read/flush
+    surface (query/names/select/series/latest/value_at/resample/align/
+    flush/len/contains plus the counters and config attributes persistence
+    reads), fetching raw sample arrays over the command pipe and running
+    the shared resample kernels locally — so anything computed from a
+    proxy is bit-identical to computing it on the worker's actual store.
+    """
+
+    def __init__(self, runtime: "ParallelShardRuntime", shard: int, member: int):
+        self._runtime = runtime
+        self.shard = shard
+        self.member = member
+
+    def _call(self, op: str, *payload):
+        return self._runtime._call(self.shard, op, payload)
+
+    # -- config attributes (persistence reads these) -------------------
+    @property
+    def retention(self) -> Optional[float]:
+        return self._runtime.store_config.get("retention")
+
+    @property
+    def retention_slack(self) -> float:
+        return self._runtime.store_config.get("retention_slack", 0.25)
+
+    @property
+    def flush_threshold(self) -> int:
+        return self._runtime.store_config.get("flush_threshold", 256)
+
+    # -- reads ---------------------------------------------------------
+    def query(
+        self, name: str, since: float = float("-inf"), until: float = float("inf")
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self._call("query", self.member, name, since, until)
+
+    def names(self) -> List[str]:
+        return self._call("names", self.member)
+
+    def select(self, pattern: str) -> List[str]:
+        return self._call("select", self.member, pattern)
+
+    def series(self, name: str) -> SeriesBuffer:
+        """Materialize one series locally (a copy, not a live view)."""
+        times, values = self._call("series", self.member, name)
+        buf = SeriesBuffer(name, capacity=max(1, times.size))
+        buf.append_many(times, values)
+        return buf
+
+    def latest(self, name: str) -> Tuple[float, float]:
+        return self._call("latest", self.member, name)
+
+    def value_at(self, name: str, time: float) -> float:
+        return self._call("value_at", self.member, name, time)
+
+    def __contains__(self, name: str) -> bool:
+        return bool(self._call("contains", self.member, name))
+
+    def __len__(self) -> int:
+        return int(self._call("stat", self.member, "len"))
+
+    def flush(self, name: Optional[str] = None) -> int:
+        return int(self._call("member_flush", self.member, name))
+
+    @property
+    def samples_ingested(self) -> int:
+        return int(self._call("stat", self.member, "samples_ingested"))
+
+    @property
+    def staged_samples(self) -> int:
+        return int(self._call("stat", self.member, "staged_samples"))
+
+    @property
+    def latest_time(self) -> float:
+        return float(self._call("stat", self.member, "latest_time"))
+
+    # -- derived reads: shared kernels on fetched arrays ---------------
+    def resample(
+        self,
+        name: str,
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+        engine: str = "auto",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        check_resample_args(step, agg, engine)
+        if until <= since:
+            return np.empty(0), np.empty(0)
+        times, values = self.query(name, since, until)
+        edges = bucket_edges(since, until, step)
+        return edges[:-1], resample_onto(times, values, edges, agg, engine)
+
+    def align(
+        self,
+        names: Sequence[str],
+        since: float,
+        until: float,
+        step: float,
+        agg: str = "mean",
+        fill: str = "ffill",
+        engine: str = "auto",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if fill not in ("ffill", "nan"):
+            raise StoreError(f"unknown fill mode {fill!r}")
+        check_resample_args(step, agg, engine)
+        if until <= since or not names:
+            return np.empty(0), np.empty((0, len(names)))
+        edges = bucket_edges(since, until, step)
+        columns = []
+        for name in names:
+            times, values = self.query(name, since, until)
+            v = resample_onto(times, values, edges, agg, engine)
+            if fill == "ffill":
+                v = forward_fill(v)
+            columns.append(v)
+        return edges[:-1], np.column_stack(columns)
+
+
+class ParallelReplicaSet:
+    """Parent-side stand-in for one shard's :class:`ReplicaSet`.
+
+    Mirrors the fault topology (down/degraded members) locally so read
+    routing and chaos targeting work without a round trip; write-side
+    counters live in the worker and surface through cached stats.
+    """
+
+    def __init__(
+        self, runtime: "ParallelShardRuntime", shard_id: int, replication: int
+    ):
+        self._runtime = runtime
+        self.shard_id = shard_id
+        self.members: List[RemoteStoreProxy] = [
+            RemoteStoreProxy(runtime, shard_id, m)
+            for m in range(replication + 1)
+        ]
+        self._down = [False] * len(self.members)
+        self._drop_fraction = [0.0] * len(self.members)
+        self.failover_reads = 0
+        self._metrics: Optional[MetricsRegistry] = None
+        self._metrics_prefix: Optional[str] = None
+
+    # -- topology ------------------------------------------------------
+    @property
+    def replication(self) -> int:
+        return len(self.members) - 1
+
+    @property
+    def primary(self) -> RemoteStoreProxy:
+        return self.members[0]
+
+    def is_down(self, member: int = 0) -> bool:
+        return self._down[member]
+
+    @property
+    def down_members(self) -> int:
+        return sum(self._down)
+
+    @property
+    def healthy_members(self) -> int:
+        return len(self.members) - self.down_members
+
+    # -- fault injection (mirrors state, forwards to the worker) -------
+    def mark_down(self, member: int = 0) -> None:
+        self._runtime._call(self.shard_id, "mark_down", (member,))
+        self._down[member] = True
+        self._runtime._bump()
+
+    def degrade(
+        self,
+        drop_fraction: float,
+        rng: np.random.Generator,
+        member: int = 0,
+    ) -> None:
+        if not 0.0 <= drop_fraction <= 1.0:
+            raise ConfigurationError(
+                f"drop_fraction must be in [0, 1], got {drop_fraction}"
+            )
+        # The worker owns its own generator; hand it a seed drawn from the
+        # caller's so chaos stays reproducible per run.
+        seed = int(rng.integers(np.iinfo(np.int64).max))
+        self._runtime._call(
+            self.shard_id, "degrade", (member, drop_fraction, seed)
+        )
+        self._drop_fraction[member] = drop_fraction
+        self._runtime._register_degrade_seed(self.shard_id, seed)
+        self._runtime._bump()
+
+    def revive(self, member: int = 0, resync: bool = True) -> None:
+        self._runtime._call(self.shard_id, "revive", (member, resync))
+        self._down[member] = False
+        self._drop_fraction[member] = 0.0
+        self._runtime._bump()
+
+    # -- writes --------------------------------------------------------
+    def ingest(self, topic: str, batch: SampleBatch) -> int:
+        self._runtime.push(self.shard_id, batch)
+        return self.healthy_members
+
+    def append(self, name: str, time: float, value: float) -> None:
+        self._runtime._call(self.shard_id, "append", (name, time, value))
+
+    def append_many(
+        self, name: str, times: np.ndarray, values: np.ndarray
+    ) -> None:
+        self._runtime._call(
+            self.shard_id,
+            "append_many",
+            (name, np.asarray(times, dtype=np.float64),
+             np.asarray(values, dtype=np.float64)),
+        )
+
+    def flush(self) -> int:
+        return int(self._runtime._call(self.shard_id, "flush", ()))
+
+    # -- reads ---------------------------------------------------------
+    def read_store(self) -> RemoteStoreProxy:
+        """The member currently serving reads; raises if none is healthy."""
+        for i, proxy in enumerate(self.members):
+            if not self._down[i]:
+                if i != 0:
+                    self.failover_reads += 1
+                return proxy
+        raise ShardDownError(
+            f"shard {self.shard_id}: all {len(self.members)} members are down"
+        )
+
+    # -- observability -------------------------------------------------
+    def _stats(self) -> dict:
+        return self._runtime.shard_stats(self.shard_id)
+
+    def _serving_stat(self, key: str) -> float:
+        serving = next(
+            (i for i in range(len(self.members)) if not self._down[i]), None
+        )
+        if serving is None:
+            return float("nan")
+        try:
+            return float(self._stats()[key][serving])
+        except (ShardDownError, StoreError):
+            return float("nan")
+
+    def _summed_stat(self, key: str) -> float:
+        try:
+            stats = self._stats()[key]
+        except (ShardDownError, StoreError):
+            return float("nan")
+        return float(sum(stats) if isinstance(stats, list) else stats)
+
+    def metrics_registry(self, prefix: str) -> MetricsRegistry:
+        """Same instrument set as :meth:`ReplicaSet.metrics_registry`."""
+        if self._metrics is None or self._metrics_prefix != prefix:
+            r = MetricsRegistry()
+            r.counter(f"{prefix}.samples", "samples on the serving member",
+                      fn=lambda: self._serving_stat("samples_ingested"))
+            r.gauge(f"{prefix}.series", "series on the serving member",
+                    fn=lambda: self._serving_stat("series"))
+            r.gauge(f"{prefix}.down_members", "members currently down",
+                    fn=lambda: float(self.down_members))
+            r.counter(f"{prefix}.missed_writes",
+                      "writes missed by down members",
+                      fn=lambda: self._summed_stat("missed_writes"))
+            r.counter(f"{prefix}.dropped_writes",
+                      "writes shed by degraded members",
+                      fn=lambda: self._summed_stat("dropped_writes"))
+            r.counter(f"{prefix}.lost_samples",
+                      "samples lost with every member down",
+                      fn=lambda: self._summed_stat("lost_samples"))
+            r.counter(f"{prefix}.failover_reads",
+                      "reads served by a non-primary member",
+                      fn=lambda: float(self.failover_reads))
+            r.counter(f"{prefix}.resync_failed",
+                      "revivals that found no healthy peer to resync from",
+                      fn=lambda: self._summed_stat("resync_failures"))
+            self._metrics = r
+            self._metrics_prefix = prefix
+        return self._metrics
+
+    def health_metrics(self, prefix: str) -> dict:
+        return self.metrics_registry(prefix).snapshot()
+
+    # -- worker-side counters (tests / introspection) ------------------
+    @property
+    def missed_writes(self) -> List[int]:
+        return list(self._stats()["missed_writes"])
+
+    @property
+    def dropped_writes(self) -> List[int]:
+        return list(self._stats()["dropped_writes"])
+
+    @property
+    def lost_batches(self) -> int:
+        return int(self._stats()["lost_batches"])
+
+    @property
+    def lost_samples(self) -> int:
+        return int(self._stats()["lost_samples"])
+
+    @property
+    def resync_failures(self) -> int:
+        return int(self._stats()["resync_failures"])
+
+
+class ParallelShardRuntime:
+    """One worker process per shard, fed by shared-memory sample rings."""
+
+    def __init__(
+        self,
+        shards: int,
+        replication: int,
+        store_config: dict,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.replication = replication
+        self.store_config = dict(store_config)
+        self.config = config or RuntimeConfig()
+        self._ctx = mp.get_context()
+        self.rings: List[SampleRing] = [
+            SampleRing(self.config.ring_capacity, self.config.slot_width)
+            for _ in range(shards)
+        ]
+        self._conns: List = [None] * shards
+        self._procs: List = [None] * shards
+        # Name interning: one global names-tuple table, lazily announced to
+        # each worker the first time a shape heads its way.
+        self._intern: Dict[Tuple[str, ...], int] = {}
+        self._names_by_id: Dict[int, Tuple[str, ...]] = {}
+        self._registered: List[set] = [set() for _ in range(shards)]
+        self._chunks: Dict[Tuple[str, ...], List[Tuple[Tuple[str, ...], slice]]] = {}
+        self._degrade_seeds: Dict[int, int] = {}
+        self.replica_sets: List[ParallelReplicaSet] = [
+            ParallelReplicaSet(self, i, replication) for i in range(shards)
+        ]
+        # Counters behind the telemetry.runtime.* registry.
+        self.pushed_batches = 0
+        self.pushed_slots = 0
+        self.backpressure_waits = 0
+        self.dropped_batches = 0
+        self.dropped_samples = 0
+        self.worker_crashes = 0
+        self.worker_restarts = 0
+        self.replayed_slots = 0
+        self.on_crash: Optional[Callable[[int], None]] = None
+        self._counted_dead: set = set()
+        self._stats_cache: List[Optional[dict]] = [None] * shards
+        self._stats_key: List[Tuple[int, int]] = [(-1, -1)] * shards
+        self._stat_offsets: List[Optional[dict]] = [None] * shards
+        self._mutations = 0
+        self._closed = False
+        self._metrics: Optional[MetricsRegistry] = None
+        for shard in range(shards):
+            self._spawn(shard)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _checkpoint_dir(self, shard: int) -> Optional[str]:
+        base = self.config.checkpoint_dir
+        if base is None:
+            return None
+        return os.path.join(base, f"shard{shard}")
+
+    def _spawn(self, shard: int, names_table: Optional[dict] = None) -> None:
+        # Collect before forking so the child inherits as little garbage as
+        # possible (the worker freezes the inherited heap at startup).
+        gc.collect()
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                shard,
+                self.rings[shard],
+                child_conn,
+                self.replication,
+                self.store_config,
+                self.config.durability,
+                self._checkpoint_dir(shard),
+                self.config.checkpoint_interval,
+                names_table,
+                self._fault_state(shard) if names_table is not None else None,
+            ),
+            name=f"repro-shard-worker-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[shard] = parent_conn
+        self._procs[shard] = proc
+        self._counted_dead.discard(shard)
+
+    def _fault_state(self, shard: int) -> dict:
+        rs = self.replica_sets[shard]
+        return {
+            "down": list(rs._down),
+            "drop_fraction": list(rs._drop_fraction),
+            "degrade_seed": self._degrade_seeds.get(shard, 0),
+        }
+
+    def _register_degrade_seed(self, shard: int, seed: int) -> None:
+        self._degrade_seeds.setdefault(shard, seed)
+
+    def worker_alive(self, shard: int) -> bool:
+        proc = self._procs[shard]
+        return proc is not None and proc.is_alive()
+
+    def restart_worker(self, shard: int) -> None:
+        """Replace a dead worker; the ring window ``[acked, head)`` replays.
+
+        The replacement gets the complete interning table and the fault
+        mirror up front (slots already in the ring reference them), and —
+        under checkpoint durability — reloads the last checkpoint before
+        replaying, so no acknowledged batch is lost.
+        """
+        proc = self._procs[shard]
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        ring = self.rings[shard]
+        self.replayed_slots += ring.head - ring.acked
+        self._accumulate_offsets(shard)
+        self._stats_cache[shard] = None  # next read hits the new worker
+        names_table = {
+            i: self._names_by_id[i] for i in self._registered[shard]
+        }
+        self._spawn(shard, names_table=names_table)
+        self.worker_restarts += 1
+        self._bump()
+
+    def check_workers(self, now: float = 0.0) -> List[int]:
+        """Detect dead workers; restart them when ``auto_restart`` is set.
+
+        Returns the shard ids found crashed on this sweep (the supervisor
+        watchdog calls this every tick and traces what it returns).
+        """
+        if self._closed:
+            return []
+        crashed = []
+        for shard in range(self.shards):
+            if not self.worker_alive(shard):
+                if shard in self._counted_dead:
+                    continue  # already reported; not restarted by design
+                self._counted_dead.add(shard)
+                crashed.append(shard)
+                self.worker_crashes += 1
+                log.warning(
+                    "shard %d worker died (exitcode %s)",
+                    shard,
+                    self._procs[shard].exitcode,
+                )
+                if self.on_crash is not None:
+                    self.on_crash(shard)
+                if self.config.auto_restart:
+                    self.restart_worker(shard)
+        if crashed:
+            self._bump()
+        return crashed
+
+    def crash_worker(self, shard: int) -> None:
+        """Chaos hook: make a worker die abruptly (no flush, no reply)."""
+        if not self.worker_alive(shard):
+            return
+        conn = self._conns[shard]
+        conn.send(("cmd", self.rings[shard].head, "crash", ()))
+        self._procs[shard].join(timeout=5.0)
+        self._bump()
+
+    # ------------------------------------------------------------------
+    # Ingest (producer side)
+    # ------------------------------------------------------------------
+    def _chunk_plan(
+        self, names: Tuple[str, ...]
+    ) -> List[Tuple[Tuple[str, ...], slice]]:
+        plan = self._chunks.get(names)
+        if plan is None:
+            width = self.config.slot_width
+            plan = [
+                (names[i : i + width], slice(i, i + width))
+                for i in range(0, len(names), width)
+            ]
+            self._chunks[names] = plan
+        return plan
+
+    def _intern_names(self, shard: int, names: Tuple[str, ...]) -> int:
+        names_id = self._intern.get(names)
+        if names_id is None:
+            names_id = self._intern[names] = len(self._intern)
+            self._names_by_id[names_id] = names
+        if names_id not in self._registered[shard]:
+            # Sent down the FIFO pipe *before* any slot referencing the id
+            # can be pushed; the worker pulls pending registrations when it
+            # meets an unknown id mid-drain, so ordering is airtight.
+            self._registered[shard].add(names_id)
+            try:
+                self._call(shard, "reg", (names_id, names))
+            except (ShardDownError, OSError):
+                # Dead consumer must not fail a write (same contract as
+                # ReplicaSet.ingest).  The parent-side table stays the
+                # authority: a replacement worker receives every
+                # registered id at spawn, so slots already in the ring
+                # resolve after the restart.
+                pass
+        return names_id
+
+    def push(self, shard: int, batch: SampleBatch) -> bool:
+        """Queue one batch for a shard worker; returns False if dropped.
+
+        Blocks up to ``push_timeout`` while the ring is full
+        (backpressure), then drops and counts — writes never raise, the
+        same contract as :meth:`ReplicaSet.ingest`.
+        """
+        ring = self.rings[shard]
+        values = batch.values
+        pushed_any = False
+        for chunk_names, sl in self._chunk_plan(batch.names):
+            names_id = self._intern_names(shard, chunk_names)
+            chunk_values = values[sl]
+            if not ring.try_push(names_id, batch.time, chunk_values):
+                deadline = _time.monotonic() + self.config.push_timeout
+                self.backpressure_waits += 1
+                while not ring.try_push(names_id, batch.time, chunk_values):
+                    if not self.worker_alive(shard):
+                        # Dead consumer: give the supervisor a chance to
+                        # restart it, but don't spin past the timeout.
+                        self.check_workers()
+                    if _time.monotonic() > deadline:
+                        self.dropped_batches += 1
+                        self.dropped_samples += len(chunk_names)
+                        log.warning(
+                            "shard %d ring full for %.1fs: dropping batch "
+                            "(%d samples)",
+                            shard,
+                            self.config.push_timeout,
+                            len(chunk_names),
+                        )
+                        break
+                    _time.sleep(_POLL_S)
+                else:
+                    pushed_any = True
+                    self.pushed_slots += 1
+                continue
+            pushed_any = True
+            self.pushed_slots += 1
+        if pushed_any:
+            self.pushed_batches += 1
+        return pushed_any
+
+    # ------------------------------------------------------------------
+    # Command RPC
+    # ------------------------------------------------------------------
+    def _call(self, shard: int, op: str, payload: tuple):
+        if self._closed:
+            raise StoreError("parallel runtime is closed")
+        if not self.worker_alive(shard):
+            # One repair attempt before declaring the shard unreadable.
+            self.check_workers()
+            if not self.worker_alive(shard):
+                raise ShardDownError(f"shard {shard}: worker process is dead")
+        conn = self._conns[shard]
+        if op == "reg":
+            conn.send(("reg",) + payload)
+            return None
+        conn.send(("cmd", self.rings[shard].head, op, payload))
+        deadline = _time.monotonic() + self.config.command_timeout
+        while not conn.poll(0.01):
+            if not self.worker_alive(shard):
+                raise ShardDownError(
+                    f"shard {shard}: worker died executing {op!r}"
+                )
+            if _time.monotonic() > deadline:
+                raise StoreError(
+                    f"shard {shard}: worker timed out executing {op!r}"
+                )
+        reply = conn.recv()
+        if reply[0] == "ok":
+            return reply[1]
+        _, exc_type, message, _tb = reply
+        exc_cls = getattr(_errors, exc_type, None)
+        if exc_cls is None or not (
+            isinstance(exc_cls, type) and issubclass(exc_cls, Exception)
+        ):
+            exc_cls = StoreError
+        raise exc_cls(message)
+
+    def _bump(self) -> None:
+        self._mutations += 1
+
+    # Fault counters live only in the worker's ReplicaSet memory (they are
+    # never checkpointed), so a restart would reset them to zero and the
+    # published metrics would run backwards.  On restart the last-known
+    # values fold into these parent-side offsets instead.
+    _OFFSET_LISTS = ("missed_writes", "dropped_writes")
+    _OFFSET_SCALARS = ("lost_batches", "lost_samples", "resync_failures")
+
+    def _merge_offsets(self, shard: int, stats: dict) -> dict:
+        offsets = self._stat_offsets[shard]
+        if offsets is None:
+            return stats
+        merged = dict(stats)
+        for key in self._OFFSET_LISTS:
+            merged[key] = [
+                a + b for a, b in zip(stats[key], offsets[key])
+            ]
+        for key in self._OFFSET_SCALARS:
+            merged[key] = stats[key] + offsets[key]
+        return merged
+
+    def _accumulate_offsets(self, shard: int) -> None:
+        """Fold the last cached stats of a dead worker into the offsets.
+
+        Best effort: counter deltas since the last snapshot die with the
+        worker, exactly like un-checkpointed samples do.
+        """
+        last = self._stats_cache[shard]
+        if last is None:
+            return
+        offsets = self._stat_offsets[shard]
+        if offsets is None:
+            offsets = self._stat_offsets[shard] = {
+                **{k: [0] * len(last[k]) for k in self._OFFSET_LISTS},
+                **{k: 0 for k in self._OFFSET_SCALARS},
+            }
+        for key in self._OFFSET_LISTS:
+            offsets[key] = list(last[key])
+        for key in self._OFFSET_SCALARS:
+            offsets[key] = last[key]
+
+    def shard_stats(self, shard: int) -> dict:
+        """Worker-side replica-set counters, cached per (ring, mutation)
+        state so a metrics snapshot costs at most one round trip."""
+        key = (self.rings[shard].head, self._mutations)
+        if self._stats_cache[shard] is None or self._stats_key[shard] != key:
+            self._stats_cache[shard] = self._merge_offsets(
+                shard, self._call(shard, "rs_stats", ())
+            )
+            self._stats_key[shard] = key
+        return self._stats_cache[shard]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        return sum(r.backlog for r in self.rings)
+
+    @property
+    def unacked(self) -> int:
+        return sum(r.unacked for r in self.rings)
+
+    def drain(self) -> None:
+        """Block until every pushed slot has been applied by its worker."""
+        for shard in range(self.shards):
+            self._call(shard, "ping", ())
+
+    def checkpoint(self) -> List[int]:
+        """Force a checkpoint on every worker; returns acked sequences."""
+        return [
+            int(self._call(shard, "checkpoint", ()))
+            for shard in range(self.shards)
+        ]
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Graceful drain and shutdown: stop workers after they apply and
+        flush (or checkpoint) everything pushed so far."""
+        if self._closed:
+            return
+        for shard in range(self.shards):
+            if not self.worker_alive(shard):
+                continue
+            try:
+                self._call(shard, "stop", ())
+            except (ShardDownError, StoreError, OSError):
+                pass
+        for shard in range(self.shards):
+            proc = self._procs[shard]
+            if proc is None:
+                continue
+            proc.join(timeout=timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            conn = self._conns[shard]
+            if conn is not None:
+                conn.close()
+        self._closed = True
+
+    def __del__(self):  # best-effort cleanup; daemon workers die anyway
+        try:
+            if not self._closed:
+                for proc in self._procs:
+                    if proc is not None and proc.is_alive():
+                        proc.terminate()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Typed instruments on the ``telemetry.runtime.*`` subtree."""
+        if self._metrics is None:
+            r = MetricsRegistry()
+            r.gauge("telemetry.runtime.workers", "live shard workers",
+                    fn=lambda: float(
+                        sum(self.worker_alive(s) for s in range(self.shards))
+                        if not self._closed else 0.0
+                    ))
+            r.counter("telemetry.runtime.pushed_batches",
+                      "batches queued to workers",
+                      fn=lambda: float(self.pushed_batches))
+            r.counter("telemetry.runtime.pushed_slots",
+                      "ring slots written (batches after chunking)",
+                      fn=lambda: float(self.pushed_slots))
+            r.counter("telemetry.runtime.backpressure_waits",
+                      "pushes that blocked on a full ring",
+                      fn=lambda: float(self.backpressure_waits))
+            r.counter("telemetry.runtime.dropped_batches",
+                      "batches dropped after backpressure timeout",
+                      fn=lambda: float(self.dropped_batches))
+            r.counter("telemetry.runtime.dropped_samples",
+                      "samples dropped after backpressure timeout",
+                      fn=lambda: float(self.dropped_samples))
+            r.gauge("telemetry.runtime.backlog",
+                    "slots pushed but not yet applied",
+                    fn=lambda: float(self.backlog if not self._closed else 0))
+            r.gauge("telemetry.runtime.unacked",
+                    "slots not yet acknowledged (ring occupancy)",
+                    fn=lambda: float(self.unacked if not self._closed else 0))
+            r.counter("telemetry.runtime.worker_crashes",
+                      "worker processes found dead",
+                      fn=lambda: float(self.worker_crashes))
+            r.counter("telemetry.runtime.worker_restarts",
+                      "worker processes restarted",
+                      fn=lambda: float(self.worker_restarts))
+            r.counter("telemetry.runtime.replayed_slots",
+                      "ring slots replayed after worker restarts",
+                      fn=lambda: float(self.replayed_slots))
+            self._metrics = r
+        return self._metrics
+
+    def health_metrics(self) -> Dict[str, float]:
+        return self.metrics.snapshot()

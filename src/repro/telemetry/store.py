@@ -522,6 +522,66 @@ class TimeSeriesStore:
             self._maybe_trim(buf, exact=False)
             self._sweep_one()
 
+    def append_block(
+        self, names: Sequence[str], times: np.ndarray, rows: np.ndarray
+    ) -> None:
+        """Columnar bulk append: one shared time axis, one column per series.
+
+        Semantically identical to calling :meth:`append_many` once per
+        ``names[i]`` with ``rows[:, i]``, but the shared validation (dtype
+        coercion, ordering check, latest-time bookkeeping) is hoisted out
+        of the per-series loop and a series whose buffer simply extends
+        skips straight to the slice copy.  This is the shard worker's
+        apply path: with wide fleet scrapes (thousands of series, a few
+        rows per flush) the per-series call overhead is the whole cost, so
+        the hoisting is what the scale-out ingest throughput rests on.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.float64)
+        n = times.size
+        if times.ndim != 1 or rows.ndim != 2 or rows.shape[0] != n or \
+                rows.shape[1] != len(names):
+            raise StoreError(
+                "append_block needs times[n] and rows[n, len(names)]"
+            )
+        if n == 0 or not names:
+            return
+        if np.any(np.diff(times) < 0):
+            raise StoreError("append_block: times must be non-decreasing")
+        series = self._series
+        staging = self._staging
+        last = float(times[-1])
+        t0 = times[0]
+        for i, name in enumerate(names):
+            buf = series.get(name)
+            if buf is None:
+                buf = series[name] = SeriesBuffer(name)
+                self._names_cache = None
+            stage = staging.get(name)
+            if stage is not None:
+                if stage.times:
+                    self._flush_stage(name, stage)
+                if last > stage.last_t:
+                    stage.last_t = last
+            size = buf._size
+            if size and t0 <= buf._times[size - 1]:
+                # Overlaps the stored tail: let append_many handle the
+                # last-writer-wins collapse (and ordering errors).
+                buf.append_many(times, rows[:, i])
+            else:
+                end = size + n
+                buf._grow(end)
+                buf._times[size:end] = times
+                buf._values[size:end] = rows[:, i]
+                buf._size = end
+        self.samples_ingested += n * len(names)
+        if last > self._latest_time:
+            self._latest_time = last
+        if self.retention is not None:
+            for name in names:
+                self._maybe_trim(series[name], exact=False)
+            self._sweep_one()
+
     # ------------------------------------------------------------------
     # Retention
     # ------------------------------------------------------------------

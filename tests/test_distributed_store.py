@@ -368,3 +368,162 @@ class TestFederatedEquivalence:
             np.testing.assert_array_equal(np.isnan(fast), np.isnan(ref))
             ok = ~np.isnan(fast)
             np.testing.assert_allclose(fast[ok], ref[ok], rtol=1e-9, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Regression tests for the distributed-tier bugfix sweep
+# ---------------------------------------------------------------------------
+class TestSplitPlanCacheLRU:
+    """The split-plan cache must evict one cold entry at a time, never
+    wholesale-``clear()`` — a full clear forced every live scrape shape to
+    re-consult the partitioner on its next batch."""
+
+    def test_cache_never_empties_under_churn(self):
+        from repro.telemetry.distributed.shard import _SPLIT_CACHE_CAP
+
+        sharded = ShardedStore(shards=2)
+        hot = ("hot.metric.a", "hot.metric.b")
+        sharded.ingest("t", SampleBatch(0.0, hot, np.ones(2)))
+        min_len = len(sharded._split_cache)
+        # Churn far past the cap with unique batch shapes, touching the hot
+        # shape between every cold insert so LRU keeps it resident.
+        for i in range(_SPLIT_CACHE_CAP + 64):
+            sharded.ingest("t", SampleBatch(float(i), (f"cold.{i}",), np.ones(1)))
+            sharded.ingest("t", SampleBatch(float(i), hot, np.ones(2)))
+            min_len = min(min_len, len(sharded._split_cache))
+        assert min_len >= 1  # never emptied
+        assert len(sharded._split_cache) == _SPLIT_CACHE_CAP  # stays full
+        assert hot in sharded._split_cache  # hot shape survived the churn
+
+    def test_lru_evicts_coldest_entry_first(self):
+        from repro.telemetry.distributed.shard import _SPLIT_CACHE_CAP
+
+        sharded = ShardedStore(shards=2)
+        shapes = [(f"m{i}.s",) for i in range(_SPLIT_CACHE_CAP)]
+        for i, names in enumerate(shapes):
+            sharded.ingest("t", SampleBatch(float(i), names, np.ones(1)))
+        assert len(sharded._split_cache) == _SPLIT_CACHE_CAP
+        # Touch the oldest entry, then insert one more shape: the eviction
+        # must fall on shapes[1] (now coldest), not the freshly-touched one.
+        sharded.ingest("t", SampleBatch(9e9, shapes[0], np.ones(1)))
+        sharded.ingest("t", SampleBatch(9e9, ("fresh.s",), np.ones(1)))
+        assert shapes[0] in sharded._split_cache
+        assert shapes[1] not in sharded._split_cache
+        assert len(sharded._split_cache) == _SPLIT_CACHE_CAP
+
+
+class TestFederationPinnedReads:
+    """Fan-outs resolve each involved shard's read-store exactly once per
+    query, so a primary dying between fan-out legs cannot mix two members'
+    views in one merged result."""
+
+    def _stale_replica_set(self):
+        """One shard, replication=1, replica stale for the last 10 ticks."""
+        sharded = ShardedStore(shards=1, replication=1)
+        names = ("a.power", "b.power", "c.power")
+        rng = np.random.default_rng(7)
+        for t in range(10):
+            sharded.ingest("t", SampleBatch(float(t), names, rng.random(3)))
+        rs = sharded.replica_sets[0]
+        rs.mark_down(1)
+        for t in range(10, 20):
+            sharded.ingest("t", SampleBatch(float(t), names, rng.random(3)))
+        rs.revive(1, resync=False)  # replica rejoins stale
+        return sharded, rs, names
+
+    def test_primary_death_mid_fanout_yields_consistent_snapshot(self):
+        sharded, rs, names = self._stale_replica_set()
+        # Reference: full (primary) view of every series.
+        expect = {n: sharded.query(n) for n in names}
+
+        calls = {"n": 0}
+        orig = rs.read_store
+
+        def dying_read_store():
+            calls["n"] += 1
+            store = orig()
+            rs.mark_down(0)  # primary dies right after this resolution
+            return store
+
+        rs.read_store = dying_read_store
+        try:
+            grid, matrix = sharded.align(names, 0.0, 20.0, 1.0, fill="nan")
+        finally:
+            rs.read_store = orig
+            rs.revive(0, resync=False)
+        # Exactly one resolution for the whole fan-out...
+        assert calls["n"] == 1
+        # ...so every column reflects the primary's (full) data, including
+        # the ticks the stale replica never saw.
+        single = TimeSeriesStore()
+        for n in names:
+            t, v = expect[n]
+            single.append_many(n, t, v)
+        _, ref = single.align(names, 0.0, 20.0, 1.0, fill="nan")
+        np.testing.assert_array_equal(matrix, ref)
+
+    def test_untouched_down_shard_cannot_fail_a_query(self):
+        # Resolution is lazy per shard: an align over names owned by one
+        # shard must succeed even when another shard is fully down.
+        sharded = ShardedStore(shards=4, replication=0)
+        names = tuple(f"m{i}.s" for i in range(8))
+        for t in range(5):
+            sharded.ingest("t", SampleBatch(float(t), names, np.ones(8)))
+        victim = sharded.shard_of(names[0])
+        survivor_names = [n for n in names if sharded.shard_of(n) != victim]
+        sharded.replica_sets[victim].mark_down(0)
+        grid, matrix = sharded.align(survivor_names, 0.0, 5.0, 1.0)
+        assert matrix.shape == (len(grid), len(survivor_names))
+        with pytest.raises(ShardDownError):
+            sharded.align(names, 0.0, 5.0, 1.0)
+
+
+class TestReviveResyncFailure:
+    """``revive(resync=True)`` with no healthy peer must count and warn —
+    the member re-enters service with stale data, which used to be silent."""
+
+    def test_counts_and_warns(self, caplog):
+        import logging
+
+        sharded = ShardedStore(shards=1, replication=1)
+        names = ("a.power",)
+        for t in range(6):
+            sharded.ingest("t", SampleBatch(float(t), names, np.ones(1)))
+        rs = sharded.replica_sets[0]
+        rs.mark_down(1)
+        for t in range(6, 9):
+            sharded.ingest("t", SampleBatch(float(t), names, np.ones(1)))
+        rs.mark_down(0)  # now every peer is down too
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.telemetry.distributed.replica"):
+            rs.revive(1, resync=True)
+        assert rs.resync_failures == 1
+        assert any("no healthy peer" in r.message for r in caplog.records)
+        assert sharded.health_metrics()["telemetry.shard.resync_failed"] == 1.0
+        # The stale member serves reads again (primary still down).
+        t, v = sharded.query("a.power")
+        assert len(t) == 6  # missed ticks 6..8 while down
+
+    def test_successful_resync_does_not_count(self):
+        sharded = ShardedStore(shards=1, replication=1)
+        rs = sharded.replica_sets[0]
+        sharded.ingest("t", SampleBatch(0.0, ("a.s",), np.ones(1)))
+        rs.mark_down(1)
+        sharded.ingest("t", SampleBatch(1.0, ("a.s",), np.ones(1)))
+        rs.revive(1, resync=True)  # healthy primary available
+        assert rs.resync_failures == 0
+
+    def test_unreplicated_revive_stays_silent(self, caplog):
+        import logging
+
+        # replication=0 chaos kill/revive cycles have no peer by design;
+        # they must not inflate the failure counter or spam warnings.
+        sharded = ShardedStore(shards=1, replication=0)
+        rs = sharded.replica_sets[0]
+        sharded.ingest("t", SampleBatch(0.0, ("a.s",), np.ones(1)))
+        rs.mark_down(0)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.telemetry.distributed.replica"):
+            rs.revive(0, resync=True)
+        assert rs.resync_failures == 0
+        assert not caplog.records

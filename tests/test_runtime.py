@@ -1,0 +1,484 @@
+"""Tests for the process-parallel shard runtime: shared-memory rings,
+worker lifecycle (crash / detect / restart / replay), backpressure, durable
+checkpointing, and bit-for-bit parity with the in-process sharded store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShardDownError
+from repro.oda import DataCenter
+from repro.telemetry import (
+    ParallelShardRuntime,
+    RuntimeConfig,
+    SampleBatch,
+    SampleRing,
+    ShardedStore,
+    TelemetrySystem,
+    TimeSeriesStore,
+)
+
+NAMES = tuple(f"cluster.rack{r}.node{n}.power" for r in range(2) for n in range(6))
+
+
+def make_batches(n_batches: int = 50, names: tuple = NAMES, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [
+        SampleBatch(float(t), names, rng.random(len(names)))
+        for t in range(n_batches)
+    ]
+
+
+@pytest.fixture
+def parallel_store(request):
+    """Factory for parallel ShardedStores that are always closed."""
+    opened = []
+
+    def build(shards: int, replication: int = 0, **cfg) -> ShardedStore:
+        store = ShardedStore(
+            shards=shards,
+            replication=replication,
+            parallel=True,
+            parallel_config=RuntimeConfig(**cfg) if cfg else None,
+        )
+        opened.append(store)
+        return store
+
+    yield build
+    for store in opened:
+        store.close()
+
+
+def _consume_one_slot(ring, conn):
+    """Child-process half of the ring sharing test."""
+    names_id, time, view = ring.read_slot(0)
+    conn.send((names_id, time, np.asarray(view).copy()))
+    ring.mark_applied(1)
+    ring.mark_acked(1)
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# The shared-memory ring itself
+# ---------------------------------------------------------------------------
+class TestSampleRing:
+    def test_push_read_ack_roundtrip(self):
+        ring = SampleRing(capacity=4, slot_width=8)
+        values = np.arange(3.0)
+        assert ring.try_push(7, 1.5, values)
+        assert ring.head == 1 and ring.backlog == 1
+        names_id, time, view = ring.read_slot(0)
+        assert names_id == 7 and time == 1.5
+        np.testing.assert_array_equal(view, values)
+        ring.mark_applied(1)
+        ring.mark_acked(1)
+        assert ring.backlog == 0 and ring.unacked == 0
+        assert ring.free_slots == 4
+
+    def test_full_ring_rejects_until_acked(self):
+        ring = SampleRing(capacity=2, slot_width=4)
+        assert ring.try_push(0, 0.0, np.ones(1))
+        assert ring.try_push(0, 1.0, np.ones(1))
+        assert not ring.try_push(0, 2.0, np.ones(1))  # full: unacked == cap
+        ring.mark_applied(1)
+        assert not ring.try_push(0, 2.0, np.ones(1))  # applied != reclaimed
+        ring.mark_acked(1)
+        assert ring.try_push(0, 2.0, np.ones(1))  # slot reclaimed at ack
+
+    def test_slot_wraparound_preserves_data(self):
+        ring = SampleRing(capacity=2, slot_width=4)
+        for t in range(7):
+            assert ring.try_push(t, float(t), np.full(2, float(t)))
+            _, time, view = ring.read_slot(t)
+            assert time == float(t)
+            np.testing.assert_array_equal(view, np.full(2, float(t)))
+            ring.mark_applied(t + 1)
+            ring.mark_acked(t + 1)
+
+    def test_oversized_and_invalid_pushes_rejected(self):
+        ring = SampleRing(capacity=2, slot_width=4)
+        with pytest.raises(ValueError):
+            ring.try_push(0, 0.0, np.ones(5))  # wider than a slot
+        with pytest.raises(ValueError):
+            SampleRing(capacity=0, slot_width=4)
+
+    def test_ring_is_shared_with_child_process(self):
+        # Workers receive the ring through Process args: the NumPy views
+        # are dropped for transfer and rebuilt over the *same* shared
+        # RawArrays on the other side, so a child's acks and a parent's
+        # pushes are visible to each other.
+        import multiprocessing as mp
+
+        ring = SampleRing(capacity=4, slot_width=8)
+        ring.try_push(3, 9.0, np.array([1.0, 2.0]))
+        parent, child = mp.Pipe()
+        proc = mp.Process(target=_consume_one_slot, args=(ring, child))
+        proc.start()
+        child.close()
+        names_id, time, values = parent.recv()
+        proc.join(timeout=10.0)
+        assert (names_id, time) == (3, 9.0)
+        np.testing.assert_array_equal(values, [1.0, 2.0])
+        assert ring.applied == 1 and ring.acked == 1  # child's marks visible
+        assert ring.free_slots == 4
+
+
+# ---------------------------------------------------------------------------
+# Parity: parallel mode must be indistinguishable from in-process sharding
+# ---------------------------------------------------------------------------
+@st.composite
+def ingest_runs(draw):
+    pool = draw(st.lists(
+        st.sampled_from([f"m{i}.s" for i in range(12)]),
+        min_size=1, max_size=8, unique=True,
+    ))
+    n_batches = draw(st.integers(min_value=1, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    dt = draw(st.floats(min_value=0.25, max_value=7.5))
+    rng = np.random.default_rng(seed)
+    names = tuple(pool)
+    return [
+        SampleBatch(round(t * dt, 6), names, rng.random(len(names)))
+        for t in range(n_batches)
+    ]
+
+
+class TestParallelParity:
+    @given(runs=ingest_runs(), shards=st.sampled_from([1, 2, 8]))
+    @settings(max_examples=12, deadline=None)
+    def test_queries_bit_identical_to_in_process(self, runs, shards):
+        inproc = ShardedStore(shards=shards, replication=0)
+        par = ShardedStore(shards=shards, replication=0, parallel=True)
+        try:
+            for batch in runs:
+                inproc.ingest("t", batch)
+                par.ingest("t", batch)
+            par.runtime.drain()
+            until = runs[-1].time + 1.0
+            step = max(until / 7.0, 0.5)
+            assert par.names() == inproc.names()
+            for name in inproc.names():
+                t0, v0 = inproc.query(name)
+                t1, v1 = par.query(name)
+                np.testing.assert_array_equal(t0, t1)
+                np.testing.assert_array_equal(v0, v1)
+                for agg in ("mean", "max", "p95", "rate"):
+                    g0, r0 = inproc.resample(name, 0.0, until, step, agg=agg)
+                    g1, r1 = par.resample(name, 0.0, until, step, agg=agg)
+                    np.testing.assert_array_equal(g0, g1)
+                    np.testing.assert_array_equal(r0, r1)
+            grid0, m0 = inproc.align(inproc.names(), 0.0, until, step)
+            grid1, m1 = par.align(par.names(), 0.0, until, step)
+            np.testing.assert_array_equal(grid0, grid1)
+            np.testing.assert_array_equal(m0, m1)
+        finally:
+            par.close()
+
+    def test_store_config_mirrored_into_workers(self, parallel_store):
+        par = parallel_store(2)
+        inproc = ShardedStore(shards=2)
+        for batch in make_batches(30):
+            par.ingest("t", batch)
+            inproc.ingest("t", batch)
+        par.runtime.drain()
+        rs = par.replica_sets[0]
+        assert rs.primary.flush_threshold == inproc.replica_sets[0].primary.flush_threshold
+        assert NAMES[0] in par
+        assert len(par.select("cluster.rack0.*")) == len(inproc.select("cluster.rack0.*"))
+        assert par.latest(NAMES[0]) == inproc.latest(NAMES[0])
+        assert par.value_at(NAMES[0], 10.0) == inproc.value_at(NAMES[0], 10.0)
+
+    def test_duplicate_timestamps_match(self, parallel_store):
+        # Last-writer-wins on equal timestamps must survive the columnar
+        # batched apply in the worker.
+        par = parallel_store(1)
+        inproc = ShardedStore(shards=1)
+        rng = np.random.default_rng(5)
+        times = [0.5, 1.0, 1.0, 2.0, 3.0, 3.0]
+        for t in times:
+            batch = SampleBatch(t, ("a.s", "b.s"), rng.random(2))
+            par.ingest("t", batch)
+            inproc.ingest("t", batch)
+        par.runtime.drain()
+        for name in ("a.s", "b.s"):
+            t0, v0 = inproc.query(name)
+            t1, v1 = par.query(name)
+            np.testing.assert_array_equal(t0, t1)
+            np.testing.assert_array_equal(v0, v1)
+
+
+# ---------------------------------------------------------------------------
+# Worker lifecycle: crash, detection, restart, replay, durability
+# ---------------------------------------------------------------------------
+class TestWorkerLifecycle:
+    def test_crash_detected_and_restarted(self, parallel_store):
+        par = parallel_store(2)
+        for batch in make_batches(20):
+            par.ingest("t", batch)
+        par.runtime.drain()
+        par.runtime.crash_worker(0)
+        assert not par.runtime.worker_alive(0)
+        crashed = par.runtime.check_workers()
+        assert crashed == [0]
+        assert par.runtime.worker_crashes == 1
+        assert par.runtime.worker_restarts == 1
+        assert par.runtime.worker_alive(0)
+
+    def test_on_crash_callback_fires(self, parallel_store):
+        par = parallel_store(1)
+        seen = []
+        par.runtime.on_crash = seen.append
+        par.runtime.crash_worker(0)
+        par.runtime.check_workers()
+        assert seen == [0]
+
+    def test_auto_restart_disabled_leaves_worker_down(self, parallel_store):
+        par = parallel_store(1, auto_restart=False)
+        par.runtime.crash_worker(0)
+        assert par.runtime.check_workers() == [0]
+        assert not par.runtime.worker_alive(0)
+        assert par.runtime.worker_restarts == 0
+
+    def test_restart_replays_unacked_backlog(self, parallel_store):
+        # durability="none": data already applied lives only in the dead
+        # worker's memory and is lost, but the un-acked ring window
+        # survives the crash and replays into the replacement — nothing
+        # still sitting in the ring is ever dropped.
+        par = parallel_store(1, ring_capacity=64)
+        for batch in make_batches(10):
+            par.ingest("t", batch)
+        par.runtime.drain()
+        par.runtime.crash_worker(0)
+        # Pushes while the worker is dead pile up in the shared ring.
+        for batch in make_batches(10, seed=1)[5:]:
+            batch = SampleBatch(batch.time + 100.0, batch.names, batch.values)
+            par.ingest("t", batch)
+        par.runtime.check_workers()  # detect + restart
+        par.runtime.drain()
+        t, _ = par.query(NAMES[0])
+        np.testing.assert_array_equal(t, [105.0, 106.0, 107.0, 108.0, 109.0])
+        assert par.runtime.replayed_slots >= 5
+
+    def test_checkpoint_durability_loses_no_acked_batch(self, tmp_path):
+        par = ShardedStore(
+            shards=2, replication=1, parallel=True,
+            parallel_config=RuntimeConfig(
+                durability="checkpoint",
+                checkpoint_dir=str(tmp_path),
+                checkpoint_interval=8,
+                ring_capacity=64,
+            ),
+        )
+        try:
+            for batch in make_batches(40):
+                par.ingest("t", batch)
+            par.runtime.drain()
+            acked_before = [r.acked for r in par.runtime.rings]
+            par.runtime.crash_worker(0)
+            par.runtime.crash_worker(1)
+            par.runtime.check_workers()
+            for batch in make_batches(50, seed=3)[40:]:
+                par.ingest("t", batch)
+            par.runtime.drain()
+            # Every acknowledged batch survived the crash...
+            for name in NAMES:
+                t, _ = par.query(name)
+                assert len(t) == 50
+            # ...and the restart resumed from at least the acked frontier.
+            assert all(
+                r.acked >= a for r, a in zip(par.runtime.rings, acked_before)
+            )
+        finally:
+            par.close()
+
+    def test_close_drains_pending_batches(self):
+        par = ShardedStore(shards=2, parallel=True)
+        for batch in make_batches(25):
+            par.ingest("t", batch)
+        par.close()  # graceful drain: nothing pushed may be lost
+        assert all(r.backlog == 0 and r.unacked == 0 for r in par.runtime.rings)
+        par.close()  # idempotent
+
+    def test_watchdog_sweep_traces_and_restarts(self):
+        # No ingest traffic: the supervisor's periodic sweep is the only
+        # detector, so the crash must surface as a traced watchdog event.
+        from repro.oda.supervision import Supervisor
+        from repro.simulation.engine import Simulator
+        from repro.simulation.trace import TraceLog
+
+        sim = Simulator()
+        trace = TraceLog()
+        runtime = ParallelShardRuntime(2, 0, {})
+        try:
+            sup = Supervisor(sim, trace=trace).start()
+            sup.watch_runtime(runtime)
+            sup.watch_runtime(runtime)  # idempotent
+            assert sup.runtimes == [runtime]
+            runtime.crash_worker(1)
+            sim.run(601.0)  # past a watchdog period (300 s)
+            events = trace.select(
+                source="supervisor.runtime", kind="worker_crash"
+            )
+            assert len(events) == 1
+            assert events[0].detail["shard"] == 1
+            assert events[0].detail["restarted"] is True
+            assert runtime.worker_alive(1)
+            values = sup.metrics_registry.snapshot()
+            assert values["oda.supervisor.worker_crashes"] == 1.0
+            assert values["oda.supervisor.worker_restarts"] == 1.0
+        finally:
+            runtime.close()
+
+    def test_supervised_datacenter_survives_mid_run_crash(self, tmp_path):
+        dc = DataCenter(
+            seed=11, racks=2, nodes_per_rack=2, shards=2, replication=1,
+            parallel=True,
+            parallel_config=RuntimeConfig(
+                durability="checkpoint", checkpoint_dir=str(tmp_path),
+                checkpoint_interval=8,
+            ),
+        )
+        try:
+            dc.enable_supervision()
+            dc.run(days=0.1)
+            t0, _ = dc.metric("facility.pue")
+            dc.shard_fault().crash_worker(0, now=dc.sim.now)
+            dc.run(seconds=1800)
+            # Either the ingest path's self-repair or the watchdog sweep
+            # wins the race — both end in exactly one detected crash and
+            # one replacement worker, with collection uninterrupted.
+            rt = dc.store.runtime
+            assert rt.worker_crashes == 1 and rt.worker_restarts == 1
+            t1, _ = dc.metric("facility.pue")
+            assert len(t1) > len(t0)  # ingest kept flowing after restart
+            assert "oda_supervisor_worker_crashes 1.0" in dc.prometheus()
+        finally:
+            dc.close()
+
+
+# ---------------------------------------------------------------------------
+# Backpressure and chunking
+# ---------------------------------------------------------------------------
+class TestBackpressure:
+    def test_full_ring_drops_after_timeout_never_raises(self, parallel_store):
+        par = parallel_store(
+            1, ring_capacity=4, push_timeout=0.05, auto_restart=False,
+        )
+        par.runtime.crash_worker(0)  # nobody drains: ring fills for real
+        for batch in make_batches(12):
+            par.ingest("t", batch)  # must not raise
+        rt = par.runtime
+        assert rt.dropped_batches == 8
+        assert rt.dropped_samples == 8 * len(NAMES)
+        assert rt.backpressure_waits >= 8
+        metrics = rt.health_metrics()
+        assert metrics["telemetry.runtime.dropped_batches"] == 8.0
+        assert metrics["telemetry.runtime.backlog"] == 4.0
+
+    def test_wide_batches_chunk_across_slots(self, parallel_store):
+        par = parallel_store(1, slot_width=8)
+        names = tuple(f"wide.m{i}" for i in range(20))  # 3 slots at width 8
+        rng = np.random.default_rng(2)
+        expect = {}
+        for t in range(5):
+            values = rng.random(len(names))
+            par.ingest("t", SampleBatch(float(t), names, values))
+            expect[t] = values
+        par.runtime.drain()
+        assert par.runtime.pushed_slots == 15
+        for i, name in enumerate(names):
+            t, v = par.query(name)
+            np.testing.assert_array_equal(
+                v, [expect[tick][i] for tick in range(5)]
+            )
+
+
+# ---------------------------------------------------------------------------
+# Faults through the proxy layer
+# ---------------------------------------------------------------------------
+class TestParallelFaults:
+    def test_down_member_misses_writes_until_resync(self, parallel_store):
+        par = parallel_store(1, replication=1)
+        batches = make_batches(30)
+        for batch in batches[:10]:
+            par.ingest("t", batch)
+        rs = par.replica_sets[0]
+        rs.mark_down(1)
+        for batch in batches[10:20]:
+            par.ingest("t", batch)
+        assert rs.missed_writes[1] == 10 * len(NAMES)  # counted per sample
+        rs.revive(1, resync=True)
+        for batch in batches[20:]:
+            par.ingest("t", batch)
+        par.runtime.drain()
+        rs.mark_down(0)  # force reads onto the resynced replica
+        t, _ = par.query(NAMES[0])
+        assert len(t) == 30  # resync recovered the missed window
+
+    def test_fully_down_shard_raises_and_counts_losses(self, parallel_store):
+        par = parallel_store(1, replication=0)
+        par.ingest("t", make_batches(1)[0])
+        rs = par.replica_sets[0]
+        rs.mark_down(0)
+        par.ingest("t", make_batches(2)[1])
+        assert rs.lost_batches == 1
+        assert rs.lost_samples == len(NAMES)
+        with pytest.raises(ShardDownError):
+            par.query(NAMES[0])
+
+    def test_resync_failure_surfaces_from_worker(self, parallel_store):
+        par = parallel_store(1, replication=1)
+        for batch in make_batches(5):
+            par.ingest("t", batch)
+        rs = par.replica_sets[0]
+        rs.mark_down(1)
+        rs.mark_down(0)
+        rs.revive(1, resync=True)  # no healthy peer in the worker either
+        assert rs.resync_failures == 1
+        assert par.health_metrics()["telemetry.shard.resync_failed"] == 1.0
+
+    def test_degrade_is_reproducible_across_restart(self, parallel_store):
+        par = parallel_store(1, replication=1)
+        rs = par.replica_sets[0]
+        rs.degrade(0.5, np.random.default_rng(9), member=1)
+        for batch in make_batches(20):
+            par.ingest("t", batch)
+        par.runtime.drain()
+        dropped_before = rs.dropped_writes[1]
+        assert dropped_before > 0
+        # Restart mirrors the fault state (including the drawn seed) into
+        # the replacement worker: degradation keeps applying.
+        par.runtime.crash_worker(0)
+        par.runtime.check_workers()
+        for batch in make_batches(40, seed=4)[20:]:
+            par.ingest("t", batch)
+        par.runtime.drain()
+        assert rs.dropped_writes[1] > dropped_before
+
+
+# ---------------------------------------------------------------------------
+# Configuration guard rails
+# ---------------------------------------------------------------------------
+class TestRuntimeValidation:
+    def test_custom_store_factory_rejected_in_parallel(self):
+        with pytest.raises(ConfigurationError):
+            ShardedStore(
+                shards=2, parallel=True, store_factory=TimeSeriesStore,
+            )
+
+    def test_parallel_requires_shards_in_telemetry_system(self):
+        with pytest.raises(ConfigurationError):
+            TelemetrySystem(parallel=True)
+
+    def test_checkpoint_durability_requires_dir(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(durability="checkpoint")
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(durability="paxos")
+
+    def test_runtime_rejects_bad_topology(self):
+        with pytest.raises(ConfigurationError):
+            ParallelShardRuntime(0, 0, {})
