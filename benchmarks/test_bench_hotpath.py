@@ -37,24 +37,30 @@ SCALES: Dict[str, Dict] = {
         resample_samples=100_000, resample_buckets=500,
         align_series=8, align_samples=50_000,
         bus_subs=24, bus_publishes=3_000,
+        rollup_days=30, rollup_period_s=2.0,
         min_ingest_speedup=1.2, min_resample_speedup=1.2,
         min_align_speedup=1.2, min_bus_speedup=1.2,
+        min_rollup_speedup=5.0, min_archive_ratio=4.0,
     ),
     "medium": dict(
         series=500, batches=600, retention_batches=150,
         resample_samples=400_000, resample_buckets=1_000,
         align_series=12, align_samples=200_000,
         bus_subs=40, bus_publishes=10_000,
+        rollup_days=60, rollup_period_s=1.0,
         min_ingest_speedup=3.0, min_resample_speedup=2.0,
         min_align_speedup=2.0, min_bus_speedup=1.5,
+        min_rollup_speedup=5.0, min_archive_ratio=4.0,
     ),
     "large": dict(
         series=1_000, batches=1_000, retention_batches=250,
         resample_samples=1_000_000, resample_buckets=1_000,
         align_series=16, align_samples=400_000,
         bus_subs=50, bus_publishes=20_000,
+        rollup_days=120, rollup_period_s=1.0,
         min_ingest_speedup=5.0, min_resample_speedup=3.0,
         min_align_speedup=3.0, min_bus_speedup=2.0,
+        min_rollup_speedup=5.0, min_archive_ratio=4.0,
     ),
 }
 
@@ -299,6 +305,92 @@ def test_bench_bus_routing():
     assert speedup >= P["min_bus_speedup"], RESULTS["bus"]
 
 
+def _telemetry_series(days: float, period: float, seed: int = 7):
+    """Year-scale-ish telemetry: regular cadence, quarter-rounded values
+    (what a real power/temperature sensor emits)."""
+    times = np.arange(0.0, days * 86400.0, period)
+    rng = np.random.default_rng(seed)
+    values = np.round(rng.normal(220.0, 8.0, times.size) * 4) / 4
+    return times, values
+
+
+def test_bench_rollup_tier_serving():
+    """1h-bucket query over a month-plus of samples: materialized rollup
+    tiers vs reducing the raw array on every query."""
+    days = float(P["rollup_days"])
+    times, values = _telemetry_series(days, P["rollup_period_s"])
+    tiered = TimeSeriesStore(rollups=True)
+    tiered.append_many("rack.power", times, values)
+    raw = TimeSeriesStore()
+    raw.append_many("rack.power", times, values)
+    until = days * 86400.0
+
+    def run_tiered():
+        return tiered.resample("rack.power", 0.0, until, 3600.0, agg="mean")
+
+    def run_raw():
+        return raw.resample("rack.power", 0.0, until, 3600.0, agg="mean")
+
+    # Tier-served answers must be bit-identical to the raw reduction.
+    g1, r1 = run_tiered()
+    g2, r2 = run_raw()
+    np.testing.assert_array_equal(r1.view(np.uint64), r2.view(np.uint64))
+
+    tiered_s = _best_of(run_tiered, repeats=5)
+    raw_s = _best_of(run_raw, repeats=5)
+    snap = tiered.metrics.snapshot()
+    speedup = raw_s / tiered_s
+    RESULTS["rollup"] = {
+        "days": days,
+        "samples": int(times.size),
+        "query_step_s": 3600.0,
+        "buckets": int(r1.size),
+        "raw_s": round(raw_s, 5),
+        "tiered_s": round(tiered_s, 5),
+        "speedup": round(speedup, 2),
+        "tier_hits": snap.get("telemetry.rollup.tier_hits", 0.0),
+        "buckets_finalized": snap.get(
+            "telemetry.rollup.buckets_finalized", 0.0),
+    }
+    assert snap.get("telemetry.rollup.tier_hits", 0.0) > 0, RESULTS["rollup"]
+    assert speedup >= P["min_rollup_speedup"], RESULTS["rollup"]
+
+
+def test_bench_archive_cold_tier():
+    """Cold-tier columnar compression ratio + decode (scan) throughput."""
+    days = float(P["rollup_days"])
+    times, values = _telemetry_series(days, P["rollup_period_s"], seed=9)
+    store = TimeSeriesStore(archive=True, retention=3600.0)
+    store.append_many("rack.power", times, values)
+
+    archive = store.archive
+    assert archive.chunk_count() > 0
+    ratio = archive.compression_ratio
+
+    def run_scan():
+        return archive.scan("rack.power", float("-inf"), float("inf"))
+
+    scan_t, scan_v = run_scan()
+    scan_s = _best_of(run_scan, repeats=5)
+
+    # Demotion conserves samples: cold + hot covers everything ingested.
+    hot_t, _ = store.query("rack.power")
+    assert scan_t.size + np.sum(hot_t > scan_t[-1]) == times.size
+
+    RESULTS["archive"] = {
+        "days": days,
+        "samples": int(times.size),
+        "cold_samples": int(scan_t.size),
+        "chunks": archive.chunk_count(),
+        "raw_bytes": archive.raw_bytes,
+        "encoded_bytes": archive.encoded_bytes,
+        "compression_ratio": round(ratio, 2),
+        "scan_s": round(scan_s, 5),
+        "scan_samples_per_sec": round(scan_t.size / scan_s),
+    }
+    assert ratio >= P["min_archive_ratio"], RESULTS["archive"]
+
+
 def test_write_bench_artifact(write_artifact):
     """Runs last in this module: persist the perf trajectory artifact."""
     RESULTS["env"] = {
@@ -308,5 +400,6 @@ def test_write_bench_artifact(write_artifact):
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     write_artifact("BENCH_telemetry.json", json.dumps(RESULTS, indent=2) + "\n")
-    missing = {"ingest", "resample", "align", "bus"} - set(RESULTS)
+    missing = ({"ingest", "resample", "align", "bus", "rollup", "archive"}
+               - set(RESULTS))
     assert not missing, f"benchmarks did not run: {missing}"

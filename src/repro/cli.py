@@ -63,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run each shard's replica set in its own "
                                "worker process fed by shared-memory ring "
                                "buffers (requires --shards)")
+    simulate.add_argument("--rollups", action="store_true",
+                          help="maintain materialized downsample tiers "
+                               "(10s/1m/1h mean-min-max-sum-count) at ingest "
+                               "so long resample/align queries are served "
+                               "pre-aggregated")
+    simulate.add_argument("--archive", action="store_true",
+                          help="demote raw samples past retention into an "
+                               "immutable compressed columnar cold tier "
+                               "instead of deleting them")
+    simulate.add_argument("--retention", type=float, default=None,
+                          metavar="SECONDS",
+                          help="hot-tier retention window (with --archive, "
+                               "expired samples are demoted, not dropped)")
     simulate.add_argument("--save-store", metavar="PATH.npz",
                           help="archive the telemetry store (a sharded run "
                                "writes a manifest plus one file per shard)")
@@ -173,6 +186,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed, racks=args.racks, nodes_per_rack=args.nodes_per_rack,
         enable_faults=args.faults, shards=args.shards,
         replication=args.replication, parallel=args.parallel,
+        rollups=args.rollups, archive=args.archive,
+        store_retention=args.retention,
     )
     try:
         requests = dc.generate_workload(
@@ -202,6 +217,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"{runtime.dropped_batches} dropped, "
                 f"{runtime.worker_crashes} crashes"
             )
+        if args.rollups or args.archive:
+            # Tier stats live on the member stores; worker-process members
+            # keep them in-process, so report what is directly reachable.
+            if args.shards is None:
+                stores = [dc.store]
+            elif not args.parallel:
+                stores = [rs.read_store() for rs in dc.store.replica_sets]
+            else:
+                stores = []
+            if stores and args.rollups:
+                print(
+                    "rollups: "
+                    f"{sum(s.rollups.buckets_finalized for s in stores)} "
+                    "buckets materialized, "
+                    f"{sum(s.rollups.tier_hits for s in stores)} queries "
+                    "served entirely from tiers"
+                )
+            if stores and args.archive:
+                encoded = sum(s.archive.encoded_bytes for s in stores)
+                raw = sum(s.archive.raw_bytes for s in stores)
+                ratio = (f"{raw / encoded:.1f}x compression" if encoded
+                         else "nothing demoted yet")
+                print(
+                    "cold tier: "
+                    f"{sum(s.archive.chunk_count() for s in stores)} chunks, "
+                    f"{sum(s.archive.samples() for s in stores)} samples, "
+                    f"{ratio}"
+                )
         if args.save_store:
             count = save_store(dc.store, args.save_store)
             print(f"archived {count} series to {args.save_store}")

@@ -77,6 +77,12 @@ class DataCenter:
         :mod:`repro.telemetry.runtime`).  Call :meth:`close` when done for
         a graceful drain; ``enable_supervision()`` automatically puts the
         workers under watchdog crash detection.
+    rollups / archive:
+        Enable the store's materialized downsample cascade and compressed
+        columnar cold tier (bool/dict/config, same forms as
+        :class:`~repro.telemetry.store.TimeSeriesStore`) — long queries
+        are served from pre-aggregated tiers and expired raw samples are
+        demoted to cold chunks instead of deleted.
     """
 
     def __init__(
@@ -101,6 +107,8 @@ class DataCenter:
         replication: int = 0,
         parallel: bool = False,
         parallel_config=None,
+        rollups=None,
+        archive=None,
     ):
         self.rng_pool = RngPool(seed)
         self.sim = Simulator(start_time=start_time)
@@ -131,6 +139,7 @@ class DataCenter:
             store_retention=store_retention, shards=shards,
             replication=replication, parallel=parallel,
             parallel_config=parallel_config,
+            rollups=rollups, archive=archive,
         )
         self.runtime: Optional[NodeRuntime] = None
         self.noise: Optional[OsNoiseInjector] = None

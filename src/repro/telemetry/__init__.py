@@ -2,13 +2,20 @@
 
 Mirrors the architecture of production HPC monitoring stacks (LDMS, DCDB,
 ExaMon): samplers scrape substrate components, a pub/sub bus transports
-sample batches, a columnar time-series store archives them, and an alert
-engine implements threshold-based descriptive alerting.  The pipeline is
+sample batches, a columnar time-series store archives them — optionally
+tiered into materialized rollup cascades (:mod:`repro.telemetry.rollup`)
+and a compressed columnar cold tier (:mod:`repro.telemetry.archive`) —
+and an alert engine implements threshold-based descriptive alerting.  The pipeline is
 fault-tolerant end to end — raising sources back off, raising sinks are
 quarantined with failed deliveries parked in a dead-letter queue — and
 publishes its own health metrics (:mod:`repro.telemetry.health`).
 """
 
+from repro.telemetry.archive import (
+    ArchiveConfig,
+    ArchiveTier,
+    ColdChunk,
+)
 from repro.telemetry.alerts import (
     Alert,
     AlertEngine,
@@ -45,6 +52,11 @@ from repro.telemetry.runtime import (
 from repro.telemetry.health import HEALTH_TOPIC, HealthMonitor
 from repro.telemetry.metric import MetricKind, MetricRegistry, MetricSpec, Unit
 from repro.telemetry.persistence import load_store, save_store
+from repro.telemetry.rollup import (
+    SERVABLE_AGGREGATIONS,
+    RollupConfig,
+    RollupEngine,
+)
 from repro.telemetry.sample import SampleBatch, merge_batches
 from repro.telemetry.store import (
     AGGREGATIONS,
@@ -57,6 +69,12 @@ from repro.telemetry.store import (
 )
 
 __all__ = [
+    "ArchiveConfig",
+    "ArchiveTier",
+    "ColdChunk",
+    "RollupConfig",
+    "RollupEngine",
+    "SERVABLE_AGGREGATIONS",
     "Alert",
     "AlertEngine",
     "AlertRule",

@@ -273,6 +273,11 @@ class TelemetrySystem:
     replicated ``replication`` times per shard) instead of a single
     :class:`~repro.telemetry.store.TimeSeriesStore`; collector output is
     routed through it transparently and every read API is unchanged.
+
+    ``rollups`` / ``archive`` enable the materialized downsample cascade
+    and the compressed columnar cold tier on the store (single or
+    sharded), in the same bool/dict/config forms accepted by
+    :class:`~repro.telemetry.store.TimeSeriesStore`.
     """
 
     def __init__(
@@ -285,6 +290,8 @@ class TelemetrySystem:
         replication: int = 0,
         parallel: bool = False,
         parallel_config=None,
+        rollups=None,
+        archive=None,
     ):
         from repro.telemetry.store import TimeSeriesStore
 
@@ -309,12 +316,16 @@ class TelemetrySystem:
                 flush_threshold=store_flush_threshold,
                 parallel=parallel,
                 parallel_config=parallel_config,
+                rollups=rollups,
+                archive=archive,
             )
         else:
             self.store = TimeSeriesStore(
                 retention=store_retention,
                 retention_slack=store_retention_slack,
                 flush_threshold=store_flush_threshold,
+                rollups=rollups,
+                archive=archive,
             )
         self.agents: List[CollectionAgent] = []
         self._alerts = None

@@ -185,10 +185,15 @@ class FederatedQueryEngine:
         grid = edges[:-1]
         columns = []
         for name in names:
-            times, values = store_of(shard_of(name)).query(
-                name, since, until
-            )
-            v = resample_onto(times, values, edges, agg, engine)
+            store = store_of(shard_of(name))
+            column = getattr(store, "resample_column", None)
+            if column is not None:
+                # Planner-aware member (rollup tiers serve eligible
+                # buckets; raw/cold reduction otherwise — same bits).
+                v = column(name, since, until, step, agg, engine, edges)
+            else:
+                times, values = store.query(name, since, until)
+                v = resample_onto(times, values, edges, agg, engine)
             if fill == "ffill":
                 v = forward_fill(v)
             columns.append(v)

@@ -141,9 +141,26 @@ class ReplicaSet:
             if source is not None:
                 source.flush()
                 fresh = self._factory()
+                both_tiered = (
+                    getattr(source, "archive", None) is not None
+                    and getattr(fresh, "archive", None) is not None
+                )
                 for name in source.names():
-                    times, values = source.query(name)
-                    fresh.append_many(name, times, values)
+                    if both_tiered and name in source.archive:
+                        # Ship cold history as already-encoded chunks (no
+                        # decode/re-encode round trip), then copy only the
+                        # hot tail; rollups rebuild from the merged tiers
+                        # on observe, bit-identical by construction.
+                        fresh.archive.adopt(name, source.archive.chunks(name))
+                        buf = source.series(name)
+                        fresh.append_many(
+                            name, buf.times.copy(), buf.values.copy()
+                        )
+                    else:
+                        # Cold-aware query: decoded archive history (if
+                        # any) plus hot samples, replayed as raw.
+                        times, values = source.query(name)
+                        fresh.append_many(name, times, values)
                 self.members[member] = fresh
                 self.missed_writes[member] = 0
             elif self._down[member] and self.replication > 0:

@@ -50,6 +50,24 @@ _SPLIT_CACHE_CAP = 1024
 _SplitPlan = List[Tuple[int, Tuple[str, ...], np.ndarray]]
 
 
+def _config_dict(value, kind: str):
+    """Normalize a rollups/archive knob to a picklable form (None, True,
+    or a plain dict) so it can ship to shard worker processes."""
+    if not value:
+        return None
+    if value is True:
+        return True
+    if isinstance(value, dict):
+        return dict(value)
+    to_dict = getattr(value, "to_dict", None)
+    if to_dict is None:
+        raise ConfigurationError(
+            f"{kind} must be a bool, a dict, or a config object with "
+            f"to_dict(), got {type(value).__name__}"
+        )
+    return to_dict()
+
+
 class ShardedStore:
     """N hash-partitioned, optionally replicated, time-series shards.
 
@@ -82,6 +100,11 @@ class ShardedStore:
     parallel_config:
         Optional :class:`~repro.telemetry.runtime.RuntimeConfig` tuning
         ring sizes, backpressure timeout and durability.
+    rollups / archive:
+        Per-member rollup cascade / compressed cold tier, identical in
+        meaning to :class:`~repro.telemetry.store.TimeSeriesStore`.
+        Accepted in bool/dict/config form; in parallel mode the config is
+        normalized to a picklable dict and rebuilt inside each worker.
     """
 
     def __init__(
@@ -95,6 +118,8 @@ class ShardedStore:
         store_factory: Optional[Callable[[], TimeSeriesStore]] = None,
         parallel: bool = False,
         parallel_config=None,
+        rollups=None,
+        archive=None,
     ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -107,6 +132,8 @@ class ShardedStore:
         self.retention = retention
         self.retention_slack = retention_slack
         self.flush_threshold = flush_threshold
+        self.rollups = rollups
+        self.archive = archive
         self.parallel = parallel
         self.runtime = None
         if store_factory is None:
@@ -114,6 +141,8 @@ class ShardedStore:
                 retention=retention,
                 retention_slack=retention_slack,
                 flush_threshold=flush_threshold,
+                rollups=rollups,
+                archive=archive,
             )
         elif parallel:
             raise ConfigurationError(
@@ -133,6 +162,8 @@ class ShardedStore:
                     "retention": retention,
                     "retention_slack": retention_slack,
                     "flush_threshold": flush_threshold,
+                    "rollups": _config_dict(rollups, "rollups"),
+                    "archive": _config_dict(archive, "archive"),
                 },
                 config=parallel_config,
             )
@@ -149,6 +180,31 @@ class ShardedStore:
             OrderedDict()
         )
         self._metrics: Optional[MetricsRegistry] = None
+
+    # ------------------------------------------------------------------
+    # Configuration introspection
+    # ------------------------------------------------------------------
+    @property
+    def rollup_config(self):
+        """Normalized :class:`~repro.telemetry.rollup.RollupConfig` (or
+        ``None``) regardless of the bool/dict/config form passed in."""
+        from repro.telemetry.rollup import RollupConfig
+
+        val = _config_dict(self.rollups, "rollups")
+        if val is None:
+            return None
+        return RollupConfig() if val is True else RollupConfig.from_dict(val)
+
+    @property
+    def archive_config(self):
+        """Normalized :class:`~repro.telemetry.archive.ArchiveConfig` (or
+        ``None``) regardless of the bool/dict/config form passed in."""
+        from repro.telemetry.archive import ArchiveConfig
+
+        val = _config_dict(self.archive, "archive")
+        if val is None:
+            return None
+        return ArchiveConfig() if val is True else ArchiveConfig.from_dict(val)
 
     # ------------------------------------------------------------------
     # Routing

@@ -10,33 +10,71 @@ Format v2 also records the store configuration (``retention``,
 ``retention_slack``, ``flush_threshold``) so a reloaded store behaves like
 the one that was saved; v1 archives (no config) still load with defaults.
 
+Format v3 adds the tiered-storage state introduced with rollup cascades
+and the compressed cold tier:
+
+* the ``rollups`` / ``archive`` configuration dicts round-trip through the
+  header, so a reloaded store keeps demoting and pre-aggregating exactly
+  like the saved one,
+* cold chunks are persisted **still encoded** (delta-of-delta timestamps,
+  XOR-packed values) under ``__cold__::<name>::<i>::{tp,vb,vp}`` with
+  their codec parameters in the header — saving and loading never pays a
+  decode/re-encode round trip, and the on-disk size keeps the cold tier's
+  compression ratio,
+* materialized rollup tiers are persisted per series under
+  ``__rollup__::<name>::<ti>::{idx,sum,min,max,cnt}`` with cursors in the
+  header, so long-horizon rollup memory survives a reload even for ranges
+  whose raw samples were only ever held by the saved process.
+
+A v3 archive that references a cold chunk whose arrays are absent (a
+truncated or hand-edited file) loads **degraded instead of failing**: the
+chunk is skipped with a warning, counted in the reloaded store's
+``telemetry.archive.missing_chunks``, and queries fall back to whatever
+data remains.
+
 Sharded format: a :class:`~repro.telemetry.distributed.ShardedStore`
 deployment persists as one manifest ``.npz`` (header only: topology +
-shard file names) plus one ordinary store archive per shard next to it —
-``run.npz`` → ``run.shard0.npz`` … ``run.shard<N-1>.npz``.  Each shard
-archive is itself a valid single-store archive, so individual shards can
-be inspected with :func:`load_store` directly.  On load, series are routed
-through the reconstructed store's partitioner (placement is re-derived
-from names, not trusted from the files) and replicas are rebuilt by the
-normal write fan-out.
+shard file names + config) plus one ordinary store archive per shard next
+to it — ``run.npz`` → ``run.shard0.npz`` … ``run.shard<N-1>.npz``.  Each
+shard archive is itself a valid single-store archive, so individual
+shards can be inspected with :func:`load_store` directly.  On load,
+series are routed through the reconstructed store's partitioner
+(placement is re-derived from names, not trusted from the files) and
+replicas are rebuilt by the normal write fan-out; cold chunks and rollup
+state are installed on every member of the owning replica set.
+
+Parallel deployments (worker-process members) are saved through the
+member proxies, which merge cold and hot samples into one raw stream per
+series; the configuration still round-trips, so a reload re-demotes old
+samples into fresh cold chunks as retention advances.  (Worker-side
+checkpoints operate on the real member stores and keep full chunk/rollup
+fidelity.)
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import StoreError
+from repro.telemetry.archive import ColdChunk
 from repro.telemetry.store import TimeSeriesStore
 
 __all__ = ["save_store", "load_store"]
 
+log = logging.getLogger(__name__)
+
 _META_KEY = "__meta__"
-_FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
+
+#: Array keys making up one persisted cold chunk / rollup tier.
+_COLD_FIELDS = ("tp", "vb", "vp")
+_ROLLUP_FIELDS = ("idx", "sum", "min", "max", "cnt")
 
 
 def _encode_meta(meta: dict) -> np.ndarray:
@@ -54,11 +92,18 @@ def _read_meta(archive, path: str) -> dict:
     return meta
 
 
+def _tier_config_dict(store, attr: str) -> Optional[dict]:
+    cfg = getattr(store, attr, None)
+    return None if cfg is None else cfg.to_dict()
+
+
 def _config_meta(store) -> dict:
     return {
         "retention": store.retention,
         "retention_slack": store.retention_slack,
         "flush_threshold": store.flush_threshold,
+        "rollups": _tier_config_dict(store, "rollup_config"),
+        "archive": _tier_config_dict(store, "archive_config"),
     }
 
 
@@ -70,18 +115,62 @@ def _shard_paths(path: str, shards: int) -> List[str]:
 
 
 def _save_single(
-    store: TimeSeriesStore, path: str, names: Optional[Sequence[str]]
+    store, path: str, names: Optional[Sequence[str]]
 ) -> int:
     # Compact staged samples up front so the archive never misses in-flight
     # data (series() also flushes per read, but an explicit full flush keeps
     # the saved samples_ingested/flush counters consistent too).
     store.flush()
-    selected = list(names) if names is not None else store.names()
+    tier = getattr(store, "archive", None)
+    engine = getattr(store, "rollups", None)
+    # A worker-process proxy exposes the tier *configuration* but not the
+    # tier objects; its query() merges cold + hot, so the saved stream is
+    # complete and a reload re-demotes as retention advances.
+    merged_raw = tier is None and _tier_config_dict(store, "archive_config")
+    if names is not None:
+        selected = list(names)
+    else:
+        selected = store.names()
+        if tier is not None:
+            known = set(selected)
+            selected = sorted(
+                known.union(n for n in tier.names() if n not in known)
+            )
     payload = {}
+    cold_meta = {}
+    rollup_meta = {}
     for name in selected:
-        series = store.series(name)
-        payload[f"{name}::t"] = series.times.copy()
-        payload[f"{name}::v"] = series.values.copy()
+        if merged_raw:
+            times, values = store.query(name)
+            payload[f"{name}::t"] = times
+            payload[f"{name}::v"] = values
+            continue
+        if name in store:
+            series = store.series(name)
+            payload[f"{name}::t"] = series.times.copy()
+            payload[f"{name}::v"] = series.values.copy()
+        else:
+            # Cold-only series (all samples demoted, hot buffer never
+            # recreated after a load/resync): hot arrays are empty.
+            payload[f"{name}::t"] = np.empty(0)
+            payload[f"{name}::v"] = np.empty(0)
+        if tier is not None and name in tier:
+            metas = []
+            for i, chunk in enumerate(tier.chunks(name)):
+                metas.append(chunk.meta())
+                for field, arr in chunk.arrays().items():
+                    payload[f"__cold__::{name}::{i}::{field}"] = arr
+            cold_meta[name] = metas
+        if engine is not None:
+            tiers = []
+            for ti, (step, cursor, arrays) in enumerate(
+                engine.tier_state(name)
+            ):
+                tiers.append({"step": step, "cursor": int(cursor)})
+                for field, arr in arrays.items():
+                    payload[f"__rollup__::{name}::{ti}::{field}"] = arr
+            if tiers:
+                rollup_meta[name] = tiers
     meta = {
         "version": _FORMAT_VERSION,
         "kind": "store",
@@ -89,6 +178,10 @@ def _save_single(
         "samples": int(store.samples_ingested),
         **_config_meta(store),
     }
+    if cold_meta:
+        meta["cold"] = cold_meta
+    if rollup_meta:
+        meta["rollup_state"] = rollup_meta
     payload[_META_KEY] = _encode_meta(meta)
     np.savez_compressed(path, **payload)
     return len(selected)
@@ -126,8 +219,10 @@ def save_store(
     Accepts a :class:`TimeSeriesStore` or a
     :class:`~repro.telemetry.distributed.ShardedStore` (saved as a manifest
     plus one archive per shard).  Staged samples are flushed first, so an
-    archive always contains every ingested sample.  Returns the number of
-    series written.
+    archive always contains every ingested sample.  Cold chunks are saved
+    still-encoded and rollup tiers are saved materialized, so tiered
+    history survives the round trip.  Returns the number of series
+    written.
     """
     from repro.telemetry.distributed.shard import ShardedStore
 
@@ -138,19 +233,87 @@ def save_store(
 
 def _store_kwargs(meta: dict) -> dict:
     # v1 archives carry only retention; config knobs default like the
-    # TimeSeriesStore constructor.
+    # TimeSeriesStore constructor.  v3 adds the tier configs (absent keys
+    # — older archives — mean the tiers stay disabled).
     return {
         "retention": meta.get("retention"),
         "retention_slack": meta.get("retention_slack", 0.25),
         "flush_threshold": meta.get("flush_threshold", 256),
+        "rollups": meta.get("rollups"),
+        "archive": meta.get("archive"),
     }
 
 
-def _load_series_into(store, archive, meta: dict) -> None:
+def _member_stores(store, name: str):
+    """Every member store that must hold ``name`` after the load.
+
+    A plain store is its own single member; a sharded store fans cold
+    chunks and rollup state out to every replica of the owning shard (hot
+    samples take the ordinary ``append_many`` fan-out).
+    """
+    replica_sets = getattr(store, "replica_sets", None)
+    if replica_sets is None:
+        return (store,)
+    return tuple(replica_sets[store.shard_of(name)].members)
+
+
+def _load_cold_chunks(archive, name: str, metas, path: str):
+    """Decode-free chunk reconstruction; missing arrays degrade, not fail."""
+    chunks, missing = [], 0
+    for i, chunk_meta in enumerate(metas):
+        keys = {f: f"__cold__::{name}::{i}::{f}" for f in _COLD_FIELDS}
+        if any(key not in archive for key in keys.values()):
+            missing += 1
+            log.warning(
+                "%s: cold chunk %d of series %r is missing from the "
+                "archive; loading degraded (%d samples lost)",
+                path, i, name, int(chunk_meta.get("count", 0)),
+            )
+            continue
+        chunks.append(
+            ColdChunk.from_meta(
+                chunk_meta, {f: archive[key] for f, key in keys.items()}
+            )
+        )
+    return chunks, missing
+
+
+def _load_series_into(store, archive, meta: dict, path: str) -> None:
+    cold_meta = meta.get("cold") or {}
+    rollup_meta = meta.get("rollup_state") or {}
     for name in meta["series"]:
-        times = archive[f"{name}::t"]
-        values = archive[f"{name}::v"]
-        store.append_many(name, times, values)
+        members = _member_stores(store, name)
+        if name in cold_meta:
+            chunks, missing = _load_cold_chunks(
+                archive, name, cold_meta[name], path
+            )
+            for member in members:
+                tier = getattr(member, "archive", None)
+                if tier is None:
+                    continue
+                tier.missing_chunks += missing
+                if chunks:
+                    tier.adopt(name, chunks)
+        if name in rollup_meta:
+            state = [
+                (
+                    float(entry["step"]),
+                    int(entry["cursor"]),
+                    {
+                        f: archive[f"__rollup__::{name}::{ti}::{f}"]
+                        for f in _ROLLUP_FIELDS
+                    },
+                )
+                for ti, entry in enumerate(rollup_meta[name])
+            ]
+            for member in members:
+                engine = getattr(member, "rollups", None)
+                if engine is not None:
+                    engine.restore(name, state)
+        # Hot tail last: append continues rollup maintenance from the
+        # restored cursors over the adopted cold + appended hot range,
+        # which reproduces the saved tiers bit-for-bit.
+        store.append_many(name, archive[f"{name}::t"], archive[f"{name}::v"])
 
 
 def _load_sharded(path: str, meta: dict):
@@ -166,10 +329,11 @@ def _load_sharded(path: str, meta: dict):
         shard_path = os.path.join(directory, shard_file)
         with np.load(shard_path) as archive:
             shard_meta = _read_meta(archive, shard_path)
-            # Routed through the partitioner (append_many), so placement is
-            # consistent even if the shard files were produced under a
-            # different partitioner or shard count.
-            _load_series_into(store, archive, shard_meta)
+            # Routed through the partitioner (append_many / per-name member
+            # resolution), so placement is consistent even if the shard
+            # files were produced under a different partitioner or shard
+            # count.
+            _load_series_into(store, archive, shard_meta, shard_path)
     return store
 
 
@@ -178,12 +342,14 @@ def load_store(path: str) -> Union[TimeSeriesStore, "object"]:
 
     Returns a :class:`TimeSeriesStore`, or a
     :class:`~repro.telemetry.distributed.ShardedStore` when ``path`` is a
-    sharded-deployment manifest.
+    sharded-deployment manifest.  v1/v2 archives load with the tiers
+    disabled; v3 archives restore cold chunks (still encoded) and
+    materialized rollup tiers, tolerating individually missing chunks.
     """
     with np.load(path) as archive:
         meta = _read_meta(archive, path)
         if meta.get("kind") == "sharded":
             return _load_sharded(path, meta)
         store = TimeSeriesStore(**_store_kwargs(meta))
-        _load_series_into(store, archive, meta)
+        _load_series_into(store, archive, meta, path)
     return store

@@ -11,11 +11,13 @@ pipe.  The pieces the rest of the codebase sees:
   worker falls back to real ``ReplicaSet.ingest`` while faults are
   active), same read failover, same ``telemetry.shard.<i>.*`` metrics.
 * :class:`RemoteStoreProxy` — read-side stand-in for a member
-  :class:`~repro.telemetry.store.TimeSeriesStore`.  Raw sample arrays are
-  fetched from the worker; ``resample``/``align`` run the shared kernels
-  from :mod:`repro.telemetry.store` on those arrays in the parent, so
-  federated results are bit-identical to the in-process path by
-  construction.
+  :class:`~repro.telemetry.store.TimeSeriesStore`.  Raw range queries
+  fetch sample arrays over the pipe; ``resample``/``align`` execute *in
+  the worker* (one command round trip), where the member store's rollup
+  planner can serve buckets from materialized tiers and only the reduced
+  buckets cross the pipe.  Either way the same shared kernels run on the
+  same samples, so federated results are bit-identical to the in-process
+  path by construction.
 
 Backpressure is explicit: a full ring makes the producer wait (bounded by
 ``push_timeout``) and then *drop and count* rather than raise — the same
@@ -49,13 +51,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.runtime.ring import SampleRing
 from repro.telemetry.runtime.worker import worker_main
 from repro.telemetry.sample import SampleBatch
-from repro.telemetry.store import (
-    SeriesBuffer,
-    bucket_edges,
-    check_resample_args,
-    forward_fill,
-    resample_onto,
-)
+from repro.telemetry.store import SeriesBuffer, check_resample_args
 
 __all__ = [
     "ParallelShardRuntime",
@@ -134,6 +130,24 @@ class RemoteStoreProxy:
     def flush_threshold(self) -> int:
         return self._runtime.store_config.get("flush_threshold", 256)
 
+    @property
+    def rollup_config(self):
+        val = self._runtime.store_config.get("rollups")
+        if not val:
+            return None
+        from repro.telemetry.rollup import RollupConfig
+
+        return RollupConfig() if val is True else RollupConfig.from_dict(val)
+
+    @property
+    def archive_config(self):
+        val = self._runtime.store_config.get("archive")
+        if not val:
+            return None
+        from repro.telemetry.archive import ArchiveConfig
+
+        return ArchiveConfig() if val is True else ArchiveConfig.from_dict(val)
+
     # -- reads ---------------------------------------------------------
     def query(
         self, name: str, since: float = float("-inf"), until: float = float("inf")
@@ -180,7 +194,7 @@ class RemoteStoreProxy:
     def latest_time(self) -> float:
         return float(self._call("stat", self.member, "latest_time"))
 
-    # -- derived reads: shared kernels on fetched arrays ---------------
+    # -- derived reads: executed worker-side (planner-aware) ------------
     def resample(
         self,
         name: str,
@@ -193,9 +207,27 @@ class RemoteStoreProxy:
         check_resample_args(step, agg, engine)
         if until <= since:
             return np.empty(0), np.empty(0)
-        times, values = self.query(name, since, until)
-        edges = bucket_edges(since, until, step)
-        return edges[:-1], resample_onto(times, values, edges, agg, engine)
+        return self._call(
+            "resample", self.member, name, since, until, step, agg, engine
+        )
+
+    def resample_column(
+        self,
+        name: str,
+        since: float,
+        until: float,
+        step: float,
+        agg: str,
+        engine: str,
+        edges: np.ndarray,
+    ) -> np.ndarray:
+        """Planner-aware column primitive (see
+        :meth:`TimeSeriesStore.resample_column`), executed in the worker so
+        rollup tiers serve federated aligns without shipping raw arrays."""
+        return self._call(
+            "resample_column", self.member, name, since, until, step, agg,
+            engine, np.ascontiguousarray(edges, dtype=np.float64),
+        )
 
     def align(
         self,
@@ -212,15 +244,10 @@ class RemoteStoreProxy:
         check_resample_args(step, agg, engine)
         if until <= since or not names:
             return np.empty(0), np.empty((0, len(names)))
-        edges = bucket_edges(since, until, step)
-        columns = []
-        for name in names:
-            times, values = self.query(name, since, until)
-            v = resample_onto(times, values, edges, agg, engine)
-            if fill == "ffill":
-                v = forward_fill(v)
-            columns.append(v)
-        return edges[:-1], np.column_stack(columns)
+        return self._call(
+            "align", self.member, tuple(names), since, until, step, agg,
+            fill, engine,
+        )
 
 
 class ParallelReplicaSet:

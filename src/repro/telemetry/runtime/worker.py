@@ -438,6 +438,23 @@ class ShardWorker:
         if op == "value_at":
             member, name, time = payload
             return rs.members[member].value_at(name, time)
+        if op == "resample":
+            member, name, since, until, step, agg, engine = payload
+            grid, vals = rs.members[member].resample(
+                name, since, until, step, agg=agg, engine=engine
+            )
+            return grid, vals
+        if op == "resample_column":
+            member, name, since, until, step, agg, engine, edges = payload
+            return rs.members[member].resample_column(
+                name, since, until, step, agg, engine, edges
+            )
+        if op == "align":
+            member, names, since, until, step, agg, fill, engine = payload
+            grid, matrix = rs.members[member].align(
+                names, since, until, step, agg=agg, fill=fill, engine=engine
+            )
+            return grid, matrix
         if op == "stat":
             return self._stat(*payload)
         if op == "member_flush":

@@ -39,6 +39,8 @@ import numpy as np
 from repro.errors import StoreError, UnknownMetricError
 from repro.obs import OBS as _OBS
 from repro.obs.metrics import MetricsRegistry
+from repro.telemetry.archive import ArchiveConfig, ArchiveTier
+from repro.telemetry.rollup import RollupConfig, RollupEngine
 from repro.telemetry.sample import SampleBatch
 
 __all__ = [
@@ -92,7 +94,11 @@ AGGREGATIONS: Dict[str, Callable[[np.ndarray], float]] = {
 # Vectorized bucket kernels.  Each receives the in-range ``values`` plus the
 # start/end sample index of every *non-empty* bucket (strictly increasing
 # starts, ends[-1] == values.size) and returns one value per bucket.  Empty
-# buckets never reach a kernel — the caller leaves them NaN.  Consecutive
+# buckets never reach a kernel — the caller leaves them NaN.  That holds for
+# ``count`` and ``sum`` too: a gap bucket is "no data" (NaN), never 0, in
+# the scalar engine, the vectorized engine AND the rollup tier-serving path
+# (a materialized tier with no bucket at a position fills NaN) — the three
+# must stay in lockstep or tier-served answers diverge from raw on gaps.  Consecutive
 # non-empty buckets are contiguous through any empty buckets between them
 # (empty buckets have zero width in sample space), which is exactly the
 # segment layout ``reduceat`` reduces over.
@@ -357,6 +363,20 @@ class TimeSeriesStore:
         Number of staged samples at which a series' staging buffer is
         flushed to its columnar arrays.  Reads flush implicitly, so this
         only tunes ingest chunking, never visibility.
+    rollups:
+        Enable materialized downsample cascades (:mod:`.rollup`).  Pass
+        ``True`` for the default 10s/1m/1h cascade, a
+        :class:`~repro.telemetry.rollup.RollupConfig`, or its
+        ``to_dict()`` form.  ``resample``/``align`` then transparently
+        serve eligible buckets from the coarsest sufficient tier,
+        bit-identical to raw reduction.
+    archive:
+        Enable the compressed cold tier (:mod:`.archive`).  Pass ``True``
+        for defaults, an :class:`~repro.telemetry.archive.ArchiveConfig`,
+        or its ``to_dict()`` form.  The retention sweep then *demotes*
+        expiring samples into immutable Gorilla-coded chunks instead of
+        deleting them, and reads below the hot window decode cold chunks
+        straight into the shared resample kernels.
     """
 
     def __init__(
@@ -364,6 +384,8 @@ class TimeSeriesStore:
         retention: Optional[float] = None,
         retention_slack: float = 0.25,
         flush_threshold: int = 256,
+        rollups=None,
+        archive=None,
     ):
         if not 0.0 <= retention_slack < 1.0:
             raise StoreError(
@@ -378,6 +400,28 @@ class TimeSeriesStore:
         self.retention = retention
         self.retention_slack = retention_slack
         self.flush_threshold = flush_threshold
+        self.rollups: Optional[RollupEngine] = None
+        if rollups:
+            if isinstance(rollups, RollupConfig):
+                cfg = rollups
+            elif isinstance(rollups, dict):
+                cfg = RollupConfig.from_dict(rollups)
+            else:
+                cfg = RollupConfig()
+            self.rollups = RollupEngine(
+                cfg,
+                fetch=self._rollup_fetch,
+                query_fetch=self._tiered_range,
+            )
+        self.archive: Optional[ArchiveTier] = None
+        if archive:
+            if isinstance(archive, ArchiveConfig):
+                acfg = archive
+            elif isinstance(archive, dict):
+                acfg = ArchiveConfig.from_dict(archive)
+            else:
+                acfg = ArchiveConfig()
+            self.archive = ArchiveTier(acfg)
         self.samples_ingested = 0
         self.flushes = 0
         self.retention_trims = 0
@@ -452,9 +496,23 @@ class TimeSeriesStore:
         stage.values = []
         buf.append_many(times, values)
         self.flushes += 1
+        self._observe_rollups(buf)
         if self.retention is not None:
             self._maybe_trim(buf, exact=False)
             self._sweep_one()
+
+    def _observe_rollups(self, buf: SeriesBuffer) -> None:
+        """Mutation epilogue: finalize any tier buckets the new tail
+        completed.  Runs before the retention sweep so finalization reads
+        samples about to be demoted/trimmed while they are still hot."""
+        if self.rollups is None or not buf._size:
+            return
+        t_first = float(buf._times[0])
+        if self.archive is not None and buf.name in self.archive:
+            t_first = min(t_first, self.archive.first_time(buf.name))
+        self.rollups.observe(
+            buf.name, t_first, float(buf._times[buf._size - 1])
+        )
 
     def flush(self, name: Optional[str] = None) -> int:
         """Flush staged samples for ``name`` (or every series) to columnar
@@ -498,6 +556,7 @@ class TimeSeriesStore:
         self.samples_ingested += 1
         if time > self._latest_time:
             self._latest_time = time
+        self._observe_rollups(buf)
         if self.retention is not None:
             self._maybe_trim(buf, exact=False)
             self._sweep_one()
@@ -518,6 +577,7 @@ class TimeSeriesStore:
                 stage.last_t = last
             if last > self._latest_time:
                 self._latest_time = last
+        self._observe_rollups(buf)
         if self.retention is not None:
             self._maybe_trim(buf, exact=False)
             self._sweep_one()
@@ -577,6 +637,9 @@ class TimeSeriesStore:
         self.samples_ingested += n * len(names)
         if last > self._latest_time:
             self._latest_time = last
+        if self.rollups is not None:
+            for name in names:
+                self._observe_rollups(series[name])
         if self.retention is not None:
             for name in names:
                 self._maybe_trim(series[name], exact=False)
@@ -591,6 +654,10 @@ class TimeSeriesStore:
         With ``exact=False`` (ingest path) the trim is skipped until the
         stale fraction crosses ``retention_slack``, amortizing the memmove;
         with ``exact=True`` (read path) the cutoff is enforced strictly.
+
+        With an archive tier attached, the expiring prefix is **demoted**
+        into compressed cold chunks before it leaves the hot arrays, so
+        retention bounds hot memory without losing history.
         """
         if not buf._size:
             return
@@ -601,6 +668,12 @@ class TimeSeriesStore:
             stale = int(np.searchsorted(buf.times, cutoff, side="left"))
             if stale < self.retention_slack * buf._size:
                 return
+        if self.archive is not None:
+            lo = int(np.searchsorted(buf.times, cutoff, side="left"))
+            if lo:
+                self.archive.demote(
+                    buf.name, buf._times[:lo], buf._values[:lo]
+                )
         dropped = buf.trim_before(cutoff)
         if dropped:
             self.retention_trims += 1
@@ -655,6 +728,16 @@ class TimeSeriesStore:
         return sum(len(stage.times) for stage in self._staging.values())
 
     @property
+    def rollup_config(self) -> Optional[RollupConfig]:
+        """Active rollup cascade config (None when disabled)."""
+        return self.rollups.config if self.rollups is not None else None
+
+    @property
+    def archive_config(self) -> Optional[ArchiveConfig]:
+        """Active cold-tier config (None when disabled)."""
+        return self.archive.config if self.archive is not None else None
+
+    @property
     def metrics(self) -> MetricsRegistry:
         """Typed instruments over the store counters (lazily built)."""
         if self._metrics is None:
@@ -672,6 +755,56 @@ class TimeSeriesStore:
             r.counter("telemetry.store.samples_trimmed",
                       "samples dropped by retention",
                       fn=lambda: float(self.samples_trimmed))
+            if self.rollups is not None:
+                ru = self.rollups
+                r.gauge("telemetry.rollup.series_tracked",
+                        "series with rollup cascades",
+                        fn=lambda: float(ru.series_tracked))
+                r.counter("telemetry.rollup.buckets_finalized",
+                          "tier buckets finalized",
+                          fn=lambda: float(ru.buckets_finalized))
+                r.counter("telemetry.rollup.buckets_served",
+                          "query buckets answered from tiers",
+                          fn=lambda: float(ru.buckets_served))
+                r.counter("telemetry.rollup.tier_hits",
+                          "queries fully tier-served (bar the final bucket)",
+                          fn=lambda: float(ru.tier_hits))
+                r.counter("telemetry.rollup.partial_hits",
+                          "queries spliced from tier prefix + raw tail",
+                          fn=lambda: float(ru.partial_hits))
+                r.counter("telemetry.rollup.raw_fallbacks",
+                          "planner consultations that fell back to raw",
+                          fn=lambda: float(ru.raw_fallbacks))
+            if self.archive is not None:
+                ar = self.archive
+                r.gauge("telemetry.archive.chunks", "cold chunks held",
+                        fn=lambda: float(ar.chunk_count()))
+                r.gauge("telemetry.archive.samples", "samples in cold tier",
+                        fn=lambda: float(ar.samples()))
+                r.gauge("telemetry.archive.encoded_bytes",
+                        "compressed cold payload bytes",
+                        fn=lambda: float(ar.encoded_bytes))
+                r.gauge("telemetry.archive.raw_bytes",
+                        "hot-equivalent bytes of cold samples",
+                        fn=lambda: float(ar.raw_bytes))
+                r.counter("telemetry.archive.demotions",
+                          "retention sweeps that demoted to cold",
+                          fn=lambda: float(ar.demotions))
+                r.counter("telemetry.archive.demoted_samples",
+                          "samples demoted to cold",
+                          fn=lambda: float(ar.demoted_samples))
+                r.counter("telemetry.archive.cold_scans",
+                          "reads that decoded cold chunks",
+                          fn=lambda: float(ar.cold_scans))
+                r.counter("telemetry.archive.scanned_samples",
+                          "samples decoded from cold chunks",
+                          fn=lambda: float(ar.scanned_samples))
+                r.counter("telemetry.archive.compactions",
+                          "cold chunk merge passes",
+                          fn=lambda: float(ar.compactions))
+                r.counter("telemetry.archive.missing_chunks",
+                          "cold chunks missing at load (degraded to raw)",
+                          fn=lambda: float(ar.missing_chunks))
             self._metrics = r
         return self._metrics
 
@@ -682,19 +815,93 @@ class TimeSeriesStore:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _rollup_fetch(
+        self, name: str, since: float, until: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Maintenance fetch for the rollup engine: cold + hot, with
+        retention deliberately NOT enforced.
+
+        Finalization runs in the mutation epilogue, *before* the retention
+        sweep; reading pre-trim here is what lets finalized buckets keep
+        history that the hot tier is about to drop (long-horizon memory
+        when no archive tier is attached).  The planner's raw tails use
+        :meth:`_tiered_range` instead, which has query semantics.
+        """
+        buf = self._series.get(name)
+        if buf is None:
+            if self.archive is not None and name in self.archive:
+                return self.archive.scan(name, since, until)
+            raise UnknownMetricError(name)
+        stage = self._staging.get(name)
+        if stage is not None and stage.times:
+            self._flush_stage(name, stage)
+        ht, hv = buf.range(since, until)
+        if self.archive is not None and name in self.archive:
+            ct, cv = self.archive.scan(name, since, until)
+            if ct.size:
+                if not ht.size:
+                    return ct, cv
+                return np.concatenate((ct, ht)), np.concatenate((cv, hv))
+        return ht, hv
+
+    def _tiered_range(
+        self, name: str, since: float, until: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cold-aware range read: archive chunks + hot arrays, in order.
+
+        Cold samples are strictly older than everything hot (demotion
+        moves a time-prefix), so the concatenation stays sorted.
+        """
+        buf = self._series.get(name)
+        if buf is None:
+            if self.archive is not None and name in self.archive:
+                return self.archive.scan(name, since, until)
+            raise UnknownMetricError(name)
+        stage = self._staging.get(name)
+        if stage is not None and stage.times:
+            self._flush_stage(name, stage)
+        if self.retention is not None:
+            self._maybe_trim(buf, exact=True)
+        ht, hv = buf.range(since, until)
+        if self.archive is not None and name in self.archive:
+            ct, cv = self.archive.scan(name, since, until)
+            if ct.size:
+                if not ht.size:
+                    return ct, cv
+                return np.concatenate((ct, ht)), np.concatenate((cv, hv))
+        return ht, hv
+
     def query(
         self, name: str, since: float = float("-inf"), until: float = float("inf")
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Raw range query; returns (times, values) array views."""
-        return self.series(name).range(since, until)
+        """Range query; returns (times, values) arrays.
+
+        Without an archive tier these are zero-copy views over the hot
+        arrays; when the range reaches demoted history, overlapping cold
+        chunks are decoded and spliced in front (fresh arrays).
+        """
+        return self._tiered_range(name, since, until)
 
     def latest(self, name: str) -> Tuple[float, float]:
         """Most recent (time, value) for ``name``."""
-        return self.series(name).latest()
+        buf = self.series(name)
+        if not buf._size and self.archive is not None and name in self.archive:
+            t_last = self.archive.last_time(name)
+            value = self.archive.value_at(name, t_last)
+            if value is not None:
+                return t_last, value
+        return buf.latest()
 
     def value_at(self, name: str, time: float) -> float:
-        """Last-observation-carried-forward lookup."""
-        return self.series(name).value_at(time)
+        """Last-observation-carried-forward lookup (cold-tier aware)."""
+        try:
+            return self.series(name).value_at(time)
+        except StoreError:
+            if self.archive is not None:
+                value = self.archive.value_at(name, time)
+                if value is not None:
+                    return value
+            raise
 
     # Shared kernels, kept as method aliases for backwards compatibility.
     _bucket_edges = staticmethod(bucket_edges)
@@ -709,6 +916,32 @@ class TimeSeriesStore:
         engine: str,
     ) -> np.ndarray:
         """Aggregate in-range samples onto the buckets defined by ``edges``."""
+        return resample_onto(times, values, edges, agg, engine)
+
+    def resample_column(
+        self,
+        name: str,
+        since: float,
+        until: float,
+        step: float,
+        agg: str,
+        engine: str,
+        edges: np.ndarray,
+    ) -> np.ndarray:
+        """One per-bucket value column on a precomputed edge grid.
+
+        This is the planner-aware primitive ``resample``/``align`` and the
+        federated query engine share: eligible buckets are served from the
+        coarsest rollup tier, the rest reduce raw (cold-aware) samples with
+        the shared kernels — so every caller gets identical bits.
+        """
+        if self.rollups is not None:
+            served = self.rollups.serve(
+                name, since, until, step, agg, engine, edges
+            )
+            if served is not None:
+                return served
+        times, values = self.query(name, since, until)
         return resample_onto(times, values, edges, agg, engine)
 
     def resample(
@@ -752,9 +985,10 @@ class TimeSeriesStore:
         self._check_resample_args(step, agg, engine)
         if until <= since:
             return np.empty(0), np.empty(0)
-        times, values = self.query(name, since, until)
         edges = self._bucket_edges(since, until, step)
-        return edges[:-1], self._resample_onto(times, values, edges, agg, engine)
+        return edges[:-1], self.resample_column(
+            name, since, until, step, agg, engine, edges
+        )
 
     def align(
         self,
@@ -802,8 +1036,9 @@ class TimeSeriesStore:
         grid = edges[:-1]
         columns = []
         for name in names:
-            times, values = self.query(name, since, until)
-            v = self._resample_onto(times, values, edges, agg, engine)
+            v = self.resample_column(
+                name, since, until, step, agg, engine, edges
+            )
             if fill == "ffill":
                 v = forward_fill(v)
             columns.append(v)

@@ -126,3 +126,45 @@ class TestKernelEquivalence:
     def test_every_scalar_agg_has_consistent_registry(self):
         # Vectorized kernels may only exist for aggs the scalar table knows.
         assert set(VECTORIZED_AGGREGATIONS) <= set(AGGREGATIONS)
+
+
+class TestGapBucketRegression:
+    """Audited gap-bucket contract: a bucket with no samples is NaN — never
+    0 — for every aggregation, in BOTH engines.  ``count`` and ``sum`` are
+    the regression-prone cases (0 is a plausible-but-wrong answer there),
+    and the rollup tier-serving path is committed to the same contract."""
+
+    def _store_with_hole(self):
+        store = TimeSeriesStore()
+        t = np.concatenate([np.arange(0.0, 50.0, 5.0),
+                            np.arange(200.0, 250.0, 5.0)])
+        store.append_many("m", t, np.ones(t.size))
+        return store
+
+    @pytest.mark.parametrize("agg", ["count", "sum"])
+    @pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+    def test_gap_buckets_are_nan_not_zero(self, agg, engine):
+        store = self._store_with_hole()
+        _, v = store.resample("m", 0.0, 250.0, 10.0, agg=agg, engine=engine)
+        hole = v[5:20]  # buckets covering (50, 200): no samples
+        assert np.isnan(hole).all(), f"{engine}/{agg}: gap must be NaN"
+        assert not np.any(v == 0.0), f"{engine}/{agg}: 0 would fake data"
+
+    @pytest.mark.parametrize("agg", ["count", "sum"])
+    def test_engines_agree_on_gap_mask(self, agg):
+        store = self._store_with_hole()
+        _, vec = store.resample("m", 0.0, 250.0, 10.0, agg=agg)
+        _, sca = store.resample("m", 0.0, 250.0, 10.0, agg=agg,
+                                engine="scalar")
+        assert np.array_equal(np.isnan(vec), np.isnan(sca))
+        np.testing.assert_allclose(vec[~np.isnan(vec)], sca[~np.isnan(sca)],
+                                   rtol=1e-12)
+
+    def test_leading_and_trailing_gaps(self):
+        store = TimeSeriesStore()
+        store.append_many("m", np.array([55.0, 57.0]), np.array([1.0, 2.0]))
+        for engine in ("vectorized", "scalar"):
+            _, v = store.resample("m", 0.0, 100.0, 10.0, agg="count",
+                                  engine=engine)
+            assert np.isnan(v[:5]).all() and np.isnan(v[6:]).all()
+            assert v[5] == 2.0
