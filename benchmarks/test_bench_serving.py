@@ -1,0 +1,284 @@
+"""Serving front-door benchmark: cache speedup, admission tail latency.
+
+The PR-8 acceptance criteria, measured and written to
+``BENCH_serving.json``:
+
+* a **cache hit** must be at least 5x faster than an uncached execution
+  of the same heavy federated query (the hit is a stamp check + dict get;
+  the miss re-runs resample kernels across every shard);
+* under a burst that exceeds worker capacity, **p99 latency of completed
+  queries must be strictly lower with admission control than without** —
+  bounded queues plus load shedding turn an unbounded backlog into cheap
+  typed rejections, which is the entire point of a front door;
+* answers served through the frontend (cached or not) are **bit-identical
+  to the direct federation engine** at 1, 2 and 8 shards (the hypothesis
+  suite in ``tests/test_serving_cache.py`` proves this property-style;
+  the bench records it over the real workload).
+
+Latency here is end-to-end (submit -> resolve), so it *includes queue
+wait* — that is what a tenant experiences and what admission control is
+supposed to protect.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.telemetry import SampleBatch
+from repro.telemetry.distributed import ShardedStore
+from repro.telemetry.serving import (
+    AlignQuery,
+    QueryFrontend,
+    TenantConfig,
+    WorkloadSpec,
+    heavy_tailed_workload,
+)
+
+SCALE = os.environ.get("BENCH_SCALE", "small")
+
+SCALES: Dict[str, Dict] = {
+    "small": dict(series=16, samples=2_000, shards=2,
+                  hit_repeats=30, miss_repeats=10,
+                  burst_queries=240, burst_tenants=6,
+                  parity_queries=60),
+    "medium": dict(series=24, samples=6_000, shards=4,
+                   hit_repeats=50, miss_repeats=15,
+                   burst_queries=500, burst_tenants=8,
+                   parity_queries=120),
+    "large": dict(series=32, samples=20_000, shards=8,
+                  hit_repeats=80, miss_repeats=20,
+                  burst_queries=1_000, burst_tenants=8,
+                  parity_queries=200),
+}
+
+P = SCALES[SCALE]
+
+MIN_CACHE_SPEEDUP = 5.0
+
+RESULTS: Dict[str, Dict] = {
+    "scale": SCALE,
+    "params": dict(P),
+    "ceilings": {"cache_speedup_min": MIN_CACHE_SPEEDUP},
+}
+
+
+def make_names(n):
+    return tuple(f"b.rack{i // 8}.node{i % 8}.power" for i in range(n))
+
+
+def fill(store, names, samples, seed=0):
+    rng = np.random.default_rng(seed)
+    width = len(names)
+    for t in range(samples):
+        store.ingest("b", SampleBatch(
+            float(t) * 2.0, names, rng.random(width),
+        ))
+    store.flush()
+    return store
+
+
+def heavy_query(names, samples):
+    horizon = samples * 2.0
+    return AlignQuery(
+        names=names, since=0.0, until=horizon,
+        step=max(1.0, horizon / 400.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache speedup
+# ---------------------------------------------------------------------------
+def test_bench_cache_hit_speedup():
+    names = make_names(P["series"])
+    store = fill(
+        ShardedStore(shards=P["shards"], replication=0),
+        names, P["samples"],
+    )
+    query = heavy_query(names, P["samples"])
+    uncached = QueryFrontend(store, max_workers=0, cache=False)
+    cached = QueryFrontend(store, max_workers=0)
+
+    miss_s = min(
+        _timed(lambda: uncached.serve("t", query))
+        for _ in range(P["miss_repeats"])
+    )
+    populate = cached.serve("t", query)
+    assert populate.ok and not populate.cache_hit
+    hits = []
+    for _ in range(P["hit_repeats"]):
+        t, out = _timed_out(lambda: cached.serve("t", query))
+        assert out.cache_hit
+        hits.append(t)
+    hit_s = min(hits)
+
+    speedup = miss_s / hit_s
+    RESULTS["cache"] = {
+        "uncached_s": miss_s,
+        "hit_s": hit_s,
+        "speedup": speedup,
+        "hit_qps": 1.0 / hit_s,
+        "uncached_qps": 1.0 / miss_s,
+        "stats": cached.cache_stats(),
+    }
+    assert speedup >= MIN_CACHE_SPEEDUP, (
+        f"cache hit only {speedup:.1f}x faster than uncached "
+        f"(uncached {miss_s * 1e6:.0f}us, hit {hit_s * 1e6:.0f}us)"
+    )
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _timed_out(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+# ---------------------------------------------------------------------------
+# Admission control vs. unbounded backlog
+# ---------------------------------------------------------------------------
+def _burst(admission: bool) -> Dict[str, float]:
+    """Submit the whole workload as one burst against a small worker pool
+    and measure the completed queries' end-to-end latency distribution."""
+    names = make_names(P["series"])
+    store = fill(
+        ShardedStore(shards=P["shards"], replication=0),
+        names, P["samples"] // 2, seed=1,
+    )
+    horizon = (P["samples"] // 2) * 2.0
+    events = heavy_tailed_workload(
+        names, 0.0, horizon,
+        WorkloadSpec(
+            tenants=P["burst_tenants"], queries=P["burst_queries"], seed=7,
+        ),
+    )
+    fe = QueryFrontend(
+        store, max_workers=2,
+        default_config=TenantConfig(
+            rate=200.0, burst=16.0, max_concurrency=2, max_queue=8,
+        ),
+        global_queue=64,
+        admission=admission,
+        cache=True,
+    )
+    try:
+        t0 = time.perf_counter()
+        pending = [fe.submit(tenant, q) for tenant, q in events]
+        outcomes = [p.result(timeout=120.0) for p in pending]
+        wall = time.perf_counter() - t0
+    finally:
+        fe.close()
+    completed = [o for o in outcomes if o.ok]
+    rejected = [o for o in outcomes if o.rejected]
+    lat = np.array([o.latency_s for o in completed])
+    assert len(completed) > 0
+    return {
+        "completed": float(len(completed)),
+        "rejected": float(len(rejected)),
+        "errors": float(len(outcomes) - len(completed) - len(rejected)),
+        "p50_s": float(np.percentile(lat, 50)),
+        "p95_s": float(np.percentile(lat, 95)),
+        "p99_s": float(np.percentile(lat, 99)),
+        "max_s": float(lat.max()),
+        "wall_s": wall,
+        "completed_qps": len(completed) / wall,
+        "cache_hit_ratio": (
+            sum(1 for o in completed if o.cache_hit) / len(completed)
+        ),
+    }
+
+
+def test_bench_admission_protects_tail_latency():
+    with_ac = _burst(admission=True)
+    without_ac = _burst(admission=False)
+    RESULTS["admission"] = {"with": with_ac, "without": without_ac}
+    # Without admission nothing is ever rejected: the burst piles into an
+    # unbounded queue and late queries wait behind the whole backlog.
+    assert without_ac["rejected"] == 0.0
+    assert with_ac["rejected"] > 0.0
+    assert with_ac["p99_s"] < without_ac["p99_s"], (
+        f"admission control must cut p99: with {with_ac['p99_s'] * 1e3:.1f}ms"
+        f" vs without {without_ac['p99_s'] * 1e3:.1f}ms"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bit parity with the direct engine, across shard counts
+# ---------------------------------------------------------------------------
+def _direct(store, q):
+    if q.kind == "names":
+        return tuple(store.names())
+    if q.kind == "select":
+        return tuple(store.select(q.pattern))
+    if q.kind == "range":
+        return tuple(store.query(q.name, q.since, q.until))
+    if q.kind == "resample":
+        return tuple(store.resample(
+            q.name, q.since, q.until, q.step, agg=q.agg,
+        ))
+    grid, matrix = store.align(
+        list(q.names), q.since, q.until, q.step, agg=q.agg,
+    )
+    return (grid, matrix, q.names)
+
+
+def _equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+        return a.shape == b.shape and bool(np.array_equal(
+            np.asarray(a, dtype=np.float64).ravel().view(np.uint64),
+            np.asarray(b, dtype=np.float64).ravel().view(np.uint64),
+        ))
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def test_bench_parity_across_shard_counts():
+    names = make_names(P["series"])
+    parity = {}
+    for shards in (1, 2, 8):
+        store = fill(
+            ShardedStore(shards=shards, replication=0),
+            names, P["samples"] // 4, seed=2,
+        )
+        horizon = (P["samples"] // 4) * 2.0
+        events = heavy_tailed_workload(
+            names, 0.0, horizon,
+            WorkloadSpec(tenants=4, queries=P["parity_queries"], seed=3,
+                         hot_fraction=0.7),
+        )
+        fe = QueryFrontend(store, max_workers=0)
+        checked = hits = 0
+        ok = True
+        for tenant, q in events:
+            if q.kind == "align" and q.pattern is not None:
+                continue
+            out = fe.serve(tenant, q)
+            assert out.ok, out.error
+            hits += bool(out.cache_hit)
+            ok = ok and _equal(out.payload, _direct(store, q))
+            checked += 1
+        parity[str(shards)] = {
+            "bit_identical": ok,
+            "queries_checked": checked,
+            "cache_hits": hits,
+        }
+        assert ok, f"frontend answers diverged from direct engine at {shards} shards"
+    RESULTS["parity"] = parity
+
+
+def test_write_bench_artifact(write_artifact):
+    # Runs last (file order): persists every section measured above.
+    assert "cache" in RESULTS and "admission" in RESULTS and "parity" in RESULTS
+    write_artifact(
+        "BENCH_serving.json", json.dumps(RESULTS, indent=2) + "\n"
+    )

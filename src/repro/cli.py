@@ -15,6 +15,9 @@ framework without writing code:
 * ``chaos``     — run a seeded chaos campaign against a supervised site
   (controller crashes, facility outage, node faults, shard kill) and
   write the resilience scorecard (MTTD/MTTR per fault) as JSON.
+* ``serve``     — replay a seeded heavy-tailed multi-tenant query workload
+  through the serving front door and print the serving scorecard
+  (per-tenant admission stats, cache hit ratio, latency percentiles).
 """
 
 from __future__ import annotations
@@ -119,6 +122,41 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", default="chaos-scorecard.json",
                        metavar="PATH.json",
                        help="where to write the resilience scorecard")
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a heavy-tailed multi-tenant query workload through "
+             "the serving front door",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--racks", type=int, default=2)
+    serve.add_argument("--nodes-per-rack", type=int, default=8)
+    serve.add_argument("--hours", type=float, default=4.0,
+                       help="simulated hours of telemetry to collect "
+                            "before serving")
+    serve.add_argument("--jobs-per-day", type=float, default=24.0)
+    serve.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="telemetry shards (0 = single store)")
+    serve.add_argument("--replication", type=int, default=0, metavar="R")
+    serve.add_argument("--tenants", type=int, default=6)
+    serve.add_argument("--queries", type=int, default=400,
+                       help="workload length (Zipf tenants, Zipf hot "
+                            "pool, Pareto windows)")
+    serve.add_argument("--hot-fraction", type=float, default=0.6,
+                       help="fraction of queries re-issuing a hot-pool "
+                            "canonical query")
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="per-tenant token-bucket rate, queries/s")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="frontend worker threads (0 = inline)")
+    serve.add_argument("--submitters", type=int, default=4,
+                       help="concurrent client threads")
+    serve.add_argument("--no-admission", action="store_true",
+                       help="disable admission control (compare tails)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    serve.add_argument("--out", default=None, metavar="PATH.json",
+                       help="also write the serving scorecard as JSON")
     return parser
 
 
@@ -415,6 +453,105 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if totals["unrecovered"] == 0 else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.oda import DataCenter
+    from repro.telemetry.serving import (
+        WorkloadSpec, heavy_tailed_workload, replay, tenant_configs,
+    )
+
+    shards = args.shards if args.shards and args.shards > 0 else None
+    dc = DataCenter(
+        seed=args.seed, racks=args.racks, nodes_per_rack=args.nodes_per_rack,
+        shards=shards, replication=args.replication if shards else 0,
+    )
+    try:
+        dc.generate_workload(
+            days=args.hours / 24.0, jobs_per_day=args.jobs_per_day,
+        )
+        dc.run(seconds=args.hours * 3600.0)
+        dc.enable_supervision()
+
+        frontend = dc.frontend(
+            tenants=tenant_configs(args.tenants, base_rate=args.rate),
+            max_workers=args.workers,
+            admission=not args.no_admission,
+            cache=not args.no_cache,
+        )
+        names = dc.store.names()
+        spec = WorkloadSpec(
+            tenants=args.tenants, queries=args.queries, seed=args.seed,
+            hot_fraction=args.hot_fraction,
+        )
+        events = heavy_tailed_workload(names, 0.0, dc.sim.now, spec)
+        print(
+            f"serving {len(events)} queries from {args.tenants} tenants "
+            f"over {len(names)} series "
+            f"({'sharded x' + str(shards) if shards else 'single store'}, "
+            f"{args.workers} workers, {args.submitters} submitters, "
+            f"admission {'off' if args.no_admission else 'on'}, "
+            f"cache {'off' if args.no_cache else 'on'}) ..."
+        )
+        outcomes = replay(frontend, events, submitters=args.submitters)
+
+        ok = sum(1 for o in outcomes if o.ok)
+        rejected = sum(1 for o in outcomes if o.rejected)
+        errors = len(outcomes) - ok - rejected
+        hits = sum(1 for o in outcomes if o.ok and o.cache_hit)
+        snap = frontend.health_metrics()
+        cache = frontend.cache_stats()
+        print(f"  ok {ok}  rejected {rejected}  errors {errors}")
+        if cache:
+            print(
+                f"  cache: hit_ratio {cache['hit_ratio']:.2f} "
+                f"({hits} served from cache, "
+                f"{cache['invalidations']:.0f} invalidations)"
+            )
+        lat = {
+            q: snap.get(f"telemetry.serving.latency.{q}", float("nan"))
+            for q in ("p50", "p95", "p99")
+        }
+        print(
+            "  latency: "
+            + "  ".join(f"{q} {v * 1e3:.2f}ms" for q, v in lat.items())
+        )
+        print(f"  {'tenant':<10} {'offered':>8} {'admitted':>9} "
+              f"{'completed':>10} {'rejected':>9}")
+        tenant_rows = {}
+        for name in sorted(frontend.tenant_stats()):
+            s = frontend.tenant_stats()[name]
+            rej = sum(v for k, v in s.items() if k.startswith("rejected."))
+            tenant_rows[name] = s
+            print(
+                f"  {name:<10} {s['offered']:>8.0f} {s['admitted']:>9.0f} "
+                f"{s['completed']:>10.0f} {rej:>9.0f}"
+            )
+        if args.out:
+            card = {
+                "config": {
+                    "seed": args.seed, "tenants": args.tenants,
+                    "queries": args.queries, "shards": shards or 0,
+                    "workers": args.workers, "submitters": args.submitters,
+                    "admission": not args.no_admission,
+                    "cache": not args.no_cache,
+                },
+                "outcomes": {
+                    "ok": ok, "rejected": rejected, "errors": errors,
+                    "cache_hits": hits,
+                },
+                "latency_s": lat,
+                "cache": cache,
+                "tenants": tenant_rows,
+            }
+            with open(args.out, "w") as fh:
+                json.dump(card, fh, indent=2)
+            print(f"scorecard written to {args.out}")
+    finally:
+        dc.close()
+    return 0 if errors == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "survey":
@@ -431,6 +568,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_obs(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

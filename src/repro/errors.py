@@ -45,6 +45,16 @@ class ShardDownError(StoreError):
     """Raised when no healthy replica of a storage shard can serve a read."""
 
 
+class ServingError(TelemetryError):
+    """Raised on invalid serving front-door configuration or use.
+
+    Note that *per-query* serving outcomes (rate limiting, shedding, open
+    breakers, unknown metrics) are never raised — the front door returns
+    typed ``RejectedQuery``/failed ``QueryResult`` values instead, so one
+    misbehaving tenant cannot turn into an exception storm.
+    """
+
+
 class SamplerError(TelemetryError):
     """Raised when a telemetry source fails to produce a reading."""
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from bisect import bisect_left
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -131,13 +132,20 @@ class Histogram:
     Observations land in the first bucket whose upper edge is >= the value
     (cumulative ``le`` semantics, like Prometheus); values beyond the last
     edge go to the implicit +Inf bucket.  p50/p95/p99 are estimated by
-    linear interpolation inside the owning bucket — the tracked min/max
-    bound the first and overflow buckets so estimates stay finite.
+    linear interpolation inside the owning bucket, with the interpolation
+    range clamped to the tracked observed ``[min, max]`` — this keeps the
+    first and overflow buckets finite *and* stops interior buckets from
+    over-reporting the tail (a histogram whose every observation is 0.3 s
+    reports p99 = 0.3 s, not the bucket's upper edge).
+
+    Histograms observed from several threads at once (the serving worker
+    pool) should be built with ``threadsafe=True``; the default stays
+    lock-free for the single-threaded pipeline hot paths.
     """
 
     kind = "histogram"
     __slots__ = ("name", "description", "unit", "edges", "bucket_counts",
-                 "count", "sum", "min", "max")
+                 "count", "sum", "min", "max", "_lock")
 
     def __init__(
         self,
@@ -145,6 +153,7 @@ class Histogram:
         buckets: Optional[Iterable[float]] = None,
         description: str = "",
         unit: str = "s",
+        threadsafe: bool = False,
     ):
         self.name = name
         self.description = description
@@ -158,8 +167,16 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock: Optional[threading.Lock] = threading.Lock() if threadsafe else None
 
     def observe(self, value: float) -> None:
+        if self._lock is not None:
+            with self._lock:
+                self._observe(value)
+        else:
+            self._observe(value)
+
+    def _observe(self, value: float) -> None:
         self.bucket_counts[bisect_left(self.edges, value)] += 1
         self.count += 1
         self.sum += value
@@ -184,9 +201,16 @@ class Histogram:
             if not n:
                 continue
             if cum + n >= target:
-                lo = self.min if i == 0 else self.edges[i - 1]
-                hi = self.max if i == len(self.edges) else self.edges[i]
-                lo = min(lo, hi)
+                lo = -math.inf if i == 0 else self.edges[i - 1]
+                hi = math.inf if i == len(self.edges) else self.edges[i]
+                # Clamp the interpolation range to what was actually
+                # observed: a non-empty bucket i holds at least one value in
+                # (edges[i-1], edges[i]], so min <= hi and max > lo and the
+                # clamped range stays well ordered.
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if lo > hi:
+                    lo = hi
                 frac = (target - cum) / n
                 return lo + (hi - lo) * frac
             cum += n
@@ -263,9 +287,11 @@ class MetricsRegistry:
         buckets: Optional[Iterable[float]] = None,
         description: str = "",
         unit: str = "s",
+        threadsafe: bool = False,
     ) -> Histogram:
         return self._get_or_create(
-            Histogram, name, buckets=buckets, description=description, unit=unit
+            Histogram, name, buckets=buckets, description=description,
+            unit=unit, threadsafe=threadsafe,
         )
 
     # ------------------------------------------------------------------

@@ -249,6 +249,20 @@ class DataCenter:
         """Shorthand range query over the full history."""
         return self.store.query(name)
 
+    def frontend(self, **kwargs):
+        """The multi-tenant query front door over this site's store.
+
+        Created on first access (keyword arguments configure it then; see
+        :class:`~repro.telemetry.serving.QueryFrontend`).  If supervision
+        is enabled the frontend goes under the supervisor's watchdog: a
+        saturated frontend trips its breaker and degrades to shed-first
+        mode until the backlog clears.
+        """
+        frontend = self.telemetry.frontend(**kwargs)
+        if self.supervisor is not None:
+            self.supervisor.watch_frontend(frontend)
+        return frontend
+
     def enable_supervision(self, policy=None):
         """Create (once) and start the control-plane
         :class:`~repro.oda.supervision.Supervisor` for this site.
@@ -269,6 +283,9 @@ class DataCenter:
         if runtime is not None:
             # Parallel shard workers go under watchdog crash detection.
             self.supervisor.watch_runtime(runtime)
+        if self.telemetry._frontend is not None:
+            # An already-created front door goes under saturation watch.
+            self.supervisor.watch_frontend(self.telemetry._frontend)
         self.supervisor.start()
         return self.supervisor
 

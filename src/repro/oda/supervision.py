@@ -597,6 +597,7 @@ class Supervisor:
         self.loops: Dict[str, SupervisedLoop] = {}
         self.stages: Dict[str, SupervisedStage] = {}
         self.runtimes: List = []  # parallel shard runtimes under watch
+        self.frontends: List = []  # query frontends under saturation watch
         self._watchdog: Optional[PeriodicHandle] = None
         self._metrics: Optional[MetricsRegistry] = None
 
@@ -659,6 +660,20 @@ class Supervisor:
         if runtime not in self.runtimes:
             self.runtimes.append(runtime)
 
+    def watch_frontend(self, frontend) -> None:
+        """Put a :class:`~repro.telemetry.serving.QueryFrontend` under
+        watchdog supervision (idempotent).
+
+        Every watchdog tick calls the frontend's
+        :meth:`~repro.telemetry.serving.QueryFrontend.watchdog_check`:
+        sustained queue saturation is recorded as breaker failures — so a
+        saturated frontend degrades to shed-first mode instead of queueing
+        without bound — and saturation episodes plus breaker transitions
+        are traced under ``supervisor.frontend``.
+        """
+        if frontend not in self.frontends:
+            self.frontends.append(frontend)
+
     def inject_controller_fault(
         self,
         loop_name: str,
@@ -702,6 +717,12 @@ class Supervisor:
                 self.emit(
                     now, "supervisor.runtime", "worker_crash",
                     shard=shard, restarted=runtime.config.auto_restart,
+                )
+        for frontend in self.frontends:
+            for kind, detail in frontend.watchdog_check():
+                self.emit(
+                    now, "supervisor.frontend", kind,
+                    frontend=frontend.name, **detail,
                 )
 
     # ------------------------------------------------------------------
@@ -778,6 +799,19 @@ class Supervisor:
                       "shard worker processes restarted by the watchdog",
                       fn=lambda: float(
                           sum(r_.worker_restarts for r_ in self.runtimes)
+                      ))
+            r.gauge("oda.supervisor.frontends",
+                    "query frontends under saturation watch",
+                    fn=lambda: float(len(self.frontends)))
+            r.gauge("oda.supervisor.frontends_shedding",
+                    "watched frontends currently in shed-first mode",
+                    fn=lambda: float(
+                        sum(1 for f in self.frontends if f.shedding)
+                    ))
+            r.counter("oda.supervisor.frontend_breaker_opens",
+                      "watched frontend breaker open transitions",
+                      fn=lambda: float(
+                          sum(f.breaker.opens for f in self.frontends)
                       ))
             self._metrics = r
         return self._metrics

@@ -58,6 +58,18 @@ from repro.telemetry.rollup import (
     RollupEngine,
 )
 from repro.telemetry.sample import SampleBatch, merge_batches
+from repro.telemetry.serving import (
+    AlignQuery,
+    NamesQuery,
+    QueryFrontend,
+    QueryResult,
+    RangeQuery,
+    RejectReason,
+    RejectedQuery,
+    ResampleQuery,
+    SelectQuery,
+    TenantConfig,
+)
 from repro.telemetry.store import (
     AGGREGATIONS,
     VECTORIZED_AGGREGATIONS,
@@ -106,6 +118,16 @@ __all__ = [
     "Unit",
     "SampleBatch",
     "merge_batches",
+    "QueryFrontend",
+    "TenantConfig",
+    "NamesQuery",
+    "SelectQuery",
+    "RangeQuery",
+    "ResampleQuery",
+    "AlignQuery",
+    "QueryResult",
+    "RejectedQuery",
+    "RejectReason",
     "load_store",
     "save_store",
     "AGGREGATIONS",

@@ -117,6 +117,9 @@ def _tick_shift(times: np.ndarray) -> Optional[int]:
     tick (``None`` if no shift up to :data:`_MAX_TICK_SHIFT` works)."""
     if not np.all(np.isfinite(times)):
         return None
+    if np.any((times == 0.0) & np.signbit(times)):
+        # -0.0 == floor(-0.0) but int ticks cannot hold the sign bit.
+        return None
     for shift in range(_MAX_TICK_SHIFT + 1):
         scaled = times * float(1 << shift)
         if np.any(np.abs(scaled) >= _MAX_TICKS):

@@ -329,6 +329,7 @@ class TelemetrySystem:
             )
         self.agents: List[CollectionAgent] = []
         self._alerts = None
+        self._frontend = None
         self.health = None
         self.bus.subscribe("#", self.store.ingest)
         if health_period is not None:
@@ -343,6 +344,25 @@ class TelemetrySystem:
             self._alerts = AlertEngine()
             self.bus.subscribe("#", self._alerts.observe)
         return self._alerts
+
+    def frontend(self, **kwargs):
+        """The multi-tenant query front door, created on first access.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.telemetry.serving.QueryFrontend` on creation only;
+        passing them again once the frontend exists raises, because a
+        silently ignored config is worse than an error.
+        """
+        if self._frontend is None:
+            from repro.telemetry.serving import QueryFrontend
+
+            self._frontend = QueryFrontend(self.store, **kwargs)
+        elif kwargs:
+            raise ConfigurationError(
+                "frontend already created; configure tenants via "
+                "frontend().configure_tenant(...) instead"
+            )
+        return self._frontend
 
     def enable_health(self, period: float = 60.0):
         """Attach (or return) the pipeline self-metrics monitor."""
@@ -390,6 +410,8 @@ class TelemetrySystem:
         equivalent to :meth:`stop_all`.
         """
         self.stop_all()
+        if self._frontend is not None:
+            self._frontend.close()
         close = getattr(self.store, "close", None)
         if close is not None:
             close()
@@ -410,6 +432,8 @@ class TelemetrySystem:
             registries.append(self.store.metrics)
         if self.health is not None:
             registries.append(self.health.metrics_registry)
+        if self._frontend is not None:
+            registries.append(self._frontend.metrics)
         if len(_OBS.registry):
             registries.append(_OBS.registry)
         return registries

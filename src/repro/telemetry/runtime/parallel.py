@@ -40,6 +40,7 @@ import gc
 import logging
 import multiprocessing as mp
 import os
+import threading
 import time as _time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -193,6 +194,13 @@ class RemoteStoreProxy:
     @property
     def latest_time(self) -> float:
         return float(self._call("stat", self.member, "latest_time"))
+
+    def version_stamp(self) -> Tuple[float, float, float, float]:
+        """Per-shard ingest watermark (see
+        :meth:`TimeSeriesStore.version_stamp`), read from the worker — it
+        reflects exactly the ring slots the worker has applied, which is
+        also exactly what its reads serve."""
+        return tuple(self._call("version", self.member))
 
     # -- derived reads: executed worker-side (planner-aware) ------------
     def resample(
@@ -457,6 +465,14 @@ class ParallelShardRuntime:
         ]
         self._conns: List = [None] * shards
         self._procs: List = [None] * shards
+        # One RPC lock per shard pipe: a command is a send-then-recv pair on
+        # a Connection shared by every reader thread (the serving front
+        # door's worker pool), so the pair must be atomic or replies
+        # interleave across callers.  Per-shard, so fan-outs to different
+        # shards still overlap.
+        self._rpc_locks: List[threading.Lock] = [
+            threading.Lock() for _ in range(shards)
+        ]
         # Name interning: one global names-tuple table, lazily announced to
         # each worker the first time a shape heads its way.
         self._intern: Dict[Tuple[str, ...], int] = {}
@@ -687,27 +703,28 @@ class ParallelShardRuntime:
     def _call(self, shard: int, op: str, payload: tuple):
         if self._closed:
             raise StoreError("parallel runtime is closed")
-        if not self.worker_alive(shard):
-            # One repair attempt before declaring the shard unreadable.
-            self.check_workers()
+        with self._rpc_locks[shard]:
             if not self.worker_alive(shard):
-                raise ShardDownError(f"shard {shard}: worker process is dead")
-        conn = self._conns[shard]
-        if op == "reg":
-            conn.send(("reg",) + payload)
-            return None
-        conn.send(("cmd", self.rings[shard].head, op, payload))
-        deadline = _time.monotonic() + self.config.command_timeout
-        while not conn.poll(0.01):
-            if not self.worker_alive(shard):
-                raise ShardDownError(
-                    f"shard {shard}: worker died executing {op!r}"
-                )
-            if _time.monotonic() > deadline:
-                raise StoreError(
-                    f"shard {shard}: worker timed out executing {op!r}"
-                )
-        reply = conn.recv()
+                # One repair attempt before declaring the shard unreadable.
+                self.check_workers()
+                if not self.worker_alive(shard):
+                    raise ShardDownError(f"shard {shard}: worker process is dead")
+            conn = self._conns[shard]
+            if op == "reg":
+                conn.send(("reg",) + payload)
+                return None
+            conn.send(("cmd", self.rings[shard].head, op, payload))
+            deadline = _time.monotonic() + self.config.command_timeout
+            while not conn.poll(0.01):
+                if not self.worker_alive(shard):
+                    raise ShardDownError(
+                        f"shard {shard}: worker died executing {op!r}"
+                    )
+                if _time.monotonic() > deadline:
+                    raise StoreError(
+                        f"shard {shard}: worker timed out executing {op!r}"
+                    )
+            reply = conn.recv()
         if reply[0] == "ok":
             return reply[1]
         _, exc_type, message, _tb = reply

@@ -457,6 +457,8 @@ class ShardWorker:
             return grid, matrix
         if op == "stat":
             return self._stat(*payload)
+        if op == "version":
+            return tuple(rs.members[payload[0]].version_stamp())
         if op == "member_flush":
             member, name = payload
             return rs.members[member].flush(name)

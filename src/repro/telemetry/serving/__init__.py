@@ -1,0 +1,61 @@
+"""Multi-tenant query-serving front door for the telemetry tier.
+
+This is the user-access layer of the paper's framework — the piece that
+takes collected and analyzed operational data back to operators and end
+users (DCDB Wintermute's pull-based query interface is the production
+model).  See :mod:`.frontend` for the architecture overview.
+"""
+
+from repro.telemetry.serving.admission import (
+    AdmissionController,
+    TenantConfig,
+    TokenBucket,
+)
+from repro.telemetry.serving.cache import ResultCache
+from repro.telemetry.serving.frontend import (
+    LATENCY_BUCKETS,
+    PendingQuery,
+    QueryFrontend,
+)
+from repro.telemetry.serving.query import (
+    AlignQuery,
+    NamesQuery,
+    Query,
+    QueryResult,
+    RangeQuery,
+    RejectReason,
+    RejectedQuery,
+    ResampleQuery,
+    SelectQuery,
+    ServeOutcome,
+)
+from repro.telemetry.serving.workload import (
+    WorkloadSpec,
+    heavy_tailed_workload,
+    replay,
+    tenant_configs,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TenantConfig",
+    "TokenBucket",
+    "ResultCache",
+    "LATENCY_BUCKETS",
+    "PendingQuery",
+    "QueryFrontend",
+    "AlignQuery",
+    "NamesQuery",
+    "Query",
+    "QueryResult",
+    "RangeQuery",
+    "RejectReason",
+    "RejectedQuery",
+    "ResampleQuery",
+    "SelectQuery",
+    "ServeOutcome",
+    "WorkloadSpec",
+    "heavy_tailed_workload",
+    "replay",
+    "tenant_configs",
+]

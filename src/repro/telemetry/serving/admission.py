@@ -1,0 +1,226 @@
+"""Per-tenant admission control: token buckets, bounded fair queues.
+
+The admission layer decides, per submitted query, whether it enters the
+serving queue at all — and in what order queued work reaches the worker
+pool:
+
+* **token-bucket rate limits** per tenant (``rate`` queries/s sustained,
+  ``burst`` above it), with an honest ``retry_after_s`` hint on rejection;
+* **bounded queues**: per-tenant ``max_queue`` and one global bound, so a
+  single tenant flooding the front door fills *its* queue, not everyone's;
+* **fair dispatch**: round-robin across tenants with queued work, skipping
+  tenants already at their ``max_concurrency`` — a heavy tenant with 10 000
+  queued queries still only gets its turn, so light tenants are never
+  starved behind it.
+
+The controller is *not* internally locked: every method is called under the
+owning :class:`~repro.telemetry.serving.frontend.QueryFrontend`'s dispatch
+lock, which also covers the queue/inflight bookkeeping the fairness
+decisions read.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ServingError
+from repro.telemetry.serving.query import RejectReason
+
+__all__ = ["TokenBucket", "TenantConfig", "TenantState", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic token bucket over an injected clock.
+
+    ``rate`` tokens/s accrue up to ``burst``; :meth:`try_take` either takes
+    ``cost`` tokens and returns ``0.0`` or leaves the bucket untouched and
+    returns the seconds until ``cost`` tokens will be available.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0):
+        if rate <= 0 and not math.isinf(rate):
+            raise ServingError(f"token bucket rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ServingError(f"token bucket burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_take(self, now: float, cost: float = 1.0) -> float:
+        if math.isinf(self.rate):
+            return 0.0
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        return (cost - self.tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Admission envelope and visibility scope of one tenant.
+
+    ``visibility`` is a tuple of shell-style patterns naming the series the
+    tenant may see (``None`` = everything).  Two tenants with the same
+    visibility share cache entries; the patterns — not the tenant name —
+    are part of the cache key.
+    """
+
+    rate: float = math.inf          # sustained queries/s (inf = unlimited)
+    burst: float = 32.0             # bucket depth above the sustained rate
+    max_concurrency: int = 4        # queries of this tenant in flight at once
+    max_queue: int = 64             # queued queries before QUEUE_FULL
+    visibility: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        if self.visibility is not None:
+            object.__setattr__(self, "visibility", tuple(self.visibility))
+        if self.max_concurrency < 1:
+            raise ServingError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.max_queue < 1:
+            raise ServingError(f"max_queue must be >= 1, got {self.max_queue}")
+        # Validate the bucket parameters eagerly, at configuration time.
+        TokenBucket(self.rate, self.burst)
+
+
+class TenantState:
+    """Mutable per-tenant admission state (owned by the controller)."""
+
+    __slots__ = (
+        "name", "config", "bucket", "queue", "inflight",
+        "offered", "admitted", "completed", "errors", "rejected",
+    )
+
+    def __init__(self, name: str, config: TenantConfig, now: float):
+        self.name = name
+        self.config = config
+        self.bucket = TokenBucket(config.rate, config.burst, now)
+        self.queue: Deque = deque()
+        self.inflight = 0
+        self.offered = 0
+        self.admitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.rejected: Dict[RejectReason, int] = {r: 0 for r in RejectReason}
+
+    def stats(self) -> Dict[str, float]:
+        out = {
+            "offered": float(self.offered),
+            "admitted": float(self.admitted),
+            "completed": float(self.completed),
+            "errors": float(self.errors),
+            "queued": float(len(self.queue)),
+            "inflight": float(self.inflight),
+        }
+        for reason, n in self.rejected.items():
+            out[f"rejected.{reason.value}"] = float(n)
+        return out
+
+
+class AdmissionController:
+    """Token buckets + bounded per-tenant queues + fair round-robin pop."""
+
+    def __init__(
+        self,
+        default_config: Optional[TenantConfig] = None,
+        global_queue: int = 256,
+        enabled: bool = True,
+    ):
+        if global_queue < 1:
+            raise ServingError(f"global_queue must be >= 1, got {global_queue}")
+        self.default_config = default_config or TenantConfig()
+        self.global_queue = global_queue
+        self.enabled = enabled
+        self.tenants: Dict[str, TenantState] = {}
+        self._rr: Deque[str] = deque()
+        self.queued = 0
+
+    # ------------------------------------------------------------------
+    def tenant(self, name: str, now: float) -> TenantState:
+        """Get-or-create a tenant under the default config."""
+        state = self.tenants.get(name)
+        if state is None:
+            state = self.tenants[name] = TenantState(
+                name, self.default_config, now
+            )
+            self._rr.append(name)
+        return state
+
+    def configure(self, name: str, config: TenantConfig, now: float) -> TenantState:
+        """Install (or replace) a tenant's admission envelope."""
+        state = self.tenant(name, now)
+        state.config = config
+        state.bucket = TokenBucket(config.rate, config.burst, now)
+        return state
+
+    # ------------------------------------------------------------------
+    def try_admit(
+        self, state: TenantState, now: float
+    ) -> Optional[Tuple[RejectReason, Optional[float]]]:
+        """``None`` to admit, else ``(reason, retry_after_s)``.
+
+        Does not enqueue — the frontend decides (it may still shed on its
+        own saturation or breaker state before calling :meth:`push`).
+        """
+        if not self.enabled:
+            return None
+        if self.queued >= self.global_queue:
+            return (RejectReason.QUEUE_FULL, None)
+        if len(state.queue) >= state.config.max_queue:
+            return (RejectReason.QUEUE_FULL, None)
+        wait = state.bucket.try_take(now)
+        if wait > 0.0:
+            return (RejectReason.RATE_LIMITED, wait)
+        return None
+
+    def push(self, state: TenantState, task) -> None:
+        state.queue.append(task)
+        self.queued += 1
+
+    def pop(self):
+        """Fair dispatch: next runnable task, round-robin across tenants.
+
+        Skips tenants with nothing queued and — when admission is enabled —
+        tenants already at ``max_concurrency``.  Returns ``None`` when no
+        tenant is runnable right now (workers wait; a task completion or a
+        new push re-notifies).
+        """
+        for _ in range(len(self._rr)):
+            name = self._rr[0]
+            self._rr.rotate(-1)
+            state = self.tenants[name]
+            if not state.queue:
+                continue
+            if self.enabled and state.inflight >= state.config.max_concurrency:
+                continue
+            task = state.queue.popleft()
+            self.queued -= 1
+            state.inflight += 1
+            return task
+        return None
+
+    def task_done(self, state: TenantState) -> None:
+        state.inflight -= 1
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        return self.queued
+
+    def inflight(self) -> int:
+        return sum(s.inflight for s in self.tenants.values())
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        return {name: s.stats() for name, s in self.tenants.items()}

@@ -1,0 +1,127 @@
+"""Watermark-validated LRU cache for query results.
+
+Correctness contract: **a cache hit returns exactly the bits an uncached
+execution would return right now.**  That is achieved without any push
+invalidation machinery:
+
+* the key is ``(query, visibility-scope)`` — the frozen query dataclass
+  plus the tenant's visibility *patterns* (not its name, so tenants with
+  the same scope share entries);
+* every entry records the **version stamps** of the shards the query can
+  read — ``(shard, member, samples_ingested, latest_time, series_count,
+  samples_trimmed)`` per involved shard, captured *before* the query ran
+  (and re-checked after: an entry is only stored if no ingest raced the
+  execution);
+* a lookup revalidates by comparing current stamps to the recorded ones.
+  Any ingest on an owning shard — or a failover to a different member —
+  changes the stamps and the entry is dropped on sight.
+
+Because retention trimming is a deterministic function of
+``latest_time`` (and reads enforce the exact cutoff), equal stamps imply
+the shard serves byte-identical answers, including through rollup tiers
+and the cold archive.  The stamps are conservative — an ingest to *any*
+series on an owning shard invalidates queries that didn't touch it — which
+trades some hit rate for an unconditional bit-identical guarantee.
+
+Cached payload arrays are stored as read-only copies (hits hand the same
+arrays to many callers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServingError
+
+__all__ = ["ResultCache"]
+
+#: entry: (versions, payload)
+_Entry = Tuple[Tuple, Any]
+
+
+def freeze_payload(payload: Any) -> Any:
+    """Deep-copy a result payload with every ndarray made read-only.
+
+    Range queries return live views onto store buffers; copying under the
+    store lock is what makes a cached payload immune to later retention
+    compaction, and the writeable flag keeps one tenant's mutation from
+    corrupting another's hit.
+    """
+    if isinstance(payload, np.ndarray):
+        frozen = payload.copy()
+        frozen.setflags(write=False)
+        return frozen
+    if isinstance(payload, tuple):
+        return tuple(freeze_payload(p) for p in payload)
+    if isinstance(payload, list):
+        return [freeze_payload(p) for p in payload]
+    return payload
+
+
+class ResultCache:
+    """LRU cache whose entries carry per-shard version stamps."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ServingError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Any, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key, versions: Tuple) -> Optional[Any]:
+        """Payload if present *and* still valid against ``versions``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_versions, payload = entry
+            if stored_versions != versions:
+                # Ingest moved a watermark (or a failover changed the
+                # serving member) since this was stored: stale, drop it.
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key, versions: Tuple, payload: Any) -> None:
+        """Store a frozen payload under ``key`` at ``versions``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = (versions, payload)
+            self.stores += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_ratio": (self.hits / lookups) if lookups else 0.0,
+            "invalidations": float(self.invalidations),
+            "evictions": float(self.evictions),
+            "stores": float(self.stores),
+        }

@@ -1,0 +1,215 @@
+"""Seeded heavy-tailed multi-tenant query workloads.
+
+Real serving traffic is never uniform: a few tenants dominate the offered
+load (Zipf-weighted tenant selection), a few canonical dashboard queries
+repeat constantly (a "hot pool" drawn with Zipf rank weights — this is
+what a result cache exists for), and window lengths are heavy-tailed
+(Pareto — most queries look at the recent past, a few scan months).  This
+module generates such workloads deterministically from a seed, plus a
+threaded :func:`replay` helper the CLI and benchmark share.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.telemetry.serving.admission import TenantConfig
+from repro.telemetry.serving.query import (
+    AlignQuery,
+    NamesQuery,
+    Query,
+    RangeQuery,
+    ResampleQuery,
+    SelectQuery,
+    ServeOutcome,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "tenant_configs",
+    "heavy_tailed_workload",
+    "replay",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a generated workload (all knobs seeded/deterministic)."""
+
+    tenants: int = 6
+    queries: int = 500
+    seed: int = 0
+    #: fraction of queries drawn from the repeating hot pool
+    hot_fraction: float = 0.6
+    #: number of distinct canonical queries in the hot pool
+    hot_pool: int = 16
+    #: Zipf exponent for tenant selection (higher = more skewed)
+    tenant_skew: float = 1.2
+    #: Pareto shape for window lengths (lower = heavier tail)
+    window_shape: float = 1.3
+    #: widest align fan-out (series per align query)
+    max_align_series: int = 32
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-s)
+    return w / w.sum()
+
+
+def tenant_names(n: int) -> List[str]:
+    return [f"tenant{i}" for i in range(n)]
+
+
+def tenant_configs(
+    n: int,
+    base_rate: float = 200.0,
+    burst: float = 32.0,
+    max_concurrency: int = 4,
+    max_queue: int = 32,
+) -> Dict[str, TenantConfig]:
+    """Admission envelopes for ``n`` tenants.
+
+    Every tenant gets the same envelope — the heavy tail is in the *offered*
+    load, so under pressure the dominant tenants are exactly the ones that
+    hit their limits while light tenants keep sailing through.
+    """
+    return {
+        name: TenantConfig(
+            rate=base_rate,
+            burst=burst,
+            max_concurrency=max_concurrency,
+            max_queue=max_queue,
+        )
+        for name in tenant_names(n)
+    }
+
+
+def _make_query(
+    rng: np.random.Generator,
+    names: Sequence[str],
+    since: float,
+    until: float,
+    spec: WorkloadSpec,
+) -> Query:
+    span = until - since
+    if span <= 0:
+        raise ServingError(f"workload window is empty: [{since}, {until}]")
+    kind = rng.choice(
+        ("align", "resample", "range", "select", "names"),
+        p=(0.50, 0.25, 0.15, 0.07, 0.03),
+    )
+    if kind == "names":
+        return NamesQuery()
+    if kind == "select":
+        stem = str(names[int(rng.integers(len(names)))])
+        prefix = stem.rsplit(".", 2)[0]
+        return SelectQuery(pattern=f"{prefix}.*")
+    # Heavy-tailed window length: most queries recent and narrow, a few
+    # scan (almost) the whole horizon.
+    frac = min(1.0, 0.02 * (1.0 + rng.pareto(spec.window_shape)))
+    length = max(span * 0.005, span * frac)
+    # Bias window ends toward "now" (dashboards watch the live edge).
+    end = until - (span - length) * float(rng.random()) ** 2
+    start = end - length
+    if kind == "range":
+        name = str(names[int(rng.integers(len(names)))])
+        return RangeQuery(name=name, since=start, until=end)
+    buckets = int(rng.choice((50, 100, 200, 400)))
+    step = max(1.0, length / buckets)
+    agg = str(rng.choice(("mean", "max", "min"), p=(0.6, 0.25, 0.15)))
+    if kind == "resample":
+        name = str(names[int(rng.integers(len(names)))])
+        return ResampleQuery(
+            name=name, since=start, until=end, step=step, agg=agg
+        )
+    k = min(
+        len(names),
+        spec.max_align_series,
+        1 + int(rng.pareto(1.1) * 4.0),
+    )
+    lo = int(rng.integers(max(1, len(names) - k + 1)))
+    return AlignQuery(
+        names=tuple(names[lo:lo + k]),
+        since=start, until=end, step=step, agg=agg,
+    )
+
+
+def heavy_tailed_workload(
+    names: Sequence[str],
+    since: float,
+    until: float,
+    spec: Optional[WorkloadSpec] = None,
+) -> List[Tuple[str, Query]]:
+    """Deterministic ``[(tenant, query), ...]`` from ``spec.seed``.
+
+    ``hot_fraction`` of events re-issue one of ``hot_pool`` canonical
+    queries (rank-weighted, so a handful dominate — these are the cache's
+    bread and butter); the rest are freshly drawn, mostly-unique queries.
+    """
+    spec = spec or WorkloadSpec()
+    if not names:
+        raise ServingError("workload needs at least one series name")
+    rng = np.random.default_rng(spec.seed)
+    tenants = tenant_names(spec.tenants)
+    tenant_w = _zipf_weights(spec.tenants, spec.tenant_skew)
+    pool = [
+        _make_query(rng, names, since, until, spec)
+        for _ in range(spec.hot_pool)
+    ]
+    pool_w = _zipf_weights(len(pool), 1.1)
+    events: List[Tuple[str, Query]] = []
+    for _ in range(spec.queries):
+        tenant = tenants[int(rng.choice(spec.tenants, p=tenant_w))]
+        if rng.random() < spec.hot_fraction:
+            query = pool[int(rng.choice(len(pool), p=pool_w))]
+        else:
+            query = _make_query(rng, names, since, until, spec)
+        events.append((tenant, query))
+    return events
+
+
+def replay(
+    frontend,
+    events: Sequence[Tuple[str, Query]],
+    submitters: int = 4,
+    timeout: float = 60.0,
+) -> List[ServeOutcome]:
+    """Replay ``events`` through ``frontend`` from ``submitters`` threads.
+
+    Events are dealt round-robin to the submitter threads (preserving each
+    thread's relative order) — the closest thing to N independent clients
+    hammering one front door.  Returns outcomes in the original event
+    order.
+    """
+    if submitters < 1:
+        raise ServingError(f"submitters must be >= 1, got {submitters}")
+    outcomes: List[Optional[ServeOutcome]] = [None] * len(events)
+
+    def run(worker: int) -> None:
+        for i in range(worker, len(events), submitters):
+            tenant, query = events[i]
+            outcomes[i] = frontend.serve(tenant, query, timeout=timeout)
+
+    if submitters == 1 or frontend.max_workers == 0:
+        # Inline frontends execute on the calling thread; multiple
+        # submitters would add nothing but nondeterminism.
+        run_all = [
+            frontend.serve(tenant, query, timeout=timeout)
+            for tenant, query in events
+        ]
+        return run_all
+    threads = [
+        threading.Thread(target=run, args=(w,), name=f"repro-submit-{w}")
+        for w in range(submitters)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return outcomes  # type: ignore[return-value]

@@ -26,12 +26,23 @@ LDMS+DSOS, Prometheus):
   multivariate analytics model wants), computing the bucket-edge grid once
   and sharing it across all series,
 * optional retention limit per series.
+
+Thread safety: because *reads mutate* (flush-on-read moves staged samples
+into the columnar arrays, and reads enforce the exact retention cutoff),
+every public entry point — ingest and query alike — takes one per-store
+reentrant lock.  This is what lets the serving front door
+(:mod:`repro.telemetry.serving`) run a pool of reader threads against a
+store that a collector thread is still ingesting into.  Note that ``query``
+returns *views*; a caller that holds a view across subsequent ingest may
+observe retention compaction.  Consumers that cache results (the serving
+result cache) copy under the lock.
 """
 
 from __future__ import annotations
 
 import fnmatch
 import re
+import threading
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -431,6 +442,9 @@ class TimeSeriesStore:
         self._select_cache: Dict[str, Callable] = {}
         self._sweep_queue: List[str] = []
         self._metrics: Optional[MetricsRegistry] = None
+        # Reentrant because reads nest (align -> resample_column -> query)
+        # and rollup maintenance re-enters via the fetch hooks.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Ingest
@@ -455,29 +469,30 @@ class TimeSeriesStore:
         return self._ingest(topic, batch)
 
     def _ingest(self, topic: str, batch: SampleBatch) -> None:
-        t = batch.time
-        staging = self._staging
-        threshold = self.flush_threshold
-        for name, value in zip(batch.names, batch.values.tolist()):
-            stage = staging.get(name)
-            if stage is None:
-                stage = staging[name] = _Stage(self._last_time_of(name))
-            if t < stage.last_t:
-                raise StoreError(
-                    f"series {name}: out-of-order ingest at t={t} "
-                    f"(last t={stage.last_t})"
-                )
-            if t == stage.last_t and stage.times:
-                stage.values[-1] = value  # last writer wins in staging too
-            else:
-                stage.times.append(t)
-                stage.values.append(value)
-                stage.last_t = t
-                if len(stage.times) >= threshold:
-                    self._flush_stage(name, stage)
-        self.samples_ingested += len(batch.names)
-        if t > self._latest_time:
-            self._latest_time = t
+        with self._lock:
+            t = batch.time
+            staging = self._staging
+            threshold = self.flush_threshold
+            for name, value in zip(batch.names, batch.values.tolist()):
+                stage = staging.get(name)
+                if stage is None:
+                    stage = staging[name] = _Stage(self._last_time_of(name))
+                if t < stage.last_t:
+                    raise StoreError(
+                        f"series {name}: out-of-order ingest at t={t} "
+                        f"(last t={stage.last_t})"
+                    )
+                if t == stage.last_t and stage.times:
+                    stage.values[-1] = value  # last writer wins in staging too
+                else:
+                    stage.times.append(t)
+                    stage.values.append(value)
+                    stage.last_t = t
+                    if len(stage.times) >= threshold:
+                        self._flush_stage(name, stage)
+            self.samples_ingested += len(batch.names)
+            if t > self._latest_time:
+                self._latest_time = t
 
     def _last_time_of(self, name: str) -> float:
         """Last stored timestamp of ``name``, creating the series if needed."""
@@ -529,58 +544,61 @@ class TimeSeriesStore:
         return self._flush(name)
 
     def _flush(self, name: Optional[str] = None) -> int:
-        flushed = 0
-        if name is not None:
-            stage = self._staging.get(name)
-            if stage is not None and stage.times:
-                flushed = len(stage.times)
-                self._flush_stage(name, stage)
+        with self._lock:
+            flushed = 0
+            if name is not None:
+                stage = self._staging.get(name)
+                if stage is not None and stage.times:
+                    flushed = len(stage.times)
+                    self._flush_stage(name, stage)
+                return flushed
+            for series_name, stage in self._staging.items():
+                if stage.times:
+                    flushed += len(stage.times)
+                    self._flush_stage(series_name, stage)
             return flushed
-        for series_name, stage in self._staging.items():
-            if stage.times:
-                flushed += len(stage.times)
-                self._flush_stage(series_name, stage)
-        return flushed
 
     def append(self, name: str, time: float, value: float) -> None:
         """Append one sample to ``name``, creating the series if needed."""
-        self._last_time_of(name)  # ensure the series exists
-        buf = self._series[name]
-        stage = self._staging.get(name)
-        if stage is not None:
-            if stage.times:
-                self._flush_stage(name, stage)
-            if time > stage.last_t:
-                stage.last_t = time
-        buf.append(time, value)
-        self.samples_ingested += 1
-        if time > self._latest_time:
-            self._latest_time = time
-        self._observe_rollups(buf)
-        if self.retention is not None:
-            self._maybe_trim(buf, exact=False)
-            self._sweep_one()
+        with self._lock:
+            self._last_time_of(name)  # ensure the series exists
+            buf = self._series[name]
+            stage = self._staging.get(name)
+            if stage is not None:
+                if stage.times:
+                    self._flush_stage(name, stage)
+                if time > stage.last_t:
+                    stage.last_t = time
+            buf.append(time, value)
+            self.samples_ingested += 1
+            if time > self._latest_time:
+                self._latest_time = time
+            self._observe_rollups(buf)
+            if self.retention is not None:
+                self._maybe_trim(buf, exact=False)
+                self._sweep_one()
 
     def append_many(self, name: str, times: np.ndarray, values: np.ndarray) -> None:
         """Vectorized bulk append to a single series."""
-        self._last_time_of(name)  # ensure the series exists
-        buf = self._series[name]
-        times = np.asarray(times, dtype=np.float64)
-        stage = self._staging.get(name)
-        if stage is not None and stage.times:
-            self._flush_stage(name, stage)
-        buf.append_many(times, values)
-        self.samples_ingested += int(times.size)
-        if times.size:
-            last = float(times[-1])
-            if stage is not None and last > stage.last_t:
-                stage.last_t = last
-            if last > self._latest_time:
-                self._latest_time = last
-        self._observe_rollups(buf)
-        if self.retention is not None:
-            self._maybe_trim(buf, exact=False)
-            self._sweep_one()
+        with self._lock:
+            self._last_time_of(name)  # ensure the series exists
+            buf = self._series[name]
+            times = np.asarray(times, dtype=np.float64)
+            stage = self._staging.get(name)
+            if stage is not None and stage.times:
+                self._flush_stage(name, stage)
+            buf.append_many(times, values)
+            self.samples_ingested += int(times.size)
+            if times.size:
+                last = float(times[-1])
+                if stage is not None and last > stage.last_t:
+                    stage.last_t = last
+                if last > self._latest_time:
+                    self._latest_time = last
+            self._observe_rollups(buf)
+            if self.retention is not None:
+                self._maybe_trim(buf, exact=False)
+                self._sweep_one()
 
     def append_block(
         self, names: Sequence[str], times: np.ndarray, rows: np.ndarray
@@ -608,42 +626,43 @@ class TimeSeriesStore:
             return
         if np.any(np.diff(times) < 0):
             raise StoreError("append_block: times must be non-decreasing")
-        series = self._series
-        staging = self._staging
-        last = float(times[-1])
-        t0 = times[0]
-        for i, name in enumerate(names):
-            buf = series.get(name)
-            if buf is None:
-                buf = series[name] = SeriesBuffer(name)
-                self._names_cache = None
-            stage = staging.get(name)
-            if stage is not None:
-                if stage.times:
-                    self._flush_stage(name, stage)
-                if last > stage.last_t:
-                    stage.last_t = last
-            size = buf._size
-            if size and t0 <= buf._times[size - 1]:
-                # Overlaps the stored tail: let append_many handle the
-                # last-writer-wins collapse (and ordering errors).
-                buf.append_many(times, rows[:, i])
-            else:
-                end = size + n
-                buf._grow(end)
-                buf._times[size:end] = times
-                buf._values[size:end] = rows[:, i]
-                buf._size = end
-        self.samples_ingested += n * len(names)
-        if last > self._latest_time:
-            self._latest_time = last
-        if self.rollups is not None:
-            for name in names:
-                self._observe_rollups(series[name])
-        if self.retention is not None:
-            for name in names:
-                self._maybe_trim(series[name], exact=False)
-            self._sweep_one()
+        with self._lock:
+            series = self._series
+            staging = self._staging
+            last = float(times[-1])
+            t0 = times[0]
+            for i, name in enumerate(names):
+                buf = series.get(name)
+                if buf is None:
+                    buf = series[name] = SeriesBuffer(name)
+                    self._names_cache = None
+                stage = staging.get(name)
+                if stage is not None:
+                    if stage.times:
+                        self._flush_stage(name, stage)
+                    if last > stage.last_t:
+                        stage.last_t = last
+                size = buf._size
+                if size and t0 <= buf._times[size - 1]:
+                    # Overlaps the stored tail: let append_many handle the
+                    # last-writer-wins collapse (and ordering errors).
+                    buf.append_many(times, rows[:, i])
+                else:
+                    end = size + n
+                    buf._grow(end)
+                    buf._times[size:end] = times
+                    buf._values[size:end] = rows[:, i]
+                    buf._size = end
+            self.samples_ingested += n * len(names)
+            if last > self._latest_time:
+                self._latest_time = last
+            if self.rollups is not None:
+                for name in names:
+                    self._observe_rollups(series[name])
+            if self.retention is not None:
+                for name in names:
+                    self._maybe_trim(series[name], exact=False)
+                self._sweep_one()
 
     # ------------------------------------------------------------------
     # Retention
@@ -695,9 +714,10 @@ class TimeSeriesStore:
     # Introspection
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
-        if self._names_cache is None:
-            self._names_cache = sorted(self._series)
-        return list(self._names_cache)
+        with self._lock:
+            if self._names_cache is None:
+                self._names_cache = sorted(self._series)
+            return list(self._names_cache)
 
     def __contains__(self, name: str) -> bool:
         return name in self._series
@@ -707,15 +727,16 @@ class TimeSeriesStore:
 
     def series(self, name: str) -> SeriesBuffer:
         """Read accessor: flushes staged samples and enforces retention."""
-        buf = self._series.get(name)
-        if buf is None:
-            raise UnknownMetricError(name)
-        stage = self._staging.get(name)
-        if stage is not None and stage.times:
-            self._flush_stage(name, stage)
-        if self.retention is not None:
-            self._maybe_trim(buf, exact=True)
-        return buf
+        with self._lock:
+            buf = self._series.get(name)
+            if buf is None:
+                raise UnknownMetricError(name)
+            stage = self._staging.get(name)
+            if stage is not None and stage.times:
+                self._flush_stage(name, stage)
+            if self.retention is not None:
+                self._maybe_trim(buf, exact=True)
+            return buf
 
     @property
     def latest_time(self) -> float:
@@ -725,7 +746,27 @@ class TimeSeriesStore:
     @property
     def staged_samples(self) -> int:
         """Samples currently parked in staging buffers (pre-flush)."""
-        return sum(len(stage.times) for stage in self._staging.values())
+        with self._lock:
+            return sum(len(stage.times) for stage in self._staging.values())
+
+    def version_stamp(self) -> Tuple[float, float, float, float]:
+        """Cheap monotone fingerprint of store content.
+
+        ``(samples_ingested, latest_time, series_count, samples_trimmed)``
+        changes whenever any write lands, so two queries bracketed by equal
+        stamps are guaranteed to see identical data — this is the per-shard
+        ingest watermark the serving result cache keys its invalidation on.
+        (Retention trims are a deterministic function of ``latest_time``
+        and reads enforce the exact cutoff, so an unchanged stamp also
+        pins what retention has visibly removed.)
+        """
+        with self._lock:
+            return (
+                float(self.samples_ingested),
+                self._latest_time,
+                float(len(self._series)),
+                float(self.samples_trimmed),
+            )
 
     @property
     def rollup_config(self) -> Optional[RollupConfig]:
@@ -827,22 +868,23 @@ class TimeSeriesStore:
         when no archive tier is attached).  The planner's raw tails use
         :meth:`_tiered_range` instead, which has query semantics.
         """
-        buf = self._series.get(name)
-        if buf is None:
+        with self._lock:
+            buf = self._series.get(name)
+            if buf is None:
+                if self.archive is not None and name in self.archive:
+                    return self.archive.scan(name, since, until)
+                raise UnknownMetricError(name)
+            stage = self._staging.get(name)
+            if stage is not None and stage.times:
+                self._flush_stage(name, stage)
+            ht, hv = buf.range(since, until)
             if self.archive is not None and name in self.archive:
-                return self.archive.scan(name, since, until)
-            raise UnknownMetricError(name)
-        stage = self._staging.get(name)
-        if stage is not None and stage.times:
-            self._flush_stage(name, stage)
-        ht, hv = buf.range(since, until)
-        if self.archive is not None and name in self.archive:
-            ct, cv = self.archive.scan(name, since, until)
-            if ct.size:
-                if not ht.size:
-                    return ct, cv
-                return np.concatenate((ct, ht)), np.concatenate((cv, hv))
-        return ht, hv
+                ct, cv = self.archive.scan(name, since, until)
+                if ct.size:
+                    if not ht.size:
+                        return ct, cv
+                    return np.concatenate((ct, ht)), np.concatenate((cv, hv))
+            return ht, hv
 
     def _tiered_range(
         self, name: str, since: float, until: float
@@ -852,24 +894,25 @@ class TimeSeriesStore:
         Cold samples are strictly older than everything hot (demotion
         moves a time-prefix), so the concatenation stays sorted.
         """
-        buf = self._series.get(name)
-        if buf is None:
+        with self._lock:
+            buf = self._series.get(name)
+            if buf is None:
+                if self.archive is not None and name in self.archive:
+                    return self.archive.scan(name, since, until)
+                raise UnknownMetricError(name)
+            stage = self._staging.get(name)
+            if stage is not None and stage.times:
+                self._flush_stage(name, stage)
+            if self.retention is not None:
+                self._maybe_trim(buf, exact=True)
+            ht, hv = buf.range(since, until)
             if self.archive is not None and name in self.archive:
-                return self.archive.scan(name, since, until)
-            raise UnknownMetricError(name)
-        stage = self._staging.get(name)
-        if stage is not None and stage.times:
-            self._flush_stage(name, stage)
-        if self.retention is not None:
-            self._maybe_trim(buf, exact=True)
-        ht, hv = buf.range(since, until)
-        if self.archive is not None and name in self.archive:
-            ct, cv = self.archive.scan(name, since, until)
-            if ct.size:
-                if not ht.size:
-                    return ct, cv
-                return np.concatenate((ct, ht)), np.concatenate((cv, hv))
-        return ht, hv
+                ct, cv = self.archive.scan(name, since, until)
+                if ct.size:
+                    if not ht.size:
+                        return ct, cv
+                    return np.concatenate((ct, ht)), np.concatenate((cv, hv))
+            return ht, hv
 
     def query(
         self, name: str, since: float = float("-inf"), until: float = float("inf")
@@ -884,24 +927,26 @@ class TimeSeriesStore:
 
     def latest(self, name: str) -> Tuple[float, float]:
         """Most recent (time, value) for ``name``."""
-        buf = self.series(name)
-        if not buf._size and self.archive is not None and name in self.archive:
-            t_last = self.archive.last_time(name)
-            value = self.archive.value_at(name, t_last)
-            if value is not None:
-                return t_last, value
-        return buf.latest()
+        with self._lock:
+            buf = self.series(name)
+            if not buf._size and self.archive is not None and name in self.archive:
+                t_last = self.archive.last_time(name)
+                value = self.archive.value_at(name, t_last)
+                if value is not None:
+                    return t_last, value
+            return buf.latest()
 
     def value_at(self, name: str, time: float) -> float:
         """Last-observation-carried-forward lookup (cold-tier aware)."""
-        try:
-            return self.series(name).value_at(time)
-        except StoreError:
-            if self.archive is not None:
-                value = self.archive.value_at(name, time)
-                if value is not None:
-                    return value
-            raise
+        with self._lock:
+            try:
+                return self.series(name).value_at(time)
+            except StoreError:
+                if self.archive is not None:
+                    value = self.archive.value_at(name, time)
+                    if value is not None:
+                        return value
+                raise
 
     # Shared kernels, kept as method aliases for backwards compatibility.
     _bucket_edges = staticmethod(bucket_edges)
@@ -935,14 +980,15 @@ class TimeSeriesStore:
         coarsest rollup tier, the rest reduce raw (cold-aware) samples with
         the shared kernels — so every caller gets identical bits.
         """
-        if self.rollups is not None:
-            served = self.rollups.serve(
-                name, since, until, step, agg, engine, edges
-            )
-            if served is not None:
-                return served
-        times, values = self.query(name, since, until)
-        return resample_onto(times, values, edges, agg, engine)
+        with self._lock:
+            if self.rollups is not None:
+                served = self.rollups.serve(
+                    name, since, until, step, agg, engine, edges
+                )
+                if served is not None:
+                    return served
+            times, values = self.query(name, since, until)
+            return resample_onto(times, values, edges, agg, engine)
 
     def resample(
         self,
@@ -985,10 +1031,11 @@ class TimeSeriesStore:
         self._check_resample_args(step, agg, engine)
         if until <= since:
             return np.empty(0), np.empty(0)
-        edges = self._bucket_edges(since, until, step)
-        return edges[:-1], self.resample_column(
-            name, since, until, step, agg, engine, edges
-        )
+        with self._lock:
+            edges = self._bucket_edges(since, until, step)
+            return edges[:-1], self.resample_column(
+                name, since, until, step, agg, engine, edges
+            )
 
     def align(
         self,
@@ -1032,25 +1079,27 @@ class TimeSeriesStore:
         self._check_resample_args(step, agg, engine)
         if until <= since or not names:
             return np.empty(0), np.empty((0, len(names)))
-        edges = self._bucket_edges(since, until, step)
-        grid = edges[:-1]
-        columns = []
-        for name in names:
-            v = self.resample_column(
-                name, since, until, step, agg, engine, edges
-            )
-            if fill == "ffill":
-                v = forward_fill(v)
-            columns.append(v)
-        return grid, np.column_stack(columns)
+        with self._lock:
+            edges = self._bucket_edges(since, until, step)
+            grid = edges[:-1]
+            columns = []
+            for name in names:
+                v = self.resample_column(
+                    name, since, until, step, agg, engine, edges
+                )
+                if fill == "ffill":
+                    v = forward_fill(v)
+                columns.append(v)
+            return grid, np.column_stack(columns)
 
     def select(self, pattern: str) -> List[str]:
         """Names of stored series matching a shell-style pattern."""
-        matcher = self._select_cache.get(pattern)
-        if matcher is None:
-            if len(self._select_cache) >= _SELECT_CACHE_CAP:
-                self._select_cache.clear()
-            matcher = self._select_cache[pattern] = re.compile(
-                fnmatch.translate(pattern)
-            ).match
-        return [n for n in self.names() if matcher(n)]
+        with self._lock:
+            matcher = self._select_cache.get(pattern)
+            if matcher is None:
+                if len(self._select_cache) >= _SELECT_CACHE_CAP:
+                    self._select_cache.clear()
+                matcher = self._select_cache[pattern] = re.compile(
+                    fnmatch.translate(pattern)
+                ).match
+            return [n for n in self.names() if matcher(n)]

@@ -89,6 +89,75 @@ class TestInstruments:
         assert DEFAULT_BUCKETS[0] <= 1e-6
         assert DEFAULT_BUCKETS[-1] >= 1.0
 
+    def test_quantiles_clamp_to_observed_range(self):
+        # Every observation is 0.3, landing in the (0.25, 0.5] bucket.
+        # Interpolating across the raw bucket would report p99 ~ 0.4975;
+        # the observed min/max pin every quantile to exactly 0.3.
+        h = Histogram("x", buckets=(0.25, 0.5, 1.0))
+        for _ in range(100):
+            h.observe(0.3)
+        for q in (0.01, 0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(0.3)
+
+    def test_quantiles_clamped_in_overflow_bucket(self):
+        # Observations beyond the last edge land in the +Inf bucket; the
+        # estimate must not run away past the observed max.
+        h = Histogram("x", buckets=(1.0,))
+        for v in (5.0, 6.0, 7.0):
+            h.observe(v)
+        assert 5.0 <= h.quantile(0.5) <= 7.0
+        assert h.quantile(0.99) <= 7.0
+
+    def test_quantiles_clamped_in_underflow_bucket(self):
+        h = Histogram("x", buckets=(10.0, 20.0))
+        for v in (2.0, 3.0, 4.0):
+            h.observe(v)
+        assert 2.0 <= h.quantile(0.01) <= 4.0
+        assert h.quantile(0.99) <= 4.0
+
+    def test_quantiles_monotone_across_buckets(self):
+        h = Histogram("x", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 5.0, 7.0, 10.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+        assert qs[0] >= 0.5 and qs[-1] <= 10.0
+
+    def test_snapshot_and_prometheus_quantiles_clamped(self):
+        r = MetricsRegistry()
+        h = r.histogram("h", buckets=(0.25, 0.5))
+        for _ in range(50):
+            h.observe(0.3)
+        snap = r.snapshot()
+        for key in ("h.p50", "h.p95", "h.p99"):
+            assert snap[key] == pytest.approx(0.3)
+        text = r.to_prometheus()
+        assert 'h_summary{quantile="0.99"} 0.3' in text
+
+    def test_threadsafe_histogram_concurrent_observes(self):
+        import threading
+
+        h = Histogram("x", buckets=(1.0, 2.0), threadsafe=True)
+
+        def observe():
+            for _ in range(1000):
+                h.observe(0.5)
+
+        threads = [threading.Thread(target=observe) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 4000
+        assert h.sum == pytest.approx(2000.0)
+        assert h.bucket_counts[0] == 4000
+
+    def test_registry_histogram_threadsafe_passthrough(self):
+        r = MetricsRegistry()
+        h = r.histogram("h", threadsafe=True)
+        h.observe(1.0)
+        assert h.count == 1
+
     def test_registry_get_or_create_and_kind_mismatch(self):
         r = MetricsRegistry()
         c1 = r.counter("a")

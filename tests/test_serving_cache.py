@@ -1,0 +1,216 @@
+"""Property tests: the serving result cache is invisible.
+
+The contract under test is the front door's strongest claim: **a cached
+answer is bit-identical to an uncached execution of the same query, right
+now** — across storage tiers (in-process single store, sharded, sharded
+with worker-process shards), and through every invalidation path (ingest
+moving a shard watermark, failover changing the serving member).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import SampleBatch, TimeSeriesStore
+from repro.telemetry.distributed import ShardedStore
+from repro.telemetry.serving import (
+    AlignQuery,
+    NamesQuery,
+    QueryFrontend,
+    RangeQuery,
+    ResampleQuery,
+    SelectQuery,
+)
+
+NAMES = tuple(f"c.rack{r}.node{n}.w" for r in range(2) for n in range(3))
+SHARD_COUNTS = (0, 1, 2, 8)  # 0 = plain in-process TimeSeriesStore
+
+
+def _bits(a: np.ndarray) -> np.ndarray:
+    return np.asarray(a, dtype=np.float64).view(np.uint64)
+
+
+def payload_equal(a, b) -> bool:
+    """Bit-exact payload comparison (NaNs compared by bit pattern)."""
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+        return a.shape == b.shape and bool(
+            np.array_equal(_bits(a.ravel()), _bits(b.ravel()))
+        )
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            payload_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+def make_store(shards: int, seed: int, n: int = 60):
+    if shards == 0:
+        store = TimeSeriesStore()
+    else:
+        store = ShardedStore(shards=shards, replication=1)
+    rng = np.random.default_rng(seed)
+    # Irregular cadence: uneven gaps exercise the resample/align kernels.
+    times = np.cumsum(rng.uniform(0.5, 9.5, size=n))
+    for batch_t, row in zip(times, rng.standard_normal((n, len(NAMES)))):
+        store.ingest("t", SampleBatch(float(batch_t), NAMES, row))
+    return store, float(times[-1])
+
+
+def make_query(kind: str, seed: int, horizon: float):
+    rng = np.random.default_rng(seed + 1)
+    since = float(rng.uniform(0.0, horizon * 0.5))
+    until = float(rng.uniform(since + 1.0, horizon * 1.2))
+    step = float(rng.uniform(1.0, (until - since) / 2.0))
+    agg = str(rng.choice(("mean", "max", "min", "sum", "count")))
+    name = str(NAMES[int(rng.integers(len(NAMES)))])
+    if kind == "names":
+        return NamesQuery()
+    if kind == "select":
+        return SelectQuery("c.rack0.*")
+    if kind == "range":
+        return RangeQuery(name, since, until)
+    if kind == "resample":
+        return ResampleQuery(name, since, until, step, agg=agg)
+    k = int(rng.integers(1, len(NAMES) + 1))
+    return AlignQuery(names=NAMES[:k], since=since, until=until, step=step, agg=agg)
+
+
+def direct_answer(store, query):
+    """The same query answered by the store/federation APIs directly."""
+    if query.kind == "names":
+        return tuple(store.names())
+    if query.kind == "select":
+        return tuple(store.select(query.pattern))
+    if query.kind == "range":
+        return tuple(store.query(query.name, query.since, query.until))
+    if query.kind == "resample":
+        return tuple(store.resample(
+            query.name, query.since, query.until, query.step, agg=query.agg,
+        ))
+    grid, matrix = store.align(
+        list(query.names), query.since, query.until, query.step, agg=query.agg,
+    )
+    return (grid, matrix, query.names)
+
+
+class TestCacheIsInvisible:
+    @given(
+        seed=st.integers(0, 10_000),
+        shards=st.sampled_from(SHARD_COUNTS),
+        kind=st.sampled_from(("range", "resample", "align", "names", "select")),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cached_uncached_direct_identical(self, seed, shards, kind):
+        store, horizon = make_store(shards, seed)
+        query = make_query(kind, seed, horizon)
+        direct = direct_answer(store, query)
+        cached = QueryFrontend(store, max_workers=0)
+        uncached = QueryFrontend(store, max_workers=0, cache=False)
+
+        miss = cached.serve("t", query)
+        hit = cached.serve("t", query)
+        plain = uncached.serve("t", query)
+        assert miss.ok and hit.ok and plain.ok
+        assert not miss.cache_hit and hit.cache_hit and not plain.cache_hit
+        assert payload_equal(miss.payload, direct)
+        assert payload_equal(hit.payload, direct)
+        assert payload_equal(plain.payload, direct)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        shards=st.sampled_from(SHARD_COUNTS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ingest_past_watermark_invalidates(self, seed, shards):
+        store, horizon = make_store(shards, seed)
+        query = ResampleQuery(NAMES[0], 0.0, horizon * 2.0, horizon / 17.0)
+        fe = QueryFrontend(store, max_workers=0)
+        assert fe.serve("t", query).ok  # populate the cache
+        assert fe.serve("t", query).cache_hit
+
+        # Ingest past the window end on the queried series: the owning
+        # shard's watermark moves, so the cached entry must die.
+        rng = np.random.default_rng(seed + 2)
+        store.ingest("t", SampleBatch(
+            horizon + 1.0, NAMES, rng.standard_normal(len(NAMES)),
+        ))
+        fresh = fe.serve("t", query)
+        assert fresh.ok and not fresh.cache_hit
+        assert payload_equal(fresh.payload, direct_answer(store, query))
+        assert fe.cache_stats()["invalidations"] >= 1.0
+        # And the refreshed entry is servable again.
+        again = fe.serve("t", query)
+        assert again.cache_hit
+        assert payload_equal(again.payload, fresh.payload)
+
+    @given(seed=st.integers(0, 10_000), shards=st.sampled_from((1, 2, 8)))
+    @settings(max_examples=30, deadline=None)
+    def test_failover_invalidates_even_with_identical_replica(self, seed, shards):
+        store, horizon = make_store(shards, seed)
+        query = AlignQuery(
+            names=NAMES, since=0.0, until=horizon, step=horizon / 13.0,
+        )
+        fe = QueryFrontend(store, max_workers=0)
+        assert fe.serve("t", query).ok
+        assert fe.serve("t", query).cache_hit
+
+        # Fail the primary of one owning shard.  The replica holds the
+        # same data, but the cache must not assume that: the member index
+        # is part of the version stamp.
+        victim = store.shard_of(NAMES[0])
+        store.replica_sets[victim].mark_down(0)
+        out = fe.serve("t", query)
+        assert out.ok and not out.cache_hit
+        assert payload_equal(out.payload, direct_answer(store, query))
+        assert fe.cache_stats()["invalidations"] >= 1.0
+
+
+class TestParallelTierParity:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_cached_serving_over_worker_process_shards(self, shards):
+        par, horizon = make_store_parallel(shards, seed=5)
+        ref, _ = make_store(shards, seed=5, n=40)
+        fe = QueryFrontend(par, max_workers=0)
+        try:
+            queries = [
+                ResampleQuery(NAMES[0], 0.0, horizon, horizon / 11.0),
+                AlignQuery(names=NAMES, since=0.0, until=horizon,
+                           step=horizon / 7.0),
+                RangeQuery(NAMES[3], horizon * 0.2, horizon * 0.8),
+                NamesQuery(),
+            ]
+            for query in queries:
+                miss = fe.serve("t", query)
+                hit = fe.serve("t", query)
+                assert miss.ok and hit.ok and hit.cache_hit
+                direct = direct_answer(ref, query)
+                assert payload_equal(miss.payload, direct)
+                assert payload_equal(hit.payload, direct)
+            # Ingest through the worker processes invalidates, and the
+            # refreshed answer matches an in-process store fed the same way.
+            extra = SampleBatch(
+                horizon + 1.0, NAMES,
+                np.arange(len(NAMES), dtype=np.float64),
+            )
+            par.ingest("t", extra)
+            ref.ingest("t", extra)
+            out = fe.serve("t", queries[0])
+            assert out.ok and not out.cache_hit
+            assert payload_equal(
+                out.payload, direct_answer(ref, queries[0])
+            )
+        finally:
+            fe.close()
+            par.close()
+
+
+def make_store_parallel(shards: int, seed: int, n: int = 40):
+    store = ShardedStore(shards=shards, replication=1, parallel=True)
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.uniform(0.5, 9.5, size=n))
+    for batch_t, row in zip(times, rng.standard_normal((n, len(NAMES)))):
+        store.ingest("t", SampleBatch(float(batch_t), NAMES, row))
+    return store, float(times[-1])
