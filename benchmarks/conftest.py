@@ -24,13 +24,15 @@ def artifact_dir() -> pathlib.Path:
 
 @pytest.fixture(scope="session")
 def write_artifact(artifact_dir):
+    from repro.ioutil import atomic_write_text
+
     def _write(name: str, text: str) -> None:
-        (artifact_dir / name).write_text(text)
+        atomic_write_text(artifact_dir / name, text)
         if name.startswith("BENCH_"):
             # Repo-root copy: CI jobs upload these without digging into
             # benchmarks/output/, and diffs against the committed baseline
             # show up in review.
-            (REPO_ROOT / name).write_text(text)
+            atomic_write_text(REPO_ROOT / name, text)
 
     return _write
 

@@ -45,6 +45,41 @@ class ShardDownError(StoreError):
     """Raised when no healthy replica of a storage shard can serve a read."""
 
 
+class PersistenceError(StoreError):
+    """Raised when a persisted store artifact is damaged beyond safe loading.
+
+    Carries enough context to locate the damage: ``path`` names the artifact
+    and ``offset`` (when known) the byte position where decoding failed.
+    Recoverable damage — a single corrupt chunk inside an otherwise intact
+    archive, one bad member of a sharded save — is *not* raised; those
+    degrade into partial loads counted by ``telemetry.durability.corrupt_artifacts``.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 offset: int | None = None):
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        loc = []
+        if self.path is not None:
+            loc.append(f"path={self.path!r}")
+        if self.offset is not None:
+            loc.append(f"offset={self.offset}")
+        return f"{base} ({', '.join(loc)})" if loc else base
+
+
+class JournalError(StoreError):
+    """Raised on invalid write-ahead journal configuration or use.
+
+    Damage *inside* journal segments is never raised during recovery — torn
+    tails and corrupt records degrade into counted drops so a crash-landed
+    journal always replays its intact prefix.
+    """
+
+
 class ServingError(TelemetryError):
     """Raised on invalid serving front-door configuration or use.
 

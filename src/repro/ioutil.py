@@ -1,0 +1,136 @@
+"""Crash-safe file IO helpers shared across the repro package.
+
+Every artifact the library persists — ``.npz`` archives, sharded manifests,
+benchmark ``BENCH_*.json`` files, chaos/serving scorecards — goes through
+the write-temp-then-rename helpers here, so a crash mid-write can never
+leave a half-written file where a reader expects a complete one.  The
+temporary file lives in the *same directory* as the destination (``os.replace``
+is only atomic within a filesystem), is flushed and fsynced before the
+rename, and is unlinked on failure.
+
+The module also hosts the CRC helper used by the durability layer: CRC-32C
+(Castagnoli) when the optional :mod:`crc32c` accelerator is importable,
+falling back to :func:`zlib.crc32` otherwise.  The algorithm in effect is
+recorded alongside every checksum (``CRC_ALGO``) so artifacts written under
+one algorithm are verified under the same one.
+
+For crash-injection tests, :func:`commit_hook` exposes the single commit
+point (the moment just before ``os.replace``): a test can install a hook
+that raises after *k* commits to abort the writer at every interleaving
+point of a multi-file save.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import threading
+import zlib
+from typing import Any, Callable, Iterator
+
+try:  # pragma: no cover - exercised only where the accelerator is installed
+    import crc32c as _crc32c_mod
+
+    def crc32(data: bytes, value: int = 0) -> int:
+        return _crc32c_mod.crc32c(data, value)
+
+    CRC_ALGO = "crc32c"
+except ImportError:  # graceful fallback: no new dependencies
+
+    def crc32(data, value: int = 0) -> int:
+        return zlib.crc32(data, value) & 0xFFFFFFFF
+
+    CRC_ALGO = "crc32"
+
+
+_hook_state = threading.local()
+
+
+def _fire_commit_hook(path: str) -> None:
+    hook = getattr(_hook_state, "hook", None)
+    if hook is not None:
+        hook(path)
+
+
+@contextlib.contextmanager
+def commit_hook(hook: Callable[[str], None]) -> Iterator[None]:
+    """Install ``hook`` to run just before each atomic rename commits.
+
+    The hook receives the destination path.  Raising from the hook aborts
+    the write *before* the destination is touched — the temp file is
+    cleaned up and the old contents (if any) stay intact.  Thread-local,
+    so concurrent tests do not interfere.
+    """
+    prev = getattr(_hook_state, "hook", None)
+    _hook_state.hook = hook
+    try:
+        yield
+    finally:
+        _hook_state.hook = prev
+
+
+@contextlib.contextmanager
+def atomic_open(path: str | os.PathLike, mode: str = "wb"):
+    """Open a temp file next to ``path``; atomically rename it in on success.
+
+    Usage::
+
+        with atomic_open(dest, "wb") as fh:
+            fh.write(payload)
+
+    On a clean exit the temp file is fsynced and renamed over ``dest``; on
+    any exception it is removed and ``dest`` is untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fire_commit_hook(path)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> None:
+    with atomic_open(path, "wb") as fh:
+        fh.write(payload)
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    obj: Any,
+    *,
+    indent: int | None = 2,
+    sort_keys: bool = False,
+) -> None:
+    atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    )
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """Fsync a directory so a just-renamed entry survives power loss."""
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:  # platforms/filesystems that refuse O_RDONLY on dirs
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -15,6 +15,10 @@ does: a :class:`ChaosCampaign` is a seeded, declarative list of
   :class:`~repro.cluster.faults.NodeFaultModel`),
 * ``shard``      — storage-shard member kills (via
   :class:`~repro.telemetry.distributed.faults.ShardFault`),
+* ``durability`` — crash-consistency attacks on the storage tier: shard
+  worker process kills, torn write-ahead-journal tails, and bit-flip /
+  truncation damage to persisted archive artifacts (scored through the
+  store's typed degraded-load counters),
 
 and the :class:`ChaosEngine` schedules it on a wired
 :class:`~repro.oda.datacenter.DataCenter` and scores the run afterwards.
@@ -29,8 +33,6 @@ timelines.
 """
 
 from __future__ import annotations
-
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -50,12 +52,13 @@ __all__ = [
     "standard_campaign",
 ]
 
-PILLARS = ("controller", "facility", "node", "shard")
+PILLARS = ("controller", "facility", "node", "shard", "durability")
 
 _CONTROLLER_MODES = {k.value: k for k in ControllerFaultKind}
 _FACILITY_MODES = {k.value: k for k in FaultKind}
 _NODE_MODES = {k.value: k for k in NodeFaultKind}
 _SHARD_MODES = ("kill",)
+_DURABILITY_MODES = ("worker_kill", "torn_wal", "bitflip", "truncate")
 
 
 @dataclass(frozen=True)
@@ -84,6 +87,7 @@ class ChaosFault:
             "facility": _FACILITY_MODES,
             "node": _NODE_MODES,
             "shard": _SHARD_MODES,
+            "durability": _DURABILITY_MODES,
         }[self.pillar]
         if self.mode not in modes:
             raise ConfigurationError(
@@ -125,7 +129,8 @@ class ChaosCampaign:
 
 
 def standard_campaign(seed: int, horizon_s: float = 86_400.0,
-                      shards: bool = True) -> ChaosCampaign:
+                      shards: bool = True,
+                      durability: bool = False) -> ChaosCampaign:
     """The acceptance-criteria mix: a controller crash episode, a facility
     (pump) outage, node crashes, and a storage-shard kill.
 
@@ -133,6 +138,11 @@ def standard_campaign(seed: int, horizon_s: float = 86_400.0,
     works for short test runs and full-day CLI runs; the controller episode
     spans several orchestrator periods so the breaker demonstrably opens,
     falls back to safe state, and re-closes after the window.
+
+    ``durability=True`` adds the crash-consistency attacks: a shard worker
+    process kill mid-ingest, a torn journal tail, and a bit-flipped
+    persisted artifact (the first two need a ``parallel=True`` journaled
+    store on the site).
     """
     campaign = ChaosCampaign(name="standard", seed=seed, horizon_s=horizon_s)
     h = horizon_s
@@ -147,6 +157,13 @@ def standard_campaign(seed: int, horizon_s: float = 86_400.0,
     if shards:
         campaign.add(ChaosFault("shard", "0", "kill",
                                 start=0.65 * h, duration=0.10 * h))
+    if durability:
+        campaign.add(ChaosFault("durability", "0", "worker_kill",
+                                start=0.78 * h, duration=0.05 * h))
+        campaign.add(ChaosFault("durability", "1", "torn_wal",
+                                start=0.85 * h, duration=0.05 * h))
+        campaign.add(ChaosFault("durability", "archive", "bitflip",
+                                start=0.92 * h, duration=0.03 * h))
     return campaign
 
 
@@ -175,6 +192,7 @@ class ChaosEngine:
         self._metrics: Optional[MetricsRegistry] = None
         self.scheduled: List[ChaosFault] = []
         self._last_totals: Dict[str, float] = {}
+        self._artifact_probes: Dict[Tuple[float, str], Tuple[float, int]] = {}
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -261,6 +279,74 @@ class ChaosEngine:
             self.dc.sim, at=fault.end, shard=shard, resync=True,
         )
 
+    def _schedule_durability(self, fault: ChaosFault) -> None:
+        if fault.mode in ("worker_kill", "torn_wal"):
+            if self._shard_fault is None:
+                self._shard_fault = self.dc.shard_fault()
+            shard = int(fault.target)
+            if fault.mode == "worker_kill":
+                self._shard_fault.schedule_crash_worker(
+                    self.dc.sim, at=fault.start, shard=shard
+                )
+            else:
+                self._shard_fault.schedule_tear_wal(
+                    self.dc.sim, at=fault.start, shard=shard,
+                    rng=self.dc.rng_pool.stream("chaos_durability"),
+                )
+            return
+        # bitflip / truncate: a save -> corrupt -> reload probe against the
+        # live store, scored by the loader's typed degraded-load counters.
+        self.dc.sim.schedule_at(
+            fault.start,
+            lambda s: self._artifact_probe(fault, now=s.now),
+            label=f"chaos:durability:{fault.mode}",
+        )
+
+    def _artifact_probe(self, fault: ChaosFault, now: float) -> None:
+        """Persist the store, damage one artifact, reload, count degrades.
+
+        The probe exercises the *restore* path the site would depend on
+        after a real incident: every chunk and manifest is checksummed, so
+        flipped bits or a truncated file must surface as counted degraded
+        loads (``telemetry.durability.corrupt_artifacts``), never as
+        silently-wrong series.
+        """
+        import glob
+        import os
+        import shutil
+        import tempfile
+
+        from repro.telemetry.durability import corrupt_artifact
+        from repro.telemetry.persistence import load_store, save_store
+
+        workdir = tempfile.mkdtemp(prefix="chaos-durability-")
+        detected = 0
+        error = None
+        try:
+            path = os.path.join(workdir, "probe.npz")
+            save_store(self.dc.store, path)
+            artifacts = sorted(glob.glob(os.path.join(workdir, "*.npz")))
+            victim = artifacts[len(artifacts) // 2]
+            corrupt_artifact(
+                victim, mode=fault.mode,
+                rng=self.dc.rng_pool.stream("chaos_durability"),
+            )
+            try:
+                loaded = load_store(path)
+            except Exception as exc:  # typed refusal is also detection
+                detected = 1
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                detected = int(getattr(loaded, "corrupt_artifacts", 0))
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        self._artifact_probes[(fault.start, fault.mode)] = (now, detected)
+        if self.dc.trace is not None:
+            self.dc.trace.emit(
+                now, "chaos", "artifact_probe", mode=fault.mode,
+                detected=detected, **({"error": error} if error else {}),
+            )
+
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
@@ -315,9 +401,10 @@ class ChaosEngine:
         return card
 
     def write_scorecard(self, campaign: ChaosCampaign, path: str) -> Dict[str, object]:
+        from repro.ioutil import atomic_write_json
+
         card = self.scorecard(campaign)
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(card, fh, indent=2, sort_keys=True)
+        atomic_write_json(path, card, indent=2, sort_keys=True)
         return card
 
     # -- per-pillar detection/recovery from observable signals ----------
@@ -429,6 +516,36 @@ class ChaosEngine:
         detected = float(times[bad][0])
         ok = (times >= fault.end) & (down == 0)
         recovered = float(times[ok][0]) if ok.any() else None
+        return detected, recovered
+
+    def _observe_durability(self, fault: ChaosFault
+                            ) -> Tuple[Optional[float], Optional[float]]:
+        if fault.mode in ("bitflip", "truncate"):
+            probe = self._artifact_probes.get((fault.start, fault.mode))
+            if probe is None:
+                return None, None
+            now, detected = probe
+            # Detection and recovery coincide: the loader both *counted*
+            # the damage and completed a degraded (or typed-refusal) load.
+            return (now, now) if detected else (None, None)
+        # worker_kill / torn_wal: read the runtime's own crash/restart
+        # counters from the health-metric series the site records.
+        times, crashes = self._series("telemetry.runtime.worker_crashes")
+        if len(times) == 0:
+            return None, None
+        before = crashes[times < fault.start]
+        base = float(before[-1]) if len(before) else 0.0
+        seen = (times >= fault.start) & (crashes > base)
+        if not seen.any():
+            return None, None
+        detected = float(times[seen][0])
+        rt_times, restarts = self._series("telemetry.runtime.worker_restarts")
+        if len(rt_times) == 0:
+            return detected, None
+        rbefore = restarts[rt_times < fault.start]
+        rbase = float(rbefore[-1]) if len(rbefore) else 0.0
+        back = (rt_times >= detected) & (restarts > rbase)
+        recovered = float(rt_times[back][0]) if back.any() else None
         return detected, recovered
 
     # ------------------------------------------------------------------

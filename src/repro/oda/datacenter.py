@@ -83,6 +83,11 @@ class DataCenter:
         :class:`~repro.telemetry.store.TimeSeriesStore`) — long queries
         are served from pre-aggregated tiers and expired raw samples are
         demoted to cold chunks instead of deleted.
+    journal:
+        Write-ahead journal base directory (or config dict) for the
+        telemetry store; acked ingest survives a crash of the owning
+        process and, with ``parallel``, of individual shard workers (see
+        :mod:`repro.telemetry.durability`).
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class DataCenter:
         parallel_config=None,
         rollups=None,
         archive=None,
+        journal=None,
     ):
         self.rng_pool = RngPool(seed)
         self.sim = Simulator(start_time=start_time)
@@ -139,7 +145,7 @@ class DataCenter:
             store_retention=store_retention, shards=shards,
             replication=replication, parallel=parallel,
             parallel_config=parallel_config,
-            rollups=rollups, archive=archive,
+            rollups=rollups, archive=archive, journal=journal,
         )
         self.runtime: Optional[NodeRuntime] = None
         self.noise: Optional[OsNoiseInjector] = None

@@ -598,6 +598,7 @@ class Supervisor:
         self.stages: Dict[str, SupervisedStage] = {}
         self.runtimes: List = []  # parallel shard runtimes under watch
         self.frontends: List = []  # query frontends under saturation watch
+        self.replica_watches: List[dict] = []  # anti-entropy sweep targets
         self._watchdog: Optional[PeriodicHandle] = None
         self._metrics: Optional[MetricsRegistry] = None
 
@@ -674,6 +675,24 @@ class Supervisor:
         if frontend not in self.frontends:
             self.frontends.append(frontend)
 
+    def watch_replicas(self, store, window_s: float = 3600.0) -> None:
+        """Put a sharded store's replica sets under periodic anti-entropy
+        repair (idempotent per store).
+
+        Each watchdog tick sweeps *one* replica set, round-robin, so the
+        checksum/repair cost is amortized across ticks instead of stalling
+        a tick on every shard at once.  Sweeps that repair divergence are
+        traced under ``supervisor.replica``; a sweep that cannot reach its
+        shard (worker dead, every member down) is traced as
+        ``anti_entropy_failed`` and retried on a later round.
+        """
+        for watch in self.replica_watches:
+            if watch["store"] is store:
+                return
+        self.replica_watches.append(
+            {"store": store, "window_s": float(window_s), "next": 0}
+        )
+
     def inject_controller_fault(
         self,
         loop_name: str,
@@ -724,6 +743,26 @@ class Supervisor:
                     now, "supervisor.frontend", kind,
                     frontend=frontend.name, **detail,
                 )
+        for watch in self.replica_watches:
+            sets = getattr(watch["store"], "replica_sets", None)
+            if not sets:
+                continue
+            idx = watch["next"] % len(sets)
+            watch["next"] = idx + 1
+            rs = sets[idx]
+            try:
+                summary = rs.anti_entropy(window_s=watch["window_s"], now=now)
+            except Exception as exc:
+                self.emit(
+                    now, "supervisor.replica", "anti_entropy_failed",
+                    shard=rs.shard_id, error=f"{exc}",
+                )
+                continue
+            if summary.get("repaired_windows"):
+                self.emit(
+                    now, "supervisor.replica", "anti_entropy_repair",
+                    shard=rs.shard_id, **summary,
+                )
 
     # ------------------------------------------------------------------
     # Aggregates / metrics
@@ -748,6 +787,9 @@ class Supervisor:
                     fn=lambda: float(len(self.loops)))
             r.gauge("oda.supervisor.stages", "supervised streaming stages",
                     fn=lambda: float(len(self.stages)))
+            r.gauge("oda.supervisor.replica_watches",
+                    "stores under periodic anti-entropy repair",
+                    fn=lambda: float(len(self.replica_watches)))
             r.gauge("oda.supervisor.open_breakers",
                     "breakers currently not closed",
                     fn=lambda: float(self.open_breakers()))

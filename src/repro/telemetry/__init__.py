@@ -9,6 +9,9 @@ and an alert engine implements threshold-based descriptive alerting.  The pipeli
 fault-tolerant end to end — raising sources back off, raising sinks are
 quarantined with failed deliveries parked in a dead-letter queue — and
 publishes its own health metrics (:mod:`repro.telemetry.health`).
+Durability comes from :mod:`repro.telemetry.durability`: a checksummed
+write-ahead journal with crash-consistent recovery, checksummed archive
+persistence, and anti-entropy replica repair.
 """
 
 from repro.telemetry.archive import (
@@ -34,6 +37,14 @@ from repro.telemetry.export import (
     write_csv,
     write_prometheus,
     write_spans_jsonl,
+)
+from repro.telemetry.durability import (
+    JournalConfig,
+    RecoveryStats,
+    WriteAheadJournal,
+    corrupt_artifact,
+    scan_journal,
+    tear_wal_tail,
 )
 from repro.telemetry.distributed import (
     FederatedQueryEngine,
@@ -107,6 +118,12 @@ __all__ = [
     "FaultySource",
     "SensorFault",
     "SensorFaultKind",
+    "JournalConfig",
+    "RecoveryStats",
+    "WriteAheadJournal",
+    "scan_journal",
+    "tear_wal_tail",
+    "corrupt_artifact",
     "ParallelShardRuntime",
     "RuntimeConfig",
     "SampleRing",

@@ -292,6 +292,7 @@ class TelemetrySystem:
         parallel_config=None,
         rollups=None,
         archive=None,
+        journal=None,
     ):
         from repro.telemetry.store import TimeSeriesStore
 
@@ -318,6 +319,7 @@ class TelemetrySystem:
                 parallel_config=parallel_config,
                 rollups=rollups,
                 archive=archive,
+                journal=journal,
             )
         else:
             self.store = TimeSeriesStore(
@@ -326,6 +328,7 @@ class TelemetrySystem:
                 flush_threshold=store_flush_threshold,
                 rollups=rollups,
                 archive=archive,
+                journal=journal,
             )
         self.agents: List[CollectionAgent] = []
         self._alerts = None

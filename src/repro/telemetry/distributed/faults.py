@@ -41,6 +41,7 @@ class ShardFaultKind(Enum):
     DEGRADE = "degrade"  # member sheds a fraction of its writes
     REVIVE = "revive"    # member back (optionally resynced from a peer)
     WORKER_CRASH = "worker_crash"  # parallel runtime: shard process dies
+    TORN_WAL = "torn_wal"  # crash + partially-written journal tail
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,44 @@ class ShardFault:
         self.store.runtime.crash_worker(shard)
         self._record(now, shard, -1, ShardFaultKind.WORKER_CRASH)
 
+    def tear_wal(
+        self,
+        shard: int,
+        now: float = 0.0,
+        nbytes: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Crash a shard worker *and* tear the tail of its journal.
+
+        Models the classic torn-write crash: the process dies mid-append
+        and the last journal bytes never reach the disk.  Recovery must
+        detect the torn tail via CRC framing, drop only the damaged
+        records and replay the rest — acked-but-unsynced samples inside
+        the torn span are honestly lost and show up in the recovery
+        stats, never as silently-wrong reads.
+        """
+        import os as _os
+
+        from repro.telemetry.durability import tear_wal_tail
+
+        if self.store.runtime is None:
+            raise ConfigurationError(
+                "tear_wal requires a parallel ShardedStore (parallel=True)"
+            )
+        journal = self.store.journal
+        if journal is None:
+            raise ConfigurationError(
+                "tear_wal requires a journaled store (pass journal=...)"
+            )
+        if not 0 <= shard < self.store.shards:
+            raise ConfigurationError(
+                f"no shard {shard} (store has {self.store.shards})"
+            )
+        self.store.runtime.crash_worker(shard)
+        wal_dir = _os.path.join(journal["base_dir"], f"shard{shard}", "wal")
+        tear_wal_tail(wal_dir, nbytes=nbytes, rng=rng)
+        self._record(now, shard, -1, ShardFaultKind.TORN_WAL)
+
     # ------------------------------------------------------------------
     # Scheduled (mid-run) actions
     # ------------------------------------------------------------------
@@ -191,4 +230,23 @@ class ShardFault:
             at,
             lambda s: self.crash_worker(shard, now=s.now),
             label=f"shardfault:worker_crash:{shard}",
+        )
+
+    def schedule_tear_wal(
+        self,
+        sim: Simulator,
+        at: float,
+        shard: int,
+        nbytes: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Crash a worker and tear its journal tail at sim time ``at``."""
+        if self.store.runtime is None:
+            raise ConfigurationError(
+                "tear_wal requires a parallel ShardedStore (parallel=True)"
+            )
+        sim.schedule_at(
+            at,
+            lambda s: self.tear_wal(shard, now=s.now, nbytes=nbytes, rng=rng),
+            label=f"shardfault:torn_wal:{shard}",
         )

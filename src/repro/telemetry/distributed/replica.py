@@ -57,8 +57,13 @@ class ReplicaSet:
             )
         self.shard_id = shard_id
         self._factory = store_factory
+        # A factory advertising ``per_member`` gets the member slot index,
+        # pinning each member to stable per-slot state (e.g. its WAL
+        # directory, which is what makes crash recovery land the right
+        # journal in the right member).
+        self._per_member = bool(getattr(store_factory, "per_member", False))
         self.members: List[TimeSeriesStore] = [
-            store_factory() for _ in range(replication + 1)
+            self._make_member(i) for i in range(replication + 1)
         ]
         self._down = [False] * len(self.members)
         self._drop_fraction = [0.0] * len(self.members)
@@ -69,8 +74,22 @@ class ReplicaSet:
         self.lost_samples = 0
         self.failover_reads = 0
         self.resync_failures = 0
+        self.anti_entropy_sweeps = 0
+        self.diverged_windows = 0
+        self.repaired_windows = 0
+        self.repaired_samples = [0] * len(self.members)
         self._metrics: Optional[MetricsRegistry] = None
         self._metrics_prefix: Optional[str] = None
+
+    def _make_member(self, member: int) -> TimeSeriesStore:
+        return self._factory(member=member) if self._per_member else self._factory()
+
+    def _fresh_member(self, member: int) -> TimeSeriesStore:
+        """Build an *empty* replacement store for a resync rebuild."""
+        fresh = getattr(self._factory, "fresh", None)
+        if fresh is not None:
+            return fresh(member)
+        return self._make_member(member)
 
     # ------------------------------------------------------------------
     # Topology
@@ -140,7 +159,7 @@ class ReplicaSet:
             )
             if source is not None:
                 source.flush()
-                fresh = self._factory()
+                fresh = self._fresh_member(member)
                 both_tiered = (
                     getattr(source, "archive", None) is not None
                     and getattr(fresh, "archive", None) is not None
@@ -162,7 +181,13 @@ class ReplicaSet:
                         times, values = source.query(name)
                         fresh.append_many(name, times, values)
                 self.members[member] = fresh
+                # The rebuilt member holds everything its peer holds:
+                # writes it missed while down *and* writes it shed while
+                # degraded are no longer missing, so both counters reset —
+                # leaving either non-zero would double-count data that a
+                # subsequent audit can see is present.
                 self.missed_writes[member] = 0
+                self.dropped_writes[member] = 0
             elif self._down[member] and self.replication > 0:
                 # A resync was requested and would have mattered (the
                 # member was down and has peers to copy from), but every
@@ -240,6 +265,99 @@ class ReplicaSet:
         )
 
     # ------------------------------------------------------------------
+    # Anti-entropy: detect and repair divergence window by window
+    # ------------------------------------------------------------------
+    def anti_entropy(
+        self, window_s: float = 3600.0, now: Optional[float] = None
+    ) -> dict:
+        """One repair sweep: compare per-(series, window) checksums across
+        healthy members and copy only the differing windows from the best
+        source (the member holding the most samples there — divergence
+        here means *lost* writes, so more data wins; ties go to the
+        lower-index member, i.e. the primary).
+
+        Cheap by construction: agreement costs one checksum pass and a
+        dict comparison per series; data moves only for windows that
+        actually differ.  The window currently being filled is excluded
+        (``now`` caps the comparison; by default the last complete window
+        boundary below the newest healthy sample).  When retention is
+        configured, windows old enough to be subject to trimming/demotion
+        are also excluded — repairing inside the retention horizon would
+        fight the sweeper and resurrect trimmed data.
+
+        Repaired samples heal the loss accounting: a member's
+        ``dropped_writes``/``missed_writes`` shrink by the net samples
+        restored to it, so a fully repaired member no longer counts its
+        healed windows as lost.
+
+        Returns a summary dict (``diverged_windows``, ``repaired_windows``,
+        ``repaired_samples``, ``checked_series``).
+        """
+        self.anti_entropy_sweeps += 1
+        result = {
+            "diverged_windows": 0,
+            "repaired_windows": 0,
+            "repaired_samples": 0,
+            "checked_series": 0,
+        }
+        healthy = [i for i in range(len(self.members)) if not self._down[i]]
+        if len(healthy) < 2:
+            return result
+        stores = [self.members[i] for i in healthy]
+        latest = max(
+            (s.latest_time for s in stores if np.isfinite(s.latest_time)),
+            default=None,
+        )
+        if latest is None:
+            return result
+        until = float(now) if now is not None else (latest // window_s) * window_s
+        floor_t = float("-inf")
+        retentions = [s.retention for s in stores if s.retention is not None]
+        if retentions:
+            # One extra window of margin over the tightest retention so a
+            # window being trimmed mid-sweep is never "repaired" back.
+            floor_t = latest - min(retentions) + window_s
+        names = sorted(set().union(*(s.names() for s in stores)))
+        for name in names:
+            result["checked_series"] += 1
+            sums = [s.window_checksums(name, window_s, until=until) for s in stores]
+            windows = set().union(*(cs.keys() for cs in sums))
+            for w in sorted(windows):
+                if w * window_s < floor_t:
+                    continue
+                per_member = [cs.get(w, (0, 0)) for cs in sums]
+                if len({pm[0] for pm in per_member}) == 1:
+                    continue
+                result["diverged_windows"] += 1
+                self.diverged_windows += 1
+                src_pos = max(
+                    range(len(healthy)),
+                    key=lambda p: (per_member[p][1], -p),
+                )
+                times, values = stores[src_pos].window_data(name, window_s, w)
+                for p, member_idx in enumerate(healthy):
+                    if p == src_pos or per_member[p] == per_member[src_pos]:
+                        continue
+                    net = stores[p].replace_window(
+                        name, w * window_s, (w + 1) * window_s, times, values
+                    )
+                    self.repaired_windows += 1
+                    result["repaired_windows"] += 1
+                    result["repaired_samples"] += int(times.size)
+                    self.repaired_samples[member_idx] += int(times.size)
+                    self._heal_loss_accounting(member_idx, net)
+        return result
+
+    def _heal_loss_accounting(self, member: int, net_samples: int) -> None:
+        """Samples restored to a member are no longer dropped or missed."""
+        heal = max(0, int(net_samples))
+        take = min(self.dropped_writes[member], heal)
+        self.dropped_writes[member] -= take
+        self.missed_writes[member] = max(
+            0, self.missed_writes[member] - (heal - take)
+        )
+
+    # ------------------------------------------------------------------
     # Reads: primary, else first healthy replica
     # ------------------------------------------------------------------
     def read_store(self) -> TimeSeriesStore:
@@ -297,6 +415,15 @@ class ReplicaSet:
             r.counter(f"{prefix}.resync_failed",
                       "revivals that found no healthy peer to resync from",
                       fn=lambda: float(self.resync_failures))
+            r.counter(f"{prefix}.diverged_windows",
+                      "divergent (series, window) pairs detected",
+                      fn=lambda: float(self.diverged_windows))
+            r.counter(f"{prefix}.repaired_windows",
+                      "divergent windows repaired by anti-entropy",
+                      fn=lambda: float(self.repaired_windows))
+            r.counter(f"{prefix}.repaired_samples",
+                      "samples copied to members by anti-entropy",
+                      fn=lambda: float(sum(self.repaired_samples)))
             self._metrics = r
             self._metrics_prefix = prefix
         return self._metrics

@@ -27,6 +27,8 @@ values are fancy-indexed straight into per-shard batches.
 
 from __future__ import annotations
 
+import os
+import shutil
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +40,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.distributed.federation import FederatedQueryEngine
 from repro.telemetry.distributed.partition import HashPartitioner, Partitioner
 from repro.telemetry.distributed.replica import ReplicaSet
+from repro.telemetry.durability import JournalConfig
 from repro.telemetry.sample import SampleBatch
 from repro.telemetry.store import SeriesBuffer, TimeSeriesStore
 
@@ -66,6 +69,83 @@ def _config_dict(value, kind: str):
             f"to_dict(), got {type(value).__name__}"
         )
     return to_dict()
+
+
+def _journal_dict(value) -> Optional[dict]:
+    """Normalize the journal knob to ``{"base_dir": ..., **tuning}``.
+
+    Accepts a directory path, a :class:`JournalConfig` (its ``dir`` becomes
+    the base directory), or a dict with a ``dir`` key plus tuning fields —
+    all picklable, so the config ships to shard worker processes as-is.
+    """
+    if not value:
+        return None
+    if isinstance(value, JournalConfig):
+        d = {
+            "base_dir": value.dir,
+            "segment_max_bytes": value.segment_max_bytes,
+            "sync": value.sync,
+            "sync_interval_s": value.sync_interval_s,
+            "group_bytes": value.group_bytes,
+        }
+        return d
+    if isinstance(value, dict):
+        d = dict(value)
+        if "base_dir" not in d:
+            if "dir" not in d:
+                raise ConfigurationError(
+                    "journal dict needs a 'dir' (base directory) key"
+                )
+            d["base_dir"] = d.pop("dir")
+        return d
+    return {"base_dir": os.fspath(value)}
+
+
+def member_journal_config(journal: dict, shard: int, member: int) -> JournalConfig:
+    """The per-member WAL config under a deployment's journal base dir.
+
+    Deterministic layout (``<base>/shard<i>/member<j>``) is what makes
+    crash recovery work: a rebuilt deployment opens the same directories
+    its predecessor journaled into and replays them.
+    """
+    kwargs = {k: v for k, v in journal.items() if k != "base_dir"}
+    return JournalConfig(
+        dir=os.path.join(journal["base_dir"], f"shard{shard}", f"member{member}"),
+        **kwargs,
+    )
+
+
+class _MemberFactory:
+    """Per-shard member builder, optionally journaling each member.
+
+    ``per_member`` advertises the ``(member=i)`` calling convention to
+    :class:`ReplicaSet`, which pins each member to a stable journal
+    directory.  ``fresh`` is the resync path: a member rebuilt from a
+    healthy peer starts from an *empty* journal (the peer copy re-journals
+    everything it receives), so the stale pre-failure journal is wiped
+    rather than replayed on the next open.
+    """
+
+    per_member = True
+
+    def __init__(self, store_kwargs: dict, journal: Optional[dict], shard_id: int):
+        self._kwargs = store_kwargs
+        self._journal = journal
+        self._shard = shard_id
+
+    def __call__(self, member: Optional[int] = None) -> TimeSeriesStore:
+        if self._journal is None or member is None:
+            return TimeSeriesStore(**self._kwargs)
+        return TimeSeriesStore(
+            **self._kwargs,
+            journal=member_journal_config(self._journal, self._shard, member),
+        )
+
+    def fresh(self, member: int) -> TimeSeriesStore:
+        if self._journal is not None:
+            cfg = member_journal_config(self._journal, self._shard, member)
+            shutil.rmtree(cfg.dir, ignore_errors=True)
+        return self(member)
 
 
 class ShardedStore:
@@ -105,6 +185,15 @@ class ShardedStore:
         meaning to :class:`~repro.telemetry.store.TimeSeriesStore`.
         Accepted in bool/dict/config form; in parallel mode the config is
         normalized to a picklable dict and rebuilt inside each worker.
+    journal:
+        Enable per-member write-ahead journaling under a base directory
+        (pass the directory, a :class:`~repro.telemetry.durability.JournalConfig`
+        whose ``dir`` is the base, or a dict with ``dir`` + tuning keys).
+        Each member journals to ``<base>/shard<i>/member<j>``; opening a
+        new ``ShardedStore`` over the same base replays the journals, so
+        acked ingest survives a crash of the owning process.  In parallel
+        mode the workers journal on their side of the ring and a restarted
+        worker recovers its un-flushed window from the journal.
     """
 
     def __init__(
@@ -120,6 +209,7 @@ class ShardedStore:
         parallel_config=None,
         rollups=None,
         archive=None,
+        journal=None,
     ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -136,25 +226,51 @@ class ShardedStore:
         self.archive = archive
         self.parallel = parallel
         self.runtime = None
+        self.journal = _journal_dict(journal)
+        self.corrupt_artifacts = 0  # damaged artifacts degraded at load
         if store_factory is None:
-            store_factory = lambda: TimeSeriesStore(  # noqa: E731
-                retention=retention,
-                retention_slack=retention_slack,
-                flush_threshold=flush_threshold,
-                rollups=rollups,
-                archive=archive,
-            )
+            member_factories: Optional[List[_MemberFactory]] = [
+                _MemberFactory(
+                    {
+                        "retention": retention,
+                        "retention_slack": retention_slack,
+                        "flush_threshold": flush_threshold,
+                        "rollups": rollups,
+                        "archive": archive,
+                    },
+                    self.journal,
+                    i,
+                )
+                for i in range(shards)
+            ]
         elif parallel:
             raise ConfigurationError(
                 "parallel=True cannot ship a custom store_factory to worker "
                 "processes; configure stores via retention/flush knobs"
             )
+        elif self.journal is not None:
+            raise ConfigurationError(
+                "journal cannot be combined with a custom store_factory; "
+                "configure member stores via the journal knob alone"
+            )
+        else:
+            member_factories = None
         self.partitioner: Partitioner = (
             partitioner if partitioner is not None else HashPartitioner(shards)
         )
         if parallel:
-            from repro.telemetry.runtime import ParallelShardRuntime
+            from repro.telemetry.runtime import (
+                ParallelShardRuntime,
+                RuntimeConfig,
+            )
 
+            if self.journal is not None:
+                # Journaling in parallel mode means worker-side WALs: the
+                # workers own the stores, so they must own the durability.
+                if parallel_config is None:
+                    parallel_config = RuntimeConfig(durability="wal")
+                elif parallel_config.durability == "none":
+                    parallel_config.durability = "wal"
             self.runtime = ParallelShardRuntime(
                 shards,
                 replication,
@@ -164,13 +280,19 @@ class ShardedStore:
                     "flush_threshold": flush_threshold,
                     "rollups": _config_dict(rollups, "rollups"),
                     "archive": _config_dict(archive, "archive"),
+                    "journal": self.journal,
                 },
                 config=parallel_config,
             )
             self.replica_sets = self.runtime.replica_sets
         else:
             self.replica_sets: List[ReplicaSet] = [
-                ReplicaSet(i, replication, store_factory)
+                ReplicaSet(
+                    i,
+                    replication,
+                    member_factories[i] if member_factories is not None
+                    else store_factory,
+                )
                 for i in range(shards)
             ]
         self.federation = FederatedQueryEngine(self)
@@ -298,6 +420,68 @@ class ShardedStore:
         return sum(rs.flush() for rs in self.replica_sets)
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def anti_entropy(
+        self, window_s: float = 3600.0, now: Optional[float] = None
+    ) -> Dict[str, int]:
+        """One anti-entropy sweep over every shard's replica set.
+
+        Detects primary/replica divergence via per-(series, window)
+        checksums and repairs only the differing windows; see
+        :meth:`ReplicaSet.anti_entropy`.  In parallel mode the sweep runs
+        inside each shard worker (the data never crosses the process
+        boundary).  Returns the aggregated sweep summary.
+        """
+        totals = {
+            "diverged_windows": 0,
+            "repaired_windows": 0,
+            "repaired_samples": 0,
+            "checked_series": 0,
+        }
+        for rs in self.replica_sets:
+            result = rs.anti_entropy(window_s, now)
+            for key in totals:
+                totals[key] += int(result.get(key, 0))
+        return totals
+
+    def sync_journal(self) -> int:
+        """Group-commit every journal (fsync); returns max durable seq.
+
+        In-process deployments sync each member's journal; parallel
+        deployments sync the per-shard worker WALs.
+        """
+        seq = 0
+        if self.runtime is not None:
+            for shard in range(self.shards):
+                seq = max(
+                    seq, int(self.runtime._call(shard, "sync_journal", ()))
+                )
+            return seq
+        for rs in self.replica_sets:
+            for i, member in enumerate(rs.members):
+                if not rs.is_down(i) and hasattr(member, "sync_journal"):
+                    seq = max(seq, member.sync_journal())
+        return seq
+
+    @property
+    def recovered_samples(self) -> int:
+        """Samples replayed from journals when this store (or its current
+        worker incarnations) opened."""
+        if self.runtime is not None:
+            return sum(
+                int(self.runtime.shard_stats(s).get("recovered_samples", 0))
+                for s in range(self.shards)
+            )
+        total = 0
+        for rs in self.replica_sets:
+            for member in rs.members:
+                recovery = getattr(member, "recovery", None)
+                if recovery is not None:
+                    total += recovery.replayed_samples
+        return total
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
@@ -367,6 +551,24 @@ class ShardedStore:
                       fn=lambda: float(
                           sum(rs.resync_failures for rs in self.replica_sets)
                       ))
+            r.counter("telemetry.replica.diverged_windows",
+                      "divergent (series, window) pairs detected",
+                      fn=lambda: float(
+                          sum(rs.diverged_windows for rs in self.replica_sets)
+                      ))
+            r.counter("telemetry.replica.repaired_windows",
+                      "divergent windows repaired by anti-entropy",
+                      fn=lambda: float(
+                          sum(rs.repaired_windows for rs in self.replica_sets)
+                      ))
+            r.counter("telemetry.replica.repaired_samples",
+                      "samples copied to members by anti-entropy",
+                      fn=lambda: float(
+                          sum(sum(rs.repaired_samples) for rs in self.replica_sets)
+                      ))
+            r.counter("telemetry.durability.corrupt_artifacts",
+                      "damaged persisted artifacts degraded at load",
+                      fn=lambda: float(self.corrupt_artifacts))
             self._metrics = r
         return self._metrics
 
@@ -385,9 +587,15 @@ class ShardedStore:
     # Lifecycle (parallel mode)
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Gracefully drain and stop shard workers (no-op when in-process)."""
+        """Gracefully drain and stop shard workers; in-process deployments
+        flush member staging and cleanly close member journals."""
         if self.runtime is not None:
             self.runtime.close()
+            return
+        for rs in self.replica_sets:
+            for i, member in enumerate(rs.members):
+                if not rs.is_down(i) and hasattr(member, "close"):
+                    member.close()
 
     def health_metrics(self) -> Dict[str, float]:
         """Self-metrics on the ``telemetry.shard.*`` subtree.
@@ -415,6 +623,10 @@ class ShardedStore:
             "telemetry.shard.failover_reads",
             "telemetry.shard.lost_samples",
             "telemetry.shard.resync_failed",
+            "telemetry.replica.diverged_windows",
+            "telemetry.replica.repaired_windows",
+            "telemetry.replica.repaired_samples",
+            "telemetry.durability.corrupt_artifacts",
         ):
             out[k] = agg[k]
         if self.runtime is not None:

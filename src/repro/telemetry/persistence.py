@@ -26,11 +26,29 @@ and the compressed cold tier:
   header, so long-horizon rollup memory survives a reload even for ranges
   whose raw samples were only ever held by the saved process.
 
-A v3 archive that references a cold chunk whose arrays are absent (a
-truncated or hand-edited file) loads **degraded instead of failing**: the
-chunk is skipped with a warning, counted in the reloaded store's
-``telemetry.archive.missing_chunks``, and queries fall back to whatever
-data remains.
+Format v4 makes archives *crash- and corruption-evident*:
+
+* every payload array carries a CRC in the header (``checksums``) and the
+  header itself is covered by a ``__metacrc__`` trailer, so a flipped bit
+  anywhere is detected rather than silently served,
+* every write goes through write-temp-then-rename (:mod:`repro.ioutil`),
+  so a crash mid-save leaves the previous archive intact,
+* sharded saves stamp the manifest and every shard file with one
+  ``save_id``; a shard file from a different save generation (crash
+  between shard writes and the manifest commit) is refused loudly instead
+  of being mixed into the wrong topology,
+* a store with a write-ahead journal gets its journal truncated
+  (``mark_durable``) after a successful save — the archive now owns that
+  data.
+
+Damage handling is tiered like the rest of the pipeline: a v4 archive
+with a damaged array **degrades** — the broken series/chunk/tier is
+skipped with a warning and counted in the reloaded store's
+``telemetry.durability.corrupt_artifacts`` (cold chunks also count in
+``telemetry.archive.missing_chunks``) — while structural damage (an
+unreadable file, a damaged header) and any damage in pre-checksum v1–v3
+archives raises a typed :class:`~repro.errors.PersistenceError` carrying
+the path and, when known, the byte offset of the damaged zip member.
 
 Sharded format: a :class:`~repro.telemetry.distributed.ShardedStore`
 deployment persists as one manifest ``.npz`` (header only: topology +
@@ -41,7 +59,9 @@ shards can be inspected with :func:`load_store` directly.  On load,
 series are routed through the reconstructed store's partitioner
 (placement is re-derived from names, not trusted from the files) and
 replicas are rebuilt by the normal write fan-out; cold chunks and rollup
-state are installed on every member of the owning replica set.
+state are installed on every member of the owning replica set.  A
+damaged or missing shard file degrades that member's data only — the
+remaining shards still load.
 
 Parallel deployments (worker-process members) are saved through the
 member proxies, which merge cold and hot samples into one raw stream per
@@ -60,7 +80,8 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import StoreError
+from repro.errors import PersistenceError, StoreError
+from repro.ioutil import CRC_ALGO, atomic_open, crc32
 from repro.telemetry.archive import ColdChunk
 from repro.telemetry.store import TimeSeriesStore
 
@@ -69,8 +90,9 @@ __all__ = ["save_store", "load_store"]
 log = logging.getLogger(__name__)
 
 _META_KEY = "__meta__"
-_FORMAT_VERSION = 3
-_READABLE_VERSIONS = (1, 2, 3)
+_META_CRC_KEY = "__metacrc__"
+_FORMAT_VERSION = 4
+_READABLE_VERSIONS = (1, 2, 3, 4)
 
 #: Array keys making up one persisted cold chunk / rollup tier.
 _COLD_FIELDS = ("tp", "vb", "vp")
@@ -81,14 +103,64 @@ def _encode_meta(meta: dict) -> np.ndarray:
     return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
 
 
+def _array_crc(arr: np.ndarray) -> int:
+    a = np.ascontiguousarray(arr)
+    crc = crc32(f"{a.dtype.str}:{a.shape}".encode("ascii"))
+    return crc32(a.tobytes(), crc)
+
+
+def _member_offset(archive, key: str) -> Optional[int]:
+    """Byte offset of a zip member inside the archive file, when known."""
+    try:
+        return int(archive.zip.getinfo(key + ".npy").header_offset)
+    except Exception:
+        return None
+
+
+def _open_archive(path: str):
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise PersistenceError(
+            f"{path}: unreadable archive: {exc}", path=path
+        ) from exc
+
+
 def _read_meta(archive, path: str) -> dict:
     if _META_KEY not in archive:
-        raise StoreError(f"{path}: not a repro store archive (missing header)")
-    meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        raise PersistenceError(
+            f"{path}: not a repro store archive (missing header)", path=path
+        )
+    try:
+        raw = bytes(archive[_META_KEY])
+        meta = json.loads(raw.decode("utf-8"))
+    except Exception as exc:
+        raise PersistenceError(
+            f"{path}: damaged archive header: {exc}",
+            path=path,
+            offset=_member_offset(archive, _META_KEY),
+        ) from exc
     if meta.get("version") not in _READABLE_VERSIONS:
         raise StoreError(
             f"{path}: unsupported archive version {meta.get('version')}"
         )
+    if meta.get("version", 1) >= 4:
+        try:
+            stored = int(archive[_META_CRC_KEY][0])
+        except Exception as exc:
+            raise PersistenceError(
+                f"{path}: archive header checksum is missing or unreadable",
+                path=path,
+                offset=_member_offset(archive, _META_CRC_KEY),
+            ) from exc
+        if crc32(raw) != stored:
+            raise PersistenceError(
+                f"{path}: archive header failed its checksum",
+                path=path,
+                offset=_member_offset(archive, _META_KEY),
+            )
     return meta
 
 
@@ -107,6 +179,14 @@ def _config_meta(store) -> dict:
     }
 
 
+def _npz_path(path: str) -> str:
+    # np.savez_compressed(str_path) appends ".npz"; the atomic writer hands
+    # it a file object, so normalize explicitly to keep the historical
+    # destination names.
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
 def _shard_paths(path: str, shards: int) -> List[str]:
     base, ext = os.path.splitext(path)
     if ext != ".npz":
@@ -114,13 +194,27 @@ def _shard_paths(path: str, shards: int) -> List[str]:
     return [f"{base}.shard{i}{ext}" for i in range(shards)]
 
 
+def _write_archive(path: str, payload: dict, meta: dict) -> None:
+    """Checksum and atomically write one ``.npz`` artifact."""
+    meta["checksums"] = {k: _array_crc(v) for k, v in payload.items()}
+    meta["crc_algo"] = CRC_ALGO
+    blob = _encode_meta(meta)
+    payload[_META_KEY] = blob
+    payload[_META_CRC_KEY] = np.array([crc32(blob.tobytes())], dtype=np.uint64)
+    with atomic_open(_npz_path(path), "wb") as fh:
+        np.savez_compressed(fh, **payload)
+
+
 def _save_single(
-    store, path: str, names: Optional[Sequence[str]]
+    store, path: str, names: Optional[Sequence[str]],
+    save_id: Optional[str] = None,
 ) -> int:
     # Compact staged samples up front so the archive never misses in-flight
     # data (series() also flushes per read, but an explicit full flush keeps
     # the saved samples_ingested/flush counters consistent too).
     store.flush()
+    journal = getattr(store, "journal", None)
+    journal_seq = journal.flush() if journal is not None else 0
     tier = getattr(store, "archive", None)
     engine = getattr(store, "rollups", None)
     # A worker-process proxy exposes the tier *configuration* but not the
@@ -178,25 +272,33 @@ def _save_single(
         "samples": int(store.samples_ingested),
         **_config_meta(store),
     }
+    if save_id is not None:
+        meta["save_id"] = save_id
     if cold_meta:
         meta["cold"] = cold_meta
     if rollup_meta:
         meta["rollup_state"] = rollup_meta
-    payload[_META_KEY] = _encode_meta(meta)
-    np.savez_compressed(path, **payload)
+    _write_archive(path, payload, meta)
+    if journal is not None:
+        # The archive now owns everything journaled up to the snapshot;
+        # covered journal segments can be pruned.
+        store.journal_mark_durable(journal_seq)
     return len(selected)
 
 
 def _save_sharded(store, path: str, names: Optional[Sequence[str]]) -> int:
     store.flush()
+    save_id = os.urandom(8).hex()
     shard_paths = _shard_paths(path, store.shards)
     total = 0
+    # Shard archives first, the manifest last: the manifest is the commit
+    # record, and its save_id refuses shard files from another generation.
     for rs, shard_path in zip(store.replica_sets, shard_paths):
         serving = rs.read_store()
         shard_names = (
             [n for n in names if n in serving] if names is not None else None
         )
-        total += _save_single(serving, shard_path, shard_names)
+        total += _save_single(serving, shard_path, shard_names, save_id=save_id)
     meta = {
         "version": _FORMAT_VERSION,
         "kind": "sharded",
@@ -205,9 +307,10 @@ def _save_sharded(store, path: str, names: Optional[Sequence[str]]) -> int:
         "partitioner": getattr(store.partitioner, "name", "custom"),
         "shard_files": [os.path.basename(p) for p in shard_paths],
         "series": total,
+        "save_id": save_id,
         **_config_meta(store),
     }
-    np.savez_compressed(path, **{_META_KEY: _encode_meta(meta)})
+    _write_archive(path, {}, meta)
     return total
 
 
@@ -221,8 +324,9 @@ def save_store(
     plus one archive per shard).  Staged samples are flushed first, so an
     archive always contains every ingested sample.  Cold chunks are saved
     still-encoded and rollup tiers are saved materialized, so tiered
-    history survives the round trip.  Returns the number of series
-    written.
+    history survives the round trip.  Every file is checksummed and
+    written atomically (temp + rename), so a crash mid-save leaves the
+    previous archive intact.  Returns the number of series written.
     """
     from repro.telemetry.distributed.shard import ShardedStore
 
@@ -257,36 +361,82 @@ def _member_stores(store, name: str):
     return tuple(replica_sets[store.shard_of(name)].members)
 
 
-def _load_cold_chunks(archive, name: str, metas, path: str):
-    """Decode-free chunk reconstruction; missing arrays degrade, not fail."""
+class _ArchiveReader:
+    """Checksum-verifying array access over one open ``.npz``.
+
+    v4 damage (CRC mismatch, undecompressable member) returns ``None`` and
+    is counted in :attr:`damaged`; the same damage in a pre-checksum v1–v3
+    archive raises :class:`PersistenceError` (there is no checksum to tell
+    benign from corrupt, so the only honest move is to fail loudly).
+    """
+
+    def __init__(self, archive, meta: dict, path: str):
+        self.archive = archive
+        self.meta = meta
+        self.path = path
+        self.checksums = meta.get("checksums") or {}
+        self.version = int(meta.get("version", 1))
+        self.damaged: List[str] = []
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.archive
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        try:
+            arr = self.archive[key]
+        except KeyError:
+            raise
+        except Exception as exc:
+            if self.version >= 4:
+                self._degrade(key, f"undecodable ({exc})")
+                return None
+            raise PersistenceError(
+                f"{self.path}: damaged array {key!r}: {exc}",
+                path=self.path,
+                offset=_member_offset(self.archive, key),
+            ) from exc
+        expected = self.checksums.get(key)
+        if expected is not None and _array_crc(arr) != int(expected):
+            self._degrade(key, "checksum mismatch")
+            return None
+        return arr
+
+    def _degrade(self, key: str, why: str) -> None:
+        self.damaged.append(key)
+        log.warning(
+            "%s: array %r is corrupt (%s); loading degraded",
+            self.path, key, why,
+        )
+
+
+def _load_cold_chunks(reader: _ArchiveReader, name: str, metas):
+    """Decode-free chunk reconstruction; damaged arrays degrade, not fail."""
     chunks, missing = [], 0
     for i, chunk_meta in enumerate(metas):
         keys = {f: f"__cold__::{name}::{i}::{f}" for f in _COLD_FIELDS}
-        if any(key not in archive for key in keys.values()):
+        if any(key not in reader for key in keys.values()):
             missing += 1
             log.warning(
                 "%s: cold chunk %d of series %r is missing from the "
                 "archive; loading degraded (%d samples lost)",
-                path, i, name, int(chunk_meta.get("count", 0)),
+                reader.path, i, name, int(chunk_meta.get("count", 0)),
             )
             continue
-        chunks.append(
-            ColdChunk.from_meta(
-                chunk_meta, {f: archive[key] for f, key in keys.items()}
-            )
-        )
+        arrays = {f: reader.get(key) for f, key in keys.items()}
+        if any(a is None for a in arrays.values()):
+            missing += 1
+            continue
+        chunks.append(ColdChunk.from_meta(chunk_meta, arrays))
     return chunks, missing
 
 
-def _load_series_into(store, archive, meta: dict, path: str) -> None:
+def _load_series_into(store, reader: _ArchiveReader, meta: dict) -> None:
     cold_meta = meta.get("cold") or {}
     rollup_meta = meta.get("rollup_state") or {}
     for name in meta["series"]:
         members = _member_stores(store, name)
         if name in cold_meta:
-            chunks, missing = _load_cold_chunks(
-                archive, name, cold_meta[name], path
-            )
+            chunks, missing = _load_cold_chunks(reader, name, cold_meta[name])
             for member in members:
                 tier = getattr(member, "archive", None)
                 if tier is None:
@@ -295,25 +445,49 @@ def _load_series_into(store, archive, meta: dict, path: str) -> None:
                 if chunks:
                     tier.adopt(name, chunks)
         if name in rollup_meta:
-            state = [
-                (
-                    float(entry["step"]),
-                    int(entry["cursor"]),
-                    {
-                        f: archive[f"__rollup__::{name}::{ti}::{f}"]
-                        for f in _ROLLUP_FIELDS
-                    },
-                )
-                for ti, entry in enumerate(rollup_meta[name])
+            arrays_per_tier = [
+                {
+                    f: reader.get(f"__rollup__::{name}::{ti}::{f}")
+                    for f in _ROLLUP_FIELDS
+                }
+                for ti in range(len(rollup_meta[name]))
             ]
-            for member in members:
-                engine = getattr(member, "rollups", None)
-                if engine is not None:
-                    engine.restore(name, state)
+            if all(
+                a is not None for tier_arrays in arrays_per_tier
+                for a in tier_arrays.values()
+            ):
+                state = [
+                    (float(entry["step"]), int(entry["cursor"]), tier_arrays)
+                    for entry, tier_arrays in zip(
+                        rollup_meta[name], arrays_per_tier
+                    )
+                ]
+                for member in members:
+                    engine = getattr(member, "rollups", None)
+                    if engine is not None:
+                        engine.restore(name, state)
+            else:
+                log.warning(
+                    "%s: rollup state of series %r is corrupt; loading "
+                    "degraded (tiers rebuild from raw)", reader.path, name,
+                )
         # Hot tail last: append continues rollup maintenance from the
         # restored cursors over the adopted cold + appended hot range,
         # which reproduces the saved tiers bit-for-bit.
-        store.append_many(name, archive[f"{name}::t"], archive[f"{name}::v"])
+        times = reader.get(f"{name}::t")
+        values = reader.get(f"{name}::v")
+        if times is None or values is None:
+            log.warning(
+                "%s: hot samples of series %r are corrupt; series skipped",
+                reader.path, name,
+            )
+            continue
+        store.append_many(name, times, values)
+
+
+def _count_damage(store, pieces: int) -> None:
+    if pieces and hasattr(store, "corrupt_artifacts"):
+        store.corrupt_artifacts += pieces
 
 
 def _load_sharded(path: str, meta: dict):
@@ -324,16 +498,47 @@ def _load_sharded(path: str, meta: dict):
         replication=int(meta.get("replication", 0)),
         **_store_kwargs(meta),
     )
+    save_id = meta.get("save_id")
     directory = os.path.dirname(os.path.abspath(path))
     for shard_file in meta["shard_files"]:
         shard_path = os.path.join(directory, shard_file)
-        with np.load(shard_path) as archive:
-            shard_meta = _read_meta(archive, shard_path)
+        # A damaged shard archive degrades that shard only, exactly like a
+        # missing cold chunk: warn, count, keep loading the healthy shards.
+        try:
+            archive = _open_archive(shard_path)
+        except (PersistenceError, FileNotFoundError) as exc:
+            log.warning(
+                "%s: shard archive is unreadable (%s); loading degraded",
+                shard_path, exc,
+            )
+            _count_damage(store, 1)
+            continue
+        with archive:
+            try:
+                shard_meta = _read_meta(archive, shard_path)
+            except (PersistenceError, StoreError) as exc:
+                log.warning(
+                    "%s: shard archive is damaged (%s); loading degraded",
+                    shard_path, exc,
+                )
+                _count_damage(store, 1)
+                continue
+            if save_id is not None and shard_meta.get("save_id") != save_id:
+                log.warning(
+                    "%s: shard archive belongs to save generation %r, the "
+                    "manifest to %r (crash between shard writes and the "
+                    "manifest commit); shard skipped",
+                    shard_path, shard_meta.get("save_id"), save_id,
+                )
+                _count_damage(store, 1)
+                continue
+            reader = _ArchiveReader(archive, shard_meta, shard_path)
             # Routed through the partitioner (append_many / per-name member
             # resolution), so placement is consistent even if the shard
             # files were produced under a different partitioner or shard
             # count.
-            _load_series_into(store, archive, shard_meta, shard_path)
+            _load_series_into(store, reader, shard_meta)
+            _count_damage(store, len(reader.damaged))
     return store
 
 
@@ -343,13 +548,18 @@ def load_store(path: str) -> Union[TimeSeriesStore, "object"]:
     Returns a :class:`TimeSeriesStore`, or a
     :class:`~repro.telemetry.distributed.ShardedStore` when ``path`` is a
     sharded-deployment manifest.  v1/v2 archives load with the tiers
-    disabled; v3 archives restore cold chunks (still encoded) and
-    materialized rollup tiers, tolerating individually missing chunks.
+    disabled; v3+ archives restore cold chunks (still encoded) and
+    materialized rollup tiers.  Damage in a checksummed v4 archive
+    degrades per series/chunk/shard (counted in
+    ``telemetry.durability.corrupt_artifacts``); structural damage and
+    damaged pre-v4 archives raise :class:`~repro.errors.PersistenceError`.
     """
-    with np.load(path) as archive:
+    with _open_archive(path) as archive:
         meta = _read_meta(archive, path)
         if meta.get("kind") == "sharded":
             return _load_sharded(path, meta)
         store = TimeSeriesStore(**_store_kwargs(meta))
-        _load_series_into(store, archive, meta, path)
+        reader = _ArchiveReader(archive, meta, path)
+        _load_series_into(store, reader, meta)
+        _count_damage(store, len(reader.damaged))
     return store

@@ -226,6 +226,7 @@ class RollupEngine:
         self._query_fetch = query_fetch if query_fetch is not None else fetch
         self._series: Dict[str, List[_TierSeries]] = {}
         self.buckets_finalized = 0
+        self.buckets_repaired = 0
         self.buckets_served = 0
         self.tier_hits = 0
         self.partial_hits = 0
@@ -286,6 +287,68 @@ class RollupEngine:
             (ends - starts).astype(np.int64),
         )
         self.buckets_finalized += int(idx.size)
+
+    def repair(self, name: str, since: float, until: float) -> int:
+        """Recompute finalized buckets overlapping ``[since, until)``.
+
+        Anti-entropy repair splices raw samples *below* the tier cursors —
+        territory :meth:`observe` treats as immutable — so the affected
+        bucket rows must be rebuilt from the repaired raw data or tier-served
+        queries would keep answering from the pre-repair aggregates.
+        Returns the number of bucket rows rewritten (including rows added
+        or removed by the repair).
+        """
+        tiers = self._series.get(name)
+        if tiers is None:
+            return 0
+        patched = 0
+        for ts in tiers:
+            if ts.cursor is None:
+                continue
+            s = ts.step
+            lo = _bucket_of(since, s)
+            hi = _bucket_of(until, s)
+            if until == hi * s:
+                hi -= 1
+            hi = min(hi, ts.cursor - 1)
+            if hi < lo:
+                continue
+            lo_edge, hi_edge = lo * s, (hi + 1) * s
+            times, values = self._fetch(name, lo_edge, hi_edge)
+            times = np.asarray(times, dtype=np.float64)
+            values = np.asarray(values, dtype=np.float64)
+            keep = slice(
+                int(np.searchsorted(times, lo_edge, side="left")),
+                int(np.searchsorted(times, hi_edge, side="left")),
+            )
+            times, values = times[keep], values[keep]
+            if times.size:
+                buckets = _buckets_of(times, s)
+                starts = np.flatnonzero(np.r_[True, buckets[1:] != buckets[:-1]])
+                ends = np.r_[starts[1:], times.size]
+                new_idx = buckets[starts]
+                new_sum = np.add.reduceat(values, starts)
+                new_min = np.minimum.reduceat(values, starts)
+                new_max = np.maximum.reduceat(values, starts)
+                new_cnt = (ends - starts).astype(np.int64)
+            else:
+                new_idx = np.empty(0, dtype=np.int64)
+                new_sum = new_min = new_max = np.empty(0, dtype=np.float64)
+                new_cnt = np.empty(0, dtype=np.int64)
+            pos_lo = int(np.searchsorted(ts.idx, lo, side="left"))
+            pos_hi = int(np.searchsorted(ts.idx, hi, side="right"))
+            for attr, new_col in (
+                ("_idx", new_idx), ("_sum", new_sum), ("_min", new_min),
+                ("_max", new_max), ("_cnt", new_cnt),
+            ):
+                old = getattr(ts, attr)
+                setattr(ts, attr, np.concatenate(
+                    (old[:pos_lo], new_col.astype(old.dtype), old[pos_hi:ts._size])
+                ))
+            ts._size = ts._idx.size
+            patched += max(pos_hi - pos_lo, int(new_idx.size))
+        self.buckets_repaired += patched
+        return patched
 
     # ------------------------------------------------------------------
     # Planner (query path)

@@ -81,9 +81,10 @@ class RuntimeConfig:
         command_timeout: float = 60.0,
         auto_restart: bool = True,
     ):
-        if durability not in ("none", "checkpoint"):
+        if durability not in ("none", "checkpoint", "wal"):
             raise ConfigurationError(
-                f"durability must be 'none' or 'checkpoint', got {durability!r}"
+                "durability must be 'none', 'checkpoint' or 'wal', got "
+                f"{durability!r}"
             )
         if durability == "checkpoint" and not checkpoint_dir:
             raise ConfigurationError(
@@ -333,6 +334,18 @@ class ParallelReplicaSet:
         self._drop_fraction[member] = 0.0
         self._runtime._bump()
 
+    def anti_entropy(
+        self, window_s: float = 3600.0, now: Optional[float] = None
+    ) -> dict:
+        """One divergence-detection/repair sweep, run inside the worker
+        (see :meth:`ReplicaSet.anti_entropy`); member data never crosses
+        the process boundary, only the summary does."""
+        out = self._runtime._call(
+            self.shard_id, "anti_entropy", (window_s, now)
+        )
+        self._runtime._bump()
+        return out
+
     # -- writes --------------------------------------------------------
     def ingest(self, topic: str, batch: SampleBatch) -> int:
         self._runtime.push(self.shard_id, batch)
@@ -413,6 +426,15 @@ class ParallelReplicaSet:
             r.counter(f"{prefix}.resync_failed",
                       "revivals that found no healthy peer to resync from",
                       fn=lambda: self._summed_stat("resync_failures"))
+            r.counter(f"{prefix}.diverged_windows",
+                      "replica windows found diverged by anti-entropy",
+                      fn=lambda: self._summed_stat("diverged_windows"))
+            r.counter(f"{prefix}.repaired_windows",
+                      "replica windows repaired by anti-entropy",
+                      fn=lambda: self._summed_stat("repaired_windows"))
+            r.counter(f"{prefix}.repaired_samples",
+                      "samples restored into members by anti-entropy",
+                      fn=lambda: self._summed_stat("repaired_samples"))
             self._metrics = r
             self._metrics_prefix = prefix
         return self._metrics
@@ -441,6 +463,27 @@ class ParallelReplicaSet:
     def resync_failures(self) -> int:
         return int(self._stats()["resync_failures"])
 
+    @property
+    def anti_entropy_sweeps(self) -> int:
+        return int(self._stats()["anti_entropy_sweeps"])
+
+    @property
+    def diverged_windows(self) -> int:
+        return int(self._stats()["diverged_windows"])
+
+    @property
+    def repaired_windows(self) -> int:
+        return int(self._stats()["repaired_windows"])
+
+    @property
+    def repaired_samples(self) -> List[int]:
+        return list(self._stats()["repaired_samples"])
+
+    @property
+    def recovered_samples(self) -> int:
+        """Samples the current worker incarnation replayed from its WAL."""
+        return int(self._stats().get("recovered_samples", 0))
+
 
 class ParallelShardRuntime:
     """One worker process per shard, fed by shared-memory sample rings."""
@@ -458,6 +501,13 @@ class ParallelShardRuntime:
         self.replication = replication
         self.store_config = dict(store_config)
         self.config = config or RuntimeConfig()
+        if self.config.durability == "wal" and not (
+            self.store_config.get("journal") or self.config.checkpoint_dir
+        ):
+            raise ConfigurationError(
+                "durability='wal' requires a journal base dir in the store "
+                "config or a checkpoint_dir"
+            )
         self._ctx = mp.get_context()
         self.rings: List[SampleRing] = [
             SampleRing(self.config.ring_capacity, self.config.slot_width)
@@ -742,8 +792,16 @@ class ParallelShardRuntime:
     # never checkpointed), so a restart would reset them to zero and the
     # published metrics would run backwards.  On restart the last-known
     # values fold into these parent-side offsets instead.
-    _OFFSET_LISTS = ("missed_writes", "dropped_writes")
-    _OFFSET_SCALARS = ("lost_batches", "lost_samples", "resync_failures")
+    _OFFSET_LISTS = ("missed_writes", "dropped_writes", "repaired_samples")
+    _OFFSET_SCALARS = (
+        "lost_batches",
+        "lost_samples",
+        "resync_failures",
+        "anti_entropy_sweeps",
+        "diverged_windows",
+        "repaired_windows",
+        "recovered_samples",
+    )
 
     def _merge_offsets(self, shard: int, stats: dict) -> dict:
         offsets = self._stat_offsets[shard]

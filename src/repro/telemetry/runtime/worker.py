@@ -27,6 +27,17 @@ Durability is selected by the parent:
   crash the parent restarts the worker, which reloads the checkpoint and
   replays ``[max(acked, checkpoint_seq), head)`` — no acknowledged batch
   is ever lost.
+* ``"wal"`` — every applied ring slot is framed into a per-shard
+  write-ahead journal (:mod:`repro.telemetry.durability`) *before* it is
+  staged, and ``acked`` advances only after the journal buffer reaches
+  the OS — so acknowledgement costs one buffered file write instead of a
+  full ``.npz`` checkpoint, and the columnar stager batches freely
+  between acks.  A restarted worker replays the journal into its healthy
+  members (periodic MARK records anchor journal records to ring
+  sequences) and then resumes the ring from the journal frontier.
+  Explicit checkpoints still persist ``.npz`` snapshots when a
+  ``checkpoint_dir`` is configured, and prune journal segments wholly
+  covered by the snapshot.
 
 When any member is down or degraded the stager is flushed and ingest falls
 back to per-slot :meth:`ReplicaSet.ingest`, so fault bookkeeping
@@ -45,7 +56,15 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.ioutil import atomic_write_json
 from repro.telemetry.distributed.replica import ReplicaSet
+from repro.telemetry.durability import (
+    JournalConfig,
+    RecoveryStats,
+    WriteAheadJournal,
+    iter_records,
+    read_watermark,
+)
 from repro.telemetry.persistence import load_store, save_store
 from repro.telemetry.runtime.ring import SampleRing
 from repro.telemetry.sample import SampleBatch
@@ -227,6 +246,38 @@ class ShardWorker:
         self.checkpoint_interval = min(
             checkpoint_interval, max(1, ring.capacity // 2)
         )
+        # The shard journal replaces per-member journaling inside workers:
+        # one WAL covers the whole replica set (members hold identical
+        # data), so the member stores are built journal-free.
+        store_config = dict(store_config)
+        journal = store_config.pop("journal", None)
+        self.wal: Optional[WriteAheadJournal] = None
+        self._wal_cfg: Optional[JournalConfig] = None
+        self._wal_names: set = set()
+        self.recovery: Optional[RecoveryStats] = None
+        if durability == "wal":
+            if journal is not None:
+                wal_dir = os.path.join(
+                    journal["base_dir"], f"shard{shard_id}", "wal"
+                )
+                tuning = {
+                    k: journal[k]
+                    for k in (
+                        "segment_max_bytes",
+                        "sync",
+                        "sync_interval_s",
+                        "group_bytes",
+                    )
+                    if k in journal
+                }
+            elif checkpoint_dir:
+                wal_dir, tuning = os.path.join(checkpoint_dir, "wal"), {}
+            else:
+                raise ValueError(
+                    "durability='wal' requires a journal base dir or a "
+                    "checkpoint_dir"
+                )
+            self._wal_cfg = JournalConfig(dir=wal_dir, **tuning)
         self.rs = ReplicaSet(
             shard_id,
             replication,
@@ -266,37 +317,148 @@ class ShardWorker:
     def _member_path(self, member: int) -> str:
         return os.path.join(self.checkpoint_dir, f"member{member}.npz")
 
+    def _load_manifest(self) -> Optional[dict]:
+        if not self.checkpoint_dir:
+            return None
+        manifest = self._manifest_path()
+        if not os.path.exists(manifest):
+            return None
+        with open(manifest) as fh:
+            meta = json.load(fh)
+        for i in range(len(self.rs.members)):
+            path = self._member_path(i)
+            if os.path.exists(path):
+                self.rs.members[i] = load_store(path)
+        return meta
+
     def recover(self) -> None:
-        """Resume the consumer cursor; reload the checkpoint if one exists.
+        """Resume the consumer cursor; reload durable state if any exists.
 
         Slots at or before the checkpointed sequence are already durable in
         the reloaded stores, so replay starts at
         ``max(acked, checkpoint_seq)`` — this also covers a crash that
         landed between writing a checkpoint and advancing ``acked``.
+        Under ``"wal"`` durability the journal is replayed on top of the
+        (optional) checkpoint and replay resumes from the journal frontier.
         """
         resume = self.ring.acked
         if self.durability == "checkpoint" and self.checkpoint_dir:
-            manifest = self._manifest_path()
-            if os.path.exists(manifest):
-                with open(manifest) as fh:
-                    meta = json.load(fh)
-                for i in range(len(self.rs.members)):
-                    path = self._member_path(i)
-                    if os.path.exists(path):
-                        self.rs.members[i] = load_store(path)
-                seq = int(meta.get("seq", 0))
-                resume = max(resume, seq)
-                if seq > self.ring.acked:
-                    self.ring.mark_acked(seq)
+            meta = self._load_manifest()
+            if meta is not None:
+                resume = max(resume, int(meta.get("seq", 0)))
+        elif self.durability == "wal":
+            resume = max(resume, self._recover_wal())
+            self.wal = WriteAheadJournal(self._wal_cfg)
+            # Anchor this incarnation's records: batches that follow map to
+            # ring sequences counted up from this mark.
+            self.wal.append_mark(resume)
+            self.wal.flush()
+        if resume > self.ring.acked:
+            self.ring.mark_acked(resume)
         self.slots_replayed = self.ring.head - resume
         self.ring.reset_consumer(resume)
+
+    def _recover_wal(self) -> int:
+        """Replay the shard journal into healthy members; return the ring
+        sequence the journal covers.
+
+        MARK records carry the ring sequence acknowledged when they were
+        written; each BATCH record between marks advances the position by
+        one slot, so the journal frontier is exact even after a torn tail.
+        Records at or below the checkpoint's ``wal_seq`` are already inside
+        the reloaded ``.npz`` snapshot and are skipped.  Replay stops at
+        the first sequence gap (damage mid-journal): everything past it is
+        left to the ring replay window, which still covers ``[acked, head)``.
+        """
+        stats = RecoveryStats()
+        self.recovery = stats
+        base_seq = 0
+        wal_cut = read_watermark(self._wal_cfg.dir)
+        meta = self._load_manifest()
+        if meta is not None:
+            base_seq = int(meta.get("seq", 0))
+            wal_cut = max(wal_cut, int(meta.get("wal_seq", 0)))
+        healthy = [
+            m for i, m in enumerate(self.rs.members) if not self.rs.is_down(i)
+        ]
+        resume = base_seq
+        pos: Optional[int] = None
+        expected: Optional[int] = None
+        pend_id: Optional[int] = None
+        pend_times: list = []
+        pend_rows: list = []
+
+        def flush_pending() -> None:
+            nonlocal pend_id
+            if pend_id is None or not pend_times:
+                pend_id = None
+                return
+            times = np.asarray(pend_times, dtype=np.float64)
+            rows = np.vstack(pend_rows)
+            names = self.stager.names_for(pend_id)
+            for member in healthy:
+                member.append_block(names, times, rows)
+            pend_id = None
+            pend_times.clear()
+            pend_rows.clear()
+
+        for rec in iter_records(
+            self._wal_cfg.dir, stats=stats, min_seq=wal_cut
+        ):
+            kind, seq = rec[0], rec[1]
+            if expected is not None and seq != expected:
+                break
+            expected = seq + 1
+            if kind == "names":
+                self.stager.register(rec[2], tuple(rec[3]))
+            elif kind == "mark":
+                flush_pending()
+                pos = int(rec[2])
+                resume = max(resume, pos)
+            elif kind == "batch":
+                _, _, names_id, time, values = rec
+                if pos is None:
+                    # The anchoring mark was pruned with its segment at the
+                    # last checkpoint; batches resume exactly at its seq.
+                    pos = base_seq
+                if pos >= base_seq and self.stager.knows(names_id):
+                    if pend_id != names_id:
+                        flush_pending()
+                        pend_id = names_id
+                    pend_times.append(time)
+                    pend_rows.append(values)
+                pos += 1
+                resume = max(resume, pos)
+            elif kind == "many":
+                flush_pending()
+                _, _, name, times, values = rec
+                for member in healthy:
+                    member.append_many(name, times, values)
+        flush_pending()
+        return resume
+
+    def _wal_ack(self) -> int:
+        """Acknowledge everything applied: one MARK plus a buffer flush.
+
+        The flush hands the journal to the OS, which survives a worker
+        kill (the crash model restarts cover); the sync policy in the
+        journal config governs fsync cadence for power-loss durability.
+        """
+        applied = self.ring.applied
+        self.wal.append_mark(applied)
+        self.wal.flush()
+        self.ring.mark_acked(applied)
+        return applied
 
     def checkpoint(self) -> int:
         """Flush everything and persist member stores; advance ``acked``.
 
         Returns the acknowledged sequence.  Only after the manifest (the
         commit record) is fully written does ``acked`` move, so a crash
-        mid-checkpoint replays from the previous one.
+        mid-checkpoint replays from the previous one.  Under ``"wal"``
+        durability the ``.npz`` snapshot is written only when a
+        ``checkpoint_dir`` is configured, and journal segments wholly
+        covered by the snapshot are pruned.
         """
         applied = self.ring.applied
         self.stager.flush()
@@ -305,10 +467,26 @@ class ShardWorker:
             os.makedirs(self.checkpoint_dir, exist_ok=True)
             for i, member in enumerate(self.rs.members):
                 save_store(member, self._member_path(i))
-            tmp = self._manifest_path() + ".tmp"
-            with open(tmp, "w") as fh:
-                json.dump({"seq": applied, "shard": self.shard_id}, fh)
-            os.replace(tmp, self._manifest_path())
+            atomic_write_json(
+                self._manifest_path(),
+                {"seq": applied, "shard": self.shard_id},
+            )
+        elif self.durability == "wal" and self.wal is not None:
+            self.wal.append_mark(applied)
+            wal_seq = self.wal.flush()
+            if self.checkpoint_dir:
+                os.makedirs(self.checkpoint_dir, exist_ok=True)
+                for i, member in enumerate(self.rs.members):
+                    save_store(member, self._member_path(i))
+                atomic_write_json(
+                    self._manifest_path(),
+                    {
+                        "seq": applied,
+                        "shard": self.shard_id,
+                        "wal_seq": wal_seq,
+                    },
+                )
+                self.wal.mark_durable(wal_seq)
         self.ring.mark_acked(applied)
         return applied
 
@@ -347,6 +525,17 @@ class ShardWorker:
         names_id, time, values = self.ring.read_slot(seq)
         if not self.stager.knows(names_id):
             self._resolve_names(names_id)
+        if self.wal is not None:
+            # Journal before mutate: the WAL record is the durable copy of
+            # this slot until the next checkpoint, including slots a down
+            # member misses (replay only feeds healthy members, mirroring
+            # the fault accounting taken below).
+            if names_id not in self._wal_names:
+                self.wal.append_names(
+                    names_id, self.stager.names_for(names_id)
+                )
+                self._wal_names.add(names_id)
+            self.wal.append_batch(names_id, time, values)
         if self._fault_active:
             # Exact per-batch fault bookkeeping: go through the replica
             # set's own ingest so missed/dropped/lost counters match the
@@ -381,7 +570,10 @@ class ShardWorker:
             and not instant_ack
             and seq - self.ring.acked >= self.checkpoint_interval
         ):
-            self.checkpoint()
+            if self.durability == "wal":
+                self._wal_ack()
+            else:
+                self.checkpoint()
         return applied
 
     # ------------------------------------------------------------------
@@ -410,6 +602,15 @@ class ShardWorker:
             "slots_replayed": self.slots_replayed,
             "stager_errors": self.stager.errors,
             "staged_samples": self.stager.staged_samples,
+            "anti_entropy_sweeps": self.rs.anti_entropy_sweeps,
+            "diverged_windows": self.rs.diverged_windows,
+            "repaired_windows": self.rs.repaired_windows,
+            "repaired_samples": list(self.rs.repaired_samples),
+            "recovered_samples": (
+                self.recovery.replayed_samples if self.recovery else 0
+            ),
+            "wal_records": self.wal.records if self.wal else 0,
+            "wal_bytes": self.wal.bytes_written if self.wal else 0,
         }
 
     def _execute(self, op: str, payload: tuple):
@@ -466,10 +667,14 @@ class ShardWorker:
             return rs.flush()
         if op == "append":
             name, time, value = payload
+            if self.wal is not None:
+                self.wal.append_many(name, (float(time),), (float(value),))
             rs.append(name, time, value)
             return None
         if op == "append_many":
             name, times, values = payload
+            if self.wal is not None:
+                self.wal.append_many(name, times, values)
             rs.append_many(name, times, values)
             return None
         if op == "mark_down":
@@ -489,6 +694,15 @@ class ShardWorker:
             return None
         if op == "rs_stats":
             return self._rs_stats()
+        if op == "anti_entropy":
+            window_s, now = payload
+            self.stager.flush()
+            return rs.anti_entropy(window_s=window_s, now=now)
+        if op == "sync_journal":
+            if self.wal is None:
+                return 0
+            self.stager.flush()
+            return self.wal.sync()
         if op == "checkpoint":
             return self.checkpoint()
         if op == "crash":
@@ -496,8 +710,10 @@ class ShardWorker:
             # checkpoint, no reply.
             os._exit(17)
         if op == "stop":
-            if self.durability == "checkpoint":
+            if self.durability in ("checkpoint", "wal"):
                 self.checkpoint()
+                if self.wal is not None:
+                    self.wal.close()
             else:
                 self.stager.flush()
                 rs.flush()

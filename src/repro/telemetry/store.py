@@ -41,6 +41,7 @@ result cache) copy under the lock.
 from __future__ import annotations
 
 import fnmatch
+import os
 import re
 import threading
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -51,6 +52,13 @@ from repro.errors import StoreError, UnknownMetricError
 from repro.obs import OBS as _OBS
 from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.archive import ArchiveConfig, ArchiveTier
+from repro.telemetry.durability import (
+    JournalConfig,
+    RecoveryStats,
+    WriteAheadJournal,
+    iter_records,
+    window_checksums as _window_checksums,
+)
 from repro.telemetry.rollup import RollupConfig, RollupEngine
 from repro.telemetry.sample import SampleBatch
 
@@ -397,6 +405,7 @@ class TimeSeriesStore:
         flush_threshold: int = 256,
         rollups=None,
         archive=None,
+        journal=None,
     ):
         if not 0.0 <= retention_slack < 1.0:
             raise StoreError(
@@ -445,6 +454,24 @@ class TimeSeriesStore:
         # Reentrant because reads nest (align -> resample_column -> query)
         # and rollup maintenance re-enters via the fetch hooks.
         self._lock = threading.RLock()
+        # Durability: write-ahead journal + crash-recovery bookkeeping.
+        self._journal: Optional[WriteAheadJournal] = None
+        self._journal_names: Dict[Tuple[str, ...], int] = {}
+        self._replaying = False
+        self.corrupt_artifacts = 0  # damaged persisted artifacts degraded at load
+        self.repaired_samples = 0  # samples spliced in by anti-entropy repair
+        self.recovery: Optional[RecoveryStats] = None
+        if journal:
+            if isinstance(journal, JournalConfig):
+                jcfg = journal
+            elif isinstance(journal, dict):
+                jcfg = JournalConfig(**journal)
+            else:
+                jcfg = JournalConfig(dir=os.fspath(journal))
+            self.recovery = self._recover_journal(jcfg)
+            self._journal = WriteAheadJournal(
+                jcfg, start_seq=self.recovery.last_seq + 1
+            )
 
     # ------------------------------------------------------------------
     # Ingest
@@ -468,8 +495,22 @@ class TimeSeriesStore:
                 return self._ingest(topic, batch)
         return self._ingest(topic, batch)
 
+    def _journal_names_id(self, names: Tuple[str, ...]) -> int:
+        """Intern a name tuple in the journal (mirrors ring interning)."""
+        names_id = self._journal_names.get(names)
+        if names_id is None:
+            names_id = len(self._journal_names)
+            self._journal_names[names] = names_id
+            self._journal.append_names(names_id, names)
+        return names_id
+
     def _ingest(self, topic: str, batch: SampleBatch) -> None:
         with self._lock:
+            if self._journal is not None and not self._replaying:
+                names = tuple(batch.names)
+                self._journal.append_batch(
+                    self._journal_names_id(names), batch.time, batch.values
+                )
             t = batch.time
             staging = self._staging
             threshold = self.flush_threshold
@@ -561,6 +602,8 @@ class TimeSeriesStore:
     def append(self, name: str, time: float, value: float) -> None:
         """Append one sample to ``name``, creating the series if needed."""
         with self._lock:
+            if self._journal is not None and not self._replaying:
+                self._journal.append_many(name, (float(time),), (float(value),))
             self._last_time_of(name)  # ensure the series exists
             buf = self._series[name]
             stage = self._staging.get(name)
@@ -581,9 +624,11 @@ class TimeSeriesStore:
     def append_many(self, name: str, times: np.ndarray, values: np.ndarray) -> None:
         """Vectorized bulk append to a single series."""
         with self._lock:
+            times = np.asarray(times, dtype=np.float64)
+            if self._journal is not None and not self._replaying:
+                self._journal.append_many(name, times, values)
             self._last_time_of(name)  # ensure the series exists
             buf = self._series[name]
-            times = np.asarray(times, dtype=np.float64)
             stage = self._staging.get(name)
             if stage is not None and stage.times:
                 self._flush_stage(name, stage)
@@ -627,6 +672,10 @@ class TimeSeriesStore:
         if np.any(np.diff(times) < 0):
             raise StoreError("append_block: times must be non-decreasing")
         with self._lock:
+            if self._journal is not None and not self._replaying:
+                self._journal.append_block(
+                    self._journal_names_id(tuple(names)), times, rows
+                )
             series = self._series
             staging = self._staging
             last = float(times[-1])
@@ -768,6 +817,202 @@ class TimeSeriesStore:
                 float(self.samples_trimmed),
             )
 
+    # ------------------------------------------------------------------
+    # Durability: journal control, crash recovery, anti-entropy splicing
+    # ------------------------------------------------------------------
+    @property
+    def journal(self) -> Optional[WriteAheadJournal]:
+        """The write-ahead journal (None when durability is disabled)."""
+        return self._journal
+
+    def sync_journal(self) -> int:
+        """Force a journal group commit + fsync; returns the durable seq."""
+        with self._lock:
+            return self._journal.sync() if self._journal is not None else 0
+
+    def flush_journal(self) -> int:
+        """Hand buffered journal records to the OS (survives process kill)."""
+        with self._lock:
+            return self._journal.flush() if self._journal is not None else 0
+
+    def journal_mark_durable(self, seq: Optional[int] = None) -> int:
+        """Declare journaled data persisted elsewhere; prunes covered segments.
+
+        Called by :func:`~repro.telemetry.persistence.save_store` after a
+        successful atomic save so the journal never grows past one
+        checkpoint interval.  Returns the number of segments pruned.
+        """
+        with self._lock:
+            if self._journal is None:
+                return 0
+            if seq is None:
+                seq = self._journal.sync()
+            return self._journal.mark_durable(seq)
+
+    def close(self) -> None:
+        """Flush staging and cleanly close the journal (idempotent)."""
+        with self._lock:
+            self._flush()
+            if self._journal is not None:
+                self._journal.close()
+
+    def _recover_journal(self, cfg: JournalConfig) -> RecoveryStats:
+        """Replay an existing journal into this (empty) store.
+
+        Tolerates damage: a torn tail truncates replay, a corrupt record
+        drops the rest of its segment, and a record the store refuses
+        (out-of-order after a partial tear) is counted, not raised.
+        Consecutive wide-batch records against the same name tuple are
+        coalesced into columnar block appends so replay stays vectorized.
+        """
+        stats = RecoveryStats()
+        names_map: Dict[int, Tuple[str, ...]] = {}
+        pend_id: Optional[int] = None
+        pend_times: List[float] = []
+        pend_rows: List[np.ndarray] = []
+
+        def flush_pending() -> None:
+            nonlocal pend_id
+            if pend_id is None:
+                return
+            names, nid = names_map[pend_id], pend_id
+            pend_id = None
+            try:
+                self.append_block(
+                    names, np.asarray(pend_times), np.vstack(pend_rows)
+                )
+            except StoreError:
+                stats.replay_conflicts += 1
+            pend_times.clear()
+            pend_rows.clear()
+
+        self._replaying = True
+        try:
+            for rec in iter_records(cfg.dir, stats=stats):
+                kind = rec[0]
+                if kind == "names":
+                    names_map[rec[2]] = rec[3]
+                elif kind == "batch":
+                    names = names_map.get(rec[2])
+                    if names is None or len(names) != rec[4].size:
+                        stats.replay_conflicts += 1
+                        continue
+                    if pend_id != rec[2] or (
+                        pend_times and rec[3] < pend_times[-1]
+                    ):
+                        flush_pending()
+                    if pend_id is None:
+                        pend_id = rec[2]
+                    if pend_times and rec[3] == pend_times[-1]:
+                        pend_rows[-1] = rec[4]  # last writer wins
+                    else:
+                        pend_times.append(rec[3])
+                        pend_rows.append(rec[4])
+                elif kind == "many":
+                    flush_pending()
+                    try:
+                        self.append_many(rec[2], rec[3], rec[4])
+                    except StoreError:
+                        stats.replay_conflicts += 1
+                elif kind == "block":
+                    flush_pending()
+                    names = names_map.get(rec[2])
+                    if names is None or len(names) != rec[4].shape[1]:
+                        stats.replay_conflicts += 1
+                        continue
+                    try:
+                        self.append_block(names, rec[3], rec[4])
+                    except StoreError:
+                        stats.replay_conflicts += 1
+                # "mark" records are runtime watermarks; stats.last_mark
+                # captures them for the worker-restart path.
+            flush_pending()
+        finally:
+            self._replaying = False
+        return stats
+
+    def window_checksums(
+        self, name: str, window_s: float, until: Optional[float] = None
+    ) -> Dict[int, Tuple[int, int]]:
+        """Per-time-window fingerprints of the hot tier of ``name``.
+
+        Anti-entropy compares these across replicas instead of shipping
+        data.  Windows at or past ``until`` are excluded so the currently
+        filling window is never flagged mid-ingest.  Unknown series map to
+        the empty dict (a replica that missed a series' creation *should*
+        diverge on every window the peer holds).
+        """
+        with self._lock:
+            if name not in self._series:
+                return {}
+            buf = self.series(name)
+            return _window_checksums(
+                buf.times, buf.values, window_s, until=until
+            )
+
+    def window_data(
+        self, name: str, window_s: float, window: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy of the hot samples of ``name`` inside one checksum window."""
+        with self._lock:
+            buf = self.series(name)
+            t = buf.times
+            lo = int(np.searchsorted(t, window * window_s, side="left"))
+            hi = int(np.searchsorted(t, (window + 1) * window_s, side="left"))
+            return t[lo:hi].copy(), buf.values[lo:hi].copy()
+
+    def replace_window(
+        self,
+        name: str,
+        since: float,
+        until: float,
+        times: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Splice-repair: replace the samples of ``name`` in ``[since, until)``.
+
+        This is the anti-entropy write path — it may rewrite *past* data,
+        which normal ingest forbids.  Replacement samples must be sorted and
+        lie within the window.  Affected rollup buckets are recomputed from
+        the repaired raw data.  Returns the net change in sample count.
+        Repairs are not journaled: after a crash the divergence is simply
+        re-detected and re-repaired by the next sweep.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise StoreError("replace_window needs matching 1-d times/values")
+        if times.size and (
+            np.any(np.diff(times) < 0)
+            or times[0] < since
+            or times[-1] >= until
+        ):
+            raise StoreError(
+                f"replace_window: samples must be sorted within "
+                f"[{since}, {until})"
+            )
+        with self._lock:
+            self._last_time_of(name)  # ensure the series exists
+            buf = self.series(name)
+            t = buf.times
+            lo = int(np.searchsorted(t, since, side="left"))
+            hi = int(np.searchsorted(t, until, side="left"))
+            new_t = np.concatenate((t[:lo], times, t[hi:]))
+            new_v = np.concatenate((buf.values[:lo], values, buf.values[hi:]))
+            buf._times = new_t
+            buf._values = new_v
+            buf._size = new_t.size
+            added, removed = int(times.size), hi - lo
+            self.repaired_samples += added
+            # Repairs are writes: bump the ingest counter so version_stamp
+            # moves and serving caches invalidate.
+            self.samples_ingested += added
+            if new_t.size and float(new_t[-1]) > self._latest_time:
+                self._latest_time = float(new_t[-1])
+            if self.rollups is not None:
+                self.rollups.repair(name, since, until)
+            return added - removed
+
     @property
     def rollup_config(self) -> Optional[RollupConfig]:
         """Active rollup cascade config (None when disabled)."""
@@ -816,6 +1061,9 @@ class TimeSeriesStore:
                 r.counter("telemetry.rollup.raw_fallbacks",
                           "planner consultations that fell back to raw",
                           fn=lambda: float(ru.raw_fallbacks))
+                r.counter("telemetry.rollup.buckets_repaired",
+                          "tier buckets rebuilt after anti-entropy repair",
+                          fn=lambda: float(ru.buckets_repaired))
             if self.archive is not None:
                 ar = self.archive
                 r.gauge("telemetry.archive.chunks", "cold chunks held",
@@ -846,6 +1094,40 @@ class TimeSeriesStore:
                 r.counter("telemetry.archive.missing_chunks",
                           "cold chunks missing at load (degraded to raw)",
                           fn=lambda: float(ar.missing_chunks))
+            r.counter("telemetry.durability.corrupt_artifacts",
+                      "damaged persisted artifacts degraded at load",
+                      fn=lambda: float(self.corrupt_artifacts))
+            r.counter("telemetry.durability.repaired_samples",
+                      "samples spliced in by anti-entropy repair",
+                      fn=lambda: float(self.repaired_samples))
+            if self._journal is not None:
+                j = self._journal
+                r.counter("telemetry.durability.journal_records",
+                          "records appended to the write-ahead journal",
+                          fn=lambda: float(j.records))
+                r.counter("telemetry.durability.journal_bytes",
+                          "journal bytes handed to the OS",
+                          fn=lambda: float(j.bytes_written))
+                r.counter("telemetry.durability.journal_syncs",
+                          "journal fsync group commits",
+                          fn=lambda: float(j.syncs))
+                r.counter("telemetry.durability.journal_rotations",
+                          "journal segment rotations",
+                          fn=lambda: float(j.rotations))
+            if self.recovery is not None:
+                rec = self.recovery
+                r.counter("telemetry.durability.recovered_records",
+                          "journal records replayed at open",
+                          fn=lambda: float(rec.replayed_records))
+                r.counter("telemetry.durability.recovered_samples",
+                          "samples recovered from the journal at open",
+                          fn=lambda: float(rec.replayed_samples))
+                r.counter("telemetry.durability.torn_tail_drops",
+                          "journal tails torn by a crash mid-write",
+                          fn=lambda: float(rec.torn_tail_drops))
+                r.counter("telemetry.durability.corrupt_journal_records",
+                          "journal frames failing CRC at recovery",
+                          fn=lambda: float(rec.corrupt_records))
             self._metrics = r
         return self._metrics
 

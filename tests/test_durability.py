@@ -1,0 +1,587 @@
+"""Durability layer: WAL framing, crash recovery, checksummed archives,
+anti-entropy repair, and the loss-accounting audit across repair paths."""
+
+from __future__ import annotations
+
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.errors import JournalError, PersistenceError
+from repro.telemetry import (
+    JournalConfig,
+    ReplicaSet,
+    SampleBatch,
+    ShardedStore,
+    TimeSeriesStore,
+    WriteAheadJournal,
+    corrupt_artifact,
+    load_store,
+    save_store,
+    scan_journal,
+    tear_wal_tail,
+)
+from repro.telemetry.durability import (
+    RecoveryStats,
+    iter_records,
+    read_watermark,
+)
+
+
+def _bits_equal(a, b) -> bool:
+    return np.array_equal(
+        np.asarray(a, dtype=np.float64).view(np.uint64),
+        np.asarray(b, dtype=np.float64).view(np.uint64),
+    )
+
+
+def _drain(directory, **kwargs):
+    stats = RecoveryStats()
+    records = list(iter_records(directory, stats=stats, **kwargs))
+    return records, stats
+
+
+# ---------------------------------------------------------------------------
+# WAL segment format
+# ---------------------------------------------------------------------------
+class TestJournalFormat:
+    def test_all_record_types_round_trip(self, tmp_path):
+        wal = WriteAheadJournal(JournalConfig(dir=str(tmp_path / "wal")))
+        names = ("a.x", "a.y", "b.z")
+        values = np.array([1.5, -2.0, np.pi])
+        times = np.array([10.0, 20.0, 30.0])
+        rows = np.arange(6, dtype=np.float64).reshape(2, 3)
+        s1 = wal.append_names(0, names)
+        s2 = wal.append_batch(0, 5.0, values)
+        s3 = wal.append_many("b.z", times, values)
+        s4 = wal.append_block(0, times[:2], rows)
+        s5 = wal.append_mark(42)
+        assert [s1, s2, s3, s4, s5] == [1, 2, 3, 4, 5]
+        wal.flush()
+        wal.close()
+
+        records, stats = _drain(str(tmp_path / "wal"))
+        kinds = [r[0] for r in records]
+        assert kinds == ["names", "batch", "many", "block", "mark"]
+        assert records[0][2:] == (0, names)
+        _, seq, nid, t, vals = records[1]
+        assert (seq, nid, t) == (2, 0, 5.0) and _bits_equal(vals, values)
+        _, _, name, mt, mv = records[2]
+        assert name == "b.z"
+        assert _bits_equal(mt, times) and _bits_equal(mv, values)
+        _, _, bid, bt, brows = records[3]
+        assert bid == 0 and _bits_equal(bt, times[:2])
+        assert _bits_equal(brows, rows)
+        assert records[4][2] == 42
+        assert stats.replayed_records == 5 and stats.corrupt_records == 0
+
+    def test_counters_and_rotation(self, tmp_path):
+        cfg = JournalConfig(dir=str(tmp_path / "wal"),
+                            segment_max_bytes=512, group_bytes=128)
+        wal = WriteAheadJournal(cfg)
+        for i in range(50):
+            wal.append_many("s", np.array([float(i)]), np.array([float(i)]))
+        wal.flush()
+        assert wal.records == 50
+        assert wal.bytes_written > 0
+        assert wal.rotations > 1  # opening counts as the first rotation
+        segs = [f for f in os.listdir(cfg.dir) if f.endswith(".seg")]
+        assert len(segs) == wal.rotations
+        wal.close()
+        records, stats = _drain(cfg.dir)
+        assert len(records) == 50
+        assert stats.segments == len(segs)
+
+    def test_sync_policies(self, tmp_path):
+        always = WriteAheadJournal(
+            JournalConfig(dir=str(tmp_path / "a"), sync="always")
+        )
+        always.append_mark(1)
+        assert always.syncs >= 1
+        assert always.synced_seq == 1
+        always.close()
+
+        never = WriteAheadJournal(
+            JournalConfig(dir=str(tmp_path / "n"), sync="never")
+        )
+        never.append_mark(1)
+        never.flush()
+        assert never.syncs == 0
+        assert never.sync() == 1  # explicit sync still works
+        never.close()
+
+    def test_bad_sync_policy_rejected(self, tmp_path):
+        with pytest.raises(JournalError):
+            JournalConfig(dir=str(tmp_path), sync="sometimes")
+
+    def test_mark_durable_prunes_covered_segments(self, tmp_path):
+        cfg = JournalConfig(dir=str(tmp_path / "wal"),
+                            segment_max_bytes=512, group_bytes=128)
+        wal = WriteAheadJournal(cfg)
+        for i in range(60):
+            wal.append_many("s", np.array([float(i)]), np.array([1.0]))
+        seq = wal.flush()
+        before = len([f for f in os.listdir(cfg.dir) if f.endswith(".seg")])
+        wal.mark_durable(seq)
+        after = len([f for f in os.listdir(cfg.dir) if f.endswith(".seg")])
+        assert after < before  # fully-covered segments truncated away
+        assert read_watermark(cfg.dir) == seq
+        records, stats = _drain(cfg.dir)  # default min_seq = the watermark
+        assert records == []
+        wal.close()
+
+    def test_reopen_continues_sequence_in_fresh_segment(self, tmp_path):
+        cfg = JournalConfig(dir=str(tmp_path / "wal"))
+        wal = WriteAheadJournal(cfg)
+        wal.append_mark(7)
+        wal.flush()
+        wal.close()
+        reopened = WriteAheadJournal(cfg)
+        seq = reopened.append_mark(8)
+        reopened.flush()
+        reopened.close()
+        assert seq == 2  # continues, never reuses, the crashed sequence
+        records, stats = _drain(cfg.dir)
+        assert [r[1] for r in records] == [1, 2]
+        assert stats.segments == 2  # rotate-on-open: never append in place
+
+
+# ---------------------------------------------------------------------------
+# Torn tails and mid-journal damage
+# ---------------------------------------------------------------------------
+class TestJournalDamage:
+    def _journal_with(self, directory, count):
+        wal = WriteAheadJournal(JournalConfig(dir=directory))
+        for i in range(count):
+            wal.append_many(
+                "s", np.array([float(i)]), np.array([float(i) * 2])
+            )
+        wal.flush()
+        wal.close()
+
+    def test_torn_tail_drops_only_the_tail(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        self._journal_with(directory, 20)
+        event = tear_wal_tail(directory, nbytes=5)
+        assert event.kind == "torn_wal"
+        records, stats = _drain(directory)
+        assert stats.torn_tail_drops == 1
+        assert len(records) == 19  # only the mid-write record is gone
+        assert [r[1] for r in records] == list(range(1, 20))
+
+    def test_scan_journal_summary(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        self._journal_with(directory, 10)
+        stats = scan_journal(directory)
+        assert stats.records == 10
+        assert stats.replayed_samples == 10
+
+    def test_mid_segment_corruption_drops_rest_of_segment(self, tmp_path):
+        cfg = JournalConfig(dir=str(tmp_path / "wal"),
+                            segment_max_bytes=512, group_bytes=128)
+        wal = WriteAheadJournal(cfg)
+        for i in range(40):
+            wal.append_many("s", np.array([float(i)]), np.array([1.0]))
+        wal.flush()
+        wal.close()
+        segs = sorted(
+            f for f in os.listdir(cfg.dir) if f.endswith(".seg")
+        )
+        assert len(segs) >= 3
+        first = os.path.join(cfg.dir, segs[0])
+        with open(first, "r+b") as fh:
+            fh.seek(os.path.getsize(first) // 2)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        records, stats = _drain(cfg.dir)
+        assert stats.corrupt_records >= 1
+        assert stats.dropped_bytes > 0
+        # Later segments still replay: the scan resumes past the damage.
+        assert any(r[1] > 10 for r in records)
+
+    def test_tear_empty_journal_raises(self, tmp_path):
+        with pytest.raises(JournalError):
+            tear_wal_tail(str(tmp_path / "nope"))
+
+
+# ---------------------------------------------------------------------------
+# Store-level crash recovery
+# ---------------------------------------------------------------------------
+class TestStoreRecovery:
+    def test_recovery_replays_exact_bits(self, tmp_path):
+        cfg = JournalConfig(dir=str(tmp_path / "wal"))
+        store = TimeSeriesStore(journal=cfg)
+        rng = np.random.default_rng(5)
+        names = tuple(f"m.s{i}" for i in range(6))
+        for t in range(40):
+            store.ingest("t", SampleBatch(float(t), names, rng.normal(size=6)))
+        extra_t = np.arange(100.0, 150.0)
+        store.append_many("m.extra", extra_t, rng.normal(size=50))
+        store.flush()
+        store.flush_journal()
+        reference = {n: store.query(n) for n in store.names()}
+        del store  # crash: no close(), the journal is the only copy
+
+        recovered = TimeSeriesStore(journal=cfg)
+        assert recovered.recovery.replayed_samples == 40 * 6 + 50
+        assert sorted(recovered.names()) == sorted(reference)
+        for name, (t, v) in reference.items():
+            rt, rv = recovered.query(name)
+            assert _bits_equal(rt, t) and _bits_equal(rv, v)
+        recovered.close()
+
+    def test_recovery_tolerates_torn_tail(self, tmp_path):
+        cfg = JournalConfig(dir=str(tmp_path / "wal"))
+        store = TimeSeriesStore(journal=cfg)
+        t = np.arange(0.0, 100.0)
+        store.append_many("a", t, t * 2.0)
+        store.sync_journal()  # acked: must survive anything short of disk loss
+        store.append_many("b", t, t)
+        store.flush_journal()
+        del store
+        tear_wal_tail(cfg.dir, nbytes=8)  # tear lands in the unsynced tail
+
+        recovered = TimeSeriesStore(journal=cfg)
+        assert recovered.recovery.torn_tail_drops == 1
+        rt, rv = recovered.query("a")
+        assert _bits_equal(rt, t) and _bits_equal(rv, t * 2.0)
+        assert "b" not in recovered.names()  # unacked write, honestly gone
+        recovered.close()
+
+    def test_journal_mark_durable_after_save(self, tmp_path):
+        cfg = JournalConfig(dir=str(tmp_path / "wal"))
+        store = TimeSeriesStore(journal=cfg)
+        t = np.arange(0.0, 50.0)
+        store.append_many("a", t, t)
+        store.flush()
+        save_store(store, str(tmp_path / "archive.npz"))
+        store.journal_mark_durable()
+        # One append_many call is one journal record; the watermark covers it.
+        assert read_watermark(cfg.dir) >= 1
+        store.close()
+        # A reopen replays nothing: the archive owns the data now.
+        fresh = TimeSeriesStore(journal=cfg)
+        assert fresh.recovery.replayed_samples == 0
+        assert fresh.recovery.skipped_records >= 0
+        fresh.close()
+
+
+# ---------------------------------------------------------------------------
+# Checksummed persistence (v4) and the pre-v4 typed error path
+# ---------------------------------------------------------------------------
+class TestChecksummedPersistence:
+    def _store(self):
+        store = TimeSeriesStore()
+        rng = np.random.default_rng(9)
+        t = np.arange(0.0, 500.0)
+        for i in range(8):
+            store.append_many(f"rack.s{i}", t, rng.normal(100.0, 3.0, t.size))
+        store.flush()
+        return store
+
+    def test_bitflip_degrades_and_counts(self, tmp_path):
+        store = self._store()
+        path = str(tmp_path / "a.npz")
+        save_store(store, path)
+        corrupt_artifact(path, mode="bitflip", rng=np.random.default_rng(1))
+        loaded = load_store(path)
+        assert loaded.corrupt_artifacts >= 1
+        snap = loaded.metrics.snapshot()
+        assert snap["telemetry.durability.corrupt_artifacts"] >= 1.0
+        # Every series that did load is bit-identical to the original.
+        for name in loaded.names():
+            t, v = loaded.query(name)
+            ot, ov = store.query(name)
+            assert _bits_equal(t, ot) and _bits_equal(v, ov)
+
+    def test_truncation_is_a_typed_refusal(self, tmp_path):
+        store = self._store()
+        path = str(tmp_path / "a.npz")
+        save_store(store, path)
+        corrupt_artifact(path, mode="truncate",
+                         rng=np.random.default_rng(2))
+        with pytest.raises((PersistenceError, Exception)) as err:
+            loaded = load_store(path)
+            # Severe truncation may still parse: then it must degrade,
+            # never serve silently-wrong series.
+            assert loaded.corrupt_artifacts >= 1
+            raise PersistenceError("degraded as required", path=path)
+        if isinstance(err.value, PersistenceError):
+            assert err.value.path == path
+
+    def test_pre_v4_damage_raises_with_path_and_offset(self, tmp_path):
+        import json as _json
+
+        from repro.telemetry.persistence import _META_KEY, _encode_meta
+
+        store = self._store()
+        v4 = str(tmp_path / "v4.npz")
+        save_store(store, v4)
+        # Rewrite as a v2 archive: no checksums, pre-durability format.
+        with np.load(v4) as z:
+            data = {k: z[k] for k in z.files if not k.startswith("__crc__")}
+        meta = _json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+        meta["version"] = 2
+        meta.pop("checksums", None)
+        data[_META_KEY] = _encode_meta(meta)
+        v2 = str(tmp_path / "v2.npz")
+        np.savez_compressed(v2, **data)
+        assert load_store(v2).names()  # intact v2 loads fine
+
+        # Flip a byte inside one member's compressed payload.
+        victim = "rack.s3::v.npy"
+        with zipfile.ZipFile(v2) as zf:
+            info = zf.getinfo(victim)
+        offset = info.header_offset + 80  # inside the member's data
+        with open(v2, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0x01]))
+        with pytest.raises(PersistenceError) as err:
+            loaded = load_store(v2)
+            loaded.query("rack.s3")
+        assert err.value.path == v2
+
+    def test_sharded_member_damage_degrades_per_member(self, tmp_path):
+        sharded = ShardedStore(shards=3)
+        rng = np.random.default_rng(3)
+        names = tuple(f"n.s{i}" for i in range(12))
+        for t in range(50):
+            sharded.ingest(
+                "t", SampleBatch(float(t), names, rng.normal(size=12))
+            )
+        sharded.flush()
+        path = str(tmp_path / "a.npz")
+        save_store(sharded, path)
+        victim = str(tmp_path / "a.shard1.npz")
+        corrupt_artifact(victim, mode="truncate",
+                         rng=np.random.default_rng(4))
+        loaded = load_store(path)
+        assert loaded.corrupt_artifacts >= 1
+        # Healthy shards' series are intact and exact.
+        healthy = [n for n in names if sharded.shard_of(n) != 1]
+        assert healthy
+        for name in healthy:
+            t, v = loaded.query(name)
+            ot, ov = sharded.query(name)
+            assert _bits_equal(t, ot) and _bits_equal(v, ov)
+
+    def test_save_is_atomic_over_existing_archive(self, tmp_path):
+        from repro.ioutil import commit_hook
+
+        store = self._store()
+        path = str(tmp_path / "a.npz")
+        save_store(store, path)
+        before = os.path.getsize(path)
+
+        def bomb(dest):
+            raise RuntimeError("power cut")
+
+        other = TimeSeriesStore()
+        other.append_many("x", np.arange(3.0), np.ones(3))
+        with commit_hook(bomb):
+            with pytest.raises(RuntimeError):
+                save_store(other, path)
+        assert os.path.getsize(path) == before  # old archive untouched
+        assert sorted(load_store(path).names()) == sorted(store.names())
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+
+
+# ---------------------------------------------------------------------------
+# Anti-entropy repair and the loss-accounting audit
+# ---------------------------------------------------------------------------
+class TestAntiEntropy:
+    W = 100.0
+
+    def _diverged_set(self):
+        """Primary+replica where the replica missed two full windows."""
+        rs = ReplicaSet(0, replication=1)
+        rng = np.random.default_rng(21)
+        names = ("p.a", "p.b")
+        t = 0.0
+        # Both members share the first three windows.
+        for _ in range(30):
+            rs.ingest("t", SampleBatch(t, names, rng.normal(size=2)))
+            t += 10.0
+        rs.flush()
+        rs.mark_down(1)
+        missed = 0
+        while t < 500.0:  # replica misses windows [300, 400) and [400, 500)
+            rs.ingest("t", SampleBatch(t, names, rng.normal(size=2)))
+            missed += len(names)
+            t += 10.0
+        rs.flush()
+        rs.revive(1, resync=False)
+        # One write past the divergent span closes those windows.
+        rs.ingest("t", SampleBatch(t, names, rng.normal(size=2)))
+        rs.flush()
+        return rs, missed
+
+    def test_repairs_only_differing_windows(self):
+        rs, _ = self._diverged_set()
+        summary = rs.anti_entropy(window_s=self.W, now=500.0)
+        assert summary["diverged_windows"] == 4  # 2 windows x 2 series
+        assert summary["repaired_windows"] == 4
+        assert summary["repaired_samples"] > 0
+        # Replica now bit-matches the primary over the repaired span.
+        for name in ("p.a", "p.b"):
+            pt, pv = rs.members[0].query(name, until=500.0)
+            st, sv = rs.members[1].query(name, until=500.0)
+            assert _bits_equal(pt, st) and _bits_equal(pv, sv)
+        again = rs.anti_entropy(window_s=self.W, now=500.0)
+        assert again["diverged_windows"] == 0
+
+    def test_repair_heals_loss_accounting(self):
+        # Satellite audit: a repaired window must not still be counted as
+        # lost — missed_writes shrinks by exactly the samples restored.
+        rs, missed = self._diverged_set()
+        assert rs.missed_writes[1] == missed
+        rs.anti_entropy(window_s=self.W, now=500.0)
+        # Everything inside closed windows was healed; only the samples
+        # landed past the last closed boundary can still be outstanding.
+        assert rs.missed_writes[1] < missed
+        assert rs.missed_writes[1] == 0
+        assert rs.repaired_samples[1] >= missed
+
+    def test_resync_revive_resets_both_loss_counters(self):
+        rs = ReplicaSet(0, replication=1)
+        rng = np.random.default_rng(22)
+        rs.degrade(1.0, np.random.default_rng(1), member=1)
+        for t in range(20):
+            rs.ingest("t", SampleBatch(float(t), ("a",), rng.normal(size=1)))
+        rs.degrade(0.0, np.random.default_rng(1), member=1)
+        rs.mark_down(1)
+        for t in range(20, 30):
+            rs.ingest("t", SampleBatch(float(t), ("a",), rng.normal(size=1)))
+        assert rs.dropped_writes[1] > 0 and rs.missed_writes[1] > 0
+        rs.revive(1, resync=True)
+        # Audit: a full resync healed everything — neither counter may
+        # keep charging the member for samples it now holds.
+        assert rs.dropped_writes[1] == 0
+        assert rs.missed_writes[1] == 0
+        pt, pv = rs.members[0].query("a")
+        st, sv = rs.members[1].query("a")
+        assert _bits_equal(pt, st) and _bits_equal(pv, sv)
+
+    def test_counters_exported_in_metrics(self):
+        rs, _ = self._diverged_set()
+        rs.anti_entropy(window_s=self.W, now=500.0)
+        snap = rs.metrics_registry("telemetry.replica").snapshot()
+        assert snap["telemetry.replica.repaired_windows"] >= 1.0
+        assert snap["telemetry.replica.diverged_windows"] >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Worker-process WAL recovery (the parallel runtime path)
+# ---------------------------------------------------------------------------
+class TestWorkerWalRecovery:
+    def _ingest(self, store, names, rng, start, count):
+        for t in range(start, start + count):
+            store.ingest(
+                "t", SampleBatch(float(t), names, rng.normal(size=len(names)))
+            )
+
+    def test_crash_restart_loses_no_acked_samples(self, tmp_path):
+        names = tuple(f"w.s{i}" for i in range(8))
+        rng = np.random.default_rng(31)
+        store = ShardedStore(
+            shards=2, replication=1, parallel=True,
+            journal=str(tmp_path / "wal"),
+        )
+        try:
+            self._ingest(store, names, rng, 0, 60)
+            store.flush()
+            store.sync_journal()
+            acked = {n: store.query(n) for n in names}
+            self._ingest(store, names, rng, 60, 20)  # unacked tail
+            for shard in range(2):
+                store.runtime.crash_worker(shard)
+                store.runtime.restart_worker(shard)
+            store.flush()
+            for name in names:
+                t, v = store.query(name)
+                at, av = acked[name]
+                assert at.size <= t.size
+                assert _bits_equal(t[: at.size], at)
+                assert _bits_equal(v[: at.size], av)
+        finally:
+            store.close()
+
+    def test_torn_wal_tail_recovers_acked(self, tmp_path):
+        names = tuple(f"w.s{i}" for i in range(8))
+        rng = np.random.default_rng(32)
+        base = str(tmp_path / "wal")
+        store = ShardedStore(
+            shards=2, replication=1, parallel=True, journal=base,
+        )
+        try:
+            self._ingest(store, names, rng, 0, 60)
+            store.flush()
+            store.sync_journal()
+            acked = {n: store.query(n) for n in names}
+            self._ingest(store, names, rng, 60, 20)
+            store.runtime.crash_worker(0)
+            tear_wal_tail(os.path.join(base, "shard0", "wal"), nbytes=16)
+            store.runtime.restart_worker(0)
+            store.flush()
+            for name in names:
+                t, v = store.query(name)
+                at, av = acked[name]
+                assert _bits_equal(t[: at.size], at)
+                assert _bits_equal(v[: at.size], av)
+        finally:
+            store.close()
+
+    def test_cold_reopen_replays_journals(self, tmp_path):
+        names = tuple(f"w.s{i}" for i in range(4))
+        rng = np.random.default_rng(33)
+        base = str(tmp_path / "wal")
+        store = ShardedStore(
+            shards=2, replication=1, parallel=True, journal=base,
+        )
+        store.ingest("t", SampleBatch(1.0, names, rng.normal(size=4)))
+        store.flush()
+        reference = {n: store.query(n) for n in names}
+        store.close()
+
+        reopened = ShardedStore(
+            shards=2, replication=1, parallel=True, journal=base,
+        )
+        try:
+            reopened.flush()
+            assert reopened.recovered_samples >= len(names)
+            for name in names:
+                t, v = reopened.query(name)
+                rt, rv = reference[name]
+                assert _bits_equal(t, rt) and _bits_equal(v, rv)
+        finally:
+            reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# Supervised anti-entropy sweeps
+# ---------------------------------------------------------------------------
+class TestSupervisedAntiEntropy:
+    def test_watchdog_round_robins_replica_sets(self):
+        from repro.oda import DataCenter
+
+        dc = DataCenter(
+            seed=17, racks=1, nodes_per_rack=4, shards=2, replication=1,
+            telemetry_period=120.0,
+        )
+        supervisor = dc.enable_supervision()
+        supervisor.watch_replicas(dc.store, window_s=600.0)
+        assert len(supervisor.replica_watches) == 1
+        supervisor.watch_replicas(dc.store)  # idempotent per store
+        assert len(supervisor.replica_watches) == 1
+        dc.generate_workload(days=0.05, jobs_per_day=24)
+        dc.run(seconds=0.05 * 86400.0)
+        sweeps = sum(rs.anti_entropy_sweeps for rs in dc.store.replica_sets)
+        assert sweeps >= 2  # the watchdog swept more than one set
+        snap = supervisor.metrics_registry.snapshot()
+        assert snap["oda.supervisor.replica_watches"] == 1.0

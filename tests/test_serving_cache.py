@@ -62,8 +62,8 @@ def make_store(shards: int, seed: int, n: int = 60):
 def make_query(kind: str, seed: int, horizon: float):
     rng = np.random.default_rng(seed + 1)
     since = float(rng.uniform(0.0, horizon * 0.5))
-    until = float(rng.uniform(since + 1.0, horizon * 1.2))
-    step = float(rng.uniform(1.0, (until - since) / 2.0))
+    until = float(rng.uniform(since + 1.0, max(horizon * 1.2, since + 2.0)))
+    step = float(rng.uniform(1.0, max((until - since) / 2.0, 1.5)))
     agg = str(rng.choice(("mean", "max", "min", "sum", "count")))
     name = str(NAMES[int(rng.integers(len(NAMES)))])
     if kind == "names":
