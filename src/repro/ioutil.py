@@ -72,7 +72,9 @@ def commit_hook(hook: Callable[[str], None]) -> Iterator[None]:
 
 
 @contextlib.contextmanager
-def atomic_open(path: str | os.PathLike, mode: str = "wb"):
+def atomic_open(
+    path: str | os.PathLike, mode: str = "wb", *, sync_dir: bool = True
+):
     """Open a temp file next to ``path``; atomically rename it in on success.
 
     Usage::
@@ -81,7 +83,10 @@ def atomic_open(path: str | os.PathLike, mode: str = "wb"):
             fh.write(payload)
 
     On a clean exit the temp file is fsynced and renamed over ``dest``; on
-    any exception it is removed and ``dest`` is untouched.
+    any exception it is removed and ``dest`` is untouched.  The containing
+    directory is fsynced after the rename so the new entry itself survives
+    power loss (``sync_dir=False`` skips that for hot paths where
+    process-kill durability suffices).
     """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
@@ -99,6 +104,8 @@ def atomic_open(path: str | os.PathLike, mode: str = "wb"):
         with contextlib.suppress(OSError):
             os.unlink(tmp)
         raise
+    if sync_dir:
+        fsync_dir(directory)
 
 
 def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> None:

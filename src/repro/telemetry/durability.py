@@ -259,13 +259,18 @@ class WriteAheadJournal:
         seq = self._next_seq - 1
         if self.config.sync == "always":
             self.sync()
-        elif len(self._buffer) >= self.config.group_bytes:
-            self._flush_buffer()
-            if (
+        else:
+            # The interval deadline is checked on every append, not only on
+            # group boundaries: a trickle writer that never fills the group
+            # buffer still gets its bounded-loss-window fsync.
+            sync_due = (
                 self.config.sync == "interval"
                 and _time.monotonic() - self._last_sync >= self.config.sync_interval_s
-            ):
-                self._fsync()
+            )
+            if sync_due or len(self._buffer) >= self.config.group_bytes:
+                self._flush_buffer()
+                if sync_due:
+                    self._fsync()
         return seq
 
     def _flush_buffer(self) -> None:
@@ -308,7 +313,18 @@ class WriteAheadJournal:
             self._fh.close()
         self._segment_start = self._next_seq
         path = _segment_path(self.config.dir, self._segment_start)
-        self._fh = open(path, "ab")
+        if os.path.exists(path):
+            # A colliding segment can only be a dataless tail from a prior
+            # incarnation (header-only, or fully torn): any intact record in
+            # it would carry seq >= start_seq and resume numbering would have
+            # moved past it.  Appending would bury a second header mid-file,
+            # which recovery reads as a torn tail and then drops everything
+            # after it — so replace the file outright.
+            os.unlink(path)
+        try:
+            self._fh = open(path, "xb")
+        except FileExistsError as exc:  # pragma: no cover - defensive
+            raise JournalError(f"segment {path!r} already exists") from exc
         header = _HEADER.pack(
             _MAGIC, _VERSION, _ALGO_IDS[CRC_ALGO], 0, self._segment_start
         )
@@ -320,14 +336,27 @@ class WriteAheadJournal:
 
     # -- truncation -------------------------------------------------------
 
-    def mark_durable(self, seq: int) -> int:
+    def mark_durable(self, seq: int, *, names=None) -> int:
         """Record that everything at or below ``seq`` is safely persisted.
 
         Segments wholly covered by the watermark are deleted (never the
         active one); recovery skips records at or below it.  Returns the
         number of segments pruned.
+
+        ``names`` is the owner's live interning table
+        (``{names_id: (name, ...)}``).  Pruning may delete the segments that
+        held the original NAMES records, which would leave every later BATCH
+        or BLOCK record unresolvable on replay — so the table is re-appended
+        (registration is idempotent) before the watermark is written, at
+        sequences above it, where recovery always yields it.
         """
         seq = int(seq)
+        if names:
+            for names_id, name_tuple in names.items():
+                self.append_names(names_id, name_tuple)
+            self._flush_buffer()
+            if self.config.sync != "never":
+                self._fsync()
         atomic_write_json(
             os.path.join(self.config.dir, _WATERMARK_FILE), {"seq": seq}, indent=None
         )
@@ -373,7 +402,11 @@ def iter_records(
     Damage degrades instead of raising: a bad frame in the *last* segment is
     a torn tail (scan stops there); a bad frame mid-journal drops the rest
     of its segment and continues.  Records with ``seq <= min_seq`` (default:
-    the recorded durable watermark) are counted as skipped, not yielded.
+    the recorded durable watermark) are counted as skipped and not yielded —
+    except NAMES interning records, which are always yielded (and also
+    counted as skipped when below the watermark): registration is
+    idempotent, and records above the watermark reference ids interned
+    below it.
 
     Yields tuples keyed by record kind::
 
@@ -427,6 +460,13 @@ def iter_records(
             stats.last_seq = max(stats.last_seq, seq)
             if seq <= min_seq:
                 stats.skipped_records += 1
+                if rtype != REC_NAMES:
+                    continue
+                rec = _decode(rtype, seq, body)
+                if rec is None:
+                    stats.corrupt_records += 1
+                    continue
+                yield rec
                 continue
             rec = _decode(rtype, seq, body)
             if rec is None:

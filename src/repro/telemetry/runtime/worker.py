@@ -406,6 +406,13 @@ class ShardWorker:
             self._wal_cfg.dir, stats=stats, min_seq=wal_cut
         ):
             kind, seq = rec[0], rec[1]
+            if kind == "names" and seq <= wal_cut:
+                # Interning records below the watermark are re-yielded so
+                # later batches stay resolvable; they sit outside the
+                # contiguous above-watermark chain, so register them
+                # without touching the gap check.
+                self.stager.register(rec[2], tuple(rec[3]))
+                continue
             if expected is not None and seq != expected:
                 break
             expected = seq + 1
@@ -421,7 +428,13 @@ class ShardWorker:
                     # The anchoring mark was pruned with its segment at the
                     # last checkpoint; batches resume exactly at its seq.
                     pos = base_seq
-                if pos >= base_seq and self.stager.knows(names_id):
+                if pos >= base_seq:
+                    if not self.stager.knows(names_id):
+                        # The NAMES record for this id was lost with the
+                        # damaged prefix: treat it like a sequence gap and
+                        # stop, so the remaining slots fall back to ring
+                        # replay instead of being advanced past as applied.
+                        break
                     if pend_id != names_id:
                         flush_pending()
                         pend_id = names_id
@@ -486,7 +499,16 @@ class ShardWorker:
                         "wal_seq": wal_seq,
                     },
                 )
-                self.wal.mark_durable(wal_seq)
+                # Pass the journaled interning table: pruning may delete
+                # the segments holding the original NAMES records while
+                # post-checkpoint batches still reference those ids.
+                self.wal.mark_durable(
+                    wal_seq,
+                    names={
+                        nid: self.stager.names_for(nid)
+                        for nid in sorted(self._wal_names)
+                    },
+                )
         self.ring.mark_acked(applied)
         return applied
 

@@ -499,7 +499,9 @@ class TimeSeriesStore:
         """Intern a name tuple in the journal (mirrors ring interning)."""
         names_id = self._journal_names.get(names)
         if names_id is None:
-            names_id = len(self._journal_names)
+            # max+1, not len(): the table is seeded from recovery, so ids
+            # must extend the journal's numbering, never reuse it.
+            names_id = 1 + max(self._journal_names.values(), default=-1)
             self._journal_names[names] = names_id
             self._journal.append_names(names_id, names)
         return names_id
@@ -847,7 +849,15 @@ class TimeSeriesStore:
                 return 0
             if seq is None:
                 seq = self._journal.sync()
-            return self._journal.mark_durable(seq)
+            # Hand the live interning table along: pruning may delete the
+            # segments holding the original NAMES records while batches
+            # above the watermark still reference those ids.
+            return self._journal.mark_durable(
+                seq,
+                names={
+                    nid: names for names, nid in self._journal_names.items()
+                },
+            )
 
     def close(self) -> None:
         """Flush staging and cleanly close the journal (idempotent)."""
@@ -888,6 +898,15 @@ class TimeSeriesStore:
 
         self._replaying = True
         try:
+            # NAMES pre-pass: batches appended between a save's journal
+            # flush and its mark_durable sit above the watermark but
+            # *before* the table re-interned at the mark, so a single
+            # ordered pass could hit a batch whose NAMES record only
+            # appears later.  Ids are never remapped, so seeding the full
+            # table up front is safe.
+            for rec in iter_records(cfg.dir, stats=RecoveryStats()):
+                if rec[0] == "names":
+                    names_map[rec[2]] = rec[3]
             for rec in iter_records(cfg.dir, stats=stats):
                 kind = rec[0]
                 if kind == "names":
@@ -929,6 +948,12 @@ class TimeSeriesStore:
             flush_pending()
         finally:
             self._replaying = False
+        # Seed the interning table from what the journal holds, so this
+        # incarnation extends the journal's id numbering instead of
+        # restarting at 0 and remapping ids already on disk.
+        self._journal_names = {
+            tuple(names): nid for nid, names in names_map.items()
+        }
         return stats
 
     def window_checksums(

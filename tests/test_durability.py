@@ -116,6 +116,41 @@ class TestJournalFormat:
         with pytest.raises(JournalError):
             JournalConfig(dir=str(tmp_path), sync="sometimes")
 
+    def test_interval_sync_covers_trickle_ingest(self, tmp_path):
+        # A writer that never fills the group buffer must still get its
+        # bounded-loss-window fsync once the interval elapses.
+        cfg = JournalConfig(
+            dir=str(tmp_path / "wal"), sync="interval", sync_interval_s=0.0
+        )
+        wal = WriteAheadJournal(cfg)
+        seq = wal.append_mark(1)  # tiny record, far below group_bytes
+        assert wal.syncs >= 1
+        assert wal.synced_seq == seq
+        wal.close()
+
+    def test_mark_durable_reinterns_names(self, tmp_path):
+        # Pruning deletes the segment holding the original NAMES record;
+        # the live table passed to mark_durable is re-appended above the
+        # watermark so later batches stay resolvable.
+        cfg = JournalConfig(dir=str(tmp_path / "wal"),
+                            segment_max_bytes=256, group_bytes=64)
+        wal = WriteAheadJournal(cfg)
+        names = ("a.x", "a.y")
+        wal.append_names(0, names)
+        for i in range(30):
+            wal.append_batch(0, float(i), np.array([1.0, 2.0]))
+        seq = wal.flush()
+        wal.mark_durable(seq, names={0: names})
+        wal.append_batch(0, 99.0, np.array([3.0, 4.0]))
+        wal.sync()
+        wal.close()
+        records, _stats = _drain(cfg.dir)  # default min_seq = the watermark
+        kinds = [r[0] for r in records]
+        assert "names" in kinds
+        assert kinds.index("names") < kinds.index("batch")
+        batch = records[kinds.index("batch")]
+        assert batch[2] == 0 and batch[3] == 99.0
+
     def test_mark_durable_prunes_covered_segments(self, tmp_path):
         cfg = JournalConfig(dir=str(tmp_path / "wal"),
                             segment_max_bytes=512, group_bytes=128)
@@ -146,6 +181,46 @@ class TestJournalFormat:
         records, stats = _drain(cfg.dir)
         assert [r[1] for r in records] == [1, 2]
         assert stats.segments == 2  # rotate-on-open: never append in place
+
+    def test_reopen_after_header_only_tail_segment(self, tmp_path):
+        # A journal opened then closed (or crashed) before any append
+        # leaves a header-only tail; the next incarnation resumes at the
+        # same start seq and must replace it, not append a second header.
+        cfg = JournalConfig(dir=str(tmp_path / "wal"))
+        WriteAheadJournal(cfg).close()
+        wal = WriteAheadJournal(cfg)
+        for i in range(50):
+            wal.append_many("s", np.array([float(i)]), np.array([1.0]))
+        wal.sync()
+        del wal  # crash: no close()
+        records, stats = _drain(cfg.dir)
+        assert len(records) == 50
+        assert stats.torn_tail_drops == 0 and stats.corrupt_records == 0
+
+    def test_reopen_after_fully_torn_tail_segment(self, tmp_path):
+        # Same collision via the other route: every record of the tail
+        # segment destroyed, so resume numbering lands on its start seq.
+        from repro.telemetry.durability import _HEADER
+
+        cfg = JournalConfig(dir=str(tmp_path / "wal"))
+        wal = WriteAheadJournal(cfg)
+        for i in range(5):
+            wal.append_many("s", np.array([float(i)]), np.array([1.0]))
+        wal.flush()
+        wal.close()
+        (seg,) = [f for f in os.listdir(cfg.dir) if f.endswith(".seg")]
+        with open(os.path.join(cfg.dir, seg), "r+b") as fh:
+            fh.truncate(_HEADER.size + 3)  # header survives, no records do
+        reopened = WriteAheadJournal(cfg)
+        for i in range(50):
+            reopened.append_many(
+                "s", np.array([float(i)]), np.array([2.0])
+            )
+        reopened.sync()
+        del reopened  # crash: no close()
+        records, stats = _drain(cfg.dir)
+        assert len(records) == 50
+        assert stats.torn_tail_drops == 0 and stats.corrupt_records == 0
 
 
 # ---------------------------------------------------------------------------
@@ -267,6 +342,64 @@ class TestStoreRecovery:
         assert fresh.recovery.replayed_samples == 0
         assert fresh.recovery.skipped_records >= 0
         fresh.close()
+
+    def test_acked_batches_after_save_watermark_recover(self, tmp_path):
+        # Batches journaled after a save reference NAMES interned before
+        # the save's durable watermark; they must resolve on recovery, not
+        # drop silently as replay conflicts.
+        cfg = JournalConfig(dir=str(tmp_path / "wal"))
+        store = TimeSeriesStore(journal=cfg)
+        names = ("d.a", "d.b")
+        rng = np.random.default_rng(7)
+        for t in range(10):
+            store.ingest("t", SampleBatch(float(t), names, rng.normal(size=2)))
+        store.flush()
+        save_store(store, str(tmp_path / "archive.npz"))  # moves watermark
+        for t in range(10, 20):
+            store.ingest("t", SampleBatch(float(t), names, rng.normal(size=2)))
+        store.flush()
+        reference = {n: store.query(n) for n in names}
+        store.sync_journal()
+        del store  # crash: no close()
+
+        recovered = TimeSeriesStore(journal=cfg)
+        assert recovered.recovery.replay_conflicts == 0
+        assert recovered.recovery.replayed_samples == 10 * 2
+        for name in names:
+            rt, rv = recovered.query(name)
+            t, v = reference[name]
+            assert _bits_equal(rt, t[10:]) and _bits_equal(rv, v[10:])
+        recovered.close()
+
+    def test_names_survive_segment_pruning(self, tmp_path):
+        # Small segments so the save's mark_durable actually deletes the
+        # segment holding the original NAMES interning record.
+        cfg = JournalConfig(dir=str(tmp_path / "wal"),
+                            segment_max_bytes=512, group_bytes=64)
+        store = TimeSeriesStore(journal=cfg)
+        names = ("p.a", "p.b", "p.c")
+        rng = np.random.default_rng(11)
+        for t in range(60):
+            store.ingest("t", SampleBatch(float(t), names, rng.normal(size=3)))
+        store.flush()
+        before = len([f for f in os.listdir(cfg.dir) if f.endswith(".seg")])
+        save_store(store, str(tmp_path / "archive.npz"))
+        after = len([f for f in os.listdir(cfg.dir) if f.endswith(".seg")])
+        assert after < before  # the early segments really were pruned
+        for t in range(60, 80):
+            store.ingest("t", SampleBatch(float(t), names, rng.normal(size=3)))
+        store.flush()
+        reference = {n: store.query(n) for n in names}
+        store.sync_journal()
+        del store  # crash: no close()
+
+        recovered = TimeSeriesStore(journal=cfg)
+        assert recovered.recovery.replay_conflicts == 0
+        for name in names:
+            rt, rv = recovered.query(name)
+            t, v = reference[name]
+            assert _bits_equal(rt, t[60:]) and _bits_equal(rv, v[60:])
+        recovered.close()
 
 
 # ---------------------------------------------------------------------------
@@ -532,6 +665,45 @@ class TestWorkerWalRecovery:
             for name in names:
                 t, v = store.query(name)
                 at, av = acked[name]
+                assert _bits_equal(t[: at.size], at)
+                assert _bits_equal(v[: at.size], av)
+        finally:
+            store.close()
+
+    def test_checkpoint_then_crash_keeps_post_checkpoint_batches(
+        self, tmp_path
+    ):
+        # After a checkpoint advances the WAL watermark (and prunes
+        # segments), post-checkpoint batches reference NAMES interned
+        # before it; a restarted worker must still resolve and replay them.
+        from repro.telemetry.runtime import RuntimeConfig
+
+        names = tuple(f"w.s{i}" for i in range(6))
+        rng = np.random.default_rng(34)
+        store = ShardedStore(
+            shards=2, replication=1, parallel=True,
+            journal=str(tmp_path / "wal"),
+            parallel_config=RuntimeConfig(
+                durability="wal",
+                checkpoint_dir=str(tmp_path / "ckpt"),
+            ),
+        )
+        try:
+            self._ingest(store, names, rng, 0, 40)
+            store.flush()
+            store.runtime.checkpoint()  # snapshot + watermark + prune
+            self._ingest(store, names, rng, 40, 30)
+            store.flush()
+            store.sync_journal()
+            acked = {n: store.query(n) for n in names}
+            for shard in range(2):
+                store.runtime.crash_worker(shard)
+                store.runtime.restart_worker(shard)
+            store.flush()
+            for name in names:
+                t, v = store.query(name)
+                at, av = acked[name]
+                assert t.size >= at.size
                 assert _bits_equal(t[: at.size], at)
                 assert _bits_equal(v[: at.size], av)
         finally:
